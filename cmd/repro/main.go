@@ -1,0 +1,96 @@
+// Command repro regenerates the tables and figures of the paper's
+// evaluation. With no flags it prints everything; -table and -fig select
+// individual experiments.
+//
+//	repro -table 2        # Table II clustering accuracy
+//	repro -fig 2a         # Fig 2a DFS vs BFS by injection age
+//	repro -quick          # smaller sweeps for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ocasta/internal/repro"
+)
+
+func main() {
+	table := flag.String("table", "", "table to print: 1, 2, 3, or 4 (default all)")
+	fig := flag.String("fig", "", "figure to print: 2a, 2b, 2c, 3a, 3b, or 4 (default all)")
+	quick := flag.Bool("quick", false, "use reduced sweeps for the figures")
+	seed := flag.Int64("seed", 1, "user-study seed")
+	flag.Parse()
+
+	all := *table == "" && *fig == ""
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+
+	faultIDs := repro.AllFaultIDs()
+	fig2aDays := repro.DefaultFig2aDays()
+	fig2bSp := repro.DefaultFig2bSpurious()
+	fig2cBounds := repro.DefaultFig2cBounds()
+	if *quick {
+		faultIDs = []int{1, 8, 13, 16}
+		fig2aDays = []int{2, 8, 14}
+		fig2cBounds = []int{14, 40, 80}
+	}
+
+	if all || *table == "1" {
+		rows, err := repro.Table1()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(repro.RenderTable1(rows))
+	}
+	if all || *table == "2" {
+		fmt.Println(repro.RenderTable2(repro.Table2()))
+	}
+	if all || *table == "3" {
+		fmt.Println(repro.RenderTable3(repro.Table3()))
+	}
+	if all || *table == "4" {
+		start := time.Now()
+		rows, err := repro.Table4()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(repro.RenderTable4(rows))
+		fmt.Printf("(computed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if all || *fig == "2a" {
+		pts, err := repro.Fig2a(faultIDs, fig2aDays)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(repro.RenderFig2("Fig 2a: Trials by time of errors", "Injection days", pts))
+	}
+	if all || *fig == "2b" {
+		pts, err := repro.Fig2b(faultIDs, fig2bSp)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(repro.RenderFig2("Fig 2b: Trials by number of spurious writes", "Spurious writes", pts))
+	}
+	if all || *fig == "2c" {
+		pts, err := repro.Fig2c(faultIDs, fig2cBounds)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(repro.RenderFig2("Fig 2c: Trials by time length searched", "Time bound (days)", pts))
+	}
+	if all || *fig == "3a" {
+		fmt.Println(repro.RenderFig3("Fig 3a: Average cluster size by window size",
+			"Window (seconds)", repro.Fig3a(repro.DefaultFig3aWindows())))
+	}
+	if all || *fig == "3b" {
+		fmt.Println(repro.RenderFig3("Fig 3b: Average cluster size by clustering threshold",
+			"Threshold (corr)", repro.Fig3b(repro.DefaultFig3bThresholds())))
+	}
+	if all || *fig == "4" {
+		fmt.Println(repro.RenderFig4(repro.Fig4(*seed)))
+	}
+}

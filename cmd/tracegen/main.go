@@ -1,0 +1,91 @@
+// Command tracegen synthesizes the deployment traces of Table I.
+//
+//	tracegen -machine "Windows 7" -out win7.jsonl
+//	tracegen -machine Linux-2 -format binary -out linux2.trace -aof linux2.aof
+//
+// The trace file carries the write/delete event stream; -aof additionally
+// persists the populated TTKV so the repair tool can be pointed at it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ocasta/internal/trace"
+	"ocasta/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	machine := flag.String("machine", "", "Table I machine name (see -list)")
+	out := flag.String("out", "", "output trace file")
+	format := flag.String("format", "jsonl", "trace format: jsonl or binary")
+	aofPath := flag.String("aof", "", "also write the populated TTKV as an AOF")
+	list := flag.Bool("list", false, "list machine profiles and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.Profiles() {
+			apps := make([]string, 0, len(p.Apps))
+			for _, u := range p.Apps {
+				apps = append(apps, u.Model.Name)
+			}
+			fmt.Printf("%-16s %3d days  apps: %s\n", p.Name, p.Days, strings.Join(apps, ", "))
+		}
+		return 0
+	}
+	if *machine == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -machine and -out are required (see -list)")
+		return 2
+	}
+	p, ok := workload.ProfileByName(*machine)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown machine %q\n", *machine)
+		return 2
+	}
+	res := workload.Generate(p)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		return 1
+	}
+	defer f.Close()
+	switch *format {
+	case "binary":
+		err = trace.WriteBinary(f, res.Trace)
+	case "jsonl":
+		err = trace.WriteJSONL(f, res.Trace)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q\n", *format)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen: writing trace:", err)
+		return 1
+	}
+
+	if *aofPath != "" {
+		af, err := os.Create(*aofPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			return 1
+		}
+		defer af.Close()
+		if err := res.Store.WriteSnapshot(af); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen: writing AOF:", err)
+			return 1
+		}
+	}
+
+	st := res.Store.Stats()
+	fmt.Printf("%s: %d events, %d keys accessed, %d writes, %d reads, TTKV %.1f MiB\n",
+		p.Name, len(res.Trace.Events), res.AccessedKeys,
+		st.Writes+st.Deletes, st.Reads, float64(st.ApproxBytes)/(1<<20))
+	return 0
+}

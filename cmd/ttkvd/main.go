@@ -1,0 +1,82 @@
+// Command ttkvd runs the TTKV daemon: the shared time-travel key-value
+// store Ocasta's loggers record into (the role Redis played in the paper's
+// deployment).
+//
+//	ttkvd -addr 127.0.0.1:7677 -aof /var/lib/ocasta/store.aof
+//
+// With -aof, existing history is replayed on startup and every write is
+// appended durably.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ocasta/internal/ttkv"
+	"ocasta/internal/ttkvwire"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:7677", "listen address")
+	aofPath := flag.String("aof", "", "append-only file for durable history (optional)")
+	flag.Parse()
+
+	store := ttkv.New()
+	if *aofPath != "" {
+		if _, err := os.Stat(*aofPath); err == nil {
+			loaded, err := ttkv.LoadAOF(*aofPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ttkvd: replaying AOF:", err)
+				return 1
+			}
+			store = loaded
+			fmt.Printf("ttkvd: replayed %d keys from %s\n", store.Len(), *aofPath)
+			aof, err := ttkv.OpenAOFForAppend(*aofPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ttkvd:", err)
+				return 1
+			}
+			defer aof.Close()
+			store.AttachAOF(aof)
+		} else {
+			aof, err := ttkv.CreateAOF(*aofPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ttkvd:", err)
+				return 1
+			}
+			defer aof.Close()
+			store.AttachAOF(aof)
+		}
+	}
+
+	srv := ttkvwire.NewServer(store)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(*addr) }()
+	fmt.Printf("ttkvd: serving on %s\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		fmt.Println("ttkvd: shutting down")
+		srv.Close()
+		<-done
+	case err := <-done:
+		if err != nil && err != ttkvwire.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "ttkvd:", err)
+			return 1
+		}
+	}
+	if err := store.SyncAOF(); err != nil {
+		fmt.Fprintln(os.Stderr, "ttkvd: syncing AOF:", err)
+		return 1
+	}
+	return 0
+}

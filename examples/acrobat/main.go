@@ -1,0 +1,75 @@
+// acrobat runs the paper's error #15 against the application-file logger:
+// Acrobat Reader's menu bar disappears for certain PDF documents because a
+// PostScript-style preference was corrupted. The configuration lives in a
+// whole file that the application rewrites on every change; Ocasta infers
+// per-key history by diffing consecutive flushes.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"ocasta"
+	"ocasta/internal/conffile"
+	"ocasta/internal/vfs"
+)
+
+const prefsPath = "/home/user/.adobe/Acrobat/9.0/Preferences/reader_prefs"
+
+func main() {
+	base := time.Date(2013, 6, 1, 9, 0, 0, 0, time.UTC)
+	store := ocasta.NewStore()
+	logger := ocasta.NewLogger(store)
+
+	fs := vfs.New()
+	fl := logger.NewFileLogger(fs, map[string]ocasta.FileSpec{
+		prefsPath: {App: "acrobat", Format: conffile.PostScript{}},
+	})
+	defer fl.Close()
+
+	// Acrobat flushes its whole preference file after each change.
+	flush := func(t time.Time, menuBar bool, zoom int) {
+		content := fmt.Sprintf("/Originals << /ShowMenuBar %v >>\n/Zoom %d\n", menuBar, zoom)
+		check(fs.WriteFile(prefsPath, []byte(content), t))
+	}
+	flush(base, true, 100)
+	flush(base.Add(24*time.Hour), true, 125)
+	flush(base.Add(48*time.Hour), true, 150)
+	// The corruption: ShowMenuBar flips to false.
+	errAt := base.Add(20 * 24 * time.Hour)
+	flush(errAt, false, 150)
+
+	menuKey := prefsPath + ":/Originals/ShowMenuBar"
+	hist, err := store.History(menuKey)
+	check(err)
+	fmt.Printf("TTKV history of %s (%d versions, inferred from file diffs):\n", menuKey, len(hist))
+	for _, v := range hist {
+		fmt.Printf("  %s -> %q\n", v.Time.Format("2006-01-02"), v.Value)
+	}
+
+	model := ocasta.AppModelByName("acrobat")
+	trial := []string{"launch", "open-fullscreen.pdf"}
+	tool := ocasta.NewRepairTool(store, model)
+	res, err := tool.Search(ocasta.RepairOptions{
+		Trial:  trial,
+		Oracle: ocasta.MarkerOracle("[x] menu-bar", "[ ] menu-bar"),
+	})
+	check(err)
+	if !res.Found {
+		panic("repair failed")
+	}
+	fmt.Printf("\nfix found after %d trials; offending cluster %v\n", res.Trials, res.Offending.Keys)
+	for _, s := range res.Screenshots {
+		fmt.Printf("--- screenshot (trial %d) ---\n%s", s.Trial, s.Rendered)
+	}
+	check(tool.ApplyFix(res, errAt.Add(time.Hour)))
+	if v, ok := store.Get(menuKey); ok {
+		fmt.Printf("\nrepaired value: %s = %q\n", menuKey, v)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,81 @@
+// evolutionmail runs the paper's error #8 end to end: Evolution Mail
+// unexpectedly starts in offline mode. The example records GConf traffic
+// through the interposition logger, injects the misconfiguration, searches
+// the TTKV history for the fix, and applies the rollback permanently.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"ocasta"
+	"ocasta/internal/gconf"
+)
+
+func main() {
+	base := time.Date(2013, 6, 1, 9, 0, 0, 0, time.UTC)
+	store := ocasta.NewStore()
+	logger := ocasta.NewLogger(store)
+
+	db := gconf.New()
+	detach := db.Attach(logger.GConfHook())
+	defer detach()
+	evo := db.Client("evolution")
+
+	const offline = "/apps/evolution/shell/start_offline"
+	const sync = "/apps/evolution/shell/offline_sync"
+
+	// Normal usage: the user toggles the offline preferences a few times;
+	// Evolution persists the dialog pair together.
+	for day := 0; day < 4; day++ {
+		t := base.Add(time.Duration(day) * 24 * time.Hour)
+		check(evo.SetBool(offline, false, t))
+		check(evo.SetBool(sync, day%2 == 0, t))
+	}
+	// Two weeks later something leaves start_offline stuck on — the error.
+	errAt := base.Add(18 * 24 * time.Hour)
+	check(evo.SetBool(offline, true, errAt))
+	check(evo.SetBool(sync, true, errAt))
+
+	model := ocasta.AppModelByName("evolution")
+	broken := model.Render(snapshot(store, model), []string{"launch"})
+	fmt.Println("the user sees:")
+	fmt.Print(broken)
+
+	tool := ocasta.NewRepairTool(store, model)
+	res, err := tool.Search(ocasta.RepairOptions{
+		Strategy: ocasta.StrategyDFS,
+		Trial:    []string{"launch"},
+		Oracle:   ocasta.MarkerOracle("[x] online-mode", "[ ] online-mode"),
+	})
+	check(err)
+	if !res.Found {
+		panic("repair failed")
+	}
+	fmt.Printf("\nfix found after %d trials (simulated %s):\n", res.Trials, res.SimTime)
+	fmt.Printf("  offending cluster: %v\n", res.Offending.Keys)
+	fmt.Printf("  rolled back to state at %s\n", res.FixAt.Format(time.RFC3339))
+
+	check(tool.ApplyFix(res, errAt.Add(time.Hour)))
+	fmt.Println("\nafter the permanent rollback:")
+	fmt.Print(model.Render(snapshot(store, model), []string{"launch"}))
+}
+
+// snapshot pulls the app's current configuration from the TTKV.
+func snapshot(store *ocasta.Store, model *ocasta.AppModel) ocasta.AppConfig {
+	cfg := make(ocasta.AppConfig)
+	for _, k := range store.Keys() {
+		if model.OwnsKey(k) {
+			if v, ok := store.Get(k); ok {
+				cfg[k] = v
+			}
+		}
+	}
+	return cfg
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,40 @@
+// Quickstart: feed Ocasta a write stream and get clusters of related
+// configuration settings back.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"ocasta"
+)
+
+func main() {
+	base := time.Date(2013, 6, 1, 12, 0, 0, 0, time.UTC)
+
+	// The application persists "mark_seen" and "mark_seen_timeout"
+	// together whenever the user touches the preferences dialog; the
+	// window geometry changes on its own.
+	var events []ocasta.Event
+	write := func(t time.Time, key, value string) {
+		events = append(events, ocasta.Event{
+			Time: t, Op: ocasta.OpWrite, Store: ocasta.StoreGConf,
+			App: "evolution", Key: key, Value: value,
+		})
+	}
+	for day := 0; day < 3; day++ {
+		t := base.Add(time.Duration(day) * 24 * time.Hour)
+		write(t, "/apps/evolution/mail/mark_seen", "b:true")
+		write(t, "/apps/evolution/mail/mark_seen_timeout", fmt.Sprintf("i:%d", 1000+day*500))
+		write(t.Add(3*time.Hour), "/apps/evolution/ui/window_geometry", fmt.Sprintf("s:800x%d", 600+day))
+	}
+
+	clusters := ocasta.ClusterEvents(events, ocasta.Config{}) // paper defaults
+	ocasta.SortForRecovery(clusters)
+
+	fmt.Printf("found %d clusters (%d multi-setting)\n",
+		len(clusters), len(ocasta.MultiKey(clusters)))
+	for _, c := range clusters {
+		fmt.Printf("  modified %d times: %v\n", c.ModCount, c.Keys)
+	}
+}

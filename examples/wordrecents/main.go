@@ -1,0 +1,80 @@
+// wordrecents reproduces the paper's Fig 1a narrative: Microsoft Word's
+// "Max Display" setting governs the "Item N" recently-used-document slots.
+// The example records Word's registry traffic through the interception
+// logger, then shows why the default clustering threshold splits the
+// dominant setting from the items — and how the paper's error-#2 tuning
+// (threshold 1, 30-second window) reunites them.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"ocasta"
+	"ocasta/internal/registry"
+)
+
+func main() {
+	base := time.Date(2013, 6, 1, 9, 0, 0, 0, time.UTC)
+	store := ocasta.NewStore()
+	logger := ocasta.NewLogger(store, ocasta.WithTraceRecording("word-machine"))
+
+	reg := registry.New()
+	detach := reg.Attach(logger.RegistryHook())
+	defer detach()
+	word := reg.Session("msword")
+
+	const dataKey = `HKCU\Software\Microsoft\Office\12.0\Word\Data`
+
+	// Day 0: the user sets the preference; Word persists Max Display and
+	// the items together.
+	t := base
+	check(word.SetValue(dataKey+`\Settings`, "Max Display", registry.DWordValue(4), t))
+	for i := 1; i <= 4; i++ {
+		check(word.SetValue(dataKey+`\MRU`, fmt.Sprintf("Item %d", i),
+			registry.String(fmt.Sprintf("report-%d.docx", i)), t))
+	}
+	// Days 1..5: documents are opened; only the items rotate.
+	for day := 1; day <= 5; day++ {
+		t = base.Add(time.Duration(day) * 24 * time.Hour)
+		for i := 1; i <= 4; i++ {
+			check(word.SetValue(dataKey+`\MRU`, fmt.Sprintf("Item %d", i),
+				registry.String(fmt.Sprintf("draft-%d-%d.docx", day, i)), t))
+		}
+	}
+	// Day 6: the user shrinks the list; Word updates Max Display AND
+	// deletes the extra items together — the Fig 1a dependency.
+	t = base.Add(6 * 24 * time.Hour)
+	check(word.SetValue(dataKey+`\Settings`, "Max Display", registry.DWordValue(2), t))
+	check(word.DeleteValue(dataKey+`\MRU`, "Item 3", t))
+	check(word.DeleteValue(dataKey+`\MRU`, "Item 4", t))
+
+	tr := logger.Trace()
+	fmt.Printf("recorded %d registry events into the TTKV (%d keys)\n\n",
+		len(tr.Events), store.Len())
+
+	show := func(title string, cfg ocasta.Config) {
+		clusters := ocasta.ClusterTrace(tr, "msword", cfg)
+		fmt.Println(title)
+		for _, c := range ocasta.MultiKey(clusters) {
+			fmt.Printf("  cluster of %d: %v\n", c.Size(), c.Keys)
+		}
+		for _, c := range clusters {
+			if c.Size() == 1 && c.Keys[0] == dataKey+`\Settings\Max Display` {
+				fmt.Printf("  singleton: %v  <- split from its items\n", c.Keys)
+			}
+		}
+		fmt.Println()
+	}
+
+	show("default parameters (window 1s, threshold 2):", ocasta.Config{})
+	show("error-#2 tuning (window 30s, threshold 1):", ocasta.Config{
+		Window: 30 * time.Second, Threshold: 1,
+	})
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,258 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"ocasta/internal/trace"
+)
+
+func TestModelsRoster(t *testing.T) {
+	ms := Models()
+	if len(ms) != 11 {
+		t.Fatalf("Models() = %d models, want 11 (Table II)", len(ms))
+	}
+	seen := make(map[string]bool)
+	for _, m := range ms {
+		if m.Name == "" || m.DisplayName == "" || m.Description == "" {
+			t.Errorf("model %q has empty identity fields", m.Name)
+		}
+		if seen[m.Name] {
+			t.Errorf("duplicate model name %q", m.Name)
+		}
+		seen[m.Name] = true
+		if !m.Store.Valid() {
+			t.Errorf("model %q has invalid store", m.Name)
+		}
+		if len(m.Elements) == 0 {
+			t.Errorf("model %q has no UI elements", m.Name)
+		}
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	if m := ModelByName("msword"); m == nil || m.DisplayName != "MS Word" {
+		t.Errorf("ModelByName(msword) = %+v", m)
+	}
+	if m := ModelByName("nope"); m != nil {
+		t.Errorf("ModelByName(nope) = %+v, want nil", m)
+	}
+}
+
+// Table II key counts: the models must reproduce the paper's #Keys column.
+func TestKeyCountsMatchTableII(t *testing.T) {
+	want := map[string]int{
+		"outlook": 182, "evolution": 183, "ie": 33, "chrome": 35,
+		"msword": 143, "gedit": 10, "mspaint": 66, "eog": 5,
+		"acrobat": 751, "explorer": 298, "wmp": 165,
+	}
+	total := 0
+	for _, m := range Models() {
+		got := m.KeyCount()
+		if got != want[m.Name] {
+			t.Errorf("%s: KeyCount = %d, want %d", m.Name, got, want[m.Name])
+		}
+		total += got
+	}
+	if total != 1871 {
+		t.Errorf("total keys = %d, want 1871 (Table II)", total)
+	}
+}
+
+func TestNoDuplicateKeysWithinModel(t *testing.T) {
+	for _, m := range Models() {
+		seen := make(map[string]string)
+		add := func(key, where string) {
+			if prev, dup := seen[key]; dup {
+				t.Errorf("%s: key %q in both %s and %s", m.Name, key, prev, where)
+			}
+			seen[key] = where
+		}
+		for i := range m.Groups {
+			for _, ks := range m.Groups[i].Keys {
+				add(ks.Key, "group "+m.Groups[i].Name)
+			}
+		}
+		for i := range m.Singletons {
+			add(m.Singletons[i].Key, "singleton")
+		}
+		for i := range m.Noise {
+			add(m.Noise[i].Key, "noise")
+		}
+		for _, k := range m.ReadOnly {
+			add(k, "readonly")
+		}
+	}
+}
+
+func TestOwnsKey(t *testing.T) {
+	word := Word()
+	if !word.OwnsKey(KeyWordMaxDisplay) {
+		t.Error("Word must own its Max Display key")
+	}
+	if word.OwnsKey(KeyOutlookNavPane) {
+		t.Error("Word must not own Outlook keys")
+	}
+	chrome := Chrome()
+	if !chrome.OwnsKey(KeyChromeBookmarkBar) {
+		t.Error("Chrome must own its bookmark bar key")
+	}
+	if chrome.OwnsKey(AcrobatPrefs + ":/x") {
+		t.Error("Chrome must not own Acrobat file keys")
+	}
+}
+
+func TestAllKeysBelongToModel(t *testing.T) {
+	for _, m := range Models() {
+		for _, k := range m.AllWritableKeys() {
+			if !m.OwnsKey(k) {
+				t.Errorf("%s: writable key %q fails OwnsKey", m.Name, k)
+			}
+		}
+		for _, k := range m.ReadOnly {
+			if !m.OwnsKey(k) {
+				t.Errorf("%s: readonly key %q fails OwnsKey", m.Name, k)
+			}
+		}
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	m := Chrome()
+	cfg := Config{KeyChromeBookmarkBar: "true", KeyChromeHomeButton: "false"}
+	a := m.Render(cfg, []string{"launch"})
+	b := m.Render(cfg.Clone(), []string{"launch"})
+	if a != b {
+		t.Error("Render must be deterministic for identical inputs")
+	}
+	if !strings.Contains(a, "[x] bookmark-bar") {
+		t.Errorf("bookmark bar should be visible:\n%s", a)
+	}
+	if !strings.Contains(a, "[ ] home-button") {
+		t.Errorf("home button should be hidden:\n%s", a)
+	}
+}
+
+func TestRenderChangesWithConfig(t *testing.T) {
+	m := Acrobat()
+	good := Config{KeyAcroShowMenuBar: "true"}
+	bad := Config{KeyAcroShowMenuBar: "false"}
+	actions := []string{"open-fullscreen.pdf"}
+	if m.Render(good, actions) == m.Render(bad, actions) {
+		t.Error("config change must alter the rendered screen")
+	}
+	if !strings.Contains(m.Render(bad, actions), "[ ] menu-bar") {
+		t.Error("menu bar must disappear for the bad config")
+	}
+	// Without the triggering document, the menu bar stays visible (the
+	// paper's error #15 manifests only for certain PDFs).
+	if !strings.Contains(m.Render(bad, []string{"open-normal.pdf"}), "[x] menu-bar") {
+		t.Error("menu bar must be visible for ordinary documents")
+	}
+}
+
+func TestWordMRUElement(t *testing.T) {
+	m := Word()
+	cfg := Config{
+		KeyWordMaxDisplay: "REG_DWORD:9",
+		WordItemKey(1):    "REG_SZ:a.docx",
+		WordItemKey(2):    "REG_SZ:b.docx",
+	}
+	screen := m.Render(cfg, nil)
+	if !strings.Contains(screen, "[x] recent-documents") || !strings.Contains(screen, "a.docx") {
+		t.Errorf("MRU should be visible with items:\n%s", screen)
+	}
+	// Error #2 state: Max Display zeroed and items deleted.
+	broken := Config{KeyWordMaxDisplay: "REG_DWORD:0"}
+	screen = m.Render(broken, nil)
+	if !strings.Contains(screen, "[ ] recent-documents") {
+		t.Errorf("MRU must be hidden in the error state:\n%s", screen)
+	}
+}
+
+func TestFlagSet(t *testing.T) {
+	cfg := Config{
+		"t1": "b:true", "t2": "REG_DWORD:1", "t3": "true", "t4": "1",
+		"f1": "b:false", "f2": "REG_DWORD:0", "f3": "false", "f4": "0",
+		"odd": "REG_SZ:something",
+	}
+	for _, k := range []string{"t1", "t2", "t3", "t4"} {
+		if !FlagSet(cfg, k, false) {
+			t.Errorf("FlagSet(%s) = false, want true", k)
+		}
+	}
+	for _, k := range []string{"f1", "f2", "f3", "f4"} {
+		if FlagSet(cfg, k, true) {
+			t.Errorf("FlagSet(%s) = true, want false", k)
+		}
+	}
+	if !FlagSet(cfg, "missing", true) || FlagSet(cfg, "missing", false) {
+		t.Error("FlagSet must fall back to the missing default")
+	}
+	if !FlagSet(cfg, "odd", true) || FlagSet(cfg, "odd", false) {
+		t.Error("unparseable values must fall back to the missing default")
+	}
+}
+
+func TestConfigClone(t *testing.T) {
+	cfg := Config{"a": "1"}
+	cl := cfg.Clone()
+	cl["a"] = "2"
+	cl["b"] = "3"
+	if cfg["a"] != "1" || len(cfg) != 1 {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestGroundTruthGroupsCoverMultiKeyGroups(t *testing.T) {
+	m := Evolution()
+	gt := m.GroundTruthGroups()
+	if len(gt) != len(m.Groups) {
+		t.Fatalf("gt groups = %d, want %d", len(gt), len(m.Groups))
+	}
+	found := false
+	for _, g := range gt {
+		for _, k := range g {
+			if k == KeyEvoMarkSeen {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("mark_seen must be part of a ground-truth group")
+	}
+}
+
+func TestKeySpecValueGenerators(t *testing.T) {
+	plain := KeySpec{Key: `HKCU\App\some_setting`}
+	if got := plain.Value(3); got != "some_setting#3" {
+		t.Errorf("generic value = %q", got)
+	}
+	slash := KeySpec{Key: "/apps/x/key"}
+	if got := slash.Value(0); got != "key#0" {
+		t.Errorf("slash-path value = %q", got)
+	}
+	c := KeySpec{Key: "k", Gen: constGen("fixed")}
+	if c.Value(0) != "fixed" || c.Value(9) != "fixed" {
+		t.Error("constGen wrong")
+	}
+	cy := KeySpec{Key: "k", Gen: cycleGen("a", "b")}
+	if cy.Value(0) != "a" || cy.Value(1) != "b" || cy.Value(2) != "a" {
+		t.Error("cycleGen wrong")
+	}
+}
+
+func TestStoreKindsPerTableIII(t *testing.T) {
+	wantStore := map[string]trace.StoreKind{
+		"outlook": trace.StoreRegistry, "msword": trace.StoreRegistry,
+		"ie": trace.StoreRegistry, "explorer": trace.StoreRegistry,
+		"wmp": trace.StoreRegistry, "mspaint": trace.StoreRegistry,
+		"evolution": trace.StoreGConf, "eog": trace.StoreGConf, "gedit": trace.StoreGConf,
+		"chrome": trace.StoreFile, "acrobat": trace.StoreFile,
+	}
+	for _, m := range Models() {
+		if m.Store != wantStore[m.Name] {
+			t.Errorf("%s store = %v, want %v", m.Name, m.Store, wantStore[m.Name])
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package apps models the 11 desktop applications of the paper's
+// evaluation (Table II). Each model declares the application's
+// configuration universe — related-setting groups (the ground truth
+// clustering is scored against), independent settings, read-only settings,
+// and high-frequency non-configuration state keys — plus a deterministic
+// "screen" renderer that the repair tool screenshots and the simulated user
+// inspects.
+//
+// The update behaviours encoded in the group specs (co-flush bundles,
+// dominant keys, split-second flushes) are what produce the oversized and
+// undersized clusters the paper analyses in §VI-A.
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ocasta/internal/conffile"
+	"ocasta/internal/trace"
+)
+
+// Config is an application's configuration state: native key to encoded
+// value.
+type Config map[string]string
+
+// Clone returns a copy of the config.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// KeySpec is one setting: its native key and a deterministic generator for
+// the value written at a given update episode.
+type KeySpec struct {
+	Key string
+	// Gen produces the value written at episode e (0-based). Nil means the
+	// generic "<short>#<e>" placeholder.
+	Gen func(e int) string
+}
+
+// Value returns the value for episode e.
+func (ks KeySpec) Value(e int) string {
+	if ks.Gen != nil {
+		return ks.Gen(e)
+	}
+	short := ks.Key
+	if i := strings.LastIndexAny(short, `\/`); i >= 0 {
+		short = short[i+1:]
+	}
+	return fmt.Sprintf("%s#%d", short, e)
+}
+
+// GroupSpec is a ground-truth group of related settings together with its
+// update behaviour, which the workload generator reproduces.
+type GroupSpec struct {
+	Name string
+	Keys []KeySpec
+	// Episodes is how many co-update episodes the group receives over a
+	// full trace.
+	Episodes int
+	// Bundle links groups that always flush in the same second (one
+	// settings-dialog "Apply" persisting several dependent groups at
+	// once). Groups sharing a non-zero Bundle id become one oversized
+	// cluster under a 1-second window — the paper's main error source.
+	Bundle int
+	// DominantEvery, when > 0, makes the first RareCount keys (default 1)
+	// rarely-changing dominant settings that join only every n-th episode,
+	// while the remaining keys are co-written every episode (the Microsoft
+	// Word Fig 1a pattern). The extracted cluster is then undersized with
+	// respect to the ground truth.
+	DominantEvery int
+	// RareCount is how many leading keys are on the rarely-changing side
+	// when DominantEvery > 0. Zero means 1.
+	RareCount int
+	// SplitFlush makes roughly half of episodes stagger their writes
+	// across two adjacent seconds, which a 1-second window still groups
+	// but a 0-second window does not (the Fig 3a cliff).
+	SplitFlush bool
+	// EarlyOnly schedules every episode within the first 40% of the
+	// trace. Fault-related settings use it so an injected error is not
+	// erased by later legitimate writes — mirroring the paper's
+	// requirement that the offending settings have history but stay
+	// untouched after the error appears.
+	EarlyOnly bool
+}
+
+// GroupKeys returns the native keys of the group.
+func (g *GroupSpec) GroupKeys() []string {
+	out := make([]string, len(g.Keys))
+	for i, ks := range g.Keys {
+		out[i] = ks.Key
+	}
+	return out
+}
+
+// SingletonSpec is an independent setting with its own update count.
+type SingletonSpec struct {
+	KeySpec
+	Episodes int
+	// EarlyOnly schedules every episode within the first 40% of the
+	// trace (see GroupSpec.EarlyOnly).
+	EarlyOnly bool
+}
+
+// UIElement is one observable piece of the application's interface whose
+// state depends on configuration settings.
+type UIElement struct {
+	Name string
+	// Visible decides from config and the trial's UI actions whether the
+	// element shows on screen.
+	Visible func(cfg Config, actions []string) bool
+	// Detail optionally renders element content (e.g. the recent-file
+	// list), so content changes alter the screenshot too.
+	Detail func(cfg Config) string
+}
+
+// Model is one simulated application.
+type Model struct {
+	Name        string // canonical id ("msword")
+	DisplayName string // "MS Word"
+	Description string // "Word Processor" (Table II column)
+	Store       trace.StoreKind
+	// ConfigPath roots the app's keys: a registry prefix, a GConf prefix,
+	// or a configuration file path.
+	ConfigPath string
+	FileFormat conffile.Format // only for StoreFile
+	Groups     []GroupSpec
+	Singletons []SingletonSpec
+	// ReadOnly settings are present and read at launch but never written,
+	// so they contribute to Table I/II key counts but never to clusters.
+	ReadOnly []string
+	// Noise keys are high-frequency non-configuration state (window
+	// geometry, MRU timestamps) written many times per session.
+	Noise    []KeySpec
+	Elements []UIElement
+}
+
+// OwnsKey reports whether a TTKV key belongs to this application.
+func (m *Model) OwnsKey(key string) bool {
+	switch m.Store {
+	case trace.StoreFile:
+		return strings.HasPrefix(key, m.ConfigPath+":")
+	default:
+		return key == m.ConfigPath || strings.HasPrefix(key, m.ConfigPath+sep(m.Store))
+	}
+}
+
+func sep(s trace.StoreKind) string {
+	if s == trace.StoreRegistry {
+		return `\`
+	}
+	return "/"
+}
+
+// AllWritableKeys returns every key the workload may write, sorted.
+func (m *Model) AllWritableKeys() []string {
+	var out []string
+	for i := range m.Groups {
+		out = append(out, m.Groups[i].GroupKeys()...)
+	}
+	for i := range m.Singletons {
+		out = append(out, m.Singletons[i].Key)
+	}
+	for i := range m.Noise {
+		out = append(out, m.Noise[i].Key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KeyCount returns the total settings universe (Table II "#Keys"):
+// writable plus read-only.
+func (m *Model) KeyCount() int {
+	return len(m.AllWritableKeys()) + len(m.ReadOnly)
+}
+
+// GroundTruthGroups returns the related-setting groups for accuracy
+// scoring.
+func (m *Model) GroundTruthGroups() [][]string {
+	out := make([][]string, 0, len(m.Groups))
+	for i := range m.Groups {
+		out = append(out, m.Groups[i].GroupKeys())
+	}
+	return out
+}
+
+// Render draws the application screen for a configuration and a trial's UI
+// actions. Identical (config, actions) always produce identical output, so
+// screenshots can be compared byte-for-byte as the paper compares images.
+func (m *Model) Render(cfg Config, actions []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s ===\n", m.DisplayName)
+	fmt.Fprintf(&sb, "actions: %s\n", strings.Join(actions, "; "))
+	for i := range m.Elements {
+		el := &m.Elements[i]
+		mark := "[ ]"
+		if el.Visible == nil || el.Visible(cfg, actions) {
+			mark = "[x]"
+		}
+		fmt.Fprintf(&sb, "%s %s", mark, el.Name)
+		if el.Detail != nil {
+			if d := el.Detail(cfg); d != "" {
+				fmt.Fprintf(&sb, " {%s}", d)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// --- config interpretation helpers shared by element definitions ---
+
+// FlagSet interprets an encoded value as a boolean flag across the three
+// stores' encodings. missing selects the result when the key is absent.
+func FlagSet(cfg Config, key string, missing bool) bool {
+	v, ok := cfg[key]
+	if !ok {
+		return missing
+	}
+	switch v {
+	case "b:true", "REG_DWORD:1", "true", "1", "s:true", "REG_SZ:1", "REG_SZ:true":
+		return true
+	case "b:false", "REG_DWORD:0", "false", "0", "s:false", "REG_SZ:0", "REG_SZ:false":
+		return false
+	default:
+		return missing
+	}
+}
+
+// Raw returns the encoded value or "" when absent.
+func Raw(cfg Config, key string) string { return cfg[key] }
+
+// HasAction reports whether the trial performed the named UI action.
+func HasAction(actions []string, name string) bool {
+	for _, a := range actions {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// constGen returns a generator that always emits v (stable settings whose
+// rewrites carry the same value).
+func constGen(v string) func(int) string { return func(int) string { return v } }
+
+// cycleGen returns a generator cycling through vs.
+func cycleGen(vs ...string) func(int) string {
+	return func(e int) string { return vs[e%len(vs)] }
+}

@@ -1,0 +1,87 @@
+package apps
+
+import "fmt"
+
+// Generators for the bulk of each application's configuration universe.
+// The handful of settings involved in the paper's 16 errors are declared
+// by hand in models.go; the rest of the key population (generic related
+// groups, independent settings, read-only settings, noise state) is
+// synthesized here so each model matches its Table II row.
+
+// genGroups makes count clean related-setting groups under prefix, with
+// sizes alternating 2 and 3 and deterministic per-group episode counts.
+// Every third group staggers its flushes across two adjacent seconds (the
+// Fig 3a zero-window cliff).
+func genGroups(prefix, sp string, count int) []GroupSpec {
+	out := make([]GroupSpec, 0, count)
+	for i := 0; i < count; i++ {
+		size := 2 + i%2
+		keys := make([]KeySpec, 0, size)
+		for k := 0; k < size; k++ {
+			keys = append(keys, KeySpec{Key: fmt.Sprintf("%s%sgroup%03d%sk%d", prefix, sp, i, sp, k)})
+		}
+		out = append(out, GroupSpec{
+			Name:       fmt.Sprintf("group%03d", i),
+			Keys:       keys,
+			Episodes:   3 + i%6,
+			SplitFlush: i%3 != 2,
+		})
+	}
+	return out
+}
+
+// genBundles makes nBundles co-flush bundles, each of groupsPer 2-key
+// groups. Groups in a bundle always persist in the same second, so the
+// 1-second window merges them into one oversized cluster. bundleBase keeps
+// bundle ids unique within a model.
+func genBundles(prefix, sp string, nBundles, groupsPer, bundleBase int) []GroupSpec {
+	var out []GroupSpec
+	for b := 0; b < nBundles; b++ {
+		id := bundleBase + b
+		for g := 0; g < groupsPer; g++ {
+			keys := []KeySpec{
+				{Key: fmt.Sprintf("%s%sbundle%02d%sg%d%sk0", prefix, sp, id, sp, g, sp)},
+				{Key: fmt.Sprintf("%s%sbundle%02d%sg%d%sk1", prefix, sp, id, sp, g, sp)},
+			}
+			out = append(out, GroupSpec{
+				Name:     fmt.Sprintf("bundle%02d-g%d", id, g),
+				Keys:     keys,
+				Episodes: 2 + b%3,
+				Bundle:   id + 1,
+			})
+		}
+	}
+	return out
+}
+
+// genSingles makes count independent settings with 1-8 episodes each.
+func genSingles(prefix, sp string, count int) []SingletonSpec {
+	out := make([]SingletonSpec, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, SingletonSpec{
+			KeySpec:  KeySpec{Key: fmt.Sprintf("%s%ssingle%03d", prefix, sp, i)},
+			Episodes: 1 + i%4,
+		})
+	}
+	return out
+}
+
+// genReadOnly makes count settings that are read at launch but never
+// written (they count toward #Keys, never toward clusters).
+func genReadOnly(prefix, sp string, count int) []string {
+	out := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, fmt.Sprintf("%s%sro%03d", prefix, sp, i))
+	}
+	return out
+}
+
+// genNoise makes count high-frequency non-configuration state keys
+// (window geometry, MRU timestamps) written many times per session.
+func genNoise(prefix, sp string, count int) []KeySpec {
+	out := make([]KeySpec, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, KeySpec{Key: fmt.Sprintf("%s%snoise%02d", prefix, sp, i)})
+	}
+	return out
+}

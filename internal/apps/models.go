@@ -1,0 +1,639 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"ocasta/internal/conffile"
+	"ocasta/internal/trace"
+)
+
+// Native key paths used by the fault catalog (internal/faults) and the
+// examples. Exported so the error scenarios reference the same identities.
+const (
+	OutlookPrefix      = `HKCU\Software\Microsoft\Office\12.0\Outlook`
+	KeyOutlookNavPane  = OutlookPrefix + `\Preferences\ShowNavPane`
+	KeyOutlookNavWidth = OutlookPrefix + `\Preferences\NavPaneWidth`
+
+	WordPrefix        = `HKCU\Software\Microsoft\Office\12.0\Word`
+	KeyWordMaxDisplay = WordPrefix + `\Data\Settings\Max Display`
+	wordItemFmt       = WordPrefix + `\Data\MRU\Item %d`
+
+	IEPrefix         = `HKCU\Software\Microsoft\Internet Explorer`
+	KeyIENoAddonDlg  = IEPrefix + `\Ext\DisableAddonPrompt`
+	KeyIEApprovedCnt = IEPrefix + `\Ext\ApprovedCount`
+
+	ExplorerPrefix    = `HKCU\Software\Microsoft\Windows\CurrentVersion\Explorer`
+	KeyFlvMRUList     = ExplorerPrefix + `\FileExts\.flv\OpenWithList\MRUList`
+	KeyFlvAppA        = ExplorerPrefix + `\FileExts\.flv\OpenWithList\a`
+	KeyFlvAppB        = ExplorerPrefix + `\FileExts\.flv\OpenWithList\b`
+	KeyImgWindowMode  = ExplorerPrefix + `\Streams\ImageWindow\Mode`
+	KeyImgWindowPlace = ExplorerPrefix + `\Streams\ImageWindow\Placement`
+
+	WMPPrefix          = `HKCU\Software\Microsoft\MediaPlayer`
+	KeyWMPCaptionsOn   = WMPPrefix + `\Player\Settings\CaptionsOn`
+	KeyWMPCaptionsLang = WMPPrefix + `\Player\Settings\CaptionsLang`
+	KeyWMPCaptionsSize = WMPPrefix + `\Player\Settings\CaptionsSize`
+	KeyWMPCaptionsClr  = WMPPrefix + `\Player\Settings\CaptionsColor`
+
+	PaintPrefix          = `HKCU\Software\Microsoft\Paint`
+	KeyPaintShowTextTool = PaintPrefix + `\View\ShowTextTool`
+
+	EvolutionPrefix    = `/apps/evolution`
+	KeyEvoStartOffline = EvolutionPrefix + "/shell/start_offline"
+	KeyEvoOfflineSync  = EvolutionPrefix + "/shell/offline_sync"
+	KeyEvoMarkSeen     = EvolutionPrefix + "/mail/display/mark_seen"
+	KeyEvoMarkSeenTime = EvolutionPrefix + "/mail/display/mark_seen_timeout"
+	KeyEvoReplyBottom  = EvolutionPrefix + "/mail/composer/reply_start_bottom"
+	KeyEvoTopSignature = EvolutionPrefix + "/mail/composer/top_signature"
+
+	EOGPrefix      = "/apps/eog"
+	KeyEOGPrinting = EOGPrefix + "/print/enable_printing"
+
+	GEditPrefix        = "/apps/gedit-2"
+	KeyGEditSaveScheme = GEditPrefix + "/preferences/editor/save/save_scheme"
+
+	ChromePrefs          = "/home/user/.config/google-chrome/Default/Preferences"
+	KeyChromeBookmarkBar = ChromePrefs + ":/bookmark_bar/show"
+	KeyChromeHomeButton  = ChromePrefs + ":/browser/show_home_button"
+
+	AcrobatPrefs       = "/home/user/.adobe/Acrobat/9.0/Preferences/reader_prefs"
+	KeyAcroShowMenuBar = AcrobatPrefs + ":/Originals/ShowMenuBar"
+	KeyAcroShowFind    = AcrobatPrefs + ":/Toolbars/ShowFind"
+)
+
+// WordItemKey returns the registry key of MRU slot n (1-based), as in
+// Fig 1a of the paper.
+func WordItemKey(n int) string { return fmt.Sprintf(wordItemFmt, n) }
+
+// addSettingsPanel appends a generic panel element that displays the
+// values of a few independent settings, so rolling those settings back
+// produces visibly different screenshots — the source of the "unique
+// screenshots the user must examine" count in Table IV.
+func addSettingsPanel(m *Model) {
+	var keys []string
+	for _, idx := range []int{0, len(m.Singletons) / 2, len(m.Singletons) - 1} {
+		if idx >= 0 && idx < len(m.Singletons) {
+			keys = append(keys, m.Singletons[idx].Key)
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	m.Elements = append(m.Elements, UIElement{
+		Name: "settings-panel",
+		Detail: func(cfg Config) string {
+			parts := make([]string, 0, len(keys))
+			for _, k := range keys {
+				if v, ok := cfg[k]; ok {
+					parts = append(parts, v)
+				}
+			}
+			return strings.Join(parts, "|")
+		},
+	})
+}
+
+// WordMRUSlots is how many recently-used-document slots the Word model
+// maintains; together with Max Display they form the Fig 1a ground-truth
+// group.
+const WordMRUSlots = 8
+
+// Models returns all 11 application models of Table II, freshly
+// constructed (callers may mutate them safely).
+func Models() []*Model {
+	return []*Model{
+		Outlook(), Evolution(), InternetExplorer(), Chrome(), Word(),
+		GEdit(), Paint(), EyeOfGNOME(), Acrobat(), Explorer(), MediaPlayer(),
+	}
+}
+
+// ModelByName returns the model with the given canonical name, or nil.
+func ModelByName(name string) *Model {
+	for _, m := range Models() {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Outlook models MS Outlook (Table II: 182 keys, 33/82 clusters, 97.0%).
+func Outlook() *Model {
+	m := &Model{
+		Name: "outlook", DisplayName: "MS Outlook", Description: "E-mail Client",
+		Store: trace.StoreRegistry, ConfigPath: OutlookPrefix,
+	}
+	m.Groups = append(m.Groups, GroupSpec{
+		Name: "navpane",
+		Keys: []KeySpec{
+			{Key: KeyOutlookNavPane, Gen: constGen("REG_DWORD:1")},
+			{Key: KeyOutlookNavWidth, Gen: cycleGen("REG_DWORD:200", "REG_DWORD:250", "REG_DWORD:300")},
+		},
+		Episodes:  3,
+		EarlyOnly: true,
+	})
+	m.Groups = append(m.Groups, genGroups(OutlookPrefix, `\`, 31)...)
+	m.Groups = append(m.Groups, genBundles(OutlookPrefix, `\`, 1, 2, 0)...)
+	m.Singletons = genSingles(OutlookPrefix, `\`, 43)
+	m.Noise = genNoise(OutlookPrefix, `\`, 6)
+	m.ReadOnly = genReadOnly(OutlookPrefix, `\`, 182-m.KeyCount())
+	m.Elements = []UIElement{
+		{Name: "navigation-panel", Visible: func(cfg Config, _ []string) bool {
+			return FlagSet(cfg, KeyOutlookNavPane, true)
+		}},
+		{Name: "inbox", Visible: nil},
+	}
+	addSettingsPanel(m)
+	return m
+}
+
+// Word models MS Word (Table II: 143 keys, 18/110 clusters, 100%).
+// Its MRU group reproduces Fig 1a: Max Display is a dominant setting that
+// changes rarely, while the Item slots change on every document open, so
+// the default threshold extracts the undersized-but-correct Items cluster.
+func Word() *Model {
+	m := &Model{
+		Name: "msword", DisplayName: "MS Word", Description: "Word Processor",
+		Store: trace.StoreRegistry, ConfigPath: WordPrefix,
+	}
+	mru := GroupSpec{
+		Name: "recent-documents",
+		Keys: []KeySpec{{Key: KeyWordMaxDisplay, Gen: cycleGen("REG_DWORD:9", "REG_DWORD:6", "REG_DWORD:8")}},
+		// Items co-write on every document open; Max Display joins only
+		// when the user edits the preference.
+		Episodes:      30,
+		DominantEvery: 6,
+		EarlyOnly:     true,
+	}
+	for i := 1; i <= WordMRUSlots; i++ {
+		slot := i
+		mru.Keys = append(mru.Keys, KeySpec{
+			Key: WordItemKey(slot),
+			Gen: func(e int) string { return fmt.Sprintf("REG_SZ:doc-%d-%d.docx", slot, e) },
+		})
+	}
+	m.Groups = append(m.Groups, mru)
+	m.Groups = append(m.Groups, genGroups(WordPrefix, `\`, 17)...)
+	m.Singletons = genSingles(WordPrefix, `\`, 85)
+	m.Noise = genNoise(WordPrefix, `\`, 6)
+	m.ReadOnly = genReadOnly(WordPrefix, `\`, 143-m.KeyCount())
+	m.Elements = []UIElement{
+		{
+			Name: "recent-documents",
+			Visible: func(cfg Config, _ []string) bool {
+				raw := Raw(cfg, KeyWordMaxDisplay)
+				return raw != "" && raw != "REG_DWORD:0" && anyWordItem(cfg)
+			},
+			Detail: wordMRUDetail,
+		},
+		{Name: "document-pane", Visible: nil},
+	}
+	addSettingsPanel(m)
+	return m
+}
+
+func anyWordItem(cfg Config) bool {
+	for i := 1; i <= WordMRUSlots; i++ {
+		if _, ok := cfg[WordItemKey(i)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func wordMRUDetail(cfg Config) string {
+	var items []string
+	for i := 1; i <= WordMRUSlots; i++ {
+		if v, ok := cfg[WordItemKey(i)]; ok {
+			items = append(items, v)
+		}
+	}
+	return strings.Join(items, ",")
+}
+
+// InternetExplorer models IE (Table II: 33 keys, 9/12 clusters, 66.7%).
+func InternetExplorer() *Model {
+	m := &Model{
+		Name: "ie", DisplayName: "Internet Explorer", Description: "Web Browser",
+		Store: trace.StoreRegistry, ConfigPath: IEPrefix,
+	}
+	m.Groups = append(m.Groups, GroupSpec{
+		Name: "addon-approval",
+		Keys: []KeySpec{
+			{Key: KeyIENoAddonDlg, Gen: constGen("REG_DWORD:1")},
+			{Key: KeyIEApprovedCnt, Gen: cycleGen("REG_DWORD:3", "REG_DWORD:4", "REG_DWORD:5")},
+		},
+		Episodes:  3,
+		EarlyOnly: true,
+	})
+	m.Groups = append(m.Groups, genGroups(IEPrefix, `\`, 5)...)
+	m.Groups = append(m.Groups, genBundles(IEPrefix, `\`, 3, 2, 0)...)
+	m.Singletons = genSingles(IEPrefix, `\`, 2)
+	m.Noise = genNoise(IEPrefix, `\`, 1)
+	m.ReadOnly = genReadOnly(IEPrefix, `\`, 33-m.KeyCount())
+	m.Elements = []UIElement{
+		{Name: "addon-warning-dialog", Visible: func(cfg Config, _ []string) bool {
+			return !FlagSet(cfg, KeyIENoAddonDlg, true)
+		}},
+		{Name: "browser-window", Visible: nil},
+	}
+	addSettingsPanel(m)
+	return m
+}
+
+// Chrome models Chrome Browser (Table II: 35 keys, 1/34 clusters, 100%).
+func Chrome() *Model {
+	m := &Model{
+		Name: "chrome", DisplayName: "Chrome Browser", Description: "Web Browser",
+		Store: trace.StoreFile, ConfigPath: ChromePrefs, FileFormat: conffile.JSON{},
+	}
+	m.Groups = append(m.Groups, GroupSpec{
+		Name: "sync",
+		Keys: []KeySpec{
+			{Key: ChromePrefs + ":/sync/enabled", Gen: constGen("true")},
+			{Key: ChromePrefs + ":/sync/account", Gen: cycleGen("user@example.com", "user2@example.com")},
+		},
+		Episodes: 2,
+	})
+	m.Singletons = append(m.Singletons,
+		SingletonSpec{KeySpec: KeySpec{Key: KeyChromeBookmarkBar, Gen: constGen("true")}, Episodes: 3, EarlyOnly: true},
+		SingletonSpec{KeySpec: KeySpec{Key: KeyChromeHomeButton, Gen: constGen("true")}, Episodes: 2, EarlyOnly: true},
+	)
+	m.Singletons = append(m.Singletons, genSinglesFile(ChromePrefs, 29)...)
+	m.Noise = []KeySpec{
+		{Key: ChromePrefs + ":/session/last_window_rect"},
+		{Key: ChromePrefs + ":/session/last_active_time"},
+	}
+	m.Elements = []UIElement{
+		{Name: "bookmark-bar", Visible: func(cfg Config, _ []string) bool {
+			return FlagSet(cfg, KeyChromeBookmarkBar, true)
+		}},
+		{Name: "home-button", Visible: func(cfg Config, _ []string) bool {
+			return FlagSet(cfg, KeyChromeHomeButton, true)
+		}},
+		{Name: "omnibox", Visible: nil},
+	}
+	addSettingsPanel(m)
+	return m
+}
+
+// genSinglesFile generates independent flattened-file settings.
+func genSinglesFile(path string, count int) []SingletonSpec {
+	out := make([]SingletonSpec, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, SingletonSpec{
+			KeySpec:  KeySpec{Key: fmt.Sprintf("%s:/settings/single%03d", path, i)},
+			Episodes: 1 + i%4,
+		})
+	}
+	return out
+}
+
+// Evolution models Evolution Mail (Table II: 183 keys, 18/65, 38.9%).
+// Its many co-flush bundles — including one six-group bundle, which the
+// paper calls out explicitly — are why its accuracy is the worst.
+func Evolution() *Model {
+	m := &Model{
+		Name: "evolution", DisplayName: "Evolution Mail", Description: "E-mail Client",
+		Store: trace.StoreGConf, ConfigPath: EvolutionPrefix,
+	}
+	m.Groups = append(m.Groups,
+		GroupSpec{
+			Name: "offline",
+			Keys: []KeySpec{
+				{Key: KeyEvoStartOffline, Gen: constGen("b:false")},
+				{Key: KeyEvoOfflineSync, Gen: cycleGen("b:true", "b:false")},
+			},
+			Episodes:  3,
+			EarlyOnly: true,
+		},
+		GroupSpec{
+			Name: "mark-seen",
+			Keys: []KeySpec{
+				{Key: KeyEvoMarkSeen, Gen: constGen("b:true")},
+				{Key: KeyEvoMarkSeenTime, Gen: cycleGen("i:1500", "i:2000", "i:1000")},
+			},
+			Episodes:  4,
+			EarlyOnly: true,
+		},
+		GroupSpec{
+			Name: "reply-position",
+			Keys: []KeySpec{
+				{Key: KeyEvoReplyBottom, Gen: constGen("b:false")},
+				{Key: KeyEvoTopSignature, Gen: cycleGen("b:true", "b:false")},
+			},
+			Episodes:  3,
+			EarlyOnly: true,
+		},
+	)
+	m.Groups = append(m.Groups, genGroups(EvolutionPrefix, "/", 4)...)
+	// One 6-group bundle plus ten 2-group bundles -> 11 oversized clusters.
+	m.Groups = append(m.Groups, genBundles(EvolutionPrefix, "/", 1, 6, 0)...)
+	m.Groups = append(m.Groups, genBundles(EvolutionPrefix, "/", 10, 2, 10)...)
+	m.Singletons = genSingles(EvolutionPrefix, "/", 43)
+	m.Noise = genNoise(EvolutionPrefix, "/", 4)
+	m.ReadOnly = genReadOnly(EvolutionPrefix, "/", 183-m.KeyCount())
+	m.Elements = []UIElement{
+		{Name: "online-mode", Visible: func(cfg Config, _ []string) bool {
+			return !FlagSet(cfg, KeyEvoStartOffline, false)
+		}},
+		{Name: "auto-mark-read", Visible: func(cfg Config, _ []string) bool {
+			if !FlagSet(cfg, KeyEvoMarkSeen, true) {
+				return false
+			}
+			timeout := Raw(cfg, KeyEvoMarkSeenTime)
+			return timeout == "" || (strings.HasPrefix(timeout, "i:") && !strings.HasPrefix(timeout, "i:-"))
+		}},
+		{Name: "reply-at-top", Visible: func(cfg Config, _ []string) bool {
+			return !FlagSet(cfg, KeyEvoReplyBottom, false)
+		}},
+		{Name: "folder-list", Visible: nil},
+	}
+	addSettingsPanel(m)
+	return m
+}
+
+// GEdit models GNOME Edit (Table II: 10 keys, 1/7 clusters, 0.0%).
+func GEdit() *Model {
+	m := &Model{
+		Name: "gedit", DisplayName: "GNOME Edit", Description: "Word Processor",
+		Store: trace.StoreGConf, ConfigPath: GEditPrefix,
+	}
+	m.Groups = append(m.Groups, genBundles(GEditPrefix, "/", 1, 2, 0)...)
+	m.Singletons = append(m.Singletons, SingletonSpec{
+		KeySpec:   KeySpec{Key: KeyGEditSaveScheme, Gen: constGen("s:file")},
+		Episodes:  2,
+		EarlyOnly: true,
+	})
+	m.Singletons = append(m.Singletons, genSingles(GEditPrefix, "/", 4)...)
+	m.Noise = genNoise(GEditPrefix, "/", 1)
+	m.Elements = []UIElement{
+		{Name: "save-button", Visible: func(cfg Config, _ []string) bool {
+			v := Raw(cfg, KeyGEditSaveScheme)
+			return v == "" || v == "s:file"
+		}},
+		{Name: "editor-pane", Visible: nil},
+	}
+	addSettingsPanel(m)
+	return m
+}
+
+// Paint models MS Paint (Table II: 66 keys, 2/8 clusters, 50.0%). The
+// eight-key text-toolbar group backs error #6 (all eight settings must
+// roll back together).
+func Paint() *Model {
+	m := &Model{
+		Name: "mspaint", DisplayName: "MS Paint", Description: "Image Editor",
+		Store: trace.StoreRegistry, ConfigPath: PaintPrefix,
+	}
+	text := GroupSpec{
+		Name: "text-toolbar",
+		Keys: []KeySpec{{Key: KeyPaintShowTextTool, Gen: constGen("REG_DWORD:1")}},
+		// The toolbar state persists together whenever the user moves or
+		// restyles it.
+		Episodes:  4,
+		EarlyOnly: true,
+	}
+	for _, part := range []string{"TextToolX", "TextToolY", "TextFont", "TextSize", "TextBold", "TextItalic", "TextCharset"} {
+		p := part
+		text.Keys = append(text.Keys, KeySpec{
+			Key: PaintPrefix + `\View\` + p,
+			Gen: func(e int) string { return fmt.Sprintf("REG_SZ:%s-%d", p, e) },
+		})
+	}
+	m.Groups = append(m.Groups, text)
+	m.Groups = append(m.Groups, genBundles(PaintPrefix, `\`, 1, 2, 0)...)
+	m.Singletons = genSingles(PaintPrefix, `\`, 4)
+	m.Noise = genNoise(PaintPrefix, `\`, 2)
+	m.ReadOnly = genReadOnly(PaintPrefix, `\`, 66-m.KeyCount())
+	m.Elements = []UIElement{
+		{Name: "text-toolbar", Visible: func(cfg Config, actions []string) bool {
+			if !HasAction(actions, "enter-text") {
+				return false
+			}
+			if !FlagSet(cfg, KeyPaintShowTextTool, true) {
+				return false
+			}
+			// A corrupt toolbar state (any part missing) also hides it.
+			for _, part := range []string{"TextToolX", "TextToolY", "TextFont", "TextSize", "TextBold", "TextItalic", "TextCharset"} {
+				if _, ok := cfg[PaintPrefix+`\View\`+part]; !ok {
+					return false
+				}
+			}
+			return true
+		}},
+		{Name: "canvas", Visible: nil},
+	}
+	addSettingsPanel(m)
+	return m
+}
+
+// EyeOfGNOME models Eye of GNOME (Table II: 5 keys, 0/5 clusters, N/A).
+func EyeOfGNOME() *Model {
+	m := &Model{
+		Name: "eog", DisplayName: "Eye of GNOME", Description: "Image Viewer",
+		Store: trace.StoreGConf, ConfigPath: EOGPrefix,
+	}
+	m.Singletons = append(m.Singletons, SingletonSpec{
+		KeySpec:   KeySpec{Key: KeyEOGPrinting, Gen: constGen("b:true")},
+		Episodes:  2,
+		EarlyOnly: true,
+	})
+	m.Singletons = append(m.Singletons, genSingles(EOGPrefix, "/", 4)...)
+	m.Elements = []UIElement{
+		{Name: "print-dialog", Visible: func(cfg Config, actions []string) bool {
+			return HasAction(actions, "print") && FlagSet(cfg, KeyEOGPrinting, true)
+		}},
+		{Name: "image-view", Visible: nil},
+	}
+	addSettingsPanel(m)
+	return m
+}
+
+// Acrobat models Acrobat Reader (Table II: 751 keys, 120/550, 95.8%).
+func Acrobat() *Model {
+	m := &Model{
+		Name: "acrobat", DisplayName: "Acrobat Reader", Description: "Document Reader",
+		Store: trace.StoreFile, ConfigPath: AcrobatPrefs, FileFormat: conffile.PostScript{},
+	}
+	m.Groups = append(m.Groups, genGroupsFile(AcrobatPrefs, 115)...)
+	m.Groups = append(m.Groups, genBundlesFile(AcrobatPrefs, 5, 2, 0)...)
+	m.Singletons = append(m.Singletons,
+		SingletonSpec{KeySpec: KeySpec{Key: KeyAcroShowMenuBar, Gen: constGen("true")}, Episodes: 2, EarlyOnly: true},
+		SingletonSpec{KeySpec: KeySpec{Key: KeyAcroShowFind, Gen: constGen("true")}, Episodes: 2, EarlyOnly: true},
+	)
+	m.Singletons = append(m.Singletons, genSinglesFile(AcrobatPrefs, 423)...)
+	m.Noise = []KeySpec{
+		{Key: AcrobatPrefs + ":/AVGeneral/WindowRect"},
+		{Key: AcrobatPrefs + ":/AVGeneral/LastOpened"},
+		{Key: AcrobatPrefs + ":/AVGeneral/SessionCount"},
+		{Key: AcrobatPrefs + ":/AVGeneral/RecentTimestamp"},
+		{Key: AcrobatPrefs + ":/AVGeneral/ScrollPos"},
+	}
+	m.ReadOnly = genReadOnlyFile(AcrobatPrefs, 751-m.KeyCount())
+	m.Elements = []UIElement{
+		{Name: "menu-bar", Visible: func(cfg Config, actions []string) bool {
+			if HasAction(actions, "open-fullscreen.pdf") && !FlagSet(cfg, KeyAcroShowMenuBar, true) {
+				return false
+			}
+			return true
+		}},
+		{Name: "find-box", Visible: func(cfg Config, _ []string) bool {
+			return FlagSet(cfg, KeyAcroShowFind, true)
+		}},
+		{Name: "page-view", Visible: nil},
+	}
+	addSettingsPanel(m)
+	return m
+}
+
+func genGroupsFile(path string, count int) []GroupSpec {
+	out := make([]GroupSpec, 0, count)
+	for i := 0; i < count; i++ {
+		size := 2 + i%2
+		keys := make([]KeySpec, 0, size)
+		for k := 0; k < size; k++ {
+			keys = append(keys, KeySpec{Key: fmt.Sprintf("%s:/settings/group%03d/k%d", path, i, k)})
+		}
+		out = append(out, GroupSpec{
+			Name:       fmt.Sprintf("group%03d", i),
+			Keys:       keys,
+			Episodes:   3 + i%6,
+			SplitFlush: i%3 != 2,
+		})
+	}
+	return out
+}
+
+func genBundlesFile(path string, nBundles, groupsPer, bundleBase int) []GroupSpec {
+	var out []GroupSpec
+	for b := 0; b < nBundles; b++ {
+		id := bundleBase + b
+		for g := 0; g < groupsPer; g++ {
+			out = append(out, GroupSpec{
+				Name: fmt.Sprintf("bundle%02d-g%d", id, g),
+				Keys: []KeySpec{
+					{Key: fmt.Sprintf("%s:/settings/bundle%02d/g%d/k0", path, id, g)},
+					{Key: fmt.Sprintf("%s:/settings/bundle%02d/g%d/k1", path, id, g)},
+				},
+				Episodes: 2 + b%3,
+				Bundle:   id + 1,
+			})
+		}
+	}
+	return out
+}
+
+func genReadOnlyFile(path string, count int) []string {
+	out := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, fmt.Sprintf("%s:/settings/ro%03d", path, i))
+	}
+	return out
+}
+
+// Explorer models the Windows shell (Table II: 298 keys, 32/91, 84.4%).
+// Its open-with group reproduces error #4's structure: the MRU order list
+// changes even when the application names do not, so the default threshold
+// splits the list from the names.
+func Explorer() *Model {
+	m := &Model{
+		Name: "explorer", DisplayName: "Explorer", Description: "Windows Shell",
+		Store: trace.StoreRegistry, ConfigPath: ExplorerPrefix,
+	}
+	m.Groups = append(m.Groups,
+		GroupSpec{
+			Name: "openwith-flv",
+			Keys: []KeySpec{
+				// The two application-name keys change rarely; the MRU
+				// order list changes on most episodes.
+				{Key: KeyFlvAppA, Gen: constGen("REG_SZ:vlc.exe")},
+				{Key: KeyFlvAppB, Gen: constGen("REG_SZ:wmplayer.exe")},
+				{Key: KeyFlvMRUList, Gen: cycleGen("REG_SZ:ab", "REG_SZ:ba")},
+			},
+			Episodes:      12,
+			DominantEvery: 6,
+			// Both name keys are the rarely-changing side.
+			RareCount: 2,
+			EarlyOnly: true,
+		},
+		GroupSpec{
+			Name: "image-window",
+			Keys: []KeySpec{
+				{Key: KeyImgWindowMode, Gen: constGen("REG_SZ:normal")},
+				{Key: KeyImgWindowPlace, Gen: cycleGen("REG_BINARY:00ff", "REG_BINARY:01ff")},
+			},
+			Episodes:  4,
+			EarlyOnly: true,
+		},
+	)
+	m.Groups = append(m.Groups, genGroups(ExplorerPrefix, `\`, 25)...)
+	m.Groups = append(m.Groups, genBundles(ExplorerPrefix, `\`, 5, 2, 0)...)
+	m.Singletons = genSingles(ExplorerPrefix, `\`, 50)
+	m.Noise = genNoise(ExplorerPrefix, `\`, 8)
+	m.ReadOnly = genReadOnly(ExplorerPrefix, `\`, 298-m.KeyCount())
+	m.Elements = []UIElement{
+		{
+			Name: "openwith-flv-apps",
+			Visible: func(cfg Config, actions []string) bool {
+				if !HasAction(actions, "context-menu-flv") {
+					return true // only observable from the context menu
+				}
+				list := Raw(cfg, KeyFlvMRUList)
+				_, haveA := cfg[KeyFlvAppA]
+				_, haveB := cfg[KeyFlvAppB]
+				return list != "" && list != "REG_SZ:" && haveA && haveB
+			},
+			Detail: func(cfg Config) string {
+				return Raw(cfg, KeyFlvAppA) + ";" + Raw(cfg, KeyFlvAppB)
+			},
+		},
+		{
+			Name: "image-window-normal",
+			Visible: func(cfg Config, actions []string) bool {
+				if !HasAction(actions, "open-image") {
+					return true
+				}
+				return Raw(cfg, KeyImgWindowMode) == "REG_SZ:normal" &&
+					strings.HasPrefix(Raw(cfg, KeyImgWindowPlace), "REG_BINARY:0")
+			},
+		},
+		{Name: "file-list", Visible: nil},
+	}
+	addSettingsPanel(m)
+	return m
+}
+
+// MediaPlayer models Windows Media Player (Table II: 165 keys, 21/41,
+// 90.5%).
+func MediaPlayer() *Model {
+	m := &Model{
+		Name: "wmp", DisplayName: "Windows Media Player", Description: "Media Player",
+		Store: trace.StoreRegistry, ConfigPath: WMPPrefix,
+	}
+	m.Groups = append(m.Groups, GroupSpec{
+		Name: "captions",
+		Keys: []KeySpec{
+			{Key: KeyWMPCaptionsOn, Gen: constGen("REG_DWORD:1")},
+			{Key: KeyWMPCaptionsLang, Gen: cycleGen("REG_SZ:en", "REG_SZ:fr")},
+			{Key: KeyWMPCaptionsSize, Gen: cycleGen("REG_DWORD:12", "REG_DWORD:14")},
+			{Key: KeyWMPCaptionsClr, Gen: cycleGen("REG_SZ:white", "REG_SZ:yellow")},
+		},
+		Episodes:  3,
+		EarlyOnly: true,
+	})
+	m.Groups = append(m.Groups, genGroups(WMPPrefix, `\`, 18)...)
+	m.Groups = append(m.Groups, genBundles(WMPPrefix, `\`, 2, 2, 0)...)
+	m.Singletons = genSingles(WMPPrefix, `\`, 15)
+	m.Noise = genNoise(WMPPrefix, `\`, 5)
+	m.ReadOnly = genReadOnly(WMPPrefix, `\`, 165-m.KeyCount())
+	m.Elements = []UIElement{
+		{Name: "captions", Visible: func(cfg Config, actions []string) bool {
+			return HasAction(actions, "play-video") && FlagSet(cfg, KeyWMPCaptionsOn, true)
+		}},
+		{Name: "playback-controls", Visible: nil},
+	}
+	addSettingsPanel(m)
+	return m
+}

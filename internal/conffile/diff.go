@@ -1,0 +1,73 @@
+package conffile
+
+import "sort"
+
+// ChangeOp is the kind of change a flush diff produced.
+type ChangeOp uint8
+
+// Flush-diff change kinds.
+const (
+	ChangeSet ChangeOp = iota + 1 // key added or value modified
+	ChangeDelete
+)
+
+// String returns the canonical name of the change kind.
+func (op ChangeOp) String() string {
+	if op == ChangeDelete {
+		return "delete"
+	}
+	return "set"
+}
+
+// Change is one inferred key modification between two flushes of a
+// configuration file.
+type Change struct {
+	Op    ChangeOp
+	Key   string
+	Value string // new value for ChangeSet; empty for ChangeDelete
+}
+
+// Diff compares the flattened content of a configuration file before and
+// after a flush and returns the inferred per-key changes, sorted by key.
+// This is how Ocasta turns whole-file writes into TTKV events: keys present
+// only in new are sets, keys present only in old are deletes, and keys with
+// different values are sets.
+func Diff(old, new map[string]string) []Change {
+	var changes []Change
+	for k, nv := range new {
+		ov, existed := old[k]
+		if !existed || ov != nv {
+			changes = append(changes, Change{Op: ChangeSet, Key: k, Value: nv})
+		}
+	}
+	for k := range old {
+		if _, still := new[k]; !still {
+			changes = append(changes, Change{Op: ChangeDelete, Key: k})
+		}
+	}
+	sort.Slice(changes, func(i, j int) bool {
+		if changes[i].Key != changes[j].Key {
+			return changes[i].Key < changes[j].Key
+		}
+		return changes[i].Op < changes[j].Op
+	})
+	return changes
+}
+
+// Apply replays changes onto base and returns the result (base is not
+// modified). Apply(old, Diff(old, new)) always equals new.
+func Apply(base map[string]string, changes []Change) map[string]string {
+	out := make(map[string]string, len(base))
+	for k, v := range base {
+		out[k] = v
+	}
+	for _, ch := range changes {
+		switch ch.Op {
+		case ChangeDelete:
+			delete(out, ch.Key)
+		default:
+			out[ch.Key] = ch.Value
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package conffile
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiffBasics(t *testing.T) {
+	old := map[string]string{"keep": "1", "change": "old", "gone": "x"}
+	new := map[string]string{"keep": "1", "change": "new", "added": "y"}
+	got := Diff(old, new)
+	want := []Change{
+		{Op: ChangeSet, Key: "added", Value: "y"},
+		{Op: ChangeSet, Key: "change", Value: "new"},
+		{Op: ChangeDelete, Key: "gone"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Diff = %+v, want %+v", got, want)
+	}
+}
+
+func TestDiffEmpty(t *testing.T) {
+	if got := Diff(map[string]string{"a": "1"}, map[string]string{"a": "1"}); len(got) != 0 {
+		t.Errorf("identical maps produced changes: %+v", got)
+	}
+	if got := Diff(nil, nil); len(got) != 0 {
+		t.Errorf("nil maps produced changes: %+v", got)
+	}
+}
+
+func TestApply(t *testing.T) {
+	base := map[string]string{"a": "1", "b": "2"}
+	changes := []Change{
+		{Op: ChangeSet, Key: "a", Value: "changed"},
+		{Op: ChangeDelete, Key: "b"},
+		{Op: ChangeSet, Key: "c", Value: "new"},
+	}
+	got := Apply(base, changes)
+	want := map[string]string{"a": "changed", "c": "new"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Apply = %v, want %v", got, want)
+	}
+	if base["a"] != "1" || len(base) != 2 {
+		t.Error("Apply must not modify its input")
+	}
+}
+
+func TestChangeOpString(t *testing.T) {
+	if ChangeSet.String() != "set" || ChangeDelete.String() != "delete" {
+		t.Error("ChangeOp names wrong")
+	}
+}
+
+// Property: Apply(old, Diff(old, new)) == new — the soundness guarantee the
+// file logger relies on.
+func TestDiffApplyProperty(t *testing.T) {
+	prop := func(oldKeys, newKeys []string, vals []string) bool {
+		val := func(i int) string {
+			if i < len(vals) {
+				return vals[i]
+			}
+			return "v"
+		}
+		old := make(map[string]string)
+		for i, k := range oldKeys {
+			old[k] = val(i)
+		}
+		new := make(map[string]string)
+		for i, k := range newKeys {
+			new[k] = val(len(oldKeys) + i)
+		}
+		got := Apply(old, Diff(old, new))
+		return reflect.DeepEqual(got, new)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// End-to-end: parse two versions of a Chrome-like JSON file, diff them, and
+// confirm the inferred events match the edit the "application" made.
+func TestFlushDiffScenario(t *testing.T) {
+	before := []byte(`{"bookmark_bar": {"show": true}, "home_button": true}`)
+	after := []byte(`{"bookmark_bar": {"show": false}}`)
+	f := JSON{}
+	oldKV, err := f.Parse(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newKV, err := f.Parse(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := Diff(oldKV, newKV)
+	want := []Change{
+		{Op: ChangeSet, Key: "/bookmark_bar/show", Value: "false"},
+		{Op: ChangeDelete, Key: "/home_button"},
+	}
+	if !reflect.DeepEqual(changes, want) {
+		t.Errorf("changes = %+v, want %+v", changes, want)
+	}
+}

@@ -1,0 +1,99 @@
+// Package conffile implements Ocasta's application-specific file loggers:
+// parsers that flatten the common configuration file formats — JSON, XML,
+// INI, plain text, and PostScript-style preferences — into key-value pairs,
+// serializers that reconstruct files from flattened pairs, and a diff
+// engine that turns before/after flush snapshots into key write and delete
+// events.
+//
+// Applications that do not use an OS-provided store read their whole
+// configuration file into memory, mutate it, and flush it back; Ocasta
+// infers per-key changes by comparing the flattened file content before and
+// after each flush (paper §IV-B3).
+package conffile
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+)
+
+// Parse/serialize errors.
+var (
+	ErrSyntax        = errors.New("conffile: syntax error")
+	ErrBadKey        = errors.New("conffile: key not representable in this format")
+	ErrUnknownFormat = errors.New("conffile: unknown format")
+)
+
+// Format parses a configuration file format to and from a flat
+// key-to-value map. Implementations must guarantee the round-trip property
+// Parse(Serialize(kv)) == kv for any kv they themselves produced or that
+// Serialize accepts.
+type Format interface {
+	// Name is the canonical lower-case format name ("json", "ini", ...).
+	Name() string
+	// Parse flattens file content into key/value pairs.
+	Parse(data []byte) (map[string]string, error)
+	// Serialize renders a flat map back into file content,
+	// deterministically (sorted keys).
+	Serialize(kv map[string]string) ([]byte, error)
+}
+
+// Registered formats, in sniffing order.
+func formats() []Format {
+	return []Format{JSON{}, XML{}, PostScript{}, INI{}, Plain{}}
+}
+
+// ByName returns the format with the given name.
+func ByName(name string) (Format, error) {
+	for _, f := range formats() {
+		if f.Name() == strings.ToLower(name) {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownFormat, name)
+}
+
+// extFormats maps well-known file extensions to formats.
+var extFormats = map[string]string{
+	".json":       "json",
+	".xml":        "xml",
+	".ini":        "ini",
+	".ps":         "postscript",
+	".joboptions": "postscript",
+	".conf":       "plain",
+	".txt":        "plain",
+	".cfg":        "ini",
+}
+
+// Detect guesses the format of a configuration file from its name and
+// content: extension first, then content sniffing, falling back to plain
+// text (which accepts any "key=value" list).
+func Detect(filename string, data []byte) Format {
+	if name, ok := extFormats[strings.ToLower(filepath.Ext(filename))]; ok {
+		f, err := ByName(name)
+		if err == nil {
+			return f
+		}
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	switch {
+	case len(trimmed) > 0 && (trimmed[0] == '{' || trimmed[0] == '['):
+		return JSON{}
+	case bytes.HasPrefix(trimmed, []byte("<")):
+		return XML{}
+	case len(trimmed) > 0 && trimmed[0] == '/':
+		return PostScript{}
+	case bytes.HasPrefix(trimmed, []byte("[")):
+		return INI{}
+	}
+	// An INI section header anywhere suggests INI over plain.
+	for _, line := range bytes.Split(trimmed, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) > 1 && line[0] == '[' && line[len(line)-1] == ']' {
+			return INI{}
+		}
+	}
+	return Plain{}
+}

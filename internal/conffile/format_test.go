@@ -1,0 +1,159 @@
+package conffile
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"json", "xml", "ini", "plain", "postscript"} {
+		f, err := ByName(name)
+		if err != nil || f.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, f, err)
+		}
+	}
+	if _, err := ByName("yaml"); !errors.Is(err, ErrUnknownFormat) {
+		t.Errorf("ByName(yaml) err = %v, want ErrUnknownFormat", err)
+	}
+}
+
+func TestDetectByExtension(t *testing.T) {
+	tests := []struct {
+		file string
+		want string
+	}{
+		{"Bookmarks.json", "json"},
+		{"config.XML", "xml"},
+		{"settings.ini", "ini"},
+		{"prefs.ps", "postscript"},
+		{"app.conf", "plain"},
+		{"notes.txt", "plain"},
+		{"setup.cfg", "ini"},
+	}
+	for _, tt := range tests {
+		if got := Detect(tt.file, nil).Name(); got != tt.want {
+			t.Errorf("Detect(%q) = %q, want %q", tt.file, got, tt.want)
+		}
+	}
+}
+
+func TestDetectBySniffing(t *testing.T) {
+	tests := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"json object", `  {"a": 1}`, "json"},
+		{"json array", `[1,2]`, "json"},
+		{"xml", `<?xml version="1.0"?><root/>`, "xml"},
+		{"postscript", `/Key true`, "postscript"},
+		{"ini header line", "x=1\n[section]\ny=2\n", "ini"},
+		{"plain", "key=value\nother=thing\n", "plain"},
+		{"empty", "", "plain"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Detect("unknown.dat", []byte(tt.data)).Name(); got != tt.want {
+				t.Errorf("Detect = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+// roundTrip asserts Parse(Serialize(kv)) == kv for a given format.
+func roundTrip(t *testing.T, f Format, kv map[string]string) {
+	t.Helper()
+	data, err := f.Serialize(kv)
+	if err != nil {
+		t.Fatalf("%s Serialize: %v", f.Name(), err)
+	}
+	got, err := f.Parse(data)
+	if err != nil {
+		t.Fatalf("%s Parse: %v\ninput:\n%s", f.Name(), err, data)
+	}
+	if !reflect.DeepEqual(got, kv) {
+		t.Errorf("%s round trip:\n got %v\nwant %v\nfile:\n%s", f.Name(), got, kv, data)
+	}
+}
+
+// Property: plain and INI round-trip arbitrary key/value pairs drawn from
+// the alphabet the serializers accept. Arbitrary inputs are mapped onto a
+// safe alphabet deterministically so quick can still explore shapes
+// (lengths, duplicates, empties) without tripping the formats' documented
+// restrictions (no '=' in keys, no newlines, no leading/trailing space).
+func TestPlainINIRoundTripProperty(t *testing.T) {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABC0123456789_-"
+	remap := func(s string, keepInnerSpace bool) string {
+		out := make([]byte, 0, len(s))
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if keepInnerSpace && c == ' ' && len(out) > 0 {
+				out = append(out, ' ')
+				continue
+			}
+			out = append(out, alphabet[int(c)%len(alphabet)])
+		}
+		return string(out)
+	}
+	prop := func(keys []string, vals []string) bool {
+		kv := make(map[string]string)
+		for i, k := range keys {
+			v := ""
+			if i < len(vals) {
+				v = vals[i]
+			}
+			key := remap(k, false)
+			if key == "" {
+				key = "k"
+			}
+			kv[key] = trimSpace(remap(v, true))
+		}
+		for _, f := range []Format{Plain{}, INI{}} {
+			data, err := f.Serialize(kv)
+			if err != nil {
+				return false
+			}
+			got, err := f.Parse(data)
+			if err != nil || !reflect.DeepEqual(got, kv) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tiny local helpers so the property test reads clearly
+func contains(s, sub string) bool { return len(sub) > 0 && indexOf(s, sub) >= 0 }
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func replace(s, old, new string) string {
+	i := indexOf(s, old)
+	if i < 0 {
+		return s
+	}
+	return s[:i] + new + s[i+len(old):]
+}
+
+func trimSpace(s string) string {
+	start, end := 0, len(s)
+	for start < end && (s[start] == ' ' || s[start] == '\t') {
+		start++
+	}
+	for end > start && (s[end-1] == ' ' || s[end-1] == '\t') {
+		end--
+	}
+	return s[start:end]
+}

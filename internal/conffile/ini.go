@@ -1,0 +1,108 @@
+package conffile
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// INI is the hierarchical "key= value" format (the paper's name for
+// sectioned key-value files). Keys inside a "[section]" flatten to
+// "section.key"; keys before any section stay bare. Comments start with
+// ';' or '#'.
+type INI struct{}
+
+// Name implements Format.
+func (INI) Name() string { return "ini" }
+
+// Parse implements Format.
+func (INI) Parse(data []byte) (map[string]string, error) {
+	kv := make(map[string]string)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	section := ""
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == ';' {
+			continue
+		}
+		if line[0] == '[' {
+			if line[len(line)-1] != ']' || len(line) < 3 {
+				return nil, fmt.Errorf("%w: ini line %d: malformed section header", ErrSyntax, lineNo)
+			}
+			section = strings.TrimSpace(line[1 : len(line)-1])
+			if section == "" {
+				return nil, fmt.Errorf("%w: ini line %d: empty section name", ErrSyntax, lineNo)
+			}
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("%w: ini line %d: missing '='", ErrSyntax, lineNo)
+		}
+		key := strings.TrimSpace(line[:eq])
+		if key == "" {
+			return nil, fmt.Errorf("%w: ini line %d: empty key", ErrSyntax, lineNo)
+		}
+		full := key
+		if section != "" {
+			full = section + "." + key
+		}
+		kv[full] = strings.TrimSpace(line[eq+1:])
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("conffile: scanning ini file: %w", err)
+	}
+	return kv, nil
+}
+
+// Serialize implements Format. Keys split on the first '.' into
+// section/key; keys without a '.' are written before any section.
+func (INI) Serialize(kv map[string]string) ([]byte, error) {
+	bySection := make(map[string]map[string]string)
+	for full, v := range kv {
+		if strings.ContainsAny(v, "\n\r") {
+			return nil, fmt.Errorf("%w: value of %q contains newline", ErrBadKey, full)
+		}
+		section, key := "", full
+		if dot := strings.IndexByte(full, '.'); dot >= 0 {
+			section, key = full[:dot], full[dot+1:]
+		}
+		if key == "" || strings.ContainsAny(key, "=\n\r[]") || strings.TrimSpace(key) != key {
+			return nil, fmt.Errorf("%w: %q", ErrBadKey, full)
+		}
+		if section != "" && (strings.ContainsAny(section, "]\n\r") || strings.TrimSpace(section) != section) {
+			return nil, fmt.Errorf("%w: section of %q", ErrBadKey, full)
+		}
+		m, ok := bySection[section]
+		if !ok {
+			m = make(map[string]string)
+			bySection[section] = m
+		}
+		m[key] = v
+	}
+	sections := make([]string, 0, len(bySection))
+	for s := range bySection {
+		sections = append(sections, s)
+	}
+	sort.Strings(sections) // "" sorts first: bare keys precede all sections
+	var buf bytes.Buffer
+	for _, s := range sections {
+		if s != "" {
+			fmt.Fprintf(&buf, "[%s]\n", s)
+		}
+		keys := make([]string, 0, len(bySection[s]))
+		for k := range bySection[s] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&buf, "%s=%s\n", k, bySection[s][k])
+		}
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,274 @@
+package conffile
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestJSONParseFlattens(t *testing.T) {
+	in := `{
+	  "bookmark_bar": {"show": true, "count": 3},
+	  "urls": ["https://a", "https://b"],
+	  "homepage": "about:blank",
+	  "zoom": 1.25,
+	  "proxy": null,
+	  "odd~key/name": "x"
+	}`
+	kv, err := (JSON{}).Parse([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"/bookmark_bar/show":  "true",
+		"/bookmark_bar/count": "3",
+		"/urls/0":             "https://a",
+		"/urls/1":             "https://b",
+		"/homepage":           "about:blank",
+		"/zoom":               "1.25",
+		"/proxy":              "null",
+		"/odd~0key~1name":     "x",
+	}
+	if !reflect.DeepEqual(kv, want) {
+		t.Errorf("Parse:\n got %v\nwant %v", kv, want)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	roundTrip(t, JSON{}, map[string]string{
+		"/bookmark_bar/show":  "true",
+		"/bookmark_bar/count": "3",
+		"/urls/0":             "https://a",
+		"/urls/1":             "https://b",
+		"/zoom":               "1.25",
+		"/title":              "5 o'clock", // string that must stay a string
+		"/version":            "007",       // non-canonical number stays a string
+		"/note":               "null and void",
+		"/odd~0key~1name":     "x",
+	})
+}
+
+func TestJSONScalarRoot(t *testing.T) {
+	kv, err := (JSON{}).Parse([]byte(`42`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(kv, map[string]string{"/": "42"}) {
+		t.Errorf("scalar root = %v", kv)
+	}
+	roundTrip(t, JSON{}, map[string]string{"/": "42"})
+	if _, err := (JSON{}).Serialize(map[string]string{"/": "1", "/other": "2"}); !errors.Is(err, ErrBadKey) {
+		t.Errorf("scalar root mixed with paths: err = %v, want ErrBadKey", err)
+	}
+}
+
+func TestJSONEmpty(t *testing.T) {
+	data, err := (JSON{}).Serialize(map[string]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, err := (JSON{}).Parse(data)
+	if err != nil || len(kv) != 0 {
+		t.Errorf("empty round trip = %v, %v", kv, err)
+	}
+}
+
+func TestJSONParseError(t *testing.T) {
+	if _, err := (JSON{}).Parse([]byte(`{"unterminated": `)); !errors.Is(err, ErrSyntax) {
+		t.Errorf("err = %v, want ErrSyntax", err)
+	}
+}
+
+func TestJSONSerializeConflicts(t *testing.T) {
+	cases := []map[string]string{
+		{"no-slash": "v"},
+		{"/a": "1", "/a/b": "2"}, // scalar and parent
+	}
+	for _, kv := range cases {
+		if _, err := (JSON{}).Serialize(kv); !errors.Is(err, ErrBadKey) {
+			t.Errorf("Serialize(%v) err = %v, want ErrBadKey", kv, err)
+		}
+	}
+}
+
+func TestJSONArrayHeuristic(t *testing.T) {
+	// Keys 0..n-1 become an array; a gap forces an object.
+	data, err := (JSON{}).Serialize(map[string]string{"/xs/0": "a", "/xs/1": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(string(data), "[") {
+		t.Errorf("contiguous indices should serialize as an array:\n%s", data)
+	}
+	data, err = JSON{}.Serialize(map[string]string{"/xs/0": "a", "/xs/2": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contains(string(data), "[") {
+		t.Errorf("gapped indices must serialize as an object:\n%s", data)
+	}
+	// Leading-zero segments are object keys, not array indices.
+	kv := map[string]string{"/xs/00": "a"}
+	roundTrip(t, JSON{}, kv)
+}
+
+func TestXMLParseFlattens(t *testing.T) {
+	in := `<?xml version="1.0"?>
+<config version="2">
+  <view id="main">visible</view>
+  <view id="side"/>
+  <timeout>1500</timeout>
+</config>`
+	kv, err := (XML{}).Parse([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"/config[0]/@version":         "2",
+		"/config[0]/view[0]/@id":      "main",
+		"/config[0]/view[0]/#text":    "visible",
+		"/config[0]/view[1]/@id":      "side",
+		"/config[0]/timeout[2]/#text": "1500",
+	}
+	if !reflect.DeepEqual(kv, want) {
+		t.Errorf("Parse:\n got %v\nwant %v", kv, want)
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	roundTrip(t, XML{}, map[string]string{
+		"/config[0]/@version":         "2",
+		"/config[0]/view[0]/@id":      "main",
+		"/config[0]/view[0]/#text":    "visible <&> \"quoted\"",
+		"/config[0]/view[1]/@id":      "side",
+		"/config[0]/timeout[2]/#text": "1500",
+	})
+}
+
+func TestXMLParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"<a><b></a>",
+		"<a/><b/>", // multiple roots
+	}
+	for _, in := range cases {
+		if _, err := (XML{}).Parse([]byte(in)); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) err = %v, want ErrSyntax", in, err)
+		}
+	}
+}
+
+func TestXMLSerializeErrors(t *testing.T) {
+	cases := []map[string]string{
+		{},
+		{"no-slash": "v"},
+		{"/root[1]/#text": "v"}, // root index must be 0
+		{"/root[0]/a[0]/#text": "1", "/other[0]/b[0]/#text": "2"}, // two roots
+		{"/root[0]/kid[1]/#text": "gap"},                          // non-contiguous children
+		{"/root[0]/bad name[0]/#text": "v"},                       // invalid element name
+		{"/root[0]/@": "v"},                                       // empty attribute
+		{"/root[0]/kid/#text": "v"},                               // missing index
+	}
+	for _, kv := range cases {
+		if _, err := (XML{}).Serialize(kv); !errors.Is(err, ErrBadKey) {
+			t.Errorf("Serialize(%v) err = %v, want ErrBadKey", kv, err)
+		}
+	}
+}
+
+func TestXMLConflictingNames(t *testing.T) {
+	kv := map[string]string{
+		"/root[0]/a[0]/#text": "1",
+		"/root[0]/b[0]/#text": "2", // child 0 named both a and b
+	}
+	if _, err := (XML{}).Serialize(kv); !errors.Is(err, ErrBadKey) {
+		t.Errorf("err = %v, want ErrBadKey for conflicting child names", err)
+	}
+}
+
+func TestPostScriptParseFlattens(t *testing.T) {
+	in := `% Acrobat preferences
+/ShowMenuBar true
+/Zoom 125
+/Scale 1.5
+/OpenFile (report (final).pdf)
+/Toolbar << /Find true /Order [ 1 2 ] >>
+/Mode /FullScreen
+`
+	kv, err := (PostScript{}).Parse([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"/ShowMenuBar":      "true",
+		"/Zoom":             "125",
+		"/Scale":            "1.5",
+		"/OpenFile":         "report (final).pdf",
+		"/Toolbar/Find":     "true",
+		"/Toolbar/Order[0]": "1",
+		"/Toolbar/Order[1]": "2",
+		"/Mode":             "/FullScreen",
+	}
+	if !reflect.DeepEqual(kv, want) {
+		t.Errorf("Parse:\n got %v\nwant %v", kv, want)
+	}
+}
+
+func TestPostScriptRoundTrip(t *testing.T) {
+	roundTrip(t, PostScript{}, map[string]string{
+		"/ShowMenuBar":      "true",
+		"/Zoom":             "125",
+		"/Scale":            "1.5",
+		"/OpenFile":         "weird (chars) \\ here\nnewline",
+		"/Toolbar/Find":     "false",
+		"/Toolbar/Order[0]": "1",
+		"/Toolbar/Order[1]": "2",
+		"/Nested/Deep/Key":  "x",
+		"/Mode":             "/FullScreen",
+		"/LooksLikeNumber":  "007", // stays a string
+		"/Arr[0]/Name":      "dict in array",
+		"/Arr[1]":           "plain",
+	})
+}
+
+func TestPostScriptParseErrors(t *testing.T) {
+	cases := []string{
+		"/Unterminated (string",
+		"/Dangling (esc\\",
+		"stray-bare-token",
+		"/Key << /Inner (v) ", // unterminated dict: hits EOF expecting name
+		"/Key [ (a)",          // unterminated array
+		"/ ",                  // empty name
+	}
+	for _, in := range cases {
+		if _, err := (PostScript{}).Parse([]byte(in)); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) err = %v, want ErrSyntax", in, err)
+		}
+	}
+}
+
+func TestPostScriptSerializeErrors(t *testing.T) {
+	cases := []map[string]string{
+		{"no-slash": "v"},
+		{"/a[0]": "1", "/a[2]": "2"}, // hole in array
+		{"/a": "1", "/a/b": "2"},     // scalar and dict
+		{"/ba d": "v"},               // invalid name
+		{"/a[x]": "v"},               // bad index
+	}
+	for _, kv := range cases {
+		if _, err := (PostScript{}).Serialize(kv); !errors.Is(err, ErrBadKey) {
+			t.Errorf("Serialize(%v) err = %v, want ErrBadKey", kv, err)
+		}
+	}
+}
+
+func TestPostScriptCommentsAndWhitespace(t *testing.T) {
+	in := "% comment line\n\n  /A   1   % trailing comment\n/B (two words)\n"
+	kv, err := (PostScript{}).Parse([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv["/A"] != "1" || kv["/B"] != "two words" {
+		t.Errorf("kv = %v", kv)
+	}
+}

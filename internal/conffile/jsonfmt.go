@@ -1,0 +1,225 @@
+package conffile
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// JSON flattens arbitrary JSON documents (e.g. Chrome's Preferences and
+// Bookmarks files) into JSON-Pointer-style paths: "/profile/name",
+// "/bookmarks/0/url". Object keys escape '~' as "~0" and '/' as "~1",
+// exactly as in RFC 6901.
+//
+// Scalars flatten to their natural strings (numbers canonically, booleans
+// as "true"/"false", null as "null"). Serialize re-infers scalar types, so
+// the round trip is exact at the key-value level; empty objects and arrays
+// have no leaves and are therefore dropped by a parse/serialize cycle.
+type JSON struct{}
+
+// Name implements Format.
+func (JSON) Name() string { return "json" }
+
+// Parse implements Format.
+func (JSON) Parse(data []byte) (map[string]string, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var root any
+	if err := dec.Decode(&root); err != nil {
+		return nil, fmt.Errorf("%w: json: %v", ErrSyntax, err)
+	}
+	kv := make(map[string]string)
+	flattenJSON("", root, kv)
+	return kv, nil
+}
+
+func flattenJSON(prefix string, node any, kv map[string]string) {
+	switch v := node.(type) {
+	case map[string]any:
+		for key, child := range v {
+			flattenJSON(prefix+"/"+escapePointer(key), child, kv)
+		}
+	case []any:
+		for i, child := range v {
+			flattenJSON(prefix+"/"+strconv.Itoa(i), child, kv)
+		}
+	case json.Number:
+		kv[rootedPath(prefix)] = v.String()
+	case string:
+		kv[rootedPath(prefix)] = v
+	case bool:
+		kv[rootedPath(prefix)] = strconv.FormatBool(v)
+	case nil:
+		kv[rootedPath(prefix)] = "null"
+	}
+}
+
+// rootedPath maps the whole-document scalar case ("" prefix) to "/".
+func rootedPath(prefix string) string {
+	if prefix == "" {
+		return "/"
+	}
+	return prefix
+}
+
+func escapePointer(s string) string {
+	s = strings.ReplaceAll(s, "~", "~0")
+	return strings.ReplaceAll(s, "/", "~1")
+}
+
+func unescapePointer(s string) string {
+	s = strings.ReplaceAll(s, "~1", "/")
+	return strings.ReplaceAll(s, "~0", "~")
+}
+
+// Serialize implements Format. A parent whose children are exactly the
+// contiguous indices 0..n-1 becomes an array; anything else becomes an
+// object. Scalar strings that parse as JSON numbers, booleans, or null are
+// emitted with those types, which makes Parse∘Serialize the identity on
+// flat maps.
+func (JSON) Serialize(kv map[string]string) ([]byte, error) {
+	if len(kv) == 0 {
+		return []byte("{}\n"), nil
+	}
+	if v, ok := kv["/"]; ok {
+		if len(kv) != 1 {
+			return nil, fmt.Errorf("%w: scalar root path %q mixed with other paths", ErrBadKey, "/")
+		}
+		return append(scalarJSON(v), '\n'), nil
+	}
+	root := newJSONNode()
+	for path, value := range kv {
+		if !strings.HasPrefix(path, "/") {
+			return nil, fmt.Errorf("%w: json path %q must start with '/'", ErrBadKey, path)
+		}
+		segs := strings.Split(path[1:], "/")
+		node := root
+		for i, seg := range segs[:len(segs)-1] {
+			child, ok := node.children[seg]
+			if !ok {
+				child = newJSONNode()
+				node.children[seg] = child
+			}
+			if child.leaf != nil {
+				return nil, fmt.Errorf("%w: path %q descends through scalar", ErrBadKey, "/"+strings.Join(segs[:i+1], "/"))
+			}
+			node = child
+		}
+		last := segs[len(segs)-1]
+		if existing, ok := node.children[last]; ok && len(existing.children) > 0 {
+			return nil, fmt.Errorf("%w: path %q is both scalar and parent", ErrBadKey, path)
+		}
+		v := value
+		node.children[last] = &jsonNode{leaf: &v}
+	}
+	out, err := root.build()
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("conffile: marshaling json: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+type jsonNode struct {
+	children map[string]*jsonNode
+	leaf     *string
+}
+
+func newJSONNode() *jsonNode { return &jsonNode{children: make(map[string]*jsonNode)} }
+
+// build converts the path trie into a JSON value tree.
+func (n *jsonNode) build() (any, error) {
+	if n.leaf != nil {
+		return json.RawMessage(scalarJSON(*n.leaf)), nil
+	}
+	// Array iff children are exactly 0..len-1.
+	if isContiguousIndices(n.children) {
+		arr := make([]any, len(n.children))
+		for seg, child := range n.children {
+			idx, _ := strconv.Atoi(seg)
+			sub, err := child.build()
+			if err != nil {
+				return nil, err
+			}
+			arr[idx] = sub
+		}
+		return arr, nil
+	}
+	obj := make(map[string]any, len(n.children))
+	for seg, child := range n.children {
+		sub, err := child.build()
+		if err != nil {
+			return nil, err
+		}
+		obj[unescapePointer(seg)] = sub
+	}
+	return obj, nil
+}
+
+func isContiguousIndices(children map[string]*jsonNode) bool {
+	if len(children) == 0 {
+		return false
+	}
+	seen := make([]bool, len(children))
+	for seg := range children {
+		idx, err := strconv.Atoi(seg)
+		if err != nil || idx < 0 || idx >= len(children) || seen[idx] ||
+			(len(seg) > 1 && seg[0] == '0') {
+			return false
+		}
+		seen[idx] = true
+	}
+	return true
+}
+
+// scalarJSON renders a flattened scalar back into JSON source.
+func scalarJSON(v string) []byte {
+	switch v {
+	case "true", "false", "null":
+		return []byte(v)
+	}
+	if n := json.Number(v); len(v) > 0 {
+		if _, err := n.Int64(); err == nil && jsonNumberCanonical(v) {
+			return []byte(v)
+		}
+		if _, err := n.Float64(); err == nil && jsonNumberCanonical(v) {
+			return []byte(v)
+		}
+	}
+	quoted, _ := json.Marshal(v) // cannot fail for strings
+	return quoted
+}
+
+// jsonNumberCanonical reports whether v is a syntactically valid JSON
+// number that would survive a decode/encode cycle byte-for-byte, so we can
+// safely emit it unquoted.
+func jsonNumberCanonical(v string) bool {
+	dec := json.NewDecoder(strings.NewReader(v))
+	dec.UseNumber()
+	var out any
+	if err := dec.Decode(&out); err != nil {
+		return false
+	}
+	num, ok := out.(json.Number)
+	if !ok || num.String() != v {
+		return false
+	}
+	// Must consume the whole input.
+	return !dec.More()
+}
+
+// sortedKeys is shared by tests and debugging helpers.
+func sortedKeys(kv map[string]string) []string {
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,74 @@
+package conffile
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Plain is the flat "key= value" list format the paper observed in several
+// applications (e.g. GNOME application state files). Lines starting with
+// '#' or ';' are comments; blank lines are ignored. Keys may not contain
+// '=' or newlines; values may contain anything but newlines.
+type Plain struct{}
+
+// Name implements Format.
+func (Plain) Name() string { return "plain" }
+
+// Parse implements Format.
+func (Plain) Parse(data []byte) (map[string]string, error) {
+	kv := make(map[string]string)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == ';' {
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("%w: plain line %d: missing '='", ErrSyntax, lineNo)
+		}
+		key := strings.TrimSpace(line[:eq])
+		if key == "" {
+			return nil, fmt.Errorf("%w: plain line %d: empty key", ErrSyntax, lineNo)
+		}
+		kv[key] = strings.TrimSpace(line[eq+1:])
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("conffile: scanning plain file: %w", err)
+	}
+	return kv, nil
+}
+
+// Serialize implements Format.
+func (Plain) Serialize(kv map[string]string) ([]byte, error) {
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		if err := checkPlainKey(k); err != nil {
+			return nil, err
+		}
+		if strings.ContainsAny(kv[k], "\n\r") {
+			return nil, fmt.Errorf("%w: value of %q contains newline", ErrBadKey, k)
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	for _, k := range keys {
+		fmt.Fprintf(&buf, "%s=%s\n", k, kv[k])
+	}
+	return buf.Bytes(), nil
+}
+
+func checkPlainKey(k string) error {
+	if k == "" || strings.ContainsAny(k, "=\n\r") ||
+		strings.TrimSpace(k) != k || k[0] == '#' || k[0] == ';' {
+		return fmt.Errorf("%w: %q", ErrBadKey, k)
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package conffile
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestPlainParse(t *testing.T) {
+	in := `# GNOME text editor state
+window_width = 1024
+window_height=768
+
+; another comment
+font=Monospace 11
+empty=
+`
+	kv, err := (Plain{}).Parse([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"window_width":  "1024",
+		"window_height": "768",
+		"font":          "Monospace 11",
+		"empty":         "",
+	}
+	if !reflect.DeepEqual(kv, want) {
+		t.Errorf("Parse = %v, want %v", kv, want)
+	}
+}
+
+func TestPlainParseErrors(t *testing.T) {
+	for _, in := range []string{"no-equals-sign\n", "=value-without-key\n"} {
+		if _, err := (Plain{}).Parse([]byte(in)); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) err = %v, want ErrSyntax", in, err)
+		}
+	}
+}
+
+func TestPlainSerializeDeterministic(t *testing.T) {
+	kv := map[string]string{"z": "26", "a": "1", "m": "13"}
+	d1, err := (Plain{}).Serialize(kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := (Plain{}).Serialize(kv)
+	if string(d1) != string(d2) {
+		t.Error("Serialize must be deterministic")
+	}
+	if string(d1) != "a=1\nm=13\nz=26\n" {
+		t.Errorf("Serialize = %q", d1)
+	}
+}
+
+func TestPlainSerializeRejectsBadKeys(t *testing.T) {
+	bads := []map[string]string{
+		{"has=equals": "v"},
+		{"has\nnewline": "v"},
+		{"": "v"},
+		{"#looks-like-comment": "v"},
+		{" padded ": "v"},
+		{"ok": "multi\nline"},
+	}
+	for _, kv := range bads {
+		if _, err := (Plain{}).Serialize(kv); !errors.Is(err, ErrBadKey) {
+			t.Errorf("Serialize(%v) err = %v, want ErrBadKey", kv, err)
+		}
+	}
+}
+
+func TestPlainRoundTrip(t *testing.T) {
+	roundTrip(t, Plain{}, map[string]string{
+		"statusbar-visible": "true",
+		"side-panel-size":   "200",
+		"print-font":        "Sans 10",
+	})
+}
+
+func TestINIParse(t *testing.T) {
+	in := `; Paint settings
+global_key=1
+
+[View]
+ShowTextTool = yes
+Zoom=100
+
+[Window]
+Maximized=0
+`
+	kv, err := (INI{}).Parse([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"global_key":        "1",
+		"View.ShowTextTool": "yes",
+		"View.Zoom":         "100",
+		"Window.Maximized":  "0",
+	}
+	if !reflect.DeepEqual(kv, want) {
+		t.Errorf("Parse = %v, want %v", kv, want)
+	}
+}
+
+func TestINIParseErrors(t *testing.T) {
+	cases := []string{
+		"[unclosed\nk=v\n",
+		"[]\nk=v\n",
+		"[s]\nno-equals\n",
+		"[s]\n=nokey\n",
+	}
+	for _, in := range cases {
+		if _, err := (INI{}).Parse([]byte(in)); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) err = %v, want ErrSyntax", in, err)
+		}
+	}
+}
+
+func TestINIRoundTrip(t *testing.T) {
+	roundTrip(t, INI{}, map[string]string{
+		"bare":              "value",
+		"View.ShowTextTool": "yes",
+		"View.Zoom":         "100",
+		"Window.Maximized":  "0",
+		"Recent.File.0":     "a.bmp", // nested dots: section Recent, key File.0
+	})
+}
+
+func TestINISerializeLayout(t *testing.T) {
+	data, err := (INI{}).Serialize(map[string]string{
+		"bare":   "1",
+		"B.key":  "2",
+		"A.key":  "3",
+		"A.also": "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "bare=1\n[A]\nalso=4\nkey=3\n[B]\nkey=2\n"
+	if string(data) != want {
+		t.Errorf("Serialize = %q, want %q", data, want)
+	}
+}
+
+func TestINISerializeRejectsBadKeys(t *testing.T) {
+	bads := []map[string]string{
+		{"sec.": "v"},              // empty key after dot
+		{"se]c.key": "v"},          // ']' in section
+		{"sec.k=ey": "v"},          // '=' in key
+		{"sec.key": "multi\nline"}, // newline in value
+	}
+	for _, kv := range bads {
+		if _, err := (INI{}).Serialize(kv); !errors.Is(err, ErrBadKey) {
+			t.Errorf("Serialize(%v) err = %v, want ErrBadKey", kv, err)
+		}
+	}
+}

@@ -1,0 +1,507 @@
+package conffile
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PostScript parses the PostScript-style preference format Acrobat Reader
+// uses: a sequence of "/Name value" pairs where values are numbers,
+// booleans, "(strings)", "[ arrays ]", or "<< /nested dicts >>".
+// Dictionaries flatten to slash paths and array elements carry bracketed
+// indices:
+//
+//	/Originals << /AVMenus true >>   ->  "/Originals/AVMenus" = "true"
+//	/RecentFiles [ (a.pdf) ]         ->  "/RecentFiles[0]"    = "a.pdf"
+//
+// Booleans and numbers flatten to canonical literals; Serialize re-infers
+// their types, so the round trip is exact at the key-value level.
+type PostScript struct{}
+
+// Name implements Format.
+func (PostScript) Name() string { return "postscript" }
+
+// psValue is a parsed PostScript value.
+type psValue struct {
+	kind byte // 'd' dict, 'a' array, 's' scalar
+	dict map[string]*psValue
+	arr  []*psValue
+	lit  string // scalar literal, canonical
+}
+
+// Parse implements Format.
+func (PostScript) Parse(data []byte) (map[string]string, error) {
+	tz := &psTokenizer{data: data}
+	root := &psValue{kind: 'd', dict: make(map[string]*psValue)}
+	for {
+		tok, err := tz.next()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind == psEOF {
+			break
+		}
+		if tok.kind != psName {
+			return nil, fmt.Errorf("%w: postscript line %d: expected /Name, got %q", ErrSyntax, tok.line, tok.text)
+		}
+		val, err := parsePSValue(tz)
+		if err != nil {
+			return nil, err
+		}
+		root.dict[tok.text] = val
+	}
+	kv := make(map[string]string)
+	flattenPS("", root, kv)
+	return kv, nil
+}
+
+func parsePSValue(tz *psTokenizer) (*psValue, error) {
+	tok, err := tz.next()
+	if err != nil {
+		return nil, err
+	}
+	switch tok.kind {
+	case psDictOpen:
+		d := &psValue{kind: 'd', dict: make(map[string]*psValue)}
+		for {
+			t, err := tz.next()
+			if err != nil {
+				return nil, err
+			}
+			if t.kind == psDictClose {
+				return d, nil
+			}
+			if t.kind != psName {
+				return nil, fmt.Errorf("%w: postscript line %d: expected /Name in dict, got %q", ErrSyntax, t.line, t.text)
+			}
+			v, err := parsePSValue(tz)
+			if err != nil {
+				return nil, err
+			}
+			d.dict[t.text] = v
+		}
+	case psArrOpen:
+		a := &psValue{kind: 'a'}
+		for {
+			t, err := tz.peek()
+			if err != nil {
+				return nil, err
+			}
+			if t.kind == psArrClose {
+				tz.next() // consume
+				return a, nil
+			}
+			if t.kind == psEOF {
+				return nil, fmt.Errorf("%w: postscript: unterminated array", ErrSyntax)
+			}
+			v, err := parsePSValue(tz)
+			if err != nil {
+				return nil, err
+			}
+			a.arr = append(a.arr, v)
+		}
+	case psString:
+		return &psValue{kind: 's', lit: tok.text}, nil
+	case psBare:
+		return &psValue{kind: 's', lit: canonicalPSScalar(tok.text, tok.line)}, nil
+	case psName:
+		// A name in value position is a symbolic constant; keep its text.
+		return &psValue{kind: 's', lit: "/" + tok.text}, nil
+	default:
+		return nil, fmt.Errorf("%w: postscript line %d: unexpected token %q", ErrSyntax, tok.line, tok.text)
+	}
+}
+
+// canonicalPSScalar normalizes bare tokens (numbers, booleans) to canonical
+// text so the flatten/serialize round trip is stable.
+func canonicalPSScalar(text string, _ int) string {
+	if text == "true" || text == "false" {
+		return text
+	}
+	if i, err := strconv.ParseInt(text, 10, 64); err == nil {
+		return strconv.FormatInt(i, 10)
+	}
+	if f, err := strconv.ParseFloat(text, 64); err == nil {
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	return text
+}
+
+func flattenPS(prefix string, v *psValue, kv map[string]string) {
+	switch v.kind {
+	case 'd':
+		for name, child := range v.dict {
+			flattenPS(prefix+"/"+name, child, kv)
+		}
+	case 'a':
+		for i, child := range v.arr {
+			flattenPS(fmt.Sprintf("%s[%d]", prefix, i), child, kv)
+		}
+	default:
+		kv[prefix] = v.lit
+	}
+}
+
+// Serialize implements Format.
+func (PostScript) Serialize(kv map[string]string) ([]byte, error) {
+	root := &psValue{kind: 'd', dict: make(map[string]*psValue)}
+	for path, value := range kv {
+		if err := insertPSPath(root, path, value); err != nil {
+			return nil, err
+		}
+	}
+	var buf bytes.Buffer
+	names := make([]string, 0, len(root.dict))
+	for n := range root.dict {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		buf.WriteByte('/')
+		buf.WriteString(n)
+		buf.WriteByte(' ')
+		if err := writePSValue(&buf, root.dict[n]); err != nil {
+			return nil, err
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}
+
+// psStep is one step of a flattened path: a dict key or an array index.
+type psStep struct {
+	name string // dict key when idx < 0
+	idx  int
+}
+
+func parsePSPath(path string) ([]psStep, error) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("%w: postscript path %q must start with '/'", ErrBadKey, path)
+	}
+	var steps []psStep
+	for _, seg := range strings.Split(path[1:], "/") {
+		name := seg
+		var idxs []int
+		for strings.HasSuffix(name, "]") {
+			open := strings.LastIndexByte(name, '[')
+			if open < 0 {
+				return nil, fmt.Errorf("%w: unbalanced brackets in %q", ErrBadKey, path)
+			}
+			idx, err := strconv.Atoi(name[open+1 : len(name)-1])
+			if err != nil || idx < 0 {
+				return nil, fmt.Errorf("%w: bad array index in %q", ErrBadKey, path)
+			}
+			idxs = append([]int{idx}, idxs...)
+			name = name[:open]
+		}
+		if name == "" || strings.ContainsAny(name, "()<>[]{}/% \t\r\n") {
+			return nil, fmt.Errorf("%w: invalid postscript name %q in %q", ErrBadKey, name, path)
+		}
+		steps = append(steps, psStep{name: name, idx: -1})
+		for _, idx := range idxs {
+			steps = append(steps, psStep{idx: idx})
+		}
+	}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("%w: empty postscript path", ErrBadKey)
+	}
+	return steps, nil
+}
+
+func insertPSPath(root *psValue, path, value string) error {
+	steps, err := parsePSPath(path)
+	if err != nil {
+		return err
+	}
+	node := root
+	for i, st := range steps {
+		last := i == len(steps)-1
+		if st.idx < 0 { // dict step
+			if node.kind != 'd' {
+				return fmt.Errorf("%w: path %q mixes dict and array/scalar", ErrBadKey, path)
+			}
+			child, ok := node.dict[st.name]
+			if !ok {
+				child = &psValue{}
+				if last {
+					child.kind, child.lit = 's', value
+				} else if steps[i+1].idx >= 0 {
+					child.kind = 'a'
+				} else {
+					child.kind, child.dict = 'd', make(map[string]*psValue)
+				}
+				node.dict[st.name] = child
+			} else if last && child.kind != 's' {
+				return fmt.Errorf("%w: path %q is both scalar and container", ErrBadKey, path)
+			}
+			node = child
+		} else { // array step
+			if node.kind != 'a' {
+				return fmt.Errorf("%w: path %q indexes a non-array", ErrBadKey, path)
+			}
+			for len(node.arr) <= st.idx {
+				node.arr = append(node.arr, nil)
+			}
+			child := node.arr[st.idx]
+			if child == nil {
+				child = &psValue{}
+				if last {
+					child.kind, child.lit = 's', value
+				} else if steps[i+1].idx >= 0 {
+					child.kind = 'a'
+				} else {
+					child.kind, child.dict = 'd', make(map[string]*psValue)
+				}
+				node.arr[st.idx] = child
+			} else if last && child.kind != 's' {
+				return fmt.Errorf("%w: path %q is both scalar and container", ErrBadKey, path)
+			}
+			node = child
+		}
+	}
+	return nil
+}
+
+func writePSValue(buf *bytes.Buffer, v *psValue) error {
+	switch v.kind {
+	case 'd':
+		buf.WriteString("<<")
+		names := make([]string, 0, len(v.dict))
+		for n := range v.dict {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			buf.WriteString(" /")
+			buf.WriteString(n)
+			buf.WriteByte(' ')
+			if err := writePSValue(buf, v.dict[n]); err != nil {
+				return err
+			}
+		}
+		buf.WriteString(" >>")
+		return nil
+	case 'a':
+		buf.WriteString("[")
+		for _, el := range v.arr {
+			if el == nil {
+				return fmt.Errorf("%w: array has a hole (non-contiguous indices)", ErrBadKey)
+			}
+			buf.WriteByte(' ')
+			if err := writePSValue(buf, el); err != nil {
+				return err
+			}
+		}
+		buf.WriteString(" ]")
+		return nil
+	default:
+		buf.WriteString(renderPSScalar(v.lit))
+		return nil
+	}
+}
+
+// renderPSScalar emits booleans and canonical numbers bare, symbolic names
+// as /Name, and everything else as a (string).
+func renderPSScalar(lit string) string {
+	if lit == "true" || lit == "false" {
+		return lit
+	}
+	if strings.HasPrefix(lit, "/") && len(lit) > 1 &&
+		!strings.ContainsAny(lit[1:], "()<>[]{}/% \t\r\n") {
+		return lit
+	}
+	if i, err := strconv.ParseInt(lit, 10, 64); err == nil && strconv.FormatInt(i, 10) == lit {
+		return lit
+	}
+	if f, err := strconv.ParseFloat(lit, 64); err == nil &&
+		strconv.FormatFloat(f, 'g', -1, 64) == lit {
+		return lit
+	}
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for _, r := range lit {
+		switch r {
+		case '(', ')', '\\':
+			sb.WriteByte('\\')
+			sb.WriteRune(r)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// --- tokenizer ---
+
+type psTokKind uint8
+
+const (
+	psEOF psTokKind = iota
+	psName
+	psString
+	psBare
+	psDictOpen
+	psDictClose
+	psArrOpen
+	psArrClose
+)
+
+type psToken struct {
+	kind psTokKind
+	text string
+	line int
+}
+
+type psTokenizer struct {
+	data   []byte
+	pos    int
+	line   int
+	peeked *psToken
+}
+
+func (tz *psTokenizer) peek() (psToken, error) {
+	if tz.peeked == nil {
+		tok, err := tz.scan()
+		if err != nil {
+			return psToken{}, err
+		}
+		tz.peeked = &tok
+	}
+	return *tz.peeked, nil
+}
+
+func (tz *psTokenizer) next() (psToken, error) {
+	if tz.peeked != nil {
+		tok := *tz.peeked
+		tz.peeked = nil
+		return tok, nil
+	}
+	return tz.scan()
+}
+
+func (tz *psTokenizer) scan() (psToken, error) {
+	if tz.line == 0 {
+		tz.line = 1
+	}
+	// Skip whitespace and % comments.
+	for tz.pos < len(tz.data) {
+		c := tz.data[tz.pos]
+		if c == '\n' {
+			tz.line++
+			tz.pos++
+		} else if c == ' ' || c == '\t' || c == '\r' {
+			tz.pos++
+		} else if c == '%' {
+			for tz.pos < len(tz.data) && tz.data[tz.pos] != '\n' {
+				tz.pos++
+			}
+		} else {
+			break
+		}
+	}
+	if tz.pos >= len(tz.data) {
+		return psToken{kind: psEOF, line: tz.line}, nil
+	}
+	c := tz.data[tz.pos]
+	switch {
+	case c == '<' && tz.pos+1 < len(tz.data) && tz.data[tz.pos+1] == '<':
+		tz.pos += 2
+		return psToken{kind: psDictOpen, text: "<<", line: tz.line}, nil
+	case c == '>' && tz.pos+1 < len(tz.data) && tz.data[tz.pos+1] == '>':
+		tz.pos += 2
+		return psToken{kind: psDictClose, text: ">>", line: tz.line}, nil
+	case c == '[':
+		tz.pos++
+		return psToken{kind: psArrOpen, text: "[", line: tz.line}, nil
+	case c == ']':
+		tz.pos++
+		return psToken{kind: psArrClose, text: "]", line: tz.line}, nil
+	case c == '/':
+		start := tz.pos + 1
+		end := start
+		for end < len(tz.data) && !isPSDelim(tz.data[end]) {
+			end++
+		}
+		if end == start {
+			return psToken{}, fmt.Errorf("%w: postscript line %d: empty name", ErrSyntax, tz.line)
+		}
+		tz.pos = end
+		return psToken{kind: psName, text: string(tz.data[start:end]), line: tz.line}, nil
+	case c == '(':
+		return tz.scanString()
+	default:
+		start := tz.pos
+		end := start
+		for end < len(tz.data) && !isPSDelim(tz.data[end]) {
+			end++
+		}
+		tz.pos = end
+		return psToken{kind: psBare, text: string(tz.data[start:end]), line: tz.line}, nil
+	}
+}
+
+func (tz *psTokenizer) scanString() (psToken, error) {
+	line := tz.line
+	tz.pos++ // consume '('
+	var sb strings.Builder
+	depth := 1
+	for tz.pos < len(tz.data) {
+		c := tz.data[tz.pos]
+		switch c {
+		case '\\':
+			tz.pos++
+			if tz.pos >= len(tz.data) {
+				return psToken{}, fmt.Errorf("%w: postscript line %d: dangling escape", ErrSyntax, line)
+			}
+			esc := tz.data[tz.pos]
+			switch esc {
+			case 'n':
+				sb.WriteByte('\n')
+			case 'r':
+				sb.WriteByte('\r')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				sb.WriteByte(esc)
+			}
+			tz.pos++
+		case '(':
+			depth++
+			sb.WriteByte(c)
+			tz.pos++
+		case ')':
+			depth--
+			tz.pos++
+			if depth == 0 {
+				return psToken{kind: psString, text: sb.String(), line: line}, nil
+			}
+			sb.WriteByte(c)
+		case '\n':
+			tz.line++
+			sb.WriteByte(c)
+			tz.pos++
+		default:
+			sb.WriteByte(c)
+			tz.pos++
+		}
+	}
+	return psToken{}, fmt.Errorf("%w: postscript line %d: unterminated string", ErrSyntax, line)
+}
+
+func isPSDelim(c byte) bool {
+	switch c {
+	case ' ', '\t', '\r', '\n', '/', '(', ')', '<', '>', '[', ']', '%':
+		return true
+	}
+	return false
+}

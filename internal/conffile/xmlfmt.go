@@ -1,0 +1,256 @@
+package conffile
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// XML flattens XML documents (e.g. Evolution and OpenOffice configuration
+// files) into element paths. Each element segment carries its position
+// among its parent's children, so sibling order round-trips:
+//
+//	/config[0]/view[0]/@id      attribute "id"
+//	/config[0]/view[0]/#text    trimmed character data
+//
+// XML names cannot contain '/', '[', ']', '@' or '#', so paths need no
+// escaping.
+type XML struct{}
+
+// Name implements Format.
+func (XML) Name() string { return "xml" }
+
+// Parse implements Format.
+func (XML) Parse(data []byte) (map[string]string, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	kv := make(map[string]string)
+	type frame struct {
+		path     string
+		children int
+		text     strings.Builder
+	}
+	var stack []*frame
+	rootSeen := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: xml: %v", ErrSyntax, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			var pos int
+			parentPath := ""
+			if len(stack) > 0 {
+				parent := stack[len(stack)-1]
+				pos = parent.children
+				parent.children++
+				parentPath = parent.path
+			} else {
+				if rootSeen {
+					return nil, fmt.Errorf("%w: xml: multiple root elements", ErrSyntax)
+				}
+				rootSeen = true
+			}
+			path := fmt.Sprintf("%s/%s[%d]", parentPath, t.Name.Local, pos)
+			for _, attr := range t.Attr {
+				if attr.Name.Space == "xmlns" || attr.Name.Local == "xmlns" {
+					continue // namespace declarations are not settings
+				}
+				kv[path+"/@"+attr.Name.Local] = attr.Value
+			}
+			stack = append(stack, &frame{path: path})
+		case xml.EndElement:
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if text := strings.TrimSpace(top.text.String()); text != "" {
+				kv[top.path+"/#text"] = text
+			}
+		case xml.CharData:
+			if len(stack) > 0 {
+				stack[len(stack)-1].text.Write(t)
+			}
+		}
+	}
+	if !rootSeen {
+		return nil, fmt.Errorf("%w: xml: no root element", ErrSyntax)
+	}
+	return kv, nil
+}
+
+// xmlNode is a reconstructed element.
+type xmlNode struct {
+	name     string
+	attrs    map[string]string
+	text     string
+	children map[int]*xmlNode
+}
+
+func newXMLNode(name string) *xmlNode {
+	return &xmlNode{name: name, attrs: make(map[string]string), children: make(map[int]*xmlNode)}
+}
+
+// Serialize implements Format. Child indices must be contiguous from 0 for
+// every parent (which is what Parse produces); gaps are rejected so the
+// round trip stays exact.
+func (XML) Serialize(kv map[string]string) ([]byte, error) {
+	if len(kv) == 0 {
+		return nil, fmt.Errorf("%w: xml document needs at least a root element", ErrBadKey)
+	}
+	var root *xmlNode
+	for path, value := range kv {
+		if !strings.HasPrefix(path, "/") {
+			return nil, fmt.Errorf("%w: xml path %q must start with '/'", ErrBadKey, path)
+		}
+		segs := strings.Split(path[1:], "/")
+		leafKind, leafName := "", ""
+		last := segs[len(segs)-1]
+		switch {
+		case strings.HasPrefix(last, "@"):
+			leafKind, leafName = "attr", last[1:]
+			segs = segs[:len(segs)-1]
+		case last == "#text":
+			leafKind = "text"
+			segs = segs[:len(segs)-1]
+		default:
+			// A bare element path marks element existence with empty text.
+			leafKind = "element"
+		}
+		if len(segs) == 0 {
+			return nil, fmt.Errorf("%w: xml path %q has no element", ErrBadKey, path)
+		}
+		node, err := descendXML(&root, segs)
+		if err != nil {
+			return nil, fmt.Errorf("%w (path %q)", err, path)
+		}
+		switch leafKind {
+		case "attr":
+			if leafName == "" {
+				return nil, fmt.Errorf("%w: empty attribute name in %q", ErrBadKey, path)
+			}
+			node.attrs[leafName] = value
+		case "text":
+			node.text = value
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("%w: xml document needs a root element", ErrBadKey)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	if err := writeXMLNode(&buf, root, 0); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// descendXML walks (creating as needed) the element chain named by segs.
+func descendXML(root **xmlNode, segs []string) (*xmlNode, error) {
+	name, idx, err := splitXMLSeg(segs[0])
+	if err != nil {
+		return nil, err
+	}
+	if idx != 0 {
+		return nil, fmt.Errorf("%w: root element must have index 0", ErrBadKey)
+	}
+	if *root == nil {
+		*root = newXMLNode(name)
+	}
+	node := *root
+	if node.name != name {
+		return nil, fmt.Errorf("%w: conflicting root elements %q and %q", ErrBadKey, node.name, name)
+	}
+	for _, seg := range segs[1:] {
+		name, idx, err := splitXMLSeg(seg)
+		if err != nil {
+			return nil, err
+		}
+		child, ok := node.children[idx]
+		if !ok {
+			child = newXMLNode(name)
+			node.children[idx] = child
+		}
+		if child.name != name {
+			return nil, fmt.Errorf("%w: child %d is both %q and %q", ErrBadKey, idx, child.name, name)
+		}
+		node = child
+	}
+	return node, nil
+}
+
+func splitXMLSeg(seg string) (name string, idx int, err error) {
+	open := strings.LastIndexByte(seg, '[')
+	if open <= 0 || !strings.HasSuffix(seg, "]") {
+		return "", 0, fmt.Errorf("%w: segment %q needs name[index]", ErrBadKey, seg)
+	}
+	name = seg[:open]
+	idx, convErr := strconv.Atoi(seg[open+1 : len(seg)-1])
+	if convErr != nil || idx < 0 {
+		return "", 0, fmt.Errorf("%w: bad index in segment %q", ErrBadKey, seg)
+	}
+	if strings.ContainsAny(name, "/[]@#<>\"'& \t") {
+		return "", 0, fmt.Errorf("%w: invalid element name %q", ErrBadKey, name)
+	}
+	return name, idx, nil
+}
+
+func writeXMLNode(buf *bytes.Buffer, n *xmlNode, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	buf.WriteString(indent)
+	buf.WriteByte('<')
+	buf.WriteString(n.name)
+	attrNames := make([]string, 0, len(n.attrs))
+	for a := range n.attrs {
+		attrNames = append(attrNames, a)
+	}
+	sort.Strings(attrNames)
+	for _, a := range attrNames {
+		buf.WriteByte(' ')
+		buf.WriteString(a)
+		buf.WriteString(`="`)
+		if err := xml.EscapeText(buf, []byte(n.attrs[a])); err != nil {
+			return err
+		}
+		buf.WriteByte('"')
+	}
+	// Children must be contiguous 0..n-1.
+	idxs := make([]int, 0, len(n.children))
+	for i := range n.children {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for want, got := range idxs {
+		if want != got {
+			return fmt.Errorf("%w: element %q has non-contiguous child indices", ErrBadKey, n.name)
+		}
+	}
+	if len(idxs) == 0 && n.text == "" {
+		buf.WriteString("/>\n")
+		return nil
+	}
+	buf.WriteByte('>')
+	if n.text != "" {
+		if err := xml.EscapeText(buf, []byte(n.text)); err != nil {
+			return err
+		}
+	}
+	if len(idxs) > 0 {
+		buf.WriteByte('\n')
+		for _, i := range idxs {
+			if err := writeXMLNode(buf, n.children[i], depth+1); err != nil {
+				return err
+			}
+		}
+		buf.WriteString(indent)
+	}
+	buf.WriteString("</")
+	buf.WriteString(n.name)
+	buf.WriteString(">\n")
+	return nil
+}

@@ -1,0 +1,192 @@
+package core
+
+import "sort"
+
+// Verdict classifies one extracted cluster against ground truth.
+type Verdict uint8
+
+const (
+	// VerdictExact means the cluster is exactly one ground-truth group.
+	VerdictExact Verdict = iota + 1
+	// VerdictUndersized means every member is related (all drawn from one
+	// ground-truth group) but at least one related setting is missing.
+	VerdictUndersized
+	// VerdictOversized means the cluster contains at least one setting
+	// unrelated to the others (it spans ground-truth groups or includes an
+	// independent setting).
+	VerdictOversized
+)
+
+// String returns the canonical name of the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictExact:
+		return "exact"
+	case VerdictUndersized:
+		return "undersized"
+	case VerdictOversized:
+		return "oversized"
+	default:
+		return "unknown"
+	}
+}
+
+// GroundTruth is the reference partition of an application's related
+// configuration settings: each group lists settings that all depend on each
+// other; settings absent from every group are independent.
+type GroundTruth struct {
+	groupOf map[string]int
+	sizes   []int
+}
+
+// NewGroundTruth builds ground truth from related-setting groups. A setting
+// may appear in at most one group; later duplicates are ignored.
+func NewGroundTruth(groups [][]string) *GroundTruth {
+	gt := &GroundTruth{groupOf: make(map[string]int)}
+	for _, g := range groups {
+		id := len(gt.sizes)
+		size := 0
+		for _, key := range g {
+			if _, dup := gt.groupOf[key]; dup {
+				continue
+			}
+			gt.groupOf[key] = id
+			size++
+		}
+		gt.sizes = append(gt.sizes, size)
+	}
+	return gt
+}
+
+// Related reports whether two settings belong to the same ground-truth
+// group.
+func (gt *GroundTruth) Related(a, b string) bool {
+	ga, ok := gt.groupOf[a]
+	if !ok {
+		return false
+	}
+	gb, ok := gt.groupOf[b]
+	return ok && ga == gb
+}
+
+// GroupSize returns the size of the group containing key (0 when the key is
+// independent).
+func (gt *GroundTruth) GroupSize(key string) int {
+	if id, ok := gt.groupOf[key]; ok {
+		return gt.sizes[id]
+	}
+	return 0
+}
+
+// Classify labels a multi-key cluster against the ground truth, mirroring
+// the paper's manual inspection: a cluster is correctly identified iff
+// there is a dependency relationship among every pair of its settings
+// (exact or undersized); otherwise it is oversized.
+func (gt *GroundTruth) Classify(c *Cluster) Verdict {
+	if len(c.Keys) == 0 {
+		return VerdictOversized
+	}
+	first, ok := gt.groupOf[c.Keys[0]]
+	if !ok {
+		// An independent setting clustered with anything is unrelated to it.
+		return VerdictOversized
+	}
+	for _, key := range c.Keys[1:] {
+		id, ok := gt.groupOf[key]
+		if !ok || id != first {
+			return VerdictOversized
+		}
+	}
+	if len(c.Keys) == gt.sizes[first] {
+		return VerdictExact
+	}
+	return VerdictUndersized
+}
+
+// Report aggregates cluster-accuracy results for one application, the way
+// each row of Table II reports them.
+type Report struct {
+	App string
+	// Keys is the number of distinct settings the application modified.
+	Keys int
+	// Clusters is the total number of clusters extracted.
+	Clusters int
+	// MultiKey is the number of clusters with more than one setting.
+	MultiKey int
+	// Correct counts multi-key clusters in which every pair of settings is
+	// related (exact or undersized), the paper's "correctly identified".
+	Correct    int
+	Exact      int
+	Undersized int
+	Oversized  int
+}
+
+// Accuracy returns correctly identified multi-key clusters over all
+// multi-key clusters, in [0,1]. Applications with no multi-key clusters
+// (like Eye of GNOME in the paper) report ok=false, shown as N/A.
+func (r *Report) Accuracy() (acc float64, ok bool) {
+	if r.MultiKey == 0 {
+		return 0, false
+	}
+	return float64(r.Correct) / float64(r.MultiKey), true
+}
+
+// Evaluate scores extracted clusters against ground truth for one
+// application.
+func Evaluate(app string, clusters []Cluster, gt *GroundTruth) Report {
+	rep := Report{App: app, Clusters: len(clusters)}
+	keys := make(map[string]struct{})
+	for i := range clusters {
+		c := &clusters[i]
+		for _, k := range c.Keys {
+			keys[k] = struct{}{}
+		}
+		if c.Size() <= 1 {
+			continue
+		}
+		rep.MultiKey++
+		switch gt.Classify(c) {
+		case VerdictExact:
+			rep.Exact++
+			rep.Correct++
+		case VerdictUndersized:
+			rep.Undersized++
+			rep.Correct++
+		default:
+			rep.Oversized++
+		}
+	}
+	rep.Keys = len(keys)
+	return rep
+}
+
+// Overall combines per-application reports into the paper's two aggregate
+// accuracy figures: the overall ratio (total correct / total multi-key,
+// 88.6% in the paper) and the per-application mean (72.3% in the paper,
+// averaging only applications that have multi-key clusters).
+func Overall(reports []Report) (overall, mean float64) {
+	var correct, multi int
+	var sum float64
+	var apps int
+	for i := range reports {
+		r := &reports[i]
+		correct += r.Correct
+		multi += r.MultiKey
+		if acc, ok := r.Accuracy(); ok {
+			sum += acc
+			apps++
+		}
+	}
+	if multi > 0 {
+		overall = float64(correct) / float64(multi)
+	}
+	if apps > 0 {
+		mean = sum / float64(apps)
+	}
+	return overall, mean
+}
+
+// SortReports orders reports by application name for stable presentation.
+func SortReports(reports []Report) {
+	sort.Slice(reports, func(i, j int) bool { return reports[i].App < reports[j].App })
+}

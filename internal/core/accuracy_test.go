@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func gt2(groups ...[]string) *GroundTruth { return NewGroundTruth(groups) }
+
+func TestVerdictString(t *testing.T) {
+	if VerdictExact.String() != "exact" || VerdictUndersized.String() != "undersized" ||
+		VerdictOversized.String() != "oversized" || Verdict(9).String() != "unknown" {
+		t.Error("verdict names wrong")
+	}
+}
+
+func TestGroundTruthRelated(t *testing.T) {
+	gt := gt2([]string{"max", "item1", "item2"}, []string{"x", "y"})
+	if !gt.Related("max", "item1") {
+		t.Error("max and item1 should be related")
+	}
+	if gt.Related("max", "x") {
+		t.Error("max and x are in different groups")
+	}
+	if gt.Related("max", "independent") {
+		t.Error("independent key is unrelated to everything")
+	}
+	if gt.GroupSize("max") != 3 || gt.GroupSize("x") != 2 || gt.GroupSize("independent") != 0 {
+		t.Error("GroupSize wrong")
+	}
+}
+
+func TestGroundTruthDuplicateKeyIgnored(t *testing.T) {
+	gt := gt2([]string{"a", "b"}, []string{"b", "c"})
+	// b stays in the first group; the second group has effective size 1.
+	if !gt.Related("a", "b") {
+		t.Error("b must remain in its first group")
+	}
+	if gt.Related("b", "c") {
+		t.Error("duplicate b must not join the second group")
+	}
+	if gt.GroupSize("c") != 1 {
+		t.Errorf("GroupSize(c) = %d, want 1", gt.GroupSize("c"))
+	}
+}
+
+func TestClassify(t *testing.T) {
+	gt := gt2([]string{"a", "b", "c"}, []string{"x", "y"})
+	tests := []struct {
+		name string
+		keys []string
+		want Verdict
+	}{
+		{"exact", []string{"a", "b", "c"}, VerdictExact},
+		{"undersized", []string{"a", "b"}, VerdictUndersized},
+		{"oversized spans groups", []string{"a", "x"}, VerdictOversized},
+		{"oversized includes independent", []string{"a", "b", "z"}, VerdictOversized},
+		{"independent first", []string{"z", "a"}, VerdictOversized},
+		{"empty", nil, VerdictOversized},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := Cluster{Keys: tt.keys}
+			if got := gt.Classify(&c); got != tt.want {
+				t.Errorf("Classify(%v) = %v, want %v", tt.keys, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	gt := gt2([]string{"a", "b", "c"}, []string{"x", "y"})
+	clusters := []Cluster{
+		{Keys: []string{"a", "b", "c"}}, // exact
+		{Keys: []string{"x", "y"}},      // exact
+		{Keys: []string{"a", "x"}},      // oversized (counts keys again, fine)
+		{Keys: []string{"solo"}},        // singleton, not scored
+	}
+	rep := Evaluate("word", clusters, gt)
+	if rep.App != "word" {
+		t.Errorf("App = %q", rep.App)
+	}
+	if rep.Clusters != 4 || rep.MultiKey != 3 {
+		t.Errorf("Clusters/MultiKey = %d/%d, want 4/3", rep.Clusters, rep.MultiKey)
+	}
+	if rep.Correct != 2 || rep.Exact != 2 || rep.Oversized != 1 || rep.Undersized != 0 {
+		t.Errorf("verdict counts = %+v", rep)
+	}
+	if rep.Keys != 6 {
+		t.Errorf("Keys = %d, want 6", rep.Keys)
+	}
+	acc, ok := rep.Accuracy()
+	if !ok || math.Abs(acc-2.0/3.0) > 1e-12 {
+		t.Errorf("Accuracy = %v/%v, want 2/3", acc, ok)
+	}
+}
+
+func TestAccuracyNA(t *testing.T) {
+	rep := Evaluate("eog", []Cluster{{Keys: []string{"only"}}}, gt2())
+	if _, ok := rep.Accuracy(); ok {
+		t.Error("no multi-key clusters must report N/A")
+	}
+}
+
+func TestOverall(t *testing.T) {
+	reports := []Report{
+		{MultiKey: 8, Correct: 8},  // 100%
+		{MultiKey: 2, Correct: 1},  // 50%
+		{MultiKey: 0, Correct: 0},  // N/A, excluded from mean
+		{MultiKey: 10, Correct: 9}, // 90%
+	}
+	overall, mean := Overall(reports)
+	wantOverall := 18.0 / 20.0
+	wantMean := (1.0 + 0.5 + 0.9) / 3.0
+	if math.Abs(overall-wantOverall) > 1e-12 {
+		t.Errorf("overall = %v, want %v", overall, wantOverall)
+	}
+	if math.Abs(mean-wantMean) > 1e-12 {
+		t.Errorf("mean = %v, want %v", mean, wantMean)
+	}
+}
+
+func TestOverallEmpty(t *testing.T) {
+	overall, mean := Overall(nil)
+	if overall != 0 || mean != 0 {
+		t.Errorf("Overall(nil) = %v,%v, want 0,0", overall, mean)
+	}
+}
+
+func TestSortReports(t *testing.T) {
+	reports := []Report{{App: "word"}, {App: "acrobat"}, {App: "chrome"}}
+	SortReports(reports)
+	if reports[0].App != "acrobat" || reports[2].App != "word" {
+		t.Errorf("sorted order wrong: %v %v %v", reports[0].App, reports[1].App, reports[2].App)
+	}
+}
+
+// End-to-end: the Microsoft Word MRU example from Fig 1a of the paper.
+// Max Display and the Item keys are always written together when the user
+// shrinks the recently-used list; an unrelated zoom setting changes alone.
+func TestWordMRUScenario(t *testing.T) {
+	groups := groupsOf(
+		[]string{"Max Display", "Item 1", "Item 2"},
+		[]string{"Max Display", "Item 1", "Item 2"},
+		[]string{"zoom"},
+		[]string{"zoom"},
+	)
+	ps := NewPairStats(groups)
+	clusters := NewClusterer(LinkageComplete).Cluster(ps, DefaultThreshold)
+	gt := gt2([]string{"Max Display", "Item 1", "Item 2"})
+	rep := Evaluate("word", clusters, gt)
+	if rep.MultiKey != 1 || rep.Exact != 1 {
+		t.Fatalf("expected exactly one exact MRU cluster, got %+v (clusters %+v)", rep, clusters)
+	}
+}

@@ -1,0 +1,219 @@
+// Package core implements Ocasta's primary contribution: statistical
+// clustering of related configuration settings from black-box observations
+// of an application's writes to its configuration store.
+//
+// The pipeline is:
+//
+//  1. A sliding time window turns the write stream into co-modification
+//     groups (package trace).
+//  2. For every pair of keys a correlation metric is computed:
+//     corr(A,B) = |A∩B|/|A| + |A∩B|/|B|, where |A| counts the episodes in
+//     which A was modified and |A∩B| the episodes modifying both. The
+//     metric ranges over [0,2]; 2 means "always modified together".
+//  3. Hierarchical agglomerative clustering merges keys using the inverse
+//     correlation as distance, by default under the maximum (complete)
+//     linkage criterion, stopping at a tunable distance threshold. The
+//     default threshold of 0.5 corresponds to a correlation of 2.
+//
+// The resulting clusters are ranked for error recovery by how rarely they
+// were modified: configuration settings change only when a user explicitly
+// edits them, so rarely-modified clusters are the most configuration-like.
+package core
+
+import (
+	"math"
+	"sort"
+
+	"ocasta/internal/trace"
+)
+
+// DefaultThreshold is the default clustering cut-off expressed as a
+// distance: 1/corr with corr = 2, i.e. only keys that are always modified
+// together end up clustered.
+const DefaultThreshold = 0.5
+
+// Correlation computes the paper's pairwise correlation metric from episode
+// counts: co co-modifications of two keys individually modified a and b
+// times. The result is in [0,2] and is 0 when either key has no episodes.
+func Correlation(co, a, b int) float64 {
+	if a <= 0 || b <= 0 || co <= 0 {
+		return 0
+	}
+	return float64(co)/float64(a) + float64(co)/float64(b)
+}
+
+// DistanceFromCorrelation converts a correlation into a clustering distance.
+// Higher correlation means smaller distance; zero correlation is infinitely
+// far apart so never-co-modified keys can never merge.
+func DistanceFromCorrelation(corr float64) float64 {
+	if corr <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / corr
+}
+
+// ThresholdFromCorrelation converts a user-facing correlation threshold
+// (the paper's tunable, 0 < c <= 2) into the distance cut-off used by HAC.
+func ThresholdFromCorrelation(corr float64) float64 {
+	return DistanceFromCorrelation(corr)
+}
+
+// PairStats aggregates co-modification episode counts for the keys seen in
+// a window-grouped write stream. It is the input to clustering.
+type PairStats struct {
+	keys    []string       // index -> key name, sorted for determinism
+	index   map[string]int // key name -> index
+	epCount []int          // per-key number of episodes (groups) touching it
+	co      map[pairKey]int
+	last    []int64 // per-key UnixNano of most recent episode
+	groups  int
+}
+
+type pairKey struct{ lo, hi int }
+
+func mkPair(i, j int) pairKey {
+	if i > j {
+		i, j = j, i
+	}
+	return pairKey{lo: i, hi: j}
+}
+
+// NewPairStats builds pair statistics from co-modification groups.
+func NewPairStats(groups []trace.Group) *PairStats {
+	keySet := make(map[string]struct{})
+	for _, g := range groups {
+		for _, k := range g.Keys {
+			keySet[k] = struct{}{}
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	index := make(map[string]int, len(keys))
+	for i, k := range keys {
+		index[k] = i
+	}
+	ps := &PairStats{
+		keys:    keys,
+		index:   index,
+		epCount: make([]int, len(keys)),
+		co:      make(map[pairKey]int),
+		last:    make([]int64, len(keys)),
+		groups:  len(groups),
+	}
+	for _, g := range groups {
+		ids := make([]int, len(g.Keys))
+		for i, k := range g.Keys {
+			ids[i] = index[k]
+		}
+		end := g.End.UnixNano()
+		for i, a := range ids {
+			ps.epCount[a]++
+			if end > ps.last[a] {
+				ps.last[a] = end
+			}
+			for _, b := range ids[i+1:] {
+				ps.co[mkPair(a, b)]++
+			}
+		}
+	}
+	return ps
+}
+
+// Keys returns the distinct keys observed, sorted.
+func (ps *PairStats) Keys() []string {
+	out := make([]string, len(ps.keys))
+	copy(out, ps.keys)
+	return out
+}
+
+// NumKeys returns how many distinct keys were observed.
+func (ps *PairStats) NumKeys() int { return len(ps.keys) }
+
+// NumGroups returns how many co-modification episodes were observed.
+func (ps *PairStats) NumGroups() int { return ps.groups }
+
+// Episodes returns the number of modification episodes of key, or 0 if the
+// key was never modified.
+func (ps *PairStats) Episodes(key string) int {
+	if i, ok := ps.index[key]; ok {
+		return ps.epCount[i]
+	}
+	return 0
+}
+
+// CoEpisodes returns the number of episodes in which both keys were
+// modified together.
+func (ps *PairStats) CoEpisodes(a, b string) int {
+	ia, ok := ps.index[a]
+	if !ok {
+		return 0
+	}
+	ib, ok := ps.index[b]
+	if !ok || ia == ib {
+		return 0
+	}
+	return ps.co[mkPair(ia, ib)]
+}
+
+// KeyCorrelation returns the correlation between two named keys.
+func (ps *PairStats) KeyCorrelation(a, b string) float64 {
+	ia, ok := ps.index[a]
+	if !ok {
+		return 0
+	}
+	ib, ok := ps.index[b]
+	if !ok || ia == ib {
+		return 0
+	}
+	return Correlation(ps.co[mkPair(ia, ib)], ps.epCount[ia], ps.epCount[ib])
+}
+
+// correlationByIndex is the internal fast path used by HAC.
+func (ps *PairStats) correlationByIndex(i, j int) float64 {
+	return Correlation(ps.co[mkPair(i, j)], ps.epCount[i], ps.epCount[j])
+}
+
+// adjacency returns, per key index, the set of neighbours with non-zero
+// co-modification counts. HAC decomposes over the connected components of
+// this graph: keys in different components are at infinite distance and can
+// never merge under any linkage.
+func (ps *PairStats) adjacency() [][]int {
+	adj := make([][]int, len(ps.keys))
+	for pk := range ps.co {
+		adj[pk.lo] = append(adj[pk.lo], pk.hi)
+		adj[pk.hi] = append(adj[pk.hi], pk.lo)
+	}
+	return adj
+}
+
+// components returns the connected components of the co-modification graph,
+// each sorted, in deterministic (smallest-member) order.
+func (ps *PairStats) components() [][]int {
+	adj := ps.adjacency()
+	seen := make([]bool, len(ps.keys))
+	var comps [][]int
+	for start := range ps.keys {
+		if seen[start] {
+			continue
+		}
+		comp := []int{start}
+		seen[start] = true
+		for frontier := []int{start}; len(frontier) > 0; {
+			next := frontier[0]
+			frontier = frontier[1:]
+			for _, nb := range adj[next] {
+				if !seen[nb] {
+					seen[nb] = true
+					comp = append(comp, nb)
+					frontier = append(frontier, nb)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ocasta/internal/trace"
+)
+
+var t0 = time.Date(2013, 6, 1, 12, 0, 0, 0, time.UTC)
+
+// groupsOf builds co-modification groups from key lists; group i is stamped
+// i seconds after t0.
+func groupsOf(keyLists ...[]string) []trace.Group {
+	groups := make([]trace.Group, len(keyLists))
+	for i, keys := range keyLists {
+		ts := t0.Add(time.Duration(i) * time.Second)
+		sorted := append([]string(nil), keys...)
+		groups[i] = trace.Group{Start: ts, End: ts, Keys: sorted}
+	}
+	return groups
+}
+
+func TestCorrelationMetric(t *testing.T) {
+	tests := []struct {
+		name     string
+		co, a, b int
+		want     float64
+	}{
+		{"always together", 5, 5, 5, 2},
+		{"never together", 0, 5, 5, 0},
+		{"half and half", 1, 2, 2, 1},
+		{"asymmetric", 2, 2, 4, 1.5},
+		{"zero episodes", 0, 0, 0, 0},
+		{"negative guarded", -1, 5, 5, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Correlation(tt.co, tt.a, tt.b); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Correlation(%d,%d,%d) = %v, want %v", tt.co, tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCorrelationBoundsProperty(t *testing.T) {
+	prop := func(co, a, b uint8) bool {
+		c := int(co % 50)
+		ae, be := int(a%50)+c, int(b%50)+c // ensure co <= |A|, |B|
+		if ae == 0 || be == 0 {
+			return true
+		}
+		corr := Correlation(c, ae, be)
+		return corr >= 0 && corr <= 2 &&
+			math.Abs(corr-Correlation(c, be, ae)) < 1e-12 // symmetry
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceFromCorrelation(t *testing.T) {
+	if d := DistanceFromCorrelation(2); d != 0.5 {
+		t.Errorf("distance(corr=2) = %v, want 0.5", d)
+	}
+	if d := DistanceFromCorrelation(0); !math.IsInf(d, 1) {
+		t.Errorf("distance(corr=0) = %v, want +Inf", d)
+	}
+	if d := DistanceFromCorrelation(1); d != 1 {
+		t.Errorf("distance(corr=1) = %v, want 1", d)
+	}
+}
+
+func TestDistanceMonotoneProperty(t *testing.T) {
+	// Higher correlation must never increase distance.
+	prop := func(x, y uint16) bool {
+		cx := float64(x%2000) / 1000 // [0,2)
+		cy := float64(y%2000) / 1000
+		if cx > cy {
+			cx, cy = cy, cx
+		}
+		return DistanceFromCorrelation(cx) >= DistanceFromCorrelation(cy)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairStatsCounts(t *testing.T) {
+	ps := NewPairStats(groupsOf(
+		[]string{"a", "b"},
+		[]string{"a", "b"},
+		[]string{"a"},
+		[]string{"c"},
+	))
+	if ps.NumKeys() != 3 {
+		t.Fatalf("NumKeys = %d, want 3", ps.NumKeys())
+	}
+	if ps.NumGroups() != 4 {
+		t.Fatalf("NumGroups = %d, want 4", ps.NumGroups())
+	}
+	if got := ps.Episodes("a"); got != 3 {
+		t.Errorf("Episodes(a) = %d, want 3", got)
+	}
+	if got := ps.CoEpisodes("a", "b"); got != 2 {
+		t.Errorf("CoEpisodes(a,b) = %d, want 2", got)
+	}
+	if got := ps.CoEpisodes("a", "c"); got != 0 {
+		t.Errorf("CoEpisodes(a,c) = %d, want 0", got)
+	}
+	// corr(a,b) = 2/3 + 2/2 = 1.666...
+	want := 2.0/3.0 + 1.0
+	if got := ps.KeyCorrelation("a", "b"); math.Abs(got-want) > 1e-12 {
+		t.Errorf("KeyCorrelation(a,b) = %v, want %v", got, want)
+	}
+	if got := ps.KeyCorrelation("a", "missing"); got != 0 {
+		t.Errorf("KeyCorrelation with unknown key = %v, want 0", got)
+	}
+	if got := ps.Episodes("missing"); got != 0 {
+		t.Errorf("Episodes(missing) = %d, want 0", got)
+	}
+}
+
+func TestPairStatsSelfPair(t *testing.T) {
+	ps := NewPairStats(groupsOf([]string{"a", "b"}))
+	if got := ps.CoEpisodes("a", "a"); got != 0 {
+		t.Errorf("CoEpisodes(a,a) = %d, want 0", got)
+	}
+	if got := ps.KeyCorrelation("a", "a"); got != 0 {
+		t.Errorf("KeyCorrelation(a,a) = %v, want 0", got)
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	if LinkageComplete.String() != "complete" || LinkageSingle.String() != "single" ||
+		LinkageAverage.String() != "average" {
+		t.Error("linkage names wrong")
+	}
+	if Linkage(9).String() != "linkage(9)" {
+		t.Error("unknown linkage should stringify with its number")
+	}
+}
+
+func TestClusterAlwaysTogether(t *testing.T) {
+	// a,b always together; c independent. Default threshold keeps {a,b}.
+	ps := NewPairStats(groupsOf(
+		[]string{"a", "b"},
+		[]string{"a", "b"},
+		[]string{"c"},
+	))
+	clusters := NewClusterer(LinkageComplete).Cluster(ps, DefaultThreshold)
+	if len(clusters) != 2 {
+		t.Fatalf("got %d clusters, want 2: %+v", len(clusters), clusters)
+	}
+	var ab *Cluster
+	for i := range clusters {
+		if clusters[i].Size() == 2 {
+			ab = &clusters[i]
+		}
+	}
+	if ab == nil || !ab.Contains("a") || !ab.Contains("b") {
+		t.Fatalf("expected cluster {a,b}, got %+v", clusters)
+	}
+	if ab.ModCount != 4 { // a touched 2 episodes + b touched 2 episodes
+		t.Errorf("ModCount = %d, want 4", ab.ModCount)
+	}
+	if !ab.LastModified.Equal(t0.Add(time.Second)) {
+		t.Errorf("LastModified = %v, want %v", ab.LastModified, t0.Add(time.Second))
+	}
+}
+
+func TestClusterSometimesTogetherNeedsLowerThreshold(t *testing.T) {
+	// a,b together 2 of 3 times: corr = 2/3 + 2/3 = 4/3, distance 0.75.
+	ps := NewPairStats(groupsOf(
+		[]string{"a", "b"},
+		[]string{"a", "b"},
+		[]string{"a"},
+		[]string{"b"},
+	))
+	cl := NewClusterer(LinkageComplete)
+	strict := cl.Cluster(ps, DefaultThreshold)
+	if len(strict) != 2 {
+		t.Fatalf("strict threshold: got %d clusters, want 2 singletons", len(strict))
+	}
+	// The paper's remedy: reduce the threshold (correlation 1 -> distance 1).
+	relaxed := cl.Cluster(ps, ThresholdFromCorrelation(1))
+	if len(relaxed) != 1 || relaxed[0].Size() != 2 {
+		t.Fatalf("relaxed threshold: got %+v, want one {a,b} cluster", relaxed)
+	}
+}
+
+func TestCompleteVsSingleLinkage(t *testing.T) {
+	// Chain: a-b always together; b-c always together; a-c never.
+	// Under single linkage the chain collapses into {a,b,c}; under complete
+	// linkage the a-c distance (infinite) blocks the second merge.
+	groups := groupsOf(
+		[]string{"a", "b"},
+		[]string{"b", "c"},
+		[]string{"a", "b"},
+		[]string{"b", "c"},
+	)
+	ps := NewPairStats(groups)
+	single := NewClusterer(LinkageSingle).Cluster(ps, 2.0)
+	if len(single) != 1 || single[0].Size() != 3 {
+		t.Fatalf("single linkage: got %+v, want one {a,b,c} cluster", single)
+	}
+	complete := NewClusterer(LinkageComplete).Cluster(ps, 2.0)
+	for _, c := range complete {
+		if c.Contains("a") && c.Contains("c") {
+			t.Fatalf("complete linkage must not bridge a and c: %+v", complete)
+		}
+	}
+}
+
+func TestAverageLinkage(t *testing.T) {
+	groups := groupsOf(
+		[]string{"a", "b"},
+		[]string{"b", "c"},
+		[]string{"a", "c"},
+	)
+	ps := NewPairStats(groups)
+	// All pairs have corr = 1/2+1/2 = 1, distance 1. Average linkage merges
+	// everything at threshold 1.
+	clusters := NewClusterer(LinkageAverage).Cluster(ps, 1.0)
+	if len(clusters) != 1 || clusters[0].Size() != 3 {
+		t.Fatalf("average linkage: got %+v, want one cluster of 3", clusters)
+	}
+}
+
+func TestNewClustererFallback(t *testing.T) {
+	if got := NewClusterer(Linkage(99)).Linkage(); got != LinkageComplete {
+		t.Errorf("unknown linkage fell back to %v, want complete", got)
+	}
+}
+
+func TestDendrogramCutMonotone(t *testing.T) {
+	groups := groupsOf(
+		[]string{"a", "b", "c"},
+		[]string{"a", "b"},
+		[]string{"c", "d"},
+		[]string{"d"},
+	)
+	d := NewClusterer(LinkageComplete).Dendrogram(NewPairStats(groups))
+	prev := math.MaxInt
+	for _, th := range []float64{0.4, 0.5, 0.75, 1.0, 2.0, 10.0} {
+		n := len(d.Cut(th))
+		if n > prev {
+			t.Fatalf("cluster count increased from %d to %d as threshold grew to %v", prev, n, th)
+		}
+		prev = n
+	}
+}
+
+func TestDendrogramMergeHeightsMonotone(t *testing.T) {
+	groups := groupsOf(
+		[]string{"a", "b", "c", "d"},
+		[]string{"a", "b"},
+		[]string{"a", "b"},
+		[]string{"c", "d"},
+		[]string{"a", "c"},
+	)
+	for _, link := range []Linkage{LinkageComplete, LinkageSingle, LinkageAverage} {
+		d := NewClusterer(link).Dendrogram(NewPairStats(groups))
+		// Within the single component of this graph, heights must be
+		// non-decreasing for monotone linkages.
+		var prev float64
+		for i, m := range d.Merges() {
+			if m.Height < prev-1e-12 {
+				t.Errorf("%v linkage: merge %d height %v < previous %v", link, i, m.Height, prev)
+			}
+			prev = m.Height
+		}
+	}
+}
+
+func TestSortForRecovery(t *testing.T) {
+	clusters := []Cluster{
+		{Keys: []string{"frequent"}, ModCount: 100, LastModified: t0},
+		{Keys: []string{"rare"}, ModCount: 2, LastModified: t0},
+		{Keys: []string{"rare-recent"}, ModCount: 2, LastModified: t0.Add(time.Hour)},
+	}
+	SortForRecovery(clusters)
+	if clusters[0].Keys[0] != "rare-recent" {
+		t.Errorf("first = %v, want rare-recent (low count, most recent)", clusters[0].Keys)
+	}
+	if clusters[2].Keys[0] != "frequent" {
+		t.Errorf("last = %v, want frequent", clusters[2].Keys)
+	}
+}
+
+func TestMultiKeyAndAverageSize(t *testing.T) {
+	clusters := []Cluster{
+		{Keys: []string{"a", "b", "c"}},
+		{Keys: []string{"d"}},
+		{Keys: []string{"e", "f"}},
+	}
+	multi := MultiKey(clusters)
+	if len(multi) != 2 {
+		t.Fatalf("MultiKey = %d clusters, want 2", len(multi))
+	}
+	if got := AverageSize(clusters); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("AverageSize = %v, want 2", got)
+	}
+	if got := AverageSize(nil); got != 0 {
+		t.Errorf("AverageSize(nil) = %v, want 0", got)
+	}
+}
+
+// Property: Cut always yields a partition — every key in exactly one
+// cluster, regardless of threshold, linkage, or input shape.
+func TestCutPartitionProperty(t *testing.T) {
+	prop := func(seed uint8, thresholdSel uint8, linkSel uint8) bool {
+		// Build a deterministic but varied group structure from the seed.
+		n := int(seed%5) + 2
+		var lists [][]string
+		keys := []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6"}
+		for i := 0; i < n*3; i++ {
+			a := keys[(i+int(seed))%len(keys)]
+			b := keys[(i*2+int(seed)+1)%len(keys)]
+			if a == b {
+				lists = append(lists, []string{a})
+			} else {
+				lists = append(lists, []string{a, b})
+			}
+		}
+		ps := NewPairStats(groupsOf(lists...))
+		links := []Linkage{LinkageComplete, LinkageSingle, LinkageAverage}
+		threshold := []float64{0.5, 0.75, 1, 2, math.Inf(1)}[thresholdSel%5]
+		clusters := NewClusterer(links[linkSel%3]).Cluster(ps, threshold)
+		seen := make(map[string]int)
+		for _, c := range clusters {
+			for _, k := range c.Keys {
+				seen[k]++
+			}
+		}
+		if len(seen) != ps.NumKeys() {
+			return false
+		}
+		for _, cnt := range seen {
+			if cnt != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a smaller threshold never produces larger clusters (threshold
+// monotonicity underlies the paper's tuning advice).
+func TestThresholdMonotonicityProperty(t *testing.T) {
+	prop := func(seed uint8) bool {
+		keys := []string{"a", "b", "c", "d", "e"}
+		var lists [][]string
+		for i := 0; i < 12; i++ {
+			x := keys[(i+int(seed))%5]
+			y := keys[(i*3+int(seed)/2)%5]
+			if x == y {
+				lists = append(lists, []string{x})
+			} else {
+				lists = append(lists, []string{x, y})
+			}
+		}
+		d := NewClusterer(LinkageComplete).Dendrogram(NewPairStats(lists2groups(lists)))
+		small := d.Cut(0.5)
+		large := d.Cut(1.5)
+		return len(small) >= len(large)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func lists2groups(lists [][]string) []trace.Group {
+	return groupsOf(lists...)
+}

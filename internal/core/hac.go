@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Linkage selects how the distance between two clusters is derived from
+// the distances between their members.
+type Linkage uint8
+
+const (
+	// LinkageComplete (the paper's "maximum linkage criterion") uses the
+	// largest member-pair distance, so a merged cluster is only as related
+	// as its least-related pair. This is Ocasta's default.
+	LinkageComplete Linkage = iota + 1
+	// LinkageSingle uses the smallest member-pair distance.
+	LinkageSingle
+	// LinkageAverage uses the unweighted mean of member-pair distances
+	// (UPGMA); included for the ablation study.
+	LinkageAverage
+)
+
+// String returns the canonical name of the linkage criterion.
+func (l Linkage) String() string {
+	switch l {
+	case LinkageComplete:
+		return "complete"
+	case LinkageSingle:
+		return "single"
+	case LinkageAverage:
+		return "average"
+	default:
+		return fmt.Sprintf("linkage(%d)", uint8(l))
+	}
+}
+
+// Merge records one agglomeration step of the dendrogram. Node identifiers
+// follow the scipy convention: leaves are 0..n-1; the i-th merge creates
+// node n+i.
+type Merge struct {
+	A, B   int     // the two nodes merged
+	Node   int     // identifier of the newly created node
+	Height float64 // linkage distance at which the merge happened
+}
+
+// Dendrogram is the full merge tree produced by HAC. Because complete,
+// single, and average linkage are all monotone (merge heights never
+// decrease), cutting the dendrogram at a threshold is equivalent to
+// stopping the clustering at that threshold, so one dendrogram supports
+// arbitrarily many threshold sweeps (used by the Fig 3b bench).
+type Dendrogram struct {
+	keys   []string
+	merges []Merge
+	// modCount / lastMod carry per-leaf episode statistics through to the
+	// clusters produced by Cut.
+	modCount []int
+	lastMod  []int64
+}
+
+// Keys returns the leaf keys, sorted, as indexed by leaf node identifiers.
+func (d *Dendrogram) Keys() []string {
+	out := make([]string, len(d.keys))
+	copy(out, d.keys)
+	return out
+}
+
+// Merges returns the merge sequence in the order it was performed.
+func (d *Dendrogram) Merges() []Merge {
+	out := make([]Merge, len(d.merges))
+	copy(out, d.merges)
+	return out
+}
+
+// Cluster is a group of related configuration settings extracted by Ocasta.
+type Cluster struct {
+	// Keys are the member settings, sorted.
+	Keys []string
+	// ModCount is the total number of modification episodes that touched
+	// any member key; repair searches low-count clusters first.
+	ModCount int
+	// LastModified is the most recent modification episode of any member.
+	LastModified time.Time
+}
+
+// Size returns the number of settings in the cluster.
+func (c *Cluster) Size() int { return len(c.Keys) }
+
+// Contains reports whether the cluster includes key.
+func (c *Cluster) Contains(key string) bool {
+	i := sort.SearchStrings(c.Keys, key)
+	return i < len(c.Keys) && c.Keys[i] == key
+}
+
+// Cut partitions the leaves using every merge with height <= maxDist.
+// Leaves that never merged below the threshold come back as singleton
+// clusters. Clusters are returned in deterministic order (by first key).
+func (d *Dendrogram) Cut(maxDist float64) []Cluster {
+	n := len(d.keys)
+	parent := make([]int, n+len(d.merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, m := range d.merges {
+		if m.Height > maxDist {
+			continue
+		}
+		ra, rb := find(m.A), find(m.B)
+		parent[ra] = m.Node
+		parent[rb] = m.Node
+	}
+	members := make(map[int][]int)
+	for leaf := 0; leaf < n; leaf++ {
+		root := find(leaf)
+		members[root] = append(members[root], leaf)
+	}
+	clusters := make([]Cluster, 0, len(members))
+	for _, leaves := range members {
+		c := Cluster{Keys: make([]string, 0, len(leaves))}
+		var last int64
+		for _, leaf := range leaves {
+			c.Keys = append(c.Keys, d.keys[leaf])
+			c.ModCount += d.modCount[leaf]
+			if d.lastMod[leaf] > last {
+				last = d.lastMod[leaf]
+			}
+		}
+		sort.Strings(c.Keys)
+		if last > 0 {
+			c.LastModified = time.Unix(0, last).UTC()
+		}
+		clusters = append(clusters, c)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i].Keys[0] < clusters[j].Keys[0] })
+	return clusters
+}
+
+// Clusterer runs hierarchical agglomerative clustering over pair statistics.
+type Clusterer struct {
+	linkage Linkage
+}
+
+// NewClusterer returns a clusterer with the given linkage criterion;
+// an unknown linkage falls back to the paper's complete linkage.
+func NewClusterer(linkage Linkage) *Clusterer {
+	if linkage != LinkageSingle && linkage != LinkageAverage {
+		linkage = LinkageComplete
+	}
+	return &Clusterer{linkage: linkage}
+}
+
+// Linkage returns the configured linkage criterion.
+func (c *Clusterer) Linkage() Linkage { return c.linkage }
+
+// Dendrogram computes the full merge tree of the keys in ps. Keys that were
+// never co-modified sit in different connected components of the
+// co-modification graph and are never merged (their pairwise distance is
+// infinite), so the result is in general a forest.
+func (c *Clusterer) Dendrogram(ps *PairStats) *Dendrogram {
+	n := len(ps.keys)
+	d := &Dendrogram{
+		keys:     ps.Keys(),
+		modCount: make([]int, n),
+		lastMod:  make([]int64, n),
+	}
+	copy(d.modCount, ps.epCount)
+	copy(d.lastMod, ps.last)
+	nextNode := n
+	for _, comp := range ps.components() {
+		if len(comp) < 2 {
+			continue
+		}
+		nextNode = c.mergeComponent(ps, comp, d, nextNode)
+	}
+	return d
+}
+
+// mergeComponent runs agglomerative clustering within one connected
+// component using a Lance-Williams distance-matrix update. Returns the next
+// unused node identifier.
+func (c *Clusterer) mergeComponent(ps *PairStats, comp []int, d *Dendrogram, nextNode int) int {
+	k := len(comp)
+	type active struct {
+		node int // dendrogram node id
+		size int // number of leaves
+	}
+	rows := make([]active, k)
+	for i, leaf := range comp {
+		rows[i] = active{node: leaf, size: 1}
+	}
+	// dist is a symmetric k x k matrix over active rows.
+	dist := make([][]float64, k)
+	for i := range dist {
+		dist[i] = make([]float64, k)
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			dd := DistanceFromCorrelation(ps.correlationByIndex(comp[i], comp[j]))
+			dist[i][j] = dd
+			dist[j][i] = dd
+		}
+	}
+	alive := make([]bool, k)
+	for i := range alive {
+		alive[i] = true
+	}
+	remaining := k
+	for remaining > 1 {
+		// Find the closest live pair; ties break toward the smallest
+		// indices for determinism.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < k; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := i + 1; j < k; j++ {
+				if !alive[j] {
+					continue
+				}
+				if dist[i][j] < best {
+					bi, bj, best = i, j, dist[i][j]
+				}
+			}
+		}
+		if math.IsInf(best, 1) {
+			break // no finite merge remains in this component
+		}
+		d.merges = append(d.merges, Merge{
+			A: rows[bi].node, B: rows[bj].node, Node: nextNode, Height: best,
+		})
+		// Fold bj into bi under the Lance-Williams update for the linkage.
+		si, sj := float64(rows[bi].size), float64(rows[bj].size)
+		for m := 0; m < k; m++ {
+			if !alive[m] || m == bi || m == bj {
+				continue
+			}
+			dim, djm := dist[bi][m], dist[bj][m]
+			var nd float64
+			switch c.linkage {
+			case LinkageSingle:
+				nd = math.Min(dim, djm)
+			case LinkageAverage:
+				switch {
+				case math.IsInf(dim, 1) || math.IsInf(djm, 1):
+					nd = math.Inf(1)
+				default:
+					nd = (si*dim + sj*djm) / (si + sj)
+				}
+			default: // complete
+				nd = math.Max(dim, djm)
+			}
+			dist[bi][m] = nd
+			dist[m][bi] = nd
+		}
+		rows[bi] = active{node: nextNode, size: rows[bi].size + rows[bj].size}
+		alive[bj] = false
+		nextNode++
+		remaining--
+	}
+	return nextNode
+}
+
+// Cluster is the one-call convenience API: it builds the dendrogram and
+// cuts it at threshold (a distance; use ThresholdFromCorrelation to derive
+// it from a correlation value).
+func (c *Clusterer) Cluster(ps *PairStats, threshold float64) []Cluster {
+	return c.Dendrogram(ps).Cut(threshold)
+}
+
+// SortForRecovery orders clusters the way Ocasta's repair tool searches
+// them: by ascending modification count (changes to configuration settings
+// are infrequent, so rarely-modified clusters are checked first), breaking
+// ties toward more recently modified clusters, then by first key for
+// determinism.
+func SortForRecovery(clusters []Cluster) {
+	sort.SliceStable(clusters, func(i, j int) bool {
+		a, b := &clusters[i], &clusters[j]
+		if a.ModCount != b.ModCount {
+			return a.ModCount < b.ModCount
+		}
+		if !a.LastModified.Equal(b.LastModified) {
+			return a.LastModified.After(b.LastModified)
+		}
+		return a.Keys[0] < b.Keys[0]
+	})
+}
+
+// MultiKey filters to clusters with more than one setting — the clusters
+// Table II of the paper evaluates.
+func MultiKey(clusters []Cluster) []Cluster {
+	out := make([]Cluster, 0, len(clusters))
+	for _, cl := range clusters {
+		if cl.Size() > 1 {
+			out = append(out, cl)
+		}
+	}
+	return out
+}
+
+// AverageSize returns the mean cluster size (Fig 3 of the paper); 0 for an
+// empty slice.
+func AverageSize(clusters []Cluster) float64 {
+	if len(clusters) == 0 {
+		return 0
+	}
+	total := 0
+	for _, cl := range clusters {
+		total += cl.Size()
+	}
+	return float64(total) / float64(len(clusters))
+}

@@ -1,0 +1,362 @@
+// Package faults catalogs the 16 real-world configuration errors of
+// Table III and implements their injection into a recorded deployment,
+// following the paper's methodology: the erroneous value is written into
+// the trace/TTKV at a chosen time (14 days before the end of the trace in
+// the main experiment), and spurious repair-attempt writes can be appended
+// after it (Fig 2b).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ocasta/internal/apps"
+	"ocasta/internal/trace"
+	"ocasta/internal/ttkv"
+)
+
+// ErrUnknownFault is returned for an out-of-range fault id.
+var ErrUnknownFault = errors.New("faults: unknown fault id")
+
+// BadWrite is one erroneous mutation a fault injects.
+type BadWrite struct {
+	Key    string
+	Value  string // ignored when Delete
+	Delete bool
+}
+
+// Fault is one Table III configuration error.
+type Fault struct {
+	ID          int
+	TraceName   string // Table III "Trace" column
+	AppName     string // canonical model name
+	Logger      trace.StoreKind
+	Description string
+
+	// BadWrites are the erroneous mutations; CoWrites are related settings
+	// the application persists in the same flush with their current
+	// values (dialog groups are written together, so a misconfiguration
+	// episode is still one co-modification episode).
+	BadWrites []BadWrite
+	CoWrites  []string
+
+	// TrialActions is the UI script whose screen makes the symptom
+	// visible.
+	TrialActions []string
+	// FixedMarker appears in the screenshot iff the symptom is gone;
+	// BrokenMarker appears while the error manifests.
+	FixedMarker  string
+	BrokenMarker string
+
+	// Window and Threshold override Ocasta's defaults where the paper had
+	// to tune them (errors #2 and #4). Zero values mean the defaults
+	// (1-second window, correlation threshold 2).
+	Window    time.Duration
+	Threshold float64
+
+	// NoClustCanFix records Table IV's comparison column: whether rolling
+	// back one setting at a time can also fix the error.
+	NoClustCanFix bool
+	// PaperClusterSize and PaperTrials record the Table IV reference
+	// values for EXPERIMENTS.md comparisons.
+	PaperClusterSize int
+	PaperTrials      int
+}
+
+// Model returns the fault's application model.
+func (f *Fault) Model() *apps.Model { return apps.ModelByName(f.AppName) }
+
+// OffendingKeys returns the keys the fault corrupts.
+func (f *Fault) OffendingKeys() []string {
+	out := make([]string, 0, len(f.BadWrites))
+	for _, bw := range f.BadWrites {
+		out = append(out, bw.Key)
+	}
+	return out
+}
+
+// Catalog returns all 16 faults of Table III.
+func Catalog() []Fault {
+	return []Fault{
+		{
+			ID: 1, TraceName: "Windows 7", AppName: "outlook", Logger: trace.StoreRegistry,
+			Description:   "User is unable to use Navigation Panel.",
+			BadWrites:     []BadWrite{{Key: apps.KeyOutlookNavPane, Value: "REG_DWORD:0"}},
+			CoWrites:      []string{apps.KeyOutlookNavWidth},
+			TrialActions:  []string{"launch"},
+			FixedMarker:   "[x] navigation-panel",
+			BrokenMarker:  "[ ] navigation-panel",
+			NoClustCanFix: true, PaperClusterSize: 2, PaperTrials: 15,
+		},
+		{
+			ID: 2, TraceName: "Windows 7", AppName: "msword", Logger: trace.StoreRegistry,
+			Description: "User loses the list of recently accessed documents.",
+			BadWrites: append(
+				[]BadWrite{{Key: apps.KeyWordMaxDisplay, Value: "REG_DWORD:0"}},
+				deleteItems()...,
+			),
+			TrialActions: []string{"launch"},
+			FixedMarker:  "[x] recent-documents",
+			BrokenMarker: "[ ] recent-documents",
+			// The paper could not fix this error with the defaults: the
+			// dominant Max Display splits from the Item keys. It succeeds
+			// with a 30-second window and a correlation threshold of 1.
+			Window: 30 * time.Second, Threshold: 1,
+			NoClustCanFix: false, PaperClusterSize: 8, PaperTrials: 2,
+		},
+		{
+			ID: 3, TraceName: "Windows 7", AppName: "ie", Logger: trace.StoreRegistry,
+			Description:   "Dialog to disable add-ons always pops up.",
+			BadWrites:     []BadWrite{{Key: apps.KeyIENoAddonDlg, Value: "REG_DWORD:0"}},
+			CoWrites:      []string{apps.KeyIEApprovedCnt},
+			TrialActions:  []string{"launch"},
+			FixedMarker:   "[ ] addon-warning-dialog",
+			BrokenMarker:  "[x] addon-warning-dialog",
+			NoClustCanFix: true, PaperClusterSize: 2, PaperTrials: 14,
+		},
+		{
+			ID: 4, TraceName: "Windows Vista", AppName: "explorer", Logger: trace.StoreRegistry,
+			Description: `"Open with" menu does not show installed applications that can open .flv file.`,
+			BadWrites: []BadWrite{
+				{Key: apps.KeyFlvMRUList, Value: "REG_SZ:"},
+				{Key: apps.KeyFlvAppA, Delete: true},
+				{Key: apps.KeyFlvAppB, Delete: true},
+			},
+			TrialActions: []string{"launch", "context-menu-flv"},
+			FixedMarker:  "[x] openwith-flv-apps",
+			BrokenMarker: "[ ] openwith-flv-apps",
+			// The MRU order list changes even when the application names do
+			// not; reducing the threshold to 1 clusters list and names.
+			Threshold:     1,
+			NoClustCanFix: false, PaperClusterSize: 3, PaperTrials: 33,
+		},
+		{
+			ID: 5, TraceName: "Windows XP", AppName: "wmp", Logger: trace.StoreRegistry,
+			Description: "Caption is not shown while playing video.",
+			BadWrites:   []BadWrite{{Key: apps.KeyWMPCaptionsOn, Value: "REG_DWORD:0"}},
+			CoWrites: []string{
+				apps.KeyWMPCaptionsLang, apps.KeyWMPCaptionsSize, apps.KeyWMPCaptionsClr,
+			},
+			TrialActions:  []string{"launch", "play-video"},
+			FixedMarker:   "[x] captions",
+			BrokenMarker:  "[ ] captions",
+			NoClustCanFix: true, PaperClusterSize: 4, PaperTrials: 60,
+		},
+		{
+			ID: 6, TraceName: "Windows XP", AppName: "mspaint", Logger: trace.StoreRegistry,
+			Description: "Text tool bar does not pop up automatically when entering text.",
+			BadWrites: []BadWrite{
+				{Key: apps.KeyPaintShowTextTool, Value: "REG_DWORD:0"},
+				{Key: apps.PaintPrefix + `\View\TextToolX`, Delete: true},
+				{Key: apps.PaintPrefix + `\View\TextToolY`, Delete: true},
+			},
+			CoWrites: []string{
+				apps.PaintPrefix + `\View\TextFont`, apps.PaintPrefix + `\View\TextSize`,
+				apps.PaintPrefix + `\View\TextBold`, apps.PaintPrefix + `\View\TextItalic`,
+				apps.PaintPrefix + `\View\TextCharset`,
+			},
+			TrialActions:  []string{"launch", "enter-text"},
+			FixedMarker:   "[x] text-toolbar",
+			BrokenMarker:  "[ ] text-toolbar",
+			NoClustCanFix: false, PaperClusterSize: 8, PaperTrials: 8,
+		},
+		{
+			ID: 7, TraceName: "Windows XP", AppName: "explorer", Logger: trace.StoreRegistry,
+			Description: "Image files are always opened in a maximized window.",
+			BadWrites: []BadWrite{
+				{Key: apps.KeyImgWindowMode, Value: "REG_SZ:maximized"},
+				{Key: apps.KeyImgWindowPlace, Value: "REG_BINARY:ffff"},
+			},
+			TrialActions:  []string{"launch", "open-image"},
+			FixedMarker:   "[x] image-window-normal",
+			BrokenMarker:  "[ ] image-window-normal",
+			NoClustCanFix: false, PaperClusterSize: 2, PaperTrials: 134,
+		},
+		{
+			ID: 8, TraceName: "Linux-1", AppName: "evolution", Logger: trace.StoreGConf,
+			Description:   "Evolution Mail starts in offline mode unexpectedly.",
+			BadWrites:     []BadWrite{{Key: apps.KeyEvoStartOffline, Value: "b:true"}},
+			CoWrites:      []string{apps.KeyEvoOfflineSync},
+			TrialActions:  []string{"launch"},
+			FixedMarker:   "[x] online-mode",
+			BrokenMarker:  "[ ] online-mode",
+			NoClustCanFix: true, PaperClusterSize: 2, PaperTrials: 7,
+		},
+		{
+			ID: 9, TraceName: "Linux-1", AppName: "evolution", Logger: trace.StoreGConf,
+			Description: "Evolution Mail does not mark read mail automatically.",
+			BadWrites: []BadWrite{
+				{Key: apps.KeyEvoMarkSeen, Value: "b:false"},
+				{Key: apps.KeyEvoMarkSeenTime, Value: "i:-1"},
+			},
+			TrialActions:  []string{"launch", "open-mail"},
+			FixedMarker:   "[x] auto-mark-read",
+			BrokenMarker:  "[ ] auto-mark-read",
+			NoClustCanFix: false, PaperClusterSize: 2, PaperTrials: 9,
+		},
+		{
+			ID: 10, TraceName: "Linux-1", AppName: "evolution", Logger: trace.StoreGConf,
+			Description:   "Evolution Mail does not start a reply at the top of an e-mail.",
+			BadWrites:     []BadWrite{{Key: apps.KeyEvoReplyBottom, Value: "b:true"}},
+			CoWrites:      []string{apps.KeyEvoTopSignature},
+			TrialActions:  []string{"launch", "reply"},
+			FixedMarker:   "[x] reply-at-top",
+			BrokenMarker:  "[ ] reply-at-top",
+			NoClustCanFix: true, PaperClusterSize: 2, PaperTrials: 12,
+		},
+		{
+			ID: 11, TraceName: "Linux-1", AppName: "eog", Logger: trace.StoreGConf,
+			Description:   "User is unable to print image files.",
+			BadWrites:     []BadWrite{{Key: apps.KeyEOGPrinting, Value: "b:false"}},
+			TrialActions:  []string{"launch", "print"},
+			FixedMarker:   "[x] print-dialog",
+			BrokenMarker:  "[ ] print-dialog",
+			NoClustCanFix: true, PaperClusterSize: 1, PaperTrials: 2,
+		},
+		{
+			ID: 12, TraceName: "Linux-1", AppName: "gedit", Logger: trace.StoreGConf,
+			Description:   "User is unable to save any document.",
+			BadWrites:     []BadWrite{{Key: apps.KeyGEditSaveScheme, Value: "s:dav://broken"}},
+			TrialActions:  []string{"launch", "edit"},
+			FixedMarker:   "[x] save-button",
+			BrokenMarker:  "[ ] save-button",
+			NoClustCanFix: true, PaperClusterSize: 1, PaperTrials: 2,
+		},
+		{
+			ID: 13, TraceName: "Linux-2", AppName: "chrome", Logger: trace.StoreFile,
+			Description:   "Bookmark bar is missing.",
+			BadWrites:     []BadWrite{{Key: apps.KeyChromeBookmarkBar, Value: "false"}},
+			TrialActions:  []string{"launch"},
+			FixedMarker:   "[x] bookmark-bar",
+			BrokenMarker:  "[ ] bookmark-bar",
+			NoClustCanFix: true, PaperClusterSize: 1, PaperTrials: 7,
+		},
+		{
+			ID: 14, TraceName: "Linux-2", AppName: "chrome", Logger: trace.StoreFile,
+			Description:   "Home button is missing from the tool bar.",
+			BadWrites:     []BadWrite{{Key: apps.KeyChromeHomeButton, Value: "false"}},
+			TrialActions:  []string{"launch"},
+			FixedMarker:   "[x] home-button",
+			BrokenMarker:  "[ ] home-button",
+			NoClustCanFix: true, PaperClusterSize: 1, PaperTrials: 7,
+		},
+		{
+			ID: 15, TraceName: "Linux-3", AppName: "acrobat", Logger: trace.StoreFile,
+			Description:   "Menu bar disappears for certain PDF document.",
+			BadWrites:     []BadWrite{{Key: apps.KeyAcroShowMenuBar, Value: "false"}},
+			TrialActions:  []string{"launch", "open-fullscreen.pdf"},
+			FixedMarker:   "[x] menu-bar",
+			BrokenMarker:  "[ ] menu-bar",
+			NoClustCanFix: true, PaperClusterSize: 1, PaperTrials: 17,
+		},
+		{
+			ID: 16, TraceName: "Linux-4", AppName: "acrobat", Logger: trace.StoreFile,
+			Description:   "Find box is missing from the tool bar.",
+			BadWrites:     []BadWrite{{Key: apps.KeyAcroShowFind, Value: "false"}},
+			TrialActions:  []string{"launch"},
+			FixedMarker:   "[x] find-box",
+			BrokenMarker:  "[ ] find-box",
+			NoClustCanFix: true, PaperClusterSize: 1, PaperTrials: 157,
+		},
+	}
+}
+
+func deleteItems() []BadWrite {
+	out := make([]BadWrite, 0, apps.WordMRUSlots)
+	for i := 1; i <= apps.WordMRUSlots; i++ {
+		out = append(out, BadWrite{Key: apps.WordItemKey(i), Delete: true})
+	}
+	return out
+}
+
+// ByID returns fault id (1-16).
+func ByID(id int) (Fault, error) {
+	for _, f := range Catalog() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Fault{}, fmt.Errorf("%w: %d", ErrUnknownFault, id)
+}
+
+// Inject writes the fault's erroneous mutations into the store and trace
+// at time at, together with the same-flush co-writes of related settings
+// (carrying their pre-error values). The trace may be nil.
+func Inject(f Fault, store *ttkv.Store, tr *trace.Trace, at time.Time) error {
+	model := f.Model()
+	if model == nil {
+		return fmt.Errorf("faults: fault %d references unknown app %q", f.ID, f.AppName)
+	}
+	record := func(op trace.Op, key, value string) {
+		if tr == nil {
+			return
+		}
+		tr.Events = append(tr.Events, trace.Event{
+			Time: at, Op: op, Store: f.Logger, App: model.Name, Key: key, Value: value,
+		})
+	}
+	for _, bw := range f.BadWrites {
+		if bw.Delete {
+			if err := store.Delete(bw.Key, at); err != nil {
+				return fmt.Errorf("faults: injecting delete of %s: %w", bw.Key, err)
+			}
+			record(trace.OpDelete, bw.Key, "")
+			continue
+		}
+		if err := store.Set(bw.Key, bw.Value, at); err != nil {
+			return fmt.Errorf("faults: injecting write of %s: %w", bw.Key, err)
+		}
+		record(trace.OpWrite, bw.Key, bw.Value)
+	}
+	for _, key := range f.CoWrites {
+		v, err := store.GetAt(key, at)
+		if err != nil {
+			return fmt.Errorf("faults: co-write of %s: %w", key, err)
+		}
+		if v.Deleted {
+			continue
+		}
+		if err := store.Set(key, v.Value, at); err != nil {
+			return fmt.Errorf("faults: co-write of %s: %w", key, err)
+		}
+		record(trace.OpWrite, key, v.Value)
+	}
+	if tr != nil {
+		tr.SortByTime()
+	}
+	return nil
+}
+
+// InjectSpurious simulates n failed user repair attempts after the error
+// (the Fig 2b workload). Each attempt reopens the settings dialog and
+// applies a change that does not cure the symptom; the application
+// persists the whole dialog group again, so the offending cluster gains
+// extra recent versions the search must wade through without its
+// correlation structure changing.
+func InjectSpurious(f Fault, store *ttkv.Store, after time.Time, n int) error {
+	for i := 0; i < n; i++ {
+		t := after.Add(time.Duration(i+1) * time.Minute)
+		for _, bw := range f.BadWrites {
+			var err error
+			if bw.Delete {
+				err = store.Delete(bw.Key, t)
+			} else {
+				err = store.Set(bw.Key, bw.Value, t)
+			}
+			if err != nil {
+				return fmt.Errorf("faults: spurious write %d: %w", i+1, err)
+			}
+		}
+		for _, key := range f.CoWrites {
+			v, err := store.GetAt(key, t)
+			if err != nil || v.Deleted {
+				continue
+			}
+			if err := store.Set(key, v.Value, t); err != nil {
+				return fmt.Errorf("faults: spurious co-write %d: %w", i+1, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ocasta/internal/apps"
+	"ocasta/internal/trace"
+	"ocasta/internal/ttkv"
+	"ocasta/internal/workload"
+)
+
+var t0 = time.Date(2013, 10, 1, 12, 0, 0, 0, time.UTC)
+
+func TestCatalogIntegrity(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 16 {
+		t.Fatalf("catalog has %d faults, want 16 (Table III)", len(cat))
+	}
+	traces := map[string]bool{}
+	for _, p := range workload.Profiles() {
+		traces[p.Name] = true
+	}
+	for i, f := range cat {
+		if f.ID != i+1 {
+			t.Errorf("fault %d has ID %d", i, f.ID)
+		}
+		if !traces[f.TraceName] {
+			t.Errorf("#%d references unknown trace %q", f.ID, f.TraceName)
+		}
+		m := f.Model()
+		if m == nil {
+			t.Fatalf("#%d references unknown app %q", f.ID, f.AppName)
+		}
+		if m.Store != f.Logger {
+			t.Errorf("#%d logger %v != model store %v", f.ID, f.Logger, m.Store)
+		}
+		if len(f.BadWrites) == 0 {
+			t.Errorf("#%d has no bad writes", f.ID)
+		}
+		for _, bw := range f.BadWrites {
+			if !m.OwnsKey(bw.Key) {
+				t.Errorf("#%d bad-write key %q not owned by %s", f.ID, bw.Key, m.Name)
+			}
+		}
+		for _, k := range f.CoWrites {
+			if !m.OwnsKey(k) {
+				t.Errorf("#%d co-write key %q not owned by %s", f.ID, k, m.Name)
+			}
+		}
+		if f.FixedMarker == "" || f.BrokenMarker == "" || len(f.TrialActions) == 0 {
+			t.Errorf("#%d missing trial or markers", f.ID)
+		}
+		if f.Description == "" {
+			t.Errorf("#%d missing description", f.ID)
+		}
+	}
+}
+
+func TestCatalogNoClustColumn(t *testing.T) {
+	// Table IV: Ocasta-NoClust fails exactly errors 2, 4, 6, 7, 9.
+	wantFail := map[int]bool{2: true, 4: true, 6: true, 7: true, 9: true}
+	failures := 0
+	for _, f := range Catalog() {
+		if f.NoClustCanFix == wantFail[f.ID] {
+			t.Errorf("#%d NoClustCanFix = %v, want %v", f.ID, f.NoClustCanFix, !wantFail[f.ID])
+		}
+		if !f.NoClustCanFix {
+			failures++
+		}
+	}
+	if failures != 5 {
+		t.Errorf("NoClust failures = %d, want 5", failures)
+	}
+}
+
+func TestByID(t *testing.T) {
+	f, err := ByID(15)
+	if err != nil || f.AppName != "acrobat" {
+		t.Errorf("ByID(15) = %+v, %v", f, err)
+	}
+	if _, err := ByID(0); !errors.Is(err, ErrUnknownFault) {
+		t.Errorf("ByID(0) err = %v", err)
+	}
+	if _, err := ByID(17); !errors.Is(err, ErrUnknownFault) {
+		t.Errorf("ByID(17) err = %v", err)
+	}
+}
+
+func TestInjectWritesAndDeletes(t *testing.T) {
+	store := ttkv.New()
+	// Pre-error history for the co-written partner and a deleted item.
+	if err := store.Set(apps.KeyWordMaxDisplay, "REG_DWORD:9", t0.Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Set(apps.WordItemKey(1), "REG_SZ:a.docx", t0.Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ByID(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace.Trace{Name: "x"}
+	if err := Inject(f, store, tr, t0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := store.Get(apps.KeyWordMaxDisplay); v != "REG_DWORD:0" {
+		t.Errorf("Max Display = %q, want erroneous REG_DWORD:0", v)
+	}
+	if _, ok := store.Get(apps.WordItemKey(1)); ok {
+		t.Error("Item 1 must be deleted by the injection")
+	}
+	// Trace received the same events, timestamped at the injection point.
+	if len(tr.Events) == 0 {
+		t.Fatal("trace must record injected events")
+	}
+	for _, ev := range tr.Events {
+		if !ev.Time.Equal(t0) {
+			t.Errorf("event time %v, want %v", ev.Time, t0)
+		}
+	}
+}
+
+func TestInjectCoWrites(t *testing.T) {
+	store := ttkv.New()
+	if err := store.Set(apps.KeyOutlookNavPane, "REG_DWORD:1", t0.Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Set(apps.KeyOutlookNavWidth, "REG_DWORD:250", t0.Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ByID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject(f, store, nil, t0); err != nil {
+		t.Fatal(err)
+	}
+	// The co-written partner carries its previous value at the new time.
+	hist, err := store.History(apps.KeyOutlookNavWidth)
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("co-write history = %v, %v", hist, err)
+	}
+	if hist[1].Value != "REG_DWORD:250" || !hist[1].Time.Equal(t0) {
+		t.Errorf("co-write = %+v", hist[1])
+	}
+}
+
+func TestInjectCoWriteWithoutHistoryFails(t *testing.T) {
+	f, err := ByID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh store: the partner has no history, which the paper forbids
+	// ("the offending setting(s) must have been modified in our traces").
+	if err := Inject(f, ttkv.New(), nil, t0); err == nil {
+		t.Error("injection without history must fail")
+	}
+}
+
+func TestInjectSpurious(t *testing.T) {
+	store := ttkv.New()
+	if err := store.Set(apps.KeyAcroShowFind, "true", t0.Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ByID(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject(f, store, nil, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := InjectSpurious(f, store, t0, 2); err != nil {
+		t.Fatal(err)
+	}
+	hist, _ := store.History(apps.KeyAcroShowFind)
+	if len(hist) != 4 { // original + injection + 2 spurious
+		t.Fatalf("history = %d versions, want 4", len(hist))
+	}
+	// Spurious attempts keep the error manifest.
+	if v, _ := store.Get(apps.KeyAcroShowFind); v != "false" {
+		t.Errorf("current value = %q, must stay erroneous", v)
+	}
+}
+
+func TestOffendingKeys(t *testing.T) {
+	f, err := ByID(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := f.OffendingKeys()
+	if len(keys) != 3 {
+		t.Fatalf("OffendingKeys = %v, want 3 keys", keys)
+	}
+}
+
+func TestPaperParameterOverrides(t *testing.T) {
+	// Only errors #2 and #4 needed tuning in the paper.
+	for _, f := range Catalog() {
+		tuned := f.Window != 0 || f.Threshold != 0
+		if (f.ID == 2 || f.ID == 4) != tuned {
+			t.Errorf("#%d tuned=%v, want tuning exactly on #2 and #4", f.ID, tuned)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"ocasta/internal/apps"
+	"ocasta/internal/repair"
+)
+
+// goodConfig builds an application's healthy configuration from the
+// models' value generators (episode 0).
+func goodConfig(m *apps.Model) apps.Config {
+	cfg := make(apps.Config)
+	for i := range m.Groups {
+		for _, ks := range m.Groups[i].Keys {
+			cfg[ks.Key] = ks.Value(0)
+		}
+	}
+	for i := range m.Singletons {
+		cfg[m.Singletons[i].Key] = m.Singletons[i].Value(0)
+	}
+	return cfg
+}
+
+// applyFault mutates cfg the way the fault's injection would.
+func applyFault(cfg apps.Config, f Fault) {
+	for _, bw := range f.BadWrites {
+		if bw.Delete {
+			delete(cfg, bw.Key)
+		} else {
+			cfg[bw.Key] = bw.Value
+		}
+	}
+}
+
+// Every fault's symptom wiring must hold: the healthy configuration shows
+// the fixed marker, and the corrupted configuration shows the broken
+// marker. This validates all 16 scenarios without generating deployments.
+func TestSymptomWiringAllFaults(t *testing.T) {
+	for _, f := range Catalog() {
+		t.Run(f.Description, func(t *testing.T) {
+			m := f.Model()
+			good := goodConfig(m)
+			screen := m.Render(good, f.TrialActions)
+			if !strings.Contains(screen, f.FixedMarker) {
+				t.Fatalf("#%d healthy screen missing fixed marker %q:\n%s", f.ID, f.FixedMarker, screen)
+			}
+			if strings.Contains(screen, f.BrokenMarker) {
+				t.Fatalf("#%d healthy screen shows broken marker %q:\n%s", f.ID, f.BrokenMarker, screen)
+			}
+
+			broken := good.Clone()
+			applyFault(broken, f)
+			screen = m.Render(broken, f.TrialActions)
+			if !strings.Contains(screen, f.BrokenMarker) {
+				t.Fatalf("#%d corrupted screen missing broken marker %q:\n%s", f.ID, f.BrokenMarker, screen)
+			}
+			if strings.Contains(screen, f.FixedMarker) {
+				t.Fatalf("#%d corrupted screen shows fixed marker %q:\n%s", f.ID, f.FixedMarker, screen)
+			}
+
+			// The oracle built from the markers agrees.
+			oracle := repair.MarkerOracle(f.FixedMarker, f.BrokenMarker)
+			if !oracle(m.Render(good, f.TrialActions)) {
+				t.Errorf("#%d oracle rejects the healthy screen", f.ID)
+			}
+			if oracle(m.Render(broken, f.TrialActions)) {
+				t.Errorf("#%d oracle accepts the corrupted screen", f.ID)
+			}
+		})
+	}
+}
+
+// For the five NoClust-failing errors, fixing any single offending key
+// must be insufficient: with only one key restored the symptom persists.
+func TestMultiKeyErrorsNeedWholeCluster(t *testing.T) {
+	for _, id := range []int{2, 4, 6, 7, 9} {
+		f, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := f.Model()
+		good := goodConfig(m)
+		for i := range f.BadWrites {
+			// Corrupt everything, then restore only key i.
+			partial := good.Clone()
+			applyFault(partial, f)
+			bw := f.BadWrites[i]
+			if bw.Delete {
+				partial[bw.Key] = good[bw.Key]
+			} else {
+				partial[bw.Key] = good[bw.Key]
+			}
+			screen := m.Render(partial, f.TrialActions)
+			if strings.Contains(screen, f.FixedMarker) && !strings.Contains(screen, f.BrokenMarker) {
+				t.Errorf("#%d: restoring only %q already fixes the symptom; NoClust would succeed",
+					id, bw.Key)
+			}
+		}
+	}
+}

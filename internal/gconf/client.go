@@ -1,0 +1,172 @@
+package gconf
+
+import (
+	"fmt"
+	"time"
+)
+
+// Client is an application-tagged handle to the database, the analogue of
+// a process running with Ocasta's preloaded logger library.
+type Client struct {
+	db  *Database
+	app string
+}
+
+// App returns the application name the client is tagged with.
+func (c *Client) App() string { return c.app }
+
+// Set stores a typed value at key, notifying hooks and directory watchers.
+func (c *Client) Set(key string, v Value, t time.Time) error {
+	if err := ValidateKey(key); err != nil {
+		return err
+	}
+	c.db.mu.Lock()
+	c.db.entries[key] = v
+	hooks := c.db.snapshotHooks()
+	notifiers := c.db.matchingNotifiers(key)
+	c.db.mu.Unlock()
+	for _, h := range hooks {
+		h.Set(c.app, key, v, t)
+	}
+	vCopy := v
+	for _, fn := range notifiers {
+		fn(key, &vCopy)
+	}
+	return nil
+}
+
+// Unset removes key, notifying hooks and directory watchers.
+func (c *Client) Unset(key string, t time.Time) error {
+	if err := ValidateKey(key); err != nil {
+		return err
+	}
+	c.db.mu.Lock()
+	if _, ok := c.db.entries[key]; !ok {
+		c.db.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoEntry, key)
+	}
+	delete(c.db.entries, key)
+	hooks := c.db.snapshotHooks()
+	notifiers := c.db.matchingNotifiers(key)
+	c.db.mu.Unlock()
+	for _, h := range hooks {
+		h.Unset(c.app, key, t)
+	}
+	for _, fn := range notifiers {
+		fn(key, nil)
+	}
+	return nil
+}
+
+// Get fetches the value at key, notifying hooks of the read.
+func (c *Client) Get(key string, t time.Time) (Value, error) {
+	if err := ValidateKey(key); err != nil {
+		return Value{}, err
+	}
+	c.db.mu.RLock()
+	v, ok := c.db.entries[key]
+	hooks := c.db.snapshotHooks()
+	c.db.mu.RUnlock()
+	for _, h := range hooks {
+		h.Get(c.app, key, t)
+	}
+	if !ok {
+		return Value{}, fmt.Errorf("%w: %q", ErrNoEntry, key)
+	}
+	return v, nil
+}
+
+// Typed convenience setters, mirroring gconf_client_set_*.
+
+// SetBool stores a boolean.
+func (c *Client) SetBool(key string, b bool, t time.Time) error { return c.Set(key, Bool(b), t) }
+
+// SetInt stores an integer.
+func (c *Client) SetInt(key string, n int, t time.Time) error { return c.Set(key, Int(n), t) }
+
+// SetFloat stores a float.
+func (c *Client) SetFloat(key string, f float64, t time.Time) error {
+	return c.Set(key, Float(f), t)
+}
+
+// SetString stores a string.
+func (c *Client) SetString(key, s string, t time.Time) error { return c.Set(key, String(s), t) }
+
+// SetList stores a string list.
+func (c *Client) SetList(key string, items []string, t time.Time) error {
+	return c.Set(key, List(items...), t)
+}
+
+// Typed getters, mirroring gconf_client_get_*.
+
+// GetBool fetches a boolean.
+func (c *Client) GetBool(key string, t time.Time) (bool, error) {
+	v, err := c.Get(key, t)
+	if err != nil {
+		return false, err
+	}
+	if v.Kind != KindBool {
+		return false, fmt.Errorf("%w: %q is %v", ErrWrongType, key, v.Kind)
+	}
+	return v.Bool, nil
+}
+
+// GetInt fetches an integer.
+func (c *Client) GetInt(key string, t time.Time) (int, error) {
+	v, err := c.Get(key, t)
+	if err != nil {
+		return 0, err
+	}
+	if v.Kind != KindInt {
+		return 0, fmt.Errorf("%w: %q is %v", ErrWrongType, key, v.Kind)
+	}
+	return v.Int, nil
+}
+
+// GetFloat fetches a float.
+func (c *Client) GetFloat(key string, t time.Time) (float64, error) {
+	v, err := c.Get(key, t)
+	if err != nil {
+		return 0, err
+	}
+	if v.Kind != KindFloat {
+		return 0, fmt.Errorf("%w: %q is %v", ErrWrongType, key, v.Kind)
+	}
+	return v.Float, nil
+}
+
+// GetString fetches a string.
+func (c *Client) GetString(key string, t time.Time) (string, error) {
+	v, err := c.Get(key, t)
+	if err != nil {
+		return "", err
+	}
+	if v.Kind != KindString {
+		return "", fmt.Errorf("%w: %q is %v", ErrWrongType, key, v.Kind)
+	}
+	return v.Str, nil
+}
+
+// GetList fetches a string list.
+func (c *Client) GetList(key string, t time.Time) ([]string, error) {
+	v, err := c.Get(key, t)
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind != KindList {
+		return nil, fmt.Errorf("%w: %q is %v", ErrWrongType, key, v.Kind)
+	}
+	out := make([]string, len(v.List))
+	copy(out, v.List)
+	return out, nil
+}
+
+// ApplyEncoded writes an encoded value (as stored in the TTKV) back into
+// the database — the rollback primitive.
+func (c *Client) ApplyEncoded(key, encoded string, t time.Time) error {
+	v, err := DecodeValue(encoded)
+	if err != nil {
+		return err
+	}
+	return c.Set(key, v, t)
+}

@@ -1,0 +1,269 @@
+// Package gconf implements a simulated GConf configuration database: the
+// hierarchical, slash-pathed, typed key-value store GNOME applications used
+// on the paper's Linux deployments, together with an interposition layer
+// mirroring the LD_PRELOAD shim Ocasta loads into every process (every set,
+// unset, and get made through a Client is observable by attached hooks,
+// tagged with the application name).
+package gconf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// GConf errors.
+var (
+	ErrBadKey      = errors.New("gconf: malformed key path")
+	ErrNoEntry     = errors.New("gconf: no such entry")
+	ErrWrongType   = errors.New("gconf: value has a different type")
+	ErrBadEncoding = errors.New("gconf: malformed encoded value")
+)
+
+// Kind enumerates GConf value types.
+type Kind uint8
+
+// GConf value kinds.
+const (
+	KindBool Kind = iota + 1
+	KindInt
+	KindFloat
+	KindString
+	KindList
+)
+
+// String returns the canonical GConf type name.
+func (k Kind) String() string {
+	switch k {
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindList:
+		return "list"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is one typed GConf value.
+type Value struct {
+	Kind  Kind
+	Bool  bool
+	Int   int
+	Float float64
+	Str   string
+	List  []string
+}
+
+// Constructors.
+func Bool(b bool) Value          { return Value{Kind: KindBool, Bool: b} }
+func Int(n int) Value            { return Value{Kind: KindInt, Int: n} }
+func Float(f float64) Value      { return Value{Kind: KindFloat, Float: f} }
+func String(s string) Value      { return Value{Kind: KindString, Str: s} }
+func List(items ...string) Value { return Value{Kind: KindList, List: items} }
+
+// Encode renders the value as a single type-prefixed string for the TTKV;
+// DecodeValue reverses it. List items are separated by the unit separator
+// (0x1F), which GConf string lists cannot contain.
+func (v Value) Encode() string {
+	switch v.Kind {
+	case KindBool:
+		return "b:" + strconv.FormatBool(v.Bool)
+	case KindInt:
+		return "i:" + strconv.Itoa(v.Int)
+	case KindFloat:
+		return "f:" + strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case KindString:
+		return "s:" + v.Str
+	case KindList:
+		return "l:" + strings.Join(v.List, "\x1f")
+	default:
+		return "?:"
+	}
+}
+
+// DecodeValue parses a string produced by Encode.
+func DecodeValue(s string) (Value, error) {
+	if len(s) < 2 || s[1] != ':' {
+		return Value{}, fmt.Errorf("%w: %q", ErrBadEncoding, s)
+	}
+	payload := s[2:]
+	switch s[0] {
+	case 'b':
+		b, err := strconv.ParseBool(payload)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad bool %q", ErrBadEncoding, payload)
+		}
+		return Bool(b), nil
+	case 'i':
+		n, err := strconv.Atoi(payload)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad int %q", ErrBadEncoding, payload)
+		}
+		return Int(n), nil
+	case 'f':
+		f, err := strconv.ParseFloat(payload, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad float %q", ErrBadEncoding, payload)
+		}
+		return Float(f), nil
+	case 's':
+		return String(payload), nil
+	case 'l':
+		if payload == "" {
+			return List(), nil
+		}
+		return List(strings.Split(payload, "\x1f")...), nil
+	default:
+		return Value{}, fmt.Errorf("%w: unknown kind %q", ErrBadEncoding, s[0])
+	}
+}
+
+// Equal reports deep equality.
+func (v Value) Equal(o Value) bool { return v.Encode() == o.Encode() }
+
+// Hook observes GConf activity, mirroring the paper's preloaded logger
+// library.
+type Hook interface {
+	Set(app, key string, v Value, t time.Time)
+	Unset(app, key string, t time.Time)
+	Get(app, key string, t time.Time)
+}
+
+// Database is the simulated GConf store. Safe for concurrent use.
+type Database struct {
+	mu      sync.RWMutex
+	entries map[string]Value
+	hooks   map[int]Hook
+	nextID  int
+
+	notify map[int]notifyEntry
+	nextNf int
+}
+
+type notifyEntry struct {
+	prefix string
+	fn     func(key string, v *Value)
+}
+
+// New returns an empty database.
+func New() *Database {
+	return &Database{
+		entries: make(map[string]Value),
+		hooks:   make(map[int]Hook),
+		notify:  make(map[int]notifyEntry),
+	}
+}
+
+// ValidateKey checks GConf key syntax: absolute slash-separated path with
+// non-empty components, e.g. "/apps/evolution/mail/mark_seen".
+func ValidateKey(key string) error {
+	if !strings.HasPrefix(key, "/") || key == "/" {
+		return fmt.Errorf("%w: %q", ErrBadKey, key)
+	}
+	for _, comp := range strings.Split(key[1:], "/") {
+		if comp == "" {
+			return fmt.Errorf("%w: empty component in %q", ErrBadKey, key)
+		}
+	}
+	return nil
+}
+
+// Attach registers a logger hook; the returned cancel detaches it.
+func (d *Database) Attach(h Hook) (cancel func()) {
+	d.mu.Lock()
+	id := d.nextID
+	d.nextID++
+	d.hooks[id] = h
+	d.mu.Unlock()
+	return func() {
+		d.mu.Lock()
+		delete(d.hooks, id)
+		d.mu.Unlock()
+	}
+}
+
+// AddNotify registers fn for changes under dir (a key prefix, as in
+// gconf_client_add_dir). fn receives nil for unsets. The returned cancel
+// unregisters.
+func (d *Database) AddNotify(dir string, fn func(key string, v *Value)) (cancel func(), err error) {
+	if err := ValidateKey(dir); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	id := d.nextNf
+	d.nextNf++
+	d.notify[id] = notifyEntry{prefix: dir, fn: fn}
+	d.mu.Unlock()
+	return func() {
+		d.mu.Lock()
+		delete(d.notify, id)
+		d.mu.Unlock()
+	}, nil
+}
+
+// Client returns a handle tagged with an application name, the analogue of
+// one preloaded process.
+func (d *Database) Client(app string) *Client { return &Client{db: d, app: app} }
+
+func (d *Database) snapshotHooks() []Hook {
+	ids := make([]int, 0, len(d.hooks))
+	for id := range d.hooks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]Hook, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, d.hooks[id])
+	}
+	return out
+}
+
+func (d *Database) matchingNotifiers(key string) []func(string, *Value) {
+	ids := make([]int, 0, len(d.notify))
+	for id, ne := range d.notify {
+		if key == ne.prefix || strings.HasPrefix(key, ne.prefix+"/") {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	out := make([]func(string, *Value), 0, len(ids))
+	for _, id := range ids {
+		out = append(out, d.notify[id].fn)
+	}
+	return out
+}
+
+// Snapshot returns every entry under prefix (inclusive) as encoded strings.
+func (d *Database) Snapshot(prefix string) map[string]string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[string]string)
+	for k, v := range d.entries {
+		if k == prefix || strings.HasPrefix(k, prefix+"/") {
+			out[k] = v.Encode()
+		}
+	}
+	return out
+}
+
+// Keys returns all keys, sorted.
+func (d *Database) Keys() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	keys := make([]string, 0, len(d.entries))
+	for k := range d.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,350 @@
+package gconf
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2013, 6, 1, 12, 0, 0, 0, time.UTC)
+
+const markSeen = "/apps/evolution/mail/display/mark_seen"
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	values := []Value{
+		Bool(true), Bool(false),
+		Int(0), Int(-42), Int(1500),
+		Float(1.5), Float(-0.25),
+		String("hello"), String(""),
+		List("a", "b"), List(), List("only"),
+	}
+	for _, v := range values {
+		got, err := DecodeValue(v.Encode())
+		if err != nil {
+			t.Fatalf("DecodeValue(%q): %v", v.Encode(), err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %q: got %+v, want %+v", v.Encode(), got, v)
+		}
+	}
+}
+
+func TestDecodeValueErrors(t *testing.T) {
+	for _, in := range []string{"", "x", "b:maybe", "i:one", "f:pi", "?:x", "noprefix"} {
+		if _, err := DecodeValue(in); !errors.Is(err, ErrBadEncoding) {
+			t.Errorf("DecodeValue(%q) err = %v, want ErrBadEncoding", in, err)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindBool: "bool", KindInt: "int", KindFloat: "float",
+		KindString: "string", KindList: "list", Kind(9): "kind(9)",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestValidateKey(t *testing.T) {
+	good := []string{"/apps/evolution/mail", "/a", markSeen}
+	for _, k := range good {
+		if err := ValidateKey(k); err != nil {
+			t.Errorf("ValidateKey(%q) = %v, want nil", k, err)
+		}
+	}
+	bad := []string{"", "/", "relative/key", "/double//slash", "/trailing/"}
+	for _, k := range bad {
+		if err := ValidateKey(k); !errors.Is(err, ErrBadKey) {
+			t.Errorf("ValidateKey(%q) = %v, want ErrBadKey", k, err)
+		}
+	}
+}
+
+func TestSetGetTyped(t *testing.T) {
+	db := New()
+	c := db.Client("evolution")
+	if err := c.SetBool(markSeen, true, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetInt(markSeen+"_timeout", 1500, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetString("/apps/evolution/version", "2.30", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetFloat("/apps/evolution/zoom", 1.25, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetList("/apps/evolution/accounts", []string{"a@x", "b@y"}, t0); err != nil {
+		t.Fatal(err)
+	}
+
+	if b, err := c.GetBool(markSeen, t0); err != nil || !b {
+		t.Errorf("GetBool = %v,%v", b, err)
+	}
+	if n, err := c.GetInt(markSeen+"_timeout", t0); err != nil || n != 1500 {
+		t.Errorf("GetInt = %v,%v", n, err)
+	}
+	if s, err := c.GetString("/apps/evolution/version", t0); err != nil || s != "2.30" {
+		t.Errorf("GetString = %v,%v", s, err)
+	}
+	if f, err := c.GetFloat("/apps/evolution/zoom", t0); err != nil || f != 1.25 {
+		t.Errorf("GetFloat = %v,%v", f, err)
+	}
+	if l, err := c.GetList("/apps/evolution/accounts", t0); err != nil || len(l) != 2 {
+		t.Errorf("GetList = %v,%v", l, err)
+	}
+}
+
+func TestTypeMismatch(t *testing.T) {
+	db := New()
+	c := db.Client("app")
+	if err := c.SetBool("/k", true, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetInt("/k", t0); !errors.Is(err, ErrWrongType) {
+		t.Errorf("GetInt on bool err = %v, want ErrWrongType", err)
+	}
+	if _, err := c.GetString("/k", t0); !errors.Is(err, ErrWrongType) {
+		t.Errorf("GetString on bool err = %v, want ErrWrongType", err)
+	}
+}
+
+func TestUnset(t *testing.T) {
+	db := New()
+	c := db.Client("app")
+	if err := c.SetBool("/k", true, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unset("/k", t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("/k", t0); !errors.Is(err, ErrNoEntry) {
+		t.Errorf("Get after Unset err = %v, want ErrNoEntry", err)
+	}
+	if err := c.Unset("/k", t0); !errors.Is(err, ErrNoEntry) {
+		t.Errorf("double Unset err = %v, want ErrNoEntry", err)
+	}
+}
+
+func TestGetListReturnsCopy(t *testing.T) {
+	db := New()
+	c := db.Client("app")
+	if err := c.SetList("/l", []string{"a", "b"}, t0); err != nil {
+		t.Fatal(err)
+	}
+	l, err := c.GetList("/l", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l[0] = "mutated"
+	again, _ := c.GetList("/l", t0)
+	if again[0] != "a" {
+		t.Error("GetList must return a copy")
+	}
+}
+
+// recordingHook captures hook invocations.
+type recordingHook struct {
+	mu     sync.Mutex
+	sets   []string
+	unsets []string
+	gets   []string
+}
+
+func (h *recordingHook) Set(app, key string, v Value, t time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sets = append(h.sets, app+"|"+key+"|"+v.Encode())
+}
+
+func (h *recordingHook) Unset(app, key string, t time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.unsets = append(h.unsets, app+"|"+key)
+}
+
+func (h *recordingHook) Get(app, key string, t time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.gets = append(h.gets, app+"|"+key)
+}
+
+func TestHooksObserveEverything(t *testing.T) {
+	db := New()
+	hook := &recordingHook{}
+	cancel := db.Attach(hook)
+	c := db.Client("evolution")
+
+	if err := c.SetBool(markSeen, true, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetBool(markSeen, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unset(markSeen, t0); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(hook.sets) != 1 || hook.sets[0] != "evolution|"+markSeen+"|b:true" {
+		t.Errorf("sets = %v", hook.sets)
+	}
+	if len(hook.gets) != 1 || len(hook.unsets) != 1 {
+		t.Errorf("gets/unsets = %v/%v", hook.gets, hook.unsets)
+	}
+
+	cancel()
+	if err := c.SetBool(markSeen, false, t0); err != nil {
+		t.Fatal(err)
+	}
+	if len(hook.sets) != 1 {
+		t.Error("detached hook must not see events")
+	}
+}
+
+func TestAddNotify(t *testing.T) {
+	db := New()
+	c := db.Client("evolution")
+	var mu sync.Mutex
+	var events []string
+	cancel, err := db.AddNotify("/apps/evolution", func(key string, v *Value) {
+		mu.Lock()
+		defer mu.Unlock()
+		if v == nil {
+			events = append(events, "unset:"+key)
+		} else {
+			events = append(events, "set:"+key)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetBool(markSeen, true, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetBool("/apps/other/key", true, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unset(markSeen, t0); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got := append([]string(nil), events...)
+	mu.Unlock()
+	want := []string{"set:" + markSeen, "unset:" + markSeen}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("notifications = %v, want %v", got, want)
+	}
+	cancel()
+	if err := c.SetBool(markSeen, true, t0); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 2 {
+		t.Error("cancelled notifier must not fire")
+	}
+}
+
+func TestAddNotifyBadDir(t *testing.T) {
+	if _, err := New().AddNotify("not-absolute", func(string, *Value) {}); !errors.Is(err, ErrBadKey) {
+		t.Errorf("err = %v, want ErrBadKey", err)
+	}
+}
+
+func TestSnapshotAndKeys(t *testing.T) {
+	db := New()
+	c := db.Client("evolution")
+	if err := c.SetBool(markSeen, true, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetInt("/apps/evolution/mail/display/mark_seen_timeout", 1500, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetBool("/apps/gedit/auto_save", false, t0); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Snapshot("/apps/evolution")
+	if len(snap) != 2 {
+		t.Errorf("Snapshot = %v, want 2 evolution entries", snap)
+	}
+	if snap[markSeen] != "b:true" {
+		t.Errorf("snapshot value = %q", snap[markSeen])
+	}
+	keys := db.Keys()
+	if len(keys) != 3 || keys[0] != "/apps/evolution/mail/display/mark_seen" {
+		t.Errorf("Keys = %v", keys)
+	}
+}
+
+func TestApplyEncoded(t *testing.T) {
+	db := New()
+	c := db.Client("evolution")
+	if err := c.ApplyEncoded(markSeen, "b:true", t0); err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.GetBool(markSeen, t0)
+	if err != nil || !b {
+		t.Fatalf("after ApplyEncoded = %v,%v", b, err)
+	}
+	if err := c.ApplyEncoded(markSeen, "garbage", t0); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("bad encoding err = %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := db.Client("app")
+			key := "/stress/k" + string(rune('a'+g))
+			for i := 0; i < 100; i++ {
+				if err := c.SetInt(key, i, t0); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.GetInt(key, t0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// Property: encode/decode round-trips arbitrary typed values.
+func TestEncodePropertyRoundTrip(t *testing.T) {
+	prop := func(b bool, n int, f float64, s string, list []string) bool {
+		clean := make([]string, len(list))
+		for i, item := range list {
+			out := make([]rune, 0, len(item))
+			for _, r := range item {
+				if r != 0x1f {
+					out = append(out, r)
+				}
+			}
+			clean[i] = string(out)
+		}
+		for _, v := range []Value{Bool(b), Int(n), Float(f), String(s), List(clean...)} {
+			got, err := DecodeValue(v.Encode())
+			if err != nil || !got.Equal(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

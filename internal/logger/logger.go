@@ -1,0 +1,280 @@
+// Package logger is Ocasta's unified logging layer: it adapts the
+// store-specific interception hooks (Windows registry, GConf, application
+// configuration files) into the common key-value event stream, recording
+// every access both into a TTKV sink and, optionally, into an in-memory
+// trace for later analysis.
+//
+// This is the glue the paper describes in §IV-B: loggers intercept accesses
+// an application makes to its persistent storage and abstract those into
+// key-values that can be stored into the TTKV.
+package logger
+
+import (
+	"sync"
+	"time"
+
+	"ocasta/internal/conffile"
+	"ocasta/internal/gconf"
+	"ocasta/internal/registry"
+	"ocasta/internal/trace"
+	"ocasta/internal/vfs"
+)
+
+// Sink receives the abstracted key-value events. *ttkv.Store implements it
+// directly; RemoteSink adapts a ttkvwire client.
+type Sink interface {
+	Set(key, value string, t time.Time) error
+	Delete(key string, t time.Time) error
+	CountRead(key string)
+}
+
+// Logger multiplexes store-specific hooks into a sink and an optional
+// trace recorder. Safe for concurrent use.
+type Logger struct {
+	mu     sync.Mutex
+	sink   Sink
+	user   string
+	record bool
+	tr     trace.Trace
+	err    error // first sink error observed
+}
+
+// Option configures a Logger.
+type Option func(*Logger)
+
+// WithUser tags every recorded event with a user name (the paper links
+// traces on shared machines per user).
+func WithUser(user string) Option {
+	return func(l *Logger) { l.user = user }
+}
+
+// WithTraceRecording makes the logger accumulate an in-memory trace with
+// the given name alongside the sink writes.
+func WithTraceRecording(name string) Option {
+	return func(l *Logger) {
+		l.record = true
+		l.tr.Name = name
+	}
+}
+
+// New returns a logger writing to sink.
+func New(sink Sink, opts ...Option) *Logger {
+	l := &Logger{sink: sink}
+	for _, opt := range opts {
+		opt(l)
+	}
+	return l
+}
+
+// Err returns the first sink error the logger encountered, if any. Hook
+// interfaces cannot propagate errors, so the logger latches them here.
+func (l *Logger) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Trace returns a copy of the recorded trace (empty unless
+// WithTraceRecording was used).
+func (l *Logger) Trace() *trace.Trace {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tr.Clone()
+}
+
+func (l *Logger) logWrite(store trace.StoreKind, app, key, value string, t time.Time) {
+	l.mu.Lock()
+	if err := l.sink.Set(key, value, t); err != nil && l.err == nil {
+		l.err = err
+	}
+	if l.record {
+		l.tr.Events = append(l.tr.Events, trace.Event{
+			Time: t, Op: trace.OpWrite, Store: store, App: app, User: l.user, Key: key, Value: value,
+		})
+	}
+	l.mu.Unlock()
+}
+
+func (l *Logger) logDelete(store trace.StoreKind, app, key string, t time.Time) {
+	l.mu.Lock()
+	if err := l.sink.Delete(key, t); err != nil && l.err == nil {
+		l.err = err
+	}
+	if l.record {
+		l.tr.Events = append(l.tr.Events, trace.Event{
+			Time: t, Op: trace.OpDelete, Store: store, App: app, User: l.user, Key: key,
+		})
+	}
+	l.mu.Unlock()
+}
+
+func (l *Logger) logRead(store trace.StoreKind, app, key string, t time.Time) {
+	l.mu.Lock()
+	l.sink.CountRead(key)
+	if l.record {
+		l.tr.Events = append(l.tr.Events, trace.Event{
+			Time: t, Op: trace.OpRead, Store: store, App: app, User: l.user, Key: key,
+		})
+	}
+	l.mu.Unlock()
+}
+
+// RegistryHook returns a hook to attach to a simulated Windows registry.
+func (l *Logger) RegistryHook() registry.Hook { return registryHook{l} }
+
+type registryHook struct{ l *Logger }
+
+func (h registryHook) SetValue(app, fullKey string, v registry.Value, t time.Time) {
+	h.l.logWrite(trace.StoreRegistry, app, fullKey, v.Encode(), t)
+}
+
+func (h registryHook) DeleteValue(app, fullKey string, t time.Time) {
+	h.l.logDelete(trace.StoreRegistry, app, fullKey, t)
+}
+
+func (h registryHook) QueryValue(app, fullKey string, t time.Time) {
+	h.l.logRead(trace.StoreRegistry, app, fullKey, t)
+}
+
+// GConfHook returns a hook to attach to a simulated GConf database.
+func (l *Logger) GConfHook() gconf.Hook { return gconfHook{l} }
+
+type gconfHook struct{ l *Logger }
+
+func (h gconfHook) Set(app, key string, v gconf.Value, t time.Time) {
+	h.l.logWrite(trace.StoreGConf, app, key, v.Encode(), t)
+}
+
+func (h gconfHook) Unset(app, key string, t time.Time) {
+	h.l.logDelete(trace.StoreGConf, app, key, t)
+}
+
+func (h gconfHook) Get(app, key string, t time.Time) {
+	h.l.logRead(trace.StoreGConf, app, key, t)
+}
+
+// FileSpec describes one watched configuration file.
+type FileSpec struct {
+	App string
+	// Format parses the file; when nil it is auto-detected from the path
+	// and content at each flush.
+	Format conffile.Format
+}
+
+// FileKey builds the TTKV identity of one key inside a configuration file.
+func FileKey(path, flatKey string) string { return path + ":" + flatKey }
+
+// FileLogger infers per-key events from whole-file flushes, the mechanism
+// the paper uses for applications with private configuration files. It
+// subscribes to a vfs.FS and diffs the flattened content before and after
+// every flush of a watched file.
+type FileLogger struct {
+	l     *Logger
+	specs map[string]FileSpec
+	// lastGood remembers the most recent successfully parsed content per
+	// path, so one corrupt intermediate flush does not lose the baseline.
+	mu       sync.Mutex
+	lastGood map[string]map[string]string
+	parseErr error
+	cancel   func()
+}
+
+// NewFileLogger attaches a file logger to fs for the given path specs.
+// Close it to detach.
+func (l *Logger) NewFileLogger(fs *vfs.FS, specs map[string]FileSpec) *FileLogger {
+	fl := &FileLogger{
+		l:        l,
+		specs:    make(map[string]FileSpec, len(specs)),
+		lastGood: make(map[string]map[string]string),
+	}
+	for p, s := range specs {
+		fl.specs[p] = s
+	}
+	// Seed baselines from files that already exist.
+	for path, spec := range fl.specs {
+		if data, err := fs.ReadFile(path); err == nil {
+			if kv, err := fl.parse(path, spec, data); err == nil {
+				fl.lastGood[path] = kv
+			}
+		}
+	}
+	fl.cancel = fs.Subscribe(fl.onFlush)
+	return fl
+}
+
+// Close detaches the file logger from the filesystem.
+func (fl *FileLogger) Close() {
+	if fl.cancel != nil {
+		fl.cancel()
+	}
+}
+
+// Err returns the first parse error encountered on a watched flush.
+func (fl *FileLogger) Err() error {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	return fl.parseErr
+}
+
+func (fl *FileLogger) parse(path string, spec FileSpec, data []byte) (map[string]string, error) {
+	f := spec.Format
+	if f == nil {
+		f = conffile.Detect(path, data)
+	}
+	return f.Parse(data)
+}
+
+func (fl *FileLogger) onFlush(ev vfs.FlushEvent) {
+	spec, watched := fl.specs[ev.Path]
+	if !watched {
+		return
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	oldKV, haveBase := fl.lastGood[ev.Path]
+	if !haveBase {
+		oldKV = map[string]string{}
+	}
+	var newKV map[string]string
+	if ev.New == nil { // file removed: everything deleted
+		newKV = map[string]string{}
+	} else {
+		parsed, err := fl.parse(ev.Path, spec, ev.New)
+		if err != nil {
+			if fl.parseErr == nil {
+				fl.parseErr = err
+			}
+			return // keep the old baseline; skip this flush
+		}
+		newKV = parsed
+	}
+	for _, ch := range conffile.Diff(oldKV, newKV) {
+		key := FileKey(ev.Path, ch.Key)
+		if ch.Op == conffile.ChangeDelete {
+			fl.l.logDelete(trace.StoreFile, spec.App, key, ev.Time)
+		} else {
+			fl.l.logWrite(trace.StoreFile, spec.App, key, ch.Value, ev.Time)
+		}
+	}
+	fl.lastGood[ev.Path] = newKV
+}
+
+// ObserveFileRead records that an application read its configuration file:
+// a read is counted for every key currently in the file (file-based stores
+// only expose whole-file reads, the coarseness the paper notes in §IV-B3).
+func (fl *FileLogger) ObserveFileRead(path string, t time.Time) {
+	fl.mu.Lock()
+	spec, watched := fl.specs[path]
+	kv := fl.lastGood[path]
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	fl.mu.Unlock()
+	if !watched {
+		return
+	}
+	for _, k := range keys {
+		fl.l.logRead(trace.StoreFile, spec.App, FileKey(path, k), t)
+	}
+}

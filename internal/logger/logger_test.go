@@ -1,0 +1,290 @@
+package logger
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"ocasta/internal/conffile"
+	"ocasta/internal/gconf"
+	"ocasta/internal/registry"
+	"ocasta/internal/trace"
+	"ocasta/internal/ttkv"
+	"ocasta/internal/ttkvwire"
+	"ocasta/internal/vfs"
+)
+
+var t0 = time.Date(2013, 6, 1, 12, 0, 0, 0, time.UTC)
+
+func TestRegistryLogging(t *testing.T) {
+	store := ttkv.New()
+	l := New(store, WithUser("u1"), WithTraceRecording("Windows 7"))
+	reg := registry.New()
+	defer reg.Attach(l.RegistryHook())()
+
+	s := reg.Session("word")
+	key := `HKCU\Software\Word\Data`
+	if err := s.SetValue(key, "Max Display", registry.DWordValue(9), t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.QueryValue(key, "Max Display", t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteValue(key, "Max Display", t0.Add(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	full := registry.FullKey(key, "Max Display")
+	hist, err := store.History(full)
+	if err != nil {
+		t.Fatalf("History: %v", err)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("history = %d versions, want 2 (set + tombstone)", len(hist))
+	}
+	if hist[0].Value != "REG_DWORD:9" || !hist[1].Deleted {
+		t.Errorf("history = %+v", hist)
+	}
+	st := store.Stats()
+	if st.Reads != 1 {
+		t.Errorf("Reads = %d, want 1", st.Reads)
+	}
+
+	tr := l.Trace()
+	if tr.Name != "Windows 7" || len(tr.Events) != 3 {
+		t.Fatalf("trace = %q with %d events", tr.Name, len(tr.Events))
+	}
+	if tr.Events[0].Op != trace.OpWrite || tr.Events[0].Store != trace.StoreRegistry ||
+		tr.Events[0].App != "word" || tr.Events[0].User != "u1" {
+		t.Errorf("event 0 = %+v", tr.Events[0])
+	}
+	if tr.Events[1].Op != trace.OpRead || tr.Events[2].Op != trace.OpDelete {
+		t.Errorf("ops = %v, %v", tr.Events[1].Op, tr.Events[2].Op)
+	}
+	if l.Err() != nil {
+		t.Errorf("unexpected logger error: %v", l.Err())
+	}
+}
+
+func TestGConfLogging(t *testing.T) {
+	store := ttkv.New()
+	l := New(store, WithTraceRecording("Linux-1"))
+	db := gconf.New()
+	defer db.Attach(l.GConfHook())()
+
+	c := db.Client("evolution")
+	key := "/apps/evolution/mail/mark_seen"
+	if err := c.SetBool(key, true, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetBool(key, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unset(key, t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	hist, err := store.History(key)
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("history = %v, %v", hist, err)
+	}
+	if hist[0].Value != "b:true" || !hist[1].Deleted {
+		t.Errorf("history = %+v", hist)
+	}
+	tr := l.Trace()
+	if len(tr.Events) != 3 || tr.Events[0].Store != trace.StoreGConf {
+		t.Errorf("trace events = %+v", tr.Events)
+	}
+}
+
+func TestFileLogging(t *testing.T) {
+	store := ttkv.New()
+	l := New(store, WithTraceRecording("Linux-2"))
+	fs := vfs.New()
+	path := "/home/u/.config/chrome/Preferences"
+	fl := l.NewFileLogger(fs, map[string]FileSpec{
+		path: {App: "chrome", Format: conffile.JSON{}},
+	})
+	defer fl.Close()
+
+	if err := fs.WriteFile(path, []byte(`{"bookmark_bar": {"show": true}, "home": "x"}`), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(path, []byte(`{"bookmark_bar": {"show": false}}`), t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	showKey := FileKey(path, "/bookmark_bar/show")
+	hist, err := store.History(showKey)
+	if err != nil {
+		t.Fatalf("History(%q): %v", showKey, err)
+	}
+	if len(hist) != 2 || hist[0].Value != "true" || hist[1].Value != "false" {
+		t.Fatalf("history = %+v", hist)
+	}
+	homeKey := FileKey(path, "/home")
+	hh, err := store.History(homeKey)
+	if err != nil || len(hh) != 2 || !hh[1].Deleted {
+		t.Fatalf("removed key history = %+v, %v", hh, err)
+	}
+	if fl.Err() != nil {
+		t.Errorf("file logger error: %v", fl.Err())
+	}
+	// Unwatched files are ignored.
+	if err := fs.WriteFile("/other", []byte("k=v\n"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 2 {
+		t.Errorf("store keys = %v, unwatched file must not log", store.Keys())
+	}
+}
+
+func TestFileLoggerSeedsBaseline(t *testing.T) {
+	store := ttkv.New()
+	l := New(store)
+	fs := vfs.New()
+	path := "/cfg/app.ini"
+	// File exists before the logger attaches.
+	if err := fs.WriteFile(path, []byte("[s]\nk=1\n"), t0); err != nil {
+		t.Fatal(err)
+	}
+	fl := l.NewFileLogger(fs, map[string]FileSpec{path: {App: "app"}})
+	defer fl.Close()
+
+	// Only the changed key is logged, not the whole pre-existing file.
+	if err := fs.WriteFile(path, []byte("[s]\nk=1\nnew=2\n"), t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store keys = %v, want only the new key", store.Keys())
+	}
+	if _, err := store.History(FileKey(path, "s.new")); err != nil {
+		t.Errorf("expected s.new to be logged: %v", err)
+	}
+}
+
+func TestFileLoggerCorruptFlushSkipped(t *testing.T) {
+	store := ttkv.New()
+	l := New(store)
+	fs := vfs.New()
+	path := "/cfg/prefs.json"
+	fl := l.NewFileLogger(fs, map[string]FileSpec{path: {App: "app", Format: conffile.JSON{}}})
+	defer fl.Close()
+
+	if err := fs.WriteFile(path, []byte(`{"a": 1}`), t0); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt intermediate flush must not emit events or lose the baseline.
+	if err := fs.WriteFile(path, []byte(`{"a": `), t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if fl.Err() == nil {
+		t.Error("corrupt flush should latch a parse error")
+	}
+	if err := fs.WriteFile(path, []byte(`{"a": 2}`), t0.Add(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := store.History(FileKey(path, "/a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 || hist[0].Value != "1" || hist[1].Value != "2" {
+		t.Fatalf("history = %+v, want clean 1 -> 2 (corrupt flush skipped)", hist)
+	}
+}
+
+func TestFileRemovalLogsDeletes(t *testing.T) {
+	store := ttkv.New()
+	l := New(store)
+	fs := vfs.New()
+	path := "/cfg/state.conf"
+	fl := l.NewFileLogger(fs, map[string]FileSpec{path: {App: "app", Format: conffile.Plain{}}})
+	defer fl.Close()
+
+	if err := fs.WriteFile(path, []byte("a=1\nb=2\n"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(path, t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b"} {
+		hist, err := store.History(FileKey(path, k))
+		if err != nil || len(hist) != 2 || !hist[1].Deleted {
+			t.Errorf("key %s history = %+v, %v, want tombstone", k, hist, err)
+		}
+	}
+}
+
+func TestObserveFileRead(t *testing.T) {
+	store := ttkv.New()
+	l := New(store, WithTraceRecording("tr"))
+	fs := vfs.New()
+	path := "/cfg/app.conf"
+	fl := l.NewFileLogger(fs, map[string]FileSpec{path: {App: "app", Format: conffile.Plain{}}})
+	defer fl.Close()
+	if err := fs.WriteFile(path, []byte("a=1\nb=2\n"), t0); err != nil {
+		t.Fatal(err)
+	}
+	fl.ObserveFileRead(path, t0.Add(time.Second))
+	fl.ObserveFileRead("/unwatched", t0) // no-op
+	if st := store.Stats(); st.Reads != 2 {
+		t.Errorf("Reads = %d, want 2 (one per key)", st.Reads)
+	}
+	reads := 0
+	for _, ev := range l.Trace().Events {
+		if ev.Op == trace.OpRead {
+			reads++
+		}
+	}
+	if reads != 2 {
+		t.Errorf("trace reads = %d, want 2", reads)
+	}
+}
+
+func TestRemoteSinkEndToEnd(t *testing.T) {
+	// Full pipeline: registry hook -> logger -> wire client -> server store.
+	serverStore := ttkv.New()
+	srv := ttkvwire.NewServer(serverStore)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ln); !errors.Is(err, ttkvwire.ErrServerClosed) {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	defer func() { srv.Close(); <-done }()
+
+	client, err := ttkvwire.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	l := New(NewRemoteSink(client))
+	reg := registry.New()
+	defer reg.Attach(l.RegistryHook())()
+	s := reg.Session("explorer")
+	if err := s.SetValue(`HKCU\Software\Explorer`, "Toolbar", registry.String("on"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.QueryValue(`HKCU\Software\Explorer`, "Toolbar", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("logger error: %v", err)
+	}
+
+	full := registry.FullKey(`HKCU\Software\Explorer`, "Toolbar")
+	v, ok := serverStore.Get(full)
+	if !ok || v != "REG_SZ:on" {
+		t.Fatalf("server store value = %q,%v", v, ok)
+	}
+	if st := serverStore.Stats(); st.Reads < 1 {
+		t.Errorf("server read count = %d, want >= 1", st.Reads)
+	}
+}

@@ -1,0 +1,33 @@
+package logger
+
+import (
+	"time"
+
+	"ocasta/internal/ttkvwire"
+)
+
+// RemoteSink adapts a TTKV network client into a Sink, so loggers in one
+// process can feed the shared TTKV daemon (the role Redis played in the
+// paper's deployment).
+type RemoteSink struct {
+	c *ttkvwire.Client
+}
+
+// NewRemoteSink wraps a connected client.
+func NewRemoteSink(c *ttkvwire.Client) *RemoteSink { return &RemoteSink{c: c} }
+
+// Set implements Sink.
+func (r *RemoteSink) Set(key, value string, t time.Time) error {
+	return r.c.Set(key, value, t)
+}
+
+// Delete implements Sink.
+func (r *RemoteSink) Delete(key string, t time.Time) error {
+	return r.c.Delete(key, t)
+}
+
+// CountRead implements Sink. The server counts a read for every GET, so a
+// fetch-and-discard is the wire-level read marker.
+func (r *RemoteSink) CountRead(key string) {
+	_, _ = r.c.Get(key) // a miss still counts as a read server-side
+}

@@ -1,0 +1,345 @@
+// Package registry implements a simulated Windows registry: hives, nested
+// subkeys, and typed values, with an interception layer that mirrors the
+// paper's Detours-style logger shim (every mutation and query made through
+// a Session is observable by attached hooks, tagged with the application
+// that made it).
+//
+// The real Ocasta injects a DLL into Explorer and hooks the registry APIs
+// of every descendant process; here each simulated application obtains a
+// Session (its "process"), and hooks see the same event stream the DLL
+// would capture: who touched which key, with what value, when.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry errors.
+var (
+	ErrBadPath        = errors.New("registry: malformed key path")
+	ErrNoKey          = errors.New("registry: key does not exist")
+	ErrNoValue        = errors.New("registry: value does not exist")
+	ErrKeyHasSubkeys  = errors.New("registry: key still has subkeys")
+	ErrBadEncoding    = errors.New("registry: malformed encoded value")
+	ErrUnknownHive    = errors.New("registry: unknown hive")
+	ErrEmptyValueName = errors.New("registry: empty value name not allowed; use Default")
+)
+
+// Default is the canonical name of a key's default (unnamed) value,
+// matching how regedit displays it.
+const Default = "(Default)"
+
+// ValueType enumerates the registry value types Ocasta's logger handles.
+type ValueType uint8
+
+// Registry value types.
+const (
+	SZ ValueType = iota + 1
+	DWord
+	Binary
+	MultiSZ
+)
+
+// String returns the Win32 type name.
+func (t ValueType) String() string {
+	switch t {
+	case SZ:
+		return "REG_SZ"
+	case DWord:
+		return "REG_DWORD"
+	case Binary:
+		return "REG_BINARY"
+	case MultiSZ:
+		return "REG_MULTI_SZ"
+	default:
+		return fmt.Sprintf("REG_TYPE(%d)", uint8(t))
+	}
+}
+
+// Value is one typed registry value.
+type Value struct {
+	Type  ValueType
+	SZ    string
+	DWord uint32
+	Bin   []byte
+	Multi []string
+}
+
+// String constructs a REG_SZ value.
+func String(s string) Value { return Value{Type: SZ, SZ: s} }
+
+// DWordValue constructs a REG_DWORD value.
+func DWordValue(n uint32) Value { return Value{Type: DWord, DWord: n} }
+
+// BinaryValue constructs a REG_BINARY value.
+func BinaryValue(b []byte) Value { return Value{Type: Binary, Bin: b} }
+
+// MultiString constructs a REG_MULTI_SZ value.
+func MultiString(items ...string) Value { return Value{Type: MultiSZ, Multi: items} }
+
+// Encode renders the value as a single string for storage in the TTKV.
+// The encoding is type-prefixed and reversible via DecodeValue.
+func (v Value) Encode() string {
+	switch v.Type {
+	case SZ:
+		return "REG_SZ:" + v.SZ
+	case DWord:
+		return "REG_DWORD:" + strconv.FormatUint(uint64(v.DWord), 10)
+	case Binary:
+		return "REG_BINARY:" + hexEncode(v.Bin)
+	case MultiSZ:
+		return "REG_MULTI_SZ:" + strings.Join(v.Multi, "\x00")
+	default:
+		return "REG_UNKNOWN:"
+	}
+}
+
+// DecodeValue parses a string produced by Value.Encode.
+func DecodeValue(s string) (Value, error) {
+	colon := strings.IndexByte(s, ':')
+	if colon < 0 {
+		return Value{}, fmt.Errorf("%w: %q", ErrBadEncoding, s)
+	}
+	typ, payload := s[:colon], s[colon+1:]
+	switch typ {
+	case "REG_SZ":
+		return String(payload), nil
+	case "REG_DWORD":
+		n, err := strconv.ParseUint(payload, 10, 32)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad dword %q", ErrBadEncoding, payload)
+		}
+		return DWordValue(uint32(n)), nil
+	case "REG_BINARY":
+		b, err := hexDecode(payload)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad binary %q", ErrBadEncoding, payload)
+		}
+		return BinaryValue(b), nil
+	case "REG_MULTI_SZ":
+		if payload == "" {
+			return MultiString(), nil
+		}
+		return MultiString(strings.Split(payload, "\x00")...), nil
+	default:
+		return Value{}, fmt.Errorf("%w: unknown type %q", ErrBadEncoding, typ)
+	}
+}
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool { return v.Encode() == o.Encode() }
+
+func hexEncode(b []byte) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 0, len(b)*2)
+	for _, c := range b {
+		out = append(out, digits[c>>4], digits[c&0xf])
+	}
+	return string(out)
+}
+
+func hexDecode(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("odd hex length")
+	}
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(out); i++ {
+		hi, err1 := hexNibble(s[2*i])
+		lo, err2 := hexNibble(s[2*i+1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad hex digit")
+		}
+		out[i] = hi<<4 | lo
+	}
+	return out, nil
+}
+
+func hexNibble(c byte) (byte, error) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', nil
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, nil
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, nil
+	}
+	return 0, fmt.Errorf("bad hex digit %q", c)
+}
+
+// Hook observes registry activity, mirroring the paper's injected logger.
+// fullKey is "path\valueName" with the Default placeholder for unnamed
+// values.
+type Hook interface {
+	SetValue(app, fullKey string, v Value, t time.Time)
+	DeleteValue(app, fullKey string, t time.Time)
+	QueryValue(app, fullKey string, t time.Time)
+}
+
+// hives accepted at the head of a key path, normalized to short form.
+var hives = map[string]string{
+	"HKCU": "HKCU", "HKEY_CURRENT_USER": "HKCU",
+	"HKLM": "HKLM", "HKEY_LOCAL_MACHINE": "HKLM",
+	"HKCR": "HKCR", "HKEY_CLASSES_ROOT": "HKCR",
+	"HKU": "HKU", "HKEY_USERS": "HKU",
+	"HKCC": "HKCC", "HKEY_CURRENT_CONFIG": "HKCC",
+}
+
+// Registry key names are case-insensitive but case-preserving; children
+// are indexed by folded name and remember their display name.
+type childEntry struct {
+	display string
+	node    *keyNode
+}
+
+type keyNode struct {
+	children map[string]*childEntry
+	values   map[string]Value
+}
+
+func newKeyNode() *keyNode {
+	return &keyNode{children: make(map[string]*childEntry), values: make(map[string]Value)}
+}
+
+// Registry is the simulated registry. Safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	roots map[string]*keyNode
+	hooks map[int]Hook
+	next  int
+}
+
+// New returns a registry with all hives present and empty.
+func New() *Registry {
+	roots := make(map[string]*keyNode)
+	for _, short := range []string{"HKCU", "HKLM", "HKCR", "HKU", "HKCC"} {
+		roots[short] = newKeyNode()
+	}
+	return &Registry{roots: roots, hooks: make(map[int]Hook)}
+}
+
+// Attach registers a logger hook; the returned cancel detaches it.
+func (r *Registry) Attach(h Hook) (cancel func()) {
+	r.mu.Lock()
+	id := r.next
+	r.next++
+	r.hooks[id] = h
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		delete(r.hooks, id)
+		r.mu.Unlock()
+	}
+}
+
+// Session returns a handle tagged with the application name, the analogue
+// of a hooked process in the paper's deployment.
+func (r *Registry) Session(app string) *Session { return &Session{reg: r, app: app} }
+
+// splitPath normalizes and validates a key path into hive + components.
+func splitPath(path string) (hive string, parts []string, err error) {
+	segs := strings.Split(path, `\`)
+	if len(segs) == 0 || segs[0] == "" {
+		return "", nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	hive, ok := hives[strings.ToUpper(segs[0])]
+	if !ok {
+		return "", nil, fmt.Errorf("%w: %q", ErrUnknownHive, segs[0])
+	}
+	for _, s := range segs[1:] {
+		if s == "" {
+			return "", nil, fmt.Errorf("%w: empty component in %q", ErrBadPath, path)
+		}
+		parts = append(parts, s)
+	}
+	return hive, parts, nil
+}
+
+// CanonicalPath normalizes a key path to its short-hive canonical form.
+func CanonicalPath(path string) (string, error) {
+	hive, parts, err := splitPath(path)
+	if err != nil {
+		return "", err
+	}
+	if len(parts) == 0 {
+		return hive, nil
+	}
+	return hive + `\` + strings.Join(parts, `\`), nil
+}
+
+// FullKey combines a key path and value name into the TTKV key identity.
+func FullKey(path, name string) string {
+	if name == "" {
+		name = Default
+	}
+	return path + `\` + name
+}
+
+// SplitFullKey splits a TTKV key identity back into path and value name.
+func SplitFullKey(fullKey string) (path, name string, err error) {
+	i := strings.LastIndexByte(fullKey, '\\')
+	if i <= 0 || i == len(fullKey)-1 {
+		return "", "", fmt.Errorf("%w: %q", ErrBadPath, fullKey)
+	}
+	path, name = fullKey[:i], fullKey[i+1:]
+	if name == Default {
+		name = ""
+	}
+	return path, name, nil
+}
+
+// lookup walks to a key node. Caller must hold at least a read lock.
+func (r *Registry) lookup(path string) (*keyNode, error) {
+	hive, parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	node := r.roots[hive]
+	for _, p := range parts {
+		child, ok := node.children[lowerKey(p)]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoKey, path)
+		}
+		node = child.node
+	}
+	return node, nil
+}
+
+// ensure walks to a key node, creating missing components (the behaviour
+// of RegCreateKeyEx). Caller must hold the write lock.
+func (r *Registry) ensure(path string) (*keyNode, error) {
+	hive, parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	node := r.roots[hive]
+	for _, p := range parts {
+		child, ok := node.children[lowerKey(p)]
+		if !ok {
+			child = &childEntry{display: p, node: newKeyNode()}
+			node.children[lowerKey(p)] = child
+		}
+		node = child.node
+	}
+	return node, nil
+}
+
+func (r *Registry) snapshotHooks() []Hook {
+	ids := make([]int, 0, len(r.hooks))
+	for id := range r.hooks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]Hook, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, r.hooks[id])
+	}
+	return out
+}
+
+func lowerKey(s string) string { return strings.ToLower(s) }

@@ -1,0 +1,384 @@
+package registry
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2013, 6, 1, 12, 0, 0, 0, time.UTC)
+
+const wordKey = `HKCU\Software\Microsoft\Office\12.0\Word\Data`
+
+func TestValueEncodeDecodeRoundTrip(t *testing.T) {
+	values := []Value{
+		String("hello world"),
+		String(""),
+		DWordValue(0),
+		DWordValue(4294967295),
+		BinaryValue([]byte{0x00, 0xff, 0x10}),
+		BinaryValue(nil),
+		MultiString("a", "b", "c"),
+		MultiString(),
+		MultiString("single"),
+	}
+	for _, v := range values {
+		enc := v.Encode()
+		got, err := DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("DecodeValue(%q): %v", enc, err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %q: got %+v, want %+v", enc, got, v)
+		}
+	}
+}
+
+func TestDecodeValueErrors(t *testing.T) {
+	cases := []string{
+		"no-colon",
+		"REG_DWORD:notanumber",
+		"REG_DWORD:99999999999999",
+		"REG_BINARY:abc", // odd length
+		"REG_BINARY:zz",
+		"REG_WEIRD:x",
+	}
+	for _, in := range cases {
+		if _, err := DecodeValue(in); !errors.Is(err, ErrBadEncoding) {
+			t.Errorf("DecodeValue(%q) err = %v, want ErrBadEncoding", in, err)
+		}
+	}
+}
+
+func TestValueTypeString(t *testing.T) {
+	if SZ.String() != "REG_SZ" || DWord.String() != "REG_DWORD" ||
+		Binary.String() != "REG_BINARY" || MultiSZ.String() != "REG_MULTI_SZ" {
+		t.Error("type names wrong")
+	}
+	if ValueType(99).String() != "REG_TYPE(99)" {
+		t.Error("unknown type name wrong")
+	}
+}
+
+func TestSetQueryValue(t *testing.T) {
+	reg := New()
+	s := reg.Session("word")
+	if err := s.SetValue(wordKey, "Max Display", DWordValue(9), t0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.QueryValue(wordKey, "Max Display", t0)
+	if err != nil || v.DWord != 9 {
+		t.Fatalf("QueryValue = %+v, %v", v, err)
+	}
+	if _, err := s.QueryValue(wordKey, "missing", t0); !errors.Is(err, ErrNoValue) {
+		t.Errorf("missing value err = %v, want ErrNoValue", err)
+	}
+	if _, err := s.QueryValue(`HKCU\No\Such\Key`, "x", t0); !errors.Is(err, ErrNoKey) {
+		t.Errorf("missing key err = %v, want ErrNoKey", err)
+	}
+}
+
+func TestHiveNormalization(t *testing.T) {
+	reg := New()
+	s := reg.Session("app")
+	if err := s.SetValue(`HKEY_CURRENT_USER\Software\Test`, "v", String("x"), t0); err != nil {
+		t.Fatal(err)
+	}
+	// Long and short hive names address the same key.
+	v, err := s.QueryValue(`HKCU\Software\Test`, "v", t0)
+	if err != nil || v.SZ != "x" {
+		t.Fatalf("hive alias lookup failed: %+v, %v", v, err)
+	}
+}
+
+func TestCaseInsensitiveKeys(t *testing.T) {
+	reg := New()
+	s := reg.Session("app")
+	if err := s.SetValue(`HKCU\Software\MyApp`, "k", String("1"), t0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.QueryValue(`hkcu\SOFTWARE\myapp`, "k", t0)
+	if err != nil || v.SZ != "1" {
+		t.Fatalf("case-insensitive lookup failed: %v", err)
+	}
+	// Display name preserves original case.
+	subs, err := s.EnumSubkeys("HKCU")
+	if err != nil || len(subs) != 1 || subs[0] != "Software" {
+		t.Fatalf("EnumSubkeys = %v, %v", subs, err)
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	reg := New()
+	s := reg.Session("app")
+	if err := s.CreateKey(`HKXX\Software`); !errors.Is(err, ErrUnknownHive) {
+		t.Errorf("unknown hive err = %v", err)
+	}
+	if err := s.CreateKey(`HKCU\\Double`); !errors.Is(err, ErrBadPath) {
+		t.Errorf("empty component err = %v", err)
+	}
+	if err := s.SetValue("", "v", String("x"), t0); err == nil {
+		t.Error("empty path must fail")
+	}
+}
+
+func TestDeleteValue(t *testing.T) {
+	reg := New()
+	s := reg.Session("app")
+	if err := s.SetValue(wordKey, "Item 1", String("doc1"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteValue(wordKey, "Item 1", t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.QueryValue(wordKey, "Item 1", t0); !errors.Is(err, ErrNoValue) {
+		t.Errorf("after delete err = %v, want ErrNoValue", err)
+	}
+	if err := s.DeleteValue(wordKey, "Item 1", t0); !errors.Is(err, ErrNoValue) {
+		t.Errorf("double delete err = %v, want ErrNoValue", err)
+	}
+}
+
+func TestDeleteKey(t *testing.T) {
+	reg := New()
+	s := reg.Session("app")
+	if err := s.SetValue(`HKCU\A\B`, "v", String("1"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteKey(`HKCU\A`, t0); !errors.Is(err, ErrKeyHasSubkeys) {
+		t.Errorf("deleting key with subkeys err = %v, want ErrKeyHasSubkeys", err)
+	}
+	if err := s.DeleteKey(`HKCU\A\B`, t0); err != nil {
+		t.Fatal(err)
+	}
+	if s.KeyExists(`HKCU\A\B`) {
+		t.Error("key must be gone after DeleteKey")
+	}
+	if !s.KeyExists(`HKCU\A`) {
+		t.Error("parent must survive")
+	}
+	if err := s.DeleteKey(`HKCU\A\B`, t0); !errors.Is(err, ErrNoKey) {
+		t.Errorf("deleting missing key err = %v, want ErrNoKey", err)
+	}
+	if err := s.DeleteKey(`HKCU`, t0); !errors.Is(err, ErrBadPath) {
+		t.Errorf("deleting hive err = %v, want ErrBadPath", err)
+	}
+}
+
+func TestEnumValues(t *testing.T) {
+	reg := New()
+	s := reg.Session("app")
+	if err := s.SetValue(`HKCU\App`, "beta", String("2"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetValue(`HKCU\App`, "alpha", String("1"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetValue(`HKCU\App`, "", String("default"), t0); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.EnumValues(`HKCU\App`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{Default, "alpha", "beta"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("EnumValues = %v, want %v", names, want)
+	}
+}
+
+func TestFullKeyRoundTrip(t *testing.T) {
+	full := FullKey(`HKCU\Software\App`, "Max Display")
+	path, name, err := SplitFullKey(full)
+	if err != nil || path != `HKCU\Software\App` || name != "Max Display" {
+		t.Fatalf("SplitFullKey = %q,%q,%v", path, name, err)
+	}
+	full = FullKey(`HKCU\App`, "")
+	path, name, err = SplitFullKey(full)
+	if err != nil || path != `HKCU\App` || name != "" {
+		t.Fatalf("default value round trip = %q,%q,%v", path, name, err)
+	}
+}
+
+// recordingHook captures hook invocations for assertions.
+type recordingHook struct {
+	mu      sync.Mutex
+	sets    []string
+	deletes []string
+	queries []string
+}
+
+func (h *recordingHook) SetValue(app, fullKey string, v Value, t time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sets = append(h.sets, app+"|"+fullKey+"|"+v.Encode())
+}
+
+func (h *recordingHook) DeleteValue(app, fullKey string, t time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.deletes = append(h.deletes, app+"|"+fullKey)
+}
+
+func (h *recordingHook) QueryValue(app, fullKey string, t time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.queries = append(h.queries, app+"|"+fullKey)
+}
+
+func TestHooksObserveEverything(t *testing.T) {
+	reg := New()
+	hook := &recordingHook{}
+	cancel := reg.Attach(hook)
+	s := reg.Session("word")
+
+	if err := s.SetValue(wordKey, "Max Display", DWordValue(4), t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.QueryValue(wordKey, "Max Display", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteValue(wordKey, "Max Display", t0); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(hook.sets) != 1 || hook.sets[0] != "word|"+wordKey+`\Max Display|REG_DWORD:4` {
+		t.Errorf("sets = %v", hook.sets)
+	}
+	if len(hook.queries) != 1 {
+		t.Errorf("queries = %v", hook.queries)
+	}
+	if len(hook.deletes) != 1 {
+		t.Errorf("deletes = %v", hook.deletes)
+	}
+
+	cancel()
+	if err := s.SetValue(wordKey, "x", String("y"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if len(hook.sets) != 1 {
+		t.Error("detached hook must not receive events")
+	}
+}
+
+func TestDeleteKeyReportsValueDeletes(t *testing.T) {
+	reg := New()
+	hook := &recordingHook{}
+	reg.Attach(hook)
+	s := reg.Session("app")
+	if err := s.SetValue(`HKCU\App\Sub`, "a", String("1"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetValue(`HKCU\App\Sub`, "b", String("2"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteKey(`HKCU\App\Sub`, t0); err != nil {
+		t.Fatal(err)
+	}
+	if len(hook.deletes) != 2 {
+		t.Errorf("DeleteKey must report each value deletion, got %v", hook.deletes)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	reg := New()
+	s := reg.Session("word")
+	if err := s.SetValue(wordKey, "Max Display", DWordValue(9), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetValue(wordKey+`\MRU`, "Item 1", String("a.doc"), t0); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot(`HKCU\Software\Microsoft`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		wordKey + `\Max Display`: "REG_DWORD:9",
+		wordKey + `\MRU\Item 1`:  "REG_SZ:a.doc",
+	}
+	if !reflect.DeepEqual(snap, want) {
+		t.Errorf("Snapshot = %v, want %v", snap, want)
+	}
+}
+
+func TestApplyEncodedRollback(t *testing.T) {
+	reg := New()
+	s := reg.Session("word")
+	if err := s.SetValue(wordKey, "Max Display", DWordValue(4), t0); err != nil {
+		t.Fatal(err)
+	}
+	// Roll back to a historical encoded value.
+	full := FullKey(wordKey, "Max Display")
+	if err := s.ApplyEncoded(full, "REG_DWORD:9", t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.QueryValue(wordKey, "Max Display", t0.Add(time.Second))
+	if err != nil || v.DWord != 9 {
+		t.Fatalf("after rollback = %+v, %v", v, err)
+	}
+	// Historical deletion rolls back by removing the value.
+	if err := s.RemoveEncoded(full, t0.Add(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.QueryValue(wordKey, "Max Display", t0.Add(2*time.Second)); !errors.Is(err, ErrNoValue) {
+		t.Errorf("after RemoveEncoded err = %v, want ErrNoValue", err)
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	reg := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := reg.Session("app")
+			key := `HKCU\Concurrent\K` + string(rune('a'+g))
+			for i := 0; i < 100; i++ {
+				if err := s.SetValue(key, "v", DWordValue(uint32(i)), t0); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.QueryValue(key, "v", t0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// Property: Encode/DecodeValue round-trips arbitrary payloads.
+func TestEncodePropertyRoundTrip(t *testing.T) {
+	prop := func(s string, d uint32, bin []byte, multi []string) bool {
+		for i, m := range multi {
+			// MULTI_SZ entries cannot contain NUL (the separator).
+			multi[i] = stripNul(m)
+		}
+		for _, v := range []Value{String(s), DWordValue(d), BinaryValue(bin), MultiString(multi...)} {
+			got, err := DecodeValue(v.Encode())
+			if err != nil || !got.Equal(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func stripNul(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r != 0 {
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,254 @@
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Session is an application-tagged handle to the registry. All operations
+// made through a session are reported to attached hooks under the
+// session's application name, exactly as the paper's injected DLL
+// attributes registry traffic to the hooked process.
+type Session struct {
+	reg *Registry
+	app string
+}
+
+// App returns the application name the session is tagged with.
+func (s *Session) App() string { return s.app }
+
+// CreateKey creates the key path (and any missing parents). Creating an
+// existing key is a no-op, as with RegCreateKeyEx.
+func (s *Session) CreateKey(path string) error {
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	_, err := s.reg.ensure(path)
+	return err
+}
+
+// KeyExists reports whether the key path exists.
+func (s *Session) KeyExists(path string) bool {
+	s.reg.mu.RLock()
+	defer s.reg.mu.RUnlock()
+	_, err := s.reg.lookup(path)
+	return err == nil
+}
+
+// SetValue writes a value under path (creating the key chain if missing)
+// and notifies hooks.
+func (s *Session) SetValue(path, name string, v Value, t time.Time) error {
+	canon, err := CanonicalPath(path)
+	if err != nil {
+		return err
+	}
+	s.reg.mu.Lock()
+	node, err := s.reg.ensure(canon)
+	if err != nil {
+		s.reg.mu.Unlock()
+		return err
+	}
+	node.values[name] = v
+	hooks := s.reg.snapshotHooks()
+	s.reg.mu.Unlock()
+	full := FullKey(canon, name)
+	for _, h := range hooks {
+		h.SetValue(s.app, full, v, t)
+	}
+	return nil
+}
+
+// QueryValue reads a value and notifies hooks of the read.
+func (s *Session) QueryValue(path, name string, t time.Time) (Value, error) {
+	canon, err := CanonicalPath(path)
+	if err != nil {
+		return Value{}, err
+	}
+	s.reg.mu.RLock()
+	node, err := s.reg.lookup(canon)
+	var v Value
+	var ok bool
+	if err == nil {
+		v, ok = node.values[name]
+	}
+	hooks := s.reg.snapshotHooks()
+	s.reg.mu.RUnlock()
+	full := FullKey(canon, name)
+	for _, h := range hooks {
+		h.QueryValue(s.app, full, t)
+	}
+	if err != nil {
+		return Value{}, err
+	}
+	if !ok {
+		return Value{}, fmt.Errorf("%w: %q under %q", ErrNoValue, name, path)
+	}
+	return v, nil
+}
+
+// DeleteValue removes a value and notifies hooks.
+func (s *Session) DeleteValue(path, name string, t time.Time) error {
+	canon, err := CanonicalPath(path)
+	if err != nil {
+		return err
+	}
+	s.reg.mu.Lock()
+	node, err := s.reg.lookup(canon)
+	if err != nil {
+		s.reg.mu.Unlock()
+		return err
+	}
+	if _, ok := node.values[name]; !ok {
+		s.reg.mu.Unlock()
+		return fmt.Errorf("%w: %q under %q", ErrNoValue, name, path)
+	}
+	delete(node.values, name)
+	hooks := s.reg.snapshotHooks()
+	s.reg.mu.Unlock()
+	full := FullKey(canon, name)
+	for _, h := range hooks {
+		h.DeleteValue(s.app, full, t)
+	}
+	return nil
+}
+
+// DeleteKey removes a key that has no subkeys (RegDeleteKey semantics).
+// Its values are deleted first, each reported to hooks.
+func (s *Session) DeleteKey(path string, t time.Time) error {
+	canon, err := CanonicalPath(path)
+	if err != nil {
+		return err
+	}
+	hive, parts, err := splitPath(canon)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot delete hive %q", ErrBadPath, path)
+	}
+	s.reg.mu.Lock()
+	parentPath := hive
+	if len(parts) > 1 {
+		parentPath = hive + `\` + strings.Join(parts[:len(parts)-1], `\`)
+	}
+	parent, err := s.reg.lookup(parentPath)
+	if err != nil {
+		s.reg.mu.Unlock()
+		return err
+	}
+	leaf := lowerKey(parts[len(parts)-1])
+	child, ok := parent.children[leaf]
+	if !ok {
+		s.reg.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoKey, path)
+	}
+	if len(child.node.children) > 0 {
+		s.reg.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrKeyHasSubkeys, path)
+	}
+	names := make([]string, 0, len(child.node.values))
+	for name := range child.node.values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	delete(parent.children, leaf)
+	hooks := s.reg.snapshotHooks()
+	s.reg.mu.Unlock()
+	for _, name := range names {
+		full := FullKey(canon, name)
+		for _, h := range hooks {
+			h.DeleteValue(s.app, full, t)
+		}
+	}
+	return nil
+}
+
+// EnumSubkeys lists the display names of path's immediate subkeys, sorted.
+func (s *Session) EnumSubkeys(path string) ([]string, error) {
+	s.reg.mu.RLock()
+	defer s.reg.mu.RUnlock()
+	node, err := s.reg.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(node.children))
+	for _, child := range node.children {
+		out = append(out, child.display)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// EnumValues lists the value names of path, sorted, with the default value
+// reported under its placeholder name.
+func (s *Session) EnumValues(path string) ([]string, error) {
+	s.reg.mu.RLock()
+	defer s.reg.mu.RUnlock()
+	node, err := s.reg.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(node.values))
+	for name := range node.values {
+		if name == "" {
+			name = Default
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Snapshot returns every value under prefix (inclusive) as encoded strings
+// keyed by FullKey. Repair tools use this to capture an application's
+// registry footprint.
+func (s *Session) Snapshot(prefix string) (map[string]string, error) {
+	canon, err := CanonicalPath(prefix)
+	if err != nil {
+		return nil, err
+	}
+	s.reg.mu.RLock()
+	defer s.reg.mu.RUnlock()
+	node, err := s.reg.lookup(canon)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	var walk func(path string, n *keyNode)
+	walk = func(path string, n *keyNode) {
+		for name, v := range n.values {
+			out[FullKey(path, name)] = v.Encode()
+		}
+		for _, child := range n.children {
+			walk(path+`\`+child.display, child.node)
+		}
+	}
+	walk(canon, node)
+	return out, nil
+}
+
+// ApplyEncoded writes an encoded value (as stored in the TTKV) back into
+// the registry — the rollback primitive. An encoded tombstone is expressed
+// by deleting the value instead.
+func (s *Session) ApplyEncoded(fullKey, encoded string, t time.Time) error {
+	path, name, err := SplitFullKey(fullKey)
+	if err != nil {
+		return err
+	}
+	v, err := DecodeValue(encoded)
+	if err != nil {
+		return err
+	}
+	return s.SetValue(path, name, v, t)
+}
+
+// RemoveEncoded deletes the value identified by a TTKV full key — the
+// rollback primitive for historical deletions.
+func (s *Session) RemoveEncoded(fullKey string, t time.Time) error {
+	path, name, err := SplitFullKey(fullKey)
+	if err != nil {
+		return err
+	}
+	return s.DeleteValue(path, name, t)
+}

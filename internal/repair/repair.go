@@ -1,0 +1,448 @@
+// Package repair implements Ocasta's configuration error repair tool
+// (paper §III-B): given a user-provided trial that makes the error's
+// symptoms visible on screen, it searches historical values of the
+// clusters of configuration settings, rolling back one whole cluster at a
+// time inside a sandbox, screenshotting the result, and letting the user
+// confirm a screenshot that shows the fixed application.
+package repair
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"ocasta/internal/apps"
+	"ocasta/internal/core"
+	"ocasta/internal/trace"
+	"ocasta/internal/ttkv"
+)
+
+// Repair errors.
+var (
+	ErrNoTrial     = errors.New("repair: a trial (UI action script) is required")
+	ErrNoOracle    = errors.New("repair: a screenshot oracle is required")
+	ErrInvalidSpan = errors.New("repair: start time is after end time")
+)
+
+// Strategy selects the search order over cluster version histories.
+type Strategy uint8
+
+const (
+	// StrategyDFS exhausts one cluster's historical values before moving
+	// to the next cluster. Works best when the cluster sort ranks the
+	// offending cluster early.
+	StrategyDFS Strategy = iota + 1
+	// StrategyBFS tries the most recent historical value of every cluster
+	// before moving to the next-most-recent values.
+	StrategyBFS
+)
+
+// String returns the canonical strategy name.
+func (s Strategy) String() string {
+	if s == StrategyBFS {
+		return "bfs"
+	}
+	return "dfs"
+}
+
+// UserOracle inspects a screenshot and reports whether it shows the fixed
+// application — the human step of the paper's loop, where the user picks
+// the screenshot in which the symptom is gone.
+type UserOracle func(screenshot string) bool
+
+// MarkerOracle builds an oracle that accepts screenshots containing fixed
+// and not containing broken (either may be empty).
+func MarkerOracle(fixed, broken string) UserOracle {
+	return func(s string) bool {
+		if fixed != "" && !containsLine(s, fixed) {
+			return false
+		}
+		if broken != "" && containsLine(s, broken) {
+			return false
+		}
+		return true
+	}
+}
+
+func containsLine(s, marker string) bool {
+	for start := 0; start+len(marker) <= len(s); start++ {
+		if s[start:start+len(marker)] == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// Screenshot is one recorded, deduplicated trial screen.
+type Screenshot struct {
+	Rendered string
+	Hash     string
+	Trial    int       // 1-based trial number that produced it
+	Cluster  int       // index into the sorted cluster list
+	At       time.Time // historical version the cluster was rolled to
+}
+
+// CostModel converts trial executions into simulated wall-clock time,
+// standing in for the paper's measured recovery minutes: launching the
+// application, replaying the recorded UI actions, and taking the
+// screenshot.
+type CostModel struct {
+	Launch     time.Duration // per trial application start
+	PerAction  time.Duration
+	Screenshot time.Duration
+}
+
+// DefaultCosts approximates the paper's observed per-trial latencies.
+func DefaultCosts() CostModel {
+	return CostModel{Launch: 8 * time.Second, PerAction: 2 * time.Second, Screenshot: time.Second}
+}
+
+// TrialCost is the simulated duration of one trial with n UI actions.
+func (c CostModel) TrialCost(actions int) time.Duration {
+	return c.Launch + time.Duration(actions)*c.PerAction + c.Screenshot
+}
+
+// Options configures one repair search.
+type Options struct {
+	Strategy Strategy
+	// Window and Threshold are Ocasta's tunables: the co-modification
+	// window and the user-facing correlation threshold in (0, 2]. Zero
+	// values select the defaults (1 s, 2.0).
+	Window    time.Duration
+	Threshold float64
+	// Start and End bound the history searched, as the user supplies them
+	// to the tool. Zero Start searches the whole recorded history; zero
+	// End searches up to the newest record.
+	Start, End time.Time
+	// NoClust makes the tool roll back one setting at a time — the
+	// Ocasta-NoClust baseline of Table IV.
+	NoClust bool
+	// Trial is the recorded UI action script that makes the symptom
+	// visible.
+	Trial []string
+	// Oracle is the user's screenshot check.
+	Oracle UserOracle
+	// Costs is the simulated time model; zero value selects DefaultCosts.
+	Costs CostModel
+	// MaxTrials caps the search (0 = unlimited).
+	MaxTrials int
+}
+
+func (o *Options) normalize() {
+	if o.Strategy != StrategyBFS {
+		o.Strategy = StrategyDFS
+	}
+	if o.Window <= 0 {
+		o.Window = trace.DefaultWindow
+	}
+	if o.Threshold <= 0 || o.Threshold > 2 {
+		o.Threshold = 2
+	}
+	if o.Costs == (CostModel{}) {
+		o.Costs = DefaultCosts()
+	}
+}
+
+// Result reports a repair search.
+type Result struct {
+	Found bool
+	// Offending is the cluster whose rollback fixed the error.
+	Offending core.Cluster
+	// FixAt is the historical time whose values fixed the error.
+	FixAt time.Time
+	// Trials executed until the fix was found (or the search space was
+	// exhausted).
+	Trials int
+	// TotalTrials is the size of the full search space (every historical
+	// value of every cluster within bounds).
+	TotalTrials int
+	// Screenshots are the deduplicated screens recorded until the fix.
+	Screenshots []Screenshot
+	// SimTime and SimTotalTime are the simulated durations to find the
+	// fix and to search everything (the two halves of Table IV's Time
+	// column).
+	SimTime      time.Duration
+	SimTotalTime time.Duration
+	// Clusters is the number of candidate clusters considered.
+	Clusters int
+	// AvgClusterSize is the mean size of candidate clusters (Table IV's
+	// Cl.Size).
+	AvgClusterSize float64
+}
+
+// Tool searches a TTKV's history for configuration fixes for one
+// application.
+type Tool struct {
+	store *ttkv.Store
+	model *apps.Model
+}
+
+// NewTool builds a repair tool over a recorded store for one application.
+func NewTool(store *ttkv.Store, model *apps.Model) *Tool {
+	return &Tool{store: store, model: model}
+}
+
+// appKeys returns every store key owned by the application.
+func (t *Tool) appKeys() []string {
+	var keys []string
+	for _, k := range t.store.Keys() {
+		if t.model.OwnsKey(k) {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// events reconstructs the application's write stream from the TTKV
+// histories (the repair tool needs only the TTKV, exactly as in the
+// paper).
+func (t *Tool) events() []trace.Event {
+	var evs []trace.Event
+	for _, key := range t.appKeys() {
+		hist, err := t.store.History(key)
+		if err != nil {
+			continue
+		}
+		for _, v := range hist {
+			op := trace.OpWrite
+			if v.Deleted {
+				op = trace.OpDelete
+			}
+			evs = append(evs, trace.Event{
+				Time: v.Time, Op: op, Store: t.model.Store, App: t.model.Name, Key: key, Value: v.Value,
+			})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time.Before(evs[j].Time) })
+	return evs
+}
+
+// Clusters extracts and recovery-sorts the application's configuration
+// clusters from the TTKV history. With noClust each modified key becomes
+// its own cluster (the Table IV baseline).
+func (t *Tool) Clusters(window time.Duration, corrThreshold float64, noClust bool) []core.Cluster {
+	evs := t.events()
+	w := trace.NewWindower(window, trace.GroupAnchored)
+	groups := w.Groups(evs)
+	ps := core.NewPairStats(groups)
+	var clusters []core.Cluster
+	if noClust {
+		clusters = singletonClusters(ps)
+	} else {
+		threshold := core.ThresholdFromCorrelation(corrThreshold)
+		clusters = core.NewClusterer(core.LinkageComplete).Cluster(ps, threshold)
+	}
+	core.SortForRecovery(clusters)
+	return clusters
+}
+
+func singletonClusters(ps *core.PairStats) []core.Cluster {
+	keys := ps.Keys()
+	out := make([]core.Cluster, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, core.Cluster{Keys: []string{k}, ModCount: ps.Episodes(k)})
+	}
+	return out
+}
+
+// Snapshot returns the application's current configuration: the newest
+// non-deleted value of every key.
+func (t *Tool) Snapshot() apps.Config {
+	cfg := make(apps.Config)
+	for _, key := range t.appKeys() {
+		if v, ok := t.store.Get(key); ok {
+			cfg[key] = v
+		}
+	}
+	return cfg
+}
+
+// rollback returns a sandboxed configuration with the cluster's keys reset
+// to their state at time at. Keys with no version at or before at did not
+// exist then and are removed.
+func (t *Tool) rollback(base apps.Config, cluster *core.Cluster, at time.Time) apps.Config {
+	cfg := base.Clone()
+	for _, key := range cluster.Keys {
+		v, err := t.store.GetAt(key, at)
+		if err != nil || v.Deleted {
+			delete(cfg, key)
+			continue
+		}
+		cfg[key] = v.Value
+	}
+	return cfg
+}
+
+// rollbackPoint is one historical candidate of a cluster: the cluster's
+// state at an episode time, or — for the final candidate — the state just
+// before the oldest in-bounds episode (undoing it), which is how the
+// search reaches the pre-error state even when the error was the cluster's
+// only in-bounds modification.
+type rollbackPoint struct {
+	at   time.Time
+	undo bool
+}
+
+// state returns the instant whose stored values the trial restores.
+func (rp rollbackPoint) state() time.Time {
+	if rp.undo {
+		return rp.at.Add(-time.Nanosecond)
+	}
+	return rp.at
+}
+
+// candidates lists a cluster's historical rollback points within bounds,
+// newest first, ending with the undo-oldest sentinel. The start bound
+// limits how far back the search goes, as the user supplies it to the
+// tool; clusters not modified within bounds have nothing to roll back.
+func (t *Tool) candidates(cluster *core.Cluster, start, end time.Time) []rollbackPoint {
+	all := t.store.ModTimes(cluster.Keys)
+	out := make([]rollbackPoint, 0, len(all)+1)
+	for _, mt := range all {
+		if !end.IsZero() && mt.After(end) {
+			continue
+		}
+		if !start.IsZero() && mt.Before(start) {
+			continue
+		}
+		out = append(out, rollbackPoint{at: mt})
+	}
+	if len(out) > 0 {
+		out = append(out, rollbackPoint{at: out[len(out)-1].at, undo: true})
+	}
+	return out
+}
+
+// Search runs the repair search.
+func (t *Tool) Search(opts Options) (*Result, error) {
+	opts.normalize()
+	if len(opts.Trial) == 0 {
+		return nil, ErrNoTrial
+	}
+	if opts.Oracle == nil {
+		return nil, ErrNoOracle
+	}
+	if !opts.Start.IsZero() && !opts.End.IsZero() && opts.Start.After(opts.End) {
+		return nil, ErrInvalidSpan
+	}
+
+	clusters := t.Clusters(opts.Window, opts.Threshold, opts.NoClust)
+	res := &Result{Clusters: len(clusters)}
+	sizeSum := 0
+	for i := range clusters {
+		sizeSum += clusters[i].Size()
+	}
+	if len(clusters) > 0 {
+		res.AvgClusterSize = float64(sizeSum) / float64(len(clusters))
+	}
+
+	base := t.Snapshot()
+	trialCost := opts.Costs.TrialCost(len(opts.Trial))
+	errorScreen := t.model.Render(base, opts.Trial)
+	if opts.Oracle(errorScreen) {
+		// Nothing to repair: the symptom is not visible.
+		res.Found = true
+		return res, nil
+	}
+	seen := map[string]struct{}{hashScreen(errorScreen): {}}
+
+	versions := make([][]rollbackPoint, len(clusters))
+	for i := range clusters {
+		versions[i] = t.candidates(&clusters[i], opts.Start, opts.End)
+		res.TotalTrials += len(versions[i])
+	}
+	res.SimTotalTime = time.Duration(res.TotalTrials) * trialCost
+
+	tryOne := func(ci, vi int) bool {
+		at := versions[ci][vi].state()
+		cfg := t.rollback(base, &clusters[ci], at)
+		res.Trials++
+		res.SimTime += trialCost
+		screen := t.model.Render(cfg, opts.Trial)
+		h := hashScreen(screen)
+		if _, dup := seen[h]; !dup {
+			seen[h] = struct{}{}
+			res.Screenshots = append(res.Screenshots, Screenshot{
+				Rendered: screen, Hash: h, Trial: res.Trials, Cluster: ci, At: at,
+			})
+			if opts.Oracle(screen) {
+				res.Found = true
+				res.Offending = clusters[ci]
+				res.FixAt = at
+				return true
+			}
+		}
+		return false
+	}
+
+	capped := func() bool { return opts.MaxTrials > 0 && res.Trials >= opts.MaxTrials }
+
+	switch opts.Strategy {
+	case StrategyBFS:
+		for depth := 0; ; depth++ {
+			progressed := false
+			for ci := range clusters {
+				if depth >= len(versions[ci]) {
+					continue
+				}
+				progressed = true
+				if tryOne(ci, depth) {
+					return res, nil
+				}
+				if capped() {
+					return res, nil
+				}
+			}
+			if !progressed {
+				return res, nil
+			}
+		}
+	default: // DFS
+		for ci := range clusters {
+			for vi := range versions[ci] {
+				if tryOne(ci, vi) {
+					return res, nil
+				}
+				if capped() {
+					return res, nil
+				}
+			}
+		}
+		return res, nil
+	}
+}
+
+// ApplyFix permanently rolls the offending cluster back to the fixed
+// historical values, recording the rollback as new writes at time at —
+// the paper's final step before Ocasta returns to recording mode.
+func (t *Tool) ApplyFix(res *Result, at time.Time) error {
+	if !res.Found || len(res.Offending.Keys) == 0 {
+		return errors.New("repair: no fix to apply")
+	}
+	for _, key := range res.Offending.Keys {
+		v, err := t.store.GetAt(key, res.FixAt)
+		switch {
+		case err != nil || v.Deleted:
+			// The key did not exist at the fix point; record a deletion if
+			// it currently exists.
+			if _, ok := t.store.Get(key); ok {
+				if err := t.store.Delete(key, at); err != nil {
+					return fmt.Errorf("repair: applying fix delete of %s: %w", key, err)
+				}
+			}
+		default:
+			if err := t.store.Set(key, v.Value, at); err != nil {
+				return fmt.Errorf("repair: applying fix write of %s: %w", key, err)
+			}
+		}
+	}
+	return nil
+}
+
+func hashScreen(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:8])
+}

@@ -1,0 +1,352 @@
+package repair
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ocasta/internal/apps"
+	"ocasta/internal/core"
+	"ocasta/internal/trace"
+	"ocasta/internal/ttkv"
+)
+
+var t0 = time.Date(2013, 10, 1, 12, 0, 0, 0, time.UTC)
+
+func at(sec int) time.Time { return t0.Add(time.Duration(sec) * time.Second) }
+
+// miniModel is a small two-element application: a feature flag pair
+// ("mode" + "level" are related) and an independent "color" setting.
+func miniModel() *apps.Model {
+	return &apps.Model{
+		Name: "mini", DisplayName: "Mini App", Description: "Test App",
+		Store: trace.StoreGConf, ConfigPath: "/apps/mini",
+		Elements: []apps.UIElement{
+			{Name: "feature", Visible: func(cfg apps.Config, _ []string) bool {
+				return apps.FlagSet(cfg, "/apps/mini/mode", true)
+			}},
+			{Name: "palette", Detail: func(cfg apps.Config) string {
+				return cfg["/apps/mini/color"]
+			}},
+		},
+	}
+}
+
+// seedStore writes a history where mode+level are always co-modified and
+// color changes independently, then breaks mode at breakSec.
+func seedStore(t *testing.T, breakSec int) *ttkv.Store {
+	t.Helper()
+	store := ttkv.New()
+	set := func(key, val string, sec int) {
+		t.Helper()
+		if err := store.Set(key, val, at(sec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three co-modification episodes of the related pair.
+	for i, sec := range []int{0, 100, 200} {
+		set("/apps/mini/mode", "b:true", sec)
+		set("/apps/mini/level", []string{"i:1", "i:2", "i:3"}[i], sec)
+	}
+	// Independent color changes.
+	set("/apps/mini/color", "s:red", 50)
+	set("/apps/mini/color", "s:blue", 150)
+	// The error: mode flipped off (with its partner co-written, as the
+	// application persists the dialog group together).
+	set("/apps/mini/mode", "b:false", breakSec)
+	set("/apps/mini/level", "i:3", breakSec)
+	return store
+}
+
+func fixedOracle() UserOracle { return MarkerOracle("[x] feature", "[ ] feature") }
+
+func TestSearchFindsFix(t *testing.T) {
+	store := seedStore(t, 300)
+	tool := NewTool(store, miniModel())
+	res, err := tool.Search(Options{
+		Trial:  []string{"launch"},
+		Oracle: fixedOracle(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("fix not found")
+	}
+	if res.Offending.Size() != 2 || !res.Offending.Contains("/apps/mini/mode") {
+		t.Errorf("offending cluster = %+v, want the mode+level pair", res.Offending)
+	}
+	if res.Trials == 0 || res.SimTime == 0 {
+		t.Error("trials and simulated time must be counted")
+	}
+	if res.Trials > res.TotalTrials {
+		t.Errorf("trials %d > total %d", res.Trials, res.TotalTrials)
+	}
+}
+
+func TestSearchRollsBackWholeCluster(t *testing.T) {
+	store := seedStore(t, 300)
+	tool := NewTool(store, miniModel())
+	res, err := tool.Search(Options{Trial: []string{"launch"}, Oracle: fixedOracle()})
+	if err != nil || !res.Found {
+		t.Fatal(err)
+	}
+	// The fix must restore a historical state strictly before the error.
+	if !res.FixAt.Before(at(300)) {
+		t.Errorf("FixAt = %v, want before the error at %v", res.FixAt, at(300))
+	}
+}
+
+func TestApplyFix(t *testing.T) {
+	store := seedStore(t, 300)
+	tool := NewTool(store, miniModel())
+	res, err := tool.Search(Options{Trial: []string{"launch"}, Oracle: fixedOracle()})
+	if err != nil || !res.Found {
+		t.Fatal(err)
+	}
+	if err := tool.ApplyFix(res, at(400)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := store.Get("/apps/mini/mode"); v != "b:true" {
+		t.Errorf("after ApplyFix mode = %q, want b:true", v)
+	}
+	// The rollback is recorded as a new version, preserving history.
+	hist, _ := store.History("/apps/mini/mode")
+	if len(hist) != 5 {
+		t.Errorf("history = %d versions, want 5 (4 + rollback)", len(hist))
+	}
+}
+
+func TestApplyFixWithoutResult(t *testing.T) {
+	tool := NewTool(ttkv.New(), miniModel())
+	if err := tool.ApplyFix(&Result{}, t0); err == nil {
+		t.Error("ApplyFix without a found fix must error")
+	}
+}
+
+func TestApplyFixRestoresDeletion(t *testing.T) {
+	store := ttkv.New()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "mode" created only at sec 100; before that it did not exist.
+	must(store.Set("/apps/mini/mode", "b:true", at(100)))
+	must(store.Set("/apps/mini/mode", "b:true", at(150)))
+	must(store.Set("/apps/mini/mode", "b:false", at(300)))
+	tool := NewTool(store, miniModel())
+	res := &Result{
+		Found:     true,
+		Offending: coreCluster("/apps/mini/mode"),
+		FixAt:     at(50), // before the key existed
+	}
+	if err := tool.ApplyFix(res, at(400)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Get("/apps/mini/mode"); ok {
+		t.Error("rolling back before creation must delete the key")
+	}
+}
+
+func TestNoClustCannotFixPairError(t *testing.T) {
+	// Break BOTH settings; the symptom needs both restored: visible iff
+	// mode true; here we make the element require mode && level valid.
+	model := miniModel()
+	model.Elements[0].Visible = func(cfg apps.Config, _ []string) bool {
+		return apps.FlagSet(cfg, "/apps/mini/mode", true) && cfg["/apps/mini/level"] != "i:-1"
+	}
+	store := seedStore(t, 300)
+	if err := store.Set("/apps/mini/level", "i:-1", at(300)); err != nil {
+		t.Fatal(err)
+	}
+	tool := NewTool(store, model)
+
+	clustered, err := tool.Search(Options{Trial: []string{"launch"}, Oracle: fixedOracle()})
+	if err != nil || !clustered.Found {
+		t.Fatalf("clustered search should fix the pair error: %+v, %v", clustered, err)
+	}
+	noclust, err := tool.Search(Options{Trial: []string{"launch"}, Oracle: fixedOracle(), NoClust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noclust.Found {
+		t.Error("NoClust must fail when two settings must roll back together")
+	}
+	if noclust.Trials != noclust.TotalTrials {
+		t.Errorf("failed search must exhaust the space: %d/%d", noclust.Trials, noclust.TotalTrials)
+	}
+}
+
+func TestAlreadyFixedShortCircuits(t *testing.T) {
+	store := ttkv.New()
+	if err := store.Set("/apps/mini/mode", "b:true", at(0)); err != nil {
+		t.Fatal(err)
+	}
+	tool := NewTool(store, miniModel())
+	res, err := tool.Search(Options{Trial: []string{"launch"}, Oracle: fixedOracle()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Trials != 0 {
+		t.Errorf("healthy app: found=%v trials=%d, want true/0", res.Found, res.Trials)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	tool := NewTool(ttkv.New(), miniModel())
+	if _, err := tool.Search(Options{Oracle: fixedOracle()}); !errors.Is(err, ErrNoTrial) {
+		t.Errorf("missing trial err = %v", err)
+	}
+	if _, err := tool.Search(Options{Trial: []string{"x"}}); !errors.Is(err, ErrNoOracle) {
+		t.Errorf("missing oracle err = %v", err)
+	}
+	if _, err := tool.Search(Options{
+		Trial: []string{"x"}, Oracle: fixedOracle(),
+		Start: at(10), End: at(5),
+	}); !errors.Is(err, ErrInvalidSpan) {
+		t.Errorf("inverted span err = %v", err)
+	}
+}
+
+func TestBFSAndDFSBothFind(t *testing.T) {
+	for _, strat := range []Strategy{StrategyDFS, StrategyBFS} {
+		store := seedStore(t, 300)
+		tool := NewTool(store, miniModel())
+		res, err := tool.Search(Options{
+			Strategy: strat, Trial: []string{"launch"}, Oracle: fixedOracle(),
+		})
+		if err != nil || !res.Found {
+			t.Errorf("%v: found=%v err=%v", strat, res != nil && res.Found, err)
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyDFS.String() != "dfs" || StrategyBFS.String() != "bfs" {
+		t.Error("strategy names wrong")
+	}
+}
+
+func TestScreenshotDedup(t *testing.T) {
+	store := seedStore(t, 300)
+	tool := NewTool(store, miniModel())
+	res, err := tool.Search(Options{Trial: []string{"launch"}, Oracle: fixedOracle()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, s := range res.Screenshots {
+		if seen[s.Hash] {
+			t.Errorf("duplicate screenshot hash %s", s.Hash)
+		}
+		seen[s.Hash] = true
+		if strings.Contains(s.Rendered, "[ ] feature") && s.Trial == res.Trials {
+			t.Error("final screenshot should show the fixed app")
+		}
+	}
+	if len(res.Screenshots) > res.Trials {
+		t.Error("cannot have more screenshots than trials")
+	}
+}
+
+func TestSearchBounds(t *testing.T) {
+	store := seedStore(t, 300)
+	tool := NewTool(store, miniModel())
+	// Bound the search to a window containing only the error episode;
+	// undoing that episode reaches the pre-error state.
+	res, err := tool.Search(Options{
+		Trial: []string{"launch"}, Oracle: fixedOracle(),
+		Start: at(250), End: at(301),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("fix reachable by undoing the in-window error episode")
+	}
+	if !res.FixAt.Before(at(300)) || res.FixAt.Before(at(299)) {
+		t.Errorf("FixAt = %v, want just before the error at %v", res.FixAt, at(300))
+	}
+	// A window that excludes the error episode entirely cannot fix it.
+	none, err := tool.Search(Options{
+		Trial: []string{"launch"}, Oracle: fixedOracle(),
+		Start: at(301), End: at(400),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Found {
+		t.Error("search outside the modification window must not find a fix")
+	}
+}
+
+func TestMaxTrialsCap(t *testing.T) {
+	store := seedStore(t, 300)
+	tool := NewTool(store, miniModel())
+	res, err := tool.Search(Options{
+		Trial: []string{"launch"}, Oracle: func(string) bool { return false },
+		MaxTrials: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 3 || res.Found {
+		t.Errorf("capped search: trials=%d found=%v", res.Trials, res.Found)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	c := DefaultCosts()
+	cost := c.TrialCost(2)
+	want := c.Launch + 2*c.PerAction + c.Screenshot
+	if cost != want {
+		t.Errorf("TrialCost = %v, want %v", cost, want)
+	}
+}
+
+func TestMarkerOracle(t *testing.T) {
+	o := MarkerOracle("[x] good", "[ ] good")
+	if !o("header\n[x] good\n") {
+		t.Error("fixed screen rejected")
+	}
+	if o("header\n[ ] good\n") {
+		t.Error("broken screen accepted")
+	}
+	both := MarkerOracle("", "[x] dialog")
+	if both("[x] dialog shown") {
+		t.Error("broken-marker-only oracle accepted a broken screen")
+	}
+	if !both("all clear") {
+		t.Error("broken-marker-only oracle rejected a clean screen")
+	}
+}
+
+func TestClustersFromTTKVOnly(t *testing.T) {
+	// The tool reconstructs co-modification purely from TTKV histories.
+	store := seedStore(t, 300)
+	tool := NewTool(store, miniModel())
+	clusters := tool.Clusters(trace.DefaultWindow, 2, false)
+	var pair *int
+	for i := range clusters {
+		if clusters[i].Size() == 2 {
+			pair = &i
+			break
+		}
+	}
+	if pair == nil {
+		t.Fatalf("expected the mode+level pair cluster, got %+v", clusters)
+	}
+	// NoClust mode: every key is a singleton.
+	for _, c := range tool.Clusters(trace.DefaultWindow, 2, true) {
+		if c.Size() != 1 {
+			t.Errorf("NoClust cluster has size %d", c.Size())
+		}
+	}
+}
+
+// coreCluster builds a cluster literal for direct Result construction.
+func coreCluster(keys ...string) core.Cluster {
+	return core.Cluster{Keys: keys}
+}

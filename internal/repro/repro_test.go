@@ -1,0 +1,326 @@
+package repro
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"ocasta/internal/apps"
+	"ocasta/internal/repair"
+	"ocasta/internal/trace"
+)
+
+func TestMachineCache(t *testing.T) {
+	a, err := Machine("Linux-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Machine("Linux-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Machine must cache deployments")
+	}
+	if _, err := Machine("no-such-machine"); err == nil {
+		t.Error("unknown machine must error")
+	}
+}
+
+func TestScenarioCloneIsolation(t *testing.T) {
+	pristine, err := Machine("Linux-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := pristine.Store.Stats().Writes
+	if _, err := NewScenario(13, DefaultInjectionDays, 2); err != nil {
+		t.Fatal(err)
+	}
+	after := pristine.Store.Stats().Writes
+	if before != after {
+		t.Error("scenarios must not mutate the cached pristine store")
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	res := Table2()
+	if len(res.Rows) != 11 {
+		t.Fatalf("rows = %d, want 11", len(res.Rows))
+	}
+	// The headline result: 88.6% overall accuracy over 255 multi-key
+	// clusters and 1005 clusters in total.
+	totalMulti, totalAll := 0, 0
+	for _, r := range res.Rows {
+		totalMulti += r.MultiKey
+		totalAll += r.Clusters
+	}
+	if totalMulti != 255 {
+		t.Errorf("multi-key clusters = %d, want 255", totalMulti)
+	}
+	if totalAll != 1005 {
+		t.Errorf("total clusters = %d, want 1005", totalAll)
+	}
+	if math.Abs(res.Overall-0.886) > 0.005 {
+		t.Errorf("overall accuracy = %.3f, want 0.886", res.Overall)
+	}
+	if res.Mean < 0.60 || res.Mean > 0.85 {
+		t.Errorf("mean accuracy = %.3f, want near the paper's 0.723", res.Mean)
+	}
+	// Spot-check per-application accuracies against Table II.
+	want := map[string]float64{
+		"MS Outlook":     0.970,
+		"Evolution Mail": 0.389,
+		"Chrome Browser": 1.0,
+		"GNOME Edit":     0.0,
+		"Acrobat Reader": 0.958,
+	}
+	for _, r := range res.Rows {
+		if expected, ok := want[r.App]; ok {
+			if r.AccuracyNA || math.Abs(r.Accuracy-expected) > 0.01 {
+				t.Errorf("%s accuracy = %.3f (na=%v), want %.3f", r.App, r.Accuracy, r.AccuracyNA, expected)
+			}
+		}
+		if r.App == "Eye of GNOME" && !r.AccuracyNA {
+			t.Error("Eye of GNOME must report N/A accuracy")
+		}
+	}
+	out := RenderTable2(res)
+	if !strings.Contains(out, "88.6%") {
+		t.Errorf("rendered table missing the 88.6%% aggregate:\n%s", out)
+	}
+}
+
+func TestTable3Rendering(t *testing.T) {
+	out := RenderTable3(Table3())
+	for _, want := range []string{"Case", "Acrobat Reader", "GConf", "Bookmark bar is missing."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table III missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 18 { // header x2 + 16 rows
+		t.Errorf("Table III has %d lines, want 18", got)
+	}
+}
+
+func TestScenarioRepairEndToEnd(t *testing.T) {
+	// Representative subset across the three logger kinds: registry (#1),
+	// gconf (#9, a NoClust-failing pair), file (#13).
+	cases := []struct {
+		id         int
+		noClustFix bool
+	}{
+		{1, true}, {9, false}, {13, true},
+	}
+	for _, tc := range cases {
+		sc, err := NewScenario(tc.id, DefaultInjectionDays, 0)
+		if err != nil {
+			t.Fatalf("#%d: %v", tc.id, err)
+		}
+		res, err := sc.Search(repair.StrategyDFS, false)
+		if err != nil {
+			t.Fatalf("#%d: %v", tc.id, err)
+		}
+		if !res.Found {
+			t.Errorf("#%d: Ocasta must find the fix", tc.id)
+		}
+		noclust, err := sc.Search(repair.StrategyDFS, true)
+		if err != nil {
+			t.Fatalf("#%d: %v", tc.id, err)
+		}
+		if noclust.Found != tc.noClustFix {
+			t.Errorf("#%d: NoClust found=%v, want %v", tc.id, noclust.Found, tc.noClustFix)
+		}
+	}
+}
+
+func TestApplyFixHealsApplication(t *testing.T) {
+	sc, err := NewScenario(8, DefaultInjectionDays, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := repair.NewTool(sc.Store, sc.Fault.Model())
+	res, err := tool.Search(sc.SearchOptions(repair.StrategyDFS, false))
+	if err != nil || !res.Found {
+		t.Fatalf("search: %+v, %v", res, err)
+	}
+	if err := tool.ApplyFix(res, sc.End.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// After the permanent rollback the symptom is gone from a fresh trial.
+	cfg := tool.Snapshot()
+	screen := sc.Fault.Model().Render(cfg, sc.Fault.TrialActions)
+	oracle := repair.MarkerOracle(sc.Fault.FixedMarker, sc.Fault.BrokenMarker)
+	if !oracle(screen) {
+		t.Errorf("application still broken after ApplyFix:\n%s", screen)
+	}
+}
+
+func TestFig2aShape(t *testing.T) {
+	// A small sweep over three errors: trials must not shrink as the
+	// injection moves further into the past, and DFS must beat BFS on
+	// average.
+	pts, err := Fig2a([]int{1, 8, 13}, []int{2, 8, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].DFS > pts[len(pts)-1].DFS {
+		t.Errorf("DFS trials should grow with injection age: %+v", pts)
+	}
+	var dfsSum, bfsSum float64
+	for _, p := range pts {
+		dfsSum += p.DFS
+		bfsSum += p.BFS
+	}
+	if dfsSum > bfsSum {
+		t.Errorf("DFS (%v) should need no more trials than BFS (%v) overall", dfsSum, bfsSum)
+	}
+}
+
+func TestFig2bShape(t *testing.T) {
+	pts, err := Fig2b([]int{1, 8, 13}, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BFS is highly sensitive to spurious writes; DFS only mildly.
+	bfsGrowth := pts[1].BFS - pts[0].BFS
+	dfsGrowth := pts[1].DFS - pts[0].DFS
+	if bfsGrowth <= 0 {
+		t.Errorf("BFS trials must grow with spurious writes: %+v", pts)
+	}
+	if dfsGrowth < 0 {
+		t.Errorf("DFS trials must not shrink with spurious writes: %+v", pts)
+	}
+	if bfsGrowth < dfsGrowth {
+		t.Errorf("BFS must be more sensitive than DFS: bfs+%.1f dfs+%.1f", bfsGrowth, dfsGrowth)
+	}
+}
+
+func TestFig2cShape(t *testing.T) {
+	pts, err := Fig2c([]int{13, 16}, []int{14, 40, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trials grow roughly linearly with the searched time span.
+	if !(pts[0].DFS <= pts[1].DFS && pts[1].DFS <= pts[2].DFS) {
+		t.Errorf("DFS trials must grow with the time bound: %+v", pts)
+	}
+}
+
+func TestFig3aShape(t *testing.T) {
+	pts := Fig3a([]time.Duration{0, time.Second, 600 * time.Second})
+	if len(pts) != 3 {
+		t.Fatal("points")
+	}
+	// The paper's cliff: zero-second windows split staggered flushes.
+	if pts[0].AvgSize >= pts[1].AvgSize {
+		t.Errorf("zero-window avg (%.2f) must drop below 1s (%.2f)", pts[0].AvgSize, pts[1].AvgSize)
+	}
+	// And the curve is otherwise relatively insensitive: the 600s value
+	// stays within ~50%% of the 1s value.
+	if pts[2].AvgSize < pts[1].AvgSize*0.8 || pts[2].AvgSize > pts[1].AvgSize*1.8 {
+		t.Errorf("600s avg %.2f should stay near the 1s avg %.2f", pts[2].AvgSize, pts[1].AvgSize)
+	}
+}
+
+func TestFig3bShape(t *testing.T) {
+	pts := Fig3b([]float64{0.5, 1.0, 2.0})
+	// The paper's finding: average cluster size is relatively insensitive
+	// to the threshold (within ~25% of its value over the whole range).
+	min, max := pts[0].AvgSize, pts[0].AvgSize
+	for _, p := range pts {
+		if p.AvgSize < min {
+			min = p.AvgSize
+		}
+		if p.AvgSize > max {
+			max = p.AvgSize
+		}
+	}
+	if min <= 0 || max/min > 1.5 {
+		t.Errorf("avg size should be relatively flat across thresholds: %+v", pts)
+	}
+}
+
+func TestFig4Rendering(t *testing.T) {
+	out := RenderFig4(Fig4(1))
+	for _, want := range []string{"Case", "Ocasta", "Manual", "difficulty"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig 4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1SmallMachines(t *testing.T) {
+	// Only validate the small Linux machines here (the Windows machines
+	// are exercised by cmd/repro and the benches; generating them all in
+	// unit tests would dominate the suite's runtime).
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]Table1Row)
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	l2 := byName["Linux-2"]
+	if l2.Days != 84 {
+		t.Errorf("Linux-2 days = %d, want 84", l2.Days)
+	}
+	if l2.Keys != 35 {
+		t.Errorf("Linux-2 keys = %d, want 35 (Chrome's universe)", l2.Keys)
+	}
+	if l2.Writes < 300 || l2.Writes > 1500 {
+		t.Errorf("Linux-2 writes = %d, want near the paper's 480", l2.Writes)
+	}
+	l4 := byName["Linux-4"]
+	if l4.Keys != 751 {
+		t.Errorf("Linux-4 keys = %d, want 751 (Acrobat's universe)", l4.Keys)
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "Windows 7") || !strings.Contains(out, "Linux-4") {
+		t.Errorf("Table I rendering incomplete:\n%s", out)
+	}
+}
+
+func TestClusterAppHonorsParameters(t *testing.T) {
+	m := apps.Word()
+	def := ClusterApp(m, 105, trace.DefaultWindow, 2)
+	tuned := ClusterApp(m, 105, 30*time.Second, 1)
+	// With the paper's error-#2 tuning, Max Display merges with the Item
+	// keys, so there are fewer clusters overall.
+	if tuned.Clusters >= def.Clusters {
+		t.Errorf("tuned clusters = %d, want fewer than default %d", tuned.Clusters, def.Clusters)
+	}
+}
+
+func TestRenderTable4(t *testing.T) {
+	rows := []Table4Row{{
+		Case: 1, ClusterSize: 2, Trials: 10, TotalTrials: 100,
+		TimeFind: 90 * time.Second, TimeTotal: 900 * time.Second,
+		Screens: 3, OcastaFix: true, NoClustFix: false,
+	}}
+	out := RenderTable4(rows)
+	if !strings.Contains(out, "1:30") || !strings.Contains(out, "15:00") {
+		t.Errorf("mm:ss formatting wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "Y") || !strings.Contains(out, "N") {
+		t.Errorf("Y/N flags missing:\n%s", out)
+	}
+	if !strings.Contains(out, "90% faster") {
+		t.Errorf("speedup footer missing:\n%s", out)
+	}
+}
+
+func TestDefaultAxes(t *testing.T) {
+	if len(AllFaultIDs()) != 16 || AllFaultIDs()[15] != 16 {
+		t.Error("AllFaultIDs wrong")
+	}
+	if len(DefaultFig2aDays()) == 0 || len(DefaultFig2bSpurious()) != 3 ||
+		len(DefaultFig2cBounds()) == 0 || len(DefaultFig3aWindows()) == 0 ||
+		len(DefaultFig3bThresholds()) == 0 {
+		t.Error("default axes must be non-empty")
+	}
+}

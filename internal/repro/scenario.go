@@ -1,0 +1,123 @@
+// Package repro regenerates every table and figure of the paper's
+// evaluation (§VI): Table I (trace statistics), Table II (clustering
+// accuracy), Table III (the error catalog), Table IV (recovery
+// performance), Fig 2 (DFS vs BFS trial counts), Fig 3 (cluster-size
+// sensitivity), and Fig 4 (the user study). Each experiment has a data
+// function returning structured rows/series and a renderer producing the
+// same layout the paper reports.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ocasta/internal/faults"
+	"ocasta/internal/repair"
+	"ocasta/internal/ttkv"
+	"ocasta/internal/workload"
+)
+
+// machineCache holds pristine generated deployments; scenarios clone the
+// store before injecting errors so experiments never contaminate each
+// other.
+var (
+	machineMu    sync.Mutex
+	machineCache = make(map[string]*workload.Result)
+)
+
+// Machine returns the pristine deployment for a Table I machine,
+// generating it on first use.
+func Machine(name string) (*workload.Result, error) {
+	machineMu.Lock()
+	defer machineMu.Unlock()
+	if res, ok := machineCache[name]; ok {
+		return res, nil
+	}
+	p, ok := workload.ProfileByName(name)
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown machine %q", name)
+	}
+	res := workload.Generate(p)
+	machineCache[name] = res
+	return res, nil
+}
+
+// ResetCache drops all cached machines (tests use it to bound memory).
+func ResetCache() {
+	machineMu.Lock()
+	defer machineMu.Unlock()
+	machineCache = make(map[string]*workload.Result)
+}
+
+// Scenario is one injected configuration error ready to repair: a cloned
+// store containing the fault, plus the experiment's timing parameters.
+type Scenario struct {
+	Fault    faults.Fault
+	Store    *ttkv.Store
+	InjectAt time.Time
+	End      time.Time
+}
+
+// DefaultInjectionDays is the paper's main-experiment injection point: 14
+// days before the end of the trace.
+const DefaultInjectionDays = 14
+
+// NewScenario prepares fault id injected daysBack days before the end of
+// its trace, with n spurious repair-attempt writes after it.
+func NewScenario(id, daysBack, spurious int) (*Scenario, error) {
+	f, err := faults.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	pristine, err := Machine(f.TraceName)
+	if err != nil {
+		return nil, err
+	}
+	_, end, ok := pristine.Trace.Span()
+	if !ok {
+		return nil, fmt.Errorf("repro: machine %q has an empty trace", f.TraceName)
+	}
+	injectAt := end.Add(-time.Duration(daysBack) * 24 * time.Hour)
+	store := pristine.Store.Clone()
+	if err := faults.Inject(f, store, nil, injectAt); err != nil {
+		return nil, fmt.Errorf("repro: scenario #%d: %w", id, err)
+	}
+	if spurious > 0 {
+		if err := faults.InjectSpurious(f, store, injectAt, spurious); err != nil {
+			return nil, fmt.Errorf("repro: scenario #%d: %w", id, err)
+		}
+	}
+	return &Scenario{Fault: f, Store: store, InjectAt: injectAt, End: end}, nil
+}
+
+// SearchOptions builds the repair options for this scenario: the fault's
+// parameter overrides, the user-supplied start bound just before the
+// injection (the user knows roughly when the error appeared), and the
+// fault's trial and screenshot oracle.
+func (s *Scenario) SearchOptions(strategy repair.Strategy, noClust bool) repair.Options {
+	return repair.Options{
+		Strategy:  strategy,
+		Window:    s.Fault.Window,
+		Threshold: s.Fault.Threshold,
+		Start:     s.InjectAt.Add(-time.Hour),
+		End:       s.End,
+		NoClust:   noClust,
+		Trial:     s.Fault.TrialActions,
+		Oracle:    repair.MarkerOracle(s.Fault.FixedMarker, s.Fault.BrokenMarker),
+	}
+}
+
+// Search runs the repair search for this scenario.
+func (s *Scenario) Search(strategy repair.Strategy, noClust bool) (*repair.Result, error) {
+	tool := repair.NewTool(s.Store, s.Fault.Model())
+	return tool.Search(s.SearchOptions(strategy, noClust))
+}
+
+// SearchBounded is Search with an explicit start bound (Fig 2c sweeps the
+// bound independently of the injection point).
+func (s *Scenario) SearchBounded(strategy repair.Strategy, start time.Time) (*repair.Result, error) {
+	opts := s.SearchOptions(strategy, false)
+	opts.Start = start
+	return repair.NewTool(s.Store, s.Fault.Model()).Search(opts)
+}

@@ -1,0 +1,59 @@
+package repro
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTable4FullRegression runs the complete Table IV experiment — all 16
+// errors, clustered and NoClust — and pins the qualitative results the
+// paper reports. Skipped under -short (it generates all nine machines).
+func TestTable4FullRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table IV takes several seconds; run without -short")
+	}
+	rows, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(rows))
+	}
+	noclustFail := map[int]bool{2: true, 4: true, 6: true, 7: true, 9: true}
+	wantSize := map[int]int{
+		1: 2, 2: 9, 3: 2, 4: 3, 5: 4, 6: 8, 7: 2, 8: 2,
+		9: 2, 10: 2, 11: 1, 12: 1, 13: 1, 14: 1, 15: 1, 16: 1,
+	}
+	var findSum, totalSum time.Duration
+	screens := 0
+	for _, r := range rows {
+		if !r.OcastaFix {
+			t.Errorf("#%d: Ocasta failed to fix", r.Case)
+		}
+		if r.NoClustFix == noclustFail[r.Case] {
+			t.Errorf("#%d: NoClust fix = %v, want %v", r.Case, r.NoClustFix, !noclustFail[r.Case])
+		}
+		if r.ClusterSize != wantSize[r.Case] {
+			t.Errorf("#%d: offending cluster size = %d, want %d (paper's Cl.Size column)",
+				r.Case, r.ClusterSize, wantSize[r.Case])
+		}
+		if r.Trials <= 0 || r.Trials > r.TotalTrials {
+			t.Errorf("#%d: trials %d / total %d inconsistent", r.Case, r.Trials, r.TotalTrials)
+		}
+		if r.Screens < 1 || r.Screens > 11 {
+			t.Errorf("#%d: screens = %d, want within the paper's 1..11 range", r.Case, r.Screens)
+		}
+		findSum += r.TimeFind
+		totalSum += r.TimeTotal
+		screens += r.Screens
+	}
+	// The sort's headline: finding the offending cluster is much faster
+	// than exhaustive search (paper: 78% faster on average).
+	if findSum >= totalSum/2 {
+		t.Errorf("find time %v not clearly faster than exhaustive %v", findSum, totalSum)
+	}
+	// Average screenshots examined stays modest (paper: 3).
+	if avg := float64(screens) / 16; avg > 6 {
+		t.Errorf("average screenshots = %.1f, want a modest count near the paper's 3", avg)
+	}
+}

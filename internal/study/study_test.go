@@ -1,0 +1,117 @@
+package study
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestParticipants(t *testing.T) {
+	people := Participants()
+	if len(people) != 19 {
+		t.Fatalf("participants = %d, want 19", len(people))
+	}
+	nonTech := 0
+	for _, p := range people {
+		if !p.Technical {
+			nonTech++
+		}
+	}
+	if nonTech != 6 {
+		t.Errorf("non-technical = %d, want 6", nonTech)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, b := Run(7), Run(7)
+	for i := range a.Errors {
+		if a.Errors[i] != b.Errors[i] {
+			t.Fatalf("error %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestRunCoversStudyErrors(t *testing.T) {
+	out := Run(1)
+	if len(out.Errors) != 4 {
+		t.Fatalf("errors = %d, want 4 (#11 #13 #15 #16)", len(out.Errors))
+	}
+	want := map[int]bool{11: true, 13: true, 15: true, 16: true}
+	for _, e := range out.Errors {
+		if !want[e.FaultID] {
+			t.Errorf("unexpected fault id %d", e.FaultID)
+		}
+		if e.Participants != 19 {
+			t.Errorf("#%d participants = %d", e.FaultID, e.Participants)
+		}
+	}
+}
+
+// The Fig 4 shape: Ocasta is faster than manual repair for every error
+// except #16, where most participants fix the error manually.
+func TestFig4Shape(t *testing.T) {
+	out := Run(42)
+	for _, e := range out.Errors {
+		switch e.FaultID {
+		case 16:
+			if e.ManualAvg >= ManualCutoff {
+				t.Errorf("#16 manual avg %v should be well under the cutoff", e.ManualAvg)
+			}
+			if e.ManualFixed < 10 {
+				t.Errorf("#16 manually fixed by %d/19, want a majority", e.ManualFixed)
+			}
+		default:
+			if e.OcastaAvg >= e.ManualAvg {
+				t.Errorf("#%d: Ocasta %v should beat manual %v", e.FaultID, e.OcastaAvg, e.ManualAvg)
+			}
+			if e.ManualFixed > 9 {
+				t.Errorf("#%d manually fixed by %d/19, want a minority", e.FaultID, e.ManualFixed)
+			}
+		}
+		if e.OcastaAvg <= 0 || e.OcastaAvg > 10*time.Minute {
+			t.Errorf("#%d implausible Ocasta time %v", e.FaultID, e.OcastaAvg)
+		}
+		if e.ManualAvg > ManualCutoff+time.Second {
+			t.Errorf("#%d manual avg %v exceeds the cutoff", e.FaultID, e.ManualAvg)
+		}
+	}
+}
+
+func TestDifficultyRatings(t *testing.T) {
+	out := Run(3)
+	sum := func(r Ratings) float64 {
+		s := 0.0
+		for _, v := range r {
+			s += v
+		}
+		return s
+	}
+	if math.Abs(sum(out.TrialDifficulty)-1) > 1e-9 {
+		t.Errorf("trial ratings sum to %v", sum(out.TrialDifficulty))
+	}
+	if math.Abs(sum(out.ScreenshotDifficulty)-1) > 1e-9 {
+		t.Errorf("screenshot ratings sum to %v", sum(out.ScreenshotDifficulty))
+	}
+	// The paper: creating a trial was rated "1" 74% of the time, selecting
+	// the screenshot "1" 80% of the time; our samples should be close.
+	if out.TrialDifficulty[1] < 0.60 || out.TrialDifficulty[1] > 0.90 {
+		t.Errorf("trial difficulty 1 fraction = %v, want near 0.74", out.TrialDifficulty[1])
+	}
+	if out.ScreenshotDifficulty[1] < 0.65 || out.ScreenshotDifficulty[1] > 0.95 {
+		t.Errorf("screenshot difficulty 1 fraction = %v, want near 0.80", out.ScreenshotDifficulty[1])
+	}
+}
+
+func TestTruncNorm(t *testing.T) {
+	out := Run(9)
+	_ = out
+	// Directly exercise the clamp.
+	for i := 0; i < 100; i++ {
+		if v := truncNorm(newTestRng(int64(i)), 0, 100, 10); v < 10 {
+			t.Fatalf("truncNorm produced %v below the minimum", v)
+		}
+	}
+}
+
+func newTestRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Codec errors.
+var (
+	ErrBadMagic   = errors.New("trace: bad magic; not a trace file")
+	ErrBadVersion = errors.New("trace: unsupported format version")
+	ErrCorrupt    = errors.New("trace: corrupt record")
+)
+
+const (
+	binaryMagic   = "OCTR"
+	binaryVersion = 1
+	// maxStringLen bounds any encoded string so a corrupt length prefix
+	// cannot trigger a giant allocation.
+	maxStringLen = 1 << 20
+)
+
+// WriteBinary serializes the trace in Ocasta's compact binary format:
+//
+//	magic "OCTR" | u16 version | name | u32 count | count * event
+//
+// where strings are u32 length-prefixed UTF-8 and times are i64 UnixNano.
+func WriteBinary(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(binaryVersion)); err != nil {
+		return err
+	}
+	if err := writeString(bw, tr.Name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(tr.Events))); err != nil {
+		return err
+	}
+	for i := range tr.Events {
+		if err := writeEvent(bw, &tr.Events[i]); err != nil {
+			return fmt.Errorf("trace: encoding event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a trace previously written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, ErrBadMagic
+	}
+	var ver uint16
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != binaryVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	tr := &Trace{Name: name, Events: make([]Event, 0, count)}
+	for i := uint32(0); i < count; i++ {
+		ev, err := readEvent(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: decoding event %d: %w", i, err)
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	return tr, nil
+}
+
+func writeEvent(w *bufio.Writer, ev *Event) error {
+	if err := binary.Write(w, binary.LittleEndian, ev.Time.UnixNano()); err != nil {
+		return err
+	}
+	if err := w.WriteByte(byte(ev.Op)); err != nil {
+		return err
+	}
+	if err := w.WriteByte(byte(ev.Store)); err != nil {
+		return err
+	}
+	for _, s := range []string{ev.App, ev.User, ev.Key, ev.Value} {
+		if err := writeString(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readEvent(r *bufio.Reader) (Event, error) {
+	var ev Event
+	var nanos int64
+	if err := binary.Read(r, binary.LittleEndian, &nanos); err != nil {
+		return ev, err
+	}
+	ev.Time = time.Unix(0, nanos).UTC()
+	op, err := r.ReadByte()
+	if err != nil {
+		return ev, err
+	}
+	ev.Op = Op(op)
+	if !ev.Op.Valid() {
+		return ev, fmt.Errorf("%w: op %d", ErrCorrupt, op)
+	}
+	st, err := r.ReadByte()
+	if err != nil {
+		return ev, err
+	}
+	ev.Store = StoreKind(st)
+	if !ev.Store.Valid() {
+		return ev, fmt.Errorf("%w: store %d", ErrCorrupt, st)
+	}
+	for _, dst := range []*string{&ev.App, &ev.User, &ev.Key, &ev.Value} {
+		s, err := readString(r)
+		if err != nil {
+			return ev, err
+		}
+		*dst = s
+	}
+	return ev, nil
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("%w: string length %d", ErrCorrupt, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return string(buf), nil
+}
+
+// jsonEvent is the JSON wire shape of an event; times are RFC 3339 with
+// nanoseconds so second-granularity traces stay human-readable.
+type jsonEvent struct {
+	Time  time.Time `json:"time"`
+	Op    string    `json:"op"`
+	Store string    `json:"store"`
+	App   string    `json:"app"`
+	User  string    `json:"user,omitempty"`
+	Key   string    `json:"key"`
+	Value string    `json:"value,omitempty"`
+}
+
+var opNames = map[string]Op{"read": OpRead, "write": OpWrite, "delete": OpDelete}
+
+var storeNames = map[string]StoreKind{
+	"registry": StoreRegistry,
+	"gconf":    StoreGConf,
+	"file":     StoreFile,
+}
+
+// WriteJSONL writes the trace as one JSON object per line, preceded by a
+// header line carrying the trace name.
+func WriteJSONL(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	header := struct {
+		Trace string `json:"trace"`
+	}{Trace: tr.Name}
+	if err := enc.Encode(header); err != nil {
+		return err
+	}
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		je := jsonEvent{
+			Time: ev.Time, Op: ev.Op.String(), Store: ev.Store.String(),
+			App: ev.App, User: ev.User, Key: ev.Key, Value: ev.Value,
+		}
+		if err := enc.Encode(je); err != nil {
+			return fmt.Errorf("trace: encoding event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a trace written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var header struct {
+		Trace string `json:"trace"`
+	}
+	if err := dec.Decode(&header); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	tr := &Trace{Name: header.Trace}
+	for i := 0; ; i++ {
+		var je jsonEvent
+		if err := dec.Decode(&je); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("trace: decoding event %d: %w", i, err)
+		}
+		op, ok := opNames[je.Op]
+		if !ok {
+			return nil, fmt.Errorf("%w: op %q", ErrCorrupt, je.Op)
+		}
+		store, ok := storeNames[je.Store]
+		if !ok {
+			return nil, fmt.Errorf("%w: store %q", ErrCorrupt, je.Store)
+		}
+		tr.Events = append(tr.Events, Event{
+			Time: je.Time, Op: op, Store: store,
+			App: je.App, User: je.User, Key: je.Key, Value: je.Value,
+		})
+	}
+	return tr, nil
+}

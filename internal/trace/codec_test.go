@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Name: "Windows 7",
+		Events: []Event{
+			{Time: t0, Op: OpWrite, Store: StoreRegistry, App: "word", User: "u1", Key: `HKCU\Software\Word\Max Display`, Value: "9"},
+			{Time: t0.Add(time.Second), Op: OpRead, Store: StoreRegistry, App: "word", User: "u1", Key: `HKCU\Software\Word\Item 1`},
+			{Time: t0.Add(2 * time.Second), Op: OpDelete, Store: StoreRegistry, App: "word", User: "u1", Key: `HKCU\Software\Word\Item 9`},
+		},
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestReadBinaryBadMagic(t *testing.T) {
+	_, err := ReadBinary(strings.NewReader("NOPE....."))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadBinaryBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(binaryMagic)
+	buf.Write([]byte{0xFF, 0x00}) // version 255
+	_, err := ReadBinary(&buf)
+	if !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Any truncation must produce an error, never a panic or silent success.
+	for _, cut := range []int{1, len(full) / 2, len(full) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes: expected error, got nil", cut)
+		}
+	}
+}
+
+func TestReadBinaryCorruptOp(t *testing.T) {
+	tr := &Trace{Name: "x", Events: []Event{{Time: t0, Op: OpWrite, Store: StoreFile, App: "a", Key: "k"}}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The op byte follows magic(4) + version(2) + name(4+1) + count(4) + time(8).
+	opOff := 4 + 2 + 4 + 1 + 4 + 8
+	raw[opOff] = 0xEE
+	if _, err := ReadBinary(bytes.NewReader(raw)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReadBinaryOversizedString(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(binaryMagic)
+	buf.Write([]byte{0x01, 0x00})             // version 1
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // name length = 4 GiB
+	if _, err := ReadBinary(&buf); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt for oversized string", err)
+	}
+}
+
+func TestReadJSONLBadOp(t *testing.T) {
+	in := `{"trace":"x"}
+{"time":"2013-06-01T12:00:00Z","op":"scribble","store":"file","app":"a","key":"k"}
+`
+	if _, err := ReadJSONL(strings.NewReader(in)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt for bad op", err)
+	}
+}
+
+func TestReadJSONLBadStore(t *testing.T) {
+	in := `{"trace":"x"}
+{"time":"2013-06-01T12:00:00Z","op":"write","store":"floppy","app":"a","key":"k"}
+`
+	if _, err := ReadJSONL(strings.NewReader(in)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt for bad store", err)
+	}
+}
+
+func TestReadJSONLEmptyInput(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("")); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+// Property: binary round trip preserves arbitrary event content, including
+// keys and values with embedded NULs, newlines, and non-UTF8-safe bytes.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	prop := func(name, app, user, key, value string, sec int32, opSel, storeSel uint8) bool {
+		ops := []Op{OpRead, OpWrite, OpDelete}
+		stores := []StoreKind{StoreRegistry, StoreGConf, StoreFile}
+		tr := &Trace{Name: name, Events: []Event{{
+			Time:  time.Unix(int64(sec), 0).UTC(),
+			Op:    ops[int(opSel)%len(ops)],
+			Store: stores[int(storeSel)%len(stores)],
+			App:   app, User: user, Key: key, Value: value,
+		}}}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, tr)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

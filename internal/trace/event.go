@@ -1,0 +1,155 @@
+// Package trace defines the event model Ocasta records when observing an
+// application's accesses to its configuration store, together with codecs
+// for persisting traces, summary statistics (Table I of the paper), and the
+// sliding-window co-modification grouping that feeds the clustering engine.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Op is the kind of configuration-store access an event records.
+type Op uint8
+
+// Operations recorded by Ocasta's loggers.
+const (
+	OpRead Op = iota + 1
+	OpWrite
+	OpDelete
+)
+
+// String returns the canonical lower-case name of the operation.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Valid reports whether o is one of the defined operations.
+func (o Op) Valid() bool { return o == OpRead || o == OpWrite || o == OpDelete }
+
+// StoreKind identifies which configuration store an event was captured from.
+type StoreKind uint8
+
+// The configuration stores Ocasta has loggers for.
+const (
+	StoreRegistry StoreKind = iota + 1 // simulated Windows registry
+	StoreGConf                         // simulated GConf database
+	StoreFile                          // application-specific configuration file
+)
+
+// String returns the canonical name of the store kind.
+func (s StoreKind) String() string {
+	switch s {
+	case StoreRegistry:
+		return "registry"
+	case StoreGConf:
+		return "gconf"
+	case StoreFile:
+		return "file"
+	default:
+		return fmt.Sprintf("store(%d)", uint8(s))
+	}
+}
+
+// Valid reports whether s is one of the defined store kinds.
+func (s StoreKind) Valid() bool {
+	return s == StoreRegistry || s == StoreGConf || s == StoreFile
+}
+
+// Event is a single logged access to a configuration setting.
+//
+// Key is the fully qualified setting name within the application's store
+// (registry path, GConf path, or flattened file key). Value carries the
+// written content for OpWrite and is empty for OpRead and OpDelete.
+type Event struct {
+	Time  time.Time
+	Op    Op
+	Store StoreKind
+	App   string
+	User  string
+	Key   string
+	Value string
+}
+
+// Trace is an ordered sequence of events captured from one machine or, for
+// the Linux lab machines of the paper, aggregated per user across machines.
+type Trace struct {
+	// Name identifies the machine or user the trace was collected from,
+	// e.g. "Windows 7" or "Linux-1".
+	Name   string
+	Events []Event
+}
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	out := &Trace{Name: t.Name, Events: make([]Event, len(t.Events))}
+	copy(out.Events, t.Events)
+	return out
+}
+
+// SortByTime orders events chronologically (stable, so the relative order of
+// equal-timestamp events — common with second-granularity collection — is
+// preserved).
+func (t *Trace) SortByTime() {
+	sort.SliceStable(t.Events, func(i, j int) bool {
+		return t.Events[i].Time.Before(t.Events[j].Time)
+	})
+}
+
+// Filter returns a new trace containing only events accepted by keep.
+func (t *Trace) Filter(keep func(Event) bool) *Trace {
+	out := &Trace{Name: t.Name}
+	for _, ev := range t.Events {
+		if keep(ev) {
+			out.Events = append(out.Events, ev)
+		}
+	}
+	return out
+}
+
+// ByApp returns a new trace with only the events of the named application.
+func (t *Trace) ByApp(app string) *Trace {
+	return t.Filter(func(ev Event) bool { return ev.App == app })
+}
+
+// Span returns the first and last event timestamps. ok is false when the
+// trace is empty.
+func (t *Trace) Span() (first, last time.Time, ok bool) {
+	if len(t.Events) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	first, last = t.Events[0].Time, t.Events[0].Time
+	for _, ev := range t.Events[1:] {
+		if ev.Time.Before(first) {
+			first = ev.Time
+		}
+		if ev.Time.After(last) {
+			last = ev.Time
+		}
+	}
+	return first, last, true
+}
+
+// Writes returns the write and delete events of the trace in chronological
+// order. Deletions count as modifications for clustering purposes, exactly
+// as in the paper's TTKV, where deletions are recorded in the value history.
+func (t *Trace) Writes() []Event {
+	out := make([]Event, 0, len(t.Events)/4+1)
+	for _, ev := range t.Events {
+		if ev.Op == OpWrite || ev.Op == OpDelete {
+			out = append(out, ev)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2013, 6, 1, 12, 0, 0, 0, time.UTC)
+
+func ev(sec int, op Op, key string) Event {
+	return Event{
+		Time: t0.Add(time.Duration(sec) * time.Second), Op: op,
+		Store: StoreGConf, App: "evolution", User: "u1", Key: key, Value: "v",
+	}
+}
+
+func TestOpString(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want string
+	}{
+		{OpRead, "read"},
+		{OpWrite, "write"},
+		{OpDelete, "delete"},
+		{Op(99), "op(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.op.String(); got != tt.want {
+			t.Errorf("Op(%d).String() = %q, want %q", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	for _, op := range []Op{OpRead, OpWrite, OpDelete} {
+		if !op.Valid() {
+			t.Errorf("Op %v should be valid", op)
+		}
+	}
+	if Op(0).Valid() || Op(17).Valid() {
+		t.Error("out-of-range ops should be invalid")
+	}
+}
+
+func TestStoreKindString(t *testing.T) {
+	tests := []struct {
+		s    StoreKind
+		want string
+	}{
+		{StoreRegistry, "registry"},
+		{StoreGConf, "gconf"},
+		{StoreFile, "file"},
+		{StoreKind(42), "store(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("StoreKind(%d).String() = %q, want %q", tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestStoreKindValid(t *testing.T) {
+	for _, s := range []StoreKind{StoreRegistry, StoreGConf, StoreFile} {
+		if !s.Valid() {
+			t.Errorf("StoreKind %v should be valid", s)
+		}
+	}
+	if StoreKind(0).Valid() {
+		t.Error("zero StoreKind should be invalid")
+	}
+}
+
+func TestTraceClone(t *testing.T) {
+	tr := &Trace{Name: "m1", Events: []Event{ev(0, OpWrite, "a"), ev(1, OpRead, "b")}}
+	cl := tr.Clone()
+	cl.Events[0].Key = "mutated"
+	cl.Name = "m2"
+	if tr.Events[0].Key != "a" || tr.Name != "m1" {
+		t.Error("Clone must not share state with the original")
+	}
+	if len(cl.Events) != 2 {
+		t.Fatalf("clone has %d events, want 2", len(cl.Events))
+	}
+}
+
+func TestSortByTimeStable(t *testing.T) {
+	// Two events share a timestamp; stable sort must preserve their order.
+	a, b := ev(5, OpWrite, "a"), ev(5, OpWrite, "b")
+	c := ev(1, OpWrite, "c")
+	tr := &Trace{Events: []Event{a, b, c}}
+	tr.SortByTime()
+	got := []string{tr.Events[0].Key, tr.Events[1].Key, tr.Events[2].Key}
+	want := []string{"c", "a", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after sort keys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFilterAndByApp(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Time: t0, Op: OpWrite, App: "word", Key: "k1"},
+		{Time: t0, Op: OpWrite, App: "acrobat", Key: "k2"},
+		{Time: t0, Op: OpRead, App: "word", Key: "k3"},
+	}}
+	word := tr.ByApp("word")
+	if len(word.Events) != 2 {
+		t.Fatalf("ByApp(word) returned %d events, want 2", len(word.Events))
+	}
+	writes := tr.Filter(func(e Event) bool { return e.Op == OpWrite })
+	if len(writes.Events) != 2 {
+		t.Fatalf("Filter(writes) returned %d events, want 2", len(writes.Events))
+	}
+	// The original must be untouched.
+	if len(tr.Events) != 3 {
+		t.Fatal("Filter must not mutate the receiver")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	empty := &Trace{}
+	if _, _, ok := empty.Span(); ok {
+		t.Error("empty trace must report ok=false")
+	}
+	tr := &Trace{Events: []Event{ev(10, OpWrite, "a"), ev(3, OpRead, "b"), ev(7, OpWrite, "c")}}
+	first, last, ok := tr.Span()
+	if !ok {
+		t.Fatal("Span() not ok on non-empty trace")
+	}
+	if !first.Equal(t0.Add(3*time.Second)) || !last.Equal(t0.Add(10*time.Second)) {
+		t.Errorf("Span() = %v..%v, want %v..%v", first, last, t0.Add(3*time.Second), t0.Add(10*time.Second))
+	}
+}
+
+func TestWritesFiltersAndSorts(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		ev(9, OpWrite, "late"),
+		ev(1, OpRead, "read"),
+		ev(2, OpDelete, "del"),
+		ev(0, OpWrite, "early"),
+	}}
+	ws := tr.Writes()
+	if len(ws) != 3 {
+		t.Fatalf("Writes() returned %d events, want 3 (reads excluded)", len(ws))
+	}
+	if ws[0].Key != "early" || ws[1].Key != "del" || ws[2].Key != "late" {
+		t.Errorf("Writes() order = %s,%s,%s", ws[0].Key, ws[1].Key, ws[2].Key)
+	}
+}

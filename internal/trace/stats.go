@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Stats summarizes a trace the way Table I of the paper reports deployments:
+// days of collection, read and write volume, and the number of distinct keys.
+type Stats struct {
+	Name    string
+	Days    int
+	Reads   int
+	Writes  int // includes deletions, which the TTKV records as writes of a tombstone
+	Deletes int
+	Keys    int
+	Apps    int
+	First   time.Time
+	Last    time.Time
+}
+
+// Summarize computes trace statistics. Days is the span rounded up to whole
+// days (a 25-hour trace counts as 2 days), matching how deployment lengths
+// are reported in the paper.
+func Summarize(tr *Trace) Stats {
+	st := Stats{Name: tr.Name}
+	keys := make(map[string]struct{})
+	apps := make(map[string]struct{})
+	for _, ev := range tr.Events {
+		switch ev.Op {
+		case OpRead:
+			st.Reads++
+		case OpWrite:
+			st.Writes++
+		case OpDelete:
+			st.Writes++
+			st.Deletes++
+		}
+		keys[ev.Key] = struct{}{}
+		apps[ev.App] = struct{}{}
+	}
+	st.Keys = len(keys)
+	st.Apps = len(apps)
+	if first, last, ok := tr.Span(); ok {
+		st.First, st.Last = first, last
+		span := last.Sub(first)
+		st.Days = int(span / (24 * time.Hour))
+		if span%(24*time.Hour) != 0 || st.Days == 0 {
+			st.Days++
+		}
+	}
+	return st
+}
+
+// KeyWriteCounts returns, per key, how many write/delete events the trace
+// contains. Repair uses this to rank clusters: configuration-like keys are
+// written rarely, so low-count clusters are searched first.
+func KeyWriteCounts(tr *Trace) map[string]int {
+	counts := make(map[string]int)
+	for _, ev := range tr.Events {
+		if ev.Op == OpWrite || ev.Op == OpDelete {
+			counts[ev.Key]++
+		}
+	}
+	return counts
+}
+
+// MergeByUser combines per-machine traces into per-user traces, mirroring
+// the paper's handling of the shared Linux lab machines: all events by one
+// user are linked across machines into a single chronological trace named
+// after the user.
+func MergeByUser(traces []*Trace) []*Trace {
+	byUser := make(map[string]*Trace)
+	var order []string
+	for _, tr := range traces {
+		for _, ev := range tr.Events {
+			user := ev.User
+			if user == "" {
+				user = tr.Name
+			}
+			merged, ok := byUser[user]
+			if !ok {
+				merged = &Trace{Name: user}
+				byUser[user] = merged
+				order = append(order, user)
+			}
+			merged.Events = append(merged.Events, ev)
+		}
+	}
+	sort.Strings(order)
+	out := make([]*Trace, 0, len(byUser))
+	for _, user := range order {
+		tr := byUser[user]
+		tr.SortByTime()
+		out = append(out, tr)
+	}
+	return out
+}

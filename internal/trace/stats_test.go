@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSummarizeCounts(t *testing.T) {
+	tr := &Trace{Name: "Linux-1", Events: []Event{
+		ev(0, OpWrite, "a"),
+		ev(1, OpRead, "a"),
+		ev(2, OpRead, "b"),
+		ev(3, OpDelete, "b"),
+		ev(4, OpWrite, "c"),
+	}}
+	st := Summarize(tr)
+	if st.Name != "Linux-1" {
+		t.Errorf("Name = %q", st.Name)
+	}
+	if st.Reads != 2 {
+		t.Errorf("Reads = %d, want 2", st.Reads)
+	}
+	if st.Writes != 3 { // 2 writes + 1 delete
+		t.Errorf("Writes = %d, want 3", st.Writes)
+	}
+	if st.Deletes != 1 {
+		t.Errorf("Deletes = %d, want 1", st.Deletes)
+	}
+	if st.Keys != 3 {
+		t.Errorf("Keys = %d, want 3", st.Keys)
+	}
+	if st.Days != 1 {
+		t.Errorf("Days = %d, want 1 (sub-day trace rounds up)", st.Days)
+	}
+}
+
+func TestSummarizeDaysRoundUp(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Time: t0, Op: OpWrite, Key: "k", App: "a"},
+		{Time: t0.Add(25 * time.Hour), Op: OpWrite, Key: "k", App: "a"},
+	}}
+	if st := Summarize(tr); st.Days != 2 {
+		t.Errorf("Days = %d, want 2 for a 25h span", st.Days)
+	}
+	tr.Events[1].Time = t0.Add(48 * time.Hour)
+	if st := Summarize(tr); st.Days != 2 {
+		t.Errorf("Days = %d, want 2 for an exact 48h span", st.Days)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	st := Summarize(&Trace{Name: "empty"})
+	if st.Days != 0 || st.Keys != 0 || st.Reads != 0 || st.Writes != 0 {
+		t.Errorf("empty trace stats = %+v, want zeros", st)
+	}
+}
+
+func TestKeyWriteCounts(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		ev(0, OpWrite, "a"), ev(1, OpWrite, "a"), ev(2, OpDelete, "a"),
+		ev(3, OpWrite, "b"),
+		ev(4, OpRead, "c"), // reads don't count
+	}}
+	counts := KeyWriteCounts(tr)
+	if counts["a"] != 3 || counts["b"] != 1 {
+		t.Errorf("counts = %v, want a:3 b:1", counts)
+	}
+	if _, ok := counts["c"]; ok {
+		t.Error("read-only key must not appear in write counts")
+	}
+}
+
+func TestMergeByUser(t *testing.T) {
+	m1 := &Trace{Name: "machine1", Events: []Event{
+		{Time: t0.Add(2 * time.Second), Op: OpWrite, User: "alice", Key: "k1", App: "a"},
+		{Time: t0, Op: OpWrite, User: "bob", Key: "k2", App: "a"},
+	}}
+	m2 := &Trace{Name: "machine2", Events: []Event{
+		{Time: t0.Add(time.Second), Op: OpWrite, User: "alice", Key: "k3", App: "a"},
+	}}
+	merged := MergeByUser([]*Trace{m1, m2})
+	if len(merged) != 2 {
+		t.Fatalf("got %d users, want 2", len(merged))
+	}
+	// Sorted by user name: alice then bob.
+	alice := merged[0]
+	if alice.Name != "alice" || len(alice.Events) != 2 {
+		t.Fatalf("alice trace = %+v", alice)
+	}
+	if !alice.Events[0].Time.Before(alice.Events[1].Time) {
+		t.Error("merged events must be chronological across machines")
+	}
+	if merged[1].Name != "bob" || len(merged[1].Events) != 1 {
+		t.Errorf("bob trace wrong: %+v", merged[1])
+	}
+}
+
+func TestMergeByUserFallsBackToTraceName(t *testing.T) {
+	m := &Trace{Name: "Windows 7", Events: []Event{
+		{Time: t0, Op: OpWrite, Key: "k", App: "a"}, // no user set
+	}}
+	merged := MergeByUser([]*Trace{m})
+	if len(merged) != 1 || merged[0].Name != "Windows 7" {
+		t.Fatalf("merged = %+v, want single trace named Windows 7", merged)
+	}
+}

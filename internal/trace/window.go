@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// GroupMode selects how the sliding window turns a write stream into
+// co-modification groups.
+type GroupMode uint8
+
+const (
+	// GroupAnchored opens a group at the first ungrouped write and extends
+	// it to every write within the window of that anchor. This bounds a
+	// group's duration by the window size and is the default used for the
+	// paper's experiments.
+	GroupAnchored GroupMode = iota + 1
+	// GroupChained extends a group as long as consecutive writes are within
+	// the window of each other, so a burst of closely spaced writes forms a
+	// single group regardless of total duration.
+	GroupChained
+)
+
+// String returns the canonical name of the mode.
+func (m GroupMode) String() string {
+	switch m {
+	case GroupAnchored:
+		return "anchored"
+	case GroupChained:
+		return "chained"
+	default:
+		return "unknown"
+	}
+}
+
+// Group is one co-modification episode: the set of keys written together
+// within a single sliding window.
+type Group struct {
+	Start time.Time
+	End   time.Time
+	// Keys holds the distinct keys written in the window, sorted. A key
+	// appears once per group no matter how many raw writes hit it, so a
+	// group represents one logical "modified together" episode.
+	Keys []string
+}
+
+// Contains reports whether the group touched key.
+func (g *Group) Contains(key string) bool {
+	i := sort.SearchStrings(g.Keys, key)
+	return i < len(g.Keys) && g.Keys[i] == key
+}
+
+// Windower slices a chronological write stream into co-modification groups.
+// The zero value is not usable; construct with NewWindower.
+type Windower struct {
+	window time.Duration
+	mode   GroupMode
+}
+
+// DefaultWindow is the paper's default sliding-window size. The trace
+// collection infrastructure records timestamps to the nearest second, so
+// one second is also the minimum meaningful window.
+const DefaultWindow = time.Second
+
+// NewWindower returns a windower with the given window size and mode.
+// A negative window is treated as zero (writes group only when they carry
+// an identical timestamp, the paper's "zero seconds" configuration).
+func NewWindower(window time.Duration, mode GroupMode) *Windower {
+	if window < 0 {
+		window = 0
+	}
+	if mode != GroupChained {
+		mode = GroupAnchored
+	}
+	return &Windower{window: window, mode: mode}
+}
+
+// Window returns the configured window size.
+func (w *Windower) Window() time.Duration { return w.window }
+
+// Mode returns the configured grouping mode.
+func (w *Windower) Mode() GroupMode { return w.mode }
+
+// Groups splits writes (which must contain only OpWrite/OpDelete events)
+// into co-modification groups. The input does not need to be sorted.
+func (w *Windower) Groups(writes []Event) []Group {
+	if len(writes) == 0 {
+		return nil
+	}
+	evs := make([]Event, len(writes))
+	copy(evs, writes)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time.Before(evs[j].Time) })
+
+	var groups []Group
+	cur := map[string]struct{}{evs[0].Key: {}}
+	anchor, prev := evs[0].Time, evs[0].Time
+	flush := func(end time.Time) {
+		keys := make([]string, 0, len(cur))
+		for k := range cur {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		groups = append(groups, Group{Start: anchor, End: end, Keys: keys})
+	}
+	for _, ev := range evs[1:] {
+		var within bool
+		switch w.mode {
+		case GroupChained:
+			within = ev.Time.Sub(prev) <= w.window
+		default:
+			within = ev.Time.Sub(anchor) <= w.window
+		}
+		if !within {
+			flush(prev)
+			cur = make(map[string]struct{})
+			anchor = ev.Time
+		}
+		cur[ev.Key] = struct{}{}
+		prev = ev.Time
+	}
+	flush(prev)
+	return groups
+}
+
+// GroupTrace extracts the write stream of tr and windows it. Events from
+// different applications are grouped independently so that two unrelated
+// applications flushing settings in the same second do not appear
+// co-modified; the per-application groups are returned merged in
+// chronological order.
+func (w *Windower) GroupTrace(tr *Trace) []Group {
+	byApp := make(map[string][]Event)
+	for _, ev := range tr.Writes() {
+		byApp[ev.App] = append(byApp[ev.App], ev)
+	}
+	var all []Group
+	for _, evs := range byApp {
+		all = append(all, w.Groups(evs)...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Start.Before(all[j].Start) })
+	return all
+}

@@ -1,0 +1,259 @@
+package ttkv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// Persistence errors.
+var (
+	ErrAOFMagic   = errors.New("ttkv: bad AOF magic")
+	ErrAOFVersion = errors.New("ttkv: unsupported AOF version")
+	ErrAOFCorrupt = errors.New("ttkv: corrupt AOF record")
+)
+
+const (
+	aofMagic   = "OCKV"
+	aofVersion = 1
+	// maxAOFString bounds encoded strings so corrupt length prefixes
+	// cannot trigger giant allocations.
+	maxAOFString = 1 << 20
+
+	opSet    = byte(1)
+	opDelete = byte(2)
+)
+
+// AOF is an append-only file recording every Set and Delete. Replaying an
+// AOF reconstructs the store's exact history, because the history *is* the
+// log. A truncated tail (e.g. after a crash mid-append) is tolerated on
+// load: complete records up to the damage are recovered.
+type AOF struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// CreateAOF creates (or truncates) an append-only file at path and writes
+// the header.
+func CreateAOF(path string) (*AOF, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("ttkv: creating AOF: %w", err)
+	}
+	a := &AOF{f: f, w: bufio.NewWriter(f)}
+	if _, err := a.w.WriteString(aofMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := binary.Write(a.w, binary.LittleEndian, uint16(aofVersion)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// OpenAOFForAppend opens an existing AOF for appending new records.
+func OpenAOFForAppend(path string) (*AOF, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ttkv: opening AOF: %w", err)
+	}
+	return &AOF{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (a *AOF) append(key, value string, t time.Time, deleted bool) error {
+	op := opSet
+	if deleted {
+		op = opDelete
+	}
+	if err := a.w.WriteByte(op); err != nil {
+		return err
+	}
+	if err := binary.Write(a.w, binary.LittleEndian, t.UnixNano()); err != nil {
+		return err
+	}
+	if err := aofWriteString(a.w, key); err != nil {
+		return err
+	}
+	if !deleted {
+		if err := aofWriteString(a.w, value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the file.
+func (a *AOF) Sync() error {
+	if err := a.w.Flush(); err != nil {
+		return err
+	}
+	return a.f.Sync()
+}
+
+// Close flushes and closes the file.
+func (a *AOF) Close() error {
+	if err := a.w.Flush(); err != nil {
+		a.f.Close()
+		return err
+	}
+	return a.f.Close()
+}
+
+// AttachAOF makes the store append every subsequent Set/Delete to a. Pass
+// nil to detach.
+func (s *Store) AttachAOF(a *AOF) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.aof = a
+}
+
+// SyncAOF flushes the attached AOF, if any.
+func (s *Store) SyncAOF() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aof == nil {
+		return nil
+	}
+	return s.aof.Sync()
+}
+
+// LoadAOF replays an append-only file into a fresh store. A truncated final
+// record is discarded silently (crash tolerance); any other corruption is
+// an error.
+func LoadAOF(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ttkv: opening AOF: %w", err)
+	}
+	defer f.Close()
+	return ReadAOF(f)
+}
+
+// ReadAOF replays AOF content from r into a fresh store.
+func ReadAOF(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(aofMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAOFMagic, err)
+	}
+	if string(magic) != aofMagic {
+		return nil, ErrAOFMagic
+	}
+	var ver uint16
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != aofVersion {
+		return nil, fmt.Errorf("%w: %d", ErrAOFVersion, ver)
+	}
+	s := New()
+	for {
+		op, err := br.ReadByte()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return s, nil
+			}
+			return nil, err
+		}
+		if op != opSet && op != opDelete {
+			return nil, fmt.Errorf("%w: op %d", ErrAOFCorrupt, op)
+		}
+		var nanos int64
+		if err := binary.Read(br, binary.LittleEndian, &nanos); err != nil {
+			return s, nil // truncated tail: keep what we have
+		}
+		key, err := aofReadString(br)
+		if err != nil {
+			if isTruncation(err) {
+				return s, nil
+			}
+			return nil, err
+		}
+		t := time.Unix(0, nanos).UTC()
+		if op == opDelete {
+			if err := s.Delete(key, t); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		value, err := aofReadString(br)
+		if err != nil {
+			if isTruncation(err) {
+				return s, nil
+			}
+			return nil, err
+		}
+		if err := s.Set(key, value, t); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func isTruncation(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+func aofWriteString(w *bufio.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func aofReadString(r *bufio.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > maxAOFString {
+		return "", fmt.Errorf("%w: string length %d", ErrAOFCorrupt, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// WriteSnapshot serializes the store's full state (all histories) to w in
+// AOF format, which doubles as the snapshot format: replaying it rebuilds
+// identical histories. Versions are emitted in global sequence order so
+// equal-timestamp orderings survive the round trip.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	s.mu.RLock()
+	type entry struct {
+		key string
+		v   Version
+	}
+	var entries []entry
+	for k, rec := range s.records {
+		for _, v := range rec.versions {
+			entries = append(entries, entry{key: k, v: v})
+		}
+	}
+	s.mu.RUnlock()
+	// Sort by global sequence so replay preserves intra-timestamp order.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].v.Seq < entries[j].v.Seq })
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(aofMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(aofVersion)); err != nil {
+		return err
+	}
+	a := &AOF{w: bw}
+	for _, e := range entries {
+		if err := a.append(e.key, e.v.Value, e.v.Time, e.v.Deleted); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

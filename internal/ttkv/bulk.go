@@ -1,0 +1,17 @@
+package ttkv
+
+// CountReads records n application reads of key at once. The workload
+// generator uses it to reproduce the paper's read volumes (tens of
+// millions of registry reads per machine) without per-event overhead.
+func (s *Store) CountReads(key string, n int) {
+	if n <= 0 {
+		return
+	}
+	s.mu.RLock()
+	rec, ok := s.records[key]
+	s.mu.RUnlock()
+	if ok {
+		rec.reads.Add(uint64(n))
+	}
+	s.reads.Add(uint64(n))
+}

@@ -1,0 +1,338 @@
+// Package ttkv implements Ocasta's Time Travel Key-Value store: a versioned
+// key-value store that records, for every configuration key, the full
+// timestamped history of its values including deletions, together with
+// read/write/delete counters.
+//
+// The paper built the TTKV on top of Redis, mapping each key to a record
+// holding the number of writes and deletions plus a list of historical
+// values with timestamps, with a special value type representing deletions.
+// This package implements that record schema natively, adds point-in-time
+// reads (the primitive the repair tool's rollback search is built on), and
+// provides append-only-file persistence (aof.go) so a logging daemon can
+// survive restarts.
+package ttkv
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Store errors.
+var (
+	ErrNoKey     = errors.New("ttkv: no such key")
+	ErrZeroTime  = errors.New("ttkv: zero timestamp")
+	ErrEmptyKey  = errors.New("ttkv: empty key")
+	ErrNoVersion = errors.New("ttkv: no version at or before requested time")
+)
+
+// Version is one entry in a key's value history. Deleted versions are the
+// paper's "special type of value ... used to represent deletions", kept in
+// the history like any other value.
+type Version struct {
+	Time    time.Time
+	Value   string
+	Deleted bool
+	// Seq is a store-wide monotone sequence number that orders versions
+	// carrying identical timestamps (second-granularity traces make those
+	// common).
+	Seq uint64
+}
+
+// record is the per-key schema from the paper: write/delete counts plus the
+// chronological value history.
+type record struct {
+	versions []Version
+	writes   int
+	deletes  int
+	reads    atomic.Uint64
+}
+
+// Store is an in-memory TTKV. It is safe for concurrent use. The zero
+// value is not usable; construct with New.
+type Store struct {
+	mu      sync.RWMutex
+	records map[string]*record
+	seq     atomic.Uint64
+	reads   atomic.Uint64
+	writes  atomic.Uint64
+	deletes atomic.Uint64
+	aof     *AOF // optional; appended to while holding mu
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{records: make(map[string]*record)}
+}
+
+// Set records a write of value to key at time t. Timestamps may arrive out
+// of order (error injection deliberately writes into the past); the version
+// is inserted at its chronological position, after any existing version
+// with the same timestamp.
+func (s *Store) Set(key, value string, t time.Time) error {
+	return s.apply(key, value, t, false)
+}
+
+// Delete records a deletion of key at time t. The deletion is a tombstone
+// version in the history; prior values remain reachable via GetAt.
+func (s *Store) Delete(key string, t time.Time) error {
+	return s.apply(key, "", t, true)
+}
+
+func (s *Store) apply(key, value string, t time.Time, deleted bool) error {
+	if key == "" {
+		return ErrEmptyKey
+	}
+	if t.IsZero() {
+		return ErrZeroTime
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.records[key]
+	if !ok {
+		rec = &record{}
+		s.records[key] = rec
+	}
+	v := Version{Time: t, Value: value, Deleted: deleted, Seq: s.seq.Add(1)}
+	rec.insert(v)
+	if deleted {
+		rec.deletes++
+		s.deletes.Add(1)
+	} else {
+		rec.writes++
+		s.writes.Add(1)
+	}
+	if s.aof != nil {
+		if err := s.aof.append(key, value, t, deleted); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// insert places v at its chronological position: after the last version
+// whose time is <= v.Time.
+func (r *record) insert(v Version) {
+	i := sort.Search(len(r.versions), func(i int) bool {
+		return r.versions[i].Time.After(v.Time)
+	})
+	r.versions = append(r.versions, Version{})
+	copy(r.versions[i+1:], r.versions[i:])
+	r.versions[i] = v
+}
+
+// Get returns the current value of key. ok is false when the key was never
+// written or its latest version is a deletion. Get counts as a read.
+func (s *Store) Get(key string) (value string, ok bool) {
+	s.mu.RLock()
+	rec, exists := s.records[key]
+	if !exists {
+		s.mu.RUnlock()
+		s.reads.Add(1)
+		return "", false
+	}
+	last := rec.versions[len(rec.versions)-1]
+	s.mu.RUnlock()
+	rec.reads.Add(1)
+	s.reads.Add(1)
+	if last.Deleted {
+		return "", false
+	}
+	return last.Value, true
+}
+
+// GetAt returns the version of key in effect at time t: the latest version
+// with Time <= t. It does not count as a read (it is a recovery-path
+// operation, not application activity).
+func (s *Store) GetAt(key string, t time.Time) (Version, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.records[key]
+	if !ok {
+		return Version{}, ErrNoKey
+	}
+	i := sort.Search(len(rec.versions), func(i int) bool {
+		return rec.versions[i].Time.After(t)
+	})
+	if i == 0 {
+		return Version{}, ErrNoVersion
+	}
+	return rec.versions[i-1], nil
+}
+
+// History returns a copy of key's full version history, oldest first.
+func (s *Store) History(key string) ([]Version, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.records[key]
+	if !ok {
+		return nil, ErrNoKey
+	}
+	out := make([]Version, len(rec.versions))
+	copy(out, rec.versions)
+	return out, nil
+}
+
+// Latest returns the newest version of key.
+func (s *Store) Latest(key string) (Version, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.records[key]
+	if !ok {
+		return Version{}, ErrNoKey
+	}
+	return rec.versions[len(rec.versions)-1], nil
+}
+
+// Keys returns all keys ever written, sorted.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.records))
+	for k := range s.records {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Len returns the number of keys ever written.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// WriteCount returns how many non-delete writes key received.
+func (s *Store) WriteCount(key string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if rec, ok := s.records[key]; ok {
+		return rec.writes
+	}
+	return 0
+}
+
+// DeleteCount returns how many deletions key received.
+func (s *Store) DeleteCount(key string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if rec, ok := s.records[key]; ok {
+		return rec.deletes
+	}
+	return 0
+}
+
+// ModCount returns writes + deletions of key: its total number of recorded
+// modifications, the quantity Ocasta's repair tool sorts clusters by.
+func (s *Store) ModCount(key string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if rec, ok := s.records[key]; ok {
+		return rec.writes + rec.deletes
+	}
+	return 0
+}
+
+// Stats summarizes the store, including the approximate in-memory size of
+// all histories (the "TTKV size" column of Table I).
+type Stats struct {
+	Keys        int
+	Writes      uint64
+	Deletes     uint64
+	Reads       uint64
+	Versions    int
+	ApproxBytes int64
+}
+
+// versionOverhead approximates the fixed per-version bookkeeping cost
+// (time, sequence number, flags, slice header share).
+const versionOverhead = 40
+
+// keyOverhead approximates the fixed per-key bookkeeping cost.
+const keyOverhead = 64
+
+// Stats returns a snapshot of the store's counters and size.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Keys:    len(s.records),
+		Writes:  s.writes.Load(),
+		Deletes: s.deletes.Load(),
+		Reads:   s.reads.Load(),
+	}
+	for k, rec := range s.records {
+		st.Versions += len(rec.versions)
+		st.ApproxBytes += int64(len(k)) + keyOverhead
+		for i := range rec.versions {
+			st.ApproxBytes += int64(len(rec.versions[i].Value)) + versionOverhead
+		}
+	}
+	return st
+}
+
+// CountRead records an application read of key without fetching the value;
+// loggers use it when they observe read traffic they do not need the result
+// of.
+func (s *Store) CountRead(key string) {
+	s.mu.RLock()
+	rec, ok := s.records[key]
+	s.mu.RUnlock()
+	if ok {
+		rec.reads.Add(1)
+	}
+	s.reads.Add(1)
+}
+
+// Clone returns a deep copy of the store's contents (counters included,
+// AOF binding excluded). Used by tests and by sandboxed trials that need a
+// writable copy.
+func (s *Store) Clone() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := New()
+	out.seq.Store(s.seq.Load())
+	out.reads.Store(s.reads.Load())
+	out.writes.Store(s.writes.Load())
+	out.deletes.Store(s.deletes.Load())
+	for k, rec := range s.records {
+		nr := &record{
+			versions: make([]Version, len(rec.versions)),
+			writes:   rec.writes,
+			deletes:  rec.deletes,
+		}
+		copy(nr.versions, rec.versions)
+		nr.reads.Store(rec.reads.Load())
+		out.records[k] = nr
+	}
+	return out
+}
+
+// ModTimes returns every distinct modification timestamp of the given keys,
+// newest first. The repair tool uses this to enumerate the historical
+// versions of a cluster: each timestamp at which any member key changed is
+// one candidate rollback point.
+func (s *Store) ModTimes(keys []string) []time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[int64]struct{})
+	var times []time.Time
+	for _, k := range keys {
+		rec, ok := s.records[k]
+		if !ok {
+			continue
+		}
+		for i := range rec.versions {
+			ns := rec.versions[i].Time.UnixNano()
+			if _, dup := seen[ns]; !dup {
+				seen[ns] = struct{}{}
+				times = append(times, rec.versions[i].Time)
+			}
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].After(times[j]) })
+	return times
+}

@@ -1,0 +1,348 @@
+package ttkv
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2013, 6, 1, 12, 0, 0, 0, time.UTC)
+
+func at(sec int) time.Time { return t0.Add(time.Duration(sec) * time.Second) }
+
+func TestSetGet(t *testing.T) {
+	s := New()
+	if err := s.Set("k", "v1", at(0)); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get("k")
+	if !ok || v != "v1" {
+		t.Fatalf("Get = %q,%v, want v1,true", v, ok)
+	}
+	if err := s.Set("k", "v2", at(1)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("k"); v != "v2" {
+		t.Fatalf("Get after update = %q, want v2", v)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New()
+	if _, ok := s.Get("nope"); ok {
+		t.Error("Get on missing key must report ok=false")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := New()
+	if err := s.Set("", "v", at(0)); !errors.Is(err, ErrEmptyKey) {
+		t.Errorf("empty key: err = %v, want ErrEmptyKey", err)
+	}
+	if err := s.Set("k", "v", time.Time{}); !errors.Is(err, ErrZeroTime) {
+		t.Errorf("zero time: err = %v, want ErrZeroTime", err)
+	}
+	if err := s.Delete("", at(0)); !errors.Is(err, ErrEmptyKey) {
+		t.Errorf("delete empty key: err = %v, want ErrEmptyKey", err)
+	}
+}
+
+func TestDeleteTombstone(t *testing.T) {
+	s := New()
+	must(t, s.Set("k", "v1", at(0)))
+	must(t, s.Delete("k", at(1)))
+	if _, ok := s.Get("k"); ok {
+		t.Error("deleted key must not be gettable")
+	}
+	// But the history retains both versions, and GetAt can see past the
+	// tombstone.
+	hist, err := s.History("k")
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("History = %v,%v, want 2 versions", hist, err)
+	}
+	if !hist[1].Deleted {
+		t.Error("latest version must be a tombstone")
+	}
+	v, err := s.GetAt("k", at(0))
+	if err != nil || v.Value != "v1" || v.Deleted {
+		t.Fatalf("GetAt before delete = %+v,%v, want v1", v, err)
+	}
+}
+
+func TestGetAt(t *testing.T) {
+	s := New()
+	must(t, s.Set("k", "v0", at(0)))
+	must(t, s.Set("k", "v10", at(10)))
+	must(t, s.Set("k", "v20", at(20)))
+	tests := []struct {
+		sec     int
+		want    string
+		wantErr error
+	}{
+		{-1, "", ErrNoVersion},
+		{0, "v0", nil},
+		{5, "v0", nil},
+		{10, "v10", nil},
+		{15, "v10", nil},
+		{25, "v20", nil},
+	}
+	for _, tt := range tests {
+		v, err := s.GetAt("k", at(tt.sec))
+		if tt.wantErr != nil {
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("GetAt(%d): err = %v, want %v", tt.sec, err, tt.wantErr)
+			}
+			continue
+		}
+		if err != nil || v.Value != tt.want {
+			t.Errorf("GetAt(%d) = %q,%v, want %q", tt.sec, v.Value, err, tt.want)
+		}
+	}
+	if _, err := s.GetAt("missing", at(0)); !errors.Is(err, ErrNoKey) {
+		t.Errorf("GetAt(missing) err = %v, want ErrNoKey", err)
+	}
+}
+
+func TestOutOfOrderInsert(t *testing.T) {
+	// Error injection writes into the past; history must stay chronological.
+	s := New()
+	must(t, s.Set("k", "new", at(100)))
+	must(t, s.Set("k", "injected", at(50)))
+	hist, _ := s.History("k")
+	if len(hist) != 2 || hist[0].Value != "injected" || hist[1].Value != "new" {
+		t.Fatalf("history = %+v, want injected then new", hist)
+	}
+	// Current value must still be the chronologically newest.
+	if v, _ := s.Get("k"); v != "new" {
+		t.Errorf("Get = %q, want new", v)
+	}
+	if v, err := s.GetAt("k", at(60)); err != nil || v.Value != "injected" {
+		t.Errorf("GetAt(60) = %+v,%v, want injected", v, err)
+	}
+}
+
+func TestEqualTimestampOrdering(t *testing.T) {
+	// Same-second writes (second-granularity traces) keep insertion order.
+	s := New()
+	must(t, s.Set("k", "first", at(5)))
+	must(t, s.Set("k", "second", at(5)))
+	hist, _ := s.History("k")
+	if hist[0].Value != "first" || hist[1].Value != "second" {
+		t.Fatalf("equal-timestamp order = %+v", hist)
+	}
+	if v, _ := s.Get("k"); v != "second" {
+		t.Errorf("Get = %q, want second (last inserted at equal time)", v)
+	}
+}
+
+func TestLatest(t *testing.T) {
+	s := New()
+	must(t, s.Set("k", "a", at(0)))
+	must(t, s.Set("k", "b", at(1)))
+	v, err := s.Latest("k")
+	if err != nil || v.Value != "b" {
+		t.Fatalf("Latest = %+v,%v, want b", v, err)
+	}
+	if _, err := s.Latest("missing"); !errors.Is(err, ErrNoKey) {
+		t.Errorf("Latest(missing) err = %v, want ErrNoKey", err)
+	}
+}
+
+func TestHistoryMissing(t *testing.T) {
+	if _, err := New().History("missing"); !errors.Is(err, ErrNoKey) {
+		t.Errorf("History(missing) err = %v, want ErrNoKey", err)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := New()
+	for _, k := range []string{"zeta", "alpha", "mid"} {
+		must(t, s.Set(k, "v", at(0)))
+	}
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "alpha" || keys[2] != "zeta" {
+		t.Fatalf("Keys = %v, want sorted", keys)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s := New()
+	must(t, s.Set("k", "a", at(0)))
+	must(t, s.Set("k", "b", at(1)))
+	must(t, s.Delete("k", at(2)))
+	if s.WriteCount("k") != 2 || s.DeleteCount("k") != 1 || s.ModCount("k") != 3 {
+		t.Errorf("counts = %d/%d/%d, want 2/1/3",
+			s.WriteCount("k"), s.DeleteCount("k"), s.ModCount("k"))
+	}
+	if s.WriteCount("missing") != 0 || s.DeleteCount("missing") != 0 || s.ModCount("missing") != 0 {
+		t.Error("missing key must report zero counts")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := New()
+	must(t, s.Set("key1", "value1", at(0)))
+	must(t, s.Set("key1", "value2", at(1)))
+	must(t, s.Delete("key1", at(2)))
+	must(t, s.Set("key2", "v", at(3)))
+	s.Get("key1")
+	s.Get("key2")
+	s.CountRead("key1")
+	s.CountRead("unknown")
+	st := s.Stats()
+	if st.Keys != 2 {
+		t.Errorf("Keys = %d, want 2", st.Keys)
+	}
+	if st.Writes != 3 || st.Deletes != 1 {
+		t.Errorf("Writes/Deletes = %d/%d, want 3/1", st.Writes, st.Deletes)
+	}
+	if st.Reads != 4 {
+		t.Errorf("Reads = %d, want 4", st.Reads)
+	}
+	if st.Versions != 4 {
+		t.Errorf("Versions = %d, want 4", st.Versions)
+	}
+	if st.ApproxBytes <= 0 {
+		t.Errorf("ApproxBytes = %d, want positive", st.ApproxBytes)
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := New()
+	must(t, s.Set("k", "orig", at(0)))
+	c := s.Clone()
+	must(t, c.Set("k", "changed", at(1)))
+	must(t, c.Set("new", "x", at(1)))
+	if v, _ := s.Get("k"); v != "orig" {
+		t.Error("mutating the clone leaked into the original")
+	}
+	if s.Len() != 1 {
+		t.Error("clone key set leaked into the original")
+	}
+	if v, _ := c.Get("k"); v != "changed" {
+		t.Error("clone did not apply its own write")
+	}
+}
+
+func TestModTimes(t *testing.T) {
+	s := New()
+	must(t, s.Set("a", "1", at(10)))
+	must(t, s.Set("b", "1", at(10))) // duplicate timestamp deduped
+	must(t, s.Set("a", "2", at(30)))
+	must(t, s.Set("b", "2", at(20)))
+	times := s.ModTimes([]string{"a", "b", "missing"})
+	if len(times) != 3 {
+		t.Fatalf("ModTimes = %v, want 3 distinct times", times)
+	}
+	if !times[0].Equal(at(30)) || !times[1].Equal(at(20)) || !times[2].Equal(at(10)) {
+		t.Errorf("ModTimes order = %v, want newest first", times)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%10)
+				_ = s.Set(key, "v", at(i))
+				s.Get(key)
+				_, _ = s.GetAt(key, at(i))
+				_, _ = s.History(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Writes != 8*200 {
+		t.Errorf("Writes = %d, want %d", st.Writes, 8*200)
+	}
+}
+
+// Property: GetAt(k, t) always returns the version with the largest
+// timestamp <= t, regardless of insertion order.
+func TestGetAtProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prop := func(offsets []uint8) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		s := New()
+		for i, off := range offsets {
+			if err := s.Set("k", fmt.Sprintf("v%d", i), at(int(off))); err != nil {
+				return false
+			}
+		}
+		// Reference: track max offset <= query.
+		for q := 0; q <= 255; q += 17 {
+			var wantOff = -1
+			for _, off := range offsets {
+				if int(off) <= q && int(off) > wantOff {
+					wantOff = int(off)
+				}
+			}
+			v, err := s.GetAt("k", at(q))
+			if wantOff == -1 {
+				if !errors.Is(err, ErrNoVersion) {
+					return false
+				}
+				continue
+			}
+			if err != nil || !v.Time.Equal(at(wantOff)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: history is always chronologically sorted.
+func TestHistorySortedProperty(t *testing.T) {
+	prop := func(offsets []uint8) bool {
+		s := New()
+		for i, off := range offsets {
+			if i%5 == 4 {
+				if err := s.Delete("k", at(int(off))); err != nil {
+					return false
+				}
+			} else if err := s.Set("k", "v", at(int(off))); err != nil {
+				return false
+			}
+		}
+		if len(offsets) == 0 {
+			return true
+		}
+		hist, err := s.History("k")
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(hist); i++ {
+			if hist[i].Time.Before(hist[i-1].Time) {
+				return false
+			}
+		}
+		return len(hist) == len(offsets)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

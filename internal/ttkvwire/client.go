@@ -1,0 +1,239 @@
+package ttkvwire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"time"
+
+	"ocasta/internal/ttkv"
+)
+
+// Client errors.
+var (
+	// ErrNotFound is returned for GET/GETAT misses.
+	ErrNotFound = errors.New("ttkvwire: not found")
+)
+
+// RemoteError is an error the server reported.
+type RemoteError struct{ Msg string }
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "ttkvwire: server: " + e.Msg }
+
+// Client is a connection to a TTKV server. Methods are safe for concurrent
+// use; requests are serialized over the single connection.
+type Client struct {
+	mu   chan struct{} // 1-token semaphore guarding conn+buffers
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a TTKV server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ttkvwire: dial: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		mu:   make(chan struct{}, 1),
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}
+	c.mu <- struct{}{}
+	return c
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one command and reads one response.
+func (c *Client) roundTrip(args ...string) (Value, error) {
+	<-c.mu
+	defer func() { c.mu <- struct{}{} }()
+	if err := writeCommand(c.bw, args...); err != nil {
+		return Value{}, fmt.Errorf("ttkvwire: send: %w", err)
+	}
+	v, err := ReadValue(c.br)
+	if err != nil {
+		return Value{}, fmt.Errorf("ttkvwire: recv: %w", err)
+	}
+	if v.Kind == KindError {
+		return Value{}, &RemoteError{Msg: v.Str}
+	}
+	return v, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	v, err := c.roundTrip("PING")
+	if err != nil {
+		return err
+	}
+	if v.Kind != KindSimple || v.Str != "PONG" {
+		return fmt.Errorf("%w: unexpected PING reply %+v", ErrProtocol, v)
+	}
+	return nil
+}
+
+// Set records a write of key at time t.
+func (c *Client) Set(key, value string, t time.Time) error {
+	_, err := c.roundTrip("SET", key, value, strconv.FormatInt(t.UnixNano(), 10))
+	return err
+}
+
+// Delete records a deletion of key at time t.
+func (c *Client) Delete(key string, t time.Time) error {
+	_, err := c.roundTrip("DEL", key, strconv.FormatInt(t.UnixNano(), 10))
+	return err
+}
+
+// Get fetches the current value of key; ErrNotFound if absent or deleted.
+func (c *Client) Get(key string) (string, error) {
+	v, err := c.roundTrip("GET", key)
+	if err != nil {
+		return "", err
+	}
+	switch v.Kind {
+	case KindNil:
+		return "", ErrNotFound
+	case KindBulk:
+		return v.Str, nil
+	default:
+		return "", fmt.Errorf("%w: unexpected GET reply %+v", ErrProtocol, v)
+	}
+}
+
+// GetAt fetches the version of key in effect at time t.
+func (c *Client) GetAt(key string, t time.Time) (ttkv.Version, error) {
+	v, err := c.roundTrip("GETAT", key, strconv.FormatInt(t.UnixNano(), 10))
+	if err != nil {
+		return ttkv.Version{}, err
+	}
+	if v.Kind == KindNil {
+		return ttkv.Version{}, ErrNotFound
+	}
+	return parseVersion(v)
+}
+
+// History fetches the full version history of key, oldest first. A key the
+// server has never seen yields an empty history.
+func (c *Client) History(key string) ([]ttkv.Version, error) {
+	v, err := c.roundTrip("HIST", key)
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind != KindArray {
+		return nil, fmt.Errorf("%w: unexpected HIST reply %+v", ErrProtocol, v)
+	}
+	out := make([]ttkv.Version, 0, len(v.Array))
+	for _, el := range v.Array {
+		ver, err := parseVersion(el)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ver)
+	}
+	return out, nil
+}
+
+// Keys lists every key the server has seen, sorted.
+func (c *Client) Keys() ([]string, error) {
+	v, err := c.roundTrip("KEYS")
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind != KindArray {
+		return nil, fmt.Errorf("%w: unexpected KEYS reply %+v", ErrProtocol, v)
+	}
+	out := make([]string, 0, len(v.Array))
+	for _, el := range v.Array {
+		if el.Kind != KindBulk {
+			return nil, fmt.Errorf("%w: non-bulk key %+v", ErrProtocol, el)
+		}
+		out = append(out, el.Str)
+	}
+	return out, nil
+}
+
+// ModCount returns the total modifications (writes + deletes) of key.
+func (c *Client) ModCount(key string) (int, error) {
+	v, err := c.roundTrip("MODCOUNT", key)
+	if err != nil {
+		return 0, err
+	}
+	if v.Kind != KindInt {
+		return 0, fmt.Errorf("%w: unexpected MODCOUNT reply %+v", ErrProtocol, v)
+	}
+	return int(v.Int), nil
+}
+
+// ModTimes returns the distinct modification timestamps of keys, newest
+// first.
+func (c *Client) ModTimes(keys ...string) ([]time.Time, error) {
+	args := append([]string{"MODTIMES"}, keys...)
+	v, err := c.roundTrip(args...)
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind != KindArray {
+		return nil, fmt.Errorf("%w: unexpected MODTIMES reply %+v", ErrProtocol, v)
+	}
+	out := make([]time.Time, 0, len(v.Array))
+	for _, el := range v.Array {
+		ns, err := strconv.ParseInt(el.Str, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad timestamp %q", ErrProtocol, el.Str)
+		}
+		out = append(out, time.Unix(0, ns).UTC())
+	}
+	return out, nil
+}
+
+// Stats fetches the server's store statistics.
+func (c *Client) Stats() (ttkv.Stats, error) {
+	v, err := c.roundTrip("STATS")
+	if err != nil {
+		return ttkv.Stats{}, err
+	}
+	if v.Kind != KindArray || len(v.Array) != 6 {
+		return ttkv.Stats{}, fmt.Errorf("%w: unexpected STATS reply %+v", ErrProtocol, v)
+	}
+	for _, el := range v.Array {
+		if el.Kind != KindInt {
+			return ttkv.Stats{}, fmt.Errorf("%w: non-int stat %+v", ErrProtocol, el)
+		}
+	}
+	return ttkv.Stats{
+		Keys:        int(v.Array[0].Int),
+		Writes:      uint64(v.Array[1].Int),
+		Deletes:     uint64(v.Array[2].Int),
+		Reads:       uint64(v.Array[3].Int),
+		Versions:    int(v.Array[4].Int),
+		ApproxBytes: v.Array[5].Int,
+	}, nil
+}
+
+func parseVersion(v Value) (ttkv.Version, error) {
+	if v.Kind != KindArray || len(v.Array) != 3 {
+		return ttkv.Version{}, fmt.Errorf("%w: bad version shape %+v", ErrProtocol, v)
+	}
+	ns, err := strconv.ParseInt(v.Array[0].Str, 10, 64)
+	if err != nil {
+		return ttkv.Version{}, fmt.Errorf("%w: bad version time %q", ErrProtocol, v.Array[0].Str)
+	}
+	return ttkv.Version{
+		Time:    time.Unix(0, ns).UTC(),
+		Deleted: v.Array[1].Str == "1",
+		Value:   v.Array[2].Str,
+	}, nil
+}

@@ -1,0 +1,306 @@
+package ttkvwire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ocasta/internal/ttkv"
+)
+
+// ErrServerClosed is returned by Serve after Close is called.
+var ErrServerClosed = errors.New("ttkvwire: server closed")
+
+// Server exposes a ttkv.Store over the wire protocol. Construct with
+// NewServer; then either Serve an existing listener or ListenAndServe.
+type Server struct {
+	store *ttkv.Store
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a server that serves the given store.
+func NewServer(store *ttkv.Store) *Server {
+	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("ttkvwire: listen: %w", err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close is called. It always returns
+// a non-nil error; after Close the error is ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("ttkvwire: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Addr returns the listener address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		req, err := ReadValue(br)
+		if err != nil {
+			return // connection dropped or garbage; just hang up
+		}
+		resp := s.dispatch(req)
+		if err := WriteValue(bw, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req Value) Value {
+	if req.Kind != KindArray || len(req.Array) == 0 {
+		return errValue("ERR request must be a non-empty array")
+	}
+	args := make([]string, len(req.Array))
+	for i, v := range req.Array {
+		if v.Kind != KindBulk {
+			return errValue("ERR request elements must be bulk strings")
+		}
+		args[i] = v.Str
+	}
+	cmd := strings.ToUpper(args[0])
+	switch cmd {
+	case "PING":
+		return simple("PONG")
+	case "SET":
+		return s.cmdSet(args[1:])
+	case "DEL":
+		return s.cmdDel(args[1:])
+	case "GET":
+		return s.cmdGet(args[1:])
+	case "GETAT":
+		return s.cmdGetAt(args[1:])
+	case "HIST":
+		return s.cmdHist(args[1:])
+	case "KEYS":
+		return s.cmdKeys(args[1:])
+	case "MODCOUNT":
+		return s.cmdModCount(args[1:])
+	case "MODTIMES":
+		return s.cmdModTimes(args[1:])
+	case "STATS":
+		return s.cmdStats(args[1:])
+	default:
+		return errValue("ERR unknown command '" + cmd + "'")
+	}
+}
+
+func parseNanos(s string) (time.Time, error) {
+	ns, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.Unix(0, ns).UTC(), nil
+}
+
+func (s *Server) cmdSet(args []string) Value {
+	if len(args) != 3 {
+		return errValue("ERR usage: SET key value unixnanos")
+	}
+	t, err := parseNanos(args[2])
+	if err != nil {
+		return errValue("ERR bad timestamp: " + err.Error())
+	}
+	if err := s.store.Set(args[0], args[1], t); err != nil {
+		return errValue("ERR " + err.Error())
+	}
+	return simple("OK")
+}
+
+func (s *Server) cmdDel(args []string) Value {
+	if len(args) != 2 {
+		return errValue("ERR usage: DEL key unixnanos")
+	}
+	t, err := parseNanos(args[1])
+	if err != nil {
+		return errValue("ERR bad timestamp: " + err.Error())
+	}
+	if err := s.store.Delete(args[0], t); err != nil {
+		return errValue("ERR " + err.Error())
+	}
+	return simple("OK")
+}
+
+func (s *Server) cmdGet(args []string) Value {
+	if len(args) != 1 {
+		return errValue("ERR usage: GET key")
+	}
+	v, ok := s.store.Get(args[0])
+	if !ok {
+		return nilValue()
+	}
+	return bulk(v)
+}
+
+func (s *Server) cmdGetAt(args []string) Value {
+	if len(args) != 2 {
+		return errValue("ERR usage: GETAT key unixnanos")
+	}
+	t, err := parseNanos(args[1])
+	if err != nil {
+		return errValue("ERR bad timestamp: " + err.Error())
+	}
+	v, err := s.store.GetAt(args[0], t)
+	if err != nil {
+		if errors.Is(err, ttkv.ErrNoKey) || errors.Is(err, ttkv.ErrNoVersion) {
+			return nilValue()
+		}
+		return errValue("ERR " + err.Error())
+	}
+	return versionValue(v)
+}
+
+func versionValue(v ttkv.Version) Value {
+	return array(bulkInt(v.Time.UnixNano()), bulkBool(v.Deleted), bulk(v.Value))
+}
+
+func (s *Server) cmdHist(args []string) Value {
+	if len(args) != 1 {
+		return errValue("ERR usage: HIST key")
+	}
+	hist, err := s.store.History(args[0])
+	if err != nil {
+		if errors.Is(err, ttkv.ErrNoKey) {
+			return array()
+		}
+		return errValue("ERR " + err.Error())
+	}
+	out := make([]Value, len(hist))
+	for i, v := range hist {
+		out[i] = versionValue(v)
+	}
+	return array(out...)
+}
+
+func (s *Server) cmdKeys(args []string) Value {
+	if len(args) != 0 {
+		return errValue("ERR usage: KEYS")
+	}
+	keys := s.store.Keys()
+	out := make([]Value, len(keys))
+	for i, k := range keys {
+		out[i] = bulk(k)
+	}
+	return array(out...)
+}
+
+func (s *Server) cmdModCount(args []string) Value {
+	if len(args) != 1 {
+		return errValue("ERR usage: MODCOUNT key")
+	}
+	return intValue(int64(s.store.ModCount(args[0])))
+}
+
+func (s *Server) cmdModTimes(args []string) Value {
+	if len(args) == 0 {
+		return errValue("ERR usage: MODTIMES key [key...]")
+	}
+	times := s.store.ModTimes(args)
+	out := make([]Value, len(times))
+	for i, t := range times {
+		out[i] = bulkInt(t.UnixNano())
+	}
+	return array(out...)
+}
+
+func (s *Server) cmdStats(args []string) Value {
+	if len(args) != 0 {
+		return errValue("ERR usage: STATS")
+	}
+	st := s.store.Stats()
+	return array(
+		intValue(int64(st.Keys)),
+		intValue(int64(st.Writes)),
+		intValue(int64(st.Deletes)),
+		intValue(int64(st.Reads)),
+		intValue(int64(st.Versions)),
+		intValue(st.ApproxBytes),
+	)
+}

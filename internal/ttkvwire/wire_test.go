@@ -1,0 +1,337 @@
+package ttkvwire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ocasta/internal/ttkv"
+)
+
+var t0 = time.Date(2013, 6, 1, 12, 0, 0, 0, time.UTC)
+
+func at(sec int) time.Time { return t0.Add(time.Duration(sec) * time.Second) }
+
+// --- protocol unit tests ---
+
+func roundTripValue(t *testing.T, v Value) Value {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := WriteValue(bw, v); err != nil {
+		t.Fatalf("WriteValue: %v", err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadValue(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("ReadValue: %v", err)
+	}
+	return got
+}
+
+func TestProtoRoundTrip(t *testing.T) {
+	tests := []Value{
+		simple("OK"),
+		errValue("ERR boom"),
+		intValue(-42),
+		bulk("hello world"),
+		bulk(""),
+		bulk("binary\r\n\x00bytes"),
+		nilValue(),
+		array(),
+		array(bulk("a"), intValue(1), nilValue(), array(simple("nested"))),
+	}
+	for i, v := range tests {
+		got := roundTripValue(t, v)
+		want := v
+		if want.Kind == KindArray && want.Array == nil {
+			want.Array = []Value{}
+		}
+		if got.Kind == KindArray && got.Array == nil {
+			got.Array = []Value{}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("case %d: got %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestProtoRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"!bogus\r\n",
+		"$notanumber\r\n",
+		":xyz\r\n",
+		"*-2\r\n",
+		"$99999999999\r\n",
+		"+no-crlf\n",
+		"$5\r\nab\r\n", // short bulk
+	}
+	for _, in := range cases {
+		if _, err := ReadValue(bufio.NewReader(strings.NewReader(in))); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestProtoOversizedGuards(t *testing.T) {
+	in := fmt.Sprintf("$%d\r\n", maxBulkLen+1)
+	if _, err := ReadValue(bufio.NewReader(strings.NewReader(in))); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("bulk guard: err = %v, want ErrTooLarge", err)
+	}
+	in = fmt.Sprintf("*%d\r\n", maxArrayLen+1)
+	if _, err := ReadValue(bufio.NewReader(strings.NewReader(in))); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("array guard: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestProtoBulkPropertyRoundTrip(t *testing.T) {
+	prop := func(s string) bool {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		if err := WriteValue(bw, bulk(s)); err != nil {
+			return false
+		}
+		bw.Flush()
+		got, err := ReadValue(bufio.NewReader(&buf))
+		return err == nil && got.Kind == KindBulk && got.Str == s
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- client/server integration over real TCP ---
+
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	store := ttkv.New()
+	srv := NewServer(store)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ln); !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	}()
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		srv.Close()
+		<-done
+	})
+	return srv, client
+}
+
+func TestClientServerBasics(t *testing.T) {
+	_, c := startServer(t)
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	if err := c.Set("k", "v1", at(0)); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := c.Set("k", "v2", at(10)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("k")
+	if err != nil || v != "v2" {
+		t.Fatalf("Get = %q,%v, want v2", v, err)
+	}
+	ver, err := c.GetAt("k", at(5))
+	if err != nil || ver.Value != "v1" || !ver.Time.Equal(at(0)) {
+		t.Fatalf("GetAt = %+v,%v, want v1@0", ver, err)
+	}
+	if err := c.Delete("k", at(20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete: err = %v, want ErrNotFound", err)
+	}
+	hist, err := c.History("k")
+	if err != nil || len(hist) != 3 {
+		t.Fatalf("History = %d versions,%v, want 3", len(hist), err)
+	}
+	if !hist[2].Deleted {
+		t.Error("final version must be the tombstone")
+	}
+}
+
+func TestClientServerKeysStatsModTimes(t *testing.T) {
+	_, c := startServer(t)
+	if err := c.Set("b", "1", at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("a", "1", at(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("a", "2", at(2)); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := c.Keys()
+	if err != nil || !reflect.DeepEqual(keys, []string{"a", "b"}) {
+		t.Fatalf("Keys = %v,%v", keys, err)
+	}
+	n, err := c.ModCount("a")
+	if err != nil || n != 2 {
+		t.Fatalf("ModCount(a) = %d,%v, want 2", n, err)
+	}
+	times, err := c.ModTimes("a", "b")
+	if err != nil || len(times) != 3 {
+		t.Fatalf("ModTimes = %v,%v, want 3 times", times, err)
+	}
+	if !times[0].Equal(at(2)) {
+		t.Errorf("ModTimes[0] = %v, want newest first", times[0])
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Keys != 2 || st.Writes != 3 {
+		t.Errorf("Stats = %+v, want Keys=2 Writes=3", st)
+	}
+}
+
+func TestClientServerMisses(t *testing.T) {
+	_, c := startServer(t)
+	if _, err := c.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get miss: %v, want ErrNotFound", err)
+	}
+	if _, err := c.GetAt("nope", at(0)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("GetAt miss: %v, want ErrNotFound", err)
+	}
+	hist, err := c.History("nope")
+	if err != nil || len(hist) != 0 {
+		t.Errorf("History miss = %v,%v, want empty", hist, err)
+	}
+}
+
+func TestServerRejectsBadCommands(t *testing.T) {
+	_, c := startServer(t)
+	var remote *RemoteError
+	if _, err := c.roundTrip("BOGUS"); !errors.As(err, &remote) {
+		t.Errorf("unknown command: err = %v, want RemoteError", err)
+	}
+	if _, err := c.roundTrip("SET", "only-key"); !errors.As(err, &remote) {
+		t.Errorf("bad arity: err = %v, want RemoteError", err)
+	}
+	if _, err := c.roundTrip("SET", "k", "v", "not-a-time"); !errors.As(err, &remote) {
+		t.Errorf("bad timestamp: err = %v, want RemoteError", err)
+	}
+	if _, err := c.roundTrip("SET", "", "v", "0"); !errors.As(err, &remote) {
+		t.Errorf("empty key: err = %v, want RemoteError", err)
+	}
+	// Connection must still be usable after errors.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping after errors: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := startServer(t)
+	addr := srv.Addr().String()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				if err := c.Set(key, "v", at(i)); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Get(key); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseUnblocksServe(t *testing.T) {
+	store := ttkv.New()
+	srv := NewServer(store)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	// Give the accept loop a moment to start, then close.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve = %v, want ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	// Close is idempotent.
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil", err)
+	}
+}
+
+func TestServeAfterCloseFails(t *testing.T) {
+	srv := NewServer(ttkv.New())
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve(ln); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("Serve after Close = %v, want ErrServerClosed", err)
+	}
+}
+
+func TestBinaryValuesSurviveWire(t *testing.T) {
+	_, c := startServer(t)
+	nasty := "line1\r\nline2\x00\xff *$+:-"
+	if err := c.Set("bin", nasty, at(0)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("bin")
+	if err != nil || v != nasty {
+		t.Fatalf("binary value mangled: %q, %v", v, err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package vfs provides the file-observation substrate for Ocasta's
+// application-file loggers. The paper intercepts applications flushing
+// whole configuration files to disk; here a small virtual filesystem
+// delivers deterministic flush events (old content, new content, time) to
+// subscribers, and a polling watcher provides the same events for real
+// on-disk files.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrNotExist is returned when reading or removing a missing file.
+var ErrNotExist = errors.New("vfs: file does not exist")
+
+// FlushEvent describes one observed whole-file flush. New is nil when the
+// file was removed; Old is nil when the file was created.
+type FlushEvent struct {
+	Path string
+	Old  []byte // nil on create
+	New  []byte // nil on remove
+	Time time.Time
+}
+
+// FS is an in-memory filesystem with flush notification. The zero value is
+// not usable; construct with New. FS is safe for concurrent use.
+// Subscribers run synchronously inside the mutating call, so by the time
+// WriteFile returns every logger has seen the flush — mirroring in-process
+// interception, which observes the write before it completes.
+type FS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+	subs  map[int]func(FlushEvent)
+	next  int
+}
+
+// New returns an empty filesystem.
+func New() *FS {
+	return &FS{files: make(map[string][]byte), subs: make(map[int]func(FlushEvent))}
+}
+
+// WriteFile stores data at path, stamped t, and notifies subscribers with
+// the previous and new content.
+func (fs *FS) WriteFile(path string, data []byte, t time.Time) error {
+	if path == "" {
+		return fmt.Errorf("vfs: empty path")
+	}
+	fs.mu.Lock()
+	old, existed := fs.files[path]
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	fs.files[path] = cp
+	subs := fs.snapshotSubs()
+	fs.mu.Unlock()
+
+	ev := FlushEvent{Path: path, New: cp, Time: t}
+	if existed {
+		ev.Old = old
+	}
+	for _, fn := range subs {
+		fn(ev)
+	}
+	return nil
+}
+
+// ReadFile returns a copy of the file content.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Exists reports whether path exists.
+func (fs *FS) Exists(path string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Remove deletes path, stamped t, and notifies subscribers with New == nil.
+func (fs *FS) Remove(path string, t time.Time) error {
+	fs.mu.Lock()
+	old, ok := fs.files[path]
+	if !ok {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	delete(fs.files, path)
+	subs := fs.snapshotSubs()
+	fs.mu.Unlock()
+
+	ev := FlushEvent{Path: path, Old: old, Time: t}
+	for _, fn := range subs {
+		fn(ev)
+	}
+	return nil
+}
+
+// List returns all paths, sorted.
+func (fs *FS) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	paths := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// Subscribe registers fn to receive every subsequent flush event. The
+// returned cancel function unregisters it.
+func (fs *FS) Subscribe(fn func(FlushEvent)) (cancel func()) {
+	fs.mu.Lock()
+	id := fs.next
+	fs.next++
+	fs.subs[id] = fn
+	fs.mu.Unlock()
+	return func() {
+		fs.mu.Lock()
+		delete(fs.subs, id)
+		fs.mu.Unlock()
+	}
+}
+
+// snapshotSubs must be called with fs.mu held.
+func (fs *FS) snapshotSubs() []func(FlushEvent) {
+	ids := make([]int, 0, len(fs.subs))
+	for id := range fs.subs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids) // deterministic delivery order
+	out := make([]func(FlushEvent), 0, len(ids))
+	for _, id := range ids {
+		out = append(out, fs.subs[id])
+	}
+	return out
+}
+
+// PollWatcher watches one real on-disk file by polling, synthesizing the
+// same FlushEvents the virtual filesystem delivers. It exists so the file
+// logger can also run against real application configuration files.
+type PollWatcher struct {
+	path     string
+	interval time.Duration
+	fn       func(FlushEvent)
+
+	mu   sync.Mutex
+	last []byte
+	has  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewPollWatcher creates a watcher for path that calls fn on every observed
+// content change, polling at the given interval.
+func NewPollWatcher(path string, interval time.Duration, fn func(FlushEvent)) *PollWatcher {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	return &PollWatcher{path: path, interval: interval, fn: fn, done: make(chan struct{})}
+}
+
+// Start begins polling. The initial content (if the file exists) is
+// recorded as the baseline without emitting an event.
+func (w *PollWatcher) Start() {
+	if data, err := os.ReadFile(w.path); err == nil {
+		w.mu.Lock()
+		w.last, w.has = data, true
+		w.mu.Unlock()
+	}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		ticker := time.NewTicker(w.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-w.done:
+				return
+			case <-ticker.C:
+				w.poll()
+			}
+		}
+	}()
+}
+
+// Stop halts polling and waits for the poll goroutine to exit.
+func (w *PollWatcher) Stop() {
+	close(w.done)
+	w.wg.Wait()
+}
+
+func (w *PollWatcher) poll() {
+	data, err := os.ReadFile(w.path)
+	now := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch {
+	case err != nil && w.has:
+		old := w.last
+		w.last, w.has = nil, false
+		w.fn(FlushEvent{Path: w.path, Old: old, Time: now})
+	case err == nil && !w.has:
+		w.last, w.has = data, true
+		w.fn(FlushEvent{Path: w.path, New: data, Time: now})
+	case err == nil && w.has && !bytesEqual(w.last, data):
+		old := w.last
+		w.last = data
+		w.fn(FlushEvent{Path: w.path, Old: old, New: data, Time: now})
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,272 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2013, 6, 1, 12, 0, 0, 0, time.UTC)
+
+func TestWriteReadFile(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/etc/app.conf", []byte("a=1\n"), t0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("/etc/app.conf")
+	if err != nil || string(data) != "a=1\n" {
+		t.Fatalf("ReadFile = %q,%v", data, err)
+	}
+	if !fs.Exists("/etc/app.conf") || fs.Exists("/nope") {
+		t.Error("Exists wrong")
+	}
+}
+
+func TestWriteFileCopiesData(t *testing.T) {
+	fs := New()
+	buf := []byte("original")
+	if err := fs.WriteFile("/f", buf, t0); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	data, _ := fs.ReadFile("/f")
+	if string(data) != "original" {
+		t.Error("FS must copy written data, not alias caller buffers")
+	}
+	data[0] = 'Y'
+	again, _ := fs.ReadFile("/f")
+	if string(again) != "original" {
+		t.Error("ReadFile must return a copy")
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	if _, err := New().ReadFile("/missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("err = %v, want ErrNotExist", err)
+	}
+	if err := New().Remove("/missing", t0); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Remove err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestEmptyPathRejected(t *testing.T) {
+	if err := New().WriteFile("", []byte("x"), t0); err == nil {
+		t.Error("empty path must be rejected")
+	}
+}
+
+func TestFlushEvents(t *testing.T) {
+	fs := New()
+	var events []FlushEvent
+	cancel := fs.Subscribe(func(ev FlushEvent) { events = append(events, ev) })
+	defer cancel()
+
+	if err := fs.WriteFile("/f", []byte("v1"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/f", []byte("v2"), t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/f", t0.Add(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	if events[0].Old != nil || string(events[0].New) != "v1" {
+		t.Errorf("create event = %+v", events[0])
+	}
+	if string(events[1].Old) != "v1" || string(events[1].New) != "v2" {
+		t.Errorf("update event = %+v", events[1])
+	}
+	if string(events[2].Old) != "v2" || events[2].New != nil {
+		t.Errorf("remove event = %+v", events[2])
+	}
+	if !events[1].Time.Equal(t0.Add(time.Second)) {
+		t.Errorf("event time = %v", events[1].Time)
+	}
+}
+
+func TestSubscribeCancel(t *testing.T) {
+	fs := New()
+	count := 0
+	cancel := fs.Subscribe(func(FlushEvent) { count++ })
+	if err := fs.WriteFile("/f", []byte("1"), t0); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := fs.WriteFile("/f", []byte("2"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("subscriber called %d times, want 1 (after cancel, none)", count)
+	}
+}
+
+func TestMultipleSubscribersDeterministicOrder(t *testing.T) {
+	fs := New()
+	var order []int
+	fs.Subscribe(func(FlushEvent) { order = append(order, 1) })
+	fs.Subscribe(func(FlushEvent) { order = append(order, 2) })
+	if err := fs.WriteFile("/f", []byte("x"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []int{1, 2}) {
+		t.Errorf("delivery order = %v, want [1 2]", order)
+	}
+}
+
+func TestList(t *testing.T) {
+	fs := New()
+	for _, p := range []string{"/z", "/a", "/m"} {
+		if err := fs.WriteFile(p, []byte("x"), t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fs.List(); !reflect.DeepEqual(got, []string{"/a", "/m", "/z"}) {
+		t.Errorf("List = %v", got)
+	}
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	fs := New()
+	var mu sync.Mutex
+	seen := 0
+	fs.Subscribe(func(FlushEvent) {
+		mu.Lock()
+		seen++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				path := string(rune('a' + g))
+				if err := fs.WriteFile(path, []byte{byte(i)}, t0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if seen != 8*50 {
+		t.Errorf("subscriber saw %d events, want %d", seen, 8*50)
+	}
+}
+
+func TestPollWatcher(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "app.conf")
+	if err := os.WriteFile(path, []byte("initial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events []FlushEvent
+	w := NewPollWatcher(path, 5*time.Millisecond, func(ev FlushEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	w.Start()
+	defer w.Stop()
+
+	// Baseline must not produce an event.
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	n := len(events)
+	mu.Unlock()
+	if n != 0 {
+		t.Fatalf("baseline produced %d events, want 0", n)
+	}
+
+	// Write atomically (tmp + rename) so the poller never observes a
+	// half-written file; real applications flush configs the same way.
+	if err := atomicWrite(path, []byte("changed")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n = len(events)
+		mu.Unlock()
+		if n >= 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) == 0 {
+		t.Fatal("change not observed")
+	}
+	if string(events[0].Old) != "initial" || string(events[0].New) != "changed" {
+		t.Errorf("event = %+v", events[0])
+	}
+}
+
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func TestPollWatcherCreateAndRemove(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "new.conf")
+	var mu sync.Mutex
+	var events []FlushEvent
+	w := NewPollWatcher(path, 5*time.Millisecond, func(ev FlushEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	w.Start()
+	defer w.Stop()
+
+	if err := atomicWrite(path, []byte("born")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, &mu, &events, 1)
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, &mu, &events, 2)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if events[0].Old != nil || string(events[0].New) != "born" {
+		t.Errorf("create event = %+v", events[0])
+	}
+	if string(events[1].Old) != "born" || events[1].New != nil {
+		t.Errorf("remove event = %+v", events[1])
+	}
+}
+
+func waitFor(t *testing.T, mu *sync.Mutex, events *[]FlushEvent, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		cur := len(*events)
+		mu.Unlock()
+		if cur >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d events (have %d)", n, cur)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

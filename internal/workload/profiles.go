@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"ocasta/internal/apps"
+	"ocasta/internal/trace"
+)
+
+// Profiles returns the nine deployment machines of Table I, with
+// application rosters chosen so every error of Table III lives on the
+// trace the paper reports it on, and volumes tuned toward the paper's
+// read/write/key counts.
+func Profiles() []MachineProfile {
+	return []MachineProfile{
+		{
+			Name: "Windows 7", User: "w7", Days: 42, Seed: 701,
+			Apps: []AppUsage{
+				{Model: apps.Outlook(), SessionsPerDay: 3, ScansPerSession: 11, NoiseWritesPerDay: 320},
+				{Model: apps.Word(), SessionsPerDay: 3, ScansPerSession: 11, NoiseWritesPerDay: 300},
+				{Model: apps.InternetExplorer(), SessionsPerDay: 3, ScansPerSession: 11, NoiseWritesPerDay: 260},
+				{Model: apps.Explorer(), SessionsPerDay: 3, ScansPerSession: 11, NoiseWritesPerDay: 420},
+			},
+			Fill: Filler{Keys: 3955, WritesPerDay: 300, ScansPerDay: 33, PathPrefix: `HKCU\Software\System7`},
+		},
+		{
+			Name: "Windows Vista", User: "vista", Days: 53, Seed: 702,
+			Apps: []AppUsage{
+				{Model: apps.Explorer(), SessionsPerDay: 2, ScansPerSession: 2, NoiseWritesPerDay: 140},
+				{Model: apps.InternetExplorer(), SessionsPerDay: 2, ScansPerSession: 2, NoiseWritesPerDay: 90},
+				{Model: apps.MediaPlayer(), SessionsPerDay: 1, ScansPerSession: 2, NoiseWritesPerDay: 80},
+			},
+			Fill: Filler{Keys: 14177, WritesPerDay: 75, ScansPerDay: 4, PathPrefix: `HKCU\Software\SystemV`},
+		},
+		{
+			Name: "Windows Vista-2", User: "vista2", Days: 18, Seed: 703,
+			Apps: []AppUsage{
+				{Model: apps.Word(), SessionsPerDay: 4, ScansPerSession: 40, NoiseWritesPerDay: 6200},
+				{Model: apps.Explorer(), SessionsPerDay: 4, ScansPerSession: 40, NoiseWritesPerDay: 6000},
+			},
+			Fill: Filler{Keys: 682, WritesPerDay: 280, ScansPerDay: 630, PathPrefix: `HKCU\Software\SystemV2`},
+		},
+		{
+			Name: "Windows XP", User: "xp", Days: 25, Seed: 704,
+			Apps: []AppUsage{
+				{Model: apps.MediaPlayer(), SessionsPerDay: 4, ScansPerSession: 15, NoiseWritesPerDay: 4200},
+				{Model: apps.Paint(), SessionsPerDay: 2, ScansPerSession: 15, NoiseWritesPerDay: 3900},
+				{Model: apps.Explorer(), SessionsPerDay: 4, ScansPerSession: 15, NoiseWritesPerDay: 4200},
+			},
+			Fill: Filler{Keys: 14138, WritesPerDay: 180, ScansPerDay: 63, PathPrefix: `HKCU\Software\SystemXP`},
+		},
+		{
+			Name: "Windows XP-2", User: "xp2", Days: 32, Seed: 705,
+			Apps: []AppUsage{
+				{Model: apps.Outlook(), SessionsPerDay: 3, ScansPerSession: 14, NoiseWritesPerDay: 2900},
+				{Model: apps.Word(), SessionsPerDay: 3, ScansPerSession: 14, NoiseWritesPerDay: 2700},
+				{Model: apps.Explorer(), SessionsPerDay: 3, ScansPerSession: 14, NoiseWritesPerDay: 2700},
+			},
+			Fill: Filler{Keys: 18878, WritesPerDay: 100, ScansPerDay: 43, PathPrefix: `HKCU\Software\SystemXP2`},
+		},
+		{
+			Name: "Linux-1", User: "linux1", Days: 25, Seed: 706,
+			Apps: []AppUsage{
+				{Model: apps.Evolution(), SessionsPerDay: 2, ScansPerSession: 1, NoiseWritesPerDay: 70},
+				{Model: apps.EyeOfGNOME(), SessionsPerDay: 1, ScansPerSession: 1, NoiseWritesPerDay: 20},
+				{Model: apps.GEdit(), SessionsPerDay: 1, ScansPerSession: 1, NoiseWritesPerDay: 40},
+			},
+			Fill: Filler{Keys: 1462, WritesPerDay: 2, ScansPerDay: 2, PathPrefix: "/system/linux1", Store: trace.StoreGConf},
+		},
+		{
+			Name: "Linux-2", User: "linux2", Days: 84, Seed: 707,
+			Apps: []AppUsage{
+				{Model: apps.Chrome(), SessionsPerDay: 1, ScansPerSession: 3, NoiseWritesPerDay: 5},
+			},
+		},
+		{
+			Name: "Linux-3", User: "linux3", Days: 46, Seed: 708,
+			Apps: []AppUsage{
+				{Model: apps.Acrobat(), SessionsPerDay: 1, ScansPerSession: 1, NoiseWritesPerDay: 7},
+			},
+		},
+		{
+			Name: "Linux-4", User: "linux4", Days: 64, Seed: 709,
+			Apps: []AppUsage{
+				{Model: apps.Acrobat(), SessionsPerDay: 2, ScansPerSession: 5, NoiseWritesPerDay: 80},
+			},
+		},
+	}
+}
+
+// ProfileByName returns the Table I machine with the given name.
+func ProfileByName(name string) (MachineProfile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return MachineProfile{}, false
+}
+
+// StudyUsage returns a focused single-application deployment used for the
+// Table II clustering study: long enough for every group to receive its
+// full episode schedule, with normal noise volume.
+func StudyUsage(m *apps.Model, seed int64) MachineProfile {
+	return MachineProfile{
+		Name: "study-" + m.Name,
+		User: "study",
+		Days: 30,
+		Seed: seed,
+		Apps: []AppUsage{
+			{Model: m, SessionsPerDay: 3, ScansPerSession: 2, NoiseWritesPerDay: 120},
+		},
+	}
+}

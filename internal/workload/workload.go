@@ -1,0 +1,342 @@
+// Package workload synthesizes the application-usage traces the paper
+// collected from 29 real desktops (Table I). The generator reproduces the
+// statistical structure the clustering pipeline depends on — related
+// settings co-written within a second, co-flush bundles, dominant keys
+// joining only some episodes, split-second flushes, high-frequency noise
+// state, and read-mostly key populations — while remaining fully
+// deterministic for a given seed.
+//
+// The paper's raw traces are private human-subject data; this generator is
+// the documented substitution (see DESIGN.md). Real traces can be replayed
+// through the identical trace.Trace interfaces.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"ocasta/internal/apps"
+	"ocasta/internal/trace"
+	"ocasta/internal/ttkv"
+)
+
+// DefaultStart is the first day of every generated trace.
+var DefaultStart = time.Date(2013, 9, 1, 0, 0, 0, 0, time.UTC)
+
+// AppUsage describes how intensively one application is used on a machine.
+type AppUsage struct {
+	Model *apps.Model
+	// SessionsPerDay is how many times the application is launched daily.
+	SessionsPerDay int
+	// ScansPerSession is how many times a session re-reads the whole
+	// configuration (drives Table I read volume).
+	ScansPerSession int
+	// NoiseWritesPerDay is the total daily writes across the model's
+	// noise keys (drives Table I write volume).
+	NoiseWritesPerDay int
+}
+
+// Filler models the rest of the machine: settings of applications outside
+// the 11 studied ones, which contribute key and read/write volume but are
+// not clustered.
+type Filler struct {
+	Keys         int
+	WritesPerDay int
+	ScansPerDay  int
+	// PathPrefix roots the filler keys (registry- or gconf-style).
+	PathPrefix string
+	Store      trace.StoreKind
+}
+
+// MachineProfile describes one deployment machine (a Table I row).
+type MachineProfile struct {
+	Name  string
+	User  string
+	Days  int
+	Seed  int64
+	Start time.Time // zero means DefaultStart
+	Apps  []AppUsage
+	Fill  Filler
+}
+
+// Result is a generated deployment: the write/delete event trace (reads
+// are counted in the store, not materialized as events) and the populated
+// TTKV.
+type Result struct {
+	Trace *trace.Trace
+	Store *ttkv.Store
+	// AccessedKeys is the number of distinct keys read or written,
+	// Table I's "# Keys" column.
+	AccessedKeys int
+}
+
+type session struct{ start, end time.Time }
+
+// Generate synthesizes one machine's deployment.
+func Generate(p MachineProfile) *Result {
+	start := p.Start
+	if start.IsZero() {
+		start = DefaultStart
+	}
+	res := &Result{
+		Trace: &trace.Trace{Name: p.Name},
+		Store: ttkv.New(),
+	}
+	accessed := make(map[string]struct{})
+	for i, usage := range p.Apps {
+		g := &appGen{
+			rng:     rand.New(rand.NewSource(p.Seed*1000003 + int64(i))),
+			usage:   usage,
+			days:    p.Days,
+			start:   start,
+			used:    make(map[int64]struct{}),
+			anchors: make(map[int64]struct{}),
+			res:     res,
+			user:    p.User,
+		}
+		g.run(accessed)
+	}
+	if p.Fill.Keys > 0 {
+		genFiller(p, start, res, accessed)
+	}
+	res.Trace.SortByTime()
+	res.AccessedKeys = len(accessed)
+	return res
+}
+
+// appGen generates one application's activity on one machine.
+type appGen struct {
+	rng   *rand.Rand
+	usage AppUsage
+	days  int
+	start time.Time
+	used  map[int64]struct{} // reserved episode seconds for this app
+	// anchors are episode start seconds. Noise may share an episode's
+	// second (a realistic same-second collision, harmless to the
+	// correlation of the group's members) but must not land one second
+	// before an anchor, where it would hijack the sliding window's anchor
+	// and cut a split flush in half.
+	anchors map[int64]struct{}
+	res     *Result
+	user    string
+}
+
+func (g *appGen) run(accessed map[string]struct{}) {
+	m := g.usage.Model
+	sessions := g.makeSessions()
+
+	// Group episodes: bundles share the leader's schedule.
+	byBundle := make(map[int][]*apps.GroupSpec)
+	var independent []*apps.GroupSpec
+	for i := range m.Groups {
+		gr := &m.Groups[i]
+		if gr.Bundle != 0 {
+			byBundle[gr.Bundle] = append(byBundle[gr.Bundle], gr)
+		} else {
+			independent = append(independent, gr)
+		}
+	}
+	for _, gr := range independent {
+		times := g.episodeTimes(sessions, gr.Episodes, gr.EarlyOnly)
+		g.writeGroupEpisodes([]*apps.GroupSpec{gr}, times)
+	}
+	bundleIDs := make([]int, 0, len(byBundle))
+	for id := range byBundle {
+		bundleIDs = append(bundleIDs, id)
+	}
+	sort.Ints(bundleIDs)
+	for _, id := range bundleIDs {
+		groups := byBundle[id]
+		times := g.episodeTimes(sessions, groups[0].Episodes, groups[0].EarlyOnly)
+		g.writeGroupEpisodes(groups, times)
+	}
+
+	// Independent settings.
+	for i := range m.Singletons {
+		s := &m.Singletons[i]
+		times := g.episodeTimes(sessions, s.Episodes, s.EarlyOnly)
+		for e, t := range times {
+			g.write(s.Key, s.Value(e), t)
+		}
+	}
+
+	// Noise state: frequent writes at unreserved times (collisions with
+	// configuration episodes are realistic and harmless at the default
+	// threshold).
+	if len(m.Noise) > 0 && g.usage.NoiseWritesPerDay > 0 {
+		total := g.usage.NoiseWritesPerDay * g.days
+		for w := 0; w < total; w++ {
+			ks := m.Noise[g.rng.Intn(len(m.Noise))]
+			t := g.randomSessionTime(sessions)
+			for tries := 0; tries < 8; tries++ {
+				if _, bad := g.anchors[t.Unix()+1]; !bad {
+					break
+				}
+				t = g.randomSessionTime(sessions)
+			}
+			g.write(ks.Key, ks.Value(w), t)
+		}
+	}
+
+	// Reads: every session scans the whole configuration universe.
+	allKeys := append(m.AllWritableKeys(), m.ReadOnly...)
+	scans := len(sessions) * g.usage.ScansPerSession
+	if scans > 0 {
+		for _, key := range allKeys {
+			g.res.Store.CountReads(key, scans)
+		}
+	}
+	for _, key := range allKeys {
+		accessed[key] = struct{}{}
+	}
+}
+
+func (g *appGen) makeSessions() []session {
+	per := g.usage.SessionsPerDay
+	if per <= 0 {
+		per = 1
+	}
+	sessions := make([]session, 0, g.days*per)
+	for d := 0; d < g.days; d++ {
+		day := g.start.Add(time.Duration(d) * 24 * time.Hour)
+		for s := 0; s < per; s++ {
+			startMin := 8*60 + g.rng.Intn(12*60) // 08:00 .. 20:00
+			dur := 20 + g.rng.Intn(100)          // 20..120 minutes
+			st := day.Add(time.Duration(startMin) * time.Minute)
+			sessions = append(sessions, session{start: st, end: st.Add(time.Duration(dur) * time.Minute)})
+		}
+	}
+	return sessions
+}
+
+// episodeTimes reserves count distinct seconds (plus their successors, so
+// split flushes stay private) across random sessions and returns them in
+// chronological order. With early, episodes are drawn only from the first
+// 40% of the trace.
+func (g *appGen) episodeTimes(sessions []session, count int, early bool) []time.Time {
+	pool := sessions
+	if early {
+		n := len(sessions) * 2 / 5
+		if n < 1 {
+			n = 1
+		}
+		pool = sessions[:n]
+	}
+	out := make([]time.Time, 0, count)
+	for len(out) < count {
+		t := g.randomSessionTime(pool)
+		sec := t.Unix()
+		if _, taken := g.used[sec]; taken {
+			continue
+		}
+		if _, taken := g.used[sec+1]; taken {
+			continue
+		}
+		if _, taken := g.used[sec-1]; taken {
+			continue // the predecessor may split into our second
+		}
+		g.used[sec] = struct{}{}
+		g.used[sec+1] = struct{}{}
+		g.anchors[sec] = struct{}{}
+		out = append(out, time.Unix(sec, 0).UTC())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+func (g *appGen) randomSessionTime(sessions []session) time.Time {
+	s := sessions[g.rng.Intn(len(sessions))]
+	span := int64(s.end.Sub(s.start) / time.Second)
+	if span <= 0 {
+		span = 1
+	}
+	return s.start.Add(time.Duration(g.rng.Int63n(span)) * time.Second).Truncate(time.Second)
+}
+
+// writeGroupEpisodes writes every group's keys at each episode time; all
+// groups passed in share the timestamps (co-flush bundles).
+func (g *appGen) writeGroupEpisodes(groups []*apps.GroupSpec, times []time.Time) {
+	for e, t := range times {
+		for _, gr := range groups {
+			rare := gr.RareCount
+			if rare == 0 && gr.DominantEvery > 0 {
+				rare = 1
+			}
+			split := gr.SplitFlush && e%2 == 1
+			for ki := range gr.Keys {
+				if gr.DominantEvery > 0 && ki < rare && e%gr.DominantEvery != 0 {
+					continue // dominant keys join only every n-th episode
+				}
+				wt := t
+				if split && ki >= len(gr.Keys)/2 {
+					wt = t.Add(time.Second) // staggered flush
+				}
+				g.write(gr.Keys[ki].Key, gr.Keys[ki].Value(e), wt)
+			}
+		}
+	}
+}
+
+func (g *appGen) write(key, value string, t time.Time) {
+	m := g.usage.Model
+	g.res.Trace.Events = append(g.res.Trace.Events, trace.Event{
+		Time: t, Op: trace.OpWrite, Store: m.Store, App: m.Name, User: g.user, Key: key, Value: value,
+	})
+	// The store keeps the full history; errors are impossible here by
+	// construction (non-empty keys, non-zero times).
+	if err := g.res.Store.Set(key, value, t); err != nil {
+		panic(fmt.Sprintf("workload: store set: %v", err))
+	}
+}
+
+// genFiller populates the machine's remaining key universe.
+func genFiller(p MachineProfile, start time.Time, res *Result, accessed map[string]struct{}) {
+	rng := rand.New(rand.NewSource(p.Seed*7919 + 17))
+	prefix := p.Fill.PathPrefix
+	if prefix == "" {
+		prefix = `HKCU\Software\System`
+	}
+	store := p.Fill.Store
+	if !store.Valid() {
+		store = trace.StoreRegistry
+	}
+	sp := "/"
+	if store == trace.StoreRegistry {
+		sp = `\`
+	}
+	keys := make([]string, p.Fill.Keys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%s%sk%05d", prefix, sp, i)
+		accessed[keys[i]] = struct{}{}
+	}
+	// Writes: each at a unique second so filler keys never pair up.
+	used := make(map[int64]struct{})
+	total := p.Fill.WritesPerDay * p.Days
+	span := int64(p.Days) * 24 * 3600
+	for w := 0; w < total; w++ {
+		var sec int64
+		for {
+			sec = start.Unix() + rng.Int63n(span)
+			if _, taken := used[sec]; !taken {
+				used[sec] = struct{}{}
+				break
+			}
+		}
+		t := time.Unix(sec, 0).UTC()
+		key := keys[rng.Intn(len(keys))]
+		value := fmt.Sprintf("v%d", w)
+		res.Trace.Events = append(res.Trace.Events, trace.Event{
+			Time: t, Op: trace.OpWrite, Store: store, App: "system", User: p.User, Key: key, Value: value,
+		})
+		if err := res.Store.Set(key, value, t); err != nil {
+			panic(fmt.Sprintf("workload: filler set: %v", err))
+		}
+	}
+	// Reads: scans of the filler population.
+	scans := p.Fill.ScansPerDay * p.Days
+	for _, key := range keys {
+		res.Store.CountReads(key, scans)
+	}
+}

@@ -1,0 +1,72 @@
+package ocasta
+
+import (
+	"ocasta/internal/apps"
+	"ocasta/internal/faults"
+	"ocasta/internal/repair"
+	"ocasta/internal/workload"
+)
+
+// Re-exported repair types.
+type (
+	// RepairTool searches a TTKV's history for configuration fixes.
+	RepairTool = repair.Tool
+	// RepairOptions configures one search.
+	RepairOptions = repair.Options
+	// RepairResult reports a search.
+	RepairResult = repair.Result
+	// Screenshot is one deduplicated trial screen.
+	Screenshot = repair.Screenshot
+	// Strategy selects DFS or BFS search order.
+	Strategy = repair.Strategy
+	// UserOracle is the user's screenshot check.
+	UserOracle = repair.UserOracle
+)
+
+// Search strategies.
+const (
+	StrategyDFS = repair.StrategyDFS
+	StrategyBFS = repair.StrategyBFS
+)
+
+// Re-exported application-model types (the simulated substrate).
+type (
+	// AppModel is a simulated desktop application.
+	AppModel = apps.Model
+	// AppConfig is an application's configuration state.
+	AppConfig = apps.Config
+	// Fault is one of the paper's 16 configuration errors.
+	Fault = faults.Fault
+	// MachineProfile describes one Table I deployment machine.
+	MachineProfile = workload.MachineProfile
+	// Deployment is a generated machine: trace plus populated TTKV.
+	Deployment = workload.Result
+)
+
+// NewRepairTool builds a repair tool over a recorded store for one
+// application.
+func NewRepairTool(store *Store, model *AppModel) *RepairTool {
+	return repair.NewTool(store, model)
+}
+
+// MarkerOracle builds a screenshot oracle from fixed/broken markers.
+func MarkerOracle(fixed, broken string) UserOracle { return repair.MarkerOracle(fixed, broken) }
+
+// AppModels returns the 11 simulated applications of Table II.
+func AppModels() []*AppModel { return apps.Models() }
+
+// AppModelByName returns a model by canonical name ("msword", "acrobat",
+// ...), or nil.
+func AppModelByName(name string) *AppModel { return apps.ModelByName(name) }
+
+// FaultCatalog returns the 16 configuration errors of Table III.
+func FaultCatalog() []Fault { return faults.Catalog() }
+
+// FaultByID returns one Table III error (1-16).
+func FaultByID(id int) (Fault, error) { return faults.ByID(id) }
+
+// MachineProfiles returns the nine Table I deployment machines.
+func MachineProfiles() []MachineProfile { return workload.Profiles() }
+
+// GenerateDeployment synthesizes a machine's usage trace and TTKV.
+func GenerateDeployment(p MachineProfile) *Deployment { return workload.Generate(p) }

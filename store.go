@@ -1,0 +1,96 @@
+package ocasta
+
+import (
+	"io"
+	"net"
+
+	"ocasta/internal/logger"
+	"ocasta/internal/trace"
+	"ocasta/internal/ttkv"
+	"ocasta/internal/ttkvwire"
+)
+
+// Re-exported TTKV types.
+type (
+	// Store is the time-travel key-value store.
+	Store = ttkv.Store
+	// Version is one entry in a key's value history.
+	Version = ttkv.Version
+	// StoreStats summarizes a store (Table I's volume columns).
+	StoreStats = ttkv.Stats
+	// AOF is the store's append-only persistence file.
+	AOF = ttkv.AOF
+	// Server exposes a store over TCP.
+	Server = ttkvwire.Server
+	// Client talks to a remote store.
+	Client = ttkvwire.Client
+)
+
+// NewStore returns an empty TTKV.
+func NewStore() *Store { return ttkv.New() }
+
+// LoadStore replays an append-only file into a fresh store, tolerating a
+// truncated tail.
+func LoadStore(path string) (*Store, error) { return ttkv.LoadAOF(path) }
+
+// CreateAOF creates an append-only file; attach it with Store.AttachAOF.
+func CreateAOF(path string) (*AOF, error) { return ttkv.CreateAOF(path) }
+
+// NewServer wraps a store in a TTKV network server.
+func NewServer(store *Store) *Server { return ttkvwire.NewServer(store) }
+
+// Dial connects to a TTKV server.
+func Dial(addr string) (*Client, error) { return ttkvwire.Dial(addr) }
+
+// Serve exposes store on ln until the returned server is closed.
+func Serve(store *Store, ln net.Listener) (*Server, <-chan error) {
+	srv := ttkvwire.NewServer(store)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	return srv, errc
+}
+
+// Re-exported logging types.
+type (
+	// Logger multiplexes store hooks into a TTKV sink and an optional
+	// trace recording.
+	Logger = logger.Logger
+	// LoggerOption configures a Logger.
+	LoggerOption = logger.Option
+	// FileSpec describes one watched configuration file.
+	FileSpec = logger.FileSpec
+	// FileLogger infers per-key events from whole-file flushes.
+	FileLogger = logger.FileLogger
+	// Sink receives abstracted key-value events.
+	Sink = logger.Sink
+)
+
+// NewLogger returns a logger writing to sink (a *Store satisfies Sink; use
+// NewRemoteSink for a network store).
+func NewLogger(sink Sink, opts ...LoggerOption) *Logger { return logger.New(sink, opts...) }
+
+// WithUser tags recorded events with a user name.
+func WithUser(user string) LoggerOption { return logger.WithUser(user) }
+
+// WithTraceRecording accumulates an in-memory trace alongside sink writes.
+func WithTraceRecording(name string) LoggerOption { return logger.WithTraceRecording(name) }
+
+// NewRemoteSink adapts a network client into a logger sink.
+func NewRemoteSink(c *Client) Sink { return logger.NewRemoteSink(c) }
+
+// Trace codecs.
+
+// WriteTraceBinary writes a trace in the compact binary format.
+func WriteTraceBinary(w io.Writer, tr *Trace) error { return trace.WriteBinary(w, tr) }
+
+// ReadTraceBinary reads a binary trace.
+func ReadTraceBinary(r io.Reader) (*Trace, error) { return trace.ReadBinary(r) }
+
+// WriteTraceJSONL writes a trace as JSON lines.
+func WriteTraceJSONL(w io.Writer, tr *Trace) error { return trace.WriteJSONL(w, tr) }
+
+// ReadTraceJSONL reads a JSON-lines trace.
+func ReadTraceJSONL(r io.Reader) (*Trace, error) { return trace.ReadJSONL(r) }
+
+// SummarizeTrace computes Table I-style statistics.
+func SummarizeTrace(tr *Trace) trace.Stats { return trace.Summarize(tr) }
