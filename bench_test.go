@@ -1,11 +1,12 @@
 package ocasta
 
 // One benchmark per table and figure of the paper's evaluation, plus
-// ablation benches for the design choices called out in DESIGN.md. The
+// ablation benches for the design choices documented in README.md. The
 // figure benches use reduced axes so `go test -bench=.` completes in
 // minutes; `cmd/repro` regenerates every experiment at full scale.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -136,7 +137,7 @@ func BenchmarkFig4UserStudy(b *testing.B) {
 	}
 }
 
-// --- ablation benches (design choices from DESIGN.md §6) ---
+// --- ablation benches (design choices documented in README.md) ---
 
 // benchLinkage clusters the largest application (Acrobat, 751 keys) under
 // one linkage criterion.
@@ -257,5 +258,58 @@ func warm(b *testing.B, ids ...int) {
 		if _, err := repro.NewScenario(id, repro.DefaultInjectionDays, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- scale benches (nearest-neighbour-chain clusterer) ---
+
+// syntheticScaleEvents builds a write stream over k keys whose
+// co-modification graph is one sparse component (ring plus chords) — a key
+// universe far beyond the paper's largest application (Acrobat, 751 keys).
+// Each episode gets its own window.
+func syntheticScaleEvents(k int) []Event {
+	base := time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC)
+	key := func(i int) string { return fmt.Sprintf("key%05d", i%k) }
+	var events []Event
+	episode := 0
+	emit := func(keys ...string) {
+		ts := base.Add(time.Duration(episode) * 10 * time.Second)
+		episode++
+		for _, kk := range keys {
+			events = append(events, Event{
+				Time: ts, Op: OpWrite, Store: StoreRegistry,
+				App: "scale", Key: kk, Value: "v",
+			})
+		}
+	}
+	for i := 0; i < k; i++ {
+		emit(key(i), key(i+1))
+		if i%3 == 0 {
+			emit(key(i), key(i+1), key(i+2))
+		}
+		if i%5 == 0 {
+			emit(key(i), key(i+7))
+		}
+	}
+	return events
+}
+
+// BenchmarkClusterScale measures the public clustering pipeline
+// (windowing + pair statistics + nearest-neighbour-chain HAC with parallel
+// component clustering) on synthetic sparse key universes; see
+// internal/core's BenchmarkClusterLargeComponent for the comparison
+// against the naive O(k³) reference.
+func BenchmarkClusterScale(b *testing.B) {
+	for _, k := range []int{500, 2000, 5000} {
+		events := syntheticScaleEvents(k)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				clusters := ClusterEvents(events, Config{Threshold: 1})
+				if len(clusters) == 0 {
+					b.Fatal("no clusters")
+				}
+			}
+		})
 	}
 }

@@ -1,8 +1,8 @@
 // Command ocasta is the front-end for clustering and repair:
 //
-//	ocasta cluster -trace win7.jsonl -app msword [-window 1s] [-threshold 2]
+//	ocasta cluster -trace win7.jsonl -app msword [-window 1s] [-threshold 2] [-linkage complete] [-parallelism 0]
 //	ocasta stats   -trace win7.jsonl
-//	ocasta repair  -fault 9 [-strategy dfs] [-noclust]
+//	ocasta repair  -fault 9 [-strategy dfs] [-noclust] [-parallelism 0]
 //
 // "repair" runs one of the paper's 16 error scenarios end to end on a
 // freshly generated deployment, printing the search progress and the
@@ -43,9 +43,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: ocasta <cluster|stats|repair> [flags]
-  cluster -trace FILE -app NAME [-window D] [-threshold C]
+  cluster -trace FILE -app NAME [-window D] [-threshold C] [-linkage L] [-parallelism N]
   stats   -trace FILE
-  repair  -fault N [-strategy dfs|bfs] [-noclust] [-days N]`)
+  repair  -fault N [-strategy dfs|bfs] [-noclust] [-days N] [-parallelism N]`)
 }
 
 func loadTrace(path string) (*trace.Trace, error) {
@@ -73,9 +73,22 @@ func runCluster(args []string) int {
 	app := fs.String("app", "", "application name to cluster")
 	window := fs.Duration("window", time.Second, "co-modification window")
 	threshold := fs.Float64("threshold", 2, "correlation threshold (0,2]")
+	linkage := fs.String("linkage", "complete", "HAC linkage: complete, single, or average")
+	parallelism := fs.Int("parallelism", 0, "concurrent component clustering bound (0 = all CPUs)")
 	fs.Parse(args)
 	if *path == "" || *app == "" {
 		fmt.Fprintln(os.Stderr, "ocasta cluster: -trace and -app are required")
+		return 2
+	}
+	link := core.LinkageComplete
+	switch *linkage {
+	case "complete":
+	case "single":
+		link = core.LinkageSingle
+	case "average":
+		link = core.LinkageAverage
+	default:
+		fmt.Fprintf(os.Stderr, "ocasta cluster: unknown -linkage %q\n", *linkage)
 		return 2
 	}
 	tr, err := loadTrace(*path)
@@ -85,7 +98,8 @@ func runCluster(args []string) int {
 	}
 	w := trace.NewWindower(*window, trace.GroupAnchored)
 	ps := core.NewPairStats(w.GroupTrace(tr.ByApp(*app)))
-	clusters := core.NewClusterer(core.LinkageComplete).
+	clusters := core.NewClusterer(link).
+		WithParallelism(*parallelism).
 		Cluster(ps, core.ThresholdFromCorrelation(*threshold))
 	core.SortForRecovery(clusters)
 	multi := 0
@@ -134,7 +148,9 @@ func runRepair(args []string) int {
 	strategy := fs.String("strategy", "dfs", "search strategy: dfs or bfs")
 	noclust := fs.Bool("noclust", false, "roll back one setting at a time (baseline)")
 	days := fs.Int("days", repro.DefaultInjectionDays, "days before trace end to inject the error")
+	parallelism := fs.Int("parallelism", 0, "concurrent component clustering bound (0 = all CPUs)")
 	fs.Parse(args)
+	repro.SetParallelism(*parallelism)
 	if *faultID < 1 || *faultID > 16 {
 		fmt.Fprintln(os.Stderr, "ocasta repair: -fault must be 1..16")
 		return 2

@@ -21,7 +21,9 @@ func main() {
 	fig := flag.String("fig", "", "figure to print: 2a, 2b, 2c, 3a, 3b, or 4 (default all)")
 	quick := flag.Bool("quick", false, "use reduced sweeps for the figures")
 	seed := flag.Int64("seed", 1, "user-study seed")
+	parallelism := flag.Int("parallelism", 0, "concurrent component clustering bound (0 = all CPUs)")
 	flag.Parse()
+	repro.SetParallelism(*parallelism)
 
 	all := *table == "" && *fig == ""
 	fail := func(err error) {

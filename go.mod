@@ -1,0 +1,3 @@
+module ocasta
+
+go 1.24

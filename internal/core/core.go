@@ -104,9 +104,19 @@ func NewPairStats(groups []trace.Group) *PairStats {
 		groups:  len(groups),
 	}
 	for _, g := range groups {
-		ids := make([]int, len(g.Keys))
-		for i, k := range g.Keys {
-			ids[i] = index[k]
+		// Dedupe within the group: callers may hand NewPairStats arbitrary
+		// groups, and a repeated key would otherwise double-count its
+		// episode and insert a self-pair into the co-modification counts,
+		// silently inflating correlations.
+		ids := make([]int, 0, len(g.Keys))
+		seen := make(map[int]struct{}, len(g.Keys))
+		for _, k := range g.Keys {
+			id := index[k]
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			ids = append(ids, id)
 		}
 		end := g.End.UnixNano()
 		for i, a := range ids {
@@ -189,10 +199,10 @@ func (ps *PairStats) adjacency() [][]int {
 	return adj
 }
 
-// components returns the connected components of the co-modification graph,
-// each sorted, in deterministic (smallest-member) order.
-func (ps *PairStats) components() [][]int {
-	adj := ps.adjacency()
+// components returns the connected components of the co-modification graph
+// described by adj (as built by adjacency), each sorted, in deterministic
+// (smallest-member) order.
+func (ps *PairStats) components(adj [][]int) [][]int {
 	seen := make([]bool, len(ps.keys))
 	var comps [][]int
 	for start := range ps.keys {

@@ -378,3 +378,37 @@ func TestThresholdMonotonicityProperty(t *testing.T) {
 func lists2groups(lists [][]string) []trace.Group {
 	return groupsOf(lists...)
 }
+
+// Regression: a duplicate key inside one co-modification group must not
+// double-count its episode, insert a self-pair, or inflate correlations.
+func TestPairStatsDuplicateKeysInGroup(t *testing.T) {
+	ps := NewPairStats(groupsOf(
+		[]string{"a", "b", "a"},
+		[]string{"b", "a", "b", "a"},
+		[]string{"a", "b"},
+	))
+	if got := ps.Episodes("a"); got != 3 {
+		t.Errorf("Episodes(a) = %d, want 3", got)
+	}
+	if got := ps.Episodes("b"); got != 3 {
+		t.Errorf("Episodes(b) = %d, want 3", got)
+	}
+	if got := ps.CoEpisodes("a", "b"); got != 3 {
+		t.Errorf("CoEpisodes(a,b) = %d, want 3", got)
+	}
+	for pk := range ps.co {
+		if pk.lo == pk.hi {
+			t.Errorf("self-pair %v in co-modification counts", pk)
+		}
+	}
+	// a and b are always modified together: the correlation must be the
+	// clean maximum of 2, and the pair must cluster at the default
+	// threshold.
+	if corr := ps.KeyCorrelation("a", "b"); math.Abs(corr-2) > 1e-12 {
+		t.Errorf("KeyCorrelation(a,b) = %v, want 2", corr)
+	}
+	clusters := NewClusterer(LinkageComplete).Cluster(ps, DefaultThreshold)
+	if len(clusters) != 1 || clusters[0].Size() != 2 {
+		t.Fatalf("got %+v, want one {a,b} cluster", clusters)
+	}
+}

@@ -3,7 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -37,9 +40,56 @@ func (l Linkage) String() string {
 	}
 }
 
+// avgScale is the fixed-point scale for average-linkage bookkeeping.
+// Complete and single linkage only ever take the max or min of original
+// leaf-pair distances, so their merge heights are bit-exact regardless of
+// merge order. Average linkage does real arithmetic, and an incrementally
+// maintained mean is float-associativity-sensitive: two algorithms merging
+// the same tree in different temporal order (the naive global scan vs the
+// nearest-neighbour chain) drift apart by an ulp and turn exact rational
+// ties into spurious strict inequalities. So for average linkage the
+// stores keep the SUM of member-pair distances, quantised to integers at
+// avgScale resolution. Integer-valued float64 addition below 2^53 is exact
+// and therefore order-independent, and the derived mean
+// sum/(avgScale*|A|*|B|) is a correctly-rounded pure function of exact
+// integers — bit-identical however the algorithm ordered its merges.
+// Exactness holds while pairs*maxDist*avgScale < 2^53, i.e. component
+// sizes into the tens of thousands of keys for realistic co-modification
+// distances.
+const avgScale = 1 << 20
+
+// combine folds two stored values (distances, or scaled distance sums for
+// average linkage) of cluster pairs (I,K) and (J,K) into the stored value
+// for (I∪J, K). +Inf (never co-modified) propagates through max and sum,
+// so complete and average linkage keep infinite entries infinite; min
+// keeps the finite side for single linkage.
+func (l Linkage) combine(vi, vj float64) float64 {
+	switch l {
+	case LinkageSingle:
+		return math.Min(vi, vj)
+	case LinkageAverage:
+		return vi + vj
+	default: // complete
+		return math.Max(vi, vj)
+	}
+}
+
+// storedValue converts a leaf-pair distance into the store representation
+// for the linkage.
+func (l Linkage) storedValue(d float64) float64 {
+	if l == LinkageAverage && !math.IsInf(d, 1) {
+		return math.Round(d * avgScale)
+	}
+	return d
+}
+
 // Merge records one agglomeration step of the dendrogram. Node identifiers
-// follow the scipy convention: leaves are 0..n-1; the i-th merge creates
-// node n+i.
+// follow the scipy convention: leaves are 0..n-1; internal nodes are
+// numbered from n upward. Each connected component of the co-modification
+// graph is assigned a contiguous node-id range up front (k-1 ids for a
+// component of k leaves), so identifiers are stable regardless of how many
+// workers cluster components concurrently; a component whose merging stops
+// early (at infinite distance) simply leaves the tail of its range unused.
 type Merge struct {
 	A, B   int     // the two nodes merged
 	Node   int     // identifier of the newly created node
@@ -52,8 +102,10 @@ type Merge struct {
 // stopping the clustering at that threshold, so one dendrogram supports
 // arbitrarily many threshold sweeps (used by the Fig 3b bench).
 type Dendrogram struct {
-	keys   []string
-	merges []Merge
+	keys    []string
+	merges  []Merge
+	linkage Linkage
+	nodes   int // total node ids reserved (leaves + per-component ranges)
 	// modCount / lastMod carry per-leaf episode statistics through to the
 	// clusters produced by Cut.
 	modCount []int
@@ -67,7 +119,8 @@ func (d *Dendrogram) Keys() []string {
 	return out
 }
 
-// Merges returns the merge sequence in the order it was performed.
+// Merges returns the merge sequence, ordered by component and then by
+// non-decreasing height within each component.
 func (d *Dendrogram) Merges() []Merge {
 	out := make([]Merge, len(d.merges))
 	copy(out, d.merges)
@@ -98,8 +151,19 @@ func (c *Cluster) Contains(key string) bool {
 // Leaves that never merged below the threshold come back as singleton
 // clusters. Clusters are returned in deterministic order (by first key).
 func (d *Dendrogram) Cut(maxDist float64) []Cluster {
+	if d.linkage == LinkageAverage {
+		// Average-linkage heights are quantised to the avgScale grid (see
+		// the avgScale comment); map the threshold through the same
+		// quantisation so a pair whose distance exactly equals the
+		// threshold still merges.
+		maxDist = math.Round(maxDist*avgScale) / avgScale
+	}
 	n := len(d.keys)
-	parent := make([]int, n+len(d.merges))
+	size := n + len(d.merges)
+	if d.nodes > size {
+		size = d.nodes
+	}
+	parent := make([]int, size)
 	for i := range parent {
 		parent[i] = i
 	}
@@ -145,9 +209,187 @@ func (d *Dendrogram) Cut(maxDist float64) []Cluster {
 	return clusters
 }
 
+// distStore is the inter-cluster distance state over one component's slots.
+// Absent entries are +Inf (never co-modified). Implementations keep the
+// state symmetric and track cluster sizes across folds.
+type distStore interface {
+	// nearest returns the nearest live neighbour of slot i and its
+	// distance, breaking distance ties toward the smallest slot index, or
+	// (-1, +Inf) when no live neighbour is at finite distance.
+	nearest(i int, alive []bool) (int, float64)
+	// fold merges slot j into slot i, dropping slot j.
+	fold(i, j int, alive []bool)
+}
+
+// denseDist is a flat k x k matrix; right for small or well-connected
+// components where most pairs are at finite distance.
+type denseDist struct {
+	k       int
+	linkage Linkage
+	v       []float64 // stored values (see Linkage.storedValue)
+	size    []float64 // leaves per live slot
+}
+
+func newDenseDist(ps *PairStats, comp []int, linkage Linkage) *denseDist {
+	k := len(comp)
+	m := &denseDist{k: k, linkage: linkage, v: make([]float64, k*k), size: make([]float64, k)}
+	for i := 0; i < k; i++ {
+		m.size[i] = 1
+		m.v[i*k+i] = math.Inf(1)
+		for j := i + 1; j < k; j++ {
+			vv := linkage.storedValue(DistanceFromCorrelation(ps.correlationByIndex(comp[i], comp[j])))
+			m.v[i*k+j] = vv
+			m.v[j*k+i] = vv
+		}
+	}
+	return m
+}
+
+func (m *denseDist) dist(i, j int) float64 {
+	v := m.v[i*m.k+j]
+	if m.linkage == LinkageAverage {
+		return v / (avgScale * m.size[i] * m.size[j])
+	}
+	return v
+}
+
+func (m *denseDist) nearest(i int, alive []bool) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for j := 0; j < m.k; j++ {
+		if j == i || !alive[j] {
+			continue
+		}
+		if dd := m.dist(i, j); dd < bestD { // ascending scan: ties keep the smallest index
+			best, bestD = j, dd
+		}
+	}
+	if math.IsInf(bestD, 1) {
+		return -1, bestD
+	}
+	return best, bestD
+}
+
+func (m *denseDist) fold(i, j int, alive []bool) {
+	ri := m.v[i*m.k : (i+1)*m.k]
+	rj := m.v[j*m.k : (j+1)*m.k]
+	for x := 0; x < m.k; x++ {
+		if !alive[x] || x == i || x == j {
+			continue
+		}
+		nv := m.linkage.combine(ri[x], rj[x])
+		ri[x] = nv
+		m.v[x*m.k+i] = nv
+		m.v[x*m.k+j] = math.Inf(1)
+	}
+	ri[j] = math.Inf(1)
+	rj[i] = math.Inf(1)
+	m.size[i] += m.size[j]
+}
+
+// sparseDist stores only finite entries, one map per slot. A component whose
+// co-modification graph is sparse never materialises the k x k matrix of
+// mostly-infinite distances: memory and per-merge work follow the number of
+// co-modified pairs instead of k².
+type sparseDist struct {
+	linkage Linkage
+	rows    []map[int]float64
+	size    []float64
+}
+
+func newSparseDist(ps *PairStats, comp []int, adj [][]int, linkage Linkage) *sparseDist {
+	k := len(comp)
+	slot := make(map[int]int, k)
+	for i, g := range comp {
+		slot[g] = i
+	}
+	m := &sparseDist{linkage: linkage, rows: make([]map[int]float64, k), size: make([]float64, k)}
+	for i := range m.rows {
+		m.size[i] = 1
+		m.rows[i] = make(map[int]float64, len(adj[comp[i]]))
+	}
+	for i, g := range comp {
+		for _, nb := range adj[g] {
+			j := slot[nb]
+			if j <= i {
+				continue
+			}
+			vv := linkage.storedValue(DistanceFromCorrelation(ps.correlationByIndex(g, nb)))
+			m.rows[i][j] = vv
+			m.rows[j][i] = vv
+		}
+	}
+	return m
+}
+
+func (m *sparseDist) nearest(i int, alive []bool) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	si := m.size[i]
+	for j, vv := range m.rows[i] {
+		if !alive[j] {
+			continue
+		}
+		dd := vv
+		if m.linkage == LinkageAverage {
+			dd = vv / (avgScale * si * m.size[j])
+		}
+		// Map iteration order is random, so the smallest-index tie-break
+		// must be explicit.
+		if dd < bestD || (dd == bestD && (best < 0 || j < best)) {
+			best, bestD = j, dd
+		}
+	}
+	return best, bestD
+}
+
+func (m *sparseDist) fold(i, j int, alive []bool) {
+	ri, rj := m.rows[i], m.rows[j]
+	delete(ri, j)
+	delete(rj, i)
+	if m.linkage == LinkageSingle {
+		// min(d, +Inf) is finite: the merged row is the union of the two
+		// neighbour sets.
+		for x, vj := range rj {
+			if vi, ok := ri[x]; !ok || vj < vi {
+				ri[x] = vj
+				m.rows[x][i] = vj
+			}
+			delete(m.rows[x], j)
+		}
+	} else {
+		// Complete and average propagate +Inf: the merged row is the
+		// intersection of the two neighbour sets.
+		for x, vi := range ri {
+			vj, ok := rj[x]
+			if !ok {
+				delete(ri, x)
+				delete(m.rows[x], i)
+				continue
+			}
+			nv := m.linkage.combine(vi, vj)
+			ri[x] = nv
+			m.rows[x][i] = nv
+		}
+		for x := range rj {
+			delete(m.rows[x], j)
+		}
+	}
+	m.rows[j] = nil
+	m.size[i] += m.size[j]
+}
+
+// distModeAuto and friends pick the distance representation per component;
+// tests pin the mode to exercise both code paths.
+const (
+	distModeAuto uint8 = iota
+	distModeDense
+	distModeSparse
+)
+
 // Clusterer runs hierarchical agglomerative clustering over pair statistics.
 type Clusterer struct {
-	linkage Linkage
+	linkage     Linkage
+	parallelism int
+	distMode    uint8
 }
 
 // NewClusterer returns a clusterer with the given linkage criterion;
@@ -162,112 +404,219 @@ func NewClusterer(linkage Linkage) *Clusterer {
 // Linkage returns the configured linkage criterion.
 func (c *Clusterer) Linkage() Linkage { return c.linkage }
 
+// WithParallelism sets how many connected components of the co-modification
+// graph are clustered concurrently and returns the clusterer for chaining.
+// n <= 0 (the default) uses all available CPUs. The dendrogram is identical
+// at every setting: components are independent and their node-id ranges are
+// assigned up front.
+func (c *Clusterer) WithParallelism(n int) *Clusterer {
+	c.parallelism = n
+	return c
+}
+
+// Parallelism returns the configured worker bound; 0 means all CPUs.
+func (c *Clusterer) Parallelism() int {
+	if c.parallelism < 0 {
+		return 0
+	}
+	return c.parallelism
+}
+
+// componentBases reserves a contiguous internal-node-id range per component
+// (k-1 ids for k leaves) and returns the per-component base ids plus the
+// total number of node ids.
+func componentBases(n int, comps [][]int) ([]int, int) {
+	bases := make([]int, len(comps))
+	next := n
+	for i, comp := range comps {
+		bases[i] = next
+		if len(comp) > 1 {
+			next += len(comp) - 1
+		}
+	}
+	return bases, next
+}
+
 // Dendrogram computes the full merge tree of the keys in ps. Keys that were
 // never co-modified sit in different connected components of the
 // co-modification graph and are never merged (their pairwise distance is
-// infinite), so the result is in general a forest.
+// infinite), so the result is in general a forest. Independent components
+// are clustered concurrently (see WithParallelism); output is deterministic
+// regardless of worker count.
 func (c *Clusterer) Dendrogram(ps *PairStats) *Dendrogram {
 	n := len(ps.keys)
 	d := &Dendrogram{
 		keys:     ps.Keys(),
+		linkage:  c.linkage,
 		modCount: make([]int, n),
 		lastMod:  make([]int64, n),
 	}
 	copy(d.modCount, ps.epCount)
 	copy(d.lastMod, ps.last)
-	nextNode := n
-	for _, comp := range ps.components() {
-		if len(comp) < 2 {
-			continue
+	adj := ps.adjacency()
+	comps := ps.components(adj)
+	bases, nodes := componentBases(n, comps)
+	d.nodes = nodes
+
+	work := make([]int, 0, len(comps))
+	for i, comp := range comps {
+		if len(comp) >= 2 {
+			work = append(work, i)
 		}
-		nextNode = c.mergeComponent(ps, comp, d, nextNode)
+	}
+	results := make([][]Merge, len(comps))
+	workers := c.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(work) {
+		workers = len(work)
+	}
+	if workers <= 1 {
+		for _, i := range work {
+			results[i] = c.chainComponent(ps, comps[i], adj, bases[i])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					t := int(next.Add(1)) - 1
+					if t >= len(work) {
+						return
+					}
+					i := work[t]
+					results[i] = c.chainComponent(ps, comps[i], adj, bases[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, ms := range results {
+		d.merges = append(d.merges, ms...)
 	}
 	return d
 }
 
-// mergeComponent runs agglomerative clustering within one connected
-// component using a Lance-Williams distance-matrix update. Returns the next
-// unused node identifier.
-func (c *Clusterer) mergeComponent(ps *PairStats, comp []int, d *Dendrogram, nextNode int) int {
+// rawMerge is a merge recorded during the nearest-neighbour chain, before
+// heights are sorted and node ids assigned: slot b was folded into slot a.
+type rawMerge struct {
+	a, b int
+	h    float64
+}
+
+// chainComponent clusters one connected component with the
+// nearest-neighbour-chain algorithm: grow a chain of nearest neighbours
+// until two clusters are mutually nearest, merge them, and continue from
+// the remaining chain. Complete, single, and average linkage are all
+// reducible, so every reciprocal-nearest pair is safe to merge and the
+// whole component costs O(k²) time with O(k) scratch per step instead of
+// the O(k³) repeated full-matrix scans of the naive algorithm.
+func (c *Clusterer) chainComponent(ps *PairStats, comp []int, adj [][]int, base int) []Merge {
 	k := len(comp)
-	type active struct {
-		node int // dendrogram node id
-		size int // number of leaves
-	}
-	rows := make([]active, k)
-	for i, leaf := range comp {
-		rows[i] = active{node: leaf, size: 1}
-	}
-	// dist is a symmetric k x k matrix over active rows.
-	dist := make([][]float64, k)
-	for i := range dist {
-		dist[i] = make([]float64, k)
-	}
-	for i := 0; i < k; i++ {
-		for j := i + 1; j < k; j++ {
-			dd := DistanceFromCorrelation(ps.correlationByIndex(comp[i], comp[j]))
-			dist[i][j] = dd
-			dist[j][i] = dd
-		}
-	}
+	store := c.newStore(ps, comp, adj)
 	alive := make([]bool, k)
+	finished := make([]bool, k) // live but at infinite distance from every live slot
 	for i := range alive {
 		alive[i] = true
 	}
-	remaining := k
-	for remaining > 1 {
-		// Find the closest live pair; ties break toward the smallest
-		// indices for determinism.
-		bi, bj, best := -1, -1, math.Inf(1)
-		for i := 0; i < k; i++ {
-			if !alive[i] {
-				continue
-			}
-			for j := i + 1; j < k; j++ {
-				if !alive[j] {
-					continue
-				}
-				if dist[i][j] < best {
-					bi, bj, best = i, j, dist[i][j]
-				}
-			}
+	raw := make([]rawMerge, 0, k-1)
+	chain := make([]int, 0, k)
+	live, start := k, 0
+	for live > 1 {
+		// Drop chain entries invalidated by earlier merges.
+		for len(chain) > 0 && !alive[chain[len(chain)-1]] {
+			chain = chain[:len(chain)-1]
 		}
-		if math.IsInf(best, 1) {
-			break // no finite merge remains in this component
+		if len(chain) > k {
+			// Tie plateau revisited a chain slot; restart the walk (a
+			// fresh chain always reaches a reciprocal pair).
+			chain = chain[:0]
 		}
-		d.merges = append(d.merges, Merge{
-			A: rows[bi].node, B: rows[bj].node, Node: nextNode, Height: best,
-		})
-		// Fold bj into bi under the Lance-Williams update for the linkage.
-		si, sj := float64(rows[bi].size), float64(rows[bj].size)
-		for m := 0; m < k; m++ {
-			if !alive[m] || m == bi || m == bj {
-				continue
+		if len(chain) == 0 {
+			for start < k && (!alive[start] || finished[start]) {
+				start++
 			}
-			dim, djm := dist[bi][m], dist[bj][m]
-			var nd float64
-			switch c.linkage {
-			case LinkageSingle:
-				nd = math.Min(dim, djm)
-			case LinkageAverage:
-				switch {
-				case math.IsInf(dim, 1) || math.IsInf(djm, 1):
-					nd = math.Inf(1)
-				default:
-					nd = (si*dim + sj*djm) / (si + sj)
-				}
-			default: // complete
-				nd = math.Max(dim, djm)
+			if start == k {
+				break // every live cluster is isolated
 			}
-			dist[bi][m] = nd
-			dist[m][bi] = nd
+			chain = append(chain, start)
 		}
-		rows[bi] = active{node: nextNode, size: rows[bi].size + rows[bj].size}
-		alive[bj] = false
-		nextNode++
-		remaining--
+		top := chain[len(chain)-1]
+		j, dj := store.nearest(top, alive)
+		if j < 0 {
+			// No finite distance remains: this cluster is done merging.
+			finished[top] = true
+			chain = chain[:len(chain)-1]
+			continue
+		}
+		if len(chain) >= 2 && chain[len(chain)-2] == j {
+			// Reciprocal nearest neighbours: merge into the smaller slot
+			// so ties resolve exactly like the naive row-major scan.
+			a, b := j, top
+			if b < a {
+				a, b = b, a
+			}
+			store.fold(a, b, alive)
+			raw = append(raw, rawMerge{a: a, b: b, h: dj})
+			alive[b] = false
+			live--
+			chain = chain[:len(chain)-2]
+			continue
+		}
+		chain = append(chain, j)
 	}
-	return nextNode
+	return relabel(raw, comp, base)
+}
+
+// newStore picks the distance representation for one component: dense for
+// small or well-connected components, sparse otherwise.
+func (c *Clusterer) newStore(ps *PairStats, comp []int, adj [][]int) distStore {
+	mode := c.distMode
+	if mode == distModeAuto {
+		k := len(comp)
+		edges := 0
+		for _, g := range comp {
+			edges += len(adj[g])
+		}
+		edges /= 2
+		if k <= 64 || edges*2 >= k*(k-1)/2 {
+			mode = distModeDense
+		} else {
+			mode = distModeSparse
+		}
+	}
+	if mode == distModeDense {
+		return newDenseDist(ps, comp, c.linkage)
+	}
+	return newSparseDist(ps, comp, adj, c.linkage)
+}
+
+// relabel orders a component's chain merges by non-decreasing height and
+// assigns node ids sequentially from base. The chain emits merges in
+// dependency order, and reducible linkages are monotone along any
+// dependency path, so a stable sort by height keeps every merge after the
+// merges that built its operands.
+func relabel(raw []rawMerge, comp []int, base int) []Merge {
+	if len(raw) == 0 {
+		return nil
+	}
+	sort.SliceStable(raw, func(i, j int) bool { return raw[i].h < raw[j].h })
+	nodeOf := make([]int, len(comp))
+	for i, leaf := range comp {
+		nodeOf[i] = leaf
+	}
+	merges := make([]Merge, len(raw))
+	next := base
+	for i, rm := range raw {
+		merges[i] = Merge{A: nodeOf[rm.a], B: nodeOf[rm.b], Node: next, Height: rm.h}
+		nodeOf[rm.a] = next
+		next++
+	}
+	return merges
 }
 
 // Cluster is the one-call convenience API: it builds the dendrogram and

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ocasta/internal/trace"
+)
+
+// syntheticComponents builds pair statistics whose co-modification graph
+// has ncomp connected components of k keys each, every component sparse
+// (ring plus chords), mimicking a production-scale key universe where most
+// key pairs are never modified together.
+func syntheticComponents(ncomp, k int) *PairStats {
+	var lists [][]string
+	for c := 0; c < ncomp; c++ {
+		key := func(i int) string { return fmt.Sprintf("c%02d-key%05d", c, ((i%k)+k)%k) }
+		for i := 0; i < k; i++ {
+			lists = append(lists, []string{key(i), key(i + 1)})
+			if i%3 == 0 {
+				lists = append(lists, []string{key(i), key(i + 1), key(i + 2)})
+			}
+			if i%5 == 0 {
+				lists = append(lists, []string{key(i), key(i + 7)})
+			}
+		}
+	}
+	groups := make([]trace.Group, len(lists))
+	for i, keys := range lists {
+		ts := t0.Add(0) // one shared stamp: the bench measures clustering only
+		groups[i] = trace.Group{Start: ts, End: ts, Keys: keys}
+	}
+	return NewPairStats(groups)
+}
+
+// BenchmarkClusterLargeComponent contrasts the nearest-neighbour-chain
+// clusterer (with parallel component clustering enabled) against the naive
+// closest-pair reference on large sparse components. The chain path is
+// O(k²) per component with O(k) scratch per step; the naive path re-scans
+// a dense k x k matrix per merge, O(k³). The naive variant is capped at
+// k = 2000 to keep one iteration affordable.
+func BenchmarkClusterLargeComponent(b *testing.B) {
+	const ncomp = 4
+	for _, k := range []int{500, 2000, 5000} {
+		ps := syntheticComponents(ncomp, k)
+		b.Run(fmt.Sprintf("chain/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				clusters := NewClusterer(LinkageComplete).WithParallelism(0).Cluster(ps, 1.0)
+				if len(clusters) == 0 {
+					b.Fatal("no clusters")
+				}
+			}
+		})
+		if k > 2000 {
+			continue
+		}
+		b.Run(fmt.Sprintf("naive/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				clusters := NewClusterer(LinkageComplete).clusterNaive(ps, 1.0)
+				if len(clusters) == 0 {
+					b.Fatal("no clusters")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterLargeComponentLinkages measures the chain path per
+// linkage at k = 2000 (the sparse single-linkage fold is a union, not an
+// intersection, so its cost profile differs).
+func BenchmarkClusterLargeComponentLinkages(b *testing.B) {
+	ps := syntheticComponents(2, 2000)
+	for _, link := range []Linkage{LinkageComplete, LinkageSingle, LinkageAverage} {
+		b.Run(link.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				NewClusterer(link).WithParallelism(0).Cluster(ps, 1.0)
+			}
+		})
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import "math"
+
+// This file keeps the original closest-pair HAC as a package-private
+// reference implementation. It re-scans a dense k x k distance matrix to
+// find the globally closest pair before every merge — O(k³) per connected
+// component — and exists only so tests and benchmarks can check the
+// nearest-neighbour-chain clusterer (hac.go) against it: the two must
+// produce cut-equivalent partitions for every linkage and threshold.
+
+// dendrogramNaive is the reference counterpart of Clusterer.Dendrogram. It
+// uses the same per-component node-id ranges so the two merge trees are
+// directly comparable, but always clusters sequentially with dense
+// matrices.
+func (c *Clusterer) dendrogramNaive(ps *PairStats) *Dendrogram {
+	n := len(ps.keys)
+	d := &Dendrogram{
+		keys:     ps.Keys(),
+		linkage:  c.linkage,
+		modCount: make([]int, n),
+		lastMod:  make([]int64, n),
+	}
+	copy(d.modCount, ps.epCount)
+	copy(d.lastMod, ps.last)
+	comps := ps.components(ps.adjacency())
+	bases, nodes := componentBases(n, comps)
+	d.nodes = nodes
+	for i, comp := range comps {
+		if len(comp) < 2 {
+			continue
+		}
+		c.hacNaive(ps, comp, d, bases[i])
+	}
+	return d
+}
+
+// clusterNaive is the reference counterpart of Clusterer.Cluster.
+func (c *Clusterer) clusterNaive(ps *PairStats, threshold float64) []Cluster {
+	return c.dendrogramNaive(ps).Cut(threshold)
+}
+
+// hacNaive runs agglomerative clustering within one connected component
+// using a full-matrix closest-pair scan per merge and a Lance-Williams
+// distance-matrix update, assigning internal node ids from base.
+func (c *Clusterer) hacNaive(ps *PairStats, comp []int, d *Dendrogram, base int) {
+	k := len(comp)
+	type active struct {
+		node int // dendrogram node id
+		size int // number of leaves
+	}
+	rows := make([]active, k)
+	for i, leaf := range comp {
+		rows[i] = active{node: leaf, size: 1}
+	}
+	// val is a symmetric k x k matrix of stored values over active rows:
+	// plain distances for complete/single linkage, scaled integer
+	// member-pair distance sums for average linkage (the same convention
+	// as the chain clusterer's stores, so heights compare bit-exactly).
+	val := make([][]float64, k)
+	for i := range val {
+		val[i] = make([]float64, k)
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			vv := c.linkage.storedValue(DistanceFromCorrelation(ps.correlationByIndex(comp[i], comp[j])))
+			val[i][j] = vv
+			val[j][i] = vv
+		}
+	}
+	dist := func(i, j int) float64 {
+		if c.linkage == LinkageAverage {
+			return val[i][j] / (avgScale * float64(rows[i].size) * float64(rows[j].size))
+		}
+		return val[i][j]
+	}
+	alive := make([]bool, k)
+	for i := range alive {
+		alive[i] = true
+	}
+	nextNode := base
+	remaining := k
+	for remaining > 1 {
+		// Find the closest live pair; ties break toward the smallest
+		// indices for determinism.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < k; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := i + 1; j < k; j++ {
+				if !alive[j] {
+					continue
+				}
+				if dd := dist(i, j); dd < best {
+					bi, bj, best = i, j, dd
+				}
+			}
+		}
+		if math.IsInf(best, 1) {
+			break // no finite merge remains in this component
+		}
+		d.merges = append(d.merges, Merge{
+			A: rows[bi].node, B: rows[bj].node, Node: nextNode, Height: best,
+		})
+		// Fold bj into bi.
+		for m := 0; m < k; m++ {
+			if !alive[m] || m == bi || m == bj {
+				continue
+			}
+			nv := c.linkage.combine(val[bi][m], val[bj][m])
+			val[bi][m] = nv
+			val[m][bi] = nv
+		}
+		rows[bi] = active{node: nextNode, size: rows[bi].size + rows[bj].size}
+		alive[bj] = false
+		nextNode++
+		remaining--
+	}
+}

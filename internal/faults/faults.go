@@ -59,7 +59,7 @@ type Fault struct {
 	// back one setting at a time can also fix the error.
 	NoClustCanFix bool
 	// PaperClusterSize and PaperTrials record the Table IV reference
-	// values for EXPERIMENTS.md comparisons.
+	// values for the paper-versus-measured comparisons cmd/repro prints.
 	PaperClusterSize int
 	PaperTrials      int
 }

@@ -178,6 +178,10 @@ type Result struct {
 type Tool struct {
 	store *ttkv.Store
 	model *apps.Model
+	// Parallelism bounds how many co-modification-graph components the
+	// tool's clustering runs concurrently; <= 0 (the default) uses all
+	// CPUs. Results are identical at every setting.
+	Parallelism int
 }
 
 // NewTool builds a repair tool over a recorded store for one application.
@@ -233,7 +237,9 @@ func (t *Tool) Clusters(window time.Duration, corrThreshold float64, noClust boo
 		clusters = singletonClusters(ps)
 	} else {
 		threshold := core.ThresholdFromCorrelation(corrThreshold)
-		clusters = core.NewClusterer(core.LinkageComplete).Cluster(ps, threshold)
+		clusters = core.NewClusterer(core.LinkageComplete).
+			WithParallelism(t.Parallelism).
+			Cluster(ps, threshold)
 	}
 	core.SortForRecovery(clusters)
 	return clusters

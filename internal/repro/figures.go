@@ -145,6 +145,7 @@ func avgMultiSize(window time.Duration, corrThreshold float64) float64 {
 		w := trace.NewWindower(window, trace.GroupAnchored)
 		ps := core.NewPairStats(w.GroupTrace(res.Trace.ByApp(m.Name)))
 		clusters := core.NewClusterer(core.LinkageComplete).
+			WithParallelism(clusterParallelism()).
 			Cluster(ps, core.ThresholdFromCorrelation(corrThreshold))
 		for _, c := range core.MultiKey(clusters) {
 			totalKeys += c.Size()

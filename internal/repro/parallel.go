@@ -1,0 +1,24 @@
+package repro
+
+import "sync/atomic"
+
+// parallelism is the worker bound handed to every clusterer the
+// reproduction experiments build; 0 (the default) lets clustering use all
+// CPUs. It is stored atomically so cmd/repro can set it once at startup
+// while table/figure helpers run from tests concurrently.
+var parallelism atomic.Int64
+
+// SetParallelism bounds how many co-modification-graph components the
+// experiment pipelines cluster concurrently; n <= 0 restores the default
+// (all CPUs). Results are identical at every setting.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// clusterParallelism returns the configured worker bound.
+func clusterParallelism() int {
+	return int(parallelism.Load())
+}

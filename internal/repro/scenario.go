@@ -111,6 +111,7 @@ func (s *Scenario) SearchOptions(strategy repair.Strategy, noClust bool) repair.
 // Search runs the repair search for this scenario.
 func (s *Scenario) Search(strategy repair.Strategy, noClust bool) (*repair.Result, error) {
 	tool := repair.NewTool(s.Store, s.Fault.Model())
+	tool.Parallelism = clusterParallelism()
 	return tool.Search(s.SearchOptions(strategy, noClust))
 }
 
@@ -119,5 +120,7 @@ func (s *Scenario) Search(strategy repair.Strategy, noClust bool) (*repair.Resul
 func (s *Scenario) SearchBounded(strategy repair.Strategy, start time.Time) (*repair.Result, error) {
 	opts := s.SearchOptions(strategy, false)
 	opts.Start = start
-	return repair.NewTool(s.Store, s.Fault.Model()).Search(opts)
+	tool := repair.NewTool(s.Store, s.Fault.Model())
+	tool.Parallelism = clusterParallelism()
+	return tool.Search(opts)
 }

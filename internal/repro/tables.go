@@ -95,7 +95,9 @@ func ClusterApp(m *apps.Model, seed int64, window time.Duration, corrThreshold f
 	res := workload.Generate(workload.StudyUsage(m, seed))
 	w := trace.NewWindower(window, trace.GroupAnchored)
 	ps := core.NewPairStats(w.GroupTrace(res.Trace.ByApp(m.Name)))
-	clusters := core.NewClusterer(core.LinkageComplete).Cluster(ps, core.ThresholdFromCorrelation(corrThreshold))
+	clusters := core.NewClusterer(core.LinkageComplete).
+		WithParallelism(clusterParallelism()).
+		Cluster(ps, core.ThresholdFromCorrelation(corrThreshold))
 	gt := core.NewGroundTruth(m.GroundTruthGroups())
 	rep := core.Evaluate(m.DisplayName, clusters, gt)
 	// Table II's #Keys column counts all accessed settings, including

@@ -7,7 +7,7 @@
 // aggregates the paper reports; the comparison logic (Ocasta time = trial
 // creation + screenshot selection vs manual fix with cutoff, where
 // unfinished manual attempts contribute the cutoff as a lower bound) is
-// implemented faithfully. The substitution is documented in DESIGN.md.
+// implemented faithfully. The substitution is documented in README.md.
 package study
 
 import (

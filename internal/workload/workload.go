@@ -7,7 +7,7 @@
 // deterministic for a given seed.
 //
 // The paper's raw traces are private human-subject data; this generator is
-// the documented substitution (see DESIGN.md). Real traces can be replayed
+// the documented substitution (see README.md). Real traces can be replayed
 // through the identical trace.Trace interfaces.
 package workload
 

@@ -19,8 +19,9 @@
 //   - Repair: sandboxed rollback search over cluster histories
 //     (NewRepairTool).
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured comparison of every table and figure.
+// See README.md for the quickstart (build, test, and CLI usage); `go run
+// ./cmd/repro` regenerates the paper-versus-measured comparison of every
+// table and figure.
 package ocasta
 
 import (
@@ -95,6 +96,10 @@ type Config struct {
 	Threshold float64
 	// Linkage is the HAC criterion (default complete/maximum linkage).
 	Linkage Linkage
+	// Parallelism bounds how many connected components of the
+	// co-modification graph are clustered concurrently; <= 0 (the
+	// default) uses all CPUs. Output is identical at every setting.
+	Parallelism int
 }
 
 func (c Config) normalized() Config {
@@ -118,6 +123,7 @@ func ClusterEvents(events []Event, cfg Config) []Cluster {
 	w := trace.NewWindower(cfg.Window, trace.GroupAnchored)
 	ps := core.NewPairStats(w.Groups(tr.Writes()))
 	return core.NewClusterer(cfg.Linkage).
+		WithParallelism(cfg.Parallelism).
 		Cluster(ps, core.ThresholdFromCorrelation(cfg.Threshold))
 }
 

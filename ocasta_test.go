@@ -2,6 +2,8 @@ package ocasta
 
 import (
 	"bytes"
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 )
@@ -142,5 +144,33 @@ func TestConfigNormalization(t *testing.T) {
 	c = Config{Threshold: 3}.normalized() // out of range -> default
 	if c.Threshold != DefaultCorrelationThreshold {
 		t.Errorf("out-of-range threshold should normalize, got %v", c.Threshold)
+	}
+}
+
+// TestClusterEventsParallelismDeterminism pins the facade knob: any
+// Parallelism setting must produce identical clusters.
+func TestClusterEventsParallelismDeterminism(t *testing.T) {
+	base := time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC)
+	var events []Event
+	for i := 0; i < 200; i++ {
+		ts := base.Add(time.Duration(i) * 10 * time.Second)
+		a := fmt.Sprintf("k%d", i%37)
+		b := fmt.Sprintf("k%d", (i*5+1)%37)
+		events = append(events,
+			Event{Time: ts, Op: OpWrite, Store: StoreRegistry, App: "app", Key: a, Value: "v"},
+			Event{Time: ts, Op: OpWrite, Store: StoreRegistry, App: "app", Key: b, Value: "v"},
+		)
+	}
+	ref := ClusterEvents(events, Config{Threshold: 1, Parallelism: 1})
+	for _, par := range []int{0, 2, 7} {
+		got := ClusterEvents(events, Config{Threshold: 1, Parallelism: par})
+		if len(got) != len(ref) {
+			t.Fatalf("parallelism %d: %d clusters, want %d", par, len(got), len(ref))
+		}
+		for i := range got {
+			if strings.Join(got[i].Keys, ",") != strings.Join(ref[i].Keys, ",") {
+				t.Fatalf("parallelism %d cluster %d: %v != %v", par, i, got[i].Keys, ref[i].Keys)
+			}
+		}
 	}
 }
