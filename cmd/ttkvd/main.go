@@ -2,10 +2,14 @@
 // store Ocasta's loggers record into (the role Redis played in the paper's
 // deployment).
 //
-//	ttkvd -addr 127.0.0.1:7677 -aof /var/lib/ocasta/store.aof
+//	ttkvd -addr 127.0.0.1:7677 -aof /var/lib/ocasta/store.aof \
+//	      -shards 16 -fsync interval -fsync-interval 50ms
 //
 // With -aof, existing history is replayed on startup and every write is
-// appended durably.
+// appended durably through a group-commit batch writer. -compact rewrites
+// the AOF as an atomic snapshot after replay (optionally trimming each
+// key's history to -retain versions) so replay cost stays bounded across
+// restarts.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"ocasta/internal/ttkv"
 	"ocasta/internal/ttkvwire"
@@ -26,40 +31,81 @@ func main() {
 func run() int {
 	addr := flag.String("addr", "127.0.0.1:7677", "listen address")
 	aofPath := flag.String("aof", "", "append-only file for durable history (optional)")
+	shards := flag.Int("shards", ttkv.DefaultShards, "store shard count (rounded up to a power of two)")
+	fsyncMode := flag.String("fsync", "interval", "AOF fsync policy: always, interval, or never")
+	fsyncEvery := flag.Duration("fsync-interval", 50*time.Millisecond, "group-commit flush/fsync interval")
+	compact := flag.Bool("compact", false, "rewrite the AOF as a snapshot after replay")
+	retain := flag.Int("retain", 0, "with -compact, keep only the newest N versions per key (0 = all)")
 	flag.Parse()
 
-	store := ttkv.New()
+	if *shards < 1 || *shards > 1<<16 {
+		fmt.Fprintf(os.Stderr, "ttkvd: -shards must be in [1, %d], got %d\n", 1<<16, *shards)
+		return 2
+	}
+	policy, err := ttkv.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttkvd: -fsync:", err)
+		return 2
+	}
+	if *fsyncEvery <= 0 {
+		fmt.Fprintf(os.Stderr, "ttkvd: -fsync-interval must be positive, got %v\n", *fsyncEvery)
+		return 2
+	}
+	if *retain < 0 {
+		fmt.Fprintf(os.Stderr, "ttkvd: -retain must be >= 0, got %d\n", *retain)
+		return 2
+	}
+	if *retain > 0 && !*compact {
+		fmt.Fprintln(os.Stderr, "ttkvd: -retain requires -compact")
+		return 2
+	}
+	if *compact && *aofPath == "" {
+		fmt.Fprintln(os.Stderr, "ttkvd: -compact requires -aof")
+		return 2
+	}
+
+	store := ttkv.NewSharded(*shards)
+	var gc *ttkv.GroupCommit
 	if *aofPath != "" {
-		if _, err := os.Stat(*aofPath); err == nil {
-			loaded, err := ttkv.LoadAOF(*aofPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "ttkvd: replaying AOF:", err)
-				return 1
-			}
-			store = loaded
-			fmt.Printf("ttkvd: replayed %d keys from %s\n", store.Len(), *aofPath)
-			aof, err := ttkv.OpenAOFForAppend(*aofPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "ttkvd:", err)
-				return 1
-			}
-			defer aof.Close()
-			store.AttachAOF(aof)
-		} else {
-			aof, err := ttkv.CreateAOF(*aofPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "ttkvd:", err)
-				return 1
-			}
-			defer aof.Close()
-			store.AttachAOF(aof)
+		// One pass replays existing history into the store, repairs a
+		// crash-truncated tail, and leaves the file open for appending.
+		aof, err := ttkv.OpenAOFInto(*aofPath, store)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttkvd: replaying AOF:", err)
+			return 1
 		}
+		if store.Len() > 0 {
+			fmt.Printf("ttkvd: replayed %d keys from %s\n", store.Len(), *aofPath)
+		}
+		if *compact {
+			// Compaction rewrites the file by rename, so the open handle
+			// must be dropped first and the snapshot (known clean, just
+			// written) reopened for appending.
+			if err := aof.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "ttkvd:", err)
+				return 1
+			}
+			if err := store.CompactTo(*aofPath, *retain); err != nil {
+				fmt.Fprintln(os.Stderr, "ttkvd: compacting AOF:", err)
+				return 1
+			}
+			fmt.Printf("ttkvd: compacted %s (retain=%d)\n", *aofPath, *retain)
+			if aof, err = ttkv.OpenAOFForAppend(*aofPath); err != nil {
+				fmt.Fprintln(os.Stderr, "ttkvd:", err)
+				return 1
+			}
+		}
+		gc = ttkv.NewGroupCommit(aof, ttkv.GroupCommitConfig{
+			FlushInterval: *fsyncEvery,
+			Fsync:         policy,
+		})
+		store.AttachGroupCommit(gc)
 	}
 
 	srv := ttkvwire.NewServer(store)
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*addr) }()
-	fmt.Printf("ttkvd: serving on %s\n", *addr)
+	fmt.Printf("ttkvd: serving on %s (shards=%d fsync=%s)\n", *addr, store.NumShards(), policy)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -71,12 +117,18 @@ func run() int {
 	case err := <-done:
 		if err != nil && err != ttkvwire.ErrServerClosed {
 			fmt.Fprintln(os.Stderr, "ttkvd:", err)
+			if gc != nil {
+				gc.Close()
+			}
 			return 1
 		}
 	}
-	if err := store.SyncAOF(); err != nil {
-		fmt.Fprintln(os.Stderr, "ttkvd: syncing AOF:", err)
-		return 1
+	if gc != nil {
+		// Close drains pending batches, fsyncs, and closes the file.
+		if err := gc.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ttkvd: closing AOF:", err)
+			return 1
+		}
 	}
 	return 0
 }

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -16,48 +18,101 @@ var (
 	ErrAOFMagic   = errors.New("ttkv: bad AOF magic")
 	ErrAOFVersion = errors.New("ttkv: unsupported AOF version")
 	ErrAOFCorrupt = errors.New("ttkv: corrupt AOF record")
+	ErrAOFExists  = errors.New("ttkv: AOF already exists")
+	// ErrAOFAttached is returned by CompactTo while a persistence sink is
+	// attached: renaming a snapshot over the live AOF would divert every
+	// subsequent append to the unlinked old inode, silently losing it.
+	ErrAOFAttached = errors.New("ttkv: store has an attached AOF; detach before compacting")
 )
 
 const (
 	aofMagic   = "OCKV"
 	aofVersion = 1
+	// aofHeaderLen is the magic plus the little-endian uint16 version.
+	aofHeaderLen = len(aofMagic) + 2
 	// maxAOFString bounds encoded strings so corrupt length prefixes
-	// cannot trigger giant allocations.
-	maxAOFString = 1 << 20
+	// cannot trigger giant allocations on replay. It equals MaxStringLen,
+	// which the write path enforces, so every accepted write replays.
+	maxAOFString = MaxStringLen
 
 	opSet    = byte(1)
 	opDelete = byte(2)
 )
 
+// aofSink is the persistence hook a Store writes through. Implementations
+// must be safe for concurrent append calls: with a sharded store, writers
+// in different shards append concurrently.
+type aofSink interface {
+	append(key, value string, t time.Time, deleted bool) error
+	Sync() error
+}
+
+// appendRecord encodes one mutation record onto dst and returns the
+// extended slice. This is the single encoder shared by the synchronous AOF
+// writer, the group-commit appender, and snapshots.
+func appendRecord(dst []byte, key, value string, t time.Time, deleted bool) []byte {
+	op := opSet
+	if deleted {
+		op = opDelete
+	}
+	dst = append(dst, op)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(t.UnixNano()))
+	dst = appendLenPrefixed(dst, key)
+	if !deleted {
+		dst = appendLenPrefixed(dst, value)
+	}
+	return dst
+}
+
+func appendLenPrefixed(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// aofHeader returns the encoded file header.
+func aofHeader() []byte {
+	h := make([]byte, 0, aofHeaderLen)
+	h = append(h, aofMagic...)
+	return binary.LittleEndian.AppendUint16(h, uint16(aofVersion))
+}
+
 // AOF is an append-only file recording every Set and Delete. Replaying an
 // AOF reconstructs the store's exact history, because the history *is* the
 // log. A truncated tail (e.g. after a crash mid-append) is tolerated on
 // load: complete records up to the damage are recovered.
+//
+// An AOF attached directly to a Store (AttachAOF) writes synchronously
+// under the writer's shard lock; wrap it in a GroupCommit to batch disk
+// I/O off the hot path.
 type AOF struct {
-	f *os.File
-	w *bufio.Writer
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	buf []byte // scratch encode buffer, guarded by mu
 }
 
-// CreateAOF creates (or truncates) an append-only file at path and writes
-// the header.
+// CreateAOF creates a new append-only file at path and writes the header.
+// It refuses to clobber an existing file (ErrAOFExists); use
+// OpenOrCreateAOF to append to existing history.
 func CreateAOF(path string) (*AOF, error) {
-	f, err := os.Create(path)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("%w: %s", ErrAOFExists, path)
+		}
 		return nil, fmt.Errorf("ttkv: creating AOF: %w", err)
 	}
 	a := &AOF{f: f, w: bufio.NewWriter(f)}
-	if _, err := a.w.WriteString(aofMagic); err != nil {
-		f.Close()
-		return nil, err
-	}
-	if err := binary.Write(a.w, binary.LittleEndian, uint16(aofVersion)); err != nil {
+	if _, err := a.w.Write(aofHeader()); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return a, nil
 }
 
-// OpenAOFForAppend opens an existing AOF for appending new records.
+// OpenAOFForAppend opens an existing AOF for appending new records. It
+// assumes the file was closed cleanly; prefer OpenOrCreateAOF, which also
+// repairs a crash-truncated tail before appending.
 func OpenAOFForAppend(path string) (*AOF, error) {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -66,30 +121,93 @@ func OpenAOFForAppend(path string) (*AOF, error) {
 	return &AOF{f: f, w: bufio.NewWriter(f)}, nil
 }
 
-func (a *AOF) append(key, value string, t time.Time, deleted bool) error {
-	op := opSet
-	if deleted {
-		op = opDelete
+// OpenOrCreateAOF opens path for appending, creating it (with a header) if
+// it does not exist or is empty. An existing non-empty file must carry a
+// valid header; its records are preserved and new appends extend them. A
+// partial record at the tail (crash mid-append) is truncated away first —
+// otherwise new records written after the damage would be unreachable to
+// replay, which stops at the first incomplete record.
+func OpenOrCreateAOF(path string) (*AOF, error) {
+	return openAOFInto(path, nil)
+}
+
+// OpenAOFInto is OpenOrCreateAOF fused with replay: existing records are
+// applied to s during the same pass that locates (and repairs) the file
+// tail, so a daemon's startup parses the log once instead of twice.
+func OpenAOFInto(path string, s *Store) (*AOF, error) {
+	return openAOFInto(path, s)
+}
+
+func openAOFInto(path string, s *Store) (*AOF, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ttkv: opening AOF: %w", err)
 	}
-	if err := a.w.WriteByte(op); err != nil {
-		return err
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ttkv: stat AOF: %w", err)
 	}
-	if err := binary.Write(a.w, binary.LittleEndian, t.UnixNano()); err != nil {
-		return err
+	a := &AOF{f: f, w: bufio.NewWriter(f)}
+	if st.Size() == 0 {
+		if _, err := a.w.Write(aofHeader()); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return a, nil
 	}
-	if err := aofWriteString(a.w, key); err != nil {
-		return err
+	// One pass over the existing records (header included): replay into s
+	// when given, and find the end of the last complete record.
+	valid, err := readAOF(f, s)
+	if err != nil {
+		f.Close()
+		return nil, err
 	}
-	if !deleted {
-		if err := aofWriteString(a.w, value); err != nil {
-			return err
+	if valid < st.Size() {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ttkv: truncating damaged AOF tail: %w", err)
 		}
 	}
-	return nil
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ttkv: seeking AOF end: %w", err)
+	}
+	return a, nil
+}
+
+func (a *AOF) append(key, value string, t time.Time, deleted bool) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.buf = appendRecord(a.buf[:0], key, value, t, deleted)
+	_, err := a.w.Write(a.buf)
+	return err
+}
+
+// writeBatch appends pre-encoded records. Used by the group-commit
+// appender, which encodes on the writers' side and flushes here.
+func (a *AOF) writeBatch(encoded []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, err := a.w.Write(encoded)
+	return err
+}
+
+// flushOS pushes buffered records to the OS without fsyncing.
+func (a *AOF) flushOS() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.w.Flush()
 }
 
 // Sync flushes buffered records and fsyncs the file.
 func (a *AOF) Sync() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.syncLocked()
+}
+
+func (a *AOF) syncLocked() error {
 	if err := a.w.Flush(); err != nil {
 		return err
 	}
@@ -98,6 +216,8 @@ func (a *AOF) Sync() error {
 
 // Close flushes and closes the file.
 func (a *AOF) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if err := a.w.Flush(); err != nil {
 		a.f.Close()
 		return err
@@ -105,106 +225,171 @@ func (a *AOF) Close() error {
 	return a.f.Close()
 }
 
-// AttachAOF makes the store append every subsequent Set/Delete to a. Pass
-// nil to detach.
+// AttachAOF makes the store append every subsequent Set/Delete to a,
+// synchronously under the writer's shard lock. Pass nil to detach. For
+// high write rates prefer AttachGroupCommit, which moves disk I/O onto a
+// background batch writer.
 func (s *Store) AttachAOF(a *AOF) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.aof = a
+	if a == nil {
+		s.sink.Store(nil)
+		return
+	}
+	s.sink.Store(&sinkBox{sink: a})
 }
 
-// SyncAOF flushes the attached AOF, if any.
+// AttachGroupCommit makes the store enqueue every subsequent Set/Delete to
+// g's batch writer. Pass nil to detach.
+func (s *Store) AttachGroupCommit(g *GroupCommit) {
+	if g == nil {
+		s.sink.Store(nil)
+		return
+	}
+	s.sink.Store(&sinkBox{sink: g})
+}
+
+// SyncAOF flushes the attached persistence sink (direct AOF or group
+// commit), if any, through to fsync.
 func (s *Store) SyncAOF() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.aof == nil {
+	box := s.sink.Load()
+	if box == nil {
 		return nil
 	}
-	return s.aof.Sync()
+	return box.sink.Sync()
 }
 
-// LoadAOF replays an append-only file into a fresh store. A truncated final
-// record is discarded silently (crash tolerance); any other corruption is
-// an error.
+// LoadAOF replays an append-only file into a fresh store with the default
+// shard count. A truncated final record is discarded silently (crash
+// tolerance); any other corruption is an error.
 func LoadAOF(path string) (*Store, error) {
+	s := New()
+	if err := LoadAOFInto(path, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoadAOFInto replays an append-only file into s (typically a fresh store
+// constructed with a specific shard count).
+func LoadAOFInto(path string, s *Store) error {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("ttkv: opening AOF: %w", err)
+		return fmt.Errorf("ttkv: opening AOF: %w", err)
 	}
 	defer f.Close()
-	return ReadAOF(f)
+	return ReadAOFInto(f, s)
 }
 
 // ReadAOF replays AOF content from r into a fresh store.
 func ReadAOF(r io.Reader) (*Store, error) {
-	br := bufio.NewReader(r)
+	s := New()
+	if err := ReadAOFInto(r, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ReadAOFInto replays AOF content from r into s.
+func ReadAOFInto(r io.Reader, s *Store) error {
+	_, err := readAOF(r, s)
+	return err
+}
+
+// countingReader tracks how many bytes have been pulled from the
+// underlying reader, so readAOF can report record boundaries.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// readAOF is the single AOF record loop. It parses records from r and
+// applies them to s (pass nil to parse without building a store), and
+// returns the byte offset just past the last complete record — the
+// truncation point OpenOrCreateAOF repairs a damaged tail to. A truncated
+// final record is tolerated; any other corruption is an error.
+func readAOF(r io.Reader, s *Store) (valid int64, err error) {
+	cr := &countingReader{r: r}
+	br := bufio.NewReader(cr)
+	// consumed reports the stream offset of the parse position: bytes
+	// pulled from r minus bytes still sitting in the bufio buffer.
+	consumed := func() int64 { return cr.n - int64(br.Buffered()) }
+
 	magic := make([]byte, len(aofMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrAOFMagic, err)
+		return 0, fmt.Errorf("%w: %v", ErrAOFMagic, err)
 	}
 	if string(magic) != aofMagic {
-		return nil, ErrAOFMagic
+		return 0, ErrAOFMagic
 	}
 	var ver uint16
 	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
-		return nil, err
+		return 0, err
 	}
 	if ver != aofVersion {
-		return nil, fmt.Errorf("%w: %d", ErrAOFVersion, ver)
+		return 0, fmt.Errorf("%w: %d", ErrAOFVersion, ver)
 	}
-	s := New()
+	valid = consumed()
 	for {
 		op, err := br.ReadByte()
 		if err != nil {
 			if errors.Is(err, io.EOF) {
-				return s, nil
+				return valid, nil
 			}
-			return nil, err
+			return valid, err
 		}
 		if op != opSet && op != opDelete {
-			return nil, fmt.Errorf("%w: op %d", ErrAOFCorrupt, op)
+			return valid, fmt.Errorf("%w: op %d", ErrAOFCorrupt, op)
 		}
 		var nanos int64
 		if err := binary.Read(br, binary.LittleEndian, &nanos); err != nil {
-			return s, nil // truncated tail: keep what we have
+			if isTruncation(err) {
+				return valid, nil // truncated tail: keep what we have
+			}
+			// Any other error (e.g. a transient I/O failure) must surface:
+			// misreporting it as a clean tail would let OpenOrCreateAOF
+			// truncate away good records behind it.
+			return valid, err
 		}
 		key, err := aofReadString(br)
 		if err != nil {
 			if isTruncation(err) {
-				return s, nil
+				return valid, nil
 			}
-			return nil, err
+			return valid, err
 		}
 		t := time.Unix(0, nanos).UTC()
 		if op == opDelete {
-			if err := s.Delete(key, t); err != nil {
-				return nil, err
+			if s != nil {
+				if err := s.Delete(key, t); err != nil {
+					return valid, err
+				}
 			}
+			valid = consumed()
 			continue
 		}
 		value, err := aofReadString(br)
 		if err != nil {
 			if isTruncation(err) {
-				return s, nil
+				return valid, nil
 			}
-			return nil, err
+			return valid, err
 		}
-		if err := s.Set(key, value, t); err != nil {
-			return nil, err
+		if s != nil {
+			if err := s.Set(key, value, t); err != nil {
+				return valid, err
+			}
 		}
+		valid = consumed()
 	}
 }
 
 func isTruncation(err error) bool {
 	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
-}
-
-func aofWriteString(w *bufio.Writer, s string) error {
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
-		return err
-	}
-	_, err := w.WriteString(s)
-	return err
 }
 
 func aofReadString(r *bufio.Reader) (string, error) {
@@ -222,38 +407,116 @@ func aofReadString(r *bufio.Reader) (string, error) {
 	return string(buf), nil
 }
 
+// snapshotEntries collects every version in the store, sorted by global
+// sequence number so equal-timestamp orderings survive a replay. With
+// maxVersionsPerKey > 0 only the newest versions of each key are kept.
+func (s *Store) snapshotEntries(maxVersionsPerKey int) []snapEntry {
+	var entries []snapEntry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, rec := range sh.records {
+			versions := rec.versions
+			if maxVersionsPerKey > 0 && len(versions) > maxVersionsPerKey {
+				versions = versions[len(versions)-maxVersionsPerKey:]
+			}
+			for _, v := range versions {
+				entries = append(entries, snapEntry{key: k, v: v})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].v.Seq < entries[j].v.Seq })
+	return entries
+}
+
+type snapEntry struct {
+	key string
+	v   Version
+}
+
 // WriteSnapshot serializes the store's full state (all histories) to w in
 // AOF format, which doubles as the snapshot format: replaying it rebuilds
 // identical histories. Versions are emitted in global sequence order so
-// equal-timestamp orderings survive the round trip.
+// equal-timestamp orderings survive the round trip. Under concurrent
+// writes the snapshot is consistent per shard, not across shards.
 func (s *Store) WriteSnapshot(w io.Writer) error {
-	s.mu.RLock()
-	type entry struct {
-		key string
-		v   Version
-	}
-	var entries []entry
-	for k, rec := range s.records {
-		for _, v := range rec.versions {
-			entries = append(entries, entry{key: k, v: v})
-		}
-	}
-	s.mu.RUnlock()
-	// Sort by global sequence so replay preserves intra-timestamp order.
-	sort.Slice(entries, func(i, j int) bool { return entries[i].v.Seq < entries[j].v.Seq })
+	return s.writeSnapshot(w, 0)
+}
 
+func (s *Store) writeSnapshot(w io.Writer, maxVersionsPerKey int) error {
+	entries := s.snapshotEntries(maxVersionsPerKey)
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(aofMagic); err != nil {
+	if _, err := bw.Write(aofHeader()); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint16(aofVersion)); err != nil {
-		return err
-	}
-	a := &AOF{w: bw}
+	var buf []byte
 	for _, e := range entries {
-		if err := a.append(e.key, e.v.Value, e.v.Time, e.v.Deleted); err != nil {
+		buf = appendRecord(buf[:0], e.key, e.v.Value, e.v.Time, e.v.Deleted)
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// CompactTo writes an atomic snapshot of the store to path: the snapshot
+// lands in a temp file, is fsynced, and replaces path by rename, so a
+// crash mid-compaction never damages the existing AOF. Replaying the
+// result rebuilds the store exactly, while shedding whatever append-order
+// redundancy the live log accumulated.
+//
+// maxVersionsPerKey > 0 additionally retains only the newest N versions of
+// each key in the written file, which is what keeps replay cost bounded on
+// long-lived deployments; 0 keeps full history. The in-memory store is not
+// modified either way.
+//
+// CompactTo refuses (ErrAOFAttached) while a persistence sink is attached:
+// the attached file handle would keep appending to the replaced inode.
+// Compact before attaching (as cmd/ttkvd does), or detach first. The sink
+// is re-checked immediately before the rename, but attaching concurrently
+// with an in-flight CompactTo is still a caller error — the two must be
+// sequenced.
+func (s *Store) CompactTo(path string, maxVersionsPerKey int) error {
+	if maxVersionsPerKey < 0 {
+		return fmt.Errorf("ttkv: negative version retention %d", maxVersionsPerKey)
+	}
+	if s.sink.Load() != nil {
+		return ErrAOFAttached
+	}
+	tmp := path + ".compact.tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("ttkv: creating compaction temp: %w", err)
+	}
+	if err := s.writeSnapshot(f, maxVersionsPerKey); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Narrow the check-then-act window: a sink attached while the
+	// snapshot was being written must abort the rename.
+	if s.sink.Load() != nil {
+		os.Remove(tmp)
+		return ErrAOFAttached
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ttkv: installing compacted AOF: %w", err)
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
 }

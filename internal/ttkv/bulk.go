@@ -1,17 +1,77 @@
 package ttkv
 
+import "time"
+
 // CountReads records n application reads of key at once. The workload
 // generator uses it to reproduce the paper's read volumes (tens of
 // millions of registry reads per machine) without per-event overhead.
+//
+// Unlike Get and CountRead — which model live application traffic, where a
+// miss is still a real read — CountReads is a bulk stats-reproduction API:
+// reads of a key the store has never seen are not counted, so workload
+// read volumes reflect only keys that exist.
 func (s *Store) CountReads(key string, n int) {
 	if n <= 0 {
 		return
 	}
-	s.mu.RLock()
-	rec, ok := s.records[key]
-	s.mu.RUnlock()
-	if ok {
-		rec.reads.Add(uint64(n))
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	rec, ok := sh.records[key]
+	sh.mu.RUnlock()
+	if !ok {
+		return
 	}
-	s.reads.Add(uint64(n))
+	rec.reads.Add(uint64(n))
+	sh.reads.Add(uint64(n))
+}
+
+// Mutation is one entry of a batch mutation: a Set, or a Delete when
+// Delete is true (Value is then ignored).
+type Mutation struct {
+	Key    string
+	Value  string
+	Time   time.Time
+	Delete bool
+}
+
+// Apply applies a batch of mutations in order. The batch is validated
+// up front, so a malformed entry fails the whole batch before any entry is
+// applied; a persistence error mid-batch leaves earlier entries applied.
+// Consecutive mutations that land on the same shard are applied under one
+// lock acquisition, which is what makes the wire protocol's MSET and the
+// workload generator's bursts cheaper than per-op calls.
+func (s *Store) Apply(muts []Mutation) error {
+	// The validation pass doubles as the hashing pass: each key's shard is
+	// computed exactly once.
+	shards := make([]*shard, len(muts))
+	for i := range muts {
+		if muts[i].Key == "" {
+			return ErrEmptyKey
+		}
+		if muts[i].Time.IsZero() {
+			return ErrZeroTime
+		}
+		if len(muts[i].Key) > MaxStringLen || len(muts[i].Value) > MaxStringLen {
+			return ErrOversize
+		}
+		shards[i] = s.shardFor(muts[i].Key)
+	}
+	for i := 0; i < len(muts); {
+		// Backpressure gate per same-shard run, before the lock, so a
+		// stalled disk never blocks a batch while it holds a shard.
+		if err := s.waitSinkCapacity(); err != nil {
+			return err
+		}
+		sh := shards[i]
+		sh.mu.Lock()
+		for ; i < len(muts) && shards[i] == sh; i++ {
+			m := &muts[i]
+			if err := s.applyLocked(sh, m.Key, m.Value, m.Time, m.Delete); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
 }

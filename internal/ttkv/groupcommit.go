@@ -1,0 +1,326 @@
+package ttkv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrAppenderClosed is returned by GroupCommit operations after Close.
+var ErrAppenderClosed = errors.New("ttkv: group-commit appender closed")
+
+// FsyncPolicy controls when a GroupCommit fsyncs the AOF.
+type FsyncPolicy int
+
+// Fsync policies.
+const (
+	// FsyncInterval fsyncs once per flush interval: the default, bounding
+	// data loss to one interval of mutations (Redis "everysec" semantics).
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways wakes the flusher on every append and fsyncs every
+	// batch it writes, shrinking the loss window to the one batch in
+	// flight (records that arrived while the previous fsync ran). Group
+	// commit amortizes the fsync across that batch. Appends still do not
+	// block on durability; use Sync for a hard barrier.
+	FsyncAlways
+	// FsyncNever leaves fsync to the OS (and to explicit Sync calls).
+	FsyncNever
+)
+
+// ParseFsyncPolicy parses "always", "interval", or "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	default:
+		return 0, fmt.Errorf("ttkv: unknown fsync policy %q (want always, interval, or never)", s)
+	}
+}
+
+// String returns the flag spelling of p.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// GroupCommitConfig tunes a GroupCommit appender. Zero values select the
+// defaults noted per field.
+type GroupCommitConfig struct {
+	// FlushInterval is the longest a record waits in memory before the
+	// batch is written (and, per policy, fsynced). Default 50ms.
+	FlushInterval time.Duration
+	// MaxBatchBytes triggers an early flush once this many encoded bytes
+	// are pending. Default 256 KiB.
+	MaxBatchBytes int
+	// MaxPendingBytes caps the unflushed backlog: writers block (before
+	// taking any store lock, so readers are unaffected) once about this
+	// many encoded bytes await the flusher — a stalled disk applies
+	// backpressure instead of growing memory without bound. Default 4 MiB
+	// (never below 2x MaxBatchBytes).
+	MaxPendingBytes int
+	// Fsync is the durability policy. Default FsyncInterval.
+	Fsync FsyncPolicy
+}
+
+func (c GroupCommitConfig) withDefaults() GroupCommitConfig {
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 50 * time.Millisecond
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 256 << 10
+	}
+	if c.MaxPendingBytes <= 0 {
+		c.MaxPendingBytes = 4 << 20
+	}
+	if c.MaxPendingBytes < 2*c.MaxBatchBytes {
+		c.MaxPendingBytes = 2 * c.MaxBatchBytes
+	}
+	return c
+}
+
+// GroupCommit batches AOF appends off the store's shard locks. Writers
+// encode records into an in-memory buffer (a cheap memcpy under the shard
+// lock); a background goroutine writes accumulated batches to the AOF and
+// fsyncs per policy. Sync is a barrier: it returns once everything
+// appended before the call is flushed AND fsynced, whatever the policy.
+// Close drains all pending records, fsyncs, and closes the AOF.
+//
+// Because writers enqueue while still holding their shard lock, the AOF
+// preserves per-key mutation order exactly; replay therefore rebuilds
+// identical per-key histories.
+type GroupCommit struct {
+	aof *AOF
+	cfg GroupCommitConfig
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []byte // encoded records not yet handed to the flusher
+	scratch  []byte // recycled buffer for the next pending batch
+	gen      uint64 // generation of the latest appended record
+	synced   uint64 // generation fsynced
+	wantSync uint64 // highest generation an explicit Sync requires durable
+	err      error  // first flush error; sticky
+	closed   bool
+
+	// syncs counts completed fsyncs (observability; tests assert an idle
+	// appender stops syncing).
+	syncs atomic.Uint64
+
+	wake      chan struct{}
+	quit      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	closeDone chan struct{} // closed once the AOF is closed and gc.err final
+}
+
+// SyncCount reports how many fsyncs the appender has performed.
+func (gc *GroupCommit) SyncCount() uint64 { return gc.syncs.Load() }
+
+// NewGroupCommit wraps a (typically freshly opened) AOF in a group-commit
+// appender and starts its background flusher. The appender assumes sole
+// ownership of the AOF until Close.
+func NewGroupCommit(a *AOF, cfg GroupCommitConfig) *GroupCommit {
+	gc := &GroupCommit{
+		aof:       a,
+		cfg:       cfg.withDefaults(),
+		wake:      make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		closeDone: make(chan struct{}),
+	}
+	gc.cond = sync.NewCond(&gc.mu)
+	go gc.run()
+	return gc
+}
+
+// append implements aofSink. It only copies bytes; disk I/O happens on the
+// flusher goroutine. A sticky flush error is reported here so writers
+// learn that persistence is failing.
+// waitCapacity implements the store's pre-lock backpressure gate: it
+// blocks while the backlog is at its cap, so a disk stall pauses writers
+// before they take any shard lock — readers stay unaffected. The cap is
+// approximate: writers already past the gate may overshoot it by their
+// in-flight records.
+func (gc *GroupCommit) waitCapacity() error {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	for len(gc.pending) >= gc.cfg.MaxPendingBytes && gc.err == nil && !gc.closed {
+		gc.signal()
+		gc.cond.Wait()
+	}
+	if gc.err != nil {
+		return gc.err
+	}
+	if gc.closed {
+		return ErrAppenderClosed
+	}
+	return nil
+}
+
+func (gc *GroupCommit) append(key, value string, t time.Time, deleted bool) error {
+	gc.mu.Lock()
+	if gc.err != nil {
+		err := gc.err
+		gc.mu.Unlock()
+		return err
+	}
+	if gc.closed {
+		gc.mu.Unlock()
+		return ErrAppenderClosed
+	}
+	gc.pending = appendRecord(gc.pending, key, value, t, deleted)
+	gc.gen++
+	full := len(gc.pending) >= gc.cfg.MaxBatchBytes
+	gc.mu.Unlock()
+	// FsyncAlways flushes eagerly on every append, not just on batch-size
+	// pressure, so a record's loss window is one in-flight batch rather
+	// than a full flush interval.
+	if full || gc.cfg.Fsync == FsyncAlways {
+		gc.signal()
+	}
+	return nil
+}
+
+func (gc *GroupCommit) signal() {
+	select {
+	case gc.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Sync blocks until every record appended before the call is written and
+// fsynced, regardless of fsync policy.
+func (gc *GroupCommit) Sync() error {
+	gc.mu.Lock()
+	if gc.err != nil {
+		err := gc.err
+		gc.mu.Unlock()
+		return err
+	}
+	if gc.closed {
+		gc.mu.Unlock()
+		return ErrAppenderClosed
+	}
+	g := gc.gen
+	if g > gc.wantSync {
+		gc.wantSync = g
+	}
+	gc.mu.Unlock()
+	gc.signal()
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	for gc.synced < g && gc.err == nil && !gc.closed {
+		gc.cond.Wait()
+	}
+	if gc.err != nil {
+		return gc.err
+	}
+	if gc.synced < g {
+		return ErrAppenderClosed
+	}
+	return nil
+}
+
+// Close drains pending records, fsyncs, closes the AOF, and stops the
+// flusher. It is idempotent and safe for concurrent use: every caller
+// blocks until shutdown has fully completed (AOF closed, final error
+// recorded) and observes the same result. After Close, append and Sync
+// fail.
+func (gc *GroupCommit) Close() error {
+	gc.closeOnce.Do(func() {
+		gc.mu.Lock()
+		gc.closed = true
+		gc.mu.Unlock()
+		close(gc.quit)
+		<-gc.done // final drain flush has run
+		aofErr := gc.aof.Close()
+		gc.mu.Lock()
+		if gc.err == nil {
+			gc.err = aofErr
+		}
+		gc.cond.Broadcast()
+		gc.mu.Unlock()
+		close(gc.closeDone)
+	})
+	<-gc.closeDone
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.err
+}
+
+// run is the flusher goroutine: it wakes on the interval ticker, on
+// batch-size pressure, and on Sync barriers, and performs one flush cycle
+// per wakeup.
+func (gc *GroupCommit) run() {
+	defer close(gc.done)
+	ticker := time.NewTicker(gc.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-gc.quit:
+			gc.flushCycle(true) // final drain: always durable
+			return
+		case <-ticker.C:
+			gc.flushCycle(gc.cfg.Fsync != FsyncNever)
+		case <-gc.wake:
+			gc.flushCycle(gc.cfg.Fsync == FsyncAlways)
+		}
+	}
+}
+
+// flushCycle hands the pending batch to the AOF, flushes it to the OS, and
+// fsyncs when the policy or a pending Sync barrier requires it.
+func (gc *GroupCommit) flushCycle(policySync bool) {
+	gc.mu.Lock()
+	if gc.err != nil {
+		gc.mu.Unlock()
+		return
+	}
+	batch := gc.pending
+	gc.pending = gc.scratch[:0]
+	gc.scratch = batch
+	target := gc.gen
+	// Sync only when there is something new to make durable: an idle
+	// daemon must not fsync an unchanged file every tick.
+	doSync := (policySync || gc.wantSync > gc.synced) && target > gc.synced
+	gc.mu.Unlock()
+
+	var err error
+	if len(batch) > 0 {
+		err = gc.aof.writeBatch(batch)
+	}
+	if err == nil {
+		if doSync {
+			if err = gc.aof.Sync(); err == nil {
+				gc.syncs.Add(1)
+			}
+		} else if len(batch) > 0 {
+			err = gc.aof.flushOS()
+		}
+	}
+
+	gc.mu.Lock()
+	if err != nil {
+		if gc.err == nil {
+			gc.err = err
+		}
+	} else if doSync && target > gc.synced {
+		gc.synced = target
+	}
+	gc.cond.Broadcast()
+	gc.mu.Unlock()
+}

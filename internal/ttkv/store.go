@@ -8,12 +8,18 @@
 // values with timestamps, with a special value type representing deletions.
 // This package implements that record schema natively, adds point-in-time
 // reads (the primitive the repair tool's rollback search is built on), and
-// provides append-only-file persistence (aof.go) so a logging daemon can
-// survive restarts.
+// provides append-only-file persistence (aof.go, groupcommit.go) so a
+// logging daemon can survive restarts.
+//
+// The store is sharded: keys are hash-partitioned across N lock-striped
+// shards so writers to distinct keys never contend on a lock. Version
+// sequence numbers remain store-wide and monotone, so point-in-time
+// ordering semantics are identical to a single-shard store.
 package ttkv
 
 import (
 	"errors"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -26,7 +32,13 @@ var (
 	ErrZeroTime  = errors.New("ttkv: zero timestamp")
 	ErrEmptyKey  = errors.New("ttkv: empty key")
 	ErrNoVersion = errors.New("ttkv: no version at or before requested time")
+	ErrOversize  = errors.New("ttkv: key or value exceeds MaxStringLen")
 )
+
+// MaxStringLen bounds keys and values (it matches the wire protocol's
+// bulk-string limit). Enforcing it on the write path keeps the AOF
+// replayable: the replay side rejects longer strings as corruption.
+const MaxStringLen = 8 << 20
 
 // Version is one entry in a key's value history. Deleted versions are the
 // paper's "special type of value ... used to represent deletions", kept in
@@ -50,21 +62,71 @@ type record struct {
 	reads    atomic.Uint64
 }
 
-// Store is an in-memory TTKV. It is safe for concurrent use. The zero
-// value is not usable; construct with New.
-type Store struct {
+// shard is one lock stripe: a private map plus private counters, so
+// concurrent writers to keys in different shards share no mutable state
+// except the store-wide sequence counter.
+type shard struct {
 	mu      sync.RWMutex
 	records map[string]*record
-	seq     atomic.Uint64
+	writes  uint64 // guarded by mu
+	deletes uint64 // guarded by mu
 	reads   atomic.Uint64
-	writes  atomic.Uint64
-	deletes atomic.Uint64
-	aof     *AOF // optional; appended to while holding mu
+	// pad spaces shards at least a cache line apart so one shard's lock
+	// traffic does not false-share with its neighbors.
+	_ [64]byte
 }
 
-// New returns an empty store.
-func New() *Store {
-	return &Store{records: make(map[string]*record)}
+// DefaultShards is the shard count used by New. It is a modest power of
+// two: enough stripes that GOMAXPROCS writers rarely collide, small enough
+// that iteration (Keys, Stats, snapshots) stays cheap.
+const DefaultShards = 16
+
+// Store is an in-memory TTKV. It is safe for concurrent use. The zero
+// value is not usable; construct with New or NewSharded.
+type Store struct {
+	shards []shard
+	mask   uint64 // len(shards)-1; len is a power of two
+	seq    atomic.Uint64
+	sink   atomic.Pointer[sinkBox] // optional persistence; see aof.go
+}
+
+// sinkBox wraps the persistence interface so it can live in an
+// atomic.Pointer (interfaces cannot).
+type sinkBox struct{ sink aofSink }
+
+// New returns an empty store with DefaultShards shards.
+func New() *Store { return NewSharded(DefaultShards) }
+
+// NewSharded returns an empty store striped across n shards. n is rounded
+// up to the next power of two; n <= 1 yields a single-shard store, which
+// behaves exactly like the historical single-lock implementation.
+func NewSharded(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	n = 1 << bits.Len(uint(n-1)) // next power of two (n itself if already one)
+	s := &Store{shards: make([]shard, n), mask: uint64(n - 1)}
+	for i := range s.shards {
+		s.shards[i].records = make(map[string]*record)
+	}
+	return s
+}
+
+// NumShards reports the store's shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// shardFor hashes key (FNV-1a) onto a shard.
+func (s *Store) shardFor(key string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &s.shards[h&s.mask]
 }
 
 // Set records a write of value to key at time t. Timestamps may arrive out
@@ -88,26 +150,60 @@ func (s *Store) apply(key, value string, t time.Time, deleted bool) error {
 	if t.IsZero() {
 		return ErrZeroTime
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.records[key]
+	if len(key) > MaxStringLen || len(value) > MaxStringLen {
+		return ErrOversize
+	}
+	if err := s.waitSinkCapacity(); err != nil {
+		return err
+	}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.applyLocked(sh, key, value, t, deleted)
+}
+
+// capacityWaiter is the optional backpressure gate a persistence sink can
+// expose (GroupCommit does). It is consulted before any shard lock is
+// taken, so a stalled disk pauses writers without blocking readers.
+type capacityWaiter interface{ waitCapacity() error }
+
+func (s *Store) waitSinkCapacity() error {
+	if box := s.sink.Load(); box != nil {
+		if cw, ok := box.sink.(capacityWaiter); ok {
+			return cw.waitCapacity()
+		}
+	}
+	return nil
+}
+
+// applyLocked performs one mutation with sh.mu already held. The
+// persistence enqueue happens under the shard lock so the AOF records
+// same-key mutations in exactly their in-memory insertion order (the
+// group-commit sink only copies bytes here; disk I/O happens on its own
+// goroutine). The enqueue runs first: if persistence rejects the record
+// (sticky flush error, closed appender), the in-memory store stays
+// untouched, so memory and log cannot diverge. The reverse crash window —
+// record in the AOF, process dies before the insert — only makes replay a
+// superset, which is the correct durability direction.
+func (s *Store) applyLocked(sh *shard, key, value string, t time.Time, deleted bool) error {
+	if box := s.sink.Load(); box != nil {
+		if err := box.sink.append(key, value, t, deleted); err != nil {
+			return err
+		}
+	}
+	rec, ok := sh.records[key]
 	if !ok {
 		rec = &record{}
-		s.records[key] = rec
+		sh.records[key] = rec
 	}
 	v := Version{Time: t, Value: value, Deleted: deleted, Seq: s.seq.Add(1)}
 	rec.insert(v)
 	if deleted {
 		rec.deletes++
-		s.deletes.Add(1)
+		sh.deletes++
 	} else {
 		rec.writes++
-		s.writes.Add(1)
-	}
-	if s.aof != nil {
-		if err := s.aof.append(key, value, t, deleted); err != nil {
-			return err
-		}
+		sh.writes++
 	}
 	return nil
 }
@@ -124,19 +220,21 @@ func (r *record) insert(v Version) {
 }
 
 // Get returns the current value of key. ok is false when the key was never
-// written or its latest version is a deletion. Get counts as a read.
+// written or its latest version is a deletion. Get counts as a read (a miss
+// is still application read traffic).
 func (s *Store) Get(key string) (value string, ok bool) {
-	s.mu.RLock()
-	rec, exists := s.records[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	rec, exists := sh.records[key]
 	if !exists {
-		s.mu.RUnlock()
-		s.reads.Add(1)
+		sh.mu.RUnlock()
+		sh.reads.Add(1)
 		return "", false
 	}
 	last := rec.versions[len(rec.versions)-1]
-	s.mu.RUnlock()
+	sh.mu.RUnlock()
 	rec.reads.Add(1)
-	s.reads.Add(1)
+	sh.reads.Add(1)
 	if last.Deleted {
 		return "", false
 	}
@@ -147,9 +245,10 @@ func (s *Store) Get(key string) (value string, ok bool) {
 // with Time <= t. It does not count as a read (it is a recovery-path
 // operation, not application activity).
 func (s *Store) GetAt(key string, t time.Time) (Version, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rec, ok := s.records[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.records[key]
 	if !ok {
 		return Version{}, ErrNoKey
 	}
@@ -164,9 +263,10 @@ func (s *Store) GetAt(key string, t time.Time) (Version, error) {
 
 // History returns a copy of key's full version history, oldest first.
 func (s *Store) History(key string) ([]Version, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rec, ok := s.records[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.records[key]
 	if !ok {
 		return nil, ErrNoKey
 	}
@@ -177,9 +277,10 @@ func (s *Store) History(key string) ([]Version, error) {
 
 // Latest returns the newest version of key.
 func (s *Store) Latest(key string) (Version, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rec, ok := s.records[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.records[key]
 	if !ok {
 		return Version{}, ErrNoKey
 	}
@@ -188,11 +289,14 @@ func (s *Store) Latest(key string) (Version, error) {
 
 // Keys returns all keys ever written, sorted.
 func (s *Store) Keys() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	keys := make([]string, 0, len(s.records))
-	for k := range s.records {
-		keys = append(keys, k)
+	var keys []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.records {
+			keys = append(keys, k)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(keys)
 	return keys
@@ -200,16 +304,22 @@ func (s *Store) Keys() []string {
 
 // Len returns the number of keys ever written.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.records)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.records)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // WriteCount returns how many non-delete writes key received.
 func (s *Store) WriteCount(key string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if rec, ok := s.records[key]; ok {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if rec, ok := sh.records[key]; ok {
 		return rec.writes
 	}
 	return 0
@@ -217,9 +327,10 @@ func (s *Store) WriteCount(key string) int {
 
 // DeleteCount returns how many deletions key received.
 func (s *Store) DeleteCount(key string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if rec, ok := s.records[key]; ok {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if rec, ok := sh.records[key]; ok {
 		return rec.deletes
 	}
 	return 0
@@ -228,9 +339,10 @@ func (s *Store) DeleteCount(key string) int {
 // ModCount returns writes + deletions of key: its total number of recorded
 // modifications, the quantity Ocasta's repair tool sorts clusters by.
 func (s *Store) ModCount(key string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if rec, ok := s.records[key]; ok {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if rec, ok := sh.records[key]; ok {
 		return rec.writes + rec.deletes
 	}
 	return 0
@@ -254,60 +366,74 @@ const versionOverhead = 40
 // keyOverhead approximates the fixed per-key bookkeeping cost.
 const keyOverhead = 64
 
-// Stats returns a snapshot of the store's counters and size.
+// Stats returns a snapshot of the store's counters and size. Counters are
+// summed shard by shard; under concurrent writes the snapshot is
+// consistent per shard, not across the whole store.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := Stats{
-		Keys:    len(s.records),
-		Writes:  s.writes.Load(),
-		Deletes: s.deletes.Load(),
-		Reads:   s.reads.Load(),
-	}
-	for k, rec := range s.records {
-		st.Versions += len(rec.versions)
-		st.ApproxBytes += int64(len(k)) + keyOverhead
-		for i := range rec.versions {
-			st.ApproxBytes += int64(len(rec.versions[i].Value)) + versionOverhead
+	var st Stats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st.Keys += len(sh.records)
+		st.Writes += sh.writes
+		st.Deletes += sh.deletes
+		st.Reads += sh.reads.Load()
+		for k, rec := range sh.records {
+			st.Versions += len(rec.versions)
+			st.ApproxBytes += int64(len(k)) + keyOverhead
+			for i := range rec.versions {
+				st.ApproxBytes += int64(len(rec.versions[i].Value)) + versionOverhead
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return st
 }
 
 // CountRead records an application read of key without fetching the value;
 // loggers use it when they observe read traffic they do not need the result
-// of.
+// of. Like Get, a read of a never-written key still counts globally (it is
+// real application read traffic).
 func (s *Store) CountRead(key string) {
-	s.mu.RLock()
-	rec, ok := s.records[key]
-	s.mu.RUnlock()
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	rec, ok := sh.records[key]
+	sh.mu.RUnlock()
 	if ok {
 		rec.reads.Add(1)
 	}
-	s.reads.Add(1)
+	sh.reads.Add(1)
 }
 
-// Clone returns a deep copy of the store's contents (counters included,
-// AOF binding excluded). Used by tests and by sandboxed trials that need a
-// writable copy.
+// Clone returns a deep copy of the store's contents (counters and shard
+// layout included, AOF binding excluded). Used by tests and by sandboxed
+// trials that need a writable copy.
 func (s *Store) Clone() *Store {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := New()
-	out.seq.Store(s.seq.Load())
-	out.reads.Store(s.reads.Load())
-	out.writes.Store(s.writes.Load())
-	out.deletes.Store(s.deletes.Load())
-	for k, rec := range s.records {
-		nr := &record{
-			versions: make([]Version, len(rec.versions)),
-			writes:   rec.writes,
-			deletes:  rec.deletes,
+	out := NewSharded(len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		osh := &out.shards[i]
+		sh.mu.RLock()
+		osh.writes = sh.writes
+		osh.deletes = sh.deletes
+		osh.reads.Store(sh.reads.Load())
+		for k, rec := range sh.records {
+			nr := &record{
+				versions: make([]Version, len(rec.versions)),
+				writes:   rec.writes,
+				deletes:  rec.deletes,
+			}
+			copy(nr.versions, rec.versions)
+			nr.reads.Store(rec.reads.Load())
+			osh.records[k] = nr
 		}
-		copy(nr.versions, rec.versions)
-		nr.reads.Store(rec.reads.Load())
-		out.records[k] = nr
+		sh.mu.RUnlock()
 	}
+	// Load seq only after every shard is copied: a concurrent writer may
+	// have minted sequence numbers we did not copy (a harmless gap), but
+	// loading first could hand the clone a counter below copied versions,
+	// making later clone writes mint duplicate Seqs.
+	out.seq.Store(s.seq.Load())
 	return out
 }
 
@@ -316,13 +442,14 @@ func (s *Store) Clone() *Store {
 // versions of a cluster: each timestamp at which any member key changed is
 // one candidate rollback point.
 func (s *Store) ModTimes(keys []string) []time.Time {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	seen := make(map[int64]struct{})
 	var times []time.Time
 	for _, k := range keys {
-		rec, ok := s.records[k]
+		sh := s.shardFor(k)
+		sh.mu.RLock()
+		rec, ok := sh.records[k]
 		if !ok {
+			sh.mu.RUnlock()
 			continue
 		}
 		for i := range rec.versions {
@@ -332,6 +459,7 @@ func (s *Store) ModTimes(keys []string) []time.Time {
 				times = append(times, rec.versions[i].Time)
 			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i].After(times[j]) })
 	return times

@@ -1,0 +1,59 @@
+package ttkvwire
+
+import (
+	"fmt"
+	"testing"
+
+	"ocasta/internal/ttkv"
+)
+
+// BenchmarkWireSetRoundTrip is the baseline: one SET per network round
+// trip, the only mode the server supported before pipelining.
+func BenchmarkWireSetRoundTrip(b *testing.B) {
+	_, c := startServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Set("k", "value", at(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireSetPipelined queues pipelineDepth SETs per Flush; the
+// per-op cost should drop well below the round-trip baseline because the
+// batch shares one write syscall and one response read burst.
+func BenchmarkWireSetPipelined(b *testing.B) {
+	const depth = 100
+	_, c := startServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		p := c.Pipeline()
+		for j := 0; j < depth && n < b.N; j++ {
+			p.Set("k", "value", at(n))
+			n++
+		}
+		if err := p.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireMSet batches depth writes into a single MSET command: one
+// request, one response, one store-side batch Apply.
+func BenchmarkWireMSet(b *testing.B) {
+	const depth = 100
+	_, c := startServer(b)
+	muts := make([]ttkv.Mutation, depth)
+	for i := range muts {
+		muts[i] = ttkv.Mutation{Key: fmt.Sprintf("k%d", i), Value: "value", Time: at(i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += depth {
+		if err := c.MSet(muts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

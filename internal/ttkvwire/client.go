@@ -87,14 +87,152 @@ func (c *Client) Ping() error {
 
 // Set records a write of key at time t.
 func (c *Client) Set(key, value string, t time.Time) error {
+	if t.IsZero() {
+		return ttkv.ErrZeroTime
+	}
 	_, err := c.roundTrip("SET", key, value, strconv.FormatInt(t.UnixNano(), 10))
 	return err
 }
 
 // Delete records a deletion of key at time t.
 func (c *Client) Delete(key string, t time.Time) error {
+	if t.IsZero() {
+		return ttkv.ErrZeroTime
+	}
 	_, err := c.roundTrip("DEL", key, strconv.FormatInt(t.UnixNano(), 10))
 	return err
+}
+
+// msetChunk bounds the mutations per MSET command so the request array
+// (1 + 3 per mutation) stays far below the protocol's maxArrayLen no
+// matter how large the caller's batch is.
+const msetChunk = 4096
+
+// MSet records a batch of writes (deletes in the batch are rejected; use
+// a Pipeline to mix operations). The server applies each chunk in order
+// with its store's batch API; batches are sent in chunks of msetChunk
+// mutations, so an error mid-way can leave earlier chunks applied.
+func (c *Client) MSet(muts []ttkv.Mutation) error {
+	for i := range muts {
+		if muts[i].Delete {
+			return fmt.Errorf("ttkvwire: MSet cannot carry deletes (key %q)", muts[i].Key)
+		}
+		// A zero time would serialize as its raw UnixNano sentinel and
+		// arrive server-side as a bogus non-zero timestamp, silently
+		// bypassing the store's ErrZeroTime validation.
+		if muts[i].Time.IsZero() {
+			return ttkv.ErrZeroTime
+		}
+	}
+	for start := 0; start < len(muts); start += msetChunk {
+		chunk := muts[start:min(start+msetChunk, len(muts))]
+		args := make([]string, 0, 1+3*len(chunk))
+		args = append(args, "MSET")
+		for i := range chunk {
+			args = append(args, chunk[i].Key, chunk[i].Value, strconv.FormatInt(chunk[i].Time.UnixNano(), 10))
+		}
+		v, err := c.roundTrip(args...)
+		if err != nil {
+			return err
+		}
+		if v.Kind != KindInt || v.Int != int64(len(chunk)) {
+			return fmt.Errorf("%w: unexpected MSET reply %+v", ErrProtocol, v)
+		}
+	}
+	return nil
+}
+
+// Pipeline returns an empty command pipeline on this connection. Queue
+// mutations with Set/Delete, then Flush once: all commands go out in a
+// single network write and the responses are read back in order, so N
+// mutations cost one round trip instead of N.
+func (c *Client) Pipeline() *Pipeline { return &Pipeline{c: c} }
+
+// Pipeline batches mutation commands on one connection. It is not safe
+// for concurrent use; each goroutine should build its own.
+type Pipeline struct {
+	c    *Client
+	cmds [][]string
+	err  error // first queue-time validation error, reported by Flush
+}
+
+// Set queues a write of key at time t.
+func (p *Pipeline) Set(key, value string, t time.Time) {
+	if t.IsZero() {
+		p.fail()
+		return
+	}
+	p.cmds = append(p.cmds, []string{"SET", key, value, strconv.FormatInt(t.UnixNano(), 10)})
+}
+
+// Delete queues a deletion of key at time t.
+func (p *Pipeline) Delete(key string, t time.Time) {
+	if t.IsZero() {
+		p.fail()
+		return
+	}
+	p.cmds = append(p.cmds, []string{"DEL", key, strconv.FormatInt(t.UnixNano(), 10)})
+}
+
+// fail records a zero-time queue error: serialized as raw UnixNano it
+// would reach the server as a bogus non-zero timestamp, dodging the
+// store's validation.
+func (p *Pipeline) fail() {
+	if p.err == nil {
+		p.err = ttkv.ErrZeroTime
+	}
+}
+
+// Len reports how many commands are queued.
+func (p *Pipeline) Len() int { return len(p.cmds) }
+
+// pipelineChunk bounds how many commands a Flush keeps in flight before
+// draining their responses. Without the bound, a huge pipeline could fill
+// both sockets' kernel buffers — server blocked writing responses nobody
+// reads, client blocked writing requests nobody accepts — and deadlock.
+const pipelineChunk = 512
+
+// Flush sends the queued commands, reads all responses in order, and
+// resets the pipeline. Commands go out in chunks of pipelineChunk, each
+// chunk a single network write. It returns the first error encountered;
+// server-side errors for individual commands surface as *RemoteError, and
+// every response is still drained so the connection stays usable.
+func (p *Pipeline) Flush() error {
+	if err := p.err; err != nil {
+		p.err = nil
+		p.cmds = nil
+		return err
+	}
+	if len(p.cmds) == 0 {
+		return nil
+	}
+	cmds := p.cmds
+	p.cmds = nil
+	<-p.c.mu
+	defer func() { p.c.mu <- struct{}{} }()
+	var firstErr error
+	for start := 0; start < len(cmds); start += pipelineChunk {
+		chunk := cmds[start:min(start+pipelineChunk, len(cmds))]
+		for _, cmd := range chunk {
+			if err := writeCommandBuf(p.c.bw, cmd...); err != nil {
+				return fmt.Errorf("ttkvwire: pipeline send: %w", err)
+			}
+		}
+		if err := p.c.bw.Flush(); err != nil {
+			return fmt.Errorf("ttkvwire: pipeline send: %w", err)
+		}
+		for range chunk {
+			v, err := ReadValue(p.c.br)
+			if err != nil {
+				// The connection is broken; responses cannot be drained.
+				return fmt.Errorf("ttkvwire: pipeline recv: %w", err)
+			}
+			if v.Kind == KindError && firstErr == nil {
+				firstErr = &RemoteError{Msg: v.Str}
+			}
+		}
+	}
+	return firstErr
 }
 
 // Get fetches the current value of key; ErrNotFound if absent or deleted.

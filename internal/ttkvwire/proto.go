@@ -179,13 +179,20 @@ func readLine(r *bufio.Reader) (string, error) {
 	return line[:len(line)-2], nil
 }
 
-// writeCommand sends a request as an array of bulk strings.
-func writeCommand(w *bufio.Writer, args ...string) error {
+// writeCommandBuf serializes a request as an array of bulk strings into w
+// without flushing, so callers can pipeline several commands into one
+// network write.
+func writeCommandBuf(w *bufio.Writer, args ...string) error {
 	vs := make([]Value, len(args))
 	for i, a := range args {
 		vs[i] = bulk(a)
 	}
-	if err := WriteValue(w, array(vs...)); err != nil {
+	return WriteValue(w, array(vs...))
+}
+
+// writeCommand sends a request as an array of bulk strings.
+func writeCommand(w *bufio.Writer, args ...string) error {
+	if err := writeCommandBuf(w, args...); err != nil {
 		return err
 	}
 	return w.Flush()

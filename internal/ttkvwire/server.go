@@ -128,8 +128,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := WriteValue(bw, resp); err != nil {
 			return
 		}
-		if err := bw.Flush(); err != nil {
-			return
+		// Pipelining: only pay the write syscall once the connection's
+		// buffered requests are drained, so a client that queued N
+		// commands gets N responses in (about) one segment.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -151,6 +156,8 @@ func (s *Server) dispatch(req Value) Value {
 		return simple("PONG")
 	case "SET":
 		return s.cmdSet(args[1:])
+	case "MSET":
+		return s.cmdMSet(args[1:])
 	case "DEL":
 		return s.cmdDel(args[1:])
 	case "GET":
@@ -192,6 +199,24 @@ func (s *Server) cmdSet(args []string) Value {
 		return errValue("ERR " + err.Error())
 	}
 	return simple("OK")
+}
+
+func (s *Server) cmdMSet(args []string) Value {
+	if len(args) == 0 || len(args)%3 != 0 {
+		return errValue("ERR usage: MSET key value unixnanos [key value unixnanos ...]")
+	}
+	muts := make([]ttkv.Mutation, 0, len(args)/3)
+	for i := 0; i < len(args); i += 3 {
+		t, err := parseNanos(args[i+2])
+		if err != nil {
+			return errValue("ERR bad timestamp: " + err.Error())
+		}
+		muts = append(muts, ttkv.Mutation{Key: args[i], Value: args[i+1], Time: t})
+	}
+	if err := s.store.Apply(muts); err != nil {
+		return errValue("ERR " + err.Error())
+	}
+	return intValue(int64(len(muts)))
 }
 
 func (s *Server) cmdDel(args []string) Value {

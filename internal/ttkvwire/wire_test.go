@@ -112,7 +112,7 @@ func TestProtoBulkPropertyRoundTrip(t *testing.T) {
 
 // --- client/server integration over real TCP ---
 
-func startServer(t *testing.T) (*Server, *Client) {
+func startServer(t testing.TB) (*Server, *Client) {
 	t.Helper()
 	store := ttkv.New()
 	srv := NewServer(store)
@@ -321,6 +321,215 @@ func TestServeAfterCloseFails(t *testing.T) {
 	}
 	if err := srv.Serve(ln); !errors.Is(err, ErrServerClosed) {
 		t.Errorf("Serve after Close = %v, want ErrServerClosed", err)
+	}
+}
+
+func TestMSet(t *testing.T) {
+	_, c := startServer(t)
+	muts := []ttkv.Mutation{
+		{Key: "a", Value: "1", Time: at(0)},
+		{Key: "b", Value: "2", Time: at(1)},
+		{Key: "a", Value: "3", Time: at(2)},
+	}
+	if err := c.MSet(muts); err != nil {
+		t.Fatalf("MSet: %v", err)
+	}
+	if v, err := c.Get("a"); err != nil || v != "3" {
+		t.Fatalf("a = %q,%v, want 3", v, err)
+	}
+	n, err := c.ModCount("a")
+	if err != nil || n != 2 {
+		t.Fatalf("ModCount(a) = %d,%v, want 2", n, err)
+	}
+	if err := c.MSet(nil); err != nil {
+		t.Errorf("empty MSet = %v, want nil", err)
+	}
+	if err := c.MSet([]ttkv.Mutation{{Key: "x", Time: at(0), Delete: true}}); err == nil {
+		t.Error("MSet with a delete must be rejected client-side")
+	}
+}
+
+func TestMSetServerRejectsBadBatches(t *testing.T) {
+	_, c := startServer(t)
+	var remote *RemoteError
+	if _, err := c.roundTrip("MSET", "k", "v"); !errors.As(err, &remote) {
+		t.Errorf("bad arity: err = %v, want RemoteError", err)
+	}
+	if _, err := c.roundTrip("MSET", "k", "v", "not-a-time"); !errors.As(err, &remote) {
+		t.Errorf("bad timestamp: err = %v, want RemoteError", err)
+	}
+	if _, err := c.roundTrip("MSET", "", "v", "0"); !errors.As(err, &remote) {
+		t.Errorf("empty key: err = %v, want RemoteError", err)
+	}
+	// A batch that fails validation applies nothing.
+	if _, err := c.roundTrip("MSET", "good", "v", "12345", "", "v", "12345"); !errors.As(err, &remote) {
+		t.Errorf("half-bad batch: err = %v, want RemoteError", err)
+	}
+	if _, err := c.Get("good"); !errors.Is(err, ErrNotFound) {
+		t.Error("failed batch must not partially apply")
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping after errors: %v", err)
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	_, c := startServer(t)
+	p := c.Pipeline()
+	for i := 0; i < 50; i++ {
+		p.Set(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i), at(i))
+	}
+	p.Delete("k0", at(100))
+	if p.Len() != 51 {
+		t.Fatalf("Len = %d, want 51", p.Len())
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if p.Len() != 0 {
+		t.Errorf("Len after Flush = %d, want 0", p.Len())
+	}
+	if _, err := c.Get("k0"); !errors.Is(err, ErrNotFound) {
+		t.Error("pipelined delete must apply in order")
+	}
+	if v, err := c.Get("k49"); err != nil || v != "v49" {
+		t.Fatalf("k49 = %q,%v, want v49", v, err)
+	}
+	// Empty flush is a no-op.
+	if err := c.Pipeline().Flush(); err != nil {
+		t.Errorf("empty Flush = %v, want nil", err)
+	}
+}
+
+// Zero timestamps must fail client-side: serialized as raw UnixNano they
+// would arrive server-side as a bogus non-zero time, silently dodging the
+// store's ErrZeroTime validation.
+func TestClientRejectsZeroTime(t *testing.T) {
+	_, c := startServer(t)
+	var zero time.Time
+	if err := c.Set("k", "v", zero); !errors.Is(err, ttkv.ErrZeroTime) {
+		t.Errorf("Set zero time = %v, want ErrZeroTime", err)
+	}
+	if err := c.Delete("k", zero); !errors.Is(err, ttkv.ErrZeroTime) {
+		t.Errorf("Delete zero time = %v, want ErrZeroTime", err)
+	}
+	if err := c.MSet([]ttkv.Mutation{{Key: "k", Value: "v"}}); !errors.Is(err, ttkv.ErrZeroTime) {
+		t.Errorf("MSet zero time = %v, want ErrZeroTime", err)
+	}
+	p := c.Pipeline()
+	p.Set("ok", "v", at(0))
+	p.Set("k", "v", zero)
+	if err := p.Flush(); !errors.Is(err, ttkv.ErrZeroTime) {
+		t.Errorf("pipelined zero time Flush = %v, want ErrZeroTime", err)
+	}
+	keys, err := c.Keys()
+	if err != nil || len(keys) != 0 {
+		t.Errorf("rejected writes reached the server: keys = %v,%v", keys, err)
+	}
+}
+
+// Batches larger than the per-command chunk must split into several MSET
+// commands (a single array would eventually exceed the protocol's
+// maxArrayLen and kill the connection).
+func TestMSetLargerThanChunk(t *testing.T) {
+	_, c := startServer(t)
+	const n = msetChunk + 100
+	muts := make([]ttkv.Mutation, n)
+	for i := range muts {
+		muts[i] = ttkv.Mutation{Key: "k", Value: fmt.Sprintf("v%d", i), Time: at(i)}
+	}
+	if err := c.MSet(muts); err != nil {
+		t.Fatalf("MSet: %v", err)
+	}
+	hist, err := c.History("k")
+	if err != nil || len(hist) != n {
+		t.Fatalf("History = %d versions,%v, want %d", len(hist), err, n)
+	}
+	if hist[n-1].Value != fmt.Sprintf("v%d", n-1) {
+		t.Errorf("last version = %q, want v%d", hist[n-1].Value, n-1)
+	}
+}
+
+// A pipeline far larger than the internal flush chunk must apply fully
+// and in order (chunking keeps the in-flight byte volume bounded so big
+// pipelines cannot deadlock against a non-reading peer).
+func TestPipelineLargerThanChunk(t *testing.T) {
+	_, c := startServer(t)
+	const n = pipelineChunk*2 + 100
+	p := c.Pipeline()
+	for i := 0; i < n; i++ {
+		p.Set("k", fmt.Sprintf("v%d", i), at(i))
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	hist, err := c.History("k")
+	if err != nil || len(hist) != n {
+		t.Fatalf("History = %d versions,%v, want %d", len(hist), err, n)
+	}
+	if hist[n-1].Value != fmt.Sprintf("v%d", n-1) {
+		t.Errorf("last version = %q, want v%d", hist[n-1].Value, n-1)
+	}
+}
+
+func TestPipelineSurfacesRemoteErrors(t *testing.T) {
+	_, c := startServer(t)
+	p := c.Pipeline()
+	p.Set("ok1", "v", at(0))
+	p.Set("", "v", at(1)) // server rejects empty key
+	p.Set("ok2", "v", at(2))
+	var remote *RemoteError
+	if err := p.Flush(); !errors.As(err, &remote) {
+		t.Fatalf("Flush = %v, want RemoteError", err)
+	}
+	// All responses were drained: the connection is still usable, and the
+	// valid commands around the bad one were applied.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping after pipeline error: %v", err)
+	}
+	for _, k := range []string{"ok1", "ok2"} {
+		if _, err := c.Get(k); err != nil {
+			t.Errorf("%s missing after pipeline with one bad command: %v", k, err)
+		}
+	}
+}
+
+func TestPipelineConcurrentWithRoundTrips(t *testing.T) {
+	// Pipelines and plain round trips share a connection; the client
+	// semaphore must keep request/response pairing intact.
+	_, c := startServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				p := c.Pipeline()
+				for j := 0; j < 10; j++ {
+					p.Set(fmt.Sprintf("p%d-%d-%d", g, i, j), "v", at(j))
+				}
+				if err := p.Flush(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := c.Ping(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
 

@@ -121,6 +121,11 @@ type appGen struct {
 	anchors map[int64]struct{}
 	res     *Result
 	user    string
+	// batch accumulates this app's store mutations so they land through
+	// the store's batch API in one Apply instead of per-event calls.
+	// Call order is preserved, so histories (and sequence numbers) are
+	// identical to per-event application.
+	batch []ttkv.Mutation
 }
 
 func (g *appGen) run(accessed map[string]struct{}) {
@@ -180,7 +185,13 @@ func (g *appGen) run(accessed map[string]struct{}) {
 		}
 	}
 
+	// Apply the buffered writes before counting reads: CountReads only
+	// counts keys that exist in the store.
+	g.flush()
+
 	// Reads: every session scans the whole configuration universe.
+	// ReadOnly keys are never written, so their scans contribute to the
+	// accessed-key universe but not to stored read counters.
 	allKeys := append(m.AllWritableKeys(), m.ReadOnly...)
 	scans := len(sessions) * g.usage.ScansPerSession
 	if scans > 0 {
@@ -284,11 +295,19 @@ func (g *appGen) write(key, value string, t time.Time) {
 	g.res.Trace.Events = append(g.res.Trace.Events, trace.Event{
 		Time: t, Op: trace.OpWrite, Store: m.Store, App: m.Name, User: g.user, Key: key, Value: value,
 	})
-	// The store keeps the full history; errors are impossible here by
-	// construction (non-empty keys, non-zero times).
-	if err := g.res.Store.Set(key, value, t); err != nil {
-		panic(fmt.Sprintf("workload: store set: %v", err))
+	g.batch = append(g.batch, ttkv.Mutation{Key: key, Value: value, Time: t})
+}
+
+// flush applies the buffered mutations through the store's batch API.
+// Errors are impossible by construction (non-empty keys, non-zero times).
+func (g *appGen) flush() {
+	if len(g.batch) == 0 {
+		return
 	}
+	if err := g.res.Store.Apply(g.batch); err != nil {
+		panic(fmt.Sprintf("workload: store apply: %v", err))
+	}
+	g.batch = g.batch[:0]
 }
 
 // genFiller populates the machine's remaining key universe.
@@ -311,10 +330,12 @@ func genFiller(p MachineProfile, start time.Time, res *Result, accessed map[stri
 		keys[i] = fmt.Sprintf("%s%sk%05d", prefix, sp, i)
 		accessed[keys[i]] = struct{}{}
 	}
-	// Writes: each at a unique second so filler keys never pair up.
+	// Writes: each at a unique second so filler keys never pair up. The
+	// whole filler population goes through the batch API in one Apply.
 	used := make(map[int64]struct{})
 	total := p.Fill.WritesPerDay * p.Days
 	span := int64(p.Days) * 24 * 3600
+	muts := make([]ttkv.Mutation, 0, total)
 	for w := 0; w < total; w++ {
 		var sec int64
 		for {
@@ -330,9 +351,10 @@ func genFiller(p MachineProfile, start time.Time, res *Result, accessed map[stri
 		res.Trace.Events = append(res.Trace.Events, trace.Event{
 			Time: t, Op: trace.OpWrite, Store: store, App: "system", User: p.User, Key: key, Value: value,
 		})
-		if err := res.Store.Set(key, value, t); err != nil {
-			panic(fmt.Sprintf("workload: filler set: %v", err))
-		}
+		muts = append(muts, ttkv.Mutation{Key: key, Value: value, Time: t})
+	}
+	if err := res.Store.Apply(muts); err != nil {
+		panic(fmt.Sprintf("workload: filler apply: %v", err))
 	}
 	// Reads: scans of the filler population.
 	scans := p.Fill.ScansPerDay * p.Days

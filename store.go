@@ -20,21 +20,65 @@ type (
 	StoreStats = ttkv.Stats
 	// AOF is the store's append-only persistence file.
 	AOF = ttkv.AOF
+	// GroupCommit batches AOF writes off the store's hot path.
+	GroupCommit = ttkv.GroupCommit
+	// GroupCommitConfig tunes a GroupCommit's flush and fsync cadence.
+	GroupCommitConfig = ttkv.GroupCommitConfig
+	// FsyncPolicy selects when the group-commit appender fsyncs.
+	FsyncPolicy = ttkv.FsyncPolicy
+	// Mutation is one entry of a batch applied with Store.Apply or
+	// Client.MSet.
+	Mutation = ttkv.Mutation
 	// Server exposes a store over TCP.
 	Server = ttkvwire.Server
 	// Client talks to a remote store.
 	Client = ttkvwire.Client
+	// Pipeline queues client commands for a single-round-trip flush.
+	Pipeline = ttkvwire.Pipeline
 )
 
-// NewStore returns an empty TTKV.
+// Group-commit fsync policies, re-exported so external callers can fill
+// GroupCommitConfig.Fsync.
+const (
+	// FsyncInterval fsyncs once per flush interval (the default).
+	FsyncInterval = ttkv.FsyncInterval
+	// FsyncAlways flushes+fsyncs eagerly on every append.
+	FsyncAlways = ttkv.FsyncAlways
+	// FsyncNever leaves fsync to the OS and explicit Sync calls.
+	FsyncNever = ttkv.FsyncNever
+)
+
+// ParseFsyncPolicy parses "always", "interval", or "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return ttkv.ParseFsyncPolicy(s) }
+
+// NewStore returns an empty TTKV with the default shard count.
 func NewStore() *Store { return ttkv.New() }
+
+// NewShardedStore returns an empty TTKV striped across n lock shards
+// (rounded up to a power of two); writers to distinct keys never contend.
+func NewShardedStore(n int) *Store { return ttkv.NewSharded(n) }
 
 // LoadStore replays an append-only file into a fresh store, tolerating a
 // truncated tail.
 func LoadStore(path string) (*Store, error) { return ttkv.LoadAOF(path) }
 
-// CreateAOF creates an append-only file; attach it with Store.AttachAOF.
+// CreateAOF creates an append-only file; attach it with Store.AttachAOF,
+// or wrap it with NewGroupCommit to batch disk I/O off the write path.
 func CreateAOF(path string) (*AOF, error) { return ttkv.CreateAOF(path) }
+
+// OpenOrCreateAOF opens an AOF for appending, creating it if absent. A
+// crash-truncated tail is repaired before appending.
+func OpenOrCreateAOF(path string) (*AOF, error) { return ttkv.OpenOrCreateAOF(path) }
+
+// OpenAOFInto is OpenOrCreateAOF fused with replay into store — the
+// single-pass startup path a daemon wants.
+func OpenAOFInto(path string, store *Store) (*AOF, error) { return ttkv.OpenAOFInto(path, store) }
+
+// NewGroupCommit wraps an AOF in a group-commit batch appender; attach it
+// with Store.AttachGroupCommit.
+func NewGroupCommit(a *AOF, cfg GroupCommitConfig) *GroupCommit {
+	return ttkv.NewGroupCommit(a, cfg)
+}
 
 // NewServer wraps a store in a TTKV network server.
 func NewServer(store *Store) *Server { return ttkvwire.NewServer(store) }
