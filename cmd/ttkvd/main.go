@@ -20,6 +20,8 @@ import (
 	"syscall"
 	"time"
 
+	"ocasta/internal/core"
+	"ocasta/internal/trace"
 	"ocasta/internal/ttkv"
 	"ocasta/internal/ttkvwire"
 )
@@ -36,6 +38,11 @@ func run() int {
 	fsyncEvery := flag.Duration("fsync-interval", 50*time.Millisecond, "group-commit flush/fsync interval")
 	compact := flag.Bool("compact", false, "rewrite the AOF as a snapshot after replay")
 	retain := flag.Int("retain", 0, "with -compact, keep only the newest N versions per key (0 = all)")
+	reclusterEvery := flag.Duration("recluster-interval", time.Second, "live clustering recluster period (0 disables analytics)")
+	window := flag.Duration("window", time.Second, "analytics co-modification window (0 groups only identical timestamps)")
+	horizon := flag.Duration("horizon", trace.DefaultHorizon, "analytics reorder horizon for out-of-order write timestamps")
+	advance := flag.Bool("recluster-advance", true, "advance the analytics watermark to the wall clock on each recluster tick (disable when replaying historical timestamps slowly)")
+	maxSkew := flag.Duration("max-future-skew", 30*time.Second, "quarantine writes stamped further than this beyond the wall clock from analytics windowing (0 trusts all timestamps; set 0 when loading historical traces)")
 	flag.Parse()
 
 	if *shards < 1 || *shards > 1<<16 {
@@ -63,8 +70,39 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "ttkvd: -compact requires -aof")
 		return 2
 	}
+	if *reclusterEvery < 0 {
+		fmt.Fprintf(os.Stderr, "ttkvd: -recluster-interval must be >= 0, got %v\n", *reclusterEvery)
+		return 2
+	}
+	if *window < 0 {
+		fmt.Fprintf(os.Stderr, "ttkvd: -window must be >= 0, got %v\n", *window)
+		return 2
+	}
+	if *horizon < 0 {
+		fmt.Fprintf(os.Stderr, "ttkvd: -horizon must be >= 0, got %v\n", *horizon)
+		return 2
+	}
+	if *maxSkew < 0 {
+		fmt.Fprintf(os.Stderr, "ttkvd: -max-future-skew must be >= 0, got %v\n", *maxSkew)
+		return 2
+	}
 
 	store := ttkv.NewSharded(*shards)
+	var engine *core.Engine
+	if *reclusterEvery > 0 {
+		engWindow := *window
+		if engWindow == 0 {
+			engWindow = -1 // EngineConfig: negative selects the zero-second window
+		}
+		engine = core.NewEngine(core.EngineConfig{
+			Window:        engWindow,
+			Horizon:       *horizon,
+			MaxFutureSkew: *maxSkew,
+		})
+		// Attached before AOF replay, so restored history feeds the live
+		// clustering exactly like fresh writes would.
+		store.SetStatsObserver(engine)
+	}
 	var gc *ttkv.GroupCommit
 	if *aofPath != "" {
 		// One pass replays existing history into the store, repairs a
@@ -103,9 +141,37 @@ func run() int {
 	}
 
 	srv := ttkvwire.NewServer(store)
+	var reclusterStop chan struct{}
+	if engine != nil {
+		srv.SetAnalytics(engine)
+		// Fold in whatever the replay produced before serving: CLUSTERS is
+		// then meaningful from the first request.
+		engine.AdvanceTo(time.Now())
+		engine.Recluster()
+		reclusterStop = make(chan struct{})
+		go func() {
+			ticker := time.NewTicker(*reclusterEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-reclusterStop:
+					return
+				case <-ticker.C:
+					if *advance {
+						engine.AdvanceTo(time.Now())
+					}
+					engine.Recluster()
+				}
+			}
+		}()
+	}
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*addr) }()
-	fmt.Printf("ttkvd: serving on %s (shards=%d fsync=%s)\n", *addr, store.NumShards(), policy)
+	analyticsState := "off"
+	if engine != nil {
+		analyticsState = fmt.Sprintf("every %v", *reclusterEvery)
+	}
+	fmt.Printf("ttkvd: serving on %s (shards=%d fsync=%s recluster=%s)\n", *addr, store.NumShards(), policy, analyticsState)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -117,11 +183,17 @@ func run() int {
 	case err := <-done:
 		if err != nil && err != ttkvwire.ErrServerClosed {
 			fmt.Fprintln(os.Stderr, "ttkvd:", err)
+			if reclusterStop != nil {
+				close(reclusterStop)
+			}
 			if gc != nil {
 				gc.Close()
 			}
 			return 1
 		}
+	}
+	if reclusterStop != nil {
+		close(reclusterStop)
 	}
 	if gc != nil {
 		// Close drains pending batches, fsyncs, and closes the file.

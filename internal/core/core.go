@@ -60,87 +60,130 @@ func ThresholdFromCorrelation(corr float64) float64 {
 
 // PairStats aggregates co-modification episode counts for the keys seen in
 // a window-grouped write stream. It is the input to clustering.
+//
+// PairStats is incremental: NewPairStats(nil) yields an empty accumulator
+// and Add folds in one group at a time, so a streaming windower can feed
+// it without ever materialising the group slice. Keys are interned into a
+// growable symbol table on first sight; pair counts live in an
+// open-addressed table keyed by the packed id pair (see pairCounter) —
+// the batch pipeline's map[pair]int here was the hottest allocation site
+// of the whole analytics path.
+//
+// Internally ids follow interning (arrival) order, but every clustering-
+// facing accessor works in *sorted-key* id space through a lazily
+// maintained permutation, so dendrograms, tie-breaks, and node ids are
+// bit-identical to building the stats from scratch over sorted keys.
+// PairStats is not safe for concurrent use.
 type PairStats struct {
-	keys    []string       // index -> key name, sorted for determinism
-	index   map[string]int // key name -> index
-	epCount []int          // per-key number of episodes (groups) touching it
-	co      map[pairKey]int
-	last    []int64 // per-key UnixNano of most recent episode
-	groups  int
-}
+	syms   []string       // interned id -> key name, in first-seen order
+	index  map[string]int // key name -> interned id
+	ep     []int          // per interned id: episodes (groups) touching it
+	co     *pairCounter   // packed interned-id pair -> co-episode count
+	last   []int64        // per interned id: UnixNano of most recent episode
+	groups int
 
-type pairKey struct{ lo, hi int }
+	// perm/inv map sorted-id space (what HAC sees) to interned-id space.
+	// They are rebuilt only when the key universe grew — counts changing
+	// never invalidates them, which is what keeps periodic reclustering
+	// of a stable universe cheap.
+	perm []int // sorted id -> interned id
+	inv  []int // interned id -> sorted id
 
-func mkPair(i, j int) pairKey {
-	if i > j {
-		i, j = j, i
-	}
-	return pairKey{lo: i, hi: j}
+	scratch []int // Add's group id buffer, reused across calls
 }
 
 // NewPairStats builds pair statistics from co-modification groups.
+// NewPairStats(nil) returns an empty accumulator for incremental use.
 func NewPairStats(groups []trace.Group) *PairStats {
-	keySet := make(map[string]struct{})
-	for _, g := range groups {
-		for _, k := range g.Keys {
-			keySet[k] = struct{}{}
-		}
-	}
-	keys := make([]string, 0, len(keySet))
-	for k := range keySet {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	index := make(map[string]int, len(keys))
-	for i, k := range keys {
-		index[k] = i
-	}
 	ps := &PairStats{
-		keys:    keys,
-		index:   index,
-		epCount: make([]int, len(keys)),
-		co:      make(map[pairKey]int),
-		last:    make([]int64, len(keys)),
-		groups:  len(groups),
+		index: make(map[string]int),
+		co:    newPairCounter(),
 	}
 	for _, g := range groups {
-		// Dedupe within the group: callers may hand NewPairStats arbitrary
-		// groups, and a repeated key would otherwise double-count its
-		// episode and insert a self-pair into the co-modification counts,
-		// silently inflating correlations.
-		ids := make([]int, 0, len(g.Keys))
-		seen := make(map[int]struct{}, len(g.Keys))
-		for _, k := range g.Keys {
-			id := index[k]
-			if _, dup := seen[id]; dup {
-				continue
-			}
-			seen[id] = struct{}{}
-			ids = append(ids, id)
-		}
-		end := g.End.UnixNano()
-		for i, a := range ids {
-			ps.epCount[a]++
-			if end > ps.last[a] {
-				ps.last[a] = end
-			}
-			for _, b := range ids[i+1:] {
-				ps.co[mkPair(a, b)]++
-			}
-		}
+		ps.Add(g)
 	}
 	return ps
 }
 
+// intern returns the id of key, assigning the next id on first sight.
+func (ps *PairStats) intern(key string) int {
+	if id, ok := ps.index[key]; ok {
+		return id
+	}
+	id := len(ps.syms)
+	ps.syms = append(ps.syms, key)
+	ps.index[key] = id
+	ps.ep = append(ps.ep, 0)
+	ps.last = append(ps.last, 0)
+	return id
+}
+
+// Add folds one co-modification group into the statistics. Duplicate keys
+// within the group are deduped: a repeated key would otherwise
+// double-count its episode and insert a self-pair into the co-modification
+// counts, silently inflating correlations.
+func (ps *PairStats) Add(g trace.Group) {
+	ids := ps.scratch[:0]
+	for _, k := range g.Keys {
+		ids = append(ids, ps.intern(k))
+	}
+	sort.Ints(ids)
+	// In-place dedupe of the sorted ids.
+	w := 0
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			ids[w] = id
+			w++
+		}
+	}
+	ids = ids[:w]
+	end := g.End.UnixNano()
+	for i, a := range ids {
+		ps.ep[a]++
+		if end > ps.last[a] {
+			ps.last[a] = end
+		}
+		for _, b := range ids[i+1:] {
+			ps.co.incr(packPair(a, b))
+		}
+	}
+	ps.scratch = ids
+	ps.groups++
+}
+
+// ensureSorted (re)builds the sorted-id permutation after the key universe
+// grew. Counts changing does not invalidate it, so the length check is an
+// exact staleness test.
+func (ps *PairStats) ensureSorted() {
+	if len(ps.perm) == len(ps.syms) {
+		return
+	}
+	ps.perm = make([]int, len(ps.syms))
+	for i := range ps.perm {
+		ps.perm[i] = i
+	}
+	sort.Slice(ps.perm, func(i, j int) bool { return ps.syms[ps.perm[i]] < ps.syms[ps.perm[j]] })
+	ps.inv = make([]int, len(ps.syms))
+	for s, id := range ps.perm {
+		ps.inv[id] = s
+	}
+}
+
 // Keys returns the distinct keys observed, sorted.
 func (ps *PairStats) Keys() []string {
-	out := make([]string, len(ps.keys))
-	copy(out, ps.keys)
+	ps.ensureSorted()
+	out := make([]string, len(ps.syms))
+	for i, id := range ps.perm {
+		out[i] = ps.syms[id]
+	}
 	return out
 }
 
 // NumKeys returns how many distinct keys were observed.
-func (ps *PairStats) NumKeys() int { return len(ps.keys) }
+func (ps *PairStats) NumKeys() int { return len(ps.syms) }
+
+// NumPairs returns how many distinct key pairs were ever co-modified.
+func (ps *PairStats) NumPairs() int { return ps.co.len() }
 
 // NumGroups returns how many co-modification episodes were observed.
 func (ps *PairStats) NumGroups() int { return ps.groups }
@@ -149,7 +192,7 @@ func (ps *PairStats) NumGroups() int { return ps.groups }
 // key was never modified.
 func (ps *PairStats) Episodes(key string) int {
 	if i, ok := ps.index[key]; ok {
-		return ps.epCount[i]
+		return ps.ep[i]
 	}
 	return 0
 }
@@ -165,7 +208,7 @@ func (ps *PairStats) CoEpisodes(a, b string) int {
 	if !ok || ia == ib {
 		return 0
 	}
-	return ps.co[mkPair(ia, ib)]
+	return ps.co.get(packPair(ia, ib))
 }
 
 // KeyCorrelation returns the correlation between two named keys.
@@ -178,34 +221,53 @@ func (ps *PairStats) KeyCorrelation(a, b string) float64 {
 	if !ok || ia == ib {
 		return 0
 	}
-	return Correlation(ps.co[mkPair(ia, ib)], ps.epCount[ia], ps.epCount[ib])
+	return Correlation(ps.co.get(packPair(ia, ib)), ps.ep[ia], ps.ep[ib])
 }
 
-// correlationByIndex is the internal fast path used by HAC.
+// correlationByIndex is the internal fast path used by HAC. i and j are
+// sorted-space ids.
 func (ps *PairStats) correlationByIndex(i, j int) float64 {
-	return Correlation(ps.co[mkPair(i, j)], ps.epCount[i], ps.epCount[j])
+	a, b := ps.perm[i], ps.perm[j]
+	return Correlation(ps.co.get(packPair(a, b)), ps.ep[a], ps.ep[b])
 }
 
-// adjacency returns, per key index, the set of neighbours with non-zero
-// co-modification counts. HAC decomposes over the connected components of
-// this graph: keys in different components are at infinite distance and can
-// never merge under any linkage.
-func (ps *PairStats) adjacency() [][]int {
-	adj := make([][]int, len(ps.keys))
-	for pk := range ps.co {
-		adj[pk.lo] = append(adj[pk.lo], pk.hi)
-		adj[pk.hi] = append(adj[pk.hi], pk.lo)
+// keyBySorted returns the key name of a sorted-space id.
+func (ps *PairStats) keyBySorted(i int) string { return ps.syms[ps.perm[i]] }
+
+// fillLeafStats copies per-key episode counts and last-modification times
+// into sorted-space-indexed slices (the per-leaf statistics a dendrogram
+// or cluster carries).
+func (ps *PairStats) fillLeafStats(mod []int, last []int64) {
+	ps.ensureSorted()
+	for i, id := range ps.perm {
+		mod[i] = ps.ep[id]
+		last[i] = ps.last[id]
 	}
+}
+
+// adjacency returns, per sorted-space key id, the set of neighbours with
+// non-zero co-modification counts. HAC decomposes over the connected
+// components of this graph: keys in different components are at infinite
+// distance and can never merge under any linkage.
+func (ps *PairStats) adjacency() [][]int {
+	ps.ensureSorted()
+	adj := make([][]int, len(ps.syms))
+	ps.co.forEach(func(k uint64, _ int) {
+		lo, hi := unpackPair(k)
+		a, b := ps.inv[lo], ps.inv[hi]
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	})
 	return adj
 }
 
 // components returns the connected components of the co-modification graph
 // described by adj (as built by adjacency), each sorted, in deterministic
-// (smallest-member) order.
+// (smallest-member) order. Ids are sorted-space.
 func (ps *PairStats) components(adj [][]int) [][]int {
-	seen := make([]bool, len(ps.keys))
+	seen := make([]bool, len(ps.syms))
 	var comps [][]int
-	for start := range ps.keys {
+	for start := range adj {
 		if seen[start] {
 			continue
 		}

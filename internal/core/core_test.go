@@ -396,11 +396,11 @@ func TestPairStatsDuplicateKeysInGroup(t *testing.T) {
 	if got := ps.CoEpisodes("a", "b"); got != 3 {
 		t.Errorf("CoEpisodes(a,b) = %d, want 3", got)
 	}
-	for pk := range ps.co {
-		if pk.lo == pk.hi {
-			t.Errorf("self-pair %v in co-modification counts", pk)
+	ps.co.forEach(func(k uint64, _ int) {
+		if lo, hi := unpackPair(k); lo >= hi {
+			t.Errorf("self- or misordered pair (%d,%d) in co-modification counts", lo, hi)
 		}
-	}
+	})
 	// a and b are always modified together: the correlation must be the
 	// clean maximum of 2, and the pair must cluster at the default
 	// threshold.

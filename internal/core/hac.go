@@ -83,6 +83,53 @@ func (l Linkage) storedValue(d float64) float64 {
 	return d
 }
 
+// cutThreshold maps a caller's distance threshold onto the linkage's
+// merge-height grid: average-linkage heights are quantised to avgScale
+// resolution (see the avgScale comment), so the threshold must be
+// quantised identically or a pair whose distance exactly equals it would
+// fail to merge. Dendrogram.Cut and clusterComponent (the incremental
+// engine's per-component cut) share this so batch and streaming cuts can
+// never drift apart.
+func (l Linkage) cutThreshold(maxDist float64) float64 {
+	if l == LinkageAverage {
+		return math.Round(maxDist*avgScale) / avgScale
+	}
+	return maxDist
+}
+
+// parallelFor runs fn(i) for every i in [0, n) across at most workers
+// goroutines (<= 1 runs inline). Work is handed out by an atomic counter,
+// so output slots indexed by i are deterministic regardless of worker
+// count — the scheduling shared by component clustering in Dendrogram and
+// Engine.Recluster.
+func parallelFor(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // Merge records one agglomeration step of the dendrogram. Node identifiers
 // follow the scipy convention: leaves are 0..n-1; internal nodes are
 // numbered from n upward. Each connected component of the co-modification
@@ -151,13 +198,7 @@ func (c *Cluster) Contains(key string) bool {
 // Leaves that never merged below the threshold come back as singleton
 // clusters. Clusters are returned in deterministic order (by first key).
 func (d *Dendrogram) Cut(maxDist float64) []Cluster {
-	if d.linkage == LinkageAverage {
-		// Average-linkage heights are quantised to the avgScale grid (see
-		// the avgScale comment); map the threshold through the same
-		// quantisation so a pair whose distance exactly equals the
-		// threshold still merges.
-		maxDist = math.Round(maxDist*avgScale) / avgScale
-	}
+	maxDist = d.linkage.cutThreshold(maxDist)
 	n := len(d.keys)
 	size := n + len(d.merges)
 	if d.nodes > size {
@@ -422,6 +463,15 @@ func (c *Clusterer) Parallelism() int {
 	return c.parallelism
 }
 
+// workerCount resolves the configured parallelism to a concrete worker
+// count.
+func (c *Clusterer) workerCount() int {
+	if c.parallelism > 0 {
+		return c.parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // componentBases reserves a contiguous internal-node-id range per component
 // (k-1 ids for k leaves) and returns the per-component base ids plus the
 // total number of node ids.
@@ -444,15 +494,14 @@ func componentBases(n int, comps [][]int) ([]int, int) {
 // are clustered concurrently (see WithParallelism); output is deterministic
 // regardless of worker count.
 func (c *Clusterer) Dendrogram(ps *PairStats) *Dendrogram {
-	n := len(ps.keys)
+	n := ps.NumKeys()
 	d := &Dendrogram{
 		keys:     ps.Keys(),
 		linkage:  c.linkage,
 		modCount: make([]int, n),
 		lastMod:  make([]int64, n),
 	}
-	copy(d.modCount, ps.epCount)
-	copy(d.lastMod, ps.last)
+	ps.fillLeafStats(d.modCount, d.lastMod)
 	adj := ps.adjacency()
 	comps := ps.components(adj)
 	bases, nodes := componentBases(n, comps)
@@ -465,36 +514,10 @@ func (c *Clusterer) Dendrogram(ps *PairStats) *Dendrogram {
 		}
 	}
 	results := make([][]Merge, len(comps))
-	workers := c.parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(work) {
-		workers = len(work)
-	}
-	if workers <= 1 {
-		for _, i := range work {
-			results[i] = c.chainComponent(ps, comps[i], adj, bases[i])
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					t := int(next.Add(1)) - 1
-					if t >= len(work) {
-						return
-					}
-					i := work[t]
-					results[i] = c.chainComponent(ps, comps[i], adj, bases[i])
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	parallelFor(len(work), c.workerCount(), func(t int) {
+		i := work[t]
+		results[i] = c.chainComponent(ps, comps[i], adj, bases[i])
+	})
 	for _, ms := range results {
 		d.merges = append(d.merges, ms...)
 	}
@@ -624,6 +647,88 @@ func relabel(raw []rawMerge, comp []int, base int) []Merge {
 // it from a correlation value).
 func (c *Clusterer) Cluster(ps *PairStats, threshold float64) []Cluster {
 	return c.Dendrogram(ps).Cut(threshold)
+}
+
+// clusterComponent runs HAC on one connected component and cuts it at
+// maxDist, returning the component's clusters (unsorted; callers order
+// the combined result). It produces exactly the clusters a full
+// Dendrogram+Cut yields for the component's leaves: chainComponent gives
+// identical merges, and cutting per component is equivalent because
+// merges never cross components. This is the dirty-component fast path of
+// incremental reclustering — only components whose statistics changed pay
+// for it.
+func (c *Clusterer) clusterComponent(ps *PairStats, comp []int, adj [][]int, maxDist float64) []Cluster {
+	maxDist = c.linkage.cutThreshold(maxDist)
+	k := len(comp)
+	if k == 1 {
+		return []Cluster{leafCluster(ps, comp[0])}
+	}
+	base := ps.NumKeys()
+	merges := c.chainComponent(ps, comp, adj, base)
+
+	// Scoped union-find over the component's node ids: leaves comp[0..k-1]
+	// map to slots 0..k-1, internal nodes base+j to slots k+j.
+	slotOf := func(node int) int {
+		if node >= base {
+			return k + (node - base)
+		}
+		i := sort.SearchInts(comp, node)
+		return i
+	}
+	parent := make([]int, 2*k-1)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, m := range merges {
+		if m.Height > maxDist {
+			continue
+		}
+		ra, rb := find(slotOf(m.A)), find(slotOf(m.B))
+		rn := slotOf(m.Node)
+		parent[ra] = rn
+		parent[rb] = rn
+	}
+	members := make(map[int][]int, k)
+	for i, leaf := range comp {
+		root := find(i)
+		members[root] = append(members[root], leaf)
+	}
+	clusters := make([]Cluster, 0, len(members))
+	for _, leaves := range members {
+		cl := Cluster{Keys: make([]string, 0, len(leaves))}
+		var last int64
+		for _, leaf := range leaves {
+			cl.Keys = append(cl.Keys, ps.keyBySorted(leaf))
+			cl.ModCount += ps.ep[ps.perm[leaf]]
+			if lm := ps.last[ps.perm[leaf]]; lm > last {
+				last = lm
+			}
+		}
+		sort.Strings(cl.Keys)
+		if last > 0 {
+			cl.LastModified = time.Unix(0, last).UTC()
+		}
+		clusters = append(clusters, cl)
+	}
+	return clusters
+}
+
+// leafCluster builds the singleton cluster of one sorted-space leaf id.
+func leafCluster(ps *PairStats, leaf int) Cluster {
+	id := ps.perm[leaf]
+	cl := Cluster{Keys: []string{ps.syms[id]}, ModCount: ps.ep[id]}
+	if ps.last[id] > 0 {
+		cl.LastModified = time.Unix(0, ps.last[id]).UTC()
+	}
+	return cl
 }
 
 // SortForRecovery orders clusters the way Ocasta's repair tool searches

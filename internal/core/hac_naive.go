@@ -14,15 +14,14 @@ import "math"
 // directly comparable, but always clusters sequentially with dense
 // matrices.
 func (c *Clusterer) dendrogramNaive(ps *PairStats) *Dendrogram {
-	n := len(ps.keys)
+	n := ps.NumKeys()
 	d := &Dendrogram{
 		keys:     ps.Keys(),
 		linkage:  c.linkage,
 		modCount: make([]int, n),
 		lastMod:  make([]int64, n),
 	}
-	copy(d.modCount, ps.epCount)
-	copy(d.lastMod, ps.last)
+	ps.fillLeafStats(d.modCount, d.lastMod)
 	comps := ps.components(ps.adjacency())
 	bases, nodes := componentBases(n, comps)
 	d.nodes = nodes

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"ocasta/internal/trace"
+)
+
+// This file holds the streaming-vs-batch equivalence property tests: the
+// incremental engine (StreamWindower → PairStats.Add → dirty-component
+// recluster) must produce byte-identical output to the batch pipeline
+// (Windower.GroupTrace → NewPairStats → Clusterer.Cluster) on the same
+// event set — the same contract hac_equiv_test.go enforces between the
+// chain and naive clusterers.
+
+var streamT0 = time.Date(2013, 9, 1, 12, 0, 0, 0, time.UTC)
+
+// streamRandomTrace builds a multi-app write trace with second-granular
+// timestamps, heavy window collisions, repeated keys, and deletes.
+func streamRandomTrace(rng *rand.Rand, events int) *trace.Trace {
+	apps := []string{"alpha", "beta", "gamma", "delta"}
+	tr := &trace.Trace{Name: "equiv"}
+	span := events/3 + 1
+	for i := 0; i < events; i++ {
+		op := trace.OpWrite
+		if rng.Intn(12) == 0 {
+			op = trace.OpDelete
+		}
+		app := apps[rng.Intn(len(apps))]
+		tr.Events = append(tr.Events, trace.Event{
+			Time:  streamT0.Add(time.Duration(rng.Intn(span)) * time.Second),
+			Op:    op,
+			Store: trace.StoreRegistry,
+			App:   app,
+			Key:   fmt.Sprintf("%s/k%02d", app, rng.Intn(16)),
+			Value: "v",
+		})
+	}
+	tr.SortByTime()
+	return tr
+}
+
+// shuffleWithinHorizon perturbs event order, keeping every event's
+// displacement in time strictly under horizon (adjacent swaps only touch
+// pairs whose timestamps differ by less than the horizon).
+func shuffleWithinHorizon(rng *rand.Rand, tr *trace.Trace, horizon time.Duration) *trace.Trace {
+	out := tr.Clone()
+	evs := out.Events
+	for pass := 0; pass < 4; pass++ {
+		for i := len(evs) - 1; i > 0; i-- {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			d := evs[i].Time.Sub(evs[i-1].Time)
+			if d < 0 {
+				d = -d
+			}
+			if d < horizon {
+				evs[i], evs[i-1] = evs[i-1], evs[i]
+			}
+		}
+	}
+	return out
+}
+
+// batchClusters runs the paper's batch pipeline over a trace.
+func batchClusters(tr *trace.Trace, window time.Duration, mode trace.GroupMode, linkage Linkage, corrThreshold float64) ([]trace.Group, *PairStats, []Cluster) {
+	w := trace.NewWindower(window, mode)
+	groups := w.GroupTrace(tr)
+	ps := NewPairStats(groups)
+	cl := NewClusterer(linkage).Cluster(ps, ThresholdFromCorrelation(corrThreshold))
+	return groups, ps, cl
+}
+
+func comparePairStats(t *testing.T, tag string, tr *trace.Trace, batch, stream *PairStats) {
+	t.Helper()
+	if batch.NumGroups() != stream.NumGroups() {
+		t.Fatalf("%s: NumGroups batch=%d stream=%d", tag, batch.NumGroups(), stream.NumGroups())
+	}
+	bk, sk := batch.Keys(), stream.Keys()
+	if !reflect.DeepEqual(bk, sk) {
+		t.Fatalf("%s: key universes differ:\n batch %v\nstream %v", tag, bk, sk)
+	}
+	for _, a := range bk {
+		if be, se := batch.Episodes(a), stream.Episodes(a); be != se {
+			t.Fatalf("%s: Episodes(%s) batch=%d stream=%d", tag, a, be, se)
+		}
+	}
+	if batch.NumPairs() != stream.NumPairs() {
+		t.Fatalf("%s: NumPairs batch=%d stream=%d", tag, batch.NumPairs(), stream.NumPairs())
+	}
+	for i := 0; i < len(bk); i++ {
+		for j := i + 1; j < len(bk); j++ {
+			if bc, sc := batch.CoEpisodes(bk[i], bk[j]), stream.CoEpisodes(bk[i], bk[j]); bc != sc {
+				t.Fatalf("%s: CoEpisodes(%s,%s) batch=%d stream=%d", tag, bk[i], bk[j], bc, sc)
+			}
+		}
+	}
+}
+
+// TestStreamBatchEquivalence is the headline property test: for random
+// traces, both group modes, in-order and horizon-bounded out-of-order
+// arrival, the streaming engine's groups, pair statistics, and clusters
+// must equal the batch pipeline's exactly. Reclustering is exercised both
+// incrementally (periodic mid-stream cuts marking most components clean)
+// and as one full cut from scratch.
+func TestStreamBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const horizon = 4 * time.Second
+	linkages := []Linkage{LinkageComplete, LinkageSingle, LinkageAverage}
+	for trial := 0; trial < 120; trial++ {
+		tr := streamRandomTrace(rng, 80+rng.Intn(200))
+		mode := trace.GroupAnchored
+		if trial%2 == 1 {
+			mode = trace.GroupChained
+		}
+		linkage := linkages[trial%len(linkages)]
+		threshold := []float64{2, 1.5, 1}[trial%3]
+		window := time.Duration(trial%3) * time.Second
+
+		wantGroups, wantPS, wantClusters := batchClusters(tr, window, mode, linkage, threshold)
+
+		// EngineConfig expresses the zero-second window as a negative value
+		// (0 selects the default).
+		engWindow := window
+		if engWindow == 0 {
+			engWindow = -1
+		}
+
+		feed := tr
+		if trial%2 == 0 {
+			feed = shuffleWithinHorizon(rng, tr, horizon)
+		}
+
+		eng := NewEngine(EngineConfig{
+			Window:      engWindow,
+			Mode:        mode,
+			Horizon:     horizon,
+			Linkage:     linkage,
+			Threshold:   threshold,
+			Parallelism: 1 + trial%3,
+		})
+		// Interleave pushes with periodic reclusters so the dirty-component
+		// path actually runs mid-stream (its correctness at every
+		// intermediate point is implied by the final equality: a stale
+		// cache entry spliced in would corrupt the final cut).
+		step := 13 + trial%17
+		for i, ev := range feed.Events {
+			eng.Push(ev)
+			if i%step == step-1 {
+				eng.Recluster()
+			}
+		}
+		eng.Flush()
+		gotClusters := eng.Recluster()
+
+		tag := fmt.Sprintf("trial %d (mode=%v window=%v linkage=%v thr=%v)", trial, mode, window, linkage, threshold)
+		if eng.NumGroups() != len(wantGroups) {
+			t.Fatalf("%s: groups folded=%d batch=%d", tag, eng.NumGroups(), len(wantGroups))
+		}
+		func() {
+			eng.mu.Lock()
+			defer eng.mu.Unlock()
+			comparePairStats(t, tag, tr, wantPS, eng.ps)
+		}()
+		if !reflect.DeepEqual(gotClusters, wantClusters) {
+			t.Fatalf("%s: clusters differ:\n got %+v\nwant %+v", tag, gotClusters, wantClusters)
+		}
+		// The published snapshot is what the wire layer serves.
+		if !reflect.DeepEqual(eng.Clusters(), wantClusters) {
+			t.Fatalf("%s: published snapshot differs from recluster result", tag)
+		}
+		// A second recluster with nothing new must be a pure cache splice
+		// with identical output.
+		if again := eng.Recluster(); !reflect.DeepEqual(again, wantClusters) {
+			t.Fatalf("%s: idle recluster changed output", tag)
+		}
+	}
+}
+
+// TestStreamGroupsMatchBatch checks the group layer in isolation,
+// including App attribution and emission completeness.
+func TestStreamGroupsMatchBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 80; trial++ {
+		tr := streamRandomTrace(rng, 60+rng.Intn(150))
+		for _, mode := range []trace.GroupMode{trace.GroupAnchored, trace.GroupChained} {
+			w := trace.NewWindower(time.Second, mode)
+			want := w.GroupTrace(tr)
+			var got []trace.Group
+			sw := trace.NewStreamWindower(time.Second, mode, 0, func(g *trace.Group) {
+				cp := *g
+				cp.Keys = append([]string(nil), g.Keys...)
+				got = append(got, cp)
+			})
+			for _, ev := range tr.Events {
+				sw.Push(ev)
+			}
+			sw.Flush()
+			trace.SortGroups(got)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d mode=%v: groups differ:\n got %+v\nwant %+v", trial, mode, got, want)
+			}
+		}
+	}
+}
+
+// TestEngineDirtyReclusterMatchesFull grows one region of a many-
+// component universe and verifies the incremental recluster (most
+// components spliced from cache) equals a from-scratch batch clustering
+// after every change.
+func TestEngineDirtyReclusterMatchesFull(t *testing.T) {
+	const comps = 40
+	mkGroup := func(comp, episode int) trace.Group {
+		start := streamT0.Add(time.Duration(episode*comps+comp) * 10 * time.Second)
+		var keys []string
+		for k := 0; k < 4; k++ {
+			keys = append(keys, fmt.Sprintf("c%03d/k%d", comp, k))
+		}
+		return trace.Group{Start: start, End: start, Keys: keys}
+	}
+
+	eng := NewEngine(EngineConfig{Threshold: 2})
+	var all []trace.Group
+	push := func(g trace.Group) {
+		all = append(all, g)
+		// Feed the group's writes as events; each group sits in its own
+		// window by construction.
+		for _, k := range g.Keys {
+			eng.Push(trace.Event{Time: g.Start, Op: trace.OpWrite, Key: k})
+		}
+	}
+
+	for c := 0; c < comps; c++ {
+		push(mkGroup(c, 0))
+	}
+	eng.Flush()
+	first := eng.Recluster()
+	if want := NewClusterer(LinkageComplete).Cluster(NewPairStats(all), DefaultThreshold); !reflect.DeepEqual(first, want) {
+		t.Fatalf("initial recluster differs:\n got %+v\nwant %+v", first, want)
+	}
+
+	// Touch single components one at a time; every incremental cut must
+	// match a full batch rebuild over all groups so far.
+	rng := rand.New(rand.NewSource(5))
+	for episode := 1; episode <= 25; episode++ {
+		comp := rng.Intn(comps)
+		g := mkGroup(comp, episode)
+		if episode%5 == 0 {
+			// Sometimes split the group so correlations inside the
+			// component actually change shape, not just scale.
+			g.Keys = g.Keys[:2]
+		}
+		push(g)
+		eng.Flush()
+		got := eng.Recluster()
+		want := NewClusterer(LinkageComplete).Cluster(NewPairStats(all), DefaultThreshold)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("episode %d (comp %d): incremental != full:\n got %+v\nwant %+v", episode, comp, got, want)
+		}
+	}
+
+	// Merge two components: the spliced result must reflect the union.
+	bridge := trace.Group{
+		Start: streamT0.Add(1000 * time.Hour),
+		End:   streamT0.Add(1000 * time.Hour),
+		Keys:  []string{"c000/k0", "c001/k0"},
+	}
+	push(bridge)
+	eng.Flush()
+	got := eng.Recluster()
+	want := NewClusterer(LinkageComplete).Cluster(NewPairStats(all), DefaultThreshold)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("component merge: incremental != full:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestEngineConcurrentObservers exercises the engine under -race: many
+// goroutines observing disjoint apps, concurrent reclusters, correlation
+// reads, and snapshot readers. Each app's events arrive in order, so the
+// final flushed clustering must still equal the batch pipeline's.
+func TestEngineConcurrentObservers(t *testing.T) {
+	const (
+		apps          = 8
+		eventsPerApp  = 400
+		reclusterIter = 50
+	)
+	tr := &trace.Trace{Name: "conc"}
+	perApp := make([][]trace.Event, apps)
+	rng := rand.New(rand.NewSource(17))
+	for a := 0; a < apps; a++ {
+		app := fmt.Sprintf("app%d", a)
+		tcur := streamT0
+		for i := 0; i < eventsPerApp; i++ {
+			tcur = tcur.Add(time.Duration(rng.Intn(3)) * time.Second)
+			ev := trace.Event{
+				Time: tcur,
+				Op:   trace.OpWrite,
+				App:  app,
+				Key:  fmt.Sprintf("%s/k%d", app, rng.Intn(10)),
+			}
+			perApp[a] = append(perApp[a], ev)
+			tr.Events = append(tr.Events, ev)
+		}
+	}
+	tr.SortByTime()
+	_, _, want := batchClusters(tr, time.Second, trace.GroupAnchored, LinkageComplete, 2)
+
+	eng := NewEngine(EngineConfig{Threshold: 2})
+	var wg sync.WaitGroup
+	for a := 0; a < apps; a++ {
+		wg.Add(1)
+		go func(evs []trace.Event) {
+			defer wg.Done()
+			for _, ev := range evs {
+				eng.Push(ev)
+			}
+		}(perApp[a])
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < reclusterIter; i++ {
+			eng.Recluster()
+		}
+	}()
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = eng.Correlation("app0/k0", "app0/k1")
+				_ = eng.Clusters()
+				_ = eng.Version()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	eng.Flush()
+	got := eng.Recluster()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("concurrent engine != batch:\n got %+v\nwant %+v", got, want)
+	}
+}

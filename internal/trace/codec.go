@@ -52,40 +52,194 @@ func WriteBinary(w io.Writer, tr *Trace) error {
 	return bw.Flush()
 }
 
+// maxEventPrealloc caps the []Event preallocation ReadBinary derives from
+// the untrusted count prefix. A corrupt or hostile count can therefore
+// waste at most ~a few MiB up front; a genuinely large trace still decodes
+// correctly, growing by append past the cap. (An io.Reader carries no
+// length, so the cap is the strongest bound available against "count says
+// 4 billion, stream holds 12 bytes".)
+const maxEventPrealloc = 1 << 16
+
 // ReadBinary parses a trace previously written by WriteBinary.
 func ReadBinary(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(binaryMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
-	}
-	if string(magic) != binaryMagic {
-		return nil, ErrBadMagic
-	}
-	var ver uint16
-	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
-		return nil, err
-	}
-	if ver != binaryVersion {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
-	}
-	name, err := readString(br)
+	var d decoder
+	name, count, err := d.readHeader(br)
 	if err != nil {
 		return nil, err
 	}
-	var count uint32
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, err
+	prealloc := count
+	if prealloc > maxEventPrealloc {
+		prealloc = maxEventPrealloc
 	}
-	tr := &Trace{Name: name, Events: make([]Event, 0, count)}
+	tr := &Trace{Name: name, Events: make([]Event, 0, prealloc)}
 	for i := uint32(0); i < count; i++ {
-		ev, err := readEvent(br)
+		ev, err := d.readEvent(br)
 		if err != nil {
 			return nil, fmt.Errorf("trace: decoding event %d: %w", i, err)
 		}
 		tr.Events = append(tr.Events, ev)
 	}
 	return tr, nil
+}
+
+// ReadBinaryStream decodes a trace written by WriteBinary one event at a
+// time, calling fn for each without materialising the event slice — the
+// decode path of the streaming analytics pipeline. App, User, and Key
+// strings are interned across events (a trace has few distinct values for
+// each, repeated per event), so steady-state decoding allocates only each
+// event's Value. fn returning an error stops the decode and surfaces the
+// error. Returns the trace name from the header.
+func ReadBinaryStream(r io.Reader, fn func(Event) error) (string, error) {
+	return readBinaryStream(r, fn, false)
+}
+
+// ReadBinaryStreamMeta is ReadBinaryStream for consumers that only need
+// event metadata (time, op, store, app, user, key): written values are
+// decoded past but not materialised, so Value arrives empty and the
+// steady-state decode loop allocates nothing per event. This is the
+// decode path of the streaming clustering pipeline, which never inspects
+// values.
+func ReadBinaryStreamMeta(r io.Reader, fn func(Event) error) (string, error) {
+	return readBinaryStream(r, fn, true)
+}
+
+func readBinaryStream(r io.Reader, fn func(Event) error, skipValues bool) (string, error) {
+	br := bufio.NewReader(r)
+	d := decoder{intern: make(map[string]string), skipValues: skipValues}
+	name, count, err := d.readHeader(br)
+	if err != nil {
+		return "", err
+	}
+	for i := uint32(0); i < count; i++ {
+		ev, err := d.readEvent(br)
+		if err != nil {
+			return name, fmt.Errorf("trace: decoding event %d: %w", i, err)
+		}
+		if err := fn(ev); err != nil {
+			return name, err
+		}
+	}
+	return name, nil
+}
+
+// decoder holds the scratch state of one binary decode: a fixed buffer
+// for numeric fields and string payloads (so the hot loop performs direct
+// little-endian loads instead of reflection-based binary.Read calls) and
+// an optional intern table.
+type decoder struct {
+	scratch    [64]byte
+	str        []byte
+	intern     map[string]string
+	skipValues bool
+}
+
+func (d *decoder) readHeader(br *bufio.Reader) (name string, count uint32, err error) {
+	magic := d.scratch[:len(binaryMagic)]
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return "", 0, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if string(magic) != binaryMagic {
+		return "", 0, ErrBadMagic
+	}
+	if _, err := io.ReadFull(br, d.scratch[:2]); err != nil {
+		return "", 0, err
+	}
+	if ver := binary.LittleEndian.Uint16(d.scratch[:2]); ver != binaryVersion {
+		return "", 0, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+	}
+	if name, err = d.readString(br, false); err != nil {
+		return "", 0, err
+	}
+	if _, err := io.ReadFull(br, d.scratch[:4]); err != nil {
+		return "", 0, err
+	}
+	return name, binary.LittleEndian.Uint32(d.scratch[:4]), nil
+}
+
+func (d *decoder) readEvent(r *bufio.Reader) (Event, error) {
+	var ev Event
+	// Fixed-size prefix in one read: i64 nanos, op byte, store byte.
+	if _, err := io.ReadFull(r, d.scratch[:10]); err != nil {
+		return ev, err
+	}
+	nanos := int64(binary.LittleEndian.Uint64(d.scratch[:8]))
+	ev.Time = time.Unix(0, nanos).UTC()
+	ev.Op = Op(d.scratch[8])
+	if !ev.Op.Valid() {
+		return ev, fmt.Errorf("%w: op %d", ErrCorrupt, d.scratch[8])
+	}
+	ev.Store = StoreKind(d.scratch[9])
+	if !ev.Store.Valid() {
+		return ev, fmt.Errorf("%w: store %d", ErrCorrupt, d.scratch[9])
+	}
+	var err error
+	if ev.App, err = d.readString(r, true); err != nil {
+		return ev, err
+	}
+	if ev.User, err = d.readString(r, true); err != nil {
+		return ev, err
+	}
+	if ev.Key, err = d.readString(r, true); err != nil {
+		return ev, err
+	}
+	// Values are not interned: they are near-unique, so the table would
+	// only grow without ever hitting. Metadata-only consumers skip the
+	// allocation entirely.
+	if d.skipValues {
+		if err = d.discardString(r); err != nil {
+			return ev, err
+		}
+		return ev, nil
+	}
+	if ev.Value, err = d.readString(r, false); err != nil {
+		return ev, err
+	}
+	return ev, nil
+}
+
+// discardString consumes one length-prefixed string without building it.
+func (d *decoder) discardString(r *bufio.Reader) error {
+	if _, err := io.ReadFull(r, d.scratch[:4]); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	n := binary.LittleEndian.Uint32(d.scratch[:4])
+	if n > maxStringLen {
+		return fmt.Errorf("%w: string length %d", ErrCorrupt, n)
+	}
+	if _, err := r.Discard(int(n)); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return nil
+}
+
+// readString reads one u32 length-prefixed string. With interned set and
+// an intern table present, repeated strings are returned from the table
+// without allocating (the map lookup on a []byte key does not copy).
+func (d *decoder) readString(r *bufio.Reader, interned bool) (string, error) {
+	if _, err := io.ReadFull(r, d.scratch[:4]); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	n := binary.LittleEndian.Uint32(d.scratch[:4])
+	if n > maxStringLen {
+		return "", fmt.Errorf("%w: string length %d", ErrCorrupt, n)
+	}
+	if cap(d.str) < int(n) {
+		d.str = make([]byte, n)
+	}
+	buf := d.str[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if interned && d.intern != nil {
+		if s, ok := d.intern[string(buf)]; ok {
+			return s, nil
+		}
+		s := string(buf)
+		d.intern[s] = s
+		return s, nil
+	}
+	return string(buf), nil
 }
 
 func writeEvent(w *bufio.Writer, ev *Event) error {
@@ -106,60 +260,12 @@ func writeEvent(w *bufio.Writer, ev *Event) error {
 	return nil
 }
 
-func readEvent(r *bufio.Reader) (Event, error) {
-	var ev Event
-	var nanos int64
-	if err := binary.Read(r, binary.LittleEndian, &nanos); err != nil {
-		return ev, err
-	}
-	ev.Time = time.Unix(0, nanos).UTC()
-	op, err := r.ReadByte()
-	if err != nil {
-		return ev, err
-	}
-	ev.Op = Op(op)
-	if !ev.Op.Valid() {
-		return ev, fmt.Errorf("%w: op %d", ErrCorrupt, op)
-	}
-	st, err := r.ReadByte()
-	if err != nil {
-		return ev, err
-	}
-	ev.Store = StoreKind(st)
-	if !ev.Store.Valid() {
-		return ev, fmt.Errorf("%w: store %d", ErrCorrupt, st)
-	}
-	for _, dst := range []*string{&ev.App, &ev.User, &ev.Key, &ev.Value} {
-		s, err := readString(r)
-		if err != nil {
-			return ev, err
-		}
-		*dst = s
-	}
-	return ev, nil
-}
-
 func writeString(w *bufio.Writer, s string) error {
 	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
 		return err
 	}
 	_, err := w.WriteString(s)
 	return err
-}
-
-func readString(r *bufio.Reader) (string, error) {
-	var n uint32
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return "", err
-	}
-	if n > maxStringLen {
-		return "", fmt.Errorf("%w: string length %d", ErrCorrupt, n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	return string(buf), nil
 }
 
 // jsonEvent is the JSON wire shape of an event; times are RFC 3339 with

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 	"testing/quick"
 	"time"
+	"unsafe"
 )
 
 func sampleTrace() *Trace {
@@ -158,5 +160,131 @@ func TestBinaryRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestReadBinaryStreamRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got := &Trace{}
+	name, err := ReadBinaryStream(&buf, func(ev Event) error {
+		got.Events = append(got.Events, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReadBinaryStream: %v", err)
+	}
+	got.Name = name
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("stream decode mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestReadBinaryStreamInternsStrings(t *testing.T) {
+	tr := &Trace{Name: "x"}
+	for i := 0; i < 10; i++ {
+		tr.Events = append(tr.Events, Event{
+			Time: t0.Add(time.Duration(i) * time.Second),
+			Op:   OpWrite, Store: StoreFile, App: "app", User: "u", Key: "k", Value: "v",
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	if _, err := ReadBinaryStream(&buf, func(ev Event) error {
+		events = append(events, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Interned strings must be pointer-identical across events, not just
+	// equal: the whole point is that repeated App/User/Key values share
+	// one allocation.
+	for i := 1; i < len(events); i++ {
+		if unsafe.StringData(events[i].Key) != unsafe.StringData(events[0].Key) {
+			t.Fatalf("event %d Key not interned", i)
+		}
+		if unsafe.StringData(events[i].App) != unsafe.StringData(events[0].App) {
+			t.Fatalf("event %d App not interned", i)
+		}
+	}
+}
+
+func TestReadBinaryStreamCallbackError(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop")
+	calls := 0
+	if _, err := ReadBinaryStream(&buf, func(Event) error {
+		calls++
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after error, want 1", calls)
+	}
+}
+
+// Regression: a corrupt event count used to drive make([]Event, 0, count)
+// directly, so a 12-byte file claiming 4 billion events allocated
+// gigabytes before the first decode failed.
+func TestReadBinaryCorruptCountBoundedAlloc(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(binaryMagic)
+	buf.Write([]byte{0x01, 0x00})             // version 1
+	buf.Write([]byte{0x01, 0x00, 0x00, 0x00}) // name length 1
+	buf.WriteByte('x')
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // count = 4 billion
+
+	before := memStatsAlloc()
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("expected decode error")
+	}
+	after := memStatsAlloc()
+	// The prealloc cap bounds the up-front slice at maxEventPrealloc
+	// events (~a few MiB); without it this decode allocated ~400 GiB.
+	if grew := after - before; grew > 64<<20 {
+		t.Fatalf("corrupt count allocated %d bytes", grew)
+	}
+}
+
+func memStatsAlloc() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
+
+func TestReadBinaryStreamMetaSkipsValues(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	name, err := ReadBinaryStreamMeta(&buf, func(ev Event) error {
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReadBinaryStreamMeta: %v", err)
+	}
+	if name != tr.Name || len(events) != len(tr.Events) {
+		t.Fatalf("name=%q events=%d, want %q/%d", name, len(events), tr.Name, len(tr.Events))
+	}
+	for i := range events {
+		want := tr.Events[i]
+		want.Value = ""
+		if !reflect.DeepEqual(events[i], want) {
+			t.Errorf("event %d = %+v, want %+v (empty Value)", i, events[i], want)
+		}
 	}
 }

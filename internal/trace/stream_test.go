@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// cloneGroup deep-copies an emitted group (the callback argument borrows
+// the windower's buffers).
+func cloneGroup(g *Group) Group {
+	out := *g
+	out.Keys = append([]string(nil), g.Keys...)
+	return out
+}
+
+// collectStream pushes every event of tr through a fresh StreamWindower
+// and returns all emitted groups (including a final Flush), sorted the
+// way GroupTrace sorts.
+func collectStream(tr *Trace, window time.Duration, mode GroupMode, horizon time.Duration) []Group {
+	var got []Group
+	sw := NewStreamWindower(window, mode, horizon, func(g *Group) {
+		got = append(got, cloneGroup(g))
+	})
+	for _, ev := range tr.Events {
+		sw.Push(ev)
+	}
+	sw.Flush()
+	SortGroups(got)
+	return got
+}
+
+// randomTrace builds a multi-app trace with second-granularity timestamps
+// dense enough to produce plenty of window collisions and ties.
+func randomTrace(rng *rand.Rand, events int) *Trace {
+	apps := []string{"alpha", "beta", "gamma"}
+	tr := &Trace{Name: "stream-test"}
+	for i := 0; i < events; i++ {
+		op := OpWrite
+		switch rng.Intn(10) {
+		case 0:
+			op = OpDelete
+		case 1:
+			op = OpRead // must be ignored by both pipelines
+		}
+		tr.Events = append(tr.Events, Event{
+			Time:  t0.Add(time.Duration(rng.Intn(events/2+1)) * time.Second),
+			Op:    op,
+			Store: StoreRegistry,
+			App:   apps[rng.Intn(len(apps))],
+			Key:   fmt.Sprintf("k%02d", rng.Intn(12)),
+			Value: "v",
+		})
+	}
+	tr.SortByTime()
+	return tr
+}
+
+// shuffleWithin perturbs event order so every event moves at most horizon
+// away from its sorted position in time, exercising the reorder buffer.
+func shuffleWithin(rng *rand.Rand, tr *Trace, horizon time.Duration) *Trace {
+	out := tr.Clone()
+	evs := out.Events
+	// Adjacent swaps keep per-app time displacement bounded by the
+	// largest timestamp difference across one swap; restrict to pairs
+	// whose times differ by less than the horizon.
+	for pass := 0; pass < 4; pass++ {
+		for i := len(evs) - 1; i > 0; i-- {
+			j := i - 1
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			d := evs[i].Time.Sub(evs[j].Time)
+			if d < 0 {
+				d = -d
+			}
+			if d < horizon {
+				evs[i], evs[j] = evs[j], evs[i]
+			}
+		}
+	}
+	return out
+}
+
+func TestStreamWindowerMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		tr := randomTrace(rng, 60+rng.Intn(120))
+		for _, mode := range []GroupMode{GroupAnchored, GroupChained} {
+			for _, window := range []time.Duration{0, time.Second, 3 * time.Second} {
+				w := NewWindower(window, mode)
+				want := w.GroupTrace(tr)
+				got := collectStream(tr, window, mode, 0)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d mode=%v window=%v:\n got %+v\nwant %+v",
+						trial, mode, window, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamWindowerReorderWithinHorizon(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const horizon = 4 * time.Second
+	for trial := 0; trial < 200; trial++ {
+		tr := randomTrace(rng, 80+rng.Intn(120))
+		shuffled := shuffleWithin(rng, tr, horizon)
+		for _, mode := range []GroupMode{GroupAnchored, GroupChained} {
+			want := NewWindower(time.Second, mode).GroupTrace(tr)
+			got := collectStream(shuffled, time.Second, mode, horizon)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d mode=%v:\n got %+v\nwant %+v", trial, mode, got, want)
+			}
+		}
+	}
+}
+
+func TestStreamWindowerAdvanceTo(t *testing.T) {
+	var got []Group
+	sw := NewStreamWindower(time.Second, GroupAnchored, 0, func(g *Group) {
+		got = append(got, cloneGroup(g))
+	})
+	sw.Push(Event{Time: t0, Op: OpWrite, App: "a", Key: "x"})
+	sw.Push(Event{Time: t0, Op: OpWrite, App: "a", Key: "y"})
+	if len(got) != 0 {
+		t.Fatalf("group emitted before close: %+v", got)
+	}
+	// Advancing to just inside the window must not close the group...
+	sw.AdvanceTo(t0.Add(time.Second))
+	if len(got) != 0 {
+		t.Fatalf("AdvanceTo inside window closed the group: %+v", got)
+	}
+	// ...but past it must.
+	sw.AdvanceTo(t0.Add(1100 * time.Millisecond))
+	if len(got) != 1 || !reflect.DeepEqual(got[0].Keys, []string{"x", "y"}) {
+		t.Fatalf("AdvanceTo past window: got %+v, want one {x,y} group", got)
+	}
+	// The windower stays usable: a later event opens a fresh group.
+	sw.Push(Event{Time: t0.Add(5 * time.Second), Op: OpWrite, App: "a", Key: "z"})
+	sw.Flush()
+	if len(got) != 2 || !reflect.DeepEqual(got[1].Keys, []string{"z"}) {
+		t.Fatalf("post-advance push: got %+v", got)
+	}
+}
+
+func TestStreamWindowerIgnoresReads(t *testing.T) {
+	calls := 0
+	sw := NewStreamWindower(time.Second, GroupAnchored, 0, func(g *Group) { calls++ })
+	sw.Push(Event{Time: t0, Op: OpRead, App: "a", Key: "x"})
+	sw.Flush()
+	if calls != 0 || sw.Groups() != 0 {
+		t.Fatalf("read events must not form groups (calls=%d groups=%d)", calls, sw.Groups())
+	}
+}
+
+// Regression for the GroupTrace determinism bug: equal-Start groups from
+// different apps used to order by map iteration; the merge now tie-breaks
+// on (Start, App, first key).
+func TestGroupTraceEqualStartDeterministic(t *testing.T) {
+	tr := &Trace{}
+	// Many apps all flushing at the same two seconds.
+	for i := 0; i < 12; i++ {
+		app := fmt.Sprintf("app%02d", i)
+		tr.Events = append(tr.Events,
+			Event{Time: t0, Op: OpWrite, App: app, Key: fmt.Sprintf("%s/a", app)},
+			Event{Time: t0, Op: OpWrite, App: app, Key: fmt.Sprintf("%s/b", app)},
+			Event{Time: t0.Add(10 * time.Second), Op: OpWrite, App: app, Key: fmt.Sprintf("%s/c", app)},
+		)
+	}
+	w := NewWindower(time.Second, GroupAnchored)
+	want := w.GroupTrace(tr)
+	for i := 0; i < 20; i++ {
+		got := w.GroupTrace(tr)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("GroupTrace order unstable on run %d:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	for i := 1; i < len(want); i++ {
+		a, b := &want[i-1], &want[i]
+		if a.Start.After(b.Start) {
+			t.Fatalf("groups out of chronological order at %d", i)
+		}
+		if a.Start.Equal(b.Start) && a.App > b.App {
+			t.Fatalf("equal-Start groups not ordered by app at %d: %q > %q", i, a.App, b.App)
+		}
+	}
+}
+
+// Regression: wire timestamps are client-supplied, and the per-app
+// watermark only ratchets upward — without the future-skew guard, one
+// far-future timestamp would permanently defeat the reorder buffer and
+// make every watermark advance close open groups instantly.
+func TestStreamWindowerFutureSkewQuarantine(t *testing.T) {
+	wall := t0.Add(10 * time.Second) // fixed "now"
+	var got []Group
+	sw := NewStreamWindower(time.Second, GroupAnchored, 4*time.Second, func(g *Group) {
+		got = append(got, cloneGroup(g))
+	})
+	sw.SetFutureLimit(2*time.Second, func() time.Time { return wall })
+
+	// Poison: a write stamped a year ahead. It must not advance the
+	// watermark (it sits quarantined in the reorder buffer).
+	sw.Push(Event{Time: t0.Add(365 * 24 * time.Hour), Op: OpWrite, App: "a", Key: "poison"})
+	// Normal traffic, slightly out of order within the horizon.
+	sw.Push(Event{Time: t0.Add(2 * time.Second), Op: OpWrite, App: "a", Key: "y"})
+	sw.Push(Event{Time: t0, Op: OpWrite, App: "a", Key: "x"})
+	// A later legitimate event (within clock+skew) drives the watermark
+	// forward and drains x and y in time order.
+	sw.Push(Event{Time: t0.Add(11 * time.Second), Op: OpWrite, App: "a", Key: "z"})
+
+	sw.Flush()
+	SortGroups(got)
+	var keys [][]string
+	for _, g := range got {
+		keys = append(keys, g.Keys)
+	}
+	// x@0 and y@2s must be separate groups (1s window) in time order —
+	// without the guard the poison watermark forces arrival-order
+	// processing, grouping y before x. The poison key drains at Flush.
+	want := [][]string{{"x"}, {"y"}, {"z"}, {"poison"}}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("groups = %v, want %v", keys, want)
+	}
+}
+
+// Regression: Flush's drain bound must be MaxInt64 — with a smaller
+// sentinel, a quarantined event stamped near the int64 limit stayed in
+// the reorder buffer forever, breaking "Flush windows every buffered
+// event".
+func TestStreamWindowerFlushDrainsMaxTimestamp(t *testing.T) {
+	var got []Group
+	sw := NewStreamWindower(time.Second, GroupAnchored, 0, func(g *Group) {
+		got = append(got, cloneGroup(g))
+	})
+	sw.SetFutureLimit(time.Second, func() time.Time { return t0 })
+	sw.Push(Event{Time: time.Unix(0, math.MaxInt64), Op: OpWrite, App: "a", Key: "edge"})
+	sw.Flush()
+	if sw.Pending() != 0 {
+		t.Fatalf("Pending = %d after Flush, want 0", sw.Pending())
+	}
+	if len(got) != 1 || got[0].Keys[0] != "edge" {
+		t.Fatalf("groups = %+v, want one {edge} group", got)
+	}
+}

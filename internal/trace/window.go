@@ -38,6 +38,10 @@ func (m GroupMode) String() string {
 type Group struct {
 	Start time.Time
 	End   time.Time
+	// App identifies the application whose writes formed the group (taken
+	// from the event that anchored it). Windowing is always per-app, so
+	// every member write carries this application.
+	App string
 	// Keys holds the distinct keys written in the window, sorted. A key
 	// appears once per group no matter how many raw writes hit it, so a
 	// group represents one logical "modified together" episode.
@@ -94,13 +98,14 @@ func (w *Windower) Groups(writes []Event) []Group {
 	var groups []Group
 	cur := map[string]struct{}{evs[0].Key: {}}
 	anchor, prev := evs[0].Time, evs[0].Time
+	app := evs[0].App
 	flush := func(end time.Time) {
 		keys := make([]string, 0, len(cur))
 		for k := range cur {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		groups = append(groups, Group{Start: anchor, End: end, Keys: keys})
+		groups = append(groups, Group{Start: anchor, End: end, App: app, Keys: keys})
 	}
 	for _, ev := range evs[1:] {
 		var within bool
@@ -114,6 +119,7 @@ func (w *Windower) Groups(writes []Event) []Group {
 			flush(prev)
 			cur = make(map[string]struct{})
 			anchor = ev.Time
+			app = ev.App
 		}
 		cur[ev.Key] = struct{}{}
 		prev = ev.Time
@@ -136,6 +142,31 @@ func (w *Windower) GroupTrace(tr *Trace) []Group {
 	for _, evs := range byApp {
 		all = append(all, w.Groups(evs)...)
 	}
-	sort.SliceStable(all, func(i, j int) bool { return all[i].Start.Before(all[j].Start) })
+	SortGroups(all)
 	return all
+}
+
+// SortGroups orders groups chronologically with a full deterministic
+// tie-break on (Start, App, first key). Sorting by Start alone is not
+// enough: two applications flushing settings in the same second produce
+// equal-Start groups whose relative order would otherwise follow map
+// iteration.
+func SortGroups(groups []Group) {
+	sort.SliceStable(groups, func(i, j int) bool {
+		a, b := &groups[i], &groups[j]
+		if !a.Start.Equal(b.Start) {
+			return a.Start.Before(b.Start)
+		}
+		if a.App != b.App {
+			return a.App < b.App
+		}
+		return firstKey(a) < firstKey(b)
+	})
+}
+
+func firstKey(g *Group) string {
+	if len(g.Keys) == 0 {
+		return ""
+	}
+	return g.Keys[0]
 }

@@ -56,6 +56,7 @@ func (s *Store) Apply(muts []Mutation) error {
 		}
 		shards[i] = s.shardFor(muts[i].Key)
 	}
+	obs := s.statsObserver()
 	for i := 0; i < len(muts); {
 		// Backpressure gate per same-shard run, before the lock, so a
 		// stalled disk never blocks a batch while it holds a shard.
@@ -63,15 +64,32 @@ func (s *Store) Apply(muts []Mutation) error {
 			return err
 		}
 		sh := shards[i]
+		runStart := i
 		sh.mu.Lock()
 		for ; i < len(muts) && shards[i] == sh; i++ {
 			m := &muts[i]
 			if err := s.applyLocked(sh, m.Key, m.Value, m.Time, m.Delete); err != nil {
 				sh.mu.Unlock()
+				// Mutations before the failing one were applied and must
+				// still reach the observer.
+				observeRange(obs, muts[runStart:i])
 				return err
 			}
 		}
 		sh.mu.Unlock()
+		// Observe outside the shard lock: the analytics engine serialises
+		// internally, and holding a shard across it would let one slow
+		// observer stall unrelated writers.
+		observeRange(obs, muts[runStart:i])
 	}
 	return nil
+}
+
+func observeRange(obs StatsObserver, muts []Mutation) {
+	if obs == nil {
+		return
+	}
+	for i := range muts {
+		obs.ObserveWrite(muts[i].Key, muts[i].Time, muts[i].Delete)
+	}
 }

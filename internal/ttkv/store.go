@@ -84,15 +84,51 @@ const DefaultShards = 16
 // Store is an in-memory TTKV. It is safe for concurrent use. The zero
 // value is not usable; construct with New or NewSharded.
 type Store struct {
-	shards []shard
-	mask   uint64 // len(shards)-1; len is a power of two
-	seq    atomic.Uint64
-	sink   atomic.Pointer[sinkBox] // optional persistence; see aof.go
+	shards   []shard
+	mask     uint64 // len(shards)-1; len is a power of two
+	seq      atomic.Uint64
+	sink     atomic.Pointer[sinkBox]     // optional persistence; see aof.go
+	observer atomic.Pointer[observerBox] // optional analytics hook
 }
 
 // sinkBox wraps the persistence interface so it can live in an
 // atomic.Pointer (interfaces cannot).
 type sinkBox struct{ sink aofSink }
+
+// StatsObserver receives every successful mutation of the store, the hook
+// the streaming analytics engine (core.Engine) feeds from. Implementations
+// must be safe for concurrent use: the store invokes the observer from
+// whichever goroutine performed the write, after releasing the shard lock,
+// so calls from writers on different shards overlap and same-instant
+// writes to different keys may be observed slightly out of order (the
+// analytics engine's reorder horizon absorbs this; grouping follows the
+// mutation timestamps, not observation order).
+type StatsObserver interface {
+	ObserveWrite(key string, t time.Time, deleted bool)
+}
+
+// observerBox wraps the observer interface so it can live in an
+// atomic.Pointer.
+type observerBox struct{ obs StatsObserver }
+
+// SetStatsObserver installs (or, with nil, removes) the store's mutation
+// observer. Attach it before replaying an AOF to feed historical writes
+// through the same hook.
+func (s *Store) SetStatsObserver(obs StatsObserver) {
+	if obs == nil {
+		s.observer.Store(nil)
+		return
+	}
+	s.observer.Store(&observerBox{obs: obs})
+}
+
+// statsObserver returns the current observer, nil if none.
+func (s *Store) statsObserver() StatsObserver {
+	if box := s.observer.Load(); box != nil {
+		return box.obs
+	}
+	return nil
+}
 
 // New returns an empty store with DefaultShards shards.
 func New() *Store { return NewSharded(DefaultShards) }
@@ -158,8 +194,14 @@ func (s *Store) apply(key, value string, t time.Time, deleted bool) error {
 	}
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return s.applyLocked(sh, key, value, t, deleted)
+	err := s.applyLocked(sh, key, value, t, deleted)
+	sh.mu.Unlock()
+	if err == nil {
+		if obs := s.statsObserver(); obs != nil {
+			obs.ObserveWrite(key, t, deleted)
+		}
+	}
+	return err
 }
 
 // capacityWaiter is the optional backpressure gate a persistence sink can

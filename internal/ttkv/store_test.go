@@ -595,3 +595,95 @@ func BenchmarkApplyBatch(b *testing.B) {
 		}
 	}
 }
+
+// recordingObserver captures StatsObserver callbacks.
+type recordingObserver struct {
+	mu   sync.Mutex
+	seen []string
+}
+
+func (r *recordingObserver) ObserveWrite(key string, t time.Time, deleted bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	suffix := ""
+	if deleted {
+		suffix = "!"
+	}
+	r.seen = append(r.seen, fmt.Sprintf("%s@%d%s", key, t.Unix(), suffix))
+}
+
+func TestStatsObserverSeesAllMutationPaths(t *testing.T) {
+	s := New()
+	obs := &recordingObserver{}
+	s.SetStatsObserver(obs)
+	if err := s.Set("a", "1", at(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a", at(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply([]Mutation{
+		{Key: "b", Value: "2", Time: at(3)},
+		{Key: "c", Value: "3", Time: at(4), Delete: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a@" + fmt.Sprint(at(1).Unix()), "a@" + fmt.Sprint(at(2).Unix()) + "!",
+		"b@" + fmt.Sprint(at(3).Unix()), "c@" + fmt.Sprint(at(4).Unix()) + "!"}
+	if !reflect.DeepEqual(obs.seen, want) {
+		t.Fatalf("observer saw %v, want %v", obs.seen, want)
+	}
+
+	// Rejected writes must not reach the observer.
+	if err := s.Set("", "x", at(5)); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := s.Set("d", "x", time.Time{}); err == nil {
+		t.Fatal("zero time accepted")
+	}
+	if len(obs.seen) != 4 {
+		t.Fatalf("rejected writes reached the observer: %v", obs.seen)
+	}
+
+	// Detaching stops the callbacks.
+	s.SetStatsObserver(nil)
+	if err := s.Set("e", "x", at(6)); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.seen) != 4 {
+		t.Fatalf("detached observer still called: %v", obs.seen)
+	}
+}
+
+func TestStatsObserverSeesReplayedAOF(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "replay.aof")
+	src := New()
+	aof, err := CreateAOF(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.AttachAOF(aof)
+	if err := src.Set("k1", "v1", at(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Delete("k1", at(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := aof.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New()
+	obs := &recordingObserver{}
+	dst.SetStatsObserver(obs)
+	re, err := OpenAOFInto(path, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	want := []string{"k1@" + fmt.Sprint(at(1).Unix()), "k1@" + fmt.Sprint(at(2).Unix()) + "!"}
+	if !reflect.DeepEqual(obs.seen, want) {
+		t.Fatalf("replay observer saw %v, want %v", obs.seen, want)
+	}
+}

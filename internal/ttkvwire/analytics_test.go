@@ -1,0 +1,180 @@
+package ttkvwire
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ocasta/internal/core"
+	"ocasta/internal/ttkv"
+)
+
+// startAnalyticsServer spins up a server whose store feeds a streaming
+// analytics engine, the way ttkvd wires them.
+func startAnalyticsServer(t testing.TB) (*ttkv.Store, *core.Engine, *Client) {
+	t.Helper()
+	store := ttkv.New()
+	engine := core.NewEngine(core.EngineConfig{})
+	store.SetStatsObserver(engine)
+	srv := NewServer(store)
+	srv.SetAnalytics(engine)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ln); !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	}()
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		srv.Close()
+		<-done
+	})
+	return store, engine, client
+}
+
+func TestClustersAndCorrOverWire(t *testing.T) {
+	_, engine, c := startAnalyticsServer(t)
+
+	// Two co-modification episodes of {a,b} plus an unrelated singleton.
+	for _, sec := range []int{0, 10} {
+		if err := c.Set("a", "1", at(sec)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Set("b", "2", at(sec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Set("solo", "3", at(20)); err != nil {
+		t.Fatal(err)
+	}
+	// Close the final window (watermark past the last write) and publish.
+	engine.AdvanceTo(at(60))
+	engine.Recluster()
+
+	snap, err := c.Clusters(0)
+	if err != nil {
+		t.Fatalf("Clusters: %v", err)
+	}
+	if snap.Version == 0 {
+		t.Fatalf("snapshot version = 0, want > 0 after recluster")
+	}
+	var keys [][]string
+	for _, cl := range snap.Clusters {
+		keys = append(keys, cl.Keys)
+	}
+	want := [][]string{{"a", "b"}, {"solo"}}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("cluster keys = %v, want %v", keys, want)
+	}
+	// {a,b} were co-modified in both episodes: ModCount 2+2, last episode
+	// at second 10.
+	if snap.Clusters[0].ModCount != 4 {
+		t.Errorf("cluster {a,b} ModCount = %d, want 4", snap.Clusters[0].ModCount)
+	}
+	if got := snap.Clusters[0].LastModified; !got.Equal(at(10)) {
+		t.Errorf("cluster {a,b} LastModified = %v, want %v", got, at(10))
+	}
+
+	// minsize filters the singleton.
+	multi, err := c.Clusters(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Clusters) != 1 || !reflect.DeepEqual(multi.Clusters[0].Keys, []string{"a", "b"}) {
+		t.Fatalf("Clusters(2) = %+v, want just {a,b}", multi.Clusters)
+	}
+
+	// Live correlation: a and b always co-modified -> 2; unrelated -> 0.
+	if corr, err := c.Correlation("a", "b"); err != nil || corr != 2 {
+		t.Fatalf("Correlation(a,b) = %v, %v; want 2", corr, err)
+	}
+	if corr, err := c.Correlation("a", "solo"); err != nil || corr != 0 {
+		t.Fatalf("Correlation(a,solo) = %v, %v; want 0", corr, err)
+	}
+
+	// Version must advance with a recluster after new data.
+	if err := c.Set("c", "9", at(30)); err != nil {
+		t.Fatal(err)
+	}
+	engine.AdvanceTo(at(90))
+	engine.Recluster()
+	snap2, err := c.Clusters(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Version <= snap.Version {
+		t.Errorf("version did not advance: %d -> %d", snap.Version, snap2.Version)
+	}
+	if len(snap2.Clusters) != 3 {
+		t.Errorf("clusters after new key = %d, want 3", len(snap2.Clusters))
+	}
+}
+
+func TestClustersDisabled(t *testing.T) {
+	_, c := startServer(t) // no analytics attached
+	var re *RemoteError
+	if _, err := c.Clusters(0); !errors.As(err, &re) || !strings.Contains(re.Msg, "analytics disabled") {
+		t.Fatalf("Clusters without analytics: err = %v, want analytics-disabled RemoteError", err)
+	}
+	if _, err := c.Correlation("a", "b"); !errors.As(err, &re) || !strings.Contains(re.Msg, "analytics disabled") {
+		t.Fatalf("Correlation without analytics: err = %v, want analytics-disabled RemoteError", err)
+	}
+}
+
+func TestClustersBadArgs(t *testing.T) {
+	_, _, c := startAnalyticsServer(t)
+	var re *RemoteError
+	if _, err := c.roundTrip("CLUSTERS", "x"); !errors.As(err, &re) {
+		t.Fatalf("CLUSTERS x: err = %v, want RemoteError", err)
+	}
+	if _, err := c.roundTrip("CLUSTERS", "-1"); !errors.As(err, &re) {
+		t.Fatalf("CLUSTERS -1: err = %v, want RemoteError", err)
+	}
+	if _, err := c.roundTrip("CORR", "a"); !errors.As(err, &re) {
+		t.Fatalf("CORR a: err = %v, want RemoteError", err)
+	}
+}
+
+// TestObserverSeesMSetAndPipeline checks that batch write paths feed the
+// engine exactly like single sets.
+func TestObserverSeesMSetAndPipeline(t *testing.T) {
+	_, engine, c := startAnalyticsServer(t)
+	muts := []ttkv.Mutation{
+		{Key: "m1", Value: "v", Time: at(0)},
+		{Key: "m2", Value: "v", Time: at(0)},
+	}
+	if err := c.MSet(muts); err != nil {
+		t.Fatal(err)
+	}
+	p := c.Pipeline()
+	p.Set("p1", "v", at(10))
+	p.Delete("p2", at(10))
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	engine.AdvanceTo(at(60))
+	engine.Recluster()
+	snap, err := c.Clusters(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys [][]string
+	for _, cl := range snap.Clusters {
+		keys = append(keys, cl.Keys)
+	}
+	want := [][]string{{"m1", "m2"}, {"p1", "p2"}}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("clusters = %v, want %v (MSet and Pipeline+Delete must both feed analytics)", keys, want)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"ocasta/internal/core"
 	"ocasta/internal/ttkv"
 )
 
@@ -335,6 +336,72 @@ func (c *Client) ModTimes(keys ...string) ([]time.Time, error) {
 		out = append(out, time.Unix(0, ns).UTC())
 	}
 	return out, nil
+}
+
+// ClusterSnapshot is the client-side view of one CLUSTERS reply: the
+// server engine's published clustering plus its publish counter, which
+// increments on every server-side recluster (poll it to detect change).
+type ClusterSnapshot struct {
+	Version  uint64
+	Clusters []core.Cluster
+}
+
+// Clusters fetches the server's current live clustering. minSize filters
+// to clusters with at least that many member keys (0 keeps all; 2 gives
+// the paper's multi-key clusters). The snapshot is stale by at most the
+// server's recluster interval plus any still-open co-modification
+// windows. Requires the server to run with analytics enabled.
+func (c *Client) Clusters(minSize int) (ClusterSnapshot, error) {
+	args := []string{"CLUSTERS"}
+	if minSize > 0 {
+		args = append(args, strconv.Itoa(minSize))
+	}
+	v, err := c.roundTrip(args...)
+	if err != nil {
+		return ClusterSnapshot{}, err
+	}
+	if v.Kind != KindArray || len(v.Array) < 1 || v.Array[0].Kind != KindInt {
+		return ClusterSnapshot{}, fmt.Errorf("%w: unexpected CLUSTERS reply %+v", ErrProtocol, v)
+	}
+	snap := ClusterSnapshot{Version: uint64(v.Array[0].Int)}
+	for _, el := range v.Array[1:] {
+		if el.Kind != KindArray || len(el.Array) < 3 ||
+			el.Array[0].Kind != KindInt || el.Array[1].Kind != KindInt {
+			return ClusterSnapshot{}, fmt.Errorf("%w: bad cluster shape %+v", ErrProtocol, el)
+		}
+		cl := core.Cluster{
+			ModCount: int(el.Array[0].Int),
+			Keys:     make([]string, 0, len(el.Array)-2),
+		}
+		if ns := el.Array[1].Int; ns != 0 {
+			cl.LastModified = time.Unix(0, ns).UTC()
+		}
+		for _, kv := range el.Array[2:] {
+			if kv.Kind != KindBulk {
+				return ClusterSnapshot{}, fmt.Errorf("%w: non-bulk cluster key %+v", ErrProtocol, kv)
+			}
+			cl.Keys = append(cl.Keys, kv.Str)
+		}
+		snap.Clusters = append(snap.Clusters, cl)
+	}
+	return snap, nil
+}
+
+// Correlation fetches the live co-modification correlation of two keys,
+// in [0, 2]. Requires the server to run with analytics enabled.
+func (c *Client) Correlation(a, b string) (float64, error) {
+	v, err := c.roundTrip("CORR", a, b)
+	if err != nil {
+		return 0, err
+	}
+	if v.Kind != KindBulk {
+		return 0, fmt.Errorf("%w: unexpected CORR reply %+v", ErrProtocol, v)
+	}
+	f, err := strconv.ParseFloat(v.Str, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad CORR value %q", ErrProtocol, v.Str)
+	}
+	return f, nil
 }
 
 // Stats fetches the server's store statistics.

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"ocasta/internal/core"
 	"ocasta/internal/ttkv"
 )
 
@@ -19,7 +20,8 @@ var ErrServerClosed = errors.New("ttkvwire: server closed")
 // Server exposes a ttkv.Store over the wire protocol. Construct with
 // NewServer; then either Serve an existing listener or ListenAndServe.
 type Server struct {
-	store *ttkv.Store
+	store     *ttkv.Store
+	analytics *core.Engine // nil when live clustering is disabled
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -32,6 +34,12 @@ type Server struct {
 func NewServer(store *ttkv.Store) *Server {
 	return &Server{store: store, conns: make(map[net.Conn]struct{})}
 }
+
+// SetAnalytics attaches a streaming analytics engine, enabling the
+// CLUSTERS and CORR commands. Call before Serve; the engine is typically
+// also installed as the store's StatsObserver so it sees every write the
+// server applies.
+func (s *Server) SetAnalytics(e *core.Engine) { s.analytics = e }
 
 // ListenAndServe listens on addr ("host:port") and serves until Close.
 func (s *Server) ListenAndServe(addr string) error {
@@ -174,6 +182,10 @@ func (s *Server) dispatch(req Value) Value {
 		return s.cmdModTimes(args[1:])
 	case "STATS":
 		return s.cmdStats(args[1:])
+	case "CLUSTERS":
+		return s.cmdClusters(args[1:])
+	case "CORR":
+		return s.cmdCorr(args[1:])
 	default:
 		return errValue("ERR unknown command '" + cmd + "'")
 	}
@@ -313,6 +325,72 @@ func (s *Server) cmdModTimes(args []string) Value {
 		out[i] = bulkInt(t.UnixNano())
 	}
 	return array(out...)
+}
+
+// errAnalyticsDisabled is the reply to CLUSTERS/CORR when the server has
+// no engine attached (ttkvd run with -recluster-interval 0).
+const errAnalyticsDisabled = "ERR analytics disabled (run ttkvd with -recluster-interval > 0)"
+
+// cmdClusters serves the engine's last published clustering: a snapshot
+// with bounded staleness (one recluster interval plus any still-open
+// windows), never a recluster on the request path. Reply shape:
+//
+//	*N+1
+//	  :version                      publish counter, for change polling
+//	  *3+k per cluster: :modcount, :lastmodified-unixnanos (0 = never),
+//	                    then k bulk member keys
+//
+// An optional minsize argument filters to clusters with at least that
+// many member keys (2 = the paper's multi-key clusters).
+func (s *Server) cmdClusters(args []string) Value {
+	if s.analytics == nil {
+		return errValue(errAnalyticsDisabled)
+	}
+	if len(args) > 1 {
+		return errValue("ERR usage: CLUSTERS [minsize]")
+	}
+	minSize := 0
+	if len(args) == 1 {
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 0 {
+			return errValue("ERR bad minsize: " + args[0])
+		}
+		minSize = n
+	}
+	clusters, version := s.analytics.Snapshot()
+	out := make([]Value, 1, len(clusters)+1)
+	out[0] = intValue(int64(version))
+	for i := range clusters {
+		cl := &clusters[i]
+		if cl.Size() < minSize {
+			continue
+		}
+		cv := make([]Value, 0, 2+len(cl.Keys))
+		var lm int64
+		if !cl.LastModified.IsZero() {
+			lm = cl.LastModified.UnixNano()
+		}
+		cv = append(cv, intValue(int64(cl.ModCount)), intValue(lm))
+		for _, k := range cl.Keys {
+			cv = append(cv, bulk(k))
+		}
+		out = append(out, array(cv...))
+	}
+	return array(out...)
+}
+
+// cmdCorr serves the live pairwise correlation of two keys, reflecting
+// every closed co-modification group (no recluster needed). The reply is
+// a bulk string holding the float in Go 'g' format, in [0, 2].
+func (s *Server) cmdCorr(args []string) Value {
+	if s.analytics == nil {
+		return errValue(errAnalyticsDisabled)
+	}
+	if len(args) != 2 {
+		return errValue("ERR usage: CORR keyA keyB")
+	}
+	corr := s.analytics.Correlation(args[0], args[1])
+	return bulk(strconv.FormatFloat(corr, 'g', -1, 64))
 }
 
 func (s *Server) cmdStats(args []string) Value {

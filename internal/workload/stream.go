@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ocasta/internal/trace"
+)
+
+// StreamSpec describes a synthetic co-modification write stream for the
+// streaming-analytics benchmarks and tests: a key universe partitioned
+// into many small components (clusters of settings that flush together),
+// written episode by episode at distinct seconds, so the trace's
+// statistical shape matches the paper's workloads while the scale knobs
+// (events, components) turn independently.
+type StreamSpec struct {
+	// Apps is how many applications interleave in the stream (>= 1).
+	Apps int
+	// Components is the number of co-flush key groups per app.
+	Components int
+	// KeysPerComponent is the size of each group (>= 1).
+	KeysPerComponent int
+	// Episodes is the total number of co-modification episodes emitted
+	// across all apps; each episode writes one component's keys.
+	Episodes int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Events returns the total event count the spec generates. Every third
+// episode writes only half its component (correlation variety), so this
+// is exact, not an estimate.
+func (s StreamSpec) Events() int {
+	n := 0
+	for e := 0; e < s.Episodes; e++ {
+		if e%3 == 2 {
+			n += (s.KeysPerComponent + 1) / 2
+		} else {
+			n += s.KeysPerComponent
+		}
+	}
+	return n
+}
+
+// SyntheticStream generates the spec's trace: chronologically sorted,
+// second-granular, one episode per distinct second (each episode sits in
+// its own 1-second window). Every third episode writes only the first
+// half of its component's keys, so intra-component correlations vary
+// instead of all sitting at the clean maximum.
+func SyntheticStream(spec StreamSpec) *trace.Trace {
+	if spec.Apps < 1 {
+		spec.Apps = 1
+	}
+	if spec.Components < 1 {
+		spec.Components = 1
+	}
+	if spec.KeysPerComponent < 1 {
+		spec.KeysPerComponent = 1
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	tr := &trace.Trace{Name: fmt.Sprintf("synthetic-stream-%d", spec.Seed)}
+	base := DefaultStart
+	for e := 0; e < spec.Episodes; e++ {
+		app := rng.Intn(spec.Apps)
+		comp := rng.Intn(spec.Components)
+		t := base.Add(time.Duration(e) * 2 * time.Second)
+		keys := spec.KeysPerComponent
+		if e%3 == 2 {
+			keys = (keys + 1) / 2
+		}
+		appendEpisode(tr, app, comp, keys, e, t)
+	}
+	return tr
+}
+
+// DirtyEpisodes generates follow-up episodes touching only components
+// [0, dirtyComponents) of app 0, timestamped after every event of the
+// base spec — the "1% of the universe changed" workload the incremental
+// reclustering benchmark replays.
+func DirtyEpisodes(spec StreamSpec, dirtyComponents, episodes, round int) *trace.Trace {
+	tr := &trace.Trace{Name: "dirty"}
+	base := DefaultStart.Add(time.Duration(spec.Episodes+round*episodes) * 2 * time.Second)
+	for e := 0; e < episodes; e++ {
+		comp := e % dirtyComponents
+		t := base.Add(time.Duration(e) * 2 * time.Second)
+		appendEpisode(tr, 0, comp, spec.KeysPerComponent, e, t)
+	}
+	return tr
+}
+
+func appendEpisode(tr *trace.Trace, app, comp, keys, episode int, t time.Time) {
+	appName := fmt.Sprintf("app%02d", app)
+	for k := 0; k < keys; k++ {
+		tr.Events = append(tr.Events, trace.Event{
+			Time:  t,
+			Op:    trace.OpWrite,
+			Store: trace.StoreRegistry,
+			App:   appName,
+			User:  "bench",
+			Key:   fmt.Sprintf("app%02d/c%04d/k%02d", app, comp, k),
+			Value: fmt.Sprintf("v%d", episode),
+		})
+	}
+}

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -169,6 +171,36 @@ func TestErrorAppsOnTheirTraces(t *testing.T) {
 			if !found {
 				t.Errorf("%s must run %s (Table III placement)", machine, name)
 			}
+		}
+	}
+}
+
+func TestSyntheticStreamShape(t *testing.T) {
+	spec := StreamSpec{Apps: 2, Components: 10, KeysPerComponent: 4, Episodes: 300, Seed: 7}
+	tr := SyntheticStream(spec)
+	if got, want := len(tr.Events), spec.Events(); got != want {
+		t.Fatalf("generated %d events, Events() says %d", got, want)
+	}
+	for i := 1; i < len(tr.Events); i++ {
+		if tr.Events[i].Time.Before(tr.Events[i-1].Time) {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+	// Deterministic for a seed.
+	again := SyntheticStream(spec)
+	if !reflect.DeepEqual(tr, again) {
+		t.Fatal("SyntheticStream not deterministic")
+	}
+	// Dirty episodes land strictly after the base stream and only touch
+	// the designated components.
+	dirty := DirtyEpisodes(spec, 2, 6, 0)
+	last := tr.Events[len(tr.Events)-1].Time
+	for _, ev := range dirty.Events {
+		if !ev.Time.After(last) {
+			t.Fatalf("dirty event at %v not after base end %v", ev.Time, last)
+		}
+		if !strings.Contains(ev.Key, "/c0000/") && !strings.Contains(ev.Key, "/c0001/") {
+			t.Fatalf("dirty event touched unexpected key %s", ev.Key)
 		}
 	}
 }

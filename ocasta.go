@@ -59,7 +59,33 @@ type (
 	StoreKind = trace.StoreKind
 	// GroupMode selects the sliding-window grouping behaviour.
 	GroupMode = trace.GroupMode
+	// Group is one co-modification episode (a window's key set).
+	Group = trace.Group
+	// StreamWindower windows a live write stream incrementally.
+	StreamWindower = trace.StreamWindower
 )
+
+// Re-exported streaming analytics types.
+type (
+	// Engine is the streaming analytics engine: push events (or attach it
+	// to a Store with SetStatsObserver), recluster periodically, read the
+	// published clusters. Its output is byte-identical to the batch
+	// pipeline over the same events, with bounded staleness.
+	Engine = core.Engine
+	// EngineConfig tunes an Engine; the zero value selects the paper's
+	// defaults.
+	EngineConfig = core.EngineConfig
+)
+
+// NewEngine returns an empty streaming analytics engine.
+func NewEngine(cfg EngineConfig) *Engine { return core.NewEngine(cfg) }
+
+// NewStreamWindower returns a push-based windower emitting groups to
+// emit; see trace.NewStreamWindower for the horizon and buffer-borrowing
+// contract.
+func NewStreamWindower(window time.Duration, mode GroupMode, horizon time.Duration, emit func(*Group)) *StreamWindower {
+	return trace.NewStreamWindower(window, mode, horizon, emit)
+}
 
 // Re-exported constants.
 const (

@@ -3,6 +3,7 @@ package ocasta
 import (
 	"bytes"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -172,5 +173,34 @@ func TestClusterEventsParallelismDeterminism(t *testing.T) {
 				t.Fatalf("parallelism %d cluster %d: %v != %v", par, i, got[i].Keys, ref[i].Keys)
 			}
 		}
+	}
+}
+
+// TestEngineFacadeMatchesBatch sanity-checks the facade's streaming
+// engine against ClusterEvents on the same stream (the exhaustive
+// property tests live in internal/core).
+func TestEngineFacadeMatchesBatch(t *testing.T) {
+	base := time.Date(2013, 6, 1, 12, 0, 0, 0, time.UTC)
+	var events []Event
+	for ep := 0; ep < 5; ep++ {
+		ts := base.Add(time.Duration(ep) * 10 * time.Second)
+		for _, k := range []string{"pair/a", "pair/b"} {
+			events = append(events, Event{Time: ts, Op: OpWrite, Store: StoreRegistry, App: "app", Key: k})
+		}
+		events = append(events, Event{Time: ts.Add(5 * time.Second), Op: OpWrite, Store: StoreRegistry, App: "app", Key: "lone"})
+	}
+	want := ClusterEvents(events, Config{})
+
+	eng := NewEngine(EngineConfig{})
+	for _, ev := range events {
+		eng.Push(ev)
+	}
+	eng.Flush()
+	got := eng.Recluster()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("engine clusters = %+v, want %+v", got, want)
+	}
+	if eng.Version() != 1 {
+		t.Errorf("Version = %d, want 1", eng.Version())
 	}
 }

@@ -35,6 +35,13 @@ type (
 	Client = ttkvwire.Client
 	// Pipeline queues client commands for a single-round-trip flush.
 	Pipeline = ttkvwire.Pipeline
+	// StatsObserver receives every successful store mutation; an *Engine
+	// satisfies it (install with Store.SetStatsObserver for live
+	// clustering).
+	StatsObserver = ttkv.StatsObserver
+	// ClusterSnapshot is a client-side CLUSTERS reply: the server's
+	// published live clustering plus its publish counter.
+	ClusterSnapshot = ttkvwire.ClusterSnapshot
 )
 
 // Group-commit fsync policies, re-exported so external callers can fill
