@@ -10,11 +10,18 @@
 // the AOF as an atomic snapshot after replay (optionally trimming each
 // key's history to -retain versions) so replay cost stays bounded across
 // restarts.
+//
+// The daemon also serves the paper's recovery loop over the wire: REPAIR
+// submits an asynchronous cluster-rollback search (parallel trial workers,
+// bounded by -repair-workers / -repair-max-active / -repair-max-jobs),
+// RSTAT polls progress and screenshots, RFIX applies a confirmed fix
+// atomically.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +50,9 @@ func run() int {
 	horizon := flag.Duration("horizon", trace.DefaultHorizon, "analytics reorder horizon for out-of-order write timestamps")
 	advance := flag.Bool("recluster-advance", true, "advance the analytics watermark to the wall clock on each recluster tick (disable when replaying historical timestamps slowly)")
 	maxSkew := flag.Duration("max-future-skew", 30*time.Second, "quarantine writes stamped further than this beyond the wall clock from analytics windowing (0 trusts all timestamps; set 0 when loading historical traces)")
+	repairWorkers := flag.Int("repair-workers", 8, "trial workers per repair job (1 searches sequentially)")
+	repairActive := flag.Int("repair-max-active", 2, "repair searches running concurrently; extra accepted jobs queue")
+	repairJobs := flag.Int("repair-max-jobs", 64, "repair jobs retained (running+finished); beyond it the oldest finished job is evicted")
 	flag.Parse()
 
 	if *shards < 1 || *shards > 1<<16 {
@@ -84,6 +94,18 @@ func run() int {
 	}
 	if *maxSkew < 0 {
 		fmt.Fprintf(os.Stderr, "ttkvd: -max-future-skew must be >= 0, got %v\n", *maxSkew)
+		return 2
+	}
+	if *repairWorkers < 1 {
+		fmt.Fprintf(os.Stderr, "ttkvd: -repair-workers must be >= 1, got %d\n", *repairWorkers)
+		return 2
+	}
+	if *repairActive < 1 {
+		fmt.Fprintf(os.Stderr, "ttkvd: -repair-max-active must be >= 1, got %d\n", *repairActive)
+		return 2
+	}
+	if *repairJobs < 1 {
+		fmt.Fprintf(os.Stderr, "ttkvd: -repair-max-jobs must be >= 1, got %d\n", *repairJobs)
 		return 2
 	}
 
@@ -141,6 +163,11 @@ func run() int {
 	}
 
 	srv := ttkvwire.NewServer(store)
+	srv.SetRepair(ttkvwire.RepairConfig{
+		Workers:   *repairWorkers,
+		MaxActive: *repairActive,
+		MaxJobs:   *repairJobs,
+	})
 	var reclusterStop chan struct{}
 	if engine != nil {
 		srv.SetAnalytics(engine)
@@ -165,13 +192,26 @@ func run() int {
 			}
 		}()
 	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttkvd: listen:", err)
+		if reclusterStop != nil {
+			close(reclusterStop)
+		}
+		if gc != nil {
+			gc.Close()
+		}
+		return 1
+	}
 	done := make(chan error, 1)
-	go func() { done <- srv.ListenAndServe(*addr) }()
+	go func() { done <- srv.Serve(ln) }()
 	analyticsState := "off"
 	if engine != nil {
 		analyticsState = fmt.Sprintf("every %v", *reclusterEvery)
 	}
-	fmt.Printf("ttkvd: serving on %s (shards=%d fsync=%s recluster=%s)\n", *addr, store.NumShards(), policy, analyticsState)
+	// The resolved listener address (not the flag) so -addr :0 is usable.
+	fmt.Printf("ttkvd: serving on %s (shards=%d fsync=%s recluster=%s repair-workers=%d)\n",
+		ln.Addr(), store.NumShards(), policy, analyticsState, *repairWorkers)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -103,6 +103,71 @@ func TestFullPipelineOverWire(t *testing.T) {
 	}
 }
 
+// TestRemoteRepairOverFacade drives the asynchronous repair loop through
+// the public facade: REPAIR submits the job, RSTAT polls it, RFIX applies
+// the confirmed rollback atomically — the full paper recovery loop over
+// real TCP.
+func TestRemoteRepairOverFacade(t *testing.T) {
+	base := time.Date(2013, 6, 1, 9, 0, 0, 0, time.UTC)
+	store := NewStore()
+	const offline = "/apps/evolution/shell/start_offline"
+	const sync = "/apps/evolution/shell/offline_sync"
+	for day := 0; day < 4; day++ {
+		ts := base.Add(time.Duration(day) * 24 * time.Hour)
+		if err := store.Set(offline, "b:false", ts); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Set(sync, "b:true", ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errAt := base.Add(18 * 24 * time.Hour)
+	if err := store.Set(offline, "b:true", errAt); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Set(sync, "b:true", errAt); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, errc := Serve(store, ln)
+	defer func() {
+		srv.Close()
+		if err := <-errc; !errors.Is(err, ttkvwire.ErrServerClosed) {
+			t.Errorf("server exit: %v", err)
+		}
+	}()
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	id, err := client.RepairSubmit(RepairRequest{
+		App: "evolution", Trial: []string{"launch"},
+		FixedMarker: "[x] online-mode", BrokenMarker: "[ ] online-mode",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.RepairWait(id, time.Millisecond, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != RepairJobDone || !st.Found {
+		t.Fatalf("remote repair job = %+v, want done+found", st)
+	}
+	if _, err := client.RepairFix(id, errAt.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := store.Get(offline); v != "b:false" {
+		t.Errorf("after remote fix, %s = %q, want b:false", offline, v)
+	}
+}
+
 // TestAOFSurvivesRestart checks the durability loop the daemon relies on:
 // record, crash, replay, keep recording, repair from the replayed history.
 func TestAOFSurvivesRestart(t *testing.T) {

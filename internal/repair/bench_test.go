@@ -1,0 +1,111 @@
+package repair
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ocasta/internal/apps"
+	"ocasta/internal/trace"
+	"ocasta/internal/ttkv"
+)
+
+// benchTrialLatency models the sandboxed trial's wall-clock cost —
+// launching the application, replaying the UI actions, screenshotting.
+// The paper measures ~11 s per trial; the benchmark scales that down by
+// ~20000x so a full exhaustive search stays in the hundreds of
+// milliseconds. The ratio between sequential and parallel search is what
+// the benchmark reports: trials are latency-bound, so workers overlap
+// them near-linearly even on one core.
+const benchTrialLatency = 500 * time.Microsecond
+
+// benchDeployment builds a 12-cluster, 36-key application with ~25
+// episodes per cluster: an exhaustive search of ~300 trials.
+func benchDeployment(b *testing.B) (*ttkv.Store, *apps.Model) {
+	b.Helper()
+	const groups = 12
+	const keysPer = 3
+	const episodes = 24
+	model := &apps.Model{
+		Name: "benchapp", DisplayName: "Bench App", Description: "Benchmark",
+		Store: trace.StoreGConf, ConfigPath: "/apps/bench",
+	}
+	store := ttkv.New()
+	t0 := time.Date(2013, 9, 1, 8, 0, 0, 0, time.UTC)
+	sec := 0
+	for g := 0; g < groups; g++ {
+		keys := make([]string, keysPer)
+		for k := range keys {
+			keys[k] = fmt.Sprintf("/apps/bench/g%02d/k%d", g, k)
+		}
+		ks := keys
+		gi := g
+		model.Elements = append(model.Elements, apps.UIElement{
+			Name: fmt.Sprintf("panel%02d", gi),
+			Detail: func(cfg apps.Config) string {
+				out := ""
+				for _, k := range ks {
+					out += cfg[k] + "|"
+				}
+				return out
+			},
+		})
+		for e := 0; e < episodes; e++ {
+			sec += 3
+			at := t0.Add(time.Duration(sec) * time.Second)
+			for _, k := range keys {
+				if err := store.Set(k, fmt.Sprintf("g%d-e%d", g, e), at); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	return store, model
+}
+
+// BenchmarkRepairSearch measures the exhaustive repair search (the
+// worst case: the oracle never matches, every candidate is tried) with
+// the trial executor at 1, 4, and 16 workers, plus the cost of
+// re-clustering per call versus accepting a pre-computed clustering (the
+// serving daemon's live path). BENCH_repair.json records the results.
+func BenchmarkRepairSearch(b *testing.B) {
+	store, model := benchDeployment(b)
+	tool := NewTool(store, model)
+	never := func(string) bool { return false }
+	sandbox := func(cfg apps.Config, trial []string) string {
+		time.Sleep(benchTrialLatency)
+		return model.Render(cfg, trial)
+	}
+	clusters := tool.Clusters(trace.DefaultWindow, 2, false)
+
+	b.Run("recluster-per-call", func(b *testing.B) {
+		// Sequential search that also re-clusters the history per call —
+		// the pre-PR baseline behaviour.
+		for i := 0; i < b.N; i++ {
+			res, err := tool.Search(Options{
+				Trial: []string{"launch"}, Oracle: never,
+				Sandbox: sandbox, Workers: 1,
+			})
+			if err != nil || res.Found {
+				b.Fatalf("res=%+v err=%v", res, err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var trials int
+			for i := 0; i < b.N; i++ {
+				res, err := tool.Search(Options{
+					Trial: []string{"launch"}, Oracle: never,
+					Sandbox: sandbox, Workers: workers,
+					Clusters: clusters,
+				})
+				if err != nil || res.Found {
+					b.Fatalf("res=%+v err=%v", res, err)
+				}
+				trials = res.Trials
+			}
+			b.ReportMetric(float64(trials), "trials/op")
+		})
+	}
+}

@@ -1,0 +1,170 @@
+// Parallel trial execution for the repair search: a worker pool runs
+// sandboxed trials concurrently against the search's pinned point-in-time
+// view, and an arbiter commits their outcomes in exact sequential-search
+// order, so the parallel Result is byte-identical to the sequential one
+// at every worker count. Trials are dominated by sandbox latency (the
+// paper measures ~11 s per trial: application launch, UI replay,
+// screenshot), which is what the workers overlap.
+package repair
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// oracleCache memoizes oracle verdicts by screenshot hash, shared by all
+// trial workers. The screenshot-dedup map was unsynchronized while trials
+// only ran sequentially; concurrent workers require the mutex. The oracle
+// itself runs outside the lock — oracles can be arbitrarily slow (in the
+// paper's loop, a human) — so two workers may race to evaluate the same
+// fresh screen; for the required pure oracles both compute the same
+// verdict and the double store is harmless.
+type oracleCache struct {
+	mu       sync.Mutex
+	verdicts map[string]bool
+}
+
+func newOracleCache() *oracleCache {
+	return &oracleCache{verdicts: make(map[string]bool)}
+}
+
+func (c *oracleCache) verdict(hash, screen string, oracle UserOracle) bool {
+	c.mu.Lock()
+	v, ok := c.verdicts[hash]
+	c.mu.Unlock()
+	if ok {
+		return v
+	}
+	v = oracle(screen)
+	c.mu.Lock()
+	c.verdicts[hash] = v
+	c.mu.Unlock()
+	return v
+}
+
+// trialOutcome is one executed trial, produced by a worker and consumed
+// by the arbiter.
+type trialOutcome struct {
+	screen string
+	hash   string
+	at     time.Time
+	match  bool // the oracle's verdict on this screen's content
+}
+
+// searchParallel executes the candidate list on opts.Workers goroutines
+// with deterministic arbitration.
+//
+// Workers claim candidate indices from an atomic counter, run the
+// sandboxed trial, and publish the outcome into a per-candidate slot. The
+// arbiter (the calling goroutine) consumes slots strictly in candidate
+// order and applies exactly the sequential search's accounting: trial
+// counting, screenshot dedup against previously *committed* screens, and
+// the oracle verdict on first occurrences. Because arbitration order,
+// dedup state, and verdicts (pure oracles, memoized by content hash) all
+// match the sequential walk, the returned Result is byte-identical.
+//
+// Two bounds keep the pool from wasting work: MaxTrials caps how many
+// candidates may ever commit, and when any worker's trial matches the
+// oracle at index i the claim limit drops to i+1 — the committed fix is
+// then guaranteed at or before i (the first occurrence of matching screen
+// content cannot come later), so candidates beyond it are unreachable.
+// In-flight trials past the final fix still finish (bounded overshoot of
+// at most one trial per worker); their outcomes are simply never
+// committed, so they cannot perturb the result.
+func (t *Tool) searchParallel(s *search, res *Result) (*Result, error) {
+	n := len(s.cands)
+	effLimit := n
+	if s.opts.MaxTrials > 0 && s.opts.MaxTrials < effLimit {
+		effLimit = s.opts.MaxTrials
+	}
+	if effLimit == 0 {
+		return res, nil
+	}
+
+	var (
+		next  atomic.Int64
+		limit atomic.Int64
+		stop  atomic.Bool
+	)
+	limit.Store(int64(effLimit))
+	outcomes := make([]trialOutcome, effLimit)
+	ready := make([]chan struct{}, effLimit)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	cache := newOracleCache()
+
+	workers := s.opts.Workers
+	if workers > effLimit {
+		workers = effLimit
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if int64(i) >= limit.Load() {
+					// Every candidate the arbiter can still commit is at
+					// or below the limit and was claimed before this one
+					// (claims are monotone), so nothing is stranded.
+					return
+				}
+				screen, at := s.runTrial(t, i)
+				h := hashScreen(screen)
+				o := trialOutcome{
+					screen: screen, hash: h, at: at,
+					match: cache.verdict(h, screen, s.opts.Oracle),
+				}
+				outcomes[i] = o
+				close(ready[i])
+				if o.match {
+					// The committed fix is at or before i; stop claiming
+					// past it.
+					for {
+						cur := limit.Load()
+						if cur <= int64(i)+1 || limit.CompareAndSwap(cur, int64(i)+1) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	defer func() {
+		stop.Store(true)
+		wg.Wait()
+	}()
+
+	seen := map[string]struct{}{s.errorHash: {}}
+	for i := 0; i < effLimit; i++ {
+		select {
+		case <-ready[i]:
+		case <-s.opts.Cancel:
+			return res, ErrCancelled
+		}
+		o := &outcomes[i]
+		res.Trials++
+		res.SimTime += s.trialCost
+		if _, dup := seen[o.hash]; !dup {
+			seen[o.hash] = struct{}{}
+			res.Screenshots = append(res.Screenshots, Screenshot{
+				Rendered: o.screen, Hash: o.hash, Trial: res.Trials, Cluster: s.cands[i].ci, At: o.at,
+			})
+			if o.match {
+				res.Found = true
+				res.Offending = s.clusters[s.cands[i].ci]
+				res.FixAt = o.at
+				s.progress(res)
+				return res, nil
+			}
+		}
+		s.progress(res)
+	}
+	return res, nil
+}

@@ -1,0 +1,236 @@
+package repair
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ocasta/internal/apps"
+	"ocasta/internal/trace"
+	"ocasta/internal/ttkv"
+)
+
+// randScenario is one randomized fault/machine scenario: a synthetic
+// application with grouped settings, a recorded history of co-modification
+// episodes plus noise, and an injected fault corrupting part of one group.
+type randScenario struct {
+	model *apps.Model
+	store *ttkv.Store
+	opts  Options
+}
+
+// genScenario builds a deterministic random scenario from seed.
+//
+// The model has G related-setting groups; each group renders its values
+// in a screen element, so a rollback changes the screenshot and the
+// injected "BAD" values are visible symptoms. The fault corrupts a random
+// non-empty subset of one group's keys at a late time, so fixing it
+// requires rolling the whole group back — the paper's cluster-granularity
+// argument, randomized.
+func genScenario(seed int64) *randScenario {
+	rng := rand.New(rand.NewSource(seed))
+	groups := 2 + rng.Intn(4) // 2..5 groups
+	model := &apps.Model{
+		Name: "rt", DisplayName: "RandTest", Description: "Equivalence App",
+		Store: trace.StoreGConf, ConfigPath: "/apps/rt",
+	}
+	var groupKeys [][]string
+	for g := 0; g < groups; g++ {
+		size := 2 + rng.Intn(3) // 2..4 keys
+		keys := make([]string, size)
+		for k := range keys {
+			keys[k] = fmt.Sprintf("/apps/rt/g%d/k%d", g, k)
+		}
+		groupKeys = append(groupKeys, keys)
+		keysCopy := keys
+		model.Elements = append(model.Elements, apps.UIElement{
+			Name: fmt.Sprintf("panel%d", g),
+			Detail: func(cfg apps.Config) string {
+				vals := make([]string, 0, len(keysCopy))
+				for _, k := range keysCopy {
+					vals = append(vals, cfg[k])
+				}
+				return strings.Join(vals, ",")
+			},
+		})
+	}
+
+	store := ttkv.New()
+	t0 := time.Date(2013, 11, 1, 8, 0, 0, 0, time.UTC)
+	// Episodes: each group co-modified at its own distinct seconds.
+	sec := 0
+	for g, keys := range groupKeys {
+		episodes := 2 + rng.Intn(4) // 2..5
+		for e := 0; e < episodes; e++ {
+			sec += 2 + rng.Intn(5)
+			at := t0.Add(time.Duration(sec) * time.Second)
+			for ki, k := range keys {
+				// Occasionally skip a member (dominant-key pattern).
+				if ki > 0 && rng.Intn(8) == 0 {
+					continue
+				}
+				if err := store.Set(k, fmt.Sprintf("g%d-v%d", g, e), at); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	// Independent noise keys at unique seconds.
+	for n := 0; n < 3; n++ {
+		sec += 2 + rng.Intn(4)
+		at := t0.Add(time.Duration(sec) * time.Second)
+		if err := store.Set(fmt.Sprintf("/apps/rt/noise%d", n), fmt.Sprintf("n%d", n), at); err != nil {
+			panic(err)
+		}
+	}
+	// The fault: corrupt a random non-empty subset of one group late in
+	// the history (the rest of the group co-writes its current values, as
+	// a dialog flush would).
+	victim := rng.Intn(groups)
+	faultAt := t0.Add(time.Duration(sec+1000) * time.Second)
+	for ki, k := range groupKeys[victim] {
+		if ki == 0 || rng.Intn(2) == 0 {
+			if err := store.Set(k, "BAD", faultAt); err != nil {
+				panic(err)
+			}
+		} else if cur, ok := store.Get(k); ok {
+			if err := store.Set(k, cur, faultAt); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	opts := Options{
+		Trial:  []string{"launch"},
+		Oracle: MarkerOracle("", "BAD"),
+	}
+	// Randomize the searchable span and trial cap sometimes, so the
+	// equivalence property also covers bounded and capped searches.
+	switch rng.Intn(4) {
+	case 0:
+		opts.Start = t0.Add(time.Duration(sec/2) * time.Second)
+	case 1:
+		opts.MaxTrials = 1 + rng.Intn(6)
+	case 2:
+		opts.End = faultAt.Add(-time.Second) // excludes the fix-reaching undo
+	}
+	return &randScenario{model: model, store: store, opts: opts}
+}
+
+// TestParallelSearchEquivalence is the property suite: for randomized
+// fault/machine scenarios, the parallel search at 4 and 16 workers — under
+// both strategies — returns a Result byte-identical to the sequential
+// searcher: same offending cluster, same FixAt, same screenshot hashes and
+// ordering, same trial and simulated-time accounting. CI runs it under
+// -race, which also exercises the worker pool's synchronization.
+func TestParallelSearchEquivalence(t *testing.T) {
+	scenarios := 40
+	if testing.Short() {
+		scenarios = 10
+	}
+	foundSome := false
+	for seed := int64(0); seed < int64(scenarios); seed++ {
+		for _, strat := range []Strategy{StrategyDFS, StrategyBFS} {
+			sc := genScenario(seed)
+			tool := NewTool(sc.store, sc.model)
+			opts := sc.opts
+			opts.Strategy = strat
+
+			opts.Workers = 1
+			want, err := tool.Search(opts)
+			if err != nil {
+				t.Fatalf("seed %d %v: sequential: %v", seed, strat, err)
+			}
+			if want.Found {
+				foundSome = true
+			}
+			for _, workers := range []int{4, 16} {
+				opts.Workers = workers
+				got, err := tool.Search(opts)
+				if err != nil {
+					t.Fatalf("seed %d %v w=%d: %v", seed, strat, workers, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d %v w=%d: parallel result diverges\n got: %+v\nwant: %+v",
+						seed, strat, workers, got, want)
+				}
+			}
+		}
+	}
+	if !foundSome {
+		t.Error("no scenario found a fix; the generator is broken")
+	}
+}
+
+// TestParallelEquivalenceWithProvidedClusters re-runs the property with a
+// pre-computed clustering (what a live engine snapshot supplies over the
+// wire): supplying the tool's own clustering must not change any result,
+// sequential or parallel.
+func TestParallelEquivalenceWithProvidedClusters(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		sc := genScenario(seed)
+		tool := NewTool(sc.store, sc.model)
+		opts := sc.opts
+		want, err := tool.Search(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same tunables Search normalizes zero options to.
+		opts.Clusters = tool.Clusters(trace.DefaultWindow, 2, false)
+		for _, workers := range []int{1, 16} {
+			opts.Workers = workers
+			got, err := tool.Search(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d w=%d: provided-cluster result diverges\n got: %+v\nwant: %+v",
+					seed, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelDedupRace is the -race regression test for the screenshot
+// dedup/oracle cache: most trials of this scenario render identical
+// screens (the elements ignore the rolled-back keys), so many workers hit
+// the shared verdict cache for the same hash concurrently. Before the
+// cache was mutex-guarded this was an unsynchronized map access.
+func TestParallelDedupRace(t *testing.T) {
+	model := &apps.Model{
+		Name: "dup", DisplayName: "Dup App", Description: "Dedup Race",
+		Store: trace.StoreGConf, ConfigPath: "/apps/dup",
+		Elements: []apps.UIElement{{Name: "static"}}, // ignores all config
+	}
+	store := ttkv.New()
+	t0 := time.Date(2013, 11, 2, 8, 0, 0, 0, time.UTC)
+	for k := 0; k < 8; k++ {
+		key := fmt.Sprintf("/apps/dup/k%d", k)
+		for e := 0; e < 12; e++ {
+			at := t0.Add(time.Duration(k*1000+e*7) * time.Second)
+			if err := store.Set(key, fmt.Sprintf("v%d", e), at); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tool := NewTool(store, model)
+	res, err := tool.Search(Options{
+		Trial:   []string{"launch"},
+		Oracle:  func(string) bool { return false },
+		Workers: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found || res.Trials != res.TotalTrials {
+		t.Errorf("exhaustive dedup search: found=%v trials=%d/%d", res.Found, res.Trials, res.TotalTrials)
+	}
+	// Every screen is identical, and identical to the error screen: the
+	// committed walk must have deduplicated all of them.
+	if len(res.Screenshots) != 0 {
+		t.Errorf("expected full dedup, got %d screenshots", len(res.Screenshots))
+	}
+}

@@ -1,0 +1,215 @@
+package repair
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"ocasta/internal/apps"
+	"ocasta/internal/core"
+)
+
+func TestParallelFindsSameFixAsSequential(t *testing.T) {
+	store := seedStore(t, 300)
+	tool := NewTool(store, miniModel())
+	for _, workers := range []int{2, 8} {
+		res, err := tool.Search(Options{
+			Trial: []string{"launch"}, Oracle: fixedOracle(), Workers: workers,
+		})
+		if err != nil || !res.Found {
+			t.Fatalf("w=%d: found=%v err=%v", workers, res != nil && res.Found, err)
+		}
+		if res.Offending.Size() != 2 || !res.Offending.Contains("/apps/mini/mode") {
+			t.Errorf("w=%d: offending = %+v, want the mode+level pair", workers, res.Offending)
+		}
+	}
+}
+
+func TestSearchCancel(t *testing.T) {
+	store := seedStore(t, 300)
+	tool := NewTool(store, miniModel())
+	done := make(chan struct{})
+	close(done)
+	for _, workers := range []int{1, 4} {
+		res, err := tool.Search(Options{
+			Trial:  []string{"launch"},
+			Oracle: func(string) bool { return false },
+			Cancel: done, Workers: workers,
+		})
+		if !errors.Is(err, ErrCancelled) {
+			t.Errorf("w=%d: err = %v, want ErrCancelled", workers, err)
+		}
+		if res == nil {
+			t.Fatalf("w=%d: cancelled search must still return the partial result", workers)
+		}
+	}
+}
+
+func TestOnProgress(t *testing.T) {
+	store := seedStore(t, 300)
+	tool := NewTool(store, miniModel())
+	for _, workers := range []int{1, 8} {
+		var calls, last int
+		res, err := tool.Search(Options{
+			Trial:  []string{"launch"},
+			Oracle: func(string) bool { return false }, // exhaustive
+			OnProgress: func(done, _ int) {
+				calls++
+				if done != last+1 {
+					t.Fatalf("w=%d: progress jumped %d -> %d", workers, last, done)
+				}
+				last = done
+			},
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls != res.Trials {
+			t.Errorf("w=%d: %d progress calls for %d trials", workers, calls, res.Trials)
+		}
+	}
+}
+
+func TestOnProgressTotal(t *testing.T) {
+	store := seedStore(t, 300)
+	tool := NewTool(store, miniModel())
+	var sawTotal int
+	res, err := tool.Search(Options{
+		Trial:  []string{"launch"},
+		Oracle: func(string) bool { return false },
+		OnProgress: func(_, total int) {
+			sawTotal = total
+		},
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawTotal != res.TotalTrials {
+		t.Errorf("progress total = %d, want %d", sawTotal, res.TotalTrials)
+	}
+}
+
+func TestSandboxOverride(t *testing.T) {
+	store := seedStore(t, 300)
+	tool := NewTool(store, miniModel())
+	var trials atomic.Int64
+	model := miniModel()
+	res, err := tool.Search(Options{
+		Trial:  []string{"launch"},
+		Oracle: fixedOracle(),
+		Sandbox: func(cfg apps.Config, trial []string) string {
+			trials.Add(1)
+			return model.Render(cfg, trial)
+		},
+		Workers: 4,
+	})
+	if err != nil || !res.Found {
+		t.Fatalf("custom sandbox search: %+v, %v", res, err)
+	}
+	// The sandbox ran the error screen plus at least the committed trials
+	// (workers may overshoot past the fix by design).
+	if got := trials.Load(); got < int64(res.Trials)+1 {
+		t.Errorf("sandbox ran %d times, want >= %d", got, res.Trials+1)
+	}
+}
+
+func TestClustersForApp(t *testing.T) {
+	model := miniModel()
+	in := []core.Cluster{
+		{Keys: []string{"/apps/mini/mode", "/apps/other/x"}, ModCount: 4},
+		{Keys: []string{"/apps/other/y"}, ModCount: 1},
+		{Keys: []string{"/apps/mini/color"}, ModCount: 2},
+	}
+	out := ClustersForApp(in, model)
+	if len(out) != 2 {
+		t.Fatalf("ClustersForApp kept %d clusters, want 2: %+v", len(out), out)
+	}
+	if len(out[0].Keys) != 1 || out[0].Keys[0] != "/apps/mini/mode" || out[0].ModCount != 4 {
+		t.Errorf("trimmed cluster = %+v", out[0])
+	}
+	// The input must not be mutated (engine snapshots are shared).
+	if len(in[0].Keys) != 2 {
+		t.Error("ClustersForApp mutated its input")
+	}
+}
+
+func TestProvidedClustersDriveTheSearch(t *testing.T) {
+	store := seedStore(t, 300)
+	tool := NewTool(store, miniModel())
+	// Supply only the offending pair: the search space shrinks to that
+	// cluster's history, and the fix is still found.
+	provided := []core.Cluster{
+		{Keys: []string{"/apps/mini/level", "/apps/mini/mode"}, ModCount: 4},
+	}
+	res, err := tool.Search(Options{
+		Trial: []string{"launch"}, Oracle: fixedOracle(), Clusters: provided,
+	})
+	if err != nil || !res.Found {
+		t.Fatalf("provided-cluster search: %+v, %v", res, err)
+	}
+	if res.Clusters != 1 {
+		t.Errorf("candidate clusters = %d, want 1", res.Clusters)
+	}
+	if !res.Offending.Contains("/apps/mini/mode") {
+		t.Errorf("offending = %+v", res.Offending)
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Strategy
+		ok   bool
+	}{
+		{"", StrategyDFS, true},
+		{"dfs", StrategyDFS, true},
+		{"bfs", StrategyBFS, true},
+		{"greedy", 0, false},
+	} {
+		got, err := ParseStrategy(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseStrategy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}
+
+// TestSearchStableUnderLiveWrites pins the view guarantee: every read of
+// a search goes through a view pinned at call time, so a search that
+// raced live writers still returns a self-consistent result (the fix for
+// the history as of its pin), run under -race in CI.
+func TestSearchStableUnderLiveWrites(t *testing.T) {
+	store := seedStore(t, 300)
+	tool := NewTool(store, miniModel())
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		// A bounded burst: enough writes to overlap several searches, few
+		// enough that the growing history keeps trial counts small.
+		for i := 0; i < 300; i++ {
+			// Keep re-breaking mode and churning the independent color key
+			// while searches run.
+			_ = store.Set("/apps/mini/mode", "b:false", at(500+2*i))
+			_ = store.Set("/apps/mini/color", "s:chaos", at(600+2*i))
+		}
+	}()
+	check := func(i int) {
+		t.Helper()
+		got, err := tool.Search(Options{Trial: []string{"launch"}, Oracle: fixedOracle(), Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The writers only ever extend the broken tail of history, so the
+		// semantic outcome — the mode cluster, rolled back to a working
+		// state — must hold for every pin.
+		if !got.Found || !got.Offending.Contains("/apps/mini/mode") {
+			t.Fatalf("iteration %d: live-write search diverged: %+v", i, got)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		check(i)
+	}
+	<-writerDone
+	check(-1) // once more over the quiescent final history
+}

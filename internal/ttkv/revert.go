@@ -1,0 +1,135 @@
+package ttkv
+
+import (
+	"errors"
+	"sort"
+	"time"
+)
+
+// ErrNoCluster is returned by RevertCluster for an empty key set.
+var ErrNoCluster = errors.New("ttkv: revert of an empty cluster")
+
+// RevertCluster atomically rolls a cluster of keys back to its state at
+// fixAt, recording the rollback as new writes at applyAt — the paper's
+// final step once the user confirms the fixed screenshot. For each key,
+// the value in effect at fixAt is re-written; a key with no value then
+// (never existed, or deleted) receives a deletion tombstone if it
+// currently exists, and is skipped otherwise. History is preserved: the
+// revert appends versions, it never rewrites them.
+//
+// The whole batch is applied under every involved shard lock at once, so
+// a concurrent reader sees either none or all of the cluster's keys
+// reverted — never a half-applied fix, which for correlated settings is
+// exactly the broken intermediate state the paper's clustering exists to
+// avoid. Locks are taken in shard order, so concurrent RevertCluster
+// calls cannot deadlock. The in-memory transition is also all-or-nothing
+// against persistence failures: every record is enqueued to the sink
+// before anything is inserted, so a sticky AOF error leaves memory
+// untouched (at worst the AOF gains a replayable prefix of the revert —
+// the superset crash window every write path shares). Returns how many
+// mutations were applied.
+func (s *Store) RevertCluster(keys []string, fixAt, applyAt time.Time) (int, error) {
+	if len(keys) == 0 {
+		return 0, ErrNoCluster
+	}
+	if fixAt.IsZero() || applyAt.IsZero() {
+		return 0, ErrZeroTime
+	}
+	for _, k := range keys {
+		if k == "" {
+			return 0, ErrEmptyKey
+		}
+		if len(k) > MaxStringLen {
+			return 0, ErrOversize
+		}
+	}
+	if err := s.waitSinkCapacity(); err != nil {
+		return 0, err
+	}
+
+	// Lock every involved shard, each exactly once, in shard order.
+	shardSet := make(map[uint64]struct{}, len(keys))
+	for _, k := range keys {
+		shardSet[s.shardIndex(k)] = struct{}{}
+	}
+	idxs := make([]uint64, 0, len(shardSet))
+	for i := range shardSet {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	for _, i := range idxs {
+		s.shards[i].mu.Lock()
+	}
+	defer func() {
+		for _, i := range idxs {
+			s.shards[i].mu.Unlock()
+		}
+	}()
+
+	// With every shard lock held, no writer can interleave: the
+	// read-compute-write below is one indivisible transition. It runs in
+	// three phases so a persistence failure cannot leave the cluster
+	// half-reverted in memory: plan every mutation, enqueue all of them
+	// to the sink, and only then insert — in-memory state is
+	// all-or-nothing. A sink error mid-enqueue may leave a prefix of the
+	// revert in the AOF with nothing in memory; replay then applies it,
+	// the same record-then-crash superset window every write path has.
+	plan := make([]Mutation, 0, len(keys))
+	for _, key := range keys {
+		sh := &s.shards[s.shardIndex(key)]
+		target, ok := versionAtLocked(sh, key, fixAt)
+		switch {
+		case !ok || target.Deleted:
+			// The key did not exist at the fix point; tombstone it if it
+			// currently exists, otherwise there is nothing to undo.
+			if !existsLocked(sh, key) {
+				continue
+			}
+			plan = append(plan, Mutation{Key: key, Time: applyAt, Delete: true})
+		default:
+			plan = append(plan, Mutation{Key: key, Value: target.Value, Time: applyAt})
+		}
+	}
+	for _, m := range plan {
+		if err := s.sinkAppend(m.Key, m.Value, m.Time, m.Delete); err != nil {
+			return 0, err
+		}
+	}
+	for _, m := range plan {
+		s.insertLocked(&s.shards[s.shardIndex(m.Key)], m.Key, m.Value, m.Time, m.Delete)
+	}
+
+	// Observer calls run outside the shard locks by contract; the deferred
+	// unlocks have not run yet, so release explicitly first.
+	for _, i := range idxs {
+		s.shards[i].mu.Unlock()
+	}
+	idxs = idxs[:0] // the deferred unlock loop must not double-unlock
+	observeRange(s.statsObserver(), plan)
+	return len(plan), nil
+}
+
+// versionAtLocked is GetAt's lookup with the shard lock already held.
+func versionAtLocked(sh *shard, key string, t time.Time) (Version, bool) {
+	rec, ok := sh.records[key]
+	if !ok {
+		return Version{}, false
+	}
+	i := sort.Search(len(rec.versions), func(i int) bool {
+		return rec.versions[i].Time.After(t)
+	})
+	if i == 0 {
+		return Version{}, false
+	}
+	return rec.versions[i-1], true
+}
+
+// existsLocked reports whether key currently has a live (non-deleted)
+// value, with the shard lock already held.
+func existsLocked(sh *shard, key string) bool {
+	rec, ok := sh.records[key]
+	if !ok {
+		return false
+	}
+	return !rec.versions[len(rec.versions)-1].Deleted
+}

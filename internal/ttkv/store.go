@@ -151,8 +151,8 @@ func NewSharded(n int) *Store {
 // NumShards reports the store's shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
 
-// shardFor hashes key (FNV-1a) onto a shard.
-func (s *Store) shardFor(key string) *shard {
+// shardIndex hashes key (FNV-1a) onto a shard index.
+func (s *Store) shardIndex(key string) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -162,7 +162,12 @@ func (s *Store) shardFor(key string) *shard {
 		h ^= uint64(key[i])
 		h *= prime64
 	}
-	return &s.shards[h&s.mask]
+	return h & s.mask
+}
+
+// shardFor hashes key onto its shard.
+func (s *Store) shardFor(key string) *shard {
+	return &s.shards[s.shardIndex(key)]
 }
 
 // Set records a write of value to key at time t. Timestamps may arrive out
@@ -228,11 +233,24 @@ func (s *Store) waitSinkCapacity() error {
 // record in the AOF, process dies before the insert — only makes replay a
 // superset, which is the correct durability direction.
 func (s *Store) applyLocked(sh *shard, key, value string, t time.Time, deleted bool) error {
-	if box := s.sink.Load(); box != nil {
-		if err := box.sink.append(key, value, t, deleted); err != nil {
-			return err
-		}
+	if err := s.sinkAppend(key, value, t, deleted); err != nil {
+		return err
 	}
+	s.insertLocked(sh, key, value, t, deleted)
+	return nil
+}
+
+// sinkAppend enqueues one record to the persistence sink, if attached.
+func (s *Store) sinkAppend(key, value string, t time.Time, deleted bool) error {
+	if box := s.sink.Load(); box != nil {
+		return box.sink.append(key, value, t, deleted)
+	}
+	return nil
+}
+
+// insertLocked performs the in-memory half of one mutation with sh.mu
+// held: version insert plus counters.
+func (s *Store) insertLocked(sh *shard, key, value string, t time.Time, deleted bool) {
 	rec, ok := sh.records[key]
 	if !ok {
 		rec = &record{}
@@ -247,7 +265,6 @@ func (s *Store) applyLocked(sh *shard, key, value string, t time.Time, deleted b
 		rec.writes++
 		sh.writes++
 	}
-	return nil
 }
 
 // insert places v at its chronological position: after the last version

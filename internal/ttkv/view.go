@@ -1,0 +1,154 @@
+package ttkv
+
+import (
+	"sort"
+	"time"
+)
+
+// CurrentSeq returns the newest version sequence number the store has
+// minted. Pass it to ViewAt to pin a point-in-time view of everything
+// written so far.
+func (s *Store) CurrentSeq() uint64 { return s.seq.Load() }
+
+// View is a read-only point-in-time view of a store: it answers every
+// read as if no version with a sequence number above its bound existed.
+// Concurrent writers keep mutating the live store freely; the view's
+// answers never change, because new writes always carry higher sequence
+// numbers. The repair tool's parallel trial executor runs every sandboxed
+// trial against one pinned view, so trials never race live writers and
+// all workers search byte-identical history.
+//
+// A View is cheap (it copies nothing) and safe for concurrent use. Unlike
+// Store.Get, View.Get does not count as an application read: views serve
+// the recovery path, not live traffic.
+type View struct {
+	s   *Store
+	seq uint64
+}
+
+// ViewAt returns a read-only view of the store pinned at sequence number
+// seq (typically CurrentSeq()). Versions minted after seq are invisible.
+func (s *Store) ViewAt(seq uint64) *View { return &View{s: s, seq: seq} }
+
+// Seq returns the view's pinned sequence bound.
+func (v *View) Seq() uint64 { return v.seq }
+
+// visible reports whether a version existed when the view was pinned.
+func (v *View) visible(ver *Version) bool { return ver.Seq <= v.seq }
+
+// Get returns the value of key as of the view: the chronologically newest
+// visible version, if it is not a deletion.
+func (v *View) Get(key string) (string, bool) {
+	sh := v.s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.records[key]
+	if !ok {
+		return "", false
+	}
+	for i := len(rec.versions) - 1; i >= 0; i-- {
+		if v.visible(&rec.versions[i]) {
+			if rec.versions[i].Deleted {
+				return "", false
+			}
+			return rec.versions[i].Value, true
+		}
+	}
+	return "", false
+}
+
+// GetAt returns the visible version of key in effect at time t: the latest
+// visible version with Time <= t.
+func (v *View) GetAt(key string, t time.Time) (Version, error) {
+	sh := v.s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.records[key]
+	if !ok {
+		return Version{}, ErrNoKey
+	}
+	// Versions are chronological; a version written after the pin may sit
+	// anywhere in the slice (out-of-order timestamps), so scan backwards
+	// from the last one at or before t to the newest visible one.
+	i := sort.Search(len(rec.versions), func(i int) bool {
+		return rec.versions[i].Time.After(t)
+	})
+	for i--; i >= 0; i-- {
+		if v.visible(&rec.versions[i]) {
+			return rec.versions[i], nil
+		}
+	}
+	return Version{}, ErrNoVersion
+}
+
+// History returns a copy of key's visible version history, oldest first.
+// A key with no visible versions does not exist in the view.
+func (v *View) History(key string) ([]Version, error) {
+	sh := v.s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.records[key]
+	if !ok {
+		return nil, ErrNoKey
+	}
+	out := make([]Version, 0, len(rec.versions))
+	for i := range rec.versions {
+		if v.visible(&rec.versions[i]) {
+			out = append(out, rec.versions[i])
+		}
+	}
+	if len(out) == 0 {
+		return nil, ErrNoKey
+	}
+	return out, nil
+}
+
+// Keys returns every key with at least one visible version, sorted.
+func (v *View) Keys() []string {
+	var keys []string
+	for i := range v.s.shards {
+		sh := &v.s.shards[i]
+		sh.mu.RLock()
+		for k, rec := range sh.records {
+			for j := range rec.versions {
+				if v.visible(&rec.versions[j]) {
+					keys = append(keys, k)
+					break
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ModTimes returns every distinct visible modification timestamp of the
+// given keys, newest first (the repair tool's rollback-candidate
+// enumeration, over frozen history).
+func (v *View) ModTimes(keys []string) []time.Time {
+	seen := make(map[int64]struct{})
+	var times []time.Time
+	for _, k := range keys {
+		sh := v.s.shardFor(k)
+		sh.mu.RLock()
+		rec, ok := sh.records[k]
+		if !ok {
+			sh.mu.RUnlock()
+			continue
+		}
+		for i := range rec.versions {
+			if !v.visible(&rec.versions[i]) {
+				continue
+			}
+			ns := rec.versions[i].Time.UnixNano()
+			if _, dup := seen[ns]; !dup {
+				seen[ns] = struct{}{}
+				times = append(times, rec.versions[i].Time)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].After(times[j]) })
+	return times
+}

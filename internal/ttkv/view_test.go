@@ -1,0 +1,373 @@
+package ttkv
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var vt0 = time.Date(2013, 10, 1, 12, 0, 0, 0, time.UTC)
+
+func vat(sec int) time.Time { return vt0.Add(time.Duration(sec) * time.Second) }
+
+func TestViewFreezesHistory(t *testing.T) {
+	s := New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Set("a", "1", vat(0)))
+	must(s.Set("a", "2", vat(10)))
+	must(s.Set("b", "x", vat(5)))
+
+	v := s.ViewAt(s.CurrentSeq())
+	wantKeys := []string{"a", "b"}
+	wantTimes := v.ModTimes([]string{"a", "b"})
+	wantHist, err := v.History("a")
+	must(err)
+
+	// Mutate the live store every way a writer can.
+	must(s.Set("a", "3", vat(20)))
+	must(s.Set("a", "1.5", vat(2))) // out-of-order write into the past
+	must(s.Delete("b", vat(30)))
+	must(s.Set("c", "new", vat(40)))
+
+	if got, _ := v.Get("a"); got != "2" {
+		t.Errorf("view Get(a) = %q, want 2 (pre-pin value)", got)
+	}
+	if got, ok := v.Get("b"); !ok || got != "x" {
+		t.Errorf("view Get(b) = %q,%v, want x,true (deletion is post-pin)", got, ok)
+	}
+	if _, ok := v.Get("c"); ok {
+		t.Error("view sees key created after the pin")
+	}
+	if got := v.Keys(); !reflect.DeepEqual(got, wantKeys) {
+		t.Errorf("view Keys = %v, want %v", got, wantKeys)
+	}
+	if got := v.ModTimes([]string{"a", "b"}); !reflect.DeepEqual(got, wantTimes) {
+		t.Errorf("view ModTimes changed after live writes: %v vs %v", got, wantTimes)
+	}
+	got, err := v.History("a")
+	must(err)
+	if !reflect.DeepEqual(got, wantHist) {
+		t.Errorf("view History changed after live writes: %v vs %v", got, wantHist)
+	}
+	// The past-time write is invisible even though it sorts before the pin.
+	ver, err := v.GetAt("a", vat(3))
+	must(err)
+	if ver.Value != "1" {
+		t.Errorf("view GetAt(a, t=3) = %q, want 1 (past-time write is post-pin)", ver.Value)
+	}
+	// The live store, by contrast, sees everything.
+	if got, _ := s.Get("a"); got != "3" {
+		t.Errorf("live Get(a) = %q, want 3", got)
+	}
+}
+
+func TestViewGetAtMatchesStoreWhenQuiescent(t *testing.T) {
+	s := New()
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i%7)
+		if err := s.Set(key, fmt.Sprintf("v%d", i), vat(i*3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete("k0", vat(200)); err != nil {
+		t.Fatal(err)
+	}
+	v := s.ViewAt(s.CurrentSeq())
+	for i := 0; i < 7; i++ {
+		key := fmt.Sprintf("k%d", i)
+		for sec := -1; sec < 210; sec += 13 {
+			want, werr := s.GetAt(key, vat(sec))
+			got, gerr := v.GetAt(key, vat(sec))
+			if (werr == nil) != (gerr == nil) || got != want {
+				t.Fatalf("GetAt(%s, %d): view %v/%v, store %v/%v", key, sec, got, gerr, want, werr)
+			}
+		}
+		wv, wok := s.Get(key)
+		if gv, gok := v.Get(key); gv != wv || gok != wok {
+			t.Fatalf("Get(%s): view %q/%v, store %q/%v", key, gv, gok, wv, wok)
+		}
+	}
+	if !reflect.DeepEqual(v.Keys(), s.Keys()) {
+		t.Error("quiescent view Keys differ from store Keys")
+	}
+}
+
+func TestViewZeroSeqSeesNothing(t *testing.T) {
+	s := New()
+	if err := s.Set("a", "1", vat(0)); err != nil {
+		t.Fatal(err)
+	}
+	v := s.ViewAt(0)
+	if _, ok := v.Get("a"); ok {
+		t.Error("seq-0 view must be empty")
+	}
+	if _, err := v.History("a"); err == nil {
+		t.Error("seq-0 view History must report ErrNoKey")
+	}
+	if keys := v.Keys(); len(keys) != 0 {
+		t.Errorf("seq-0 view Keys = %v, want none", keys)
+	}
+}
+
+// TestViewStableUnderConcurrentWriters pins a view and hammers the store
+// with concurrent writers while readers assert the view's answers never
+// change. Run under -race this is the no-trial-races-live-writers
+// guarantee the parallel repair search depends on.
+func TestViewStableUnderConcurrentWriters(t *testing.T) {
+	s := NewSharded(4)
+	for i := 0; i < 20; i++ {
+		if err := s.Set(fmt.Sprintf("k%d", i), "frozen", vat(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := s.ViewAt(s.CurrentSeq())
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				key := fmt.Sprintf("k%d", (i+w)%20)
+				_ = s.Set(key, "live", vat(1000+i))
+				if i%5 == 0 {
+					_ = s.Delete(key, vat(2000+i))
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 200; r++ {
+		key := fmt.Sprintf("k%d", r%20)
+		if got, ok := v.Get(key); !ok || got != "frozen" {
+			t.Errorf("view Get(%s) = %q,%v under concurrent writers", key, got, ok)
+			break
+		}
+		hist, err := v.History(key)
+		if err != nil || len(hist) != 1 || hist[0].Value != "frozen" {
+			t.Errorf("view History(%s) = %v,%v under concurrent writers", key, hist, err)
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+func TestRevertClusterRestoresState(t *testing.T) {
+	s := New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Set("a", "good-a", vat(0)))
+	must(s.Set("b", "good-b", vat(0)))
+	must(s.Set("a", "bad-a", vat(100)))
+	must(s.Set("b", "bad-b", vat(100)))
+	must(s.Set("c", "born-late", vat(100))) // did not exist at the fix point
+
+	n, err := s.RevertCluster([]string{"a", "b", "c"}, vat(50), vat(200))
+	must(err)
+	if n != 3 {
+		t.Errorf("reverted %d mutations, want 3", n)
+	}
+	if got, _ := s.Get("a"); got != "good-a" {
+		t.Errorf("a = %q, want good-a", got)
+	}
+	if got, _ := s.Get("b"); got != "good-b" {
+		t.Errorf("b = %q, want good-b", got)
+	}
+	if _, ok := s.Get("c"); ok {
+		t.Error("c existed only after the fix point; revert must delete it")
+	}
+	// History is preserved: revert appends, never rewrites.
+	hist, err := s.History("a")
+	must(err)
+	if len(hist) != 3 {
+		t.Errorf("a history = %d versions, want 3 (2 + revert)", len(hist))
+	}
+	// Reverting a key that is absent both at the fix point and now is a
+	// no-op, not a tombstone.
+	n, err = s.RevertCluster([]string{"never-written"}, vat(50), vat(300))
+	must(err)
+	if n != 0 {
+		t.Errorf("reverting an absent key applied %d mutations, want 0", n)
+	}
+	if _, err := s.History("never-written"); err == nil {
+		t.Error("no-op revert must not create history")
+	}
+}
+
+func TestRevertClusterValidation(t *testing.T) {
+	s := New()
+	if _, err := s.RevertCluster(nil, vat(0), vat(1)); err != ErrNoCluster {
+		t.Errorf("empty cluster err = %v", err)
+	}
+	if _, err := s.RevertCluster([]string{"a"}, time.Time{}, vat(1)); err != ErrZeroTime {
+		t.Errorf("zero fixAt err = %v", err)
+	}
+	if _, err := s.RevertCluster([]string{"a"}, vat(0), time.Time{}); err != ErrZeroTime {
+		t.Errorf("zero applyAt err = %v", err)
+	}
+	if _, err := s.RevertCluster([]string{""}, vat(0), vat(1)); err != ErrEmptyKey {
+		t.Errorf("empty key err = %v", err)
+	}
+}
+
+// TestRevertClusterAtomicVisibility checks that a concurrent reader never
+// observes a half-reverted cluster: both keys flip from bad to good in one
+// indivisible step even though they live on different shards.
+func TestRevertClusterAtomicVisibility(t *testing.T) {
+	s := NewSharded(16)
+	// Find two keys on different shards.
+	a, b := "a", ""
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("b%d", i)
+		if s.shardIndex(cand) != s.shardIndex(a) {
+			b = cand
+			break
+		}
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Set(a, "good", vat(0)))
+	must(s.Set(b, "good", vat(0)))
+	must(s.Set(a, "bad", vat(100)))
+	must(s.Set(b, "bad", vat(100)))
+
+	start := make(chan struct{})
+	tornReads := make(chan string, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 100000; i++ {
+			// Read in fixed order a then b. Revert applies in the same
+			// order under all locks, so (a=bad, b=good) would be a torn
+			// state — and (a=good, b=bad) tears the other way.
+			va, _ := s.Get(a)
+			vb, _ := s.Get(b)
+			if va != vb {
+				select {
+				case tornReads <- fmt.Sprintf("a=%s b=%s", va, vb):
+				default:
+				}
+			}
+			if va == "good" && vb == "good" {
+				return
+			}
+		}
+	}()
+	close(start)
+	if _, err := s.RevertCluster([]string{a, b}, vat(50), vat(200)); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	select {
+	case torn := <-tornReads:
+		t.Errorf("reader observed half-reverted cluster: %s", torn)
+	default:
+	}
+}
+
+// failingSink rejects appends after allowing the first n.
+type failingSink struct {
+	mu    sync.Mutex
+	allow int
+}
+
+func (f *failingSink) append(string, string, time.Time, bool) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.allow > 0 {
+		f.allow--
+		return nil
+	}
+	return fmt.Errorf("sink: disk on fire")
+}
+
+func (f *failingSink) Sync() error { return nil }
+
+// TestRevertClusterSinkFailureLeavesMemoryUntouched: a persistence error
+// mid-revert must not leave the cluster half-reverted in memory — the
+// atomicity RevertCluster promises covers failure paths too.
+func TestRevertClusterSinkFailureLeavesMemoryUntouched(t *testing.T) {
+	s := NewSharded(4)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := []string{"a", "b", "c"}
+	for _, k := range keys {
+		must(s.Set(k, "good", vat(0)))
+		must(s.Set(k, "bad", vat(100)))
+	}
+	// Sink that accepts exactly one record, then fails: without the
+	// plan/append/insert phasing, key "a" would be reverted and "b"/"c"
+	// left broken.
+	s.sink.Store(&sinkBox{sink: &failingSink{allow: 1}})
+	n, err := s.RevertCluster(keys, vat(50), vat(200))
+	if err == nil {
+		t.Fatal("revert with a failing sink must error")
+	}
+	if n != 0 {
+		t.Errorf("failed revert reported %d applied mutations, want 0", n)
+	}
+	for _, k := range keys {
+		if v, _ := s.Get(k); v != "bad" {
+			t.Errorf("after failed revert, %s = %q; memory must be untouched", k, v)
+		}
+		hist, _ := s.History(k)
+		if len(hist) != 2 {
+			t.Errorf("after failed revert, %s history = %d versions, want 2", k, len(hist))
+		}
+	}
+	// With the sink healthy again the same revert applies atomically.
+	s.sink.Store(nil)
+	n, err = s.RevertCluster(keys, vat(50), vat(300))
+	must(err)
+	if n != 3 {
+		t.Errorf("healthy revert applied %d, want 3", n)
+	}
+	for _, k := range keys {
+		if v, _ := s.Get(k); v != "good" {
+			t.Errorf("after revert, %s = %q, want good", k, v)
+		}
+	}
+}
+
+func TestRevertClusterReachesObserverAndSink(t *testing.T) {
+	s := New()
+	obs := &recordingObserver{}
+	if err := s.Set("a", "good", vat(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("a", "bad", vat(100)); err != nil {
+		t.Fatal(err)
+	}
+	s.SetStatsObserver(obs)
+	if _, err := s.RevertCluster([]string{"a"}, vat(0), vat(200)); err != nil {
+		t.Fatal(err)
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	want := []string{fmt.Sprintf("a@%d", vat(200).Unix())}
+	if !reflect.DeepEqual(obs.seen, want) {
+		t.Errorf("observer saw %v, want %v", obs.seen, want)
+	}
+}

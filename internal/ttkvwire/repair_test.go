@@ -1,0 +1,496 @@
+package ttkvwire
+
+import (
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ocasta/internal/apps"
+	"ocasta/internal/core"
+	"ocasta/internal/repair"
+	"ocasta/internal/ttkv"
+)
+
+const (
+	evoOffline = "/apps/evolution/shell/start_offline"
+	evoSync    = "/apps/evolution/shell/offline_sync"
+)
+
+// seedEvolutionFault records a history where the evolution offline pair is
+// co-modified, then breaks it: start_offline flipped on at errAt.
+func seedEvolutionFault(t *testing.T, store *ttkv.Store) (base, errAt time.Time) {
+	t.Helper()
+	base = time.Date(2013, 6, 1, 9, 0, 0, 0, time.UTC)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for day := 0; day < 4; day++ {
+		ts := base.Add(time.Duration(day) * 24 * time.Hour)
+		must(store.Set(evoOffline, "b:false", ts))
+		sync := "b:false"
+		if day%2 == 0 {
+			sync = "b:true"
+		}
+		must(store.Set(evoSync, sync, ts))
+	}
+	errAt = base.Add(18 * 24 * time.Hour)
+	must(store.Set(evoOffline, "b:true", errAt))
+	must(store.Set(evoSync, "b:true", errAt))
+	return base, errAt
+}
+
+func startRepairServer(t *testing.T, store *ttkv.Store, cfg RepairConfig, engine *core.Engine) *Client {
+	t.Helper()
+	srv := NewServer(store)
+	srv.SetRepair(cfg)
+	if engine != nil {
+		srv.SetAnalytics(engine)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client
+}
+
+func TestRepairOverWire(t *testing.T) {
+	store := ttkv.New()
+	_, errAt := seedEvolutionFault(t, store)
+	client := startRepairServer(t, store, RepairConfig{Workers: 4}, nil)
+
+	id, err := client.RepairSubmit(RepairRequest{
+		App:          "evolution",
+		Trial:        []string{"launch"},
+		FixedMarker:  "[x] online-mode",
+		BrokenMarker: "[ ] online-mode",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.RepairWait(id, time.Millisecond, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobDone || !st.Found {
+		t.Fatalf("job = %+v, want done+found", st)
+	}
+	if !st.FixAt.Before(errAt) {
+		t.Errorf("FixAt = %v, want before the error at %v", st.FixAt, errAt)
+	}
+	hasOffline := false
+	for _, k := range st.Offending {
+		if k == evoOffline {
+			hasOffline = true
+		}
+	}
+	if !hasOffline {
+		t.Errorf("offending cluster %v does not contain %s", st.Offending, evoOffline)
+	}
+	if st.TrialsDone == 0 || st.TotalTrials < st.TrialsDone {
+		t.Errorf("trial accounting: %d/%d", st.TrialsDone, st.TotalTrials)
+	}
+	if len(st.Screenshots) == 0 {
+		t.Error("no screenshots reported; the user has nothing to confirm")
+	} else {
+		last := st.Screenshots[len(st.Screenshots)-1]
+		if !strings.Contains(last.Rendered, "[x] online-mode") {
+			t.Errorf("final screenshot does not show the fix:\n%s", last.Rendered)
+		}
+	}
+
+	// The user confirms; apply the rollback.
+	applyAt := errAt.Add(time.Hour)
+	n, err := client.RepairFix(id, applyAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("RFIX reverted 0 keys")
+	}
+	if v, _ := store.Get(evoOffline); v != "b:false" {
+		t.Errorf("after RFIX, %s = %q, want b:false", evoOffline, v)
+	}
+	// Post-fix point-in-time reads see the revert as new history.
+	ver, err := store.GetAt(evoOffline, applyAt)
+	if err != nil || ver.Value != "b:false" {
+		t.Errorf("GetAt(applyAt) = %+v, %v; want the reverted value", ver, err)
+	}
+	// A second RFIX must be rejected.
+	if _, err := client.RepairFix(id, applyAt.Add(time.Hour)); err == nil {
+		t.Error("second RFIX must fail")
+	}
+}
+
+// TestRepairOverWireEquivalentToLocal drives the same search locally and
+// over the wire and compares the outcome fields RSTAT carries.
+func TestRepairOverWireEquivalentToLocal(t *testing.T) {
+	store := ttkv.New()
+	seedEvolutionFault(t, store)
+	client := startRepairServer(t, store, RepairConfig{Workers: 16}, nil)
+
+	tool := repair.NewTool(store, apps.ModelByName("evolution"))
+	want, err := tool.Search(repair.Options{
+		Trial:  []string{"launch"},
+		Oracle: repair.MarkerOracle("[x] online-mode", "[ ] online-mode"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := client.RepairSubmit(RepairRequest{
+		App: "evolution", Trial: []string{"launch"},
+		FixedMarker: "[x] online-mode", BrokenMarker: "[ ] online-mode",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.RepairWait(id, time.Millisecond, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Found != want.Found || !st.FixAt.Equal(want.FixAt) ||
+		st.TrialsDone != want.Trials || st.TotalTrials != want.TotalTrials {
+		t.Errorf("wire result %+v diverges from local %+v", st, want)
+	}
+	if !reflect.DeepEqual(st.Offending, want.Offending.Keys) {
+		t.Errorf("wire offending %v != local %v", st.Offending, want.Offending.Keys)
+	}
+	if len(st.Screenshots) != len(want.Screenshots) {
+		t.Fatalf("wire screenshots %d != local %d", len(st.Screenshots), len(want.Screenshots))
+	}
+	for i := range st.Screenshots {
+		w := want.Screenshots[i]
+		g := st.Screenshots[i]
+		if g.Hash != w.Hash || g.Trial != w.Trial || g.Cluster != w.Cluster ||
+			!g.At.Equal(w.At) || g.Rendered != w.Rendered {
+			t.Errorf("screenshot %d diverges: %+v vs %+v", i, g, w)
+		}
+	}
+}
+
+func TestRepairLiveClusters(t *testing.T) {
+	store := ttkv.New()
+	engine := core.NewEngine(core.EngineConfig{})
+	store.SetStatsObserver(engine)
+	_, errAt := seedEvolutionFault(t, store)
+	engine.Flush()
+	engine.Recluster()
+	client := startRepairServer(t, store, RepairConfig{Workers: 4}, engine)
+
+	snap, err := client.Clusters(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Clusters) == 0 {
+		t.Fatal("engine published no clusters")
+	}
+
+	id, err := client.RepairSubmit(RepairRequest{
+		App: "evolution", Trial: []string{"launch"},
+		FixedMarker: "[x] online-mode", BrokenMarker: "[ ] online-mode",
+		Live: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.RepairWait(id, time.Millisecond, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobDone || !st.Found {
+		t.Fatalf("live-cluster job = %+v, want done+found", st)
+	}
+	if !st.FixAt.Before(errAt) {
+		t.Errorf("live FixAt = %v, want before %v", st.FixAt, errAt)
+	}
+}
+
+// TestRepairLiveBeforeFirstPublish: a live search against an engine that
+// has not published any clustering yet must be rejected, not report a
+// confident "nothing to roll back".
+func TestRepairLiveBeforeFirstPublish(t *testing.T) {
+	store := ttkv.New()
+	engine := core.NewEngine(core.EngineConfig{})
+	store.SetStatsObserver(engine)
+	seedEvolutionFault(t, store)
+	// No Recluster call: the published snapshot is still empty.
+	client := startRepairServer(t, store, RepairConfig{}, engine)
+	_, err := client.RepairSubmit(RepairRequest{
+		App: "evolution", Trial: []string{"launch"},
+		FixedMarker: "[x] online-mode", BrokenMarker: "[ ] online-mode",
+		Live: true,
+	})
+	if err == nil || !strings.Contains(err.Error(), "not published") {
+		t.Fatalf("pre-publish live repair err = %v, want a not-published rejection", err)
+	}
+}
+
+// TestRepairFixNothingBroken: a job that found the symptom already absent
+// (Found with no offending cluster) has nothing to revert; RFIX must say
+// so instead of surfacing a store-level error.
+func TestRepairFixNothingBroken(t *testing.T) {
+	store := ttkv.New()
+	// Healthy history only: online mode was never broken.
+	if err := store.Set(evoOffline, "b:false", time.Date(2013, 6, 1, 9, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	client := startRepairServer(t, store, RepairConfig{}, nil)
+	id, err := client.RepairSubmit(RepairRequest{
+		App: "evolution", Trial: []string{"launch"},
+		FixedMarker: "[x] online-mode", BrokenMarker: "[ ] online-mode",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.RepairWait(id, time.Millisecond, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobDone || !st.Found || len(st.Offending) != 0 {
+		t.Fatalf("healthy-app job = %+v, want done+found with no offending cluster", st)
+	}
+	if _, err := client.RepairFix(id, time.Now()); err == nil ||
+		!strings.Contains(err.Error(), "no fix to apply") {
+		t.Fatalf("RFIX on nothing-broken job err = %v, want 'no fix to apply'", err)
+	}
+}
+
+func TestRepairLiveRequiresAnalytics(t *testing.T) {
+	store := ttkv.New()
+	seedEvolutionFault(t, store)
+	client := startRepairServer(t, store, RepairConfig{}, nil)
+	_, err := client.RepairSubmit(RepairRequest{
+		App: "evolution", Trial: []string{"launch"},
+		FixedMarker: "[x] online-mode", Live: true,
+	})
+	if err == nil {
+		t.Fatal("live repair without analytics must fail")
+	}
+}
+
+func TestRepairValidationErrors(t *testing.T) {
+	store := ttkv.New()
+	seedEvolutionFault(t, store)
+	client := startRepairServer(t, store, RepairConfig{}, nil)
+
+	cases := []RepairRequest{
+		{App: "no-such-app", Trial: []string{"launch"}, FixedMarker: "x"},
+		{App: "evolution", Trial: []string{"launch"}}, // no markers
+	}
+	for i, req := range cases {
+		if _, err := client.RepairSubmit(req); err == nil {
+			t.Errorf("case %d: submit succeeded, want error", i)
+		}
+	}
+	if _, err := client.RepairSubmit(RepairRequest{}); err == nil {
+		t.Error("empty request must fail client-side")
+	}
+	if _, err := client.RepairSubmit(RepairRequest{
+		App: "evolution", Trial: []string{"a;b"}, FixedMarker: "x",
+	}); err == nil {
+		t.Error("trial action containing the separator must fail client-side")
+	}
+	if _, err := client.RepairStatus("r999"); err == nil {
+		t.Error("RSTAT of unknown job must fail")
+	}
+	if _, err := client.RepairFix("r999", time.Now()); err == nil {
+		t.Error("RFIX of unknown job must fail")
+	}
+}
+
+func TestRepairFixBeforeDone(t *testing.T) {
+	store := ttkv.New()
+	seedEvolutionFault(t, store)
+
+	// Drive the manager directly with a sandbox that blocks, so the job
+	// is reliably unfinished when RFIX-equivalent logic runs.
+	mgr := newJobManager(RepairConfig{Workers: 1, MaxActive: 1}, store)
+	defer mgr.close()
+	release := make(chan struct{})
+	var once sync.Once
+	tool := repair.NewTool(store, apps.ModelByName("evolution"))
+	model := apps.ModelByName("evolution")
+	job, err := mgr.submit(tool, repair.Options{
+		Trial:  []string{"launch"},
+		Oracle: repair.MarkerOracle("[x] online-mode", "[ ] online-mode"),
+		Sandbox: func(cfg apps.Config, trial []string) string {
+			<-release
+			return model.Render(cfg, trial)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.mu.Lock()
+	state := job.state
+	job.mu.Unlock()
+	if state == JobDone || state == JobFailed {
+		t.Fatalf("job already %s", state)
+	}
+	once.Do(func() { close(release) })
+}
+
+// TestJobManagerBounds exercises MaxActive queueing and MaxJobs eviction
+// directly.
+func TestJobManagerBounds(t *testing.T) {
+	store := ttkv.New()
+	seedEvolutionFault(t, store)
+	model := apps.ModelByName("evolution")
+	mgr := newJobManager(RepairConfig{Workers: 1, MaxActive: 1, MaxJobs: 2}, store)
+	defer mgr.close()
+
+	release := make(chan struct{})
+	blockingOpts := func() repair.Options {
+		return repair.Options{
+			Trial:  []string{"launch"},
+			Oracle: repair.MarkerOracle("[x] online-mode", "[ ] online-mode"),
+			Sandbox: func(cfg apps.Config, trial []string) string {
+				<-release
+				return model.Render(cfg, trial)
+			},
+		}
+	}
+	j1, err := mgr.submit(repair.NewTool(store, model), blockingOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := mgr.submit(repair.NewTool(store, model), blockingOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity: both retained slots live, neither finished -> reject.
+	if _, err := mgr.submit(repair.NewTool(store, model), blockingOpts()); err == nil {
+		t.Fatal("third submit must be rejected while both jobs are live")
+	}
+	// With MaxActive=1, at most one of the two is ever running.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		states := []string{jobState(j1), jobState(j2)}
+		running := 0
+		for _, s := range states {
+			if s == JobRunning {
+				running++
+			}
+		}
+		if running > 1 {
+			t.Fatalf("both jobs running despite MaxActive=1: %v", states)
+		}
+		if running == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no job started running: %v", states)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	waitJob(t, j1)
+	waitJob(t, j2)
+	// Both finished: a new submission evicts the older one.
+	j3, err := mgr.submit(repair.NewTool(store, model), repair.Options{
+		Trial:  []string{"launch"},
+		Oracle: repair.MarkerOracle("[x] online-mode", "[ ] online-mode"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j3)
+	ids := mgr.sortedJobIDs()
+	if len(ids) != 2 {
+		t.Fatalf("retained jobs = %v, want 2", ids)
+	}
+	if _, ok := mgr.get(j1.id); ok {
+		t.Error("oldest finished job was not evicted")
+	}
+}
+
+// TestJobManagerSubmitAfterClose: close() and submit() synchronize on the
+// manager mutex, so a submission racing shutdown is rejected instead of
+// tripping the WaitGroup add-after-wait panic or leaking a search.
+func TestJobManagerSubmitAfterClose(t *testing.T) {
+	store := ttkv.New()
+	seedEvolutionFault(t, store)
+	model := apps.ModelByName("evolution")
+	mgr := newJobManager(RepairConfig{}, store)
+	mgr.close()
+	_, err := mgr.submit(repair.NewTool(store, model), repair.Options{
+		Trial:  []string{"launch"},
+		Oracle: repair.MarkerOracle("[x] online-mode", "[ ] online-mode"),
+	})
+	if err == nil {
+		t.Fatal("submit after close must be rejected")
+	}
+	// close is idempotent.
+	mgr.close()
+}
+
+func jobState(j *repairJob) string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func waitJob(t *testing.T, j *repairJob) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := jobState(j)
+		if s == JobDone || s == JobFailed {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", j.id, s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServerCloseCancelsRepairs submits a search that can only finish by
+// cancellation and checks Close does not hang.
+func TestServerCloseCancelsRepairs(t *testing.T) {
+	store := ttkv.New()
+	seedEvolutionFault(t, store)
+	srv := NewServer(store)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// An exhaustive search (oracle can never match: bogus fixed marker on
+	// a tiny history) finishes fast; to exercise cancellation we rely on
+	// Close racing it — either way Close must return promptly.
+	if _, err := client.RepairSubmit(RepairRequest{
+		App: "evolution", Trial: []string{"launch"},
+		FixedMarker: "never-on-screen",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server Close hung on repair jobs")
+	}
+}

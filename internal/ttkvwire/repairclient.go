@@ -1,0 +1,210 @@
+package ttkvwire
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"ocasta/internal/repair"
+)
+
+// ErrRepairTimeout is returned by RepairWait when the job does not finish
+// within the deadline.
+var ErrRepairTimeout = errors.New("ttkvwire: repair job did not finish in time")
+
+// RepairRequest describes one remote repair search (the REPAIR command).
+type RepairRequest struct {
+	// App is the canonical application model name ("msword", "evolution").
+	App string
+	// Trial is the recorded UI action script making the symptom visible.
+	// Actions must not contain ";" (the wire separator).
+	Trial []string
+	// FixedMarker/BrokenMarker build the server-side screenshot oracle; at
+	// least one must be non-empty.
+	FixedMarker  string
+	BrokenMarker string
+
+	Strategy repair.Strategy
+	// NoClust rolls back one setting at a time (the Table IV baseline).
+	NoClust bool
+	// Live searches the daemon's published live clustering (core.Engine
+	// snapshot) instead of re-clustering the history per call. Requires
+	// analytics enabled on the server.
+	Live bool
+	// Window/Threshold are Ocasta's tunables; zero selects the defaults.
+	Window    time.Duration
+	Threshold float64
+	// Start/End bound the searched history; zero means unbounded.
+	Start, End time.Time
+	// MaxTrials caps the search (0 = unlimited).
+	MaxTrials int
+}
+
+// RepairScreenshot is one deduplicated trial screen reported by RSTAT.
+type RepairScreenshot struct {
+	Trial    int
+	Cluster  int
+	At       time.Time
+	Hash     string
+	Rendered string
+}
+
+// RepairStatus is the client-side view of one repair job.
+type RepairStatus struct {
+	ID          string
+	State       string // queued | running | done | failed
+	Err         string // non-empty when failed
+	TrialsDone  int
+	TotalTrials int
+	Found       bool
+	FixAt       time.Time
+	Offending   []string // the offending cluster's keys
+	Screenshots []RepairScreenshot
+}
+
+// Finished reports whether the job reached a terminal state.
+func (st *RepairStatus) Finished() bool {
+	return st.State == JobDone || st.State == JobFailed
+}
+
+// RepairSubmit submits an asynchronous repair search and returns its job
+// id. Poll with RepairStatus (or RepairWait), confirm the screenshot, and
+// apply the rollback with RepairFix.
+func (c *Client) RepairSubmit(req RepairRequest) (string, error) {
+	if len(req.Trial) == 0 {
+		return "", repair.ErrNoTrial
+	}
+	for _, a := range req.Trial {
+		if strings.Contains(a, trialSep) {
+			return "", fmt.Errorf("ttkvwire: trial action %q contains %q", a, trialSep)
+		}
+	}
+	args := []string{
+		"REPAIR", req.App, strings.Join(req.Trial, trialSep),
+		req.FixedMarker, req.BrokenMarker,
+	}
+	opt := func(k, v string) { args = append(args, k, v) }
+	if req.Strategy != 0 {
+		opt("strategy", req.Strategy.String())
+	}
+	if req.NoClust {
+		opt("noclust", "1")
+	}
+	if req.Live {
+		opt("live", "1")
+	}
+	if req.Window != 0 {
+		opt("window", strconv.FormatInt(int64(req.Window), 10))
+	}
+	if req.Threshold != 0 {
+		opt("threshold", strconv.FormatFloat(req.Threshold, 'g', -1, 64))
+	}
+	if !req.Start.IsZero() {
+		opt("start", strconv.FormatInt(req.Start.UnixNano(), 10))
+	}
+	if !req.End.IsZero() {
+		opt("end", strconv.FormatInt(req.End.UnixNano(), 10))
+	}
+	if req.MaxTrials != 0 {
+		opt("maxtrials", strconv.Itoa(req.MaxTrials))
+	}
+	v, err := c.roundTrip(args...)
+	if err != nil {
+		return "", err
+	}
+	if v.Kind != KindBulk || v.Str == "" {
+		return "", fmt.Errorf("%w: unexpected REPAIR reply %+v", ErrProtocol, v)
+	}
+	return v.Str, nil
+}
+
+// RepairStatus polls one repair job.
+func (c *Client) RepairStatus(id string) (RepairStatus, error) {
+	v, err := c.roundTrip("RSTAT", id)
+	if err != nil {
+		return RepairStatus{}, err
+	}
+	if v.Kind != KindArray || len(v.Array) != 8 ||
+		v.Array[0].Kind != KindBulk || v.Array[1].Kind != KindBulk ||
+		v.Array[2].Kind != KindInt || v.Array[3].Kind != KindInt ||
+		v.Array[4].Kind != KindInt || v.Array[5].Kind != KindInt ||
+		v.Array[6].Kind != KindArray || v.Array[7].Kind != KindArray {
+		return RepairStatus{}, fmt.Errorf("%w: unexpected RSTAT reply %+v", ErrProtocol, v)
+	}
+	st := RepairStatus{
+		ID:          id,
+		State:       v.Array[0].Str,
+		Err:         v.Array[1].Str,
+		TrialsDone:  int(v.Array[2].Int),
+		TotalTrials: int(v.Array[3].Int),
+		Found:       v.Array[4].Int == 1,
+	}
+	if ns := v.Array[5].Int; ns != 0 {
+		st.FixAt = time.Unix(0, ns).UTC()
+	}
+	for _, kv := range v.Array[6].Array {
+		if kv.Kind != KindBulk {
+			return RepairStatus{}, fmt.Errorf("%w: non-bulk cluster key %+v", ErrProtocol, kv)
+		}
+		st.Offending = append(st.Offending, kv.Str)
+	}
+	for _, sv := range v.Array[7].Array {
+		if sv.Kind != KindArray || len(sv.Array) != 5 ||
+			sv.Array[0].Kind != KindInt || sv.Array[1].Kind != KindInt ||
+			sv.Array[2].Kind != KindInt || sv.Array[3].Kind != KindBulk ||
+			sv.Array[4].Kind != KindBulk {
+			return RepairStatus{}, fmt.Errorf("%w: bad screenshot shape %+v", ErrProtocol, sv)
+		}
+		st.Screenshots = append(st.Screenshots, RepairScreenshot{
+			Trial:    int(sv.Array[0].Int),
+			Cluster:  int(sv.Array[1].Int),
+			At:       time.Unix(0, sv.Array[2].Int).UTC(),
+			Hash:     sv.Array[3].Str,
+			Rendered: sv.Array[4].Str,
+		})
+	}
+	return st, nil
+}
+
+// RepairWait polls a job every poll interval until it finishes or timeout
+// elapses, returning the final status. timeout <= 0 waits indefinitely —
+// bound it when the server may be saturated (queued jobs wait for a
+// MaxActive slot before running).
+func (c *Client) RepairWait(id string, poll, timeout time.Duration) (RepairStatus, error) {
+	if poll <= 0 {
+		poll = 20 * time.Millisecond
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.RepairStatus(id)
+		if err != nil {
+			return st, err
+		}
+		if st.Finished() {
+			return st, nil
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return st, ErrRepairTimeout
+		}
+		time.Sleep(poll)
+	}
+}
+
+// RepairFix applies a finished job's confirmed fix: the offending cluster
+// is atomically rolled back to its values at the fix point, recorded as
+// new writes at time at. Returns the number of reverted keys.
+func (c *Client) RepairFix(id string, at time.Time) (int, error) {
+	if at.IsZero() {
+		return 0, fmt.Errorf("ttkvwire: RepairFix requires a non-zero apply time")
+	}
+	v, err := c.roundTrip("RFIX", id, strconv.FormatInt(at.UnixNano(), 10))
+	if err != nil {
+		return 0, err
+	}
+	if v.Kind != KindInt {
+		return 0, fmt.Errorf("%w: unexpected RFIX reply %+v", ErrProtocol, v)
+	}
+	return int(v.Int), nil
+}

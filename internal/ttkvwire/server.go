@@ -22,12 +22,14 @@ var ErrServerClosed = errors.New("ttkvwire: server closed")
 type Server struct {
 	store     *ttkv.Store
 	analytics *core.Engine // nil when live clustering is disabled
+	repairCfg RepairConfig // bounds for the repair job manager
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	closed  bool
+	repairs *jobManager // lazily built on first repair command
+	wg      sync.WaitGroup
 }
 
 // NewServer returns a server that serves the given store.
@@ -40,6 +42,11 @@ func NewServer(store *ttkv.Store) *Server {
 // also installed as the store's StatsObserver so it sees every write the
 // server applies.
 func (s *Server) SetAnalytics(e *core.Engine) { s.analytics = e }
+
+// SetRepair bounds the server's repair job manager (REPAIR/RSTAT/RFIX).
+// Call before Serve; the zero config selects the defaults, so calling it
+// is optional — repair commands are always available.
+func (s *Server) SetRepair(cfg RepairConfig) { s.repairCfg = cfg }
 
 // ListenAndServe listens on addr ("host:port") and serves until Close.
 func (s *Server) ListenAndServe(addr string) error {
@@ -105,6 +112,7 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
+	repairs := s.repairs
 	for conn := range s.conns {
 		conn.Close()
 	}
@@ -112,6 +120,11 @@ func (s *Server) Close() error {
 	var err error
 	if ln != nil {
 		err = ln.Close()
+	}
+	if repairs != nil {
+		// Cancel running repair searches and wait for their goroutines;
+		// cancellation makes each search return promptly mid-trial.
+		repairs.close()
 	}
 	s.wg.Wait()
 	return err
@@ -186,6 +199,12 @@ func (s *Server) dispatch(req Value) Value {
 		return s.cmdClusters(args[1:])
 	case "CORR":
 		return s.cmdCorr(args[1:])
+	case "REPAIR":
+		return s.cmdRepair(args[1:])
+	case "RSTAT":
+		return s.cmdRepairStat(args[1:])
+	case "RFIX":
+		return s.cmdRepairFix(args[1:])
 	default:
 		return errValue("ERR unknown command '" + cmd + "'")
 	}

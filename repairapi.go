@@ -4,6 +4,7 @@ import (
 	"ocasta/internal/apps"
 	"ocasta/internal/faults"
 	"ocasta/internal/repair"
+	"ocasta/internal/ttkvwire"
 	"ocasta/internal/workload"
 )
 
@@ -11,10 +12,18 @@ import (
 type (
 	// RepairTool searches a TTKV's history for configuration fixes.
 	RepairTool = repair.Tool
-	// RepairOptions configures one search.
+	// RepairOptions configures one search. Workers > 1 executes trials on
+	// a worker pool with results byte-identical to the sequential search;
+	// Clusters accepts a pre-computed (live engine) clustering; Sandbox
+	// overrides trial execution; Cancel/OnProgress support job managers.
 	RepairOptions = repair.Options
 	// RepairResult reports a search.
 	RepairResult = repair.Result
+	// RepairReader is the read-only store surface searches run against; a
+	// *Store and a *StoreView both satisfy it.
+	RepairReader = repair.Reader
+	// RepairSandbox executes one sandboxed trial (see RepairOptions).
+	RepairSandbox = repair.SandboxFunc
 	// Screenshot is one deduplicated trial screen.
 	Screenshot = repair.Screenshot
 	// Strategy selects DFS or BFS search order.
@@ -23,11 +32,43 @@ type (
 	UserOracle = repair.UserOracle
 )
 
+// Re-exported remote-repair types (the REPAIR/RSTAT/RFIX wire commands).
+type (
+	// RepairRequest describes one remote repair search.
+	RepairRequest = ttkvwire.RepairRequest
+	// RemoteRepairStatus is the polled state of one remote repair job.
+	RemoteRepairStatus = ttkvwire.RepairStatus
+	// RemoteScreenshot is one trial screen reported by a remote job.
+	RemoteScreenshot = ttkvwire.RepairScreenshot
+	// RepairServerConfig bounds a server's repair job manager.
+	RepairServerConfig = ttkvwire.RepairConfig
+)
+
 // Search strategies.
 const (
 	StrategyDFS = repair.StrategyDFS
 	StrategyBFS = repair.StrategyBFS
 )
+
+// Remote repair job states.
+const (
+	RepairJobQueued  = ttkvwire.JobQueued
+	RepairJobRunning = ttkvwire.JobRunning
+	RepairJobDone    = ttkvwire.JobDone
+	RepairJobFailed  = ttkvwire.JobFailed
+)
+
+// ErrRepairCancelled is returned by cancelled searches.
+var ErrRepairCancelled = repair.ErrCancelled
+
+// ParseStrategy parses "dfs" or "bfs".
+func ParseStrategy(s string) (Strategy, error) { return repair.ParseStrategy(s) }
+
+// ClustersForApp restricts a store-wide clustering (e.g. a live Engine
+// snapshot) to one application's keys; see repair.ClustersForApp.
+func ClustersForApp(clusters []Cluster, model *AppModel) []Cluster {
+	return repair.ClustersForApp(clusters, model)
+}
 
 // Re-exported application-model types (the simulated substrate).
 type (

@@ -12,8 +12,14 @@ import (
 
 // Re-exported TTKV types.
 type (
-	// Store is the time-travel key-value store.
+	// Store is the time-travel key-value store. Store.ViewAt pins a
+	// read-only point-in-time view; Store.RevertCluster atomically rolls
+	// a cluster of keys back to a historical state.
 	Store = ttkv.Store
+	// StoreView is a read-only point-in-time view of a Store, pinned at a
+	// version sequence number: concurrent writers never change its
+	// answers. Repair trials run against one.
+	StoreView = ttkv.View
 	// Version is one entry in a key's value history.
 	Version = ttkv.Version
 	// StoreStats summarizes a store (Table I's volume columns).
