@@ -16,6 +16,16 @@
 // bounded by -repair-workers / -repair-max-active / -repair-max-jobs),
 // RSTAT polls progress and screenshots, RFIX applies a confirmed fix
 // atomically.
+//
+// Every ttkvd is a replication primary: replicas attach with SYNC and
+// receive a snapshot plus a live tail of committed records. Run a read
+// replica with
+//
+//	ttkvd -addr 127.0.0.1:7678 -replica-of 127.0.0.1:7677
+//
+// The replica serves reads, history, CLUSTERS/CORR (computed locally from
+// the replayed stream), and repair diagnosis; writes and RFIX are rejected
+// with "ERR readonly". REPLSTAT reports role and lag on both ends.
 package main
 
 import (
@@ -53,6 +63,8 @@ func run() int {
 	repairWorkers := flag.Int("repair-workers", 8, "trial workers per repair job (1 searches sequentially)")
 	repairActive := flag.Int("repair-max-active", 2, "repair searches running concurrently; extra accepted jobs queue")
 	repairJobs := flag.Int("repair-max-jobs", 64, "repair jobs retained (running+finished); beyond it the oldest finished job is evicted")
+	replicaOf := flag.String("replica-of", "", "run as a read replica of the given primary host:port (rejects writes; incompatible with -aof)")
+	replOutbox := flag.Int("repl-outbox", ttkv.DefaultOutboxBytes, "per-replica feed outbox bound in bytes; a replica lagging further is dropped and resyncs")
 	flag.Parse()
 
 	if *shards < 1 || *shards > 1<<16 {
@@ -108,6 +120,17 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "ttkvd: -repair-max-jobs must be >= 1, got %d\n", *repairJobs)
 		return 2
 	}
+	if *replOutbox < 1 {
+		fmt.Fprintf(os.Stderr, "ttkvd: -repl-outbox must be >= 1, got %d\n", *replOutbox)
+		return 2
+	}
+	if *replicaOf != "" && *aofPath != "" {
+		// A replica replays the primary's records verbatim (same sequence
+		// numbers) and resyncs from the primary after a restart; it never
+		// keeps its own log.
+		fmt.Fprintln(os.Stderr, "ttkvd: -replica-of is incompatible with -aof (replicas resync from the primary)")
+		return 2
+	}
 
 	store := ttkv.NewSharded(*shards)
 	var engine *core.Engine
@@ -159,7 +182,6 @@ func run() int {
 			FlushInterval: *fsyncEvery,
 			Fsync:         policy,
 		})
-		store.AttachGroupCommit(gc)
 	}
 
 	srv := ttkvwire.NewServer(store)
@@ -168,6 +190,42 @@ func run() int {
 		MaxActive: *repairActive,
 		MaxJobs:   *repairJobs,
 	})
+
+	role := "primary"
+	var replica *ttkvwire.ReplicaClient
+	if *replicaOf == "" {
+		// Every non-replica ttkvd can feed replicas: the replication log
+		// wraps the group-commit appender (nil without -aof, in which case
+		// records are shippable the instant they apply) and becomes the
+		// store's sink and sequence minter.
+		rl := ttkv.NewReplLog(gc)
+		if err := store.AttachReplLog(rl); err != nil {
+			fmt.Fprintln(os.Stderr, "ttkvd: attaching replication log:", err)
+			return 1
+		}
+		srv.EnableReplication(rl, ttkvwire.ReplicationConfig{OutboxBytes: *replOutbox})
+	} else {
+		role = "replica of " + *replicaOf
+		srv.SetReadOnly(true)
+		rcfg := ttkvwire.ReplicaConfig{
+			Primary: *replicaOf,
+			Store:   store,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("ttkvd: "+format+"\n", args...)
+			},
+		}
+		if engine != nil {
+			// A full resync replays the new primary's history through the
+			// observer from scratch; stale statistics must not remain.
+			rcfg.OnReset = engine.Reset
+		}
+		var err error
+		if replica, err = ttkvwire.StartReplica(rcfg); err != nil {
+			fmt.Fprintln(os.Stderr, "ttkvd: starting replication:", err)
+			return 1
+		}
+		srv.SetReplicaStatus(replica)
+	}
 	var reclusterStop chan struct{}
 	if engine != nil {
 		srv.SetAnalytics(engine)
@@ -184,7 +242,17 @@ func run() int {
 				case <-reclusterStop:
 					return
 				case <-ticker.C:
-					if *advance {
+					// On a replica mid-catch-up, the stream carries
+					// historical timestamps; advancing the watermark to
+					// the wall clock would make them bypass the reorder
+					// buffer and window in arrival order, diverging the
+					// replica's clusters from the primary's. Advance only
+					// once the replica is streaming live records (the
+					// primary's own replay finishes before this ticker
+					// starts, so it never has the problem).
+					catchingUp := replica != nil &&
+						replica.ReplicaStatus().State != ttkvwire.ReplicaStreaming
+					if *advance && !catchingUp {
 						engine.AdvanceTo(time.Now())
 					}
 					engine.Recluster()
@@ -198,6 +266,9 @@ func run() int {
 		if reclusterStop != nil {
 			close(reclusterStop)
 		}
+		if replica != nil {
+			replica.Stop()
+		}
 		if gc != nil {
 			gc.Close()
 		}
@@ -210,14 +281,20 @@ func run() int {
 		analyticsState = fmt.Sprintf("every %v", *reclusterEvery)
 	}
 	// The resolved listener address (not the flag) so -addr :0 is usable.
-	fmt.Printf("ttkvd: serving on %s (shards=%d fsync=%s recluster=%s repair-workers=%d)\n",
-		ln.Addr(), store.NumShards(), policy, analyticsState, *repairWorkers)
+	fmt.Printf("ttkvd: serving on %s (role=%s shards=%d fsync=%s recluster=%s repair-workers=%d)\n",
+		ln.Addr(), role, store.NumShards(), policy, analyticsState, *repairWorkers)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case <-sig:
 		fmt.Println("ttkvd: shutting down")
+		// A replica finishes applying its in-flight frame and stops
+		// acking before the server drops its clients; a primary's Close
+		// severs the feeds (replicas resume from their applied seq).
+		if replica != nil {
+			replica.Stop()
+		}
 		srv.Close()
 		<-done
 	case err := <-done:
@@ -225,6 +302,9 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "ttkvd:", err)
 			if reclusterStop != nil {
 				close(reclusterStop)
+			}
+			if replica != nil {
+				replica.Stop()
 			}
 			if gc != nil {
 				gc.Close()

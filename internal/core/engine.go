@@ -352,6 +352,33 @@ func (e *Engine) Recluster() []Cluster {
 	return clusters
 }
 
+// Reset discards every event, statistic, and cached clustering, returning
+// the engine to its freshly constructed state (configuration kept, publish
+// counter advanced so pollers see the change). A read replica calls it on
+// full resync: the new primary's snapshot replays through the observer
+// from scratch, and stale statistics must not double-count it.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pendMu.Lock()
+	e.pending = e.pending[:0]
+	e.pendMu.Unlock()
+	e.statsMu.Lock()
+	e.ps = NewPairStats(nil)
+	e.dirty = nil
+	e.dirtyIDs = nil
+	e.statsMu.Unlock()
+	e.sw = trace.NewStreamWindower(e.cfg.Window, e.cfg.Mode, e.cfg.Horizon, e.onGroup)
+	if e.cfg.MaxFutureSkew > 0 {
+		e.sw.SetFutureLimit(e.cfg.MaxFutureSkew, time.Now)
+	}
+	e.adj, e.comps = nil, nil
+	e.adjKeys, e.adjPairs = 0, 0
+	e.cache = make(map[string][]Cluster)
+	prev := e.published.Load()
+	e.published.Store(&clusterSnapshot{version: prev.version + 1})
+}
+
 // compDirty reports whether any member of the (sorted-space) component
 // has dirty statistics.
 func (e *Engine) compDirty(comp []int) bool {

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ocasta/internal/trace"
+)
+
+// TestEngineReset: after Reset the engine is statistically empty (fresh
+// publish), and re-feeding the same stream reproduces the original
+// clustering exactly — no double counting of pre-reset history, which is
+// what a read replica relies on across a full resync.
+func TestEngineReset(t *testing.T) {
+	feed := func(e *Engine) {
+		base := time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC)
+		for i := 0; i < 5; i++ {
+			ts := base.Add(time.Duration(i) * 10 * time.Second)
+			for _, k := range []string{"pair/a", "pair/b"} {
+				e.Push(trace.Event{Time: ts, Op: trace.OpWrite, Key: k, Value: fmt.Sprintf("v%d", i)})
+			}
+			e.Push(trace.Event{Time: ts.Add(3 * time.Second), Op: trace.OpWrite, Key: "solo", Value: "x"})
+		}
+		e.Flush()
+	}
+
+	e := NewEngine(EngineConfig{})
+	feed(e)
+	first := e.Recluster()
+	if len(first) == 0 || e.NumKeys() == 0 {
+		t.Fatalf("seed clustering empty: %d clusters, %d keys", len(first), e.NumKeys())
+	}
+	v1 := e.Version()
+
+	e.Reset()
+	if e.NumKeys() != 0 || e.NumGroups() != 0 {
+		t.Fatalf("after Reset: %d keys, %d groups; want 0, 0", e.NumKeys(), e.NumGroups())
+	}
+	if got := e.Clusters(); len(got) != 0 {
+		t.Fatalf("after Reset: %d published clusters, want 0", len(got))
+	}
+	if e.Version() <= v1 {
+		t.Fatalf("Reset must advance the publish counter: %d -> %d", v1, e.Version())
+	}
+	if corr := e.Correlation("pair/a", "pair/b"); corr != 0 {
+		t.Fatalf("stale correlation %v survived Reset", corr)
+	}
+
+	feed(e)
+	second := e.Recluster()
+	if len(second) != len(first) {
+		t.Fatalf("re-fed clustering has %d clusters, want %d", len(second), len(first))
+	}
+	for i := range first {
+		a, b := &first[i], &second[i]
+		if a.ModCount != b.ModCount || len(a.Keys) != len(b.Keys) || !a.LastModified.Equal(b.LastModified) {
+			t.Fatalf("cluster %d differs after reset+refeed: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Keys {
+			if a.Keys[j] != b.Keys[j] {
+				t.Fatalf("cluster %d key %d: %q vs %q", i, j, a.Keys[j], b.Keys[j])
+			}
+		}
+	}
+}

@@ -120,6 +120,16 @@ type GroupCommit struct {
 	// appender stops syncing).
 	syncs atomic.Uint64
 
+	// onCommit, when set, is called after each successful flush cycle with
+	// the total number of records committed to the AOF so far (written to
+	// the OS, and fsynced when the policy or a Sync barrier required it).
+	// The replication log uses it as its durability gate: a record is
+	// shipped to replicas only once this callback has covered it. Called
+	// from the flusher goroutine only, outside gc.mu, in strictly
+	// non-decreasing gen order. Set before any append (setOnCommit).
+	onCommit func(gen uint64)
+	notified uint64 // highest gen passed to onCommit; flusher-only
+
 	wake      chan struct{}
 	quit      chan struct{}
 	done      chan struct{}
@@ -129,6 +139,15 @@ type GroupCommit struct {
 
 // SyncCount reports how many fsyncs the appender has performed.
 func (gc *GroupCommit) SyncCount() uint64 { return gc.syncs.Load() }
+
+// setOnCommit installs the post-flush commit callback. It must be called
+// before the appender receives its first record (NewReplLog does, before
+// the log is attached to a store), so no commit can be missed.
+func (gc *GroupCommit) setOnCommit(fn func(gen uint64)) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	gc.onCommit = fn
+}
 
 // NewGroupCommit wraps a (typically freshly opened) AOF in a group-commit
 // appender and starts its background flusher. The appender assumes sole
@@ -189,6 +208,32 @@ func (gc *GroupCommit) append(key, value string, t time.Time, deleted bool) erro
 	// FsyncAlways flushes eagerly on every append, not just on batch-size
 	// pressure, so a record's loss window is one in-flight batch rather
 	// than a full flush interval.
+	if full || gc.cfg.Fsync == FsyncAlways {
+		gc.signal()
+	}
+	return nil
+}
+
+// appendEncodedBatch enqueues n pre-encoded AOF records as one indivisible
+// unit: all n land in the same flush batch, so the commit callback can
+// never cover a prefix of them. The replication log uses it for atomic
+// cluster-revert batches — the durable watermark (and with it the
+// snapshot/tail boundary a resuming replica syncs at) stays batch-aligned.
+func (gc *GroupCommit) appendEncodedBatch(encoded []byte, n int) error {
+	gc.mu.Lock()
+	if gc.err != nil {
+		err := gc.err
+		gc.mu.Unlock()
+		return err
+	}
+	if gc.closed {
+		gc.mu.Unlock()
+		return ErrAppenderClosed
+	}
+	gc.pending = append(gc.pending, encoded...)
+	gc.gen += uint64(n)
+	full := len(gc.pending) >= gc.cfg.MaxBatchBytes
+	gc.mu.Unlock()
 	if full || gc.cfg.Fsync == FsyncAlways {
 		gc.signal()
 	}
@@ -294,6 +339,7 @@ func (gc *GroupCommit) flushCycle(policySync bool) {
 	gc.pending = gc.scratch[:0]
 	gc.scratch = batch
 	target := gc.gen
+	commitCb := gc.onCommit
 	// Sync only when there is something new to make durable: an idle
 	// daemon must not fsync an unchanged file every tick.
 	doSync := (policySync || gc.wantSync > gc.synced) && target > gc.synced
@@ -310,6 +356,16 @@ func (gc *GroupCommit) flushCycle(policySync bool) {
 			}
 		} else if len(batch) > 0 {
 			err = gc.aof.flushOS()
+		}
+	}
+
+	// Report the commit before updating synced/broadcasting, so a Sync
+	// caller that unblocks has the guarantee that the replication log's
+	// durability watermark already covers its records.
+	if err == nil && target > gc.notified {
+		gc.notified = target
+		if commitCb != nil {
+			commitCb(target)
 		}
 	}
 

@@ -48,23 +48,14 @@ func (s *Store) RevertCluster(keys []string, fixAt, applyAt time.Time) (int, err
 	}
 
 	// Lock every involved shard, each exactly once, in shard order.
-	shardSet := make(map[uint64]struct{}, len(keys))
-	for _, k := range keys {
-		shardSet[s.shardIndex(k)] = struct{}{}
-	}
-	idxs := make([]uint64, 0, len(shardSet))
-	for i := range shardSet {
-		idxs = append(idxs, i)
-	}
-	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
-	for _, i := range idxs {
-		s.shards[i].mu.Lock()
-	}
-	defer func() {
-		for _, i := range idxs {
-			s.shards[i].mu.Unlock()
+	unlock := s.lockShardsFor(func(yield func(string) bool) {
+		for _, k := range keys {
+			if !yield(k) {
+				return
+			}
 		}
-	}()
+	})
+	defer unlock()
 
 	// With every shard lock held, no writer can interleave: the
 	// read-compute-write below is one indivisible transition. It runs in
@@ -90,23 +81,50 @@ func (s *Store) RevertCluster(keys []string, fixAt, applyAt time.Time) (int, err
 			plan = append(plan, Mutation{Key: key, Value: target.Value, Time: applyAt})
 		}
 	}
-	for _, m := range plan {
-		if err := s.sinkAppend(m.Key, m.Value, m.Time, m.Delete); err != nil {
-			return 0, err
-		}
+	seqs, err := s.sinkAppendBatch(plan)
+	if err != nil {
+		return 0, err
 	}
-	for _, m := range plan {
-		s.insertLocked(&s.shards[s.shardIndex(m.Key)], m.Key, m.Value, m.Time, m.Delete)
+	for i, m := range plan {
+		s.insertLocked(&s.shards[s.shardIndex(m.Key)], m.Key, m.Value, m.Time, m.Delete, seqs[i])
 	}
 
-	// Observer calls run outside the shard locks by contract; the deferred
-	// unlocks have not run yet, so release explicitly first.
-	for _, i := range idxs {
-		s.shards[i].mu.Unlock()
-	}
-	idxs = idxs[:0] // the deferred unlock loop must not double-unlock
+	// Observer calls run outside the shard locks by contract; the unlock
+	// is idempotent, so the deferred call becomes a no-op.
+	unlock()
 	observeRange(s.statsObserver(), plan)
 	return len(plan), nil
+}
+
+// batchSeqSink is the optional sink extension that enqueues a whole
+// mutation batch under one sink lock hold: the batch occupies a contiguous
+// run of sequence numbers (and of the replication stream), flagged so a
+// replica applies it as one atomic group. RevertCluster uses it so a
+// cluster revert can never interleave with other writers in the stream.
+type batchSeqSink interface {
+	appendSeqBatch(muts []Mutation) ([]uint64, error)
+}
+
+// sinkAppendBatch enqueues a mutation batch to the persistence sink and
+// returns the per-mutation sequence numbers a seq-assigning sink minted
+// (all zero for plain sinks, where the caller mints).
+func (s *Store) sinkAppendBatch(plan []Mutation) ([]uint64, error) {
+	seqs := make([]uint64, len(plan))
+	box := s.sink.Load()
+	if box == nil {
+		return seqs, nil
+	}
+	if bs, ok := box.sink.(batchSeqSink); ok {
+		return bs.appendSeqBatch(plan)
+	}
+	for i, m := range plan {
+		seq, err := s.sinkAppend(m.Key, m.Value, m.Time, m.Delete)
+		if err != nil {
+			return nil, err
+		}
+		seqs[i] = seq
+	}
+	return seqs, nil
 }
 
 // versionAtLocked is GetAt's lookup with the shard lock already held.

@@ -170,6 +170,36 @@ func (s *Store) shardFor(key string) *shard {
 	return &s.shards[s.shardIndex(key)]
 }
 
+// lockShardsFor write-locks every shard holding any of keys, each exactly
+// once, in ascending index order — the one ordering every multi-shard
+// locker (RevertCluster, ApplyReplicated) uses, so they can never
+// deadlock against each other. The returned unlock is idempotent, so it
+// can both be deferred and called early (observers run outside the
+// locks by contract).
+func (s *Store) lockShardsFor(keys func(yield func(string) bool)) (unlock func()) {
+	idxSet := make(map[uint64]struct{})
+	keys(func(k string) bool {
+		idxSet[s.shardIndex(k)] = struct{}{}
+		return true
+	})
+	idxs := make([]uint64, 0, len(idxSet))
+	for i := range idxSet {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	for _, i := range idxs {
+		s.shards[i].mu.Lock()
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			for _, i := range idxs {
+				s.shards[i].mu.Unlock()
+			}
+		})
+	}
+}
+
 // Set records a write of value to key at time t. Timestamps may arrive out
 // of order (error injection deliberately writes into the past); the version
 // is inserted at its chronological position, after any existing version
@@ -233,30 +263,48 @@ func (s *Store) waitSinkCapacity() error {
 // record in the AOF, process dies before the insert — only makes replay a
 // superset, which is the correct durability direction.
 func (s *Store) applyLocked(sh *shard, key, value string, t time.Time, deleted bool) error {
-	if err := s.sinkAppend(key, value, t, deleted); err != nil {
+	seq, err := s.sinkAppend(key, value, t, deleted)
+	if err != nil {
 		return err
 	}
-	s.insertLocked(sh, key, value, t, deleted)
+	s.insertLocked(sh, key, value, t, deleted, seq)
 	return nil
 }
 
-// sinkAppend enqueues one record to the persistence sink, if attached.
-func (s *Store) sinkAppend(key, value string, t time.Time, deleted bool) error {
+// seqSink is the optional sink extension a replication log implements: the
+// sink mints the record's store-wide sequence number itself, under its own
+// lock, so the replication stream, the AOF byte order, and the sequence
+// order all coincide. A seq of 0 is never minted.
+type seqSink interface {
+	appendSeq(key, value string, t time.Time, deleted bool) (uint64, error)
+}
+
+// sinkAppend enqueues one record to the persistence sink, if attached. A
+// seq-assigning sink returns the sequence number it minted for the record;
+// plain sinks return 0 and the caller mints from the store counter.
+func (s *Store) sinkAppend(key, value string, t time.Time, deleted bool) (uint64, error) {
 	if box := s.sink.Load(); box != nil {
-		return box.sink.append(key, value, t, deleted)
+		if ss, ok := box.sink.(seqSink); ok {
+			return ss.appendSeq(key, value, t, deleted)
+		}
+		return 0, box.sink.append(key, value, t, deleted)
 	}
-	return nil
+	return 0, nil
 }
 
 // insertLocked performs the in-memory half of one mutation with sh.mu
-// held: version insert plus counters.
-func (s *Store) insertLocked(sh *shard, key, value string, t time.Time, deleted bool) {
+// held: version insert plus counters. seq is the sink-assigned sequence
+// number, or 0 to mint one from the store counter.
+func (s *Store) insertLocked(sh *shard, key, value string, t time.Time, deleted bool, seq uint64) {
+	if seq == 0 {
+		seq = s.seq.Add(1)
+	}
 	rec, ok := sh.records[key]
 	if !ok {
 		rec = &record{}
 		sh.records[key] = rec
 	}
-	v := Version{Time: t, Value: value, Deleted: deleted, Seq: s.seq.Add(1)}
+	v := Version{Time: t, Value: value, Deleted: deleted, Seq: seq}
 	rec.insert(v)
 	if deleted {
 		rec.deletes++

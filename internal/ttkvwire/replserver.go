@@ -1,0 +1,353 @@
+package ttkvwire
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"ocasta/internal/ttkv"
+)
+
+// ReplicationConfig tunes the primary side of replication. Zero values
+// select the defaults noted per field.
+type ReplicationConfig struct {
+	// OutboxBytes bounds each replica's outbox backlog; a replica that
+	// falls further behind is disconnected and must reconnect (it resumes
+	// from its last applied sequence). Default ttkv.DefaultOutboxBytes.
+	OutboxBytes int
+	// HeartbeatInterval is how often an idle feed sends its durable
+	// watermark, letting replicas measure lag and detect a dead primary.
+	// Default 500ms.
+	HeartbeatInterval time.Duration
+	// WriteTimeout bounds each frame write so a wedged replica socket
+	// cannot hang the feed goroutine forever. Default 30s.
+	WriteTimeout time.Duration
+}
+
+func (c ReplicationConfig) withDefaults() ReplicationConfig {
+	if c.OutboxBytes <= 0 {
+		c.OutboxBytes = ttkv.DefaultOutboxBytes
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// EnableReplication makes the server a replication primary: SYNC streams
+// a snapshot plus a live committed-record tail to each replica, and
+// REPLSTAT reports per-replica progress. rl must be attached to the
+// served store (Store.AttachReplLog). Call before Serve.
+//
+// The run ID identifies this primary incarnation: a replica that last
+// synced with a different incarnation cannot trust its local prefix (a
+// restarted primary may have re-minted sequence numbers differently) and
+// is told to full-resync from scratch.
+func (s *Server) EnableReplication(rl *ttkv.ReplLog, cfg ReplicationConfig) {
+	s.replLog = rl
+	s.replCfg = cfg.withDefaults()
+	s.runID = newRunID()
+}
+
+// SetReadOnly makes the server reject mutating commands (SET, MSET, DEL,
+// RFIX) with "ERR readonly": the replica role. Reads, history, analytics
+// (CLUSTERS/CORR), and repair diagnosis stay local; only the fix must be
+// applied on the primary. Call before Serve.
+func (s *Server) SetReadOnly(ro bool) { s.readOnly = ro }
+
+// ReplicaStatusSource is how the serving layer asks the replication
+// client for its live state; *ReplicaClient implements it.
+type ReplicaStatusSource interface{ ReplicaStatus() ReplicaStatus }
+
+// SetReplicaStatus wires a replica's sync client into REPLSTAT. Call
+// before Serve.
+func (s *Server) SetReplicaStatus(src ReplicaStatusSource) { s.replicaStat = src }
+
+// newRunID returns a random 16-hex-digit primary incarnation ID.
+func newRunID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to the clock; uniqueness across restarts is what
+		// matters, not unpredictability.
+		return strconv.FormatInt(time.Now().UnixNano(), 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// replSession is one live replica feed, tracked for REPLSTAT.
+type replSession struct {
+	addr string
+	sub  *ttkv.ReplSub
+	// snapshotting flips to 0 once the handshake snapshot has streamed.
+	snapshotting atomic.Bool
+	sentSeq      atomic.Uint64
+	ackedSeq     atomic.Uint64
+}
+
+func (s *Server) addReplSession(sess *replSession) {
+	s.mu.Lock()
+	if s.replSessions == nil {
+		s.replSessions = make(map[*replSession]struct{})
+	}
+	s.replSessions[sess] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) removeReplSession(sess *replSession) {
+	s.mu.Lock()
+	delete(s.replSessions, sess)
+	s.mu.Unlock()
+}
+
+// errReadonly is the reply to mutating commands on a read replica.
+const errReadonly = "ERR readonly: this node is a read replica; send writes to the primary"
+
+// isMutating reports whether cmd writes to the store.
+func isMutating(cmd string) bool {
+	switch cmd {
+	case "SET", "MSET", "DEL", "RFIX":
+		return true
+	}
+	return false
+}
+
+// trySync handles a SYNC request: on a successful handshake it takes the
+// connection over as a push stream and only returns when the feed ends
+// (replica gone, outbox overflow, or server shutdown), reporting
+// streamed=true: the connection is no longer in the request/response
+// protocol and must be closed. On a refused handshake the error reply has
+// been written and the connection continues serving normal requests.
+func (s *Server) trySync(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, args []string) (streamed bool) {
+	refuse := func(msg string) bool {
+		if err := WriteValue(bw, errValue(msg)); err != nil {
+			return true // connection is broken; stop serving it
+		}
+		return bw.Flush() != nil
+	}
+	if s.replLog == nil {
+		return refuse("ERR replication not enabled on this server")
+	}
+	if len(args) != 2 {
+		return refuse("ERR usage: SYNC afterSeq runid")
+	}
+	afterSeq, err := strconv.ParseUint(args[0], 10, 64)
+	if err != nil {
+		return refuse("ERR bad afterSeq: " + args[0])
+	}
+	resume := args[1] == s.runID
+	if !resume {
+		// Unknown or stale incarnation: the replica's local prefix cannot
+		// be trusted; it must reset and take everything from scratch.
+		afterSeq = 0
+	}
+
+	// Registering the outbox fixes the snapshot/tail boundary: everything
+	// at or below `from` is committed and visible in the store (shipped as
+	// a snapshot below); everything above arrives through the outbox.
+	sub, from := s.replLog.Subscribe(s.replCfg.OutboxBytes)
+	if afterSeq > from {
+		sub.Close()
+		return refuse(fmt.Sprintf("ERR replica ahead of primary (afterSeq %d > durable %d)", afterSeq, from))
+	}
+	status := "CONTINUE"
+	if !resume {
+		status = "FULLRESYNC"
+	}
+	if err := WriteValue(bw, simple(fmt.Sprintf("%s %s %d", status, s.runID, from))); err != nil {
+		sub.Close()
+		return true
+	}
+	if err := bw.Flush(); err != nil {
+		sub.Close()
+		return true
+	}
+
+	sess := &replSession{addr: conn.RemoteAddr().String(), sub: sub}
+	sess.snapshotting.Store(true)
+	sess.ackedSeq.Store(afterSeq)
+	sess.sentSeq.Store(afterSeq)
+	s.addReplSession(sess)
+
+	// The ack reader owns the inbound half: replicas push 'A' frames with
+	// their applied watermark. Any read error (replica died, server
+	// closing the conn) tears the feed down by closing the outbox, which
+	// wakes the writer loop below.
+	ackDone := make(chan struct{})
+	go func() {
+		defer close(ackDone)
+		defer sub.Close()
+		for {
+			kind, _, seq, err := readReplFrame(br)
+			if err != nil || kind != replFrameAck {
+				return
+			}
+			sess.ackedSeq.Store(seq)
+		}
+	}()
+
+	s.streamFeed(conn, bw, sub, sess, afterSeq, from)
+
+	s.removeReplSession(sess)
+	sub.Close()
+	conn.Close() // unblocks the ack reader if it has not errored yet
+	<-ackDone
+	return true
+}
+
+// streamFeed ships the snapshot range (afterSeq, from] and then the live
+// outbox tail until the feed dies.
+func (s *Server) streamFeed(conn net.Conn, bw *bufio.Writer, sub *ttkv.ReplSub, sess *replSession, afterSeq, from uint64) {
+	writeFrames := func(payloads [][]byte) error {
+		conn.SetWriteDeadline(time.Now().Add(s.replCfg.WriteTimeout))
+		buf := make([]byte, 0, replFrameChunk)
+		for _, p := range payloads {
+			if len(buf) > 0 && len(buf)+len(p) > replFrameChunk {
+				if err := writeReplData(bw, buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
+			buf = append(buf, p...)
+		}
+		if len(buf) > 0 {
+			if err := writeReplData(bw, buf); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	}
+
+	// Snapshot phase: the committed range the outbox will not deliver,
+	// streamed in bounded sequence windows so a full-history resync never
+	// materializes the whole store at once per syncing replica (each
+	// window holds at most snapSeqWindow record headers — values are
+	// string references, not copies; ranges are disjoint and ascending,
+	// so global sequence order is preserved). Each window costs one
+	// store scan, so resync is O(versions x windows); the window is
+	// sized large enough that even a multi-gigabyte history needs only a
+	// handful of scans. A heartbeat precedes each scan so a replica's
+	// read deadline survives scan-induced gaps between frames. Snapshot
+	// records carry no atomic-batch flags: catch-up replays history in
+	// record order, exactly as a primary AOF replay does — the live-tail
+	// boundary itself is batch-aligned (see ReplLog.appendSeqBatch), so a
+	// revert in flight at resume time is never split across it.
+	const snapSeqWindow = 1 << 20
+	var buf []byte
+	for lo := afterSeq; lo < from; {
+		hi := lo + snapSeqWindow
+		if hi > from || hi < lo { // second test: uint64 wrap safety
+			hi = from
+		}
+		conn.SetWriteDeadline(time.Now().Add(s.replCfg.WriteTimeout))
+		if err := writeReplSeq(bw, replFrameHeartbeat, from); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		snap := s.store.ReplSnapshot(lo, hi)
+		lo = hi
+		for i := range snap {
+			buf = ttkv.AppendReplRecord(buf, snap[i])
+			if len(buf) >= replFrameChunk || i == len(snap)-1 {
+				conn.SetWriteDeadline(time.Now().Add(s.replCfg.WriteTimeout))
+				if err := writeReplData(bw, buf); err != nil {
+					return
+				}
+				if err := bw.Flush(); err != nil {
+					return
+				}
+				buf = buf[:0]
+			}
+		}
+	}
+	sess.sentSeq.Store(from)
+	sess.snapshotting.Store(false)
+
+	// Live tail: committed records as the outbox delivers them, a
+	// heartbeat with the durable watermark when idle.
+	for {
+		data, lastSeq, err := sub.Next(s.replCfg.HeartbeatInterval)
+		if err != nil {
+			return
+		}
+		if data == nil {
+			conn.SetWriteDeadline(time.Now().Add(s.replCfg.WriteTimeout))
+			if err := writeReplSeq(bw, replFrameHeartbeat, s.replLog.DurableSeq()); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			continue
+		}
+		if err := writeFrames(data); err != nil {
+			return
+		}
+		sess.sentSeq.Store(lastSeq)
+	}
+}
+
+// cmdReplStat serves REPLSTAT: the node's replication role and progress.
+//
+//	role "none":    *2  $none, :currentSeq
+//	role "primary": *5+N $primary, $runid, :appendedSeq, :durableSeq,
+//	                per replica *6: $addr, $state, :acked, :sent, :lagRecords, :lagBytes
+//	role "replica": *7  $replica, $primaryAddr, $state, :appliedSeq,
+//	                :primaryDurableSeq, :lagRecords, :reconnects
+func (s *Server) cmdReplStat(args []string) Value {
+	if len(args) != 0 {
+		return errValue("ERR usage: REPLSTAT")
+	}
+	if s.replicaStat != nil {
+		st := s.replicaStat.ReplicaStatus()
+		lag := int64(0)
+		if st.PrimarySeq > st.AppliedSeq {
+			lag = int64(st.PrimarySeq - st.AppliedSeq)
+		}
+		return array(
+			bulk("replica"), bulk(st.Primary), bulk(st.State),
+			bulkInt(int64(st.AppliedSeq)), bulkInt(int64(st.PrimarySeq)),
+			bulkInt(lag), bulkInt(int64(st.Reconnects)),
+		)
+	}
+	if s.replLog == nil {
+		return array(bulk("none"), bulkInt(int64(s.store.CurrentSeq())))
+	}
+	durable := s.replLog.DurableSeq()
+	out := []Value{
+		bulk("primary"), bulk(s.runID),
+		bulkInt(int64(s.replLog.AppendedSeq())), bulkInt(int64(durable)),
+	}
+	s.mu.Lock()
+	sessions := make([]*replSession, 0, len(s.replSessions))
+	for sess := range s.replSessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		state := "streaming"
+		if sess.snapshotting.Load() {
+			state = "snapshot"
+		}
+		acked := sess.ackedSeq.Load()
+		lag := int64(0)
+		if durable > acked {
+			lag = int64(durable - acked)
+		}
+		out = append(out, array(
+			bulk(sess.addr), bulk(state),
+			bulkInt(int64(acked)), bulkInt(int64(sess.sentSeq.Load())),
+			bulkInt(lag), bulkInt(int64(sess.sub.QueuedBytes())),
+		))
+	}
+	return array(out...)
+}

@@ -1,0 +1,97 @@
+package ttkvwire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Replication stream framing. After a successful SYNC handshake (plain
+// wire-protocol request and reply), the connection leaves the
+// request/response protocol: the primary pushes frames, the replica
+// pushes acknowledgements back on the same connection.
+//
+//	'D' | u32 len | payload     primary→replica: whole ttkv repl records
+//	'H' | u64 durableSeq        primary→replica: heartbeat while idle
+//	'A' | u64 appliedSeq        replica→primary: apply progress
+//
+// Data frames always carry whole records (a record never splits across
+// frames), but an atomic batch may span frames; the replica buffers until
+// the batch closes.
+const (
+	replFrameData      = 'D'
+	replFrameHeartbeat = 'H'
+	replFrameAck       = 'A'
+
+	// maxReplFrameLen bounds a data frame's declared payload so a corrupt
+	// or hostile peer cannot force a giant allocation. A single record can
+	// approach 16 MiB (two MaxStringLen strings); frames are normally
+	// chunked far smaller (replFrameChunk).
+	maxReplFrameLen = 24 << 20
+
+	// replFrameChunk is the outbox's target data-frame payload size: small
+	// enough to interleave heartbeats and acks promptly, large enough to
+	// amortize the frame header and write syscall. A frame always carries
+	// at least one whole record, however large.
+	replFrameChunk = 128 << 10
+)
+
+// writeReplData writes one data frame (without flushing, so callers can
+// coalesce frames into one network write).
+func writeReplData(w *bufio.Writer, payload []byte) error {
+	if err := w.WriteByte(replFrameData); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// writeReplSeq writes a heartbeat or ack frame (without flushing).
+func writeReplSeq(w *bufio.Writer, kind byte, seq uint64) error {
+	if err := w.WriteByte(kind); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], seq)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// readReplFrame reads one frame. For data frames payload is non-nil (and
+// may be empty); for heartbeat/ack frames seq carries the watermark.
+func readReplFrame(r *bufio.Reader) (kind byte, payload []byte, seq uint64, err error) {
+	kind, err = r.ReadByte()
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	switch kind {
+	case replFrameData:
+		var hdr [4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return 0, nil, 0, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n > maxReplFrameLen {
+			return 0, nil, 0, fmt.Errorf("%w: repl frame length %d", ErrTooLarge, n)
+		}
+		payload = make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, nil, 0, err
+		}
+		return kind, payload, 0, nil
+	case replFrameHeartbeat, replFrameAck:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, nil, 0, err
+		}
+		return kind, nil, binary.LittleEndian.Uint64(buf[:]), nil
+	default:
+		return 0, nil, 0, fmt.Errorf("%w: unknown repl frame type %q", ErrProtocol, kind)
+	}
+}

@@ -24,12 +24,22 @@ type Server struct {
 	analytics *core.Engine // nil when live clustering is disabled
 	repairCfg RepairConfig // bounds for the repair job manager
 
-	mu      sync.Mutex
-	ln      net.Listener
-	conns   map[net.Conn]struct{}
-	closed  bool
-	repairs *jobManager // lazily built on first repair command
-	wg      sync.WaitGroup
+	// Replication role state (see replserver.go). replLog/runID are set
+	// by EnableReplication on a primary; readOnly and replicaStat by
+	// SetReadOnly/SetReplicaStatus on a replica. All set before Serve.
+	replLog     *ttkv.ReplLog
+	replCfg     ReplicationConfig
+	runID       string
+	readOnly    bool
+	replicaStat ReplicaStatusSource
+
+	mu           sync.Mutex
+	ln           net.Listener
+	conns        map[net.Conn]struct{}
+	closed       bool
+	repairs      *jobManager // lazily built on first repair command
+	replSessions map[*replSession]struct{}
+	wg           sync.WaitGroup
 }
 
 // NewServer returns a server that serves the given store.
@@ -145,6 +155,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // connection dropped or garbage; just hang up
 		}
+		// SYNC is the one command that abandons request/response: a
+		// successful handshake turns the connection into a replication
+		// feed that this handler drives until the replica goes away.
+		if args, ok := syncArgs(req); ok {
+			if s.trySync(conn, br, bw, args) {
+				return
+			}
+			continue
+		}
 		resp := s.dispatch(req)
 		if err := WriteValue(bw, resp); err != nil {
 			return
@@ -160,6 +179,25 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// syncArgs reports whether req is a SYNC command and returns its
+// arguments if so.
+func syncArgs(req Value) ([]string, bool) {
+	if req.Kind != KindArray || len(req.Array) == 0 || req.Array[0].Kind != KindBulk {
+		return nil, false
+	}
+	if !strings.EqualFold(req.Array[0].Str, "SYNC") {
+		return nil, false
+	}
+	args := make([]string, 0, len(req.Array)-1)
+	for _, v := range req.Array[1:] {
+		if v.Kind != KindBulk {
+			return nil, false
+		}
+		args = append(args, v.Str)
+	}
+	return args, true
+}
+
 func (s *Server) dispatch(req Value) Value {
 	if req.Kind != KindArray || len(req.Array) == 0 {
 		return errValue("ERR request must be a non-empty array")
@@ -172,6 +210,9 @@ func (s *Server) dispatch(req Value) Value {
 		args[i] = v.Str
 	}
 	cmd := strings.ToUpper(args[0])
+	if s.readOnly && isMutating(cmd) {
+		return errValue(errReadonly)
+	}
 	switch cmd {
 	case "PING":
 		return simple("PONG")
@@ -205,6 +246,8 @@ func (s *Server) dispatch(req Value) Value {
 		return s.cmdRepairStat(args[1:])
 	case "RFIX":
 		return s.cmdRepairFix(args[1:])
+	case "REPLSTAT":
+		return s.cmdReplStat(args[1:])
 	default:
 		return errValue("ERR unknown command '" + cmd + "'")
 	}

@@ -48,6 +48,26 @@ type (
 	// ClusterSnapshot is a client-side CLUSTERS reply: the server's
 	// published live clustering plus its publish counter.
 	ClusterSnapshot = ttkvwire.ClusterSnapshot
+	// ReplLog is the primary side of replication: a seq-assigning
+	// persistence sink whose committed records fan out to replica feeds.
+	// Attach with Store.AttachReplLog, serve with Server.EnableReplication.
+	ReplLog = ttkv.ReplLog
+	// ReplRecord is one replicated mutation, carrying the primary's
+	// store-wide sequence number; Store.ApplyReplicated replays them.
+	ReplRecord = ttkv.ReplRecord
+	// ReplicationConfig tunes a primary's replica feeds (outbox bound,
+	// heartbeat cadence).
+	ReplicationConfig = ttkvwire.ReplicationConfig
+	// ReplicaClient maintains asynchronous replication from a primary
+	// into a local read-only store, reconnecting with backoff and
+	// resuming from its last applied sequence.
+	ReplicaClient = ttkvwire.ReplicaClient
+	// ReplicaConfig configures a ReplicaClient.
+	ReplicaConfig = ttkvwire.ReplicaConfig
+	// ReplicaStatus is a replica client's progress snapshot.
+	ReplicaStatus = ttkvwire.ReplicaStatus
+	// ReplStatus is a parsed REPLSTAT reply (Client.ReplStatus).
+	ReplStatus = ttkvwire.ReplStatus
 )
 
 // Group-commit fsync policies, re-exported so external callers can fill
@@ -95,6 +115,15 @@ func NewGroupCommit(a *AOF, cfg GroupCommitConfig) *GroupCommit {
 
 // NewServer wraps a store in a TTKV network server.
 func NewServer(store *Store) *Server { return ttkvwire.NewServer(store) }
+
+// NewReplLog returns a replication log feeding gc (nil for an in-memory
+// primary: records are then shippable the instant they apply). Attach it
+// with Store.AttachReplLog and serve with Server.EnableReplication.
+func NewReplLog(gc *GroupCommit) *ReplLog { return ttkv.NewReplLog(gc) }
+
+// StartReplica begins asynchronous replication from a primary into a
+// local store (serve it read-only with Server.SetReadOnly).
+func StartReplica(cfg ReplicaConfig) (*ReplicaClient, error) { return ttkvwire.StartReplica(cfg) }
 
 // Dial connects to a TTKV server.
 func Dial(addr string) (*Client, error) { return ttkvwire.Dial(addr) }
