@@ -53,6 +53,7 @@ func loadTrace(path string) (*trace.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	//ocasta:allow stickyerr trace file opened read-only; no buffered writes to lose
 	defer f.Close()
 	head := make([]byte, 4)
 	if _, err := f.Read(head); err != nil {

@@ -1,0 +1,84 @@
+// ocastalint is the project's static-analysis suite: it machine-checks
+// the store's concurrency and durability conventions (see internal/lint
+// for the rules and the //ocasta: annotation vocabulary).
+//
+// Standalone:
+//
+//	ocastalint [-list] [packages]        # defaults to ./...
+//
+// As a vet tool, so the rules run under the standard toolchain driver:
+//
+//	go vet -vettool=$(which ocastalint) ./...
+//
+// Exit status: 0 clean, 1 findings, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ocasta/internal/lint"
+	"ocasta/internal/lint/atomicsnapshot"
+	"ocasta/internal/lint/lockorder"
+	"ocasta/internal/lint/nocallunderlock"
+	"ocasta/internal/lint/stickyerr"
+)
+
+var analyzers = []*lint.Analyzer{
+	lockorder.Analyzer,
+	nocallunderlock.Analyzer,
+	atomicsnapshot.Analyzer,
+	stickyerr.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// The go vet driver protocol: probe for version and flags, then one
+	// invocation per package with a JSON config file argument.
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" {
+			printVersion()
+			return
+		}
+		if a == "-flags" || a == "--flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetUnit(args[0]))
+	}
+
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ocastalint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ocastalint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

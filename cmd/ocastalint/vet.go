@@ -1,0 +1,130 @@
+package main
+
+// The go vet -vettool driver protocol, mirrored from the reference
+// unitchecker: vet invokes the tool once per package with a single
+// JSON config-file argument describing the unit — source files, the
+// import map, and export-data files for every dependency — plus the
+// version/flags probes handled in main. Facts are not exchanged (the
+// ocastalint analyzers use the built-in annotation seeds for
+// cross-package contracts), but the .vetx output file must still be
+// written so the driver's cache stays consistent.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ocasta/internal/lint"
+)
+
+// vetConfig is the subset of the driver's config the tool consumes.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package unit and returns the process exit code.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ocastalint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ocastalint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The driver expects the facts file to exist even though we carry no
+	// facts; write it first so every exit path below leaves it in place.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "ocastalint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ocastalint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		exportFile, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exportFile)
+	}
+	info := lint.NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "ocastalint:", err)
+		return 2
+	}
+
+	pkgs := []*lint.Package{{Fset: fset, Syntax: files, Types: tpkg, Info: info}}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ocastalint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printVersion implements -V=full: the go command uses the line as the
+// tool's cache key, so it must change whenever the binary does — hash
+// the executable, as the reference unitchecker does.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ocastalint:", err)
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ocastalint:", err)
+		os.Exit(2)
+	}
+	sum := sha256.Sum256(data)
+	fmt.Printf("%s version devel buildID=%02x\n", name, sum)
+}

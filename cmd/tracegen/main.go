@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,6 +20,18 @@ import (
 
 func main() {
 	os.Exit(run())
+}
+
+// writeAndClose runs write against f and closes it, reporting the first
+// failure. For generated artifacts the close error is part of the
+// durability verdict: a kernel flush failing at close would otherwise
+// leave a truncated trace behind a successful exit status.
+func writeAndClose(f *os.File, write func(io.Writer) error) error {
+	if err := write(f); err != nil {
+		_ = f.Close() // returning the write error; close is cleanup
+		return err
+	}
+	return f.Close()
 }
 
 func run() int {
@@ -50,22 +63,22 @@ func run() int {
 	}
 	res := workload.Generate(p)
 
+	var writeTrace func(io.Writer) error
+	switch *format {
+	case "binary":
+		writeTrace = func(w io.Writer) error { return trace.WriteBinary(w, res.Trace) }
+	case "jsonl":
+		writeTrace = func(w io.Writer) error { return trace.WriteJSONL(w, res.Trace) }
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q\n", *format)
+		return 2
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		return 1
 	}
-	defer f.Close()
-	switch *format {
-	case "binary":
-		err = trace.WriteBinary(f, res.Trace)
-	case "jsonl":
-		err = trace.WriteJSONL(f, res.Trace)
-	default:
-		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q\n", *format)
-		return 2
-	}
-	if err != nil {
+	if err := writeAndClose(f, writeTrace); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen: writing trace:", err)
 		return 1
 	}
@@ -76,8 +89,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
 			return 1
 		}
-		defer af.Close()
-		if err := res.Store.WriteSnapshot(af); err != nil {
+		if err := writeAndClose(af, res.Store.WriteSnapshot); err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen: writing AOF:", err)
 			return 1
 		}

@@ -270,7 +270,9 @@ func run() int {
 			replica.Stop()
 		}
 		if gc != nil {
-			gc.Close()
+			if cerr := gc.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "ttkvd: closing AOF:", cerr)
+			}
 		}
 		return 1
 	}
@@ -307,7 +309,9 @@ func run() int {
 				replica.Stop()
 			}
 			if gc != nil {
-				gc.Close()
+				if cerr := gc.Close(); cerr != nil {
+					fmt.Fprintln(os.Stderr, "ttkvd: closing AOF:", cerr)
+				}
 			}
 			return 1
 		}

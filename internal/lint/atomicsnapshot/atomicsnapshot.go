@@ -1,0 +1,211 @@
+// Package atomicsnapshot enforces atomic-pointer-only snapshot
+// publication: once a struct field is the subject of a sync/atomic
+// operation anywhere in the package — or is annotated //ocasta:atomic —
+// every other access must also go through sync/atomic. A plain read of
+// such a field races with its atomic writers; a plain write (including
+// reassigning a field of one of the sync/atomic wrapper types) tears the
+// publication protocol. Engine.published and the ttkv shard read counters
+// are the archetypes.
+package atomicsnapshot
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ocasta/internal/lint"
+)
+
+// Analyzer is the atomicsnapshot rule.
+var Analyzer = &lint.Analyzer{
+	Name: "atomicsnapshot",
+	Doc: "a field accessed via sync/atomic (or annotated //ocasta:atomic) " +
+		"must never be read or written directly, and values of the " +
+		"sync/atomic wrapper types must not be copied or reassigned",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	atomicFields := collectAtomicFields(pass)
+	for _, f := range pass.Files {
+		checkFile(pass, f, atomicFields)
+	}
+	return nil
+}
+
+// atomicOps are the sync/atomic function names whose &x.f argument marks
+// f as atomically accessed.
+func isAtomicOp(name string) bool {
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "Or", "And"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAtomicFields finds every field passed by address to a
+// function-style sync/atomic operation anywhere in the package.
+func collectAtomicFields(pass *lint.Pass) map[*types.Var]bool {
+	fields := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !isAtomicOp(fn.Name()) {
+				return true
+			}
+			if v := addrOfField(pass, call.Args[0]); v != nil {
+				fields[v] = true
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// addrOfField matches &x.f and returns f's object.
+func addrOfField(pass *lint.Pass, e ast.Expr) *types.Var {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// checkFile reports direct accesses to atomic fields and copies or
+// reassignments of sync/atomic wrapper values.
+func checkFile(pass *lint.Pass, f *ast.File, atomicFields map[*types.Var]bool) {
+	// exempt marks selector expressions that are the legitimate atomic
+	// access itself: the &x.f argument of a sync/atomic call, and the
+	// receiver of a wrapper-type method call (x.f.Load()).
+	exempt := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			if fn.Pkg().Path() == "sync/atomic" && isAtomicOp(fn.Name()) && len(call.Args) > 0 {
+				if u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && u.Op == token.AND {
+					if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+						exempt[sel] = true
+					}
+				}
+			}
+			// x.f.Load(): the method's receiver expression is x.f.
+			if isWrapperType(fn.Type().(*types.Signature).Recv()) {
+				if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+					exempt[sel] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// writes marks selectors on the left of an assignment.
+	writes := make(map[ast.Expr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				writes[ast.Unparen(lhs)] = true
+			}
+		case *ast.IncDecStmt:
+			writes[ast.Unparen(n.X)] = true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				// Taking the address alone is not an access; the atomic
+				// call cases are filtered by exempt above, and &x.f passed
+				// elsewhere is out of scope for this rule.
+				if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+					exempt[sel] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || exempt[sel] {
+			return true
+		}
+		v, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			return true
+		}
+		marked := atomicFields[v]
+		if !marked {
+			if s, ok := pass.Info.Selections[sel]; ok {
+				marked = pass.Ann.AtomicFields[lint.FieldKey(v, s.Recv())]
+			}
+		}
+		wrapper := isWrapperVar(v)
+		if !marked && !wrapper {
+			return true
+		}
+		verb := "read"
+		if writes[ast.Expr(sel)] {
+			verb = "written"
+		}
+		switch {
+		case wrapper && writes[ast.Expr(sel)]:
+			pass.Reportf(sel.Pos(), "field %s has a sync/atomic type and must not be reassigned; use its Store method", v.Name())
+		case wrapper:
+			pass.Reportf(sel.Pos(), "field %s has a sync/atomic type and must not be copied; use its Load method", v.Name())
+		default:
+			pass.Reportf(sel.Pos(), "field %s is atomic (sync/atomic access elsewhere or //ocasta:atomic) and must not be %s directly", v.Name(), verb)
+		}
+		return true
+	})
+}
+
+// isWrapperType reports whether recv is one of the sync/atomic wrapper
+// types (atomic.Pointer[T], atomic.Value, atomic.Int64, ...).
+func isWrapperType(recv *types.Var) bool {
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isWrapperVar reports whether v's type is a sync/atomic wrapper type.
+func isWrapperVar(v *types.Var) bool {
+	t := v.Type()
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,12 @@
+package atomicsnapshot_test
+
+import (
+	"testing"
+
+	"ocasta/internal/lint/atomicsnapshot"
+	"ocasta/internal/lint/linttest"
+)
+
+func TestAtomicSnapshot(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", atomicsnapshot.Analyzer)
+}

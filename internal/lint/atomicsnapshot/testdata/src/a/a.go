@@ -1,0 +1,78 @@
+// Package a exercises the atomicsnapshot analyzer: fields published
+// atomically must never be touched directly.
+package a
+
+import "sync/atomic"
+
+type box struct{ v int }
+
+type engine struct {
+	// published is an atomic.Pointer: wrapper-type misuse is flagged
+	// structurally, no marking needed.
+	published atomic.Pointer[box]
+	// count is a plain int64 accessed through function-style sync/atomic
+	// calls elsewhere in the package.
+	count int64
+	// plain is an ordinary field; direct access is fine.
+	plain int
+	// gen is atomic by annotation even though no sync/atomic call in this
+	// package touches it.
+	//ocasta:atomic
+	gen uint64
+}
+
+// Wrapper methods are the sanctioned access path.
+func (e *engine) snapshot() *box {
+	return e.published.Load()
+}
+
+func (e *engine) publish(b *box) {
+	e.published.Store(b)
+}
+
+// Function-style atomics mark count as atomic for the whole package.
+func (e *engine) inc() {
+	atomic.AddInt64(&e.count, 1)
+}
+
+func (e *engine) badRead() int64 {
+	return e.count // want "field count is atomic .* and must not be read directly"
+}
+
+func (e *engine) badWrite() {
+	e.count = 0 // want "field count is atomic .* and must not be written directly"
+}
+
+func (e *engine) badCopy() atomic.Pointer[box] {
+	return e.published // want "field published has a sync/atomic type and must not be copied; use its Load method"
+}
+
+func (e *engine) badReassign() {
+	e.published = atomic.Pointer[box]{} // want "field published has a sync/atomic type and must not be reassigned; use its Store method"
+}
+
+func (e *engine) annotatedRead() uint64 {
+	return e.gen // want "field gen is atomic .* and must not be read directly"
+}
+
+func (e *engine) annotatedAtomicUse() uint64 {
+	return atomic.LoadUint64(&e.gen)
+}
+
+func (e *engine) plainUse() int {
+	e.plain++
+	return e.plain
+}
+
+// A justified suppression is honored.
+func (e *engine) allowedRead() int64 {
+	//ocasta:allow atomicsnapshot read under the engine init lock before any concurrent access
+	return e.count
+}
+
+// A suppression without a justification is rejected and suppresses
+// nothing.
+func (e *engine) rejectedRead() int64 {
+	//ocasta:allow atomicsnapshot // want "requires a justification string"
+	return e.count // want "field count is atomic .* and must not be read directly"
+}

@@ -1,0 +1,205 @@
+// Package linttest is the self-test harness for the ocastalint
+// analyzers, in the style of golang.org/x/tools/go/analysis/analysistest
+// but built on the standard library only. A test points Run at a
+// testdata package (testdata/src/<name>, invisible to the go tool),
+// which is parsed, type-checked against toolchain export data, and
+// analyzed; diagnostics are compared against expectation comments:
+//
+//	f.Close() // want "regexp matching the message"
+//
+// Every diagnostic must be claimed by a want on its line and every want
+// must be matched — directive diagnostics (malformed //ocasta:allow)
+// included, so testdata can assert that a suppression without a
+// justification is rejected.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"ocasta/internal/lint"
+)
+
+// Run analyzes the testdata package in dir (relative to the test's
+// package directory, e.g. "testdata/src/a") with a and checks the
+// diagnostics against the package's // want comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	pkg, err := loadTestdata(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWants(t, pkg, diags)
+}
+
+// loadTestdata parses and type-checks the single package rooted at dir.
+func loadTestdata(dir string) (*lint.Package, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := make(map[string]bool)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			imports[path] = true
+		}
+	}
+
+	exports, err := exportData(imports)
+	if err != nil {
+		return nil, err
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	info := lint.NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check("testdata/"+filepath.Base(dir), fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &lint.Package{Fset: fset, Syntax: files, Types: tpkg, Info: info}, nil
+}
+
+// exportData resolves import paths (plus transitive deps) to export
+// files via the build cache.
+func exportData(imports map[string]bool) (map[string]string, error) {
+	exports := make(map[string]string)
+	if len(imports) == 0 {
+		return exports, nil
+	}
+	paths := make([]string, 0, len(imports))
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export", "--"}, paths...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// want is one expectation: a diagnostic on a given line whose message
+// matches re.
+type want struct {
+	pos     string // file:line
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants extracts // want "re" expectations from every comment.
+func collectWants(t *testing.T, pkg *lint.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := quotedRE.FindAllStringSubmatch(m[1], -1)
+				if len(quoted) == 0 {
+					t.Errorf("%s: // want comment with no quoted regexp", pos)
+					continue
+				}
+				for _, q := range quoted {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, q[1], err)
+						continue
+					}
+					wants = append(wants, &want{
+						pos: fmt.Sprintf("%s:%d", pos.Filename, pos.Line),
+						re:  re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkWants pairs diagnostics with expectations one-to-one per line.
+func checkWants(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		pos := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.pos == pos && w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: expected diagnostic matching %q, got none", w.pos, w.re)
+		}
+	}
+}

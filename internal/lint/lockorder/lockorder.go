@@ -1,0 +1,249 @@
+// Package lockorder enforces the store's deadlock-freedom convention for
+// striped locks: when more than one stripe of a lock array
+// (s.shards[i].mu) is held at once, the stripes must have been acquired
+// in ascending index order. ttkv.Store.lockShardsFor and Store.Reset are
+// the archetypes; any new multi-shard locker must follow the same shape
+// or carry an //ocasta:allow lockorder justification.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"ocasta/internal/lint"
+)
+
+// Analyzer is the lockorder rule.
+var Analyzer = &lint.Analyzer{
+	Name: "lockorder",
+	Doc: "striped locks (shards[i].mu) held together must be acquired in " +
+		"ascending index order: loops that accumulate stripe locks must " +
+		"iterate a proven-ascending index sequence, and a second stripe " +
+		"lock outside a loop needs a provable index ordering",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, body := range lint.FuncBodies(f) {
+			checkFunc(pass, body)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lint.Pass, body *ast.BlockStmt) {
+	events := lint.TraceFunc(pass, body)
+	lint.ReplayLocks(pass, events, func(ev lint.Event, held *lint.Held) {
+		switch ev.Kind {
+		case lint.EvLock:
+			if ev.Shard == nil || ev.Deferred {
+				return
+			}
+			checkStripeLock(pass, events, ev, held)
+		case lint.EvCall:
+			// A lockfn acquires its stripes in sorted order internally,
+			// but that order cannot be sequenced against stripes the
+			// caller already holds.
+			if lint.IsLockFn(pass, ev.Callee) && !ev.Deferred && len(held.Shards()) > 0 {
+				pass.Reportf(ev.Pos, "call to //ocasta:lockfn function %s while stripe lock %s is held: the sorted acquisition inside cannot be ordered against it",
+					ev.Callee.Name(), held.Shards()[0].Mutex)
+			}
+		}
+	})
+}
+
+// checkStripeLock validates one stripe acquisition against what is held
+// and, for accumulating loops, the loop's iteration order.
+func checkStripeLock(pass *lint.Pass, events []lint.Event, ev lint.Event, held *lint.Held) {
+	if held.HoldingFn() {
+		pass.Reportf(ev.Pos, "stripe lock %s taken while locks from an //ocasta:lockfn call are held: acquisition order against the sorted set is unprovable", ev.Mutex)
+		return
+	}
+	for _, prev := range held.Shards() {
+		if prev.Shard.Base != ev.Shard.Base {
+			continue
+		}
+		if prev.Mutex == ev.Mutex && prev.Shard.Index == ev.Shard.Index {
+			// Re-replay of the same source lock (loop accumulation);
+			// ordering across iterations is the loop proof's job below.
+			continue
+		}
+		if !literalLess(prev.Shard.Index, ev.Shard.Index) {
+			pass.Reportf(ev.Pos, "%s locked while %s is held without a proven ascending index order", ev.Mutex, prev.Mutex)
+			return
+		}
+	}
+	if ev.Loop != nil && accumulatesInLoop(events, ev) && !ascendingLoop(pass, events, ev.Loop, ev.Shard) {
+		pass.Reportf(ev.Pos, "stripe lock %s accumulated across loop iterations without a proven ascending index order", ev.Mutex)
+	}
+}
+
+// accumulatesInLoop reports whether a stripe lock taken inside a loop is
+// still held when the next iteration begins: there is no non-deferred
+// unlock of the same mutex later in the same loop. Per-iteration
+// lock/unlock pairs need no ordering proof.
+func accumulatesInLoop(events []lint.Event, lock lint.Event) bool {
+	for _, ev := range events {
+		if ev.Kind == lint.EvUnlock && !ev.Deferred && ev.Pos > lock.Pos &&
+			ev.Loop == lock.Loop && ev.Mutex == lock.Mutex && ev.Read == lock.Read {
+			return false
+		}
+	}
+	return true
+}
+
+// literalLess proves a < b for integer-literal index expressions.
+func literalLess(a, b ast.Expr) bool {
+	av, aok := intLit(a)
+	bv, bok := intLit(b)
+	return aok && bok && av < bv
+}
+
+func intLit(e ast.Expr) (int64, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(lit.Value, 0, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// ascendingLoop proves that loop visits shard.Index in strictly
+// ascending order. Accepted shapes:
+//
+//	for i := range base          — index is the range key over the array
+//	for i := 0; i < n; i++       — index is a monotonically incremented var
+//	for _, i := range idxs       — idxs was sorted ascending earlier in the
+//	                               function (slices.Sort, sort.Ints, or
+//	                               sort.Slice with an ascending comparator)
+func ascendingLoop(pass *lint.Pass, events []lint.Event, loop ast.Stmt, shard *lint.ShardRef) bool {
+	idxObj := identObj(pass, shard.Index)
+	if idxObj == nil {
+		return false
+	}
+	switch l := loop.(type) {
+	case *ast.RangeStmt:
+		if keyObj := declObj(pass, l.Key); keyObj != nil && keyObj == idxObj &&
+			lint.ExprText(pass.Fset, l.X) == shard.Base {
+			return true
+		}
+		if valObj := declObj(pass, l.Value); valObj != nil && valObj == idxObj {
+			if src := identObj(pass, l.X); src != nil {
+				return sortedBefore(pass, events, src, loop.Pos())
+			}
+		}
+	case *ast.ForStmt:
+		return countsUp(pass, l, idxObj)
+	}
+	return false
+}
+
+// countsUp matches `for i := <int>; i < n; i++` (or i <= n) with i being
+// obj.
+func countsUp(pass *lint.Pass, l *ast.ForStmt, obj types.Object) bool {
+	init, ok := l.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 {
+		return false
+	}
+	id, ok := init.Lhs[0].(*ast.Ident)
+	if !ok || pass.Info.Defs[id] != obj {
+		return false
+	}
+	post, ok := l.Post.(*ast.IncDecStmt)
+	if !ok || post.Tok != token.INC {
+		return false
+	}
+	pid, ok := ast.Unparen(post.X).(*ast.Ident)
+	return ok && pass.Info.Uses[pid] == obj
+}
+
+// sortedBefore reports whether slice obj was sorted ascending by a call
+// earlier in the function than pos: slices.Sort(x), sort.Ints(x), or
+// sort.Slice(x, func(a, b) bool { return x[a] < x[b] }).
+func sortedBefore(pass *lint.Pass, events []lint.Event, slice types.Object, pos token.Pos) bool {
+	for _, ev := range events {
+		if ev.Kind != lint.EvCall || ev.Pos >= pos || ev.Deferred {
+			continue
+		}
+		fn, ok := ev.Callee.(*types.Func)
+		if !ok || len(ev.Call.Args) == 0 {
+			continue
+		}
+		if identObj(pass, ev.Call.Args[0]) != slice {
+			continue
+		}
+		switch fn.FullName() {
+		case "slices.Sort", "sort.Ints":
+			return true
+		case "sort.Slice":
+			if len(ev.Call.Args) == 2 && ascendingComparator(pass, ev.Call.Args[1], slice) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ascendingComparator matches func(a, b int) bool { return x[a] < x[b] }.
+func ascendingComparator(pass *lint.Pass, e ast.Expr, slice types.Object) bool {
+	fl, ok := ast.Unparen(e).(*ast.FuncLit)
+	if !ok || len(fl.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fl.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	cmp, ok := ast.Unparen(ret.Results[0]).(*ast.BinaryExpr)
+	if !ok || cmp.Op != token.LSS {
+		return false
+	}
+	params := fl.Type.Params.List
+	var names []*ast.Ident
+	for _, p := range params {
+		names = append(names, p.Names...)
+	}
+	if len(names) != 2 {
+		return false
+	}
+	a := pass.Info.Defs[names[0]]
+	b := pass.Info.Defs[names[1]]
+	return indexedBy(pass, cmp.X, slice, a) && indexedBy(pass, cmp.Y, slice, b)
+}
+
+// indexedBy matches the expression slice[param].
+func indexedBy(pass *lint.Pass, e ast.Expr, slice, param types.Object) bool {
+	ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	return identObj(pass, ix.X) == slice && identObj(pass, ix.Index) == param
+}
+
+// identObj resolves an identifier expression to its object.
+func identObj(pass *lint.Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.Info.Uses[id]
+}
+
+// declObj resolves a range-clause key/value to the variable it defines or
+// assigns.
+func declObj(pass *lint.Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}

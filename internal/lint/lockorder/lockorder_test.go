@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"ocasta/internal/lint/linttest"
+	"ocasta/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", lockorder.Analyzer)
+}

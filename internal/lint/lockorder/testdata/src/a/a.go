@@ -1,0 +1,156 @@
+// Package a exercises the lockorder analyzer: striped locks held
+// together must be acquired in ascending index order.
+package a
+
+import (
+	"sort"
+	"sync"
+)
+
+type shard struct {
+	mu   sync.Mutex
+	vals map[string]string
+}
+
+type store struct {
+	shards []shard
+}
+
+// Inverted sequential acquisition: j's ordering against i is unprovable.
+func (s *store) inverted(i, j int) {
+	s.shards[j].mu.Lock()
+	s.shards[i].mu.Lock() // want "locked while .* is held without a proven ascending index order"
+	s.shards[i].mu.Unlock()
+	s.shards[j].mu.Unlock()
+}
+
+// Integer literals prove the ordering.
+func (s *store) literalsAscending() {
+	s.shards[0].mu.Lock()
+	s.shards[2].mu.Lock()
+	s.shards[2].mu.Unlock()
+	s.shards[0].mu.Unlock()
+}
+
+func (s *store) literalsDescending() {
+	s.shards[2].mu.Lock()
+	s.shards[0].mu.Lock() // want "locked while .* is held without a proven ascending index order"
+	s.shards[0].mu.Unlock()
+	s.shards[2].mu.Unlock()
+}
+
+// Accumulating over an index range is the canonical lock-all shape.
+func (s *store) lockAllAscending() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// Accumulating in descending order is a deadlock against lockAllAscending.
+func (s *store) lockAllDescending() {
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Lock() // want "accumulated across loop iterations without a proven ascending index order"
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// A subset is fine once the index slice is proven sorted.
+func (s *store) sortedSubset(idxs []int) {
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	for _, i := range idxs {
+		s.shards[i].mu.Lock()
+	}
+	for _, i := range idxs {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+func (s *store) unsortedSubset(idxs []int) {
+	for _, i := range idxs {
+		s.shards[i].mu.Lock() // want "accumulated across loop iterations without a proven ascending index order"
+	}
+	for _, i := range idxs {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// Per-iteration lock/unlock pairs never overlap, so even an unordered
+// iteration (a map) needs no proof.
+func (s *store) perIterationMapOrder(m map[int]bool) {
+	for i := range m {
+		s.shards[i].mu.Lock()
+		s.shards[i].vals["k"] = "v"
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// Element aliases participate: sh is a stripe of s.shards.
+func (s *store) aliasedPair(i, j int) {
+	sh := &s.shards[j]
+	sh.mu.Lock()
+	s.shards[i].mu.Lock() // want "locked while .* is held without a proven ascending index order"
+	s.shards[i].mu.Unlock()
+	sh.mu.Unlock()
+}
+
+// lockAll acquires every stripe; the returned func releases them.
+//
+//ocasta:lockfn
+func (s *store) lockAll() (unlock func()) {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	return func() {
+		for i := range s.shards {
+			s.shards[i].mu.Unlock()
+		}
+	}
+}
+
+// Taking a stripe while a lockfn's sorted set is held is unprovable.
+func (s *store) fnThenStripe() {
+	unlock := s.lockAll()
+	s.shards[0].mu.Lock() // want "taken while locks from an //ocasta:lockfn call are held"
+	s.shards[0].mu.Unlock()
+	unlock()
+}
+
+// And so is calling a lockfn while already holding a stripe.
+func (s *store) stripeThenFn() {
+	s.shards[0].mu.Lock()
+	unlock := s.lockAll() // want "while stripe lock .* is held"
+	unlock()
+	s.shards[0].mu.Unlock()
+}
+
+// The canonical lockfn usage: acquire, defer, release early.
+func (s *store) fnProperly() {
+	unlock := s.lockAll()
+	defer unlock()
+	s.shards[0].vals["k"] = "v"
+	unlock()
+}
+
+// A justified suppression is honored.
+func (s *store) allowedInversion(i, j int) {
+	s.shards[j].mu.Lock()
+	//ocasta:allow lockorder caller contract guarantees i and j never overlap
+	s.shards[i].mu.Lock()
+	s.shards[i].mu.Unlock()
+	s.shards[j].mu.Unlock()
+}
+
+// A suppression without a justification is rejected and suppresses
+// nothing.
+func (s *store) rejectedSuppression(i, j int) {
+	s.shards[j].mu.Lock()
+	//ocasta:allow lockorder // want "requires a justification string"
+	s.shards[i].mu.Lock() // want "locked while .* is held without a proven ascending index order"
+	s.shards[i].mu.Unlock()
+	s.shards[j].mu.Unlock()
+}

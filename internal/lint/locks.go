@@ -1,0 +1,463 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// This file is the shared lock-state machinery behind the lockorder and
+// nocallunderlock analyzers: it flattens a function body into a source-
+// ordered event stream (lock/unlock operations, lock-function calls,
+// assignments, ordinary calls) and provides the Held tracker that replays
+// the stream into "which mutexes are held here" state.
+//
+// The model is deliberately flow-insensitive within a function: events are
+// replayed in source order, so a lock in an early branch is considered
+// held by later statements until a matching unlock appears. That
+// over-approximation is the right default for the store's conventions
+// (every lock in this codebase is released in the same function, in
+// source order, or via defer) and keeps the analyzers predictable; the
+// //ocasta:allow escape hatch covers the rare intentional exception.
+
+// EventKind discriminates Event.
+type EventKind int
+
+// Event kinds.
+const (
+	// EvLock is a call to Lock/RLock/TryLock on a sync.Mutex or
+	// sync.RWMutex.
+	EvLock EventKind = iota
+	// EvUnlock is a call to Unlock/RUnlock.
+	EvUnlock
+	// EvAssign is a single-variable assignment or definition.
+	EvAssign
+	// EvCall is any other function or method call.
+	EvCall
+)
+
+// ShardRef identifies a lock whose receiver chains through an index
+// expression (s.shards[i].mu): the signature of one stripe of a lock-
+// striped array, the locks the ascending-order convention governs.
+type ShardRef struct {
+	// Base is the canonical text of the indexed expression ("s.shards").
+	Base string
+	// Index is the index expression.
+	Index ast.Expr
+}
+
+// Event is one step of a function body's lock-relevant behavior.
+type Event struct {
+	Kind EventKind
+	Pos  token.Pos
+	// Deferred marks events inside a defer statement: they run at return,
+	// not at their source position, so the Held replay skips them.
+	Deferred bool
+	// Loop is the innermost enclosing for/range statement, nil at top
+	// level.
+	Loop ast.Stmt
+
+	// EvLock / EvUnlock:
+	Mutex string    // canonical receiver text ("sh.mu")
+	Read  bool      // RLock/RUnlock
+	Shard *ShardRef // non-nil for striped locks
+
+	// EvAssign:
+	LHS types.Object // defined/assigned variable (nil for blanks)
+	RHS ast.Expr
+
+	// EvCall:
+	Call   *ast.CallExpr
+	Callee types.Object // resolved called object, nil for computed calls
+}
+
+// ExprText renders an expression in canonical source form, the key used
+// to match a lock's acquisition to its release.
+func ExprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, fset, e) // writes to a bytes.Buffer cannot fail
+	return buf.String()
+}
+
+// tracer walks one function body collecting events.
+type tracer struct {
+	pass    *Pass
+	events  []Event
+	aliases map[types.Object]*ShardRef // x := &base[i] element aliases
+}
+
+// TraceFunc flattens body into its source-ordered event stream. Nested
+// function literals are not descended into — each is its own region,
+// enumerated by FuncBodies.
+func TraceFunc(pass *Pass, body *ast.BlockStmt) []Event {
+	tr := &tracer{pass: pass, aliases: make(map[types.Object]*ShardRef)}
+	tr.stmt(body, nil, false)
+	return tr.events
+}
+
+// FuncBodies returns every function body in f — declarations and function
+// literals — each to be traced and replayed as an independent lock region.
+func FuncBodies(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, n.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+func (tr *tracer) stmt(s ast.Stmt, loop ast.Stmt, deferred bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			tr.stmt(st, loop, deferred)
+		}
+	case *ast.ExprStmt:
+		tr.expr(s.X, loop, deferred)
+	case *ast.AssignStmt:
+		tr.assign(s, loop, deferred)
+	case *ast.DeferStmt:
+		tr.expr(s.Call, loop, true)
+	case *ast.GoStmt:
+		// A spawned goroutine does not inherit the spawner's lock state;
+		// its body is traced when its FuncLit is reached below.
+		tr.expr(s.Call, loop, true)
+	case *ast.IfStmt:
+		tr.stmt(s.Init, loop, deferred)
+		tr.expr(s.Cond, loop, deferred)
+		tr.stmt(s.Body, loop, deferred)
+		tr.stmt(s.Else, loop, deferred)
+	case *ast.ForStmt:
+		tr.stmt(s.Init, loop, deferred)
+		if s.Cond != nil {
+			tr.expr(s.Cond, s, deferred)
+		}
+		tr.stmt(s.Body, s, deferred)
+		tr.stmt(s.Post, s, deferred)
+	case *ast.RangeStmt:
+		tr.expr(s.X, loop, deferred)
+		tr.stmt(s.Body, s, deferred)
+	case *ast.SwitchStmt:
+		tr.stmt(s.Init, loop, deferred)
+		if s.Tag != nil {
+			tr.expr(s.Tag, loop, deferred)
+		}
+		tr.stmt(s.Body, loop, deferred)
+	case *ast.TypeSwitchStmt:
+		tr.stmt(s.Init, loop, deferred)
+		tr.stmt(s.Assign, loop, deferred)
+		tr.stmt(s.Body, loop, deferred)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			tr.expr(e, loop, deferred)
+		}
+		for _, st := range s.Body {
+			tr.stmt(st, loop, deferred)
+		}
+	case *ast.SelectStmt:
+		tr.stmt(s.Body, loop, deferred)
+	case *ast.CommClause:
+		tr.stmt(s.Comm, loop, deferred)
+		for _, st := range s.Body {
+			tr.stmt(st, loop, deferred)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			tr.expr(e, loop, deferred)
+		}
+	case *ast.SendStmt:
+		tr.expr(s.Chan, loop, deferred)
+		tr.expr(s.Value, loop, deferred)
+	case *ast.IncDecStmt:
+		tr.expr(s.X, loop, deferred)
+	case *ast.LabeledStmt:
+		tr.stmt(s.Stmt, loop, deferred)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						tr.expr(v, loop, deferred)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (tr *tracer) assign(s *ast.AssignStmt, loop ast.Stmt, deferred bool) {
+	for _, rhs := range s.Rhs {
+		tr.expr(rhs, loop, deferred)
+	}
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	var obj types.Object
+	if s.Tok == token.DEFINE {
+		obj = tr.pass.Info.Defs[id]
+	} else {
+		obj = tr.pass.Info.Uses[id]
+	}
+	// Element-alias tracking: sh := &s.shards[i] makes sh.mu a striped
+	// lock on s.shards with index i.
+	rhs := s.Rhs[0]
+	if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		rhs = u.X
+	}
+	if ix, ok := rhs.(*ast.IndexExpr); ok && obj != nil {
+		tr.aliases[obj] = &ShardRef{Base: ExprText(tr.pass.Fset, ix.X), Index: ix.Index}
+	}
+	tr.events = append(tr.events, Event{
+		Kind: EvAssign, Pos: s.Pos(), Deferred: deferred, Loop: loop,
+		LHS: obj, RHS: s.Rhs[0],
+	})
+}
+
+func (tr *tracer) expr(e ast.Expr, loop ast.Stmt, deferred bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		for _, arg := range e.Args {
+			tr.expr(arg, loop, deferred)
+		}
+		tr.call(e, loop, deferred)
+	case *ast.FuncLit:
+		// The literal's body runs when it is invoked, not here, with its
+		// own lock discipline; FuncBodies yields it as a separate region.
+	case *ast.BinaryExpr:
+		tr.expr(e.X, loop, deferred)
+		tr.expr(e.Y, loop, deferred)
+	case *ast.UnaryExpr:
+		tr.expr(e.X, loop, deferred)
+	case *ast.ParenExpr:
+		tr.expr(e.X, loop, deferred)
+	case *ast.SelectorExpr:
+		tr.expr(e.X, loop, deferred)
+	case *ast.IndexExpr:
+		tr.expr(e.X, loop, deferred)
+		tr.expr(e.Index, loop, deferred)
+	case *ast.SliceExpr:
+		tr.expr(e.X, loop, deferred)
+	case *ast.StarExpr:
+		tr.expr(e.X, loop, deferred)
+	case *ast.TypeAssertExpr:
+		tr.expr(e.X, loop, deferred)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			tr.expr(el, loop, deferred)
+		}
+	case *ast.KeyValueExpr:
+		tr.expr(e.Value, loop, deferred)
+	}
+}
+
+// mutexMethods classifies the sync.Mutex/RWMutex method set.
+var mutexMethods = map[string]struct {
+	kind EventKind
+	read bool
+}{
+	"Lock":     {EvLock, false},
+	"TryLock":  {EvLock, false},
+	"RLock":    {EvLock, true},
+	"TryRLock": {EvLock, true},
+	"Unlock":   {EvUnlock, false},
+	"RUnlock":  {EvUnlock, true},
+}
+
+func (tr *tracer) call(c *ast.CallExpr, loop ast.Stmt, deferred bool) {
+	ev := Event{Kind: EvCall, Pos: c.Pos(), Deferred: deferred, Loop: loop, Call: c}
+	switch fun := ast.Unparen(c.Fun).(type) {
+	case *ast.SelectorExpr:
+		ev.Callee = tr.pass.Info.Uses[fun.Sel]
+		if m, ok := mutexMethods[fun.Sel.Name]; ok && tr.isMutex(fun.X) {
+			ev.Kind = m.kind
+			ev.Read = m.read
+			ev.Mutex = ExprText(tr.pass.Fset, fun.X)
+			ev.Shard = tr.shardRef(fun.X)
+		}
+	case *ast.Ident:
+		ev.Callee = tr.pass.Info.Uses[fun]
+	}
+	tr.events = append(tr.events, ev)
+}
+
+// isMutex reports whether e's type is sync.Mutex or sync.RWMutex
+// (possibly behind a pointer).
+func (tr *tracer) isMutex(e ast.Expr) bool {
+	tv, ok := tr.pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	switch TypeKey(tv.Type) {
+	case "sync.Mutex", "sync.RWMutex":
+		return true
+	}
+	return false
+}
+
+// shardRef extracts the striped-lock signature of a mutex receiver: an
+// index expression somewhere in its selector chain (s.shards[i].mu), or a
+// tracked element alias (sh := &s.shards[i]; sh.mu).
+func (tr *tracer) shardRef(e ast.Expr) *ShardRef {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			return &ShardRef{Base: ExprText(tr.pass.Fset, x.X), Index: x.Index}
+		case *ast.Ident:
+			if obj := tr.pass.Info.Uses[x]; obj != nil {
+				if ref, ok := tr.aliases[obj]; ok {
+					return ref
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// heldLock is one currently held mutex during a replay.
+type heldLock struct {
+	Mutex string
+	Read  bool
+	Shard *ShardRef
+	Pos   token.Pos
+}
+
+// Held replays lock state over an event stream in source order. LockFn
+// calls (functions annotated //ocasta:lockfn) are modeled through
+// AcquireFn/ReleaseFn: the binding variable of the returned unlock
+// function identifies the hold.
+type Held struct {
+	locks  []heldLock
+	fnVars map[types.Object]token.Pos // lockfn unlock-var -> acquire pos
+	// anonFn counts lockfn acquisitions whose unlock func was discarded;
+	// they can never be released in source order.
+	anonFn int
+}
+
+// NewHeld returns an empty lock-state tracker.
+func NewHeld() *Held {
+	return &Held{fnVars: make(map[types.Object]token.Pos)}
+}
+
+// Lock records an acquisition.
+func (h *Held) Lock(ev Event) {
+	h.locks = append(h.locks, heldLock{Mutex: ev.Mutex, Read: ev.Read, Shard: ev.Shard, Pos: ev.Pos})
+}
+
+// Unlock releases the most recent acquisition with the same receiver text.
+func (h *Held) Unlock(ev Event) {
+	for i := len(h.locks) - 1; i >= 0; i-- {
+		if h.locks[i].Mutex == ev.Mutex {
+			h.locks = append(h.locks[:i], h.locks[i+1:]...)
+			return
+		}
+	}
+}
+
+// AcquireFn records a lockfn acquisition bound to unlockVar (nil when the
+// unlock func was discarded).
+func (h *Held) AcquireFn(unlockVar types.Object, pos token.Pos) {
+	if unlockVar == nil {
+		h.anonFn++
+		return
+	}
+	h.fnVars[unlockVar] = pos
+}
+
+// ReleaseFn releases a lockfn hold by its unlock variable; it reports
+// whether v was a tracked unlock variable.
+func (h *Held) ReleaseFn(v types.Object) bool {
+	if _, ok := h.fnVars[v]; ok {
+		delete(h.fnVars, v)
+		return true
+	}
+	return false
+}
+
+// Any reports whether any lock is currently held.
+func (h *Held) Any() bool {
+	return len(h.locks) > 0 || len(h.fnVars) > 0 || h.anonFn > 0
+}
+
+// Shards returns the currently held striped locks.
+func (h *Held) Shards() []heldLock {
+	var out []heldLock
+	for _, l := range h.locks {
+		if l.Shard != nil {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// HoldingFn reports whether any lockfn acquisition is outstanding.
+func (h *Held) HoldingFn() bool {
+	return len(h.fnVars) > 0 || h.anonFn > 0
+}
+
+// ReplayLocks steps through a function's event stream maintaining lock
+// state. visit is called for every event with the state as of just before
+// the event takes effect; deferred events never change state. A call to a
+// function annotated //ocasta:lockfn records a hold keyed by the variable
+// its returned unlock func is bound to; calling that variable releases it.
+func ReplayLocks(pass *Pass, events []Event, visit func(ev Event, held *Held)) {
+	held := NewHeld()
+	for i, ev := range events {
+		visit(ev, held)
+		if ev.Deferred {
+			continue
+		}
+		switch ev.Kind {
+		case EvLock:
+			held.Lock(ev)
+		case EvUnlock:
+			held.Unlock(ev)
+		case EvCall:
+			if IsLockFn(pass, ev.Callee) {
+				var bind types.Object
+				if i+1 < len(events) && events[i+1].Kind == EvAssign &&
+					ast.Unparen(events[i+1].RHS) == ast.Expr(ev.Call) {
+					bind = events[i+1].LHS
+				}
+				held.AcquireFn(bind, ev.Pos)
+			} else if ev.Callee != nil {
+				held.ReleaseFn(ev.Callee)
+			}
+		}
+	}
+}
+
+// IsLockFn reports whether obj is a function annotated //ocasta:lockfn.
+func IsLockFn(pass *Pass, obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	return ok && pass.Ann.LockFns[fn.FullName()]
+}
+
+// Describe names what is held, for diagnostics.
+func (h *Held) Describe() string {
+	if len(h.locks) > 0 {
+		return h.locks[len(h.locks)-1].Mutex
+	}
+	if len(h.fnVars) > 0 || h.anonFn > 0 {
+		return "locks acquired via an //ocasta:lockfn call"
+	}
+	return "no locks"
+}

@@ -1,0 +1,207 @@
+// Package nocallunderlock enforces the observers-outside-locks contract:
+// a function, interface method, or func-typed struct field annotated
+// //ocasta:nolock must never be invoked while a tracked mutex (any
+// sync.Mutex/RWMutex, or locks acquired through an //ocasta:lockfn call)
+// is held. The rule is an annotation-driven taint pass: a package
+// function that calls a nolock target directly is itself poisonous to
+// call under a lock, transitively to a fixed point.
+//
+// The lock model is source-ordered (see internal/lint/locks.go): a
+// nolock call placed after the unlock that protects it — the
+// Store.apply / GroupCommit.flushCycle shape — passes; a call lexically
+// between Lock and Unlock is flagged. Deferred calls and calls routed
+// through goroutine-spawned function literals are each analyzed in their
+// own region.
+package nocallunderlock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ocasta/internal/lint"
+)
+
+// Analyzer is the nocallunderlock rule.
+var Analyzer = &lint.Analyzer{
+	Name: "nocallunderlock",
+	Doc: "functions annotated //ocasta:nolock (observer notifications, " +
+		"commit callbacks, wire writes) must not be called, directly or " +
+		"through package-local callees, while any mutex is held",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	taint := buildTaint(pass)
+	for _, f := range pass.Files {
+		for _, body := range lint.FuncBodies(f) {
+			checkBody(pass, body, taint)
+		}
+	}
+	return nil
+}
+
+// buildTaint computes, for every function declared in this package, the
+// name of the //ocasta:nolock target it (transitively) calls, or "" if it
+// calls none. Function literals are excluded: a literal runs under the
+// lock state of its call site, which checkBody analyzes separately.
+func buildTaint(pass *lint.Pass) map[*types.Func]string {
+	type decl struct {
+		obj  *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []decl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls = append(decls, decl{obj, fd.Body})
+			}
+		}
+	}
+	taint := make(map[*types.Func]string)
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if taint[d.obj] != "" {
+				continue
+			}
+			if name := bodyReaches(pass, d.body, taint); name != "" {
+				taint[d.obj] = name
+				changed = true
+			}
+		}
+	}
+	return taint
+}
+
+// bodyReaches returns the name of a nolock target reachable from body via
+// direct calls, given the taint known so far.
+func bodyReaches(pass *lint.Pass, body *ast.BlockStmt, taint map[*types.Func]string) string {
+	var found string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, _ := nolockTarget(pass, ast.Unparen(call.Fun)); name != "" {
+			found = name
+			return false
+		}
+		if fn, ok := calleeFunc(pass, call); ok && taint[fn] != "" {
+			found = taint[fn]
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkBody replays one function body's lock state and reports nolock
+// targets invoked while anything is held.
+func checkBody(pass *lint.Pass, body *ast.BlockStmt, taint map[*types.Func]string) {
+	events := lint.TraceFunc(pass, body)
+	// varTaint tracks locals bound to nolock function values
+	// (cb := gc.onCommit) so calling the copy is caught too.
+	varTaint := make(map[types.Object]string)
+	lint.ReplayLocks(pass, events, func(ev lint.Event, held *lint.Held) {
+		switch ev.Kind {
+		case lint.EvAssign:
+			if ev.LHS == nil || ev.RHS == nil {
+				return
+			}
+			if name := valueTaint(pass, ast.Unparen(ev.RHS), taint, varTaint); name != "" {
+				varTaint[ev.LHS] = name
+			}
+		case lint.EvCall:
+			if ev.Deferred || !held.Any() {
+				return
+			}
+			fun := ast.Unparen(ev.Call.Fun)
+			if name, kind := nolockTarget(pass, fun); name != "" {
+				pass.Reportf(ev.Pos, "%s %s is annotated //ocasta:nolock but is called with %s held", kind, name, held.Describe())
+				return
+			}
+			if fn, ok := ev.Callee.(*types.Func); ok && taint[fn] != "" {
+				pass.Reportf(ev.Pos, "%s calls //ocasta:nolock %s and is invoked with %s held", fn.Name(), taint[fn], held.Describe())
+				return
+			}
+			if v, ok := ev.Callee.(*types.Var); ok && varTaint[v] != "" {
+				pass.Reportf(ev.Pos, "%s is bound to //ocasta:nolock %s and is called with %s held", v.Name(), varTaint[v], held.Describe())
+			}
+		}
+	})
+}
+
+// nolockTarget resolves a call/value expression to an annotated nolock
+// target, returning its display name and kind ("function" or "field").
+func nolockTarget(pass *lint.Pass, fun ast.Expr) (name, kind string) {
+	switch fun := fun.(type) {
+	case *ast.SelectorExpr:
+		switch obj := pass.Info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			if pass.Ann.NoLock[obj.FullName()] {
+				return obj.Name(), "function"
+			}
+		case *types.Var:
+			if sel, ok := pass.Info.Selections[fun]; ok && obj.IsField() {
+				if pass.Ann.NoLock[lint.FieldKey(obj, sel.Recv())] {
+					return obj.Name(), "field"
+				}
+			}
+		}
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok && pass.Ann.NoLock[fn.FullName()] {
+			return fn.Name(), "function"
+		}
+	}
+	return "", ""
+}
+
+// valueTaint resolves a right-hand side to the nolock target it denotes:
+// a method/func value, an annotated field value, or a previously tainted
+// local.
+func valueTaint(pass *lint.Pass, rhs ast.Expr, taint map[*types.Func]string, varTaint map[types.Object]string) string {
+	if name, _ := nolockTarget(pass, rhs); name != "" {
+		return name
+	}
+	switch rhs := rhs.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[rhs.Sel].(*types.Func); ok && taint[fn] != "" {
+			return taint[fn]
+		}
+	case *ast.Ident:
+		switch obj := pass.Info.Uses[rhs].(type) {
+		case *types.Func:
+			if taint[obj] != "" {
+				return taint[obj]
+			}
+		case *types.Var:
+			if varTaint[obj] != "" {
+				return varTaint[obj]
+			}
+		}
+	}
+	return ""
+}
+
+// calleeFunc resolves a call to the *types.Func it invokes, if static.
+func calleeFunc(pass *lint.Pass, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		fn, ok := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn, ok
+	case *ast.Ident:
+		fn, ok := pass.Info.Uses[fun].(*types.Func)
+		return fn, ok
+	}
+	return nil, false
+}

@@ -1,0 +1,12 @@
+package nocallunderlock_test
+
+import (
+	"testing"
+
+	"ocasta/internal/lint/linttest"
+	"ocasta/internal/lint/nocallunderlock"
+)
+
+func TestNoCallUnderLock(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", nocallunderlock.Analyzer)
+}

@@ -1,0 +1,94 @@
+// Package a exercises the nocallunderlock analyzer: //ocasta:nolock
+// targets must not run while any mutex is held.
+package a
+
+import "sync"
+
+type observer interface {
+	//ocasta:nolock
+	Notify(key string)
+}
+
+type store struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	obs observer
+	// Commit callbacks fire on the flusher goroutine outside the lock.
+	//ocasta:nolock
+	onCommit func(gen uint64)
+}
+
+// Direct call under the mutex.
+func (s *store) underLock(k string) {
+	s.mu.Lock()
+	s.obs.Notify(k) // want "function Notify is annotated //ocasta:nolock but is called with s.mu held"
+	s.mu.Unlock()
+}
+
+// Read locks count too.
+func (s *store) underRLock(k string) {
+	s.rw.RLock()
+	s.obs.Notify(k) // want "function Notify is annotated //ocasta:nolock but is called with s.rw held"
+	s.rw.RUnlock()
+}
+
+// The store's contract shape: notify after releasing.
+func (s *store) afterUnlock(k string) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.obs.Notify(k)
+}
+
+// notify is poisoned: calling it reaches the nolock observer.
+func (s *store) notify(k string) {
+	s.obs.Notify(k)
+}
+
+func (s *store) transitive(k string) {
+	s.mu.Lock()
+	s.notify(k) // want "notify calls //ocasta:nolock Notify and is invoked with s.mu held"
+	s.mu.Unlock()
+}
+
+// Annotated func-typed fields are targets as well.
+func (s *store) fieldUnderLock(gen uint64) {
+	s.mu.Lock()
+	s.onCommit(gen) // want "field onCommit is annotated //ocasta:nolock but is called with s.mu held"
+	s.mu.Unlock()
+}
+
+// Copying the field does not launder the annotation.
+func (s *store) aliasUnderLock(gen uint64) {
+	cb := s.onCommit
+	s.mu.Lock()
+	cb(gen) // want "cb is bound to //ocasta:nolock onCommit and is called with s.mu held"
+	s.mu.Unlock()
+}
+
+// The flushCycle shape: snapshot the callback under the lock, invoke it
+// after releasing.
+func (s *store) snapshotThenCall(gen uint64) {
+	s.mu.Lock()
+	cb := s.onCommit
+	s.mu.Unlock()
+	if cb != nil {
+		cb(gen)
+	}
+}
+
+// A justified suppression is honored.
+func (s *store) allowed(k string) {
+	s.mu.Lock()
+	//ocasta:allow nocallunderlock observer is a no-op recorder in this configuration
+	s.obs.Notify(k)
+	s.mu.Unlock()
+}
+
+// A suppression without a justification is rejected and suppresses
+// nothing.
+func (s *store) rejected(k string) {
+	s.mu.Lock()
+	//ocasta:allow nocallunderlock // want "requires a justification string"
+	s.obs.Notify(k) // want "function Notify is annotated //ocasta:nolock but is called with s.mu held"
+	s.mu.Unlock()
+}

@@ -1,0 +1,12 @@
+package stickyerr_test
+
+import (
+	"testing"
+
+	"ocasta/internal/lint/linttest"
+	"ocasta/internal/lint/stickyerr"
+)
+
+func TestStickyErr(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", stickyerr.Analyzer)
+}

@@ -1,0 +1,89 @@
+// Package a exercises the stickyerr analyzer: durability-bearing error
+// results must be checked or explicitly, explainedly discarded.
+package a
+
+import (
+	"bufio"
+	"os"
+)
+
+// wal is durability-bearing by annotation.
+//
+//ocasta:durable
+type wal struct{}
+
+func (w *wal) Append(b []byte) error { return nil }
+func (w *wal) Close() error          { return nil }
+func (w *wal) name() string          { return "wal" }
+
+// plain is an ordinary type; errcheck-style strictness does not apply.
+type plain struct{}
+
+func (p *plain) Close() error { return nil }
+
+// Discarding the result of a durable method is flagged.
+func discarded(w *wal) {
+	w.Append(nil) // want "result of .* carries a durability verdict"
+}
+
+// Checking it is the happy path.
+func checked(w *wal) error {
+	if err := w.Append(nil); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// A deferred close silently drops a flush-at-close failure.
+func deferred(w *wal) {
+	defer w.Close() // want "deferred .* discards its durability error"
+}
+
+// So does handing it to a goroutine.
+func goDropped(w *wal) {
+	go w.Close() // want "discards its durability error"
+}
+
+// A blank discard needs a comment explaining itself.
+func blankNoComment(w *wal) {
+	_ = w.Close() // want "needs a comment saying why the durability error does not matter"
+}
+
+// With an explanation it is accepted.
+func blankWithComment(w *wal) error {
+	err := w.Append(nil)
+	_ = w.Close() // the append error is the verdict; close is cleanup
+	return err
+}
+
+// Non-error methods on durable types are not durability results.
+func named(w *wal) string {
+	return w.name()
+}
+
+// Non-durable types are out of scope.
+func plainOK(p *plain) {
+	p.Close()
+}
+
+// The built-in seeds cover types whose sources are never loaded.
+func seededFile(f *os.File) {
+	f.Close() // want "result of .os.File..Close carries a durability verdict"
+}
+
+func seededWriter(bw *bufio.Writer) {
+	bw.Flush() // want "result of .bufio.Writer..Flush carries a durability verdict"
+}
+
+// A justified suppression is honored.
+func allowedDefer(f *os.File) {
+	//ocasta:allow stickyerr file opened read-only by the caller; nothing buffered
+	defer f.Close()
+}
+
+// A suppression without a justification is rejected and suppresses
+// nothing.
+func rejectedDefer(f *os.File) {
+	//ocasta:allow stickyerr // want "requires a justification string"
+	defer f.Close() // want "deferred .* discards its durability error"
+}

@@ -84,6 +84,8 @@ func aofHeader() []byte {
 // An AOF attached directly to a Store (AttachAOF) writes synchronously
 // under the writer's shard lock; wrap it in a GroupCommit to batch disk
 // I/O off the hot path.
+//
+//ocasta:durable
 type AOF struct {
 	mu  sync.Mutex
 	f   *os.File
@@ -104,7 +106,7 @@ func CreateAOF(path string) (*AOF, error) {
 	}
 	a := &AOF{f: f, w: bufio.NewWriter(f)}
 	if _, err := a.w.Write(aofHeader()); err != nil {
-		f.Close()
+		_ = f.Close() // returning the write error; close is cleanup
 		return nil, err
 	}
 	return a, nil
@@ -145,13 +147,13 @@ func openAOFInto(path string, s *Store) (*AOF, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close() // returning the stat error; close is cleanup
 		return nil, fmt.Errorf("ttkv: stat AOF: %w", err)
 	}
 	a := &AOF{f: f, w: bufio.NewWriter(f)}
 	if st.Size() == 0 {
 		if _, err := a.w.Write(aofHeader()); err != nil {
-			f.Close()
+			_ = f.Close() // returning the write error; close is cleanup
 			return nil, err
 		}
 		return a, nil
@@ -160,17 +162,17 @@ func openAOFInto(path string, s *Store) (*AOF, error) {
 	// when given, and find the end of the last complete record.
 	valid, err := readAOF(f, s)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // returning the replay error; close is cleanup
 		return nil, err
 	}
 	if valid < st.Size() {
 		if err := f.Truncate(valid); err != nil {
-			f.Close()
+			_ = f.Close() // returning the truncate error; close is cleanup
 			return nil, fmt.Errorf("ttkv: truncating damaged AOF tail: %w", err)
 		}
 	}
 	if _, err := f.Seek(valid, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close() // returning the seek error; close is cleanup
 		return nil, fmt.Errorf("ttkv: seeking AOF end: %w", err)
 	}
 	return a, nil
@@ -219,7 +221,7 @@ func (a *AOF) Close() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if err := a.w.Flush(); err != nil {
-		a.f.Close()
+		_ = a.f.Close() // the flush error is the durability verdict; close is cleanup
 		return err
 	}
 	return a.f.Close()
@@ -275,6 +277,7 @@ func LoadAOFInto(path string, s *Store) error {
 	if err != nil {
 		return fmt.Errorf("ttkv: opening AOF: %w", err)
 	}
+	//ocasta:allow stickyerr file opened read-only; no buffered writes to lose
 	defer f.Close()
 	return ReadAOFInto(f, s)
 }
@@ -490,12 +493,12 @@ func (s *Store) CompactTo(path string, maxVersionsPerKey int) error {
 		return fmt.Errorf("ttkv: creating compaction temp: %w", err)
 	}
 	if err := s.writeSnapshot(f, maxVersionsPerKey); err != nil {
-		f.Close()
+		_ = f.Close() // returning the snapshot-write error; close is cleanup
 		os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // returning the sync error; close is cleanup
 		os.Remove(tmp)
 		return err
 	}
@@ -515,8 +518,8 @@ func (s *Store) CompactTo(path string, maxVersionsPerKey int) error {
 	}
 	// Best-effort directory sync so the rename itself is durable.
 	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		dir.Sync()
-		dir.Close()
+		_ = dir.Sync()  // best-effort: the data file itself was already synced
+		_ = dir.Close() // read-only directory handle; nothing buffered
 	}
 	return nil
 }

@@ -102,6 +102,8 @@ func (c GroupCommitConfig) withDefaults() GroupCommitConfig {
 // Because writers enqueue while still holding their shard lock, the AOF
 // preserves per-key mutation order exactly; replay therefore rebuilds
 // identical per-key histories.
+//
+//ocasta:durable
 type GroupCommit struct {
 	aof *AOF
 	cfg GroupCommitConfig
@@ -127,6 +129,7 @@ type GroupCommit struct {
 	// shipped to replicas only once this callback has covered it. Called
 	// from the flusher goroutine only, outside gc.mu, in strictly
 	// non-decreasing gen order. Set before any append (setOnCommit).
+	//ocasta:nolock
 	onCommit func(gen uint64)
 	notified uint64 // highest gen passed to onCommit; flusher-only
 

@@ -154,6 +154,8 @@ type replEntry struct {
 // Outboxes are bounded: a subscriber that falls behind its byte budget is
 // dropped (ErrReplSubLagging) and the replica reconnects, resuming from
 // its last applied sequence — backpressure never propagates to writers.
+//
+//ocasta:durable
 type ReplLog struct {
 	gc *GroupCommit // nil: records commit the instant they append
 

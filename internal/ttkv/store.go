@@ -104,6 +104,7 @@ type sinkBox struct{ sink aofSink }
 // analytics engine's reorder horizon absorbs this; grouping follows the
 // mutation timestamps, not observation order).
 type StatsObserver interface {
+	//ocasta:nolock
 	ObserveWrite(key string, t time.Time, deleted bool)
 }
 
@@ -176,6 +177,8 @@ func (s *Store) shardFor(key string) *shard {
 // deadlock against each other. The returned unlock is idempotent, so it
 // can both be deferred and called early (observers run outside the
 // locks by contract).
+//
+//ocasta:lockfn
 func (s *Store) lockShardsFor(keys func(yield func(string) bool)) (unlock func()) {
 	idxSet := make(map[uint64]struct{})
 	keys(func(k string) bool {
