@@ -1,0 +1,189 @@
+package ocasta
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ocasta/internal/ttkv"
+	"ocasta/internal/ttkvwire"
+)
+
+// This file is the consolidated entry point to the store and cluster
+// APIs: OpenStore replaces the NewStore / LoadStore / AOF / GroupCommit /
+// ReplLog assembly dance with one call, and DialCluster replaces Dial
+// for anything beyond a single fixed node. The older piecewise
+// constructors remain for compatibility; the redundant ones are marked
+// Deprecated below.
+
+// Typed wire errors, re-exported so callers can match cluster redirects
+// with errors.Is / errors.As instead of message substrings.
+var (
+	// ErrReadOnly reports a write sent to a read replica.
+	ErrReadOnly = ttkvwire.ErrReadOnly
+	// ErrRetryable reports a transiently failed write (e.g. semi-sync
+	// acknowledgement timeout: applied locally, replication unconfirmed).
+	ErrRetryable = ttkvwire.ErrRetryable
+	// ErrKeyNotFound reports a read of an absent or deleted key.
+	ErrKeyNotFound = ttkvwire.ErrNotFound
+)
+
+// Re-exported failover and topology types.
+type (
+	// ErrNotLeader is a write rejection carrying the current leader's
+	// address (a MOVED redirect); it unwraps to ErrReadOnly.
+	ErrNotLeader = ttkvwire.ErrNotLeader
+	// Topology is a TOPO reply: one node's role, epoch, and peer view.
+	Topology = ttkvwire.Topology
+	// FailoverClient is a cluster-aware client: it discovers the primary,
+	// follows redirects, and retries across failovers. Construct with
+	// DialCluster.
+	FailoverClient = ttkvwire.FailoverClient
+	// FailoverOption configures DialCluster.
+	FailoverOption = ttkvwire.FailoverOption
+	// Node is the failover state machine run next to a Server on every
+	// cluster member. Construct with StartNode.
+	Node = ttkvwire.Node
+	// NodeConfig configures a failover Node.
+	NodeConfig = ttkvwire.NodeConfig
+	// SemiSyncConfig makes a primary's write acks wait for replica acks.
+	SemiSyncConfig = ttkvwire.SemiSyncConfig
+)
+
+// Failover client options, re-exported from ttkvwire.
+var (
+	// WithPeers seeds the cluster member list (required).
+	WithPeers = ttkvwire.WithPeers
+	// WithDialTimeout bounds each connection attempt.
+	WithDialTimeout = ttkvwire.WithDialTimeout
+	// WithCallTimeout bounds each round trip.
+	WithCallTimeout = ttkvwire.WithCallTimeout
+	// WithSemiSync requires k replica acks per write.
+	WithSemiSync = ttkvwire.WithSemiSync
+	// WithMaxRedirects bounds redirect/rediscovery hops per operation.
+	WithMaxRedirects = ttkvwire.WithMaxRedirects
+	// WithRetryBackoff sets the pause between failover retries.
+	WithRetryBackoff = ttkvwire.WithRetryBackoff
+	// WithLogf routes client diagnostics to a printf-style function.
+	WithLogf = ttkvwire.WithLogf
+)
+
+// DialCluster connects to a TTKV cluster: it discovers the current
+// primary via TOPO, follows MOVED redirects, reconnects across
+// promotions, and retries transient errors, so a failover surfaces to
+// callers as latency rather than an error.
+func DialCluster(ctx context.Context, opts ...FailoverOption) (*FailoverClient, error) {
+	return ttkvwire.DialCluster(ctx, opts...)
+}
+
+// StartNode starts the failover state machine for one cluster member:
+// lease-based failure detection over the replication stream, election of
+// the highest-applied replica, epoch fencing of stale primaries.
+func StartNode(cfg NodeConfig) (*Node, error) { return ttkvwire.StartNode(cfg) }
+
+// StoreOptions configures OpenStore. The zero value opens an empty
+// in-memory store with the default shard count.
+type StoreOptions struct {
+	// Shards is the lock-shard count (rounded up to a power of two;
+	// default ttkv.DefaultShards). Writers to distinct keys on distinct
+	// shards never contend.
+	Shards int
+
+	// AOFPath, when set, backs the store with an append-only file:
+	// existing history is replayed on open (a crash-truncated tail is
+	// repaired) and every write is appended through a group-commit
+	// batcher.
+	AOFPath string
+	// Compact rewrites the AOF as an atomic snapshot after replay.
+	Compact bool
+	// Retain, with Compact, keeps only the newest N versions per key
+	// (0 keeps all).
+	Retain int
+	// Fsync selects the AOF fsync policy (default FsyncInterval) and
+	// FlushInterval the group-commit cadence (default 50ms).
+	Fsync         FsyncPolicy
+	FlushInterval time.Duration
+
+	// Replicate attaches a replication log so the store can feed
+	// replicas (serve it with Server.EnableReplication or run it under a
+	// failover Node). The log wraps the AOF appender when AOFPath is
+	// set. Leave false for a store that will itself be a replica.
+	Replicate bool
+
+	// Observer, when set, receives every mutation — including the AOF
+	// replay — e.g. an *Engine for live clustering.
+	Observer StatsObserver
+}
+
+// StoreHandle is an opened store plus the durability and replication
+// plumbing OpenStore assembled around it.
+type StoreHandle struct {
+	// Store is the opened store.
+	Store *Store
+	// ReplLog is the attached replication log (nil unless Replicate).
+	ReplLog *ReplLog
+	// GroupCommit is the AOF batch appender (nil without AOFPath). Close
+	// the handle, not this, when done.
+	GroupCommit *GroupCommit
+}
+
+// Close drains and closes the durability pipeline. The store itself
+// remains readable.
+func (h *StoreHandle) Close() error {
+	if h.GroupCommit != nil {
+		return h.GroupCommit.Close()
+	}
+	return nil
+}
+
+// OpenStore opens a TTKV store in one call: shard it, replay and attach
+// its append-only file, optionally compact, and optionally attach the
+// replication log — the assembly every daemon and test was previously
+// doing by hand.
+func OpenStore(opts StoreOptions) (*StoreHandle, error) {
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = ttkv.DefaultShards
+	}
+	store := ttkv.NewSharded(shards)
+	if opts.Observer != nil {
+		// Attached before replay so restored history feeds the observer
+		// exactly like fresh writes would.
+		store.SetStatsObserver(opts.Observer)
+	}
+	h := &StoreHandle{Store: store}
+	if opts.AOFPath != "" {
+		aof, err := ttkv.OpenAOFInto(opts.AOFPath, store)
+		if err != nil {
+			return nil, fmt.Errorf("ocasta: replaying AOF: %w", err)
+		}
+		if opts.Compact {
+			// Compaction rewrites the file by rename: drop the open
+			// handle first, reopen the fresh snapshot for appending.
+			if err := aof.Close(); err != nil {
+				return nil, err
+			}
+			if err := store.CompactTo(opts.AOFPath, opts.Retain); err != nil {
+				return nil, fmt.Errorf("ocasta: compacting AOF: %w", err)
+			}
+			if aof, err = ttkv.OpenAOFForAppend(opts.AOFPath); err != nil {
+				return nil, err
+			}
+		}
+		h.GroupCommit = ttkv.NewGroupCommit(aof, ttkv.GroupCommitConfig{
+			FlushInterval: opts.FlushInterval,
+			Fsync:         opts.Fsync,
+		})
+	} else if opts.Compact || opts.Retain > 0 {
+		return nil, fmt.Errorf("ocasta: Compact/Retain require AOFPath")
+	}
+	if opts.Replicate {
+		h.ReplLog = ttkv.NewReplLog(h.GroupCommit)
+		if err := store.AttachReplLog(h.ReplLog); err != nil {
+			return nil, err
+		}
+	} else if h.GroupCommit != nil {
+		store.AttachGroupCommit(h.GroupCommit)
+	}
+	return h, nil
+}

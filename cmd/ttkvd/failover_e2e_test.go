@@ -1,0 +1,239 @@
+package main
+
+// End-to-end automatic-failover test against the real daemon: three
+// ttkvd processes form a failover group; the primary is SIGKILLed, the
+// highest-applied replica must self-promote and serve writes, a
+// cluster-aware client must ride through the failover, and the revived
+// stale primary must fence itself, redirect writes, and reconverge on
+// the new leader's history.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ocasta/internal/ttkvwire"
+)
+
+// freeAddrs reserves n distinct loopback addresses. The listeners are
+// closed before the daemons start; the tiny reuse race is acceptable in
+// tests.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// topoOf fetches one node's TOPO with a short-lived connection; errors
+// are returned rather than fatal so pollers can tolerate nodes that are
+// down or mid-transition.
+func topoOf(addr string) (ttkvwire.Topology, error) {
+	cl, err := ttkvwire.Dial(addr)
+	if err != nil {
+		return ttkvwire.Topology{}, err
+	}
+	defer cl.Close()
+	return cl.Topology()
+}
+
+// nodeHistory reads a node's full keyspace and per-key histories into a
+// comparable form.
+func nodeHistory(addr string) (map[string][]string, error) {
+	cl, err := ttkvwire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	keys, err := cl.Keys()
+	if err != nil {
+		return nil, err
+	}
+	hist := make(map[string][]string, len(keys))
+	for _, k := range keys {
+		versions, err := cl.History(k)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range versions {
+			hist[k] = append(hist[k], fmt.Sprintf("%s@%d:%d:%v", v.Value, v.Seq, v.Time.UnixNano(), v.Deleted))
+		}
+	}
+	return hist, nil
+}
+
+func waitCond(t *testing.T, timeout time.Duration, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", timeout, msg)
+}
+
+func TestDaemonFailoverE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real daemon")
+	}
+	bin := buildDaemon(t)
+	addrs := freeAddrs(t, 3)
+	lease := 100 * time.Millisecond
+	peersOf := func(i int) string {
+		var others []string
+		for j, a := range addrs {
+			if j != i {
+				others = append(others, a)
+			}
+		}
+		return strings.Join(others, ",")
+	}
+	// startDaemonKillable pins -addr 127.0.0.1:0 first; repeating -addr
+	// overrides it (the flag package keeps the last occurrence).
+	launch := func(i int, extra ...string) (proc interface{ Kill() error }, stop func()) {
+		args := []string{
+			"-failover",
+			"-peers", peersOf(i),
+			"-lease-interval", lease.String(),
+			"-recluster-interval", "0",
+			"-addr", addrs[i],
+		}
+		args = append(args, extra...)
+		_, p, s := startDaemonKillable(t, bin, args...)
+		return p, s
+	}
+
+	proc0, _ := launch(0)
+	_, stop1 := launch(1, "-replica-of", addrs[0])
+	defer stop1()
+	_, stop2 := launch(2, "-replica-of", addrs[0])
+	defer stop2()
+
+	// Seed a workload through the cluster-aware client.
+	ctx := context.Background()
+	fc, err := ttkvwire.DialCluster(ctx,
+		ttkvwire.WithPeers(addrs...),
+		ttkvwire.WithCallTimeout(5*time.Second),
+		ttkvwire.WithMaxRedirects(40),
+		ttkvwire.WithRetryBackoff(20*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	if fc.Leader() != addrs[0] {
+		t.Fatalf("client discovered leader %s, want %s", fc.Leader(), addrs[0])
+	}
+	base := time.Now()
+	for i := 0; i < 30; i++ {
+		if err := fc.Set(ctx, fmt.Sprintf("/fo/k%02d", i), fmt.Sprintf("v%d", i), base.Add(time.Duration(i)*time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCond(t, 10*time.Second, "replicas caught up", func() bool {
+		for _, a := range addrs[1:] {
+			topo, err := topoOf(a)
+			if err != nil || topo.AppliedSeq < 30 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// SIGKILL the primary: a replica must self-promote at epoch 2. The
+	// lease detector needs 2 intervals of silence before the election;
+	// the bound here leaves CI scheduling slack on top.
+	if err := proc0.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	killedAt := time.Now()
+	var newPrimary string
+	waitCond(t, 10*time.Second, "a replica self-promotes", func() bool {
+		for _, a := range addrs[1:] {
+			if topo, err := topoOf(a); err == nil && topo.Role == ttkvwire.RolePrimary && topo.Epoch == 2 {
+				newPrimary = a
+				return true
+			}
+		}
+		return false
+	})
+	t.Logf("promotion observed %v after SIGKILL (lease %v)", time.Since(killedAt), lease)
+
+	// The surviving replica re-follows the winner, and the cluster
+	// client rides through the failover without reconfiguration.
+	other := addrs[1]
+	if other == newPrimary {
+		other = addrs[2]
+	}
+	waitCond(t, 10*time.Second, "survivor follows the new primary", func() bool {
+		topo, err := topoOf(other)
+		return err == nil && topo.Role == ttkvwire.RoleReplica && topo.Leader == newPrimary
+	})
+	if err := fc.Set(ctx, "/fo/after", "survived", base.Add(time.Second)); err != nil {
+		t.Fatalf("write through failover client after kill: %v", err)
+	}
+	if got, err := fc.Get(ctx, "/fo/after"); err != nil || got != "survived" {
+		t.Fatalf("read-back after failover: %q, %v", got, err)
+	}
+	waitCond(t, 10*time.Second, "post-failover write replicated", func() bool {
+		cl, err := ttkvwire.Dial(other)
+		if err != nil {
+			return false
+		}
+		defer cl.Close()
+		v, err := cl.Get("/fo/after")
+		return err == nil && v == "survived"
+	})
+
+	// Revive the old primary with its original (primary) configuration:
+	// fencing must demote it under the epoch-2 leader.
+	_, stopRevived := launch(0)
+	defer stopRevived()
+	waitCond(t, 10*time.Second, "revived primary fenced to replica", func() bool {
+		topo, err := topoOf(addrs[0])
+		return err == nil && topo.Role == ttkvwire.RoleReplica && topo.Leader == newPrimary
+	})
+	rcl, err := ttkvwire.Dial(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcl.Close()
+	werr := rcl.Set("/fo/fenced", "no", base.Add(2*time.Second))
+	var moved *ttkvwire.ErrNotLeader
+	if !errors.Is(werr, ttkvwire.ErrReadOnly) || !errors.As(werr, &moved) || moved.Leader != newPrimary {
+		t.Fatalf("write to fenced node: %v, want MOVED %s", werr, newPrimary)
+	}
+
+	// All three nodes converge on identical histories.
+	waitCond(t, 15*time.Second, "histories identical on all nodes", func() bool {
+		ref, err := nodeHistory(addrs[0])
+		if err != nil {
+			return false
+		}
+		for _, a := range addrs[1:] {
+			h, err := nodeHistory(a)
+			if err != nil || !reflect.DeepEqual(h, ref) {
+				return false
+			}
+		}
+		return true
+	})
+}

@@ -25,7 +25,19 @@
 //
 // The replica serves reads, history, CLUSTERS/CORR (computed locally from
 // the replayed stream), and repair diagnosis; writes and RFIX are rejected
-// with "ERR readonly". REPLSTAT reports role and lag on both ends.
+// with a typed READONLY/MOVED redirect. REPLSTAT reports role and lag on
+// both ends.
+//
+// With -failover, the daemon joins an automatic-failover group: each
+// member leases its view of the primary off the replication stream's
+// heartbeats, the highest-applied replica self-promotes (epoch-fenced)
+// when the lease expires, and a revived stale primary demotes itself and
+// resyncs. -peers names the other members; -semi-sync-acks makes write
+// acknowledgements wait for K replica acks so promotion never loses an
+// acked write:
+//
+//	ttkvd -addr :7677 -failover -peers 127.0.0.1:7678,127.0.0.1:7679 \
+//	      -semi-sync-acks 1
 package main
 
 import (
@@ -34,6 +46,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -65,6 +78,12 @@ func run() int {
 	repairJobs := flag.Int("repair-max-jobs", 64, "repair jobs retained (running+finished); beyond it the oldest finished job is evicted")
 	replicaOf := flag.String("replica-of", "", "run as a read replica of the given primary host:port (rejects writes; incompatible with -aof)")
 	replOutbox := flag.Int("repl-outbox", ttkv.DefaultOutboxBytes, "per-replica feed outbox bound in bytes; a replica lagging further is dropped and resyncs")
+	failover := flag.Bool("failover", false, "join an automatic-failover group: lease failure detection, epoch-fenced replica promotion, stale-primary demotion (configure members with -peers)")
+	peersFlag := flag.String("peers", "", "comma-separated addresses of the other failover group members")
+	advertiseFlag := flag.String("advertise", "", "address peers and clients should reach this node at (default: the resolved listen address)")
+	leaseEvery := flag.Duration("lease-interval", 500*time.Millisecond, "failover lease: a replica that hears nothing from its primary for 2 intervals starts an election")
+	semiAcks := flag.Int("semi-sync-acks", 0, "replica acknowledgements each write waits for before the client is acked (0 = asynchronous replication)")
+	semiTimeout := flag.Duration("semi-sync-timeout", 2*time.Second, "how long a write waits for semi-sync acks before returning RETRY (applied locally, replication unconfirmed)")
 	flag.Parse()
 
 	if *shards < 1 || *shards > 1<<16 {
@@ -131,6 +150,28 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "ttkvd: -replica-of is incompatible with -aof (replicas resync from the primary)")
 		return 2
 	}
+	if *leaseEvery <= 0 {
+		fmt.Fprintf(os.Stderr, "ttkvd: -lease-interval must be positive, got %v\n", *leaseEvery)
+		return 2
+	}
+	if *semiAcks < 0 {
+		fmt.Fprintf(os.Stderr, "ttkvd: -semi-sync-acks must be >= 0, got %d\n", *semiAcks)
+		return 2
+	}
+	if *semiTimeout <= 0 {
+		fmt.Fprintf(os.Stderr, "ttkvd: -semi-sync-timeout must be positive, got %v\n", *semiTimeout)
+		return 2
+	}
+	var peers []string
+	for _, p := range strings.Split(*peersFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	if !*failover && *peersFlag != "" {
+		fmt.Fprintln(os.Stderr, "ttkvd: -peers requires -failover")
+		return 2
+	}
 
 	store := ttkv.NewSharded(*shards)
 	var engine *core.Engine
@@ -149,6 +190,15 @@ func run() int {
 		store.SetStatsObserver(engine)
 	}
 	var gc *ttkv.GroupCommit
+	closeAOF := func() {
+		// GroupCommit.Close is idempotent, so this is safe even after a
+		// failover demotion already retired the appender.
+		if gc != nil {
+			if cerr := gc.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "ttkvd: closing AOF:", cerr)
+			}
+		}
+	}
 	if *aofPath != "" {
 		// One pass replays existing history into the store, repairs a
 		// crash-truncated tail, and leaves the file open for appending.
@@ -191,9 +241,65 @@ func run() int {
 		MaxJobs:   *repairJobs,
 	})
 
+	// Listening happens before replication wiring so the advertised
+	// address can default to the resolved one (-addr :0 stays usable).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttkvd: listen:", err)
+		closeAOF()
+		return 1
+	}
+	advertise := *advertiseFlag
+	if advertise == "" {
+		advertise = ln.Addr().String()
+	}
+	srv.SetAdvertise(advertise)
+
+	semiSync := ttkvwire.SemiSyncConfig{Acks: *semiAcks, Timeout: *semiTimeout}
+	logf := func(format string, args ...any) {
+		fmt.Printf("ttkvd: "+format+"\n", args...)
+	}
 	role := "primary"
 	var replica *ttkvwire.ReplicaClient
-	if *replicaOf == "" {
+	var node *ttkvwire.Node
+	switch {
+	case *failover:
+		ncfg := ttkvwire.NodeConfig{
+			Store:         store,
+			Server:        srv,
+			Self:          advertise,
+			Peers:         peers,
+			LeaseInterval: *leaseEvery,
+			Replication:   ttkvwire.ReplicationConfig{OutboxBytes: *replOutbox},
+			SemiSync:      semiSync,
+			Logf:          logf,
+		}
+		if engine != nil {
+			ncfg.OnReset = engine.Reset
+		}
+		if *replicaOf == "" {
+			rl := ttkv.NewReplLog(gc)
+			if err := store.AttachReplLog(rl); err != nil {
+				fmt.Fprintln(os.Stderr, "ttkvd: attaching replication log:", err)
+				ln.Close()
+				closeAOF()
+				return 1
+			}
+			ncfg.Primary = true
+			ncfg.ReplLog = rl
+			ncfg.GroupCommit = gc
+			role = "primary, failover"
+		} else {
+			ncfg.PrimaryAddr = *replicaOf
+			role = "replica of " + *replicaOf + ", failover"
+		}
+		if node, err = ttkvwire.StartNode(ncfg); err != nil {
+			fmt.Fprintln(os.Stderr, "ttkvd: starting failover node:", err)
+			ln.Close()
+			closeAOF()
+			return 1
+		}
+	case *replicaOf == "":
 		// Every non-replica ttkvd can feed replicas: the replication log
 		// wraps the group-commit appender (nil without -aof, in which case
 		// records are shippable the instant they apply) and becomes the
@@ -201,30 +307,41 @@ func run() int {
 		rl := ttkv.NewReplLog(gc)
 		if err := store.AttachReplLog(rl); err != nil {
 			fmt.Fprintln(os.Stderr, "ttkvd: attaching replication log:", err)
+			ln.Close()
+			closeAOF()
 			return 1
 		}
 		srv.EnableReplication(rl, ttkvwire.ReplicationConfig{OutboxBytes: *replOutbox})
-	} else {
+		srv.SetSemiSync(semiSync)
+	default:
 		role = "replica of " + *replicaOf
 		srv.SetReadOnly(true)
+		srv.SetLeaderHint(*replicaOf)
 		rcfg := ttkvwire.ReplicaConfig{
 			Primary: *replicaOf,
 			Store:   store,
-			Logf: func(format string, args ...any) {
-				fmt.Printf("ttkvd: "+format+"\n", args...)
-			},
+			Logf:    logf,
 		}
 		if engine != nil {
 			// A full resync replays the new primary's history through the
 			// observer from scratch; stale statistics must not remain.
 			rcfg.OnReset = engine.Reset
 		}
-		var err error
 		if replica, err = ttkvwire.StartReplica(rcfg); err != nil {
 			fmt.Fprintln(os.Stderr, "ttkvd: starting replication:", err)
+			ln.Close()
+			closeAOF()
 			return 1
 		}
 		srv.SetReplicaStatus(replica)
+	}
+	stopMembers := func() {
+		if node != nil {
+			node.Stop()
+		}
+		if replica != nil {
+			replica.Stop()
+		}
 	}
 	var reclusterStop chan struct{}
 	if engine != nil {
@@ -250,8 +367,14 @@ func run() int {
 					// once the replica is streaming live records (the
 					// primary's own replay finishes before this ticker
 					// starts, so it never has the problem).
-					catchingUp := replica != nil &&
-						replica.ReplicaStatus().State != ttkvwire.ReplicaStreaming
+					catchingUp := false
+					if node != nil {
+						if st, ok := node.ReplicaStatus(); ok {
+							catchingUp = st.State != ttkvwire.ReplicaStreaming
+						}
+					} else if replica != nil {
+						catchingUp = replica.ReplicaStatus().State != ttkvwire.ReplicaStreaming
+					}
 					if *advance && !catchingUp {
 						engine.AdvanceTo(time.Now())
 					}
@@ -259,22 +382,6 @@ func run() int {
 				}
 			}
 		}()
-	}
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ttkvd: listen:", err)
-		if reclusterStop != nil {
-			close(reclusterStop)
-		}
-		if replica != nil {
-			replica.Stop()
-		}
-		if gc != nil {
-			if cerr := gc.Close(); cerr != nil {
-				fmt.Fprintln(os.Stderr, "ttkvd: closing AOF:", cerr)
-			}
-		}
-		return 1
 	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
@@ -291,12 +398,12 @@ func run() int {
 	select {
 	case <-sig:
 		fmt.Println("ttkvd: shutting down")
-		// A replica finishes applying its in-flight frame and stops
-		// acking before the server drops its clients; a primary's Close
-		// severs the feeds (replicas resume from their applied seq).
-		if replica != nil {
-			replica.Stop()
-		}
+		// The failover loop stops first so no promotion or demotion races
+		// the teardown; a replica finishes applying its in-flight frame
+		// and stops acking before the server drops its clients; a
+		// primary's Close severs the feeds (replicas resume from their
+		// applied seq).
+		stopMembers()
 		srv.Close()
 		<-done
 	case err := <-done:
@@ -305,14 +412,8 @@ func run() int {
 			if reclusterStop != nil {
 				close(reclusterStop)
 			}
-			if replica != nil {
-				replica.Stop()
-			}
-			if gc != nil {
-				if cerr := gc.Close(); cerr != nil {
-					fmt.Fprintln(os.Stderr, "ttkvd: closing AOF:", cerr)
-				}
-			}
+			stopMembers()
+			closeAOF()
 			return 1
 		}
 	}
@@ -320,7 +421,8 @@ func run() int {
 		close(reclusterStop)
 	}
 	if gc != nil {
-		// Close drains pending batches, fsyncs, and closes the file.
+		// Close drains pending batches, fsyncs, and closes the file (a
+		// no-op if a demotion already retired the appender).
 		if err := gc.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "ttkvd: closing AOF:", err)
 			return 1

@@ -162,11 +162,15 @@ func TestDaemonReplicationE2E(t *testing.T) {
 		t.Fatalf("GetAt: primary %+v, replica %+v (%v)", pver, rver, err)
 	}
 
-	// Writes are rejected on the replica.
+	// Writes are rejected on the replica with a typed redirect carrying
+	// the primary's address.
 	err = rcl.Set("/nope", "x", time.Now())
-	var re *ttkvwire.RemoteError
-	if !errors.As(err, &re) || !strings.Contains(re.Msg, "readonly") {
-		t.Fatalf("replica SET err = %v, want readonly rejection", err)
+	if !errors.Is(err, ttkvwire.ErrReadOnly) {
+		t.Fatalf("replica SET err = %v, want errors.Is(err, ErrReadOnly)", err)
+	}
+	var moved *ttkvwire.ErrNotLeader
+	if !errors.As(err, &moved) || moved.Leader != paddr {
+		t.Fatalf("replica SET err = %v, want MOVED redirect to %s", err, paddr)
 	}
 
 	// The replica's own engine clusters the replicated stream.

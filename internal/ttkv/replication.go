@@ -165,6 +165,7 @@ type ReplLog struct {
 	gcCount     uint64      // records accepted by gc (== its gen, as its sole feeder)
 	durableSeq  uint64      // newest committed (fanned-out) sequence
 	appendedSeq uint64      // newest minted sequence
+	epoch       uint64      // failover fencing term of this primary incarnation
 	subs        map[*ReplSub]struct{}
 }
 
@@ -224,6 +225,26 @@ func (rl *ReplLog) AppendedSeq() uint64 {
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
 	return rl.appendedSeq
+}
+
+// SetEpoch records the failover fencing term of this primary incarnation.
+// Epochs are strictly increasing across promotions: a node promoting
+// itself adopts one more than the highest epoch it has observed, so a
+// revived stale primary — still carrying the old epoch — recognizes the
+// new leader as more recent and demotes. Set once, before the log starts
+// serving replicas.
+func (rl *ReplLog) SetEpoch(epoch uint64) {
+	rl.mu.Lock()
+	rl.epoch = epoch
+	rl.mu.Unlock()
+}
+
+// Epoch returns the fencing term set by SetEpoch (zero when failover is
+// not in use).
+func (rl *ReplLog) Epoch() uint64 {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return rl.epoch
 }
 
 // Sync implements the sink's durability barrier by delegating to the

@@ -1,6 +1,7 @@
 package ttkvwire
 
 import (
+	"context"
 	"errors"
 	"net"
 	"reflect"
@@ -135,13 +136,13 @@ func TestClustersDisabled(t *testing.T) {
 func TestClustersBadArgs(t *testing.T) {
 	_, _, c := startAnalyticsServer(t)
 	var re *RemoteError
-	if _, err := c.roundTrip("CLUSTERS", "x"); !errors.As(err, &re) {
+	if _, err := c.roundTrip(context.Background(), "CLUSTERS", "x"); !errors.As(err, &re) {
 		t.Fatalf("CLUSTERS x: err = %v, want RemoteError", err)
 	}
-	if _, err := c.roundTrip("CLUSTERS", "-1"); !errors.As(err, &re) {
+	if _, err := c.roundTrip(context.Background(), "CLUSTERS", "-1"); !errors.As(err, &re) {
 		t.Fatalf("CLUSTERS -1: err = %v, want RemoteError", err)
 	}
-	if _, err := c.roundTrip("CORR", "a"); !errors.As(err, &re) {
+	if _, err := c.roundTrip(context.Background(), "CORR", "a"); !errors.As(err, &re) {
 		t.Fatalf("CORR a: err = %v, want RemoteError", err)
 	}
 }

@@ -2,6 +2,7 @@ package ttkvwire
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -18,14 +19,21 @@ var (
 	ErrNotFound = errors.New("ttkvwire: not found")
 )
 
-// RemoteError is an error the server reported.
+// RemoteError is an error the server reported that does not map to one of
+// the typed wire errors (ErrReadOnly, ErrNotLeader, ErrRetryable — see
+// errors.go).
 type RemoteError struct{ Msg string }
 
 // Error implements error.
 func (e *RemoteError) Error() string { return "ttkvwire: server: " + e.Msg }
 
 // Client is a connection to a TTKV server. Methods are safe for concurrent
-// use; requests are serialized over the single connection.
+// use; requests are serialized over the single connection. Every operation
+// has a context-aware form (SetContext, GetContext, ...); the context-free
+// methods are thin wrappers over context.Background(). A context
+// cancellation or deadline mid-round-trip poisons the connection (the
+// response may be half-read), so the client closes it; subsequent calls
+// fail and the caller should redial.
 type Client struct {
 	mu   chan struct{} // 1-token semaphore guarding conn+buffers
 	conn net.Conn
@@ -35,7 +43,14 @@ type Client struct {
 
 // Dial connects to a TTKV server at addr.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a TTKV server at addr, honoring the context's
+// deadline and cancellation for the dial itself.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("ttkvwire: dial: %w", err)
 	}
@@ -57,26 +72,80 @@ func NewClient(conn net.Conn) *Client {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// armContext applies ctx to the connection for the duration of one
+// round trip and returns a disarm func. A context deadline becomes the
+// connection deadline; a cancelable context additionally gets a watcher
+// goroutine that forces an immediate deadline on cancel, unblocking any
+// in-flight read/write. Disarm joins the watcher before clearing the
+// deadline, so a late SetDeadline can never outlive the round trip.
+func (c *Client) armContext(ctx context.Context) func() {
+	deadline, hasDeadline := ctx.Deadline()
+	if hasDeadline {
+		c.conn.SetDeadline(deadline)
+	}
+	done := ctx.Done()
+	if done == nil {
+		if !hasDeadline {
+			return func() {}
+		}
+		return func() { c.conn.SetDeadline(time.Time{}) }
+	}
+	stop := make(chan struct{})
+	parked := make(chan struct{})
+	go func() {
+		defer close(parked)
+		select {
+		case <-done:
+			c.conn.SetDeadline(time.Unix(1, 0)) // in the past: fail I/O now
+		case <-stop:
+		}
+	}()
+	return func() {
+		close(stop)
+		<-parked
+		c.conn.SetDeadline(time.Time{})
+	}
+}
+
+// transportErr closes the poisoned connection and reports the failure,
+// preferring the context's error when the context caused it.
+func (c *Client) transportErr(ctx context.Context, phase string, err error) error {
+	c.conn.Close()
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("ttkvwire: %s: %w (%v)", phase, cerr, err)
+	}
+	return fmt.Errorf("ttkvwire: %s: %w", phase, err)
+}
+
 // roundTrip sends one command and reads one response.
-func (c *Client) roundTrip(args ...string) (Value, error) {
-	<-c.mu
+func (c *Client) roundTrip(ctx context.Context, args ...string) (Value, error) {
+	select {
+	case <-c.mu:
+	case <-ctx.Done():
+		return Value{}, ctx.Err()
+	}
 	defer func() { c.mu <- struct{}{} }()
+	disarm := c.armContext(ctx)
+	defer disarm()
 	if err := writeCommand(c.bw, args...); err != nil {
-		return Value{}, fmt.Errorf("ttkvwire: send: %w", err)
+		return Value{}, c.transportErr(ctx, "send", err)
 	}
 	v, err := ReadValue(c.br)
 	if err != nil {
-		return Value{}, fmt.Errorf("ttkvwire: recv: %w", err)
+		return Value{}, c.transportErr(ctx, "recv", err)
 	}
 	if v.Kind == KindError {
-		return Value{}, &RemoteError{Msg: v.Str}
+		return Value{}, decodeWireError(v.Str)
 	}
 	return v, nil
 }
 
 // Ping checks liveness.
-func (c *Client) Ping() error {
-	v, err := c.roundTrip("PING")
+func (c *Client) Ping() error { return c.PingContext(context.Background()) }
+
+// PingContext checks liveness.
+func (c *Client) PingContext(ctx context.Context) error {
+	v, err := c.roundTrip(ctx, "PING")
 	if err != nil {
 		return err
 	}
@@ -88,19 +157,29 @@ func (c *Client) Ping() error {
 
 // Set records a write of key at time t.
 func (c *Client) Set(key, value string, t time.Time) error {
+	return c.SetContext(context.Background(), key, value, t)
+}
+
+// SetContext records a write of key at time t.
+func (c *Client) SetContext(ctx context.Context, key, value string, t time.Time) error {
 	if t.IsZero() {
 		return ttkv.ErrZeroTime
 	}
-	_, err := c.roundTrip("SET", key, value, strconv.FormatInt(t.UnixNano(), 10))
+	_, err := c.roundTrip(ctx, "SET", key, value, strconv.FormatInt(t.UnixNano(), 10))
 	return err
 }
 
 // Delete records a deletion of key at time t.
 func (c *Client) Delete(key string, t time.Time) error {
+	return c.DeleteContext(context.Background(), key, t)
+}
+
+// DeleteContext records a deletion of key at time t.
+func (c *Client) DeleteContext(ctx context.Context, key string, t time.Time) error {
 	if t.IsZero() {
 		return ttkv.ErrZeroTime
 	}
-	_, err := c.roundTrip("DEL", key, strconv.FormatInt(t.UnixNano(), 10))
+	_, err := c.roundTrip(ctx, "DEL", key, strconv.FormatInt(t.UnixNano(), 10))
 	return err
 }
 
@@ -114,6 +193,11 @@ const msetChunk = 4096
 // with its store's batch API; batches are sent in chunks of msetChunk
 // mutations, so an error mid-way can leave earlier chunks applied.
 func (c *Client) MSet(muts []ttkv.Mutation) error {
+	return c.MSetContext(context.Background(), muts)
+}
+
+// MSetContext records a batch of writes; see MSet.
+func (c *Client) MSetContext(ctx context.Context, muts []ttkv.Mutation) error {
 	for i := range muts {
 		if muts[i].Delete {
 			return fmt.Errorf("ttkvwire: MSet cannot carry deletes (key %q)", muts[i].Key)
@@ -132,7 +216,7 @@ func (c *Client) MSet(muts []ttkv.Mutation) error {
 		for i := range chunk {
 			args = append(args, chunk[i].Key, chunk[i].Value, strconv.FormatInt(chunk[i].Time.UnixNano(), 10))
 		}
-		v, err := c.roundTrip(args...)
+		v, err := c.roundTrip(ctx, args...)
 		if err != nil {
 			return err
 		}
@@ -196,9 +280,13 @@ const pipelineChunk = 512
 // Flush sends the queued commands, reads all responses in order, and
 // resets the pipeline. Commands go out in chunks of pipelineChunk, each
 // chunk a single network write. It returns the first error encountered;
-// server-side errors for individual commands surface as *RemoteError, and
-// every response is still drained so the connection stays usable.
-func (p *Pipeline) Flush() error {
+// server-side errors for individual commands surface as typed wire
+// errors, and every response is still drained so the connection stays
+// usable.
+func (p *Pipeline) Flush() error { return p.FlushContext(context.Background()) }
+
+// FlushContext sends the queued commands honoring ctx; see Flush.
+func (p *Pipeline) FlushContext(ctx context.Context) error {
 	if err := p.err; err != nil {
 		p.err = nil
 		p.cmds = nil
@@ -209,27 +297,33 @@ func (p *Pipeline) Flush() error {
 	}
 	cmds := p.cmds
 	p.cmds = nil
-	<-p.c.mu
+	select {
+	case <-p.c.mu:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 	defer func() { p.c.mu <- struct{}{} }()
+	disarm := p.c.armContext(ctx)
+	defer disarm()
 	var firstErr error
 	for start := 0; start < len(cmds); start += pipelineChunk {
 		chunk := cmds[start:min(start+pipelineChunk, len(cmds))]
 		for _, cmd := range chunk {
 			if err := writeCommandBuf(p.c.bw, cmd...); err != nil {
-				return fmt.Errorf("ttkvwire: pipeline send: %w", err)
+				return p.c.transportErr(ctx, "pipeline send", err)
 			}
 		}
 		if err := p.c.bw.Flush(); err != nil {
-			return fmt.Errorf("ttkvwire: pipeline send: %w", err)
+			return p.c.transportErr(ctx, "pipeline send", err)
 		}
 		for range chunk {
 			v, err := ReadValue(p.c.br)
 			if err != nil {
 				// The connection is broken; responses cannot be drained.
-				return fmt.Errorf("ttkvwire: pipeline recv: %w", err)
+				return p.c.transportErr(ctx, "pipeline recv", err)
 			}
 			if v.Kind == KindError && firstErr == nil {
-				firstErr = &RemoteError{Msg: v.Str}
+				firstErr = decodeWireError(v.Str)
 			}
 		}
 	}
@@ -238,7 +332,13 @@ func (p *Pipeline) Flush() error {
 
 // Get fetches the current value of key; ErrNotFound if absent or deleted.
 func (c *Client) Get(key string) (string, error) {
-	v, err := c.roundTrip("GET", key)
+	return c.GetContext(context.Background(), key)
+}
+
+// GetContext fetches the current value of key; ErrNotFound if absent or
+// deleted.
+func (c *Client) GetContext(ctx context.Context, key string) (string, error) {
+	v, err := c.roundTrip(ctx, "GET", key)
 	if err != nil {
 		return "", err
 	}
@@ -254,7 +354,12 @@ func (c *Client) Get(key string) (string, error) {
 
 // GetAt fetches the version of key in effect at time t.
 func (c *Client) GetAt(key string, t time.Time) (ttkv.Version, error) {
-	v, err := c.roundTrip("GETAT", key, strconv.FormatInt(t.UnixNano(), 10))
+	return c.GetAtContext(context.Background(), key, t)
+}
+
+// GetAtContext fetches the version of key in effect at time t.
+func (c *Client) GetAtContext(ctx context.Context, key string, t time.Time) (ttkv.Version, error) {
+	v, err := c.roundTrip(ctx, "GETAT", key, strconv.FormatInt(t.UnixNano(), 10))
 	if err != nil {
 		return ttkv.Version{}, err
 	}
@@ -267,7 +372,12 @@ func (c *Client) GetAt(key string, t time.Time) (ttkv.Version, error) {
 // History fetches the full version history of key, oldest first. A key the
 // server has never seen yields an empty history.
 func (c *Client) History(key string) ([]ttkv.Version, error) {
-	v, err := c.roundTrip("HIST", key)
+	return c.HistoryContext(context.Background(), key)
+}
+
+// HistoryContext fetches the full version history of key, oldest first.
+func (c *Client) HistoryContext(ctx context.Context, key string) ([]ttkv.Version, error) {
+	v, err := c.roundTrip(ctx, "HIST", key)
 	if err != nil {
 		return nil, err
 	}
@@ -287,7 +397,12 @@ func (c *Client) History(key string) ([]ttkv.Version, error) {
 
 // Keys lists every key the server has seen, sorted.
 func (c *Client) Keys() ([]string, error) {
-	v, err := c.roundTrip("KEYS")
+	return c.KeysContext(context.Background())
+}
+
+// KeysContext lists every key the server has seen, sorted.
+func (c *Client) KeysContext(ctx context.Context) ([]string, error) {
+	v, err := c.roundTrip(ctx, "KEYS")
 	if err != nil {
 		return nil, err
 	}
@@ -306,7 +421,13 @@ func (c *Client) Keys() ([]string, error) {
 
 // ModCount returns the total modifications (writes + deletes) of key.
 func (c *Client) ModCount(key string) (int, error) {
-	v, err := c.roundTrip("MODCOUNT", key)
+	return c.ModCountContext(context.Background(), key)
+}
+
+// ModCountContext returns the total modifications (writes + deletes) of
+// key.
+func (c *Client) ModCountContext(ctx context.Context, key string) (int, error) {
+	v, err := c.roundTrip(ctx, "MODCOUNT", key)
 	if err != nil {
 		return 0, err
 	}
@@ -319,8 +440,14 @@ func (c *Client) ModCount(key string) (int, error) {
 // ModTimes returns the distinct modification timestamps of keys, newest
 // first.
 func (c *Client) ModTimes(keys ...string) ([]time.Time, error) {
+	return c.ModTimesContext(context.Background(), keys...)
+}
+
+// ModTimesContext returns the distinct modification timestamps of keys,
+// newest first.
+func (c *Client) ModTimesContext(ctx context.Context, keys ...string) ([]time.Time, error) {
 	args := append([]string{"MODTIMES"}, keys...)
-	v, err := c.roundTrip(args...)
+	v, err := c.roundTrip(ctx, args...)
 	if err != nil {
 		return nil, err
 	}
@@ -352,11 +479,17 @@ type ClusterSnapshot struct {
 // server's recluster interval plus any still-open co-modification
 // windows. Requires the server to run with analytics enabled.
 func (c *Client) Clusters(minSize int) (ClusterSnapshot, error) {
+	return c.ClustersContext(context.Background(), minSize)
+}
+
+// ClustersContext fetches the server's current live clustering; see
+// Clusters.
+func (c *Client) ClustersContext(ctx context.Context, minSize int) (ClusterSnapshot, error) {
 	args := []string{"CLUSTERS"}
 	if minSize > 0 {
 		args = append(args, strconv.Itoa(minSize))
 	}
-	v, err := c.roundTrip(args...)
+	v, err := c.roundTrip(ctx, args...)
 	if err != nil {
 		return ClusterSnapshot{}, err
 	}
@@ -390,7 +523,13 @@ func (c *Client) Clusters(minSize int) (ClusterSnapshot, error) {
 // Correlation fetches the live co-modification correlation of two keys,
 // in [0, 2]. Requires the server to run with analytics enabled.
 func (c *Client) Correlation(a, b string) (float64, error) {
-	v, err := c.roundTrip("CORR", a, b)
+	return c.CorrelationContext(context.Background(), a, b)
+}
+
+// CorrelationContext fetches the live co-modification correlation of two
+// keys, in [0, 2].
+func (c *Client) CorrelationContext(ctx context.Context, a, b string) (float64, error) {
+	v, err := c.roundTrip(ctx, "CORR", a, b)
 	if err != nil {
 		return 0, err
 	}
@@ -406,7 +545,12 @@ func (c *Client) Correlation(a, b string) (float64, error) {
 
 // Stats fetches the server's store statistics.
 func (c *Client) Stats() (ttkv.Stats, error) {
-	v, err := c.roundTrip("STATS")
+	return c.StatsContext(context.Background())
+}
+
+// StatsContext fetches the server's store statistics.
+func (c *Client) StatsContext(ctx context.Context) (ttkv.Stats, error) {
+	v, err := c.roundTrip(ctx, "STATS")
 	if err != nil {
 		return ttkv.Stats{}, err
 	}

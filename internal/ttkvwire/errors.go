@@ -1,0 +1,117 @@
+package ttkvwire
+
+import (
+	"errors"
+	"strings"
+)
+
+// Typed wire errors. Server error replies start with a machine-readable
+// code token; the client decodes the code back into one of these types so
+// redirect and retry logic can match on errors.Is/errors.As instead of
+// substrings:
+//
+//	READONLY            the node is a read replica and the leader is
+//	                    unknown → errors.Is(err, ErrReadOnly)
+//	MOVED <addr>        the node is not the leader; <addr> is →
+//	                    errors.As(err, &notLeader) and, because a MOVED
+//	                    node is necessarily read-only,
+//	                    errors.Is(err, ErrReadOnly) too
+//	RETRY <detail>      a transient server condition (semi-sync ack
+//	                    timeout, failover in progress) → errors.Is(err,
+//	                    ErrRetryable); the command may or may not have
+//	                    taken effect, so retries must be idempotent
+//	ERR <detail>        anything else → *RemoteError
+var (
+	// ErrReadOnly marks writes rejected by a read-only replica. Redirect
+	// to the leader (errors.As with *ErrNotLeader for its address) or
+	// re-discover the topology (Client.Topology on any peer).
+	ErrReadOnly = errors.New("ttkvwire: node is a read-only replica")
+
+	// ErrRetryable marks transient server conditions: the request was
+	// understood but cannot be acknowledged right now. Callers should
+	// back off and retry; for writes, note that a semi-sync RETRY means
+	// the write applied locally but was not replica-acknowledged within
+	// the timeout — it is uncertain, not rejected.
+	ErrRetryable = errors.New("ttkvwire: transient server condition")
+)
+
+// ErrNotLeader is a redirect: the addressed node is not the leader, and
+// Leader (when non-empty) is where writes should go. It unwraps to
+// ErrReadOnly — a redirecting node is by definition not writable — so
+// generic "can't write here" handling needs only errors.Is(err,
+// ErrReadOnly), while redirect logic extracts the address with errors.As.
+type ErrNotLeader struct{ Leader string }
+
+// Error implements error.
+func (e *ErrNotLeader) Error() string {
+	if e.Leader == "" {
+		return "ttkvwire: node is not the leader"
+	}
+	return "ttkvwire: node is not the leader (leader is " + e.Leader + ")"
+}
+
+// Unwrap makes errors.Is(err, ErrReadOnly) true for redirects.
+func (e *ErrNotLeader) Unwrap() error { return ErrReadOnly }
+
+// readOnlyError is a READONLY reply with its server-side detail text.
+type readOnlyError struct{ detail string }
+
+func (e *readOnlyError) Error() string {
+	if e.detail == "" {
+		return ErrReadOnly.Error()
+	}
+	return ErrReadOnly.Error() + ": " + e.detail
+}
+
+func (e *readOnlyError) Unwrap() error { return ErrReadOnly }
+
+// retryableError is a RETRY reply with its server-side detail text.
+type retryableError struct{ detail string }
+
+func (e *retryableError) Error() string {
+	if e.detail == "" {
+		return ErrRetryable.Error()
+	}
+	return ErrRetryable.Error() + ": " + e.detail
+}
+
+func (e *retryableError) Unwrap() error { return ErrRetryable }
+
+// Wire error code tokens (the first word of an error reply).
+const (
+	wireCodeReadOnly = "READONLY"
+	wireCodeMoved    = "MOVED"
+	wireCodeRetry    = "RETRY"
+)
+
+// decodeWireError turns a server error reply string into the matching
+// typed error. Unknown codes (including the generic "ERR ...") stay
+// *RemoteError.
+func decodeWireError(msg string) error {
+	code, rest, _ := strings.Cut(msg, " ")
+	switch code {
+	case wireCodeReadOnly:
+		return &readOnlyError{detail: rest}
+	case wireCodeMoved:
+		leader, _, _ := strings.Cut(rest, " ")
+		return &ErrNotLeader{Leader: leader}
+	case wireCodeRetry:
+		return &retryableError{detail: rest}
+	default:
+		return &RemoteError{Msg: msg}
+	}
+}
+
+// readOnlyReply builds the error reply for a write on a read-only node:
+// a MOVED redirect when the leader is known, bare READONLY otherwise.
+func readOnlyReply(leader string) Value {
+	if leader != "" {
+		return errValue(wireCodeMoved + " " + leader)
+	}
+	return errValue(wireCodeReadOnly + " this node is a read replica; send writes to the primary")
+}
+
+// retryReply builds a RETRY error reply.
+func retryReply(detail string) Value {
+	return errValue(wireCodeRetry + " " + detail)
+}

@@ -1,0 +1,150 @@
+package ttkvwire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"ocasta/internal/ttkv"
+)
+
+// TestDecodeWireError pins the wire-code → typed-error mapping: clients
+// must branch with errors.Is / errors.As, never by message substring.
+func TestDecodeWireError(t *testing.T) {
+	t.Run("readonly", func(t *testing.T) {
+		err := decodeWireError("READONLY this node is a read replica")
+		if !errors.Is(err, ErrReadOnly) {
+			t.Fatalf("%v: want errors.Is ErrReadOnly", err)
+		}
+		var nl *ErrNotLeader
+		if errors.As(err, &nl) {
+			t.Fatalf("%v: bare READONLY must not carry a leader", err)
+		}
+		if errors.Is(err, ErrRetryable) {
+			t.Fatalf("%v: READONLY is not retryable-as-is", err)
+		}
+	})
+	t.Run("moved", func(t *testing.T) {
+		err := decodeWireError("MOVED 10.0.0.7:7677")
+		var nl *ErrNotLeader
+		if !errors.As(err, &nl) || nl.Leader != "10.0.0.7:7677" {
+			t.Fatalf("%v: want ErrNotLeader{Leader: 10.0.0.7:7677}", err)
+		}
+		// A MOVED rejection is still a read-only rejection: code that only
+		// cares about "can't write here" keeps working.
+		if !errors.Is(err, ErrReadOnly) {
+			t.Fatalf("%v: MOVED must unwrap to ErrReadOnly", err)
+		}
+	})
+	t.Run("retry", func(t *testing.T) {
+		err := decodeWireError("RETRY semi-sync: 1 ack not received")
+		if !errors.Is(err, ErrRetryable) {
+			t.Fatalf("%v: want errors.Is ErrRetryable", err)
+		}
+		if errors.Is(err, ErrReadOnly) {
+			t.Fatalf("%v: RETRY is not a read-only rejection", err)
+		}
+	})
+	t.Run("plain", func(t *testing.T) {
+		err := decodeWireError("boom")
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Msg != "boom" {
+			t.Fatalf("%v: want *RemoteError{Msg: boom}", err)
+		}
+		if errors.Is(err, ErrReadOnly) || errors.Is(err, ErrRetryable) {
+			t.Fatalf("%v: generic errors must not match the typed sentinels", err)
+		}
+	})
+}
+
+func startPlainServer(t *testing.T) (*ttkv.Store, string) {
+	t.Helper()
+	store := ttkv.NewSharded(4)
+	srv := NewServer(store)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	return store, ln.Addr().String()
+}
+
+// TestClientContextCancel: an already-cancelled context fails the call
+// with the context's error, without touching the server.
+func TestClientContextCancel(t *testing.T) {
+	store, addr := startPlainServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := cl.SetContext(ctx, "/c/k", "v", time.Now()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SetContext on cancelled ctx: %v, want context.Canceled", err)
+	}
+	if _, ok := store.Get("/c/k"); ok {
+		t.Fatal("cancelled write reached the store")
+	}
+}
+
+// TestClientContextDeadline: a deadline fires mid-call against a server
+// that never answers, and the transport error carries the context cause.
+func TestClientContextDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // held open, never answered
+		}
+	}()
+
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := cl.PingContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("PingContext against silent server: %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+}
+
+// TestClientContextFreeWrappers: the context-free methods still work and
+// delegate to the context-aware core.
+func TestClientContextFreeWrappers(t *testing.T) {
+	store, addr := startPlainServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Set("/w/k", "v", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := cl.Get("/w/k"); err != nil || got != "v" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if got := primaryGet(t, store, "/w/k"); got != "v" {
+		t.Fatalf("store has %q", got)
+	}
+	if _, err := cl.Get("/w/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing: %v, want ErrNotFound", err)
+	}
+}

@@ -1,0 +1,486 @@
+package ttkvwire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ocasta/internal/ttkv"
+)
+
+// ErrNoCluster is returned when no configured peer is reachable.
+var ErrNoCluster = errors.New("ttkvwire: no reachable cluster member")
+
+// FailoverOption configures a FailoverClient; see the With* constructors.
+type FailoverOption func(*failoverOptions)
+
+type failoverOptions struct {
+	peers        []string
+	dialTimeout  time.Duration
+	callTimeout  time.Duration
+	semiSyncAcks int
+	maxRedirects int
+	retryBackoff time.Duration
+	logf         func(format string, args ...any)
+}
+
+func defaultFailoverOptions() failoverOptions {
+	return failoverOptions{
+		dialTimeout:  2 * time.Second,
+		maxRedirects: 8,
+		retryBackoff: 50 * time.Millisecond,
+	}
+}
+
+// WithPeers seeds the client's member list. At least one peer is
+// required; the list grows automatically as TOPO replies reveal more
+// members.
+func WithPeers(addrs ...string) FailoverOption {
+	return func(o *failoverOptions) { o.peers = append(o.peers, addrs...) }
+}
+
+// WithDialTimeout bounds each connection attempt (default 2s).
+func WithDialTimeout(d time.Duration) FailoverOption {
+	return func(o *failoverOptions) { o.dialTimeout = d }
+}
+
+// WithCallTimeout bounds each individual round trip, on top of whatever
+// deadline the per-call context carries (default: none).
+func WithCallTimeout(d time.Duration) FailoverOption {
+	return func(o *failoverOptions) { o.callTimeout = d }
+}
+
+// WithSemiSync requires k replica acknowledgements per write: every
+// connection the client establishes negotiates SEMISYNC k, so write acks
+// imply the write reached k replicas (see SemiSyncConfig for the exact
+// guarantee). k can only strengthen the server's configured default.
+func WithSemiSync(k int) FailoverOption {
+	return func(o *failoverOptions) { o.semiSyncAcks = k }
+}
+
+// WithMaxRedirects bounds how many redirect/rediscovery hops one
+// operation may take before its error is returned (default 8).
+func WithMaxRedirects(n int) FailoverOption {
+	return func(o *failoverOptions) { o.maxRedirects = n }
+}
+
+// WithRetryBackoff sets the pause between failover retries (default
+// 50ms). Each consecutive retry doubles it, up to 16x.
+func WithRetryBackoff(d time.Duration) FailoverOption {
+	return func(o *failoverOptions) { o.retryBackoff = d }
+}
+
+// WithLogf routes the client's reconnect/redirect diagnostics to f.
+func WithLogf(f func(format string, args ...any)) FailoverOption {
+	return func(o *failoverOptions) { o.logf = f }
+}
+
+// FailoverClient is a cluster-aware TTKV client: it discovers the
+// current primary through TOPO, follows MOVED redirects, rediscovers the
+// topology when its node dies or demotes, and retries transient (RETRY)
+// conditions — so a failover in progress surfaces to callers as latency,
+// not an error, as long as a new primary emerges within the redirect
+// budget. All methods take a context and are safe for concurrent use.
+//
+// Error contract: typed wire errors that survive the retry budget are
+// returned as-is (errors.Is(err, ErrReadOnly) / ErrRetryable,
+// errors.As(&ErrNotLeader{})); application errors (ErrNotFound,
+// *RemoteError) are returned immediately, never retried.
+type FailoverClient struct {
+	opts failoverOptions
+
+	mu     sync.Mutex
+	cl     *Client
+	leader string   // address the current connection targets
+	peers  []string // known member list, deduplicated, discovery order
+}
+
+// DialCluster connects to a TTKV cluster. It tries the configured peers
+// until it finds the primary (or, failing that, any reachable member —
+// reads work against replicas; writes will redirect once a primary
+// exists).
+func DialCluster(ctx context.Context, opts ...FailoverOption) (*FailoverClient, error) {
+	o := defaultFailoverOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if len(o.peers) == 0 {
+		return nil, errors.New("ttkvwire: DialCluster needs at least one peer (WithPeers)")
+	}
+	fc := &FailoverClient{opts: o}
+	fc.peers = dedupe(o.peers)
+	if _, err := fc.connect(ctx); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+// Close drops the current connection.
+func (fc *FailoverClient) Close() error {
+	fc.mu.Lock()
+	cl := fc.cl
+	fc.cl = nil
+	fc.mu.Unlock()
+	if cl != nil {
+		return cl.Close()
+	}
+	return nil
+}
+
+// Leader returns the address of the node the client is currently
+// attached to (the primary, under normal operation).
+func (fc *FailoverClient) Leader() string {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.leader
+}
+
+// Peers returns the client's known member list.
+func (fc *FailoverClient) Peers() []string {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return append([]string(nil), fc.peers...)
+}
+
+func (fc *FailoverClient) logf(format string, args ...any) {
+	if fc.opts.logf != nil {
+		fc.opts.logf(format, args...)
+	}
+}
+
+func dedupe(addrs []string) []string {
+	seen := make(map[string]struct{}, len(addrs))
+	out := make([]string, 0, len(addrs))
+	for _, a := range addrs {
+		if a == "" {
+			continue
+		}
+		if _, dup := seen[a]; dup {
+			continue
+		}
+		seen[a] = struct{}{}
+		out = append(out, a)
+	}
+	return out
+}
+
+// notePeers merges newly learned member addresses into the peer list.
+func (fc *FailoverClient) notePeers(topo Topology) {
+	fc.mu.Lock()
+	fc.peers = dedupe(append(fc.peers, append([]string{topo.Self, topo.Leader}, topo.Peers...)...))
+	fc.mu.Unlock()
+}
+
+// connect establishes (or returns) the client's connection. It walks the
+// candidate list — last-known leader first — reading each member's TOPO:
+// a primary is used directly, a replica forwards the walk to its leader,
+// and when no primary is reachable the first reachable member serves as
+// a read-only fallback.
+func (fc *FailoverClient) connect(ctx context.Context) (*Client, error) {
+	fc.mu.Lock()
+	if fc.cl != nil {
+		cl := fc.cl
+		fc.mu.Unlock()
+		return cl, nil
+	}
+	candidates := fc.peers
+	if fc.leader != "" {
+		candidates = append([]string{fc.leader}, candidates...)
+	}
+	fc.mu.Unlock()
+	candidates = dedupe(candidates)
+
+	var fallback *Client
+	var fallbackAddr string
+	defer func() {
+		if fallback != nil {
+			fallback.Close()
+		}
+	}()
+	tried := make(map[string]struct{})
+	for i := 0; i < len(candidates); i++ {
+		addr := candidates[i]
+		if _, dup := tried[addr]; dup {
+			continue
+		}
+		tried[addr] = struct{}{}
+		cl, topo, err := fc.probe(ctx, addr)
+		if err != nil {
+			fc.logf("failover client: %s unreachable: %v", addr, err)
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		fc.notePeers(topo)
+		if topo.Role == RolePrimary {
+			if fallback != nil {
+				fallback.Close()
+				fallback = nil
+			}
+			return fc.adopt(ctx, cl, addr, topo)
+		}
+		// A replica that knows its leader forwards the walk there.
+		if topo.Leader != "" && topo.Leader != addr {
+			candidates = append(candidates, topo.Leader)
+		}
+		if fallback == nil {
+			fallback, fallbackAddr = cl, addr
+		} else {
+			cl.Close()
+		}
+	}
+	if fallback != nil {
+		fc.logf("failover client: no primary reachable; using %s read-only", fallbackAddr)
+		cl := fallback
+		fallback = nil
+		return fc.adopt(ctx, cl, fallbackAddr, Topology{})
+	}
+	return nil, ErrNoCluster
+}
+
+// probe dials addr and reads its topology.
+func (fc *FailoverClient) probe(ctx context.Context, addr string) (*Client, Topology, error) {
+	dctx := ctx
+	if fc.opts.dialTimeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, fc.opts.dialTimeout)
+		defer cancel()
+	}
+	cl, err := DialContext(dctx, addr)
+	if err != nil {
+		return nil, Topology{}, err
+	}
+	topo, err := cl.TopologyContext(dctx)
+	if err != nil {
+		cl.Close()
+		return nil, Topology{}, err
+	}
+	return cl, topo, nil
+}
+
+// adopt installs cl as the live connection, negotiating semi-sync if
+// configured. Topology self-addresses win over the dialed address so
+// future redirects use the node's advertised identity.
+func (fc *FailoverClient) adopt(ctx context.Context, cl *Client, addr string, topo Topology) (*Client, error) {
+	if fc.opts.semiSyncAcks > 0 {
+		if err := cl.SemiSyncContext(ctx, fc.opts.semiSyncAcks); err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("ttkvwire: negotiating semi-sync with %s: %w", addr, err)
+		}
+	}
+	if topo.Self != "" {
+		addr = topo.Self
+	}
+	fc.mu.Lock()
+	if fc.cl != nil {
+		// A concurrent caller connected first; use theirs.
+		existing := fc.cl
+		fc.mu.Unlock()
+		cl.Close()
+		return existing, nil
+	}
+	fc.cl = cl
+	fc.leader = addr
+	fc.mu.Unlock()
+	return cl, nil
+}
+
+// dropConn discards cl if it is still the live connection.
+func (fc *FailoverClient) dropConn(cl *Client) {
+	fc.mu.Lock()
+	if fc.cl == cl {
+		fc.cl = nil
+	}
+	fc.mu.Unlock()
+	cl.Close()
+}
+
+// setLeader records a redirect target and drops the current connection
+// so the next attempt dials it.
+func (fc *FailoverClient) setLeader(cl *Client, leader string) {
+	fc.mu.Lock()
+	if leader != "" {
+		fc.leader = leader
+		fc.peers = dedupe(append(fc.peers, leader))
+	} else {
+		fc.leader = "" // unknown: full rediscovery
+	}
+	fc.mu.Unlock()
+	fc.dropConn(cl)
+}
+
+// do runs op with redirect-on-readonly, reconnect-on-promotion, and
+// retry-on-transient handling. Each redirect, rediscovery, or retry
+// consumes one hop from the budget; exhausting it returns the last
+// error.
+func (fc *FailoverClient) do(ctx context.Context, op func(ctx context.Context, cl *Client) error) error {
+	var lastErr error
+	backoff := fc.opts.retryBackoff
+	maxBackoff := 16 * fc.opts.retryBackoff
+	for hop := 0; hop <= fc.opts.maxRedirects; hop++ {
+		if hop > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff < maxBackoff {
+				backoff *= 2
+			}
+		}
+		cl, err := fc.connect(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		opctx := ctx
+		cancel := func() {}
+		if fc.opts.callTimeout > 0 {
+			opctx, cancel = context.WithTimeout(ctx, fc.opts.callTimeout)
+		}
+		err = op(opctx, cl)
+		cancel()
+		switch {
+		case err == nil:
+			return nil
+		case ctx.Err() != nil:
+			// The caller's context ended; don't burn hops on it.
+			return err
+		default:
+		}
+		var notLeader *ErrNotLeader
+		var remote *RemoteError
+		switch {
+		case errors.As(err, &notLeader):
+			fc.logf("failover client: redirected to %s", notLeader.Leader)
+			fc.setLeader(cl, notLeader.Leader)
+		case errors.Is(err, ErrReadOnly):
+			fc.logf("failover client: %s is read-only; rediscovering", fc.Leader())
+			fc.setLeader(cl, "")
+		case errors.Is(err, ErrRetryable):
+			fc.logf("failover client: transient: %v", err)
+		case errors.As(err, &remote), errors.Is(err, ErrNotFound), errors.Is(err, ErrProtocol):
+			// Application-level outcome; retrying cannot change it.
+			return err
+		default:
+			// Transport failure: the node (or our connection) died.
+			fc.logf("failover client: connection to %s failed: %v", fc.Leader(), err)
+			fc.dropConn(cl)
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("ttkvwire: failover budget exhausted: %w", lastErr)
+}
+
+// Ping checks liveness of the current node.
+func (fc *FailoverClient) Ping(ctx context.Context) error {
+	return fc.do(ctx, func(ctx context.Context, cl *Client) error {
+		return cl.PingContext(ctx)
+	})
+}
+
+// Set records a write of key at time t on the primary.
+func (fc *FailoverClient) Set(ctx context.Context, key, value string, t time.Time) error {
+	return fc.do(ctx, func(ctx context.Context, cl *Client) error {
+		return cl.SetContext(ctx, key, value, t)
+	})
+}
+
+// Delete records a deletion of key at time t on the primary.
+func (fc *FailoverClient) Delete(ctx context.Context, key string, t time.Time) error {
+	return fc.do(ctx, func(ctx context.Context, cl *Client) error {
+		return cl.DeleteContext(ctx, key, t)
+	})
+}
+
+// MSet records a batch of writes on the primary. Chunks that applied
+// before a mid-batch failover may be re-applied by a retry; mutations
+// are idempotent per (key, timestamp), so the history converges.
+func (fc *FailoverClient) MSet(ctx context.Context, muts []ttkv.Mutation) error {
+	return fc.do(ctx, func(ctx context.Context, cl *Client) error {
+		return cl.MSetContext(ctx, muts)
+	})
+}
+
+// Get fetches the current value of key; ErrNotFound if absent or deleted.
+func (fc *FailoverClient) Get(ctx context.Context, key string) (string, error) {
+	var out string
+	err := fc.do(ctx, func(ctx context.Context, cl *Client) error {
+		v, err := cl.GetContext(ctx, key)
+		out = v
+		return err
+	})
+	return out, err
+}
+
+// GetAt fetches the version of key in effect at time t.
+func (fc *FailoverClient) GetAt(ctx context.Context, key string, t time.Time) (ttkv.Version, error) {
+	var out ttkv.Version
+	err := fc.do(ctx, func(ctx context.Context, cl *Client) error {
+		v, err := cl.GetAtContext(ctx, key, t)
+		out = v
+		return err
+	})
+	return out, err
+}
+
+// History fetches the full version history of key, oldest first.
+func (fc *FailoverClient) History(ctx context.Context, key string) ([]ttkv.Version, error) {
+	var out []ttkv.Version
+	err := fc.do(ctx, func(ctx context.Context, cl *Client) error {
+		v, err := cl.HistoryContext(ctx, key)
+		out = v
+		return err
+	})
+	return out, err
+}
+
+// Keys lists every key the cluster has seen, sorted.
+func (fc *FailoverClient) Keys(ctx context.Context) ([]string, error) {
+	var out []string
+	err := fc.do(ctx, func(ctx context.Context, cl *Client) error {
+		v, err := cl.KeysContext(ctx)
+		out = v
+		return err
+	})
+	return out, err
+}
+
+// Stats fetches the attached node's store statistics.
+func (fc *FailoverClient) Stats(ctx context.Context) (ttkv.Stats, error) {
+	var out ttkv.Stats
+	err := fc.do(ctx, func(ctx context.Context, cl *Client) error {
+		v, err := cl.StatsContext(ctx)
+		out = v
+		return err
+	})
+	return out, err
+}
+
+// Clusters fetches the attached node's live clustering snapshot.
+func (fc *FailoverClient) Clusters(ctx context.Context, minSize int) (ClusterSnapshot, error) {
+	var out ClusterSnapshot
+	err := fc.do(ctx, func(ctx context.Context, cl *Client) error {
+		v, err := cl.ClustersContext(ctx, minSize)
+		out = v
+		return err
+	})
+	return out, err
+}
+
+// Topology fetches the attached node's cluster view.
+func (fc *FailoverClient) Topology(ctx context.Context) (Topology, error) {
+	var out Topology
+	err := fc.do(ctx, func(ctx context.Context, cl *Client) error {
+		v, err := cl.TopologyContext(ctx)
+		out = v
+		return err
+	})
+	return out, err
+}

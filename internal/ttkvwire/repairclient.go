@@ -1,6 +1,7 @@
 package ttkvwire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -73,6 +74,12 @@ func (st *RepairStatus) Finished() bool {
 // id. Poll with RepairStatus (or RepairWait), confirm the screenshot, and
 // apply the rollback with RepairFix.
 func (c *Client) RepairSubmit(req RepairRequest) (string, error) {
+	return c.RepairSubmitContext(context.Background(), req)
+}
+
+// RepairSubmitContext submits an asynchronous repair search; see
+// RepairSubmit.
+func (c *Client) RepairSubmitContext(ctx context.Context, req RepairRequest) (string, error) {
 	if len(req.Trial) == 0 {
 		return "", repair.ErrNoTrial
 	}
@@ -110,7 +117,7 @@ func (c *Client) RepairSubmit(req RepairRequest) (string, error) {
 	if req.MaxTrials != 0 {
 		opt("maxtrials", strconv.Itoa(req.MaxTrials))
 	}
-	v, err := c.roundTrip(args...)
+	v, err := c.roundTrip(ctx, args...)
 	if err != nil {
 		return "", err
 	}
@@ -122,7 +129,12 @@ func (c *Client) RepairSubmit(req RepairRequest) (string, error) {
 
 // RepairStatus polls one repair job.
 func (c *Client) RepairStatus(id string) (RepairStatus, error) {
-	v, err := c.roundTrip("RSTAT", id)
+	return c.RepairStatusContext(context.Background(), id)
+}
+
+// RepairStatusContext polls one repair job.
+func (c *Client) RepairStatusContext(ctx context.Context, id string) (RepairStatus, error) {
+	v, err := c.roundTrip(ctx, "RSTAT", id)
 	if err != nil {
 		return RepairStatus{}, err
 	}
@@ -192,14 +204,50 @@ func (c *Client) RepairWait(id string, poll, timeout time.Duration) (RepairStatu
 	}
 }
 
+// RepairWaitContext polls a job every poll interval until it finishes or
+// ctx ends, returning the final status. A context deadline surfaces as
+// ErrRepairTimeout (matching RepairWait); a cancellation surfaces as the
+// context's error. Unlike RepairWait, the deadline also bounds each RSTAT
+// round trip — a hung server fails the wait instead of blocking it.
+func (c *Client) RepairWaitContext(ctx context.Context, id string, poll time.Duration) (RepairStatus, error) {
+	if poll <= 0 {
+		poll = 20 * time.Millisecond
+	}
+	mapErr := func(err error) error {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return ErrRepairTimeout
+		}
+		return err
+	}
+	for {
+		st, err := c.RepairStatusContext(ctx, id)
+		if err != nil {
+			return st, mapErr(err)
+		}
+		if st.Finished() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, mapErr(ctx.Err())
+		case <-time.After(poll):
+		}
+	}
+}
+
 // RepairFix applies a finished job's confirmed fix: the offending cluster
 // is atomically rolled back to its values at the fix point, recorded as
 // new writes at time at. Returns the number of reverted keys.
 func (c *Client) RepairFix(id string, at time.Time) (int, error) {
+	return c.RepairFixContext(context.Background(), id, at)
+}
+
+// RepairFixContext applies a finished job's confirmed fix; see RepairFix.
+func (c *Client) RepairFixContext(ctx context.Context, id string, at time.Time) (int, error) {
 	if at.IsZero() {
 		return 0, fmt.Errorf("ttkvwire: RepairFix requires a non-zero apply time")
 	}
-	v, err := c.roundTrip("RFIX", id, strconv.FormatInt(at.UnixNano(), 10))
+	v, err := c.roundTrip(ctx, "RFIX", id, strconv.FormatInt(at.UnixNano(), 10))
 	if err != nil {
 		return 0, err
 	}

@@ -2,10 +2,10 @@ package ttkvwire
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
-	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -187,9 +187,8 @@ func TestReplicaRejectsWrites(t *testing.T) {
 
 	assertReadonly := func(name string, err error) {
 		t.Helper()
-		var re *RemoteError
-		if !errors.As(err, &re) || !strings.Contains(re.Msg, "readonly") {
-			t.Errorf("%s on replica: err = %v, want readonly rejection", name, err)
+		if !errors.Is(err, ErrReadOnly) {
+			t.Errorf("%s on replica: err = %v, want errors.Is(err, ErrReadOnly)", name, err)
 		}
 	}
 	assertReadonly("SET", cl.Set("k", "x", at(2)))
@@ -222,7 +221,7 @@ func TestReplStatRoles(t *testing.T) {
 		t.Fatalf("standalone REPLSTAT = %+v, %v; want role none", st, err)
 	}
 	// A standalone server also refuses SYNC without killing the conn.
-	if _, err := scl.roundTrip("SYNC", "0", "?"); err == nil {
+	if _, err := scl.roundTrip(context.Background(), "SYNC", "0", "?"); err == nil {
 		t.Fatal("SYNC on a non-replicating server must error")
 	}
 	if err := scl.Ping(); err != nil {

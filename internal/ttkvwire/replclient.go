@@ -2,6 +2,7 @@ package ttkvwire
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -75,6 +76,8 @@ type ReplicaStatus struct {
 	PrimarySeq uint64 // newest durable sequence heard from the primary
 	Reconnects int    // completed handshakes beyond the first attempt
 	LastError  string
+	RunID      string // primary incarnation last synced with
+	Epoch      uint64 // primary's fencing epoch from the last handshake
 }
 
 // ReplicaClient maintains asynchronous replication from a primary into a
@@ -86,15 +89,17 @@ type ReplicaStatus struct {
 type ReplicaClient struct {
 	cfg ReplicaConfig
 
-	mu         sync.Mutex
-	conn       net.Conn // live connection, for Stop to sever
-	state      string
-	applied    uint64
-	primarySeq uint64
-	reconnects int
-	synced     int // successful handshakes, for backoff reset
-	lastErr    string
-	runID      string // primary incarnation last synced with
+	mu          sync.Mutex
+	conn        net.Conn // live connection, for Stop to sever
+	state       string
+	applied     uint64
+	primarySeq  uint64
+	reconnects  int
+	synced      int // successful handshakes, for backoff reset
+	lastErr     string
+	runID       string    // primary incarnation last synced with
+	epoch       uint64    // primary's fencing epoch from the last handshake
+	lastContact time.Time // last successful handshake or frame read
 
 	stop chan struct{}
 	done chan struct{}
@@ -112,8 +117,12 @@ func StartReplica(cfg ReplicaConfig) (*ReplicaClient, error) {
 		cfg:     cfg.withDefaults(),
 		state:   ReplicaConnecting,
 		applied: cfg.Store.CurrentSeq(),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		// Seeding lastContact at start gives failure detection a full
+		// lease interval of grace before a never-reached primary counts
+		// as dead.
+		lastContact: time.Now(),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	go rc.run()
 	return rc, nil
@@ -151,6 +160,8 @@ func (rc *ReplicaClient) ReplicaStatus() ReplicaStatus {
 		PrimarySeq: rc.primarySeq,
 		Reconnects: rc.reconnects,
 		LastError:  rc.lastErr,
+		RunID:      rc.runID,
+		Epoch:      rc.epoch,
 	}
 }
 
@@ -159,6 +170,25 @@ func (rc *ReplicaClient) AppliedSeq() uint64 {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	return rc.applied
+}
+
+// PrimaryEpoch returns the primary's fencing epoch from the last
+// completed handshake (zero before any, or against a pre-failover
+// primary).
+func (rc *ReplicaClient) PrimaryEpoch() uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.epoch
+}
+
+// LastContact returns when the replica last heard from its primary: a
+// completed handshake or any received frame (data or heartbeat). The
+// failover lease check compares this against the lease interval; a
+// primary silent past the lease is presumed dead.
+func (rc *ReplicaClient) LastContact() time.Time {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.lastContact
 }
 
 func (rc *ReplicaClient) logf(format string, args ...any) {
@@ -255,7 +285,7 @@ func (rc *ReplicaClient) syncOnce() error {
 	if reply.Kind == KindError {
 		return &RemoteError{Msg: reply.Str}
 	}
-	newRunID, from, full, err := parseSyncReply(reply)
+	newRunID, from, epoch, full, err := parseSyncReply(reply)
 	if err != nil {
 		return err
 	}
@@ -276,7 +306,9 @@ func (rc *ReplicaClient) syncOnce() error {
 	}
 	rc.mu.Lock()
 	rc.runID = newRunID
+	rc.epoch = epoch
 	rc.primarySeq = from
+	rc.lastContact = time.Now()
 	// A resume that is already at the watermark has no snapshot phase to
 	// apply; it is streaming from the first frame.
 	if rc.applied >= from {
@@ -300,6 +332,9 @@ func (rc *ReplicaClient) syncOnce() error {
 		if err != nil {
 			return err
 		}
+		rc.mu.Lock()
+		rc.lastContact = time.Now()
+		rc.mu.Unlock()
 		switch kind {
 		case replFrameHeartbeat:
 			rc.mu.Lock()
@@ -356,21 +391,28 @@ func (rc *ReplicaClient) syncOnce() error {
 	}
 }
 
-// parseSyncReply parses "FULLRESYNC <runid> <fromSeq>" or
-// "CONTINUE <runid> <fromSeq>".
-func parseSyncReply(v Value) (runID string, from uint64, full bool, err error) {
+// parseSyncReply parses "FULLRESYNC <runid> <fromSeq> [epoch]" or
+// "CONTINUE <runid> <fromSeq> [epoch]". The epoch field was added with
+// failover; replies from pre-failover primaries omit it (epoch 0).
+func parseSyncReply(v Value) (runID string, from, epoch uint64, full bool, err error) {
 	if v.Kind != KindSimple {
-		return "", 0, false, fmt.Errorf("%w: unexpected SYNC reply %+v", ErrProtocol, v)
+		return "", 0, 0, false, fmt.Errorf("%w: unexpected SYNC reply %+v", ErrProtocol, v)
 	}
 	fields := strings.Fields(v.Str)
-	if len(fields) != 3 || (fields[0] != "FULLRESYNC" && fields[0] != "CONTINUE") {
-		return "", 0, false, fmt.Errorf("%w: bad SYNC reply %q", ErrProtocol, v.Str)
+	if len(fields) < 3 || len(fields) > 4 || (fields[0] != "FULLRESYNC" && fields[0] != "CONTINUE") {
+		return "", 0, 0, false, fmt.Errorf("%w: bad SYNC reply %q", ErrProtocol, v.Str)
 	}
 	from, err = strconv.ParseUint(fields[2], 10, 64)
 	if err != nil {
-		return "", 0, false, fmt.Errorf("%w: bad SYNC watermark %q", ErrProtocol, fields[2])
+		return "", 0, 0, false, fmt.Errorf("%w: bad SYNC watermark %q", ErrProtocol, fields[2])
 	}
-	return fields[1], from, fields[0] == "FULLRESYNC", nil
+	if len(fields) == 4 {
+		epoch, err = strconv.ParseUint(fields[3], 10, 64)
+		if err != nil {
+			return "", 0, 0, false, fmt.Errorf("%w: bad SYNC epoch %q", ErrProtocol, fields[3])
+		}
+	}
+	return fields[1], from, epoch, fields[0] == "FULLRESYNC", nil
 }
 
 // ReplStatus is a parsed REPLSTAT reply.
@@ -408,7 +450,12 @@ type ReplicaLink struct {
 
 // ReplStatus fetches the server's replication role and progress.
 func (c *Client) ReplStatus() (ReplStatus, error) {
-	v, err := c.roundTrip("REPLSTAT")
+	return c.ReplStatusContext(context.Background())
+}
+
+// ReplStatusContext fetches the server's replication role and progress.
+func (c *Client) ReplStatusContext(ctx context.Context) (ReplStatus, error) {
+	v, err := c.roundTrip(ctx, "REPLSTAT")
 	if err != nil {
 		return ReplStatus{}, err
 	}

@@ -45,31 +45,72 @@ func (c ReplicationConfig) withDefaults() ReplicationConfig {
 // EnableReplication makes the server a replication primary: SYNC streams
 // a snapshot plus a live committed-record tail to each replica, and
 // REPLSTAT reports per-replica progress. rl must be attached to the
-// served store (Store.AttachReplLog). Call before Serve.
+// served store (Store.AttachReplLog). Safe at any time — failover
+// promotes live servers — and also clears any replica status source from
+// a previous replica role.
 //
 // The run ID identifies this primary incarnation: a replica that last
 // synced with a different incarnation cannot trust its local prefix (a
 // restarted primary may have re-minted sequence numbers differently) and
 // is told to full-resync from scratch.
 func (s *Server) EnableReplication(rl *ttkv.ReplLog, cfg ReplicationConfig) {
+	s.mu.Lock()
 	s.replLog = rl
 	s.replCfg = cfg.withDefaults()
 	s.runID = newRunID()
+	s.replicaStat = nil
+	s.mu.Unlock()
+}
+
+// DisableReplication ends the primary role: SYNC is refused and every
+// connected replica feed is torn down (the replicas reconnect elsewhere
+// per their own configuration). Used on demotion, before the node starts
+// replicating from the new leader.
+func (s *Server) DisableReplication() {
+	s.mu.Lock()
+	s.replLog = nil
+	s.runID = ""
+	sessions := make([]*replSession, 0, len(s.replSessions))
+	for sess := range s.replSessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		// Closing the outbox wakes the feed's writer loop, which closes
+		// the connection and unregisters the session.
+		sess.sub.Close()
+	}
+}
+
+// replState snapshots the primary-role state for one handshake or status
+// reply; rl is nil when replication is not (or no longer) enabled.
+func (s *Server) replState() (rl *ttkv.ReplLog, cfg ReplicationConfig, runID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replLog, s.replCfg, s.runID
 }
 
 // SetReadOnly makes the server reject mutating commands (SET, MSET, DEL,
-// RFIX) with "ERR readonly": the replica role. Reads, history, analytics
-// (CLUSTERS/CORR), and repair diagnosis stay local; only the fix must be
-// applied on the primary. Call before Serve.
-func (s *Server) SetReadOnly(ro bool) { s.readOnly = ro }
+// RFIX) with a typed READONLY/MOVED error: the replica role. Reads,
+// history, analytics (CLUSTERS/CORR), and repair diagnosis stay local;
+// only the fix must be applied on the primary. Safe at any time —
+// failover flips it on promotion and demotion.
+func (s *Server) SetReadOnly(ro bool) { s.readOnly.Store(ro) }
+
+// ReadOnly reports whether mutating commands are currently rejected.
+func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
 
 // ReplicaStatusSource is how the serving layer asks the replication
 // client for its live state; *ReplicaClient implements it.
 type ReplicaStatusSource interface{ ReplicaStatus() ReplicaStatus }
 
-// SetReplicaStatus wires a replica's sync client into REPLSTAT. Call
-// before Serve.
-func (s *Server) SetReplicaStatus(src ReplicaStatusSource) { s.replicaStat = src }
+// SetReplicaStatus wires a replica's sync client into REPLSTAT. Safe at
+// any time; pass nil to clear (promotion does, via EnableReplication).
+func (s *Server) SetReplicaStatus(src ReplicaStatusSource) {
+	s.mu.Lock()
+	s.replicaStat = src
+	s.mu.Unlock()
+}
 
 // newRunID returns a random 16-hex-digit primary incarnation ID.
 func newRunID() string {
@@ -107,9 +148,6 @@ func (s *Server) removeReplSession(sess *replSession) {
 	s.mu.Unlock()
 }
 
-// errReadonly is the reply to mutating commands on a read replica.
-const errReadonly = "ERR readonly: this node is a read replica; send writes to the primary"
-
 // isMutating reports whether cmd writes to the store.
 func isMutating(cmd string) bool {
 	switch cmd {
@@ -132,7 +170,8 @@ func (s *Server) trySync(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, args
 		}
 		return bw.Flush() != nil
 	}
-	if s.replLog == nil {
+	rl, cfg, runID := s.replState()
+	if rl == nil {
 		return refuse("ERR replication not enabled on this server")
 	}
 	if len(args) != 2 {
@@ -142,7 +181,7 @@ func (s *Server) trySync(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, args
 	if err != nil {
 		return refuse("ERR bad afterSeq: " + args[0])
 	}
-	resume := args[1] == s.runID
+	resume := args[1] == runID
 	if !resume {
 		// Unknown or stale incarnation: the replica's local prefix cannot
 		// be trusted; it must reset and take everything from scratch.
@@ -152,7 +191,7 @@ func (s *Server) trySync(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, args
 	// Registering the outbox fixes the snapshot/tail boundary: everything
 	// at or below `from` is committed and visible in the store (shipped as
 	// a snapshot below); everything above arrives through the outbox.
-	sub, from := s.replLog.Subscribe(s.replCfg.OutboxBytes)
+	sub, from := rl.Subscribe(cfg.OutboxBytes)
 	if afterSeq > from {
 		sub.Close()
 		return refuse(fmt.Sprintf("ERR replica ahead of primary (afterSeq %d > durable %d)", afterSeq, from))
@@ -161,7 +200,9 @@ func (s *Server) trySync(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, args
 	if !resume {
 		status = "FULLRESYNC"
 	}
-	if err := WriteValue(bw, simple(fmt.Sprintf("%s %s %d", status, s.runID, from))); err != nil {
+	// The trailing epoch is the failover fencing term; pre-failover
+	// replicas ignore unknown trailing fields.
+	if err := WriteValue(bw, simple(fmt.Sprintf("%s %s %d %d", status, runID, from, rl.Epoch()))); err != nil {
 		sub.Close()
 		return true
 	}
@@ -190,10 +231,11 @@ func (s *Server) trySync(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, args
 				return
 			}
 			sess.ackedSeq.Store(seq)
+			s.noteReplicaAck() // wake semi-sync waiters to re-count
 		}
 	}()
 
-	s.streamFeed(conn, bw, sub, sess, afterSeq, from)
+	s.streamFeed(conn, bw, rl, cfg, sub, sess, afterSeq, from)
 
 	s.removeReplSession(sess)
 	sub.Close()
@@ -204,9 +246,9 @@ func (s *Server) trySync(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, args
 
 // streamFeed ships the snapshot range (afterSeq, from] and then the live
 // outbox tail until the feed dies.
-func (s *Server) streamFeed(conn net.Conn, bw *bufio.Writer, sub *ttkv.ReplSub, sess *replSession, afterSeq, from uint64) {
+func (s *Server) streamFeed(conn net.Conn, bw *bufio.Writer, rl *ttkv.ReplLog, cfg ReplicationConfig, sub *ttkv.ReplSub, sess *replSession, afterSeq, from uint64) {
 	writeFrames := func(payloads [][]byte) error {
-		conn.SetWriteDeadline(time.Now().Add(s.replCfg.WriteTimeout))
+		conn.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
 		buf := make([]byte, 0, replFrameChunk)
 		for _, p := range payloads {
 			if len(buf) > 0 && len(buf)+len(p) > replFrameChunk {
@@ -246,7 +288,7 @@ func (s *Server) streamFeed(conn net.Conn, bw *bufio.Writer, sub *ttkv.ReplSub, 
 		if hi > from || hi < lo { // second test: uint64 wrap safety
 			hi = from
 		}
-		conn.SetWriteDeadline(time.Now().Add(s.replCfg.WriteTimeout))
+		conn.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
 		if err := writeReplSeq(bw, replFrameHeartbeat, from); err != nil {
 			return
 		}
@@ -258,7 +300,7 @@ func (s *Server) streamFeed(conn net.Conn, bw *bufio.Writer, sub *ttkv.ReplSub, 
 		for i := range snap {
 			buf = ttkv.AppendReplRecord(buf, snap[i])
 			if len(buf) >= replFrameChunk || i == len(snap)-1 {
-				conn.SetWriteDeadline(time.Now().Add(s.replCfg.WriteTimeout))
+				conn.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
 				if err := writeReplData(bw, buf); err != nil {
 					return
 				}
@@ -275,13 +317,13 @@ func (s *Server) streamFeed(conn net.Conn, bw *bufio.Writer, sub *ttkv.ReplSub, 
 	// Live tail: committed records as the outbox delivers them, a
 	// heartbeat with the durable watermark when idle.
 	for {
-		data, lastSeq, err := sub.Next(s.replCfg.HeartbeatInterval)
+		data, lastSeq, err := sub.Next(cfg.HeartbeatInterval)
 		if err != nil {
 			return
 		}
 		if data == nil {
-			conn.SetWriteDeadline(time.Now().Add(s.replCfg.WriteTimeout))
-			if err := writeReplSeq(bw, replFrameHeartbeat, s.replLog.DurableSeq()); err != nil {
+			conn.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+			if err := writeReplSeq(bw, replFrameHeartbeat, rl.DurableSeq()); err != nil {
 				return
 			}
 			if err := bw.Flush(); err != nil {
@@ -307,8 +349,11 @@ func (s *Server) cmdReplStat(args []string) Value {
 	if len(args) != 0 {
 		return errValue("ERR usage: REPLSTAT")
 	}
-	if s.replicaStat != nil {
-		st := s.replicaStat.ReplicaStatus()
+	s.mu.Lock()
+	stat := s.replicaStat
+	s.mu.Unlock()
+	if stat != nil {
+		st := stat.ReplicaStatus()
 		lag := int64(0)
 		if st.PrimarySeq > st.AppliedSeq {
 			lag = int64(st.PrimarySeq - st.AppliedSeq)
@@ -319,13 +364,14 @@ func (s *Server) cmdReplStat(args []string) Value {
 			bulkInt(lag), bulkInt(int64(st.Reconnects)),
 		)
 	}
-	if s.replLog == nil {
+	rl, _, runID := s.replState()
+	if rl == nil {
 		return array(bulk("none"), bulkInt(int64(s.store.CurrentSeq())))
 	}
-	durable := s.replLog.DurableSeq()
+	durable := rl.DurableSeq()
 	out := []Value{
-		bulk("primary"), bulk(s.runID),
-		bulkInt(int64(s.replLog.AppendedSeq())), bulkInt(int64(durable)),
+		bulk("primary"), bulk(runID),
+		bulkInt(int64(rl.AppendedSeq())), bulkInt(int64(durable)),
 	}
 	s.mu.Lock()
 	sessions := make([]*replSession, 0, len(s.replSessions))

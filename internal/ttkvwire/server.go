@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ocasta/internal/core"
@@ -24,16 +25,31 @@ type Server struct {
 	analytics *core.Engine // nil when live clustering is disabled
 	repairCfg RepairConfig // bounds for the repair job manager
 
-	// Replication role state (see replserver.go). replLog/runID are set
-	// by EnableReplication on a primary; readOnly and replicaStat by
-	// SetReadOnly/SetReplicaStatus on a replica. All set before Serve.
+	// readOnly gates mutating commands; it flips at runtime on failover
+	// (promotion clears it, demotion sets it), so it lives outside mu to
+	// keep the dispatch hot path lock-free.
+	readOnly atomic.Bool
+
+	// ackMu guards the semi-sync wake channel; see semisync.go. It is a
+	// leaf lock: never acquired while holding mu, and nothing else is
+	// acquired while holding it.
+	ackMu   sync.Mutex
+	ackWake chan struct{}
+
+	mu sync.Mutex
+	// Replication role state (see replserver.go). replLog/replCfg/runID
+	// are set by EnableReplication on a primary (and cleared by
+	// DisableReplication on demotion); replicaStat by SetReplicaStatus on
+	// a replica. All may change at runtime under failover.
 	replLog     *ttkv.ReplLog
 	replCfg     ReplicationConfig
 	runID       string
-	readOnly    bool
 	replicaStat ReplicaStatusSource
+	leaderHint  string          // where MOVED redirects point while read-only
+	advertise   string          // this node's client-reachable address
+	topoSource  func() Topology // authoritative TOPO source (failover Node)
+	semiSync    SemiSyncConfig  // server-wide semi-sync default
 
-	mu           sync.Mutex
 	ln           net.Listener
 	conns        map[net.Conn]struct{}
 	closed       bool
@@ -150,6 +166,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
+	cs := &connState{}
 	for {
 		req, err := ReadValue(br)
 		if err != nil {
@@ -164,7 +181,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			continue
 		}
-		resp := s.dispatch(req)
+		resp := s.dispatch(cs, req)
 		if err := WriteValue(bw, resp); err != nil {
 			return
 		}
@@ -198,7 +215,17 @@ func syncArgs(req Value) ([]string, bool) {
 	return args, true
 }
 
-func (s *Server) dispatch(req Value) Value {
+// connState is per-connection dispatch state: session-scoped protocol
+// options negotiated by the client (currently the SEMISYNC ack override).
+type connState struct {
+	// semiAcks is the connection's semi-sync ack requirement; 0 means no
+	// override (the server-wide default applies). The effective K per
+	// write is the max of the two, so a connection can strengthen but
+	// never weaken the operator's durability floor.
+	semiAcks int
+}
+
+func (s *Server) dispatch(cs *connState, req Value) Value {
 	if req.Kind != KindArray || len(req.Array) == 0 {
 		return errValue("ERR request must be a non-empty array")
 	}
@@ -210,9 +237,22 @@ func (s *Server) dispatch(req Value) Value {
 		args[i] = v.Str
 	}
 	cmd := strings.ToUpper(args[0])
-	if s.readOnly && isMutating(cmd) {
-		return errValue(errReadonly)
+	if isMutating(cmd) {
+		if s.readOnly.Load() {
+			return readOnlyReply(s.LeaderHint())
+		}
+		resp := s.dispatchCmd(cs, cmd, args)
+		if resp.Kind != KindError {
+			if gateErr, ok := s.semiSyncGate(cs); !ok {
+				return gateErr
+			}
+		}
+		return resp
 	}
+	return s.dispatchCmd(cs, cmd, args)
+}
+
+func (s *Server) dispatchCmd(cs *connState, cmd string, args []string) Value {
 	switch cmd {
 	case "PING":
 		return simple("PONG")
@@ -248,6 +288,10 @@ func (s *Server) dispatch(req Value) Value {
 		return s.cmdRepairFix(args[1:])
 	case "REPLSTAT":
 		return s.cmdReplStat(args[1:])
+	case "TOPO":
+		return s.cmdTopo(args[1:])
+	case "SEMISYNC":
+		return s.cmdSemiSync(cs, args[1:])
 	default:
 		return errValue("ERR unknown command '" + cmd + "'")
 	}

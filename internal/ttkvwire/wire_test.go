@@ -3,6 +3,7 @@ package ttkvwire
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -225,16 +226,16 @@ func TestClientServerMisses(t *testing.T) {
 func TestServerRejectsBadCommands(t *testing.T) {
 	_, c := startServer(t)
 	var remote *RemoteError
-	if _, err := c.roundTrip("BOGUS"); !errors.As(err, &remote) {
+	if _, err := c.roundTrip(context.Background(), "BOGUS"); !errors.As(err, &remote) {
 		t.Errorf("unknown command: err = %v, want RemoteError", err)
 	}
-	if _, err := c.roundTrip("SET", "only-key"); !errors.As(err, &remote) {
+	if _, err := c.roundTrip(context.Background(), "SET", "only-key"); !errors.As(err, &remote) {
 		t.Errorf("bad arity: err = %v, want RemoteError", err)
 	}
-	if _, err := c.roundTrip("SET", "k", "v", "not-a-time"); !errors.As(err, &remote) {
+	if _, err := c.roundTrip(context.Background(), "SET", "k", "v", "not-a-time"); !errors.As(err, &remote) {
 		t.Errorf("bad timestamp: err = %v, want RemoteError", err)
 	}
-	if _, err := c.roundTrip("SET", "", "v", "0"); !errors.As(err, &remote) {
+	if _, err := c.roundTrip(context.Background(), "SET", "", "v", "0"); !errors.As(err, &remote) {
 		t.Errorf("empty key: err = %v, want RemoteError", err)
 	}
 	// Connection must still be usable after errors.
@@ -352,17 +353,17 @@ func TestMSet(t *testing.T) {
 func TestMSetServerRejectsBadBatches(t *testing.T) {
 	_, c := startServer(t)
 	var remote *RemoteError
-	if _, err := c.roundTrip("MSET", "k", "v"); !errors.As(err, &remote) {
+	if _, err := c.roundTrip(context.Background(), "MSET", "k", "v"); !errors.As(err, &remote) {
 		t.Errorf("bad arity: err = %v, want RemoteError", err)
 	}
-	if _, err := c.roundTrip("MSET", "k", "v", "not-a-time"); !errors.As(err, &remote) {
+	if _, err := c.roundTrip(context.Background(), "MSET", "k", "v", "not-a-time"); !errors.As(err, &remote) {
 		t.Errorf("bad timestamp: err = %v, want RemoteError", err)
 	}
-	if _, err := c.roundTrip("MSET", "", "v", "0"); !errors.As(err, &remote) {
+	if _, err := c.roundTrip(context.Background(), "MSET", "", "v", "0"); !errors.As(err, &remote) {
 		t.Errorf("empty key: err = %v, want RemoteError", err)
 	}
 	// A batch that fails validation applies nothing.
-	if _, err := c.roundTrip("MSET", "good", "v", "12345", "", "v", "12345"); !errors.As(err, &remote) {
+	if _, err := c.roundTrip(context.Background(), "MSET", "good", "v", "12345", "", "v", "12345"); !errors.As(err, &remote) {
 		t.Errorf("half-bad batch: err = %v, want RemoteError", err)
 	}
 	if _, err := c.Get("good"); !errors.Is(err, ErrNotFound) {

@@ -89,6 +89,8 @@ func NewStore() *Store { return ttkv.New() }
 
 // NewShardedStore returns an empty TTKV striped across n lock shards
 // (rounded up to a power of two); writers to distinct keys never contend.
+//
+// Deprecated: use OpenStore(StoreOptions{Shards: n}).
 func NewShardedStore(n int) *Store { return ttkv.NewSharded(n) }
 
 // LoadStore replays an append-only file into a fresh store, tolerating a
@@ -101,14 +103,23 @@ func CreateAOF(path string) (*AOF, error) { return ttkv.CreateAOF(path) }
 
 // OpenOrCreateAOF opens an AOF for appending, creating it if absent. A
 // crash-truncated tail is repaired before appending.
+//
+// Deprecated: use OpenStore(StoreOptions{AOFPath: path}), which replays,
+// repairs, and attaches the file in one call.
 func OpenOrCreateAOF(path string) (*AOF, error) { return ttkv.OpenOrCreateAOF(path) }
 
 // OpenAOFInto is OpenOrCreateAOF fused with replay into store — the
 // single-pass startup path a daemon wants.
+//
+// Deprecated: use OpenStore(StoreOptions{AOFPath: path}).
 func OpenAOFInto(path string, store *Store) (*AOF, error) { return ttkv.OpenAOFInto(path, store) }
 
 // NewGroupCommit wraps an AOF in a group-commit batch appender; attach it
 // with Store.AttachGroupCommit.
+//
+// Deprecated: use OpenStore, which assembles the group-commit pipeline
+// (StoreOptions.Fsync, StoreOptions.FlushInterval) and returns it on the
+// handle.
 func NewGroupCommit(a *AOF, cfg GroupCommitConfig) *GroupCommit {
 	return ttkv.NewGroupCommit(a, cfg)
 }
@@ -119,10 +130,16 @@ func NewServer(store *Store) *Server { return ttkvwire.NewServer(store) }
 // NewReplLog returns a replication log feeding gc (nil for an in-memory
 // primary: records are then shippable the instant they apply). Attach it
 // with Store.AttachReplLog and serve with Server.EnableReplication.
+//
+// Deprecated: use OpenStore(StoreOptions{Replicate: true}), which builds
+// and attaches the log.
 func NewReplLog(gc *GroupCommit) *ReplLog { return ttkv.NewReplLog(gc) }
 
 // StartReplica begins asynchronous replication from a primary into a
 // local store (serve it read-only with Server.SetReadOnly).
+//
+// Deprecated: use StartNode, which manages the replica client together
+// with failure detection, promotion, and fencing.
 func StartReplica(cfg ReplicaConfig) (*ReplicaClient, error) { return ttkvwire.StartReplica(cfg) }
 
 // Dial connects to a TTKV server.
