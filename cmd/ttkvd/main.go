@@ -38,9 +38,20 @@
 //
 //	ttkvd -addr :7677 -failover -peers 127.0.0.1:7678,127.0.0.1:7679 \
 //	      -semi-sync-acks 1
+//
+// With -backup-dir, the daemon serves the BACKUP and BSTAT commands
+// (-backup-interval adds a schedule: a full backup first, incrementals
+// after, pruned to -backup-keep chains), writing self-verifying backup
+// sets that survive the loss of every AOF. The restore subcommand
+// materializes a set — optionally at a historical sequence number or
+// timestamp — into a fresh AOF, entirely offline:
+//
+//	ttkvd -addr :7677 -aof store.aof -backup-dir backups -backup-interval 5m
+//	ttkvd restore -backup-dir backups -out store.aof -at 2026-08-07T12:00:00Z
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -50,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"ocasta/internal/backup"
 	"ocasta/internal/core"
 	"ocasta/internal/trace"
 	"ocasta/internal/ttkv"
@@ -57,6 +69,12 @@ import (
 )
 
 func main() {
+	// "ttkvd restore" is offline disaster recovery: it must work with no
+	// daemon running (and typically with the daemon's AOF lost), so it is
+	// a subcommand with its own flags, not a serve-mode option.
+	if len(os.Args) > 1 && os.Args[1] == "restore" {
+		os.Exit(runRestore(os.Args[2:]))
+	}
 	os.Exit(run())
 }
 
@@ -84,6 +102,9 @@ func run() int {
 	leaseEvery := flag.Duration("lease-interval", 500*time.Millisecond, "failover lease: a replica that hears nothing from its primary for 2 intervals starts an election")
 	semiAcks := flag.Int("semi-sync-acks", 0, "replica acknowledgements each write waits for before the client is acked (0 = asynchronous replication)")
 	semiTimeout := flag.Duration("semi-sync-timeout", 2*time.Second, "how long a write waits for semi-sync acks before returning RETRY (applied locally, replication unconfirmed)")
+	backupDir := flag.String("backup-dir", "", "backup directory; enables the BACKUP/BSTAT commands (and 'ttkvd restore' reads it)")
+	backupEvery := flag.Duration("backup-interval", 0, "take a backup automatically every interval (full first, then incrementals; 0 = manual BACKUP commands only; requires -backup-dir)")
+	backupKeep := flag.Int("backup-keep", 3, "with -backup-interval, full-backup chains retained by pruning after each scheduled backup (0 = keep everything)")
 	flag.Parse()
 
 	if *shards < 1 || *shards > 1<<16 {
@@ -162,6 +183,18 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "ttkvd: -semi-sync-timeout must be positive, got %v\n", *semiTimeout)
 		return 2
 	}
+	if *backupEvery < 0 {
+		fmt.Fprintf(os.Stderr, "ttkvd: -backup-interval must be >= 0, got %v\n", *backupEvery)
+		return 2
+	}
+	if *backupEvery > 0 && *backupDir == "" {
+		fmt.Fprintln(os.Stderr, "ttkvd: -backup-interval requires -backup-dir")
+		return 2
+	}
+	if *backupKeep < 0 {
+		fmt.Fprintf(os.Stderr, "ttkvd: -backup-keep must be >= 0, got %d\n", *backupKeep)
+		return 2
+	}
 	var peers []string
 	for _, p := range strings.Split(*peersFlag, ",") {
 		if p = strings.TrimSpace(p); p != "" {
@@ -235,6 +268,18 @@ func run() int {
 	}
 
 	srv := ttkvwire.NewServer(store)
+	var backups *backup.Manager
+	if *backupDir != "" {
+		// The manager works the same on a primary and a read-only replica
+		// (backups never take the store's write locks), so BACKUP/BSTAT
+		// stay available across failover role changes.
+		if backups, err = backup.NewManager(store, *backupDir, backup.Options{}); err != nil {
+			fmt.Fprintln(os.Stderr, "ttkvd:", err)
+			closeAOF()
+			return 1
+		}
+		srv.SetBackups(backups)
+	}
 	srv.SetRepair(ttkvwire.RepairConfig{
 		Workers:   *repairWorkers,
 		MaxActive: *repairActive,
@@ -383,18 +428,57 @@ func run() int {
 			}
 		}()
 	}
+	var backupStop chan struct{}
+	if backups != nil && *backupEvery > 0 {
+		backupStop = make(chan struct{})
+		go func() {
+			ticker := time.NewTicker(*backupEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-backupStop:
+					return
+				case <-ticker.C:
+					man, err := backups.Auto()
+					switch {
+					case errors.Is(err, backup.ErrUpToDate):
+						// No new records since the last backup; nothing to do.
+					case err != nil:
+						// Failures (including a replica full-resync racing the
+						// export) are logged and retried next tick; the
+						// schedule never stops.
+						logf("backup failed: %v", err)
+					default:
+						logf("backup %s (%s) covering seqs (%d, %d]: %d records, %d bytes in %d files",
+							man.ID, man.Kind, man.Base, man.UpTo, man.Records(), man.TotalBytes(), len(man.Files))
+						if *backupKeep > 0 {
+							res, err := backups.Prune(*backupKeep)
+							if err != nil {
+								logf("backup prune failed: %v", err)
+							} else if res.Backups > 0 || res.DataFiles > 0 || res.TempFiles > 0 {
+								logf("backup prune: removed %d backups, %d record files, %d temp files",
+									res.Backups, res.DataFiles, res.TempFiles)
+							}
+						}
+					}
+				}
+			}
+		}()
+	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 	analyticsState := "off"
 	if engine != nil {
 		analyticsState = fmt.Sprintf("every %v", *reclusterEvery)
 	}
+	// The signal handler must be armed before the readiness line below:
+	// supervisors treat "serving on" as permission to manage the process,
+	// and a SIGTERM landing in the gap would bypass the graceful path.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	// The resolved listener address (not the flag) so -addr :0 is usable.
 	fmt.Printf("ttkvd: serving on %s (role=%s shards=%d fsync=%s recluster=%s repair-workers=%d)\n",
 		ln.Addr(), role, store.NumShards(), policy, analyticsState, *repairWorkers)
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case <-sig:
 		fmt.Println("ttkvd: shutting down")
@@ -412,6 +496,9 @@ func run() int {
 			if reclusterStop != nil {
 				close(reclusterStop)
 			}
+			if backupStop != nil {
+				close(backupStop)
+			}
 			stopMembers()
 			closeAOF()
 			return 1
@@ -419,6 +506,9 @@ func run() int {
 	}
 	if reclusterStop != nil {
 		close(reclusterStop)
+	}
+	if backupStop != nil {
+		close(backupStop)
 	}
 	if gc != nil {
 		// Close drains pending batches, fsyncs, and closes the file (a

@@ -1,0 +1,111 @@
+package backup
+
+import (
+	"fmt"
+	"testing"
+
+	"ocasta/internal/ttkv"
+)
+
+// benchStore builds a store with n versions spread over n/10 keys —
+// ten versions per key, a mixed-history shape rather than a flat
+// keyspace — and returns it with its total record count.
+func benchStore(b *testing.B, n int) *ttkv.Store {
+	b.Helper()
+	store := ttkv.New()
+	keys := n / 10
+	if keys == 0 {
+		keys = 1
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("cfg/%04d", i%keys)
+		if err := store.Set(key, fmt.Sprintf("value-%d-with-some-realistic-length", i), at(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return store
+}
+
+// BenchmarkBackupFull measures a full backup of a 50k-record store:
+// export, segment, checksum, and the fsync+rename publish sequence.
+func BenchmarkBackupFull(b *testing.B) {
+	const records = 50_000
+	store := benchStore(b, records)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := NewManager(store, fmt.Sprintf("%s/run-%d", dir, i), Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		man, err := m.Full()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.SetBytes(man.TotalBytes())
+		}
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkBackupIncremental measures the steady-state scheduled case:
+// 1000 new records on top of an existing chain.
+func BenchmarkBackupIncremental(b *testing.B) {
+	const delta = 1_000
+	store := benchStore(b, 10_000)
+	m, err := NewManager(store, b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Full(); err != nil {
+		b.Fatal(err)
+	}
+	next := 10_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < delta; j++ {
+			if err := store.Set(fmt.Sprintf("cfg/%04d", j%100), "incremental-delta-value", at(next)); err != nil {
+				b.Fatal(err)
+			}
+			next++
+		}
+		b.StartTimer()
+		man, err := m.Incremental()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.SetBytes(man.TotalBytes())
+		}
+	}
+	b.ReportMetric(float64(delta)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkRestore measures materializing a 50k-record backup set into
+// a fresh store: checksum verification, decode, and sequenced replay.
+func BenchmarkRestore(b *testing.B) {
+	const records = 50_000
+	store := benchStore(b, records)
+	m, err := NewManager(store, b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	man, err := m.Full()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(man.TotalBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		restored, info, err := Restore(m.Dir(), Target{}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if info.RecordsApplied != records || restored.CurrentSeq() != records {
+			b.Fatalf("restored %d records to seq %d", info.RecordsApplied, restored.CurrentSeq())
+		}
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}

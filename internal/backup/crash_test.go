@@ -1,0 +1,158 @@
+package backup
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ocasta/internal/ttkv"
+)
+
+// crashEnv names the environment variable that turns the helper test
+// into a backup-taking victim process.
+const crashEnv = "OCASTA_BACKUP_CRASH_DIR"
+
+// TestBackupCrashHelper is not a test: when crashEnv is set it becomes
+// the victim of TestBackupCrashSafety — a process that takes small
+// backups in a tight loop (tiny segments, so renames are frequent)
+// against a store under write load, until the parent SIGKILLs it.
+func TestBackupCrashHelper(t *testing.T) {
+	dir := os.Getenv(crashEnv)
+	if dir == "" {
+		t.Skip("helper for TestBackupCrashSafety; set OCASTA_BACKUP_CRASH_DIR to run")
+	}
+	store := ttkv.New()
+	m, err := NewManager(store, dir, Options{MaxFileBytes: 512})
+	if err != nil {
+		fmt.Println("HELPER-ERROR", err)
+		return
+	}
+	// Seed synchronously so even the earliest kill lands on a backup
+	// with real data in flight, then keep writing until killed.
+	for i := 0; i < 50; i++ {
+		if err := store.Set(fmt.Sprintf("cfg-%d", i%40), fmt.Sprintf("v%d", i), at(i)); err != nil {
+			fmt.Println("HELPER-ERROR", err)
+			return
+		}
+	}
+	go func() {
+		for i := 50; ; i++ {
+			key := fmt.Sprintf("cfg-%d", i%40)
+			if err := store.Set(key, fmt.Sprintf("v%d", i), at(i)); err != nil {
+				fmt.Println("HELPER-ERROR", err)
+				return
+			}
+		}
+	}()
+	fmt.Println("HELPER-RUNNING") // parent arms the kill on this marker
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) { // parent kills us long before this
+		if _, err := m.Auto(); err != nil && !errors.Is(err, ErrUpToDate) {
+			fmt.Println("HELPER-ERROR", err)
+			return
+		}
+	}
+}
+
+// TestBackupCrashSafety SIGKILLs a process mid-backup at randomized
+// points and asserts the crash-safety contract: the directory still
+// verifies clean (any debris is ignorable ".tmp" files or record files
+// no manifest references — never a manifest naming missing or partial
+// data), whatever was archived restores, and the restored store can
+// seed a fresh backup chain.
+func TestBackupCrashSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary; skipped in -short")
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 5
+	for round := 0; round < rounds; round++ {
+		dir := filepath.Join(t.TempDir(), "backups")
+
+		cmd := exec.Command(bin, "-test.run=^TestBackupCrashHelper$", "-test.v")
+		cmd.Env = append(os.Environ(), crashEnv+"="+dir)
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = cmd.Stdout
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(out)
+		running := false
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, "HELPER-ERROR") {
+				t.Fatalf("round %d: helper failed: %s", round, line)
+			}
+			if strings.Contains(line, "HELPER-RUNNING") {
+				running = true
+				break
+			}
+		}
+		if !running {
+			_ = cmd.Process.Kill() // helper never armed; don't leak it
+			t.Fatalf("round %d: helper exited before running (scan err %v)", round, sc.Err())
+		}
+		// Kill at a randomized instant: early kills land mid-first-backup,
+		// later ones between segment renames or mid-manifest.
+		time.Sleep(time.Duration(rand.Intn(30_000)) * time.Microsecond)
+		if err := cmd.Process.Kill(); err != nil {
+			t.Fatalf("round %d: kill: %v", round, err)
+		}
+		go func() { // drain so the helper can't block on a full pipe first
+			for sc.Scan() {
+			}
+		}()
+		_ = cmd.Wait() // exit status is the kill signal; expected
+
+		// Contract 1: verify passes — debris may exist, issues may not.
+		rep, err := VerifyDir(dir)
+		if err != nil {
+			t.Fatalf("round %d: VerifyDir: %v", round, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("round %d: issues after SIGKILL: %v", round, rep.Issues)
+		}
+		t.Logf("round %d: %d backups, %d temp files, %d orphans after kill",
+			round, rep.Backups, len(rep.TempFiles), len(rep.Orphans))
+
+		if rep.Backups == 0 {
+			continue // killed before any manifest landed; nothing to restore
+		}
+		// Contract 2: the archived prefix restores.
+		restored, info, err := Restore(dir, Target{}, 0)
+		if err != nil {
+			t.Fatalf("round %d: Restore: %v", round, err)
+		}
+		if restored.CurrentSeq() != info.AppliedSeq {
+			t.Fatalf("round %d: restored seq %d, info %+v", round, restored.CurrentSeq(), info)
+		}
+		// Contract 3: the survivor seeds a fresh chain — a manager on the
+		// restored store takes the next backup in the same directory.
+		m2, err := NewManager(restored, dir, Options{})
+		if err != nil {
+			t.Fatalf("round %d: NewManager after crash: %v", round, err)
+		}
+		if err := restored.Set("post-crash", "recovered", at(1_000_000+round)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m2.Incremental(); err != nil {
+			t.Fatalf("round %d: Incremental after crash: %v", round, err)
+		}
+		if rep, err := m2.Verify(); err != nil || !rep.OK() {
+			t.Fatalf("round %d: verify after recovery: %+v, %v", round, rep, err)
+		}
+	}
+}

@@ -1,0 +1,401 @@
+// Package backup implements cold-storage disaster recovery for a TTKV
+// store: full and incremental backups written as seq-range record files
+// (the replication codec reused as an archival format), described by a
+// checksummed manifest so a backup set is self-verifying, plus a verify
+// pass, a retention policy, and point-in-time restore. Where replication
+// (PR 5) protects against losing a node, backups protect against losing
+// the data itself — a fat-finger rm, a corrupting bug, or every AOF on
+// every node going away at once.
+//
+// A backup set is a flat directory. Each backup is one manifest
+// ("<id>.bkm") plus one or more record files ("<kind>-<id>-<k>.rec").
+// Manifests chain: an incremental's Base equals its parent's UpTo, so a
+// chain from a full backup to any manifest covers the contiguous
+// sequence range (0, UpTo] and restores to exactly the store state at
+// that sequence. Nothing in the directory is ever modified in place;
+// writers produce temp files and rename them in, so a SIGKILL at any
+// instant leaves only ignorable "*.tmp" debris or unreferenced record
+// files, never a manifest naming missing or partial data.
+package backup
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Manifest format errors.
+var (
+	// ErrManifestCorrupt is returned by DecodeManifest for bytes that are
+	// not a well-formed manifest: wrong framing, non-canonical numbers, a
+	// checksum mismatch, or internally inconsistent ranges. Every accepted
+	// manifest re-encodes to the exact input bytes, so the on-disk file is
+	// the canonical form — there is no "almost valid" manifest.
+	ErrManifestCorrupt = errors.New("backup: corrupt manifest")
+)
+
+// Backup kinds.
+const (
+	// KindFull marks a backup whose record files cover (0, UpTo] — the
+	// whole store up to the pinned sequence.
+	KindFull = "full"
+	// KindIncr marks a backup covering (Base, UpTo] on top of a parent
+	// manifest whose UpTo equals Base.
+	KindIncr = "incr"
+)
+
+// manifestHeader is the first line of every manifest; the trailing
+// version integer gates format evolution.
+const manifestHeader = "ocasta-backup v1"
+
+// idHexLen is the length of a backup ID: 8 random bytes, lowercase hex.
+const idHexLen = 16
+
+// FileInfo describes one record file of a backup: its name (always a
+// bare file name inside the backup directory — decoding rejects path
+// separators, so a hostile manifest cannot point a verifier or restore
+// outside the set), the sequence range (From, To] its records fall in,
+// and enough redundancy (count, size, SHA-256) to detect truncation or
+// corruption without decoding it.
+type FileInfo struct {
+	Name    string
+	From    uint64 // records have Seq in (From, To]
+	To      uint64
+	Records uint64
+	Bytes   int64
+	SHA256  string // 64 lowercase hex digits
+}
+
+// Manifest describes one backup: identity, the sequence range covered,
+// the parent link for incrementals, and the record files holding the
+// data. The encoded form is a line-based text file ending in a SHA-256
+// of everything above it, so any truncation or bit flip — including in
+// the checksums that guard the data files — is detected by decode alone.
+type Manifest struct {
+	ID      string // 16 lowercase hex digits
+	Kind    string // KindFull or KindIncr
+	Created int64  // unix nanoseconds; orders manifests within a set
+	Base    uint64 // record files cover (Base, UpTo]; 0 for full backups
+	UpTo    uint64
+	Parent  string // parent manifest ID; "" for full backups
+	Files   []FileInfo
+}
+
+// Records sums the record counts of the manifest's files.
+func (m *Manifest) Records() uint64 {
+	var n uint64
+	for _, f := range m.Files {
+		n += f.Records
+	}
+	return n
+}
+
+// TotalBytes sums the on-disk sizes of the manifest's record files.
+func (m *Manifest) TotalBytes() int64 {
+	var n int64
+	for _, f := range m.Files {
+		n += f.Bytes
+	}
+	return n
+}
+
+// Encode renders the manifest in its canonical on-disk form:
+//
+//	ocasta-backup v1
+//	id 89abcdef01234567
+//	kind full
+//	created 1722500000000000000
+//	base 0
+//	upto 12345
+//	parent -
+//	file full-89abcdef01234567-0.rec 0 12345 12345 456789 <sha256>
+//	sum <sha256 of all preceding bytes>
+//
+// Encode does not validate; callers construct manifests via the writer,
+// which only produces valid ones. DecodeManifest(Encode(m)) round-trips.
+func (m *Manifest) Encode() []byte {
+	var b strings.Builder
+	b.WriteString(manifestHeader)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "id %s\n", m.ID)
+	fmt.Fprintf(&b, "kind %s\n", m.Kind)
+	fmt.Fprintf(&b, "created %d\n", m.Created)
+	fmt.Fprintf(&b, "base %d\n", m.Base)
+	fmt.Fprintf(&b, "upto %d\n", m.UpTo)
+	parent := m.Parent
+	if parent == "" {
+		parent = "-"
+	}
+	fmt.Fprintf(&b, "parent %s\n", parent)
+	for _, f := range m.Files {
+		fmt.Fprintf(&b, "file %s %d %d %d %d %s\n", f.Name, f.From, f.To, f.Records, f.Bytes, f.SHA256)
+	}
+	body := b.String()
+	sum := sha256.Sum256([]byte(body))
+	return []byte(body + "sum " + hex.EncodeToString(sum[:]) + "\n")
+}
+
+// DecodeManifest parses and validates a manifest. It is strict: line
+// order is fixed, numbers must be canonical (no leading zeros, no
+// signs), hex must be lowercase and exact-length, file ranges must tile
+// (Base, UpTo] contiguously, and the trailing sum line must match the
+// SHA-256 of everything before it. Strictness is what makes the format
+// safe to trust: an accepted manifest re-encodes byte-identically
+// (FuzzBackupManifest holds us to that), so nothing survives decoding
+// that the writer could not have produced.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	d := manifestDecoder{rest: string(data)}
+
+	if line, err := d.line(); err != nil {
+		return nil, err
+	} else if line != manifestHeader {
+		return nil, fmt.Errorf("%w: bad header %q", ErrManifestCorrupt, line)
+	}
+
+	m := &Manifest{}
+	var err error
+	if m.ID, err = d.hexField("id", idHexLen); err != nil {
+		return nil, err
+	}
+	kind, err := d.field("kind")
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindFull && kind != KindIncr {
+		return nil, fmt.Errorf("%w: unknown kind %q", ErrManifestCorrupt, kind)
+	}
+	m.Kind = kind
+	created, err := d.uintField("created")
+	if err != nil {
+		return nil, err
+	}
+	if created > 1<<62 {
+		return nil, fmt.Errorf("%w: created %d out of range", ErrManifestCorrupt, created)
+	}
+	m.Created = int64(created)
+	if m.Base, err = d.uintField("base"); err != nil {
+		return nil, err
+	}
+	if m.UpTo, err = d.uintField("upto"); err != nil {
+		return nil, err
+	}
+	if m.Base > m.UpTo {
+		return nil, fmt.Errorf("%w: base %d > upto %d", ErrManifestCorrupt, m.Base, m.UpTo)
+	}
+	parent, err := d.field("parent")
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case parent == "-":
+		// Absent parent: must be a full backup.
+		if m.Kind != KindFull {
+			return nil, fmt.Errorf("%w: incremental without parent", ErrManifestCorrupt)
+		}
+	case isHex(parent, idHexLen):
+		if m.Kind != KindIncr {
+			return nil, fmt.Errorf("%w: full backup with parent", ErrManifestCorrupt)
+		}
+		m.Parent = parent
+	default:
+		return nil, fmt.Errorf("%w: bad parent %q", ErrManifestCorrupt, parent)
+	}
+	if m.Kind == KindFull && m.Base != 0 {
+		return nil, fmt.Errorf("%w: full backup with base %d", ErrManifestCorrupt, m.Base)
+	}
+
+	// File lines, then the sum line. File ranges must tile (Base, UpTo]
+	// exactly: the first starts at Base, each next picks up where the
+	// previous ended, the last ends at UpTo.
+	prevTo := m.Base
+	seen := map[string]bool{}
+	for {
+		line, err := d.line()
+		if err != nil {
+			return nil, err
+		}
+		if rest, ok := strings.CutPrefix(line, "sum "); ok {
+			if len(m.Files) == 0 {
+				return nil, fmt.Errorf("%w: no file lines", ErrManifestCorrupt)
+			}
+			if prevTo != m.UpTo {
+				return nil, fmt.Errorf("%w: files end at %d, upto %d", ErrManifestCorrupt, prevTo, m.UpTo)
+			}
+			if !isHex(rest, 64) {
+				return nil, fmt.Errorf("%w: bad sum", ErrManifestCorrupt)
+			}
+			if d.rest != "" {
+				return nil, fmt.Errorf("%w: trailing data after sum", ErrManifestCorrupt)
+			}
+			body := data[:len(data)-len(rest)-len("sum \n")]
+			want := sha256.Sum256(body)
+			if rest != hex.EncodeToString(want[:]) {
+				return nil, fmt.Errorf("%w: checksum mismatch", ErrManifestCorrupt)
+			}
+			return m, nil
+		}
+		fields, ok := strings.CutPrefix(line, "file ")
+		if !ok {
+			return nil, fmt.Errorf("%w: unexpected line %q", ErrManifestCorrupt, line)
+		}
+		f, err := parseFileLine(fields)
+		if err != nil {
+			return nil, err
+		}
+		if f.From != prevTo {
+			return nil, fmt.Errorf("%w: file %s starts at %d, previous range ended at %d", ErrManifestCorrupt, f.Name, f.From, prevTo)
+		}
+		if f.To > m.UpTo {
+			return nil, fmt.Errorf("%w: file %s ends past upto", ErrManifestCorrupt, f.Name)
+		}
+		if seen[f.Name] {
+			return nil, fmt.Errorf("%w: duplicate file %s", ErrManifestCorrupt, f.Name)
+		}
+		seen[f.Name] = true
+		prevTo = f.To
+		m.Files = append(m.Files, f)
+	}
+}
+
+// parseFileLine parses the fields of one "file " line:
+// name from to records bytes sha256.
+func parseFileLine(s string) (FileInfo, error) {
+	parts := strings.Split(s, " ")
+	if len(parts) != 6 {
+		return FileInfo{}, fmt.Errorf("%w: file line has %d fields", ErrManifestCorrupt, len(parts))
+	}
+	var f FileInfo
+	var err error
+	if f.Name = parts[0]; !validFileName(f.Name) {
+		return FileInfo{}, fmt.Errorf("%w: bad file name %q", ErrManifestCorrupt, f.Name)
+	}
+	if f.From, err = parseCanonicalUint(parts[1]); err != nil {
+		return FileInfo{}, err
+	}
+	if f.To, err = parseCanonicalUint(parts[2]); err != nil {
+		return FileInfo{}, err
+	}
+	if f.From > f.To {
+		return FileInfo{}, fmt.Errorf("%w: file %s range inverted", ErrManifestCorrupt, f.Name)
+	}
+	if f.Records, err = parseCanonicalUint(parts[3]); err != nil {
+		return FileInfo{}, err
+	}
+	if f.Records > f.To-f.From {
+		return FileInfo{}, fmt.Errorf("%w: file %s claims %d records in a range of %d", ErrManifestCorrupt, f.Name, f.Records, f.To-f.From)
+	}
+	size, err := parseCanonicalUint(parts[4])
+	if err != nil {
+		return FileInfo{}, err
+	}
+	if size < uint64(len(recMagic)) || size > 1<<62 {
+		return FileInfo{}, fmt.Errorf("%w: file %s size %d out of range", ErrManifestCorrupt, f.Name, size)
+	}
+	f.Bytes = int64(size)
+	if f.SHA256 = parts[5]; !isHex(f.SHA256, 64) {
+		return FileInfo{}, fmt.Errorf("%w: bad file checksum", ErrManifestCorrupt)
+	}
+	return f, nil
+}
+
+// manifestDecoder yields LF-terminated lines; a final line without its
+// newline is corruption (truncation), not a line.
+type manifestDecoder struct {
+	rest string
+}
+
+func (d *manifestDecoder) line() (string, error) {
+	line, rest, ok := strings.Cut(d.rest, "\n")
+	if !ok {
+		return "", fmt.Errorf("%w: truncated", ErrManifestCorrupt)
+	}
+	d.rest = rest
+	return line, nil
+}
+
+// field reads the next line and strips the "<key> " prefix.
+func (d *manifestDecoder) field(key string) (string, error) {
+	line, err := d.line()
+	if err != nil {
+		return "", err
+	}
+	val, ok := strings.CutPrefix(line, key+" ")
+	if !ok {
+		return "", fmt.Errorf("%w: expected %q line, got %q", ErrManifestCorrupt, key, line)
+	}
+	if strings.ContainsAny(val, " \r") || val == "" {
+		return "", fmt.Errorf("%w: bad %s value %q", ErrManifestCorrupt, key, val)
+	}
+	return val, nil
+}
+
+func (d *manifestDecoder) uintField(key string) (uint64, error) {
+	val, err := d.field(key)
+	if err != nil {
+		return 0, err
+	}
+	return parseCanonicalUint(val)
+}
+
+func (d *manifestDecoder) hexField(key string, n int) (string, error) {
+	val, err := d.field(key)
+	if err != nil {
+		return "", err
+	}
+	if !isHex(val, n) {
+		return "", fmt.Errorf("%w: bad %s %q", ErrManifestCorrupt, key, val)
+	}
+	return val, nil
+}
+
+// parseCanonicalUint accepts only the one decimal spelling of a uint64:
+// no leading zeros, signs, spaces, or underscores. (strconv.ParseUint
+// alone accepts "007", which would re-encode as "7" and break the
+// byte-identical round-trip.)
+func parseCanonicalUint(s string) (uint64, error) {
+	if s == "" || (len(s) > 1 && s[0] == '0') || s[0] == '+' || s[0] == '-' {
+		return 0, fmt.Errorf("%w: non-canonical number %q", ErrManifestCorrupt, s)
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad number %q", ErrManifestCorrupt, s)
+	}
+	return v, nil
+}
+
+// isHex reports whether s is exactly n lowercase hex digits.
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// validFileName accepts bare file names only: portable characters, no
+// path separators, not "." or "..", bounded length. This is the
+// traversal guard — manifests name files, and verify/restore open what
+// manifests name.
+func validFileName(s string) bool {
+	if s == "" || len(s) > 255 || s == "." || s == ".." {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '-' || c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,149 @@
+package backup
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// PruneResult summarizes what Prune removed.
+type PruneResult struct {
+	// Backups is how many manifests (with their record files) were
+	// deleted.
+	Backups int
+	// DataFiles is how many record files were deleted, including orphans
+	// no manifest referenced.
+	DataFiles int
+	// TempFiles is how many "*.tmp" crash leftovers were swept.
+	TempFiles int
+}
+
+// Prune enforces the retention policy: keep the newest keepFulls full
+// backups and every incremental chained on them; delete every backup
+// whose chain roots in an older full. keepFulls < 1 keeps all backups
+// (only crash debris is swept). Deletion order mirrors the writer's
+// creation order in reverse — manifests go before the record files they
+// reference — so a crash mid-prune never leaves a manifest naming
+// deleted data, only orphan record files the next Prune sweeps.
+//
+// Conservatism rules the edge cases: a backup whose ancestry cannot be
+// resolved (missing or corrupt parent) is never deleted here — Verify
+// reports it for a human — and orphan record files are swept only while
+// the directory has no corrupt manifests, since a corrupt manifest's
+// references are unreadable and its data files would otherwise look
+// orphaned.
+func (m *Manager) Prune(keepFulls int) (PruneResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var res PruneResult
+	entries, corrupt, err := loadManifests(m.dir)
+	if err != nil {
+		return res, err
+	}
+
+	var victims []loaded
+	if keepFulls >= 1 {
+		// Newest-first fulls; the first keepFulls are the roots to keep.
+		keepRoots := map[string]bool{}
+		fulls := 0
+		for i := len(entries) - 1; i >= 0; i-- {
+			if entries[i].man.Kind == KindFull {
+				fulls++
+				if fulls <= keepFulls {
+					keepRoots[entries[i].man.ID] = true
+				}
+			}
+		}
+		byID := map[string]*Manifest{}
+		for _, e := range entries {
+			byID[e.man.ID] = e.man
+		}
+		for _, e := range entries {
+			root, ok := chainRoot(e.man, byID)
+			if ok && !keepRoots[root.ID] {
+				victims = append(victims, e)
+			}
+		}
+	}
+
+	referenced := map[string]bool{}
+	doomed := map[string]bool{}
+	for _, v := range victims {
+		doomed[v.man.ID] = true
+	}
+	for _, e := range entries {
+		if doomed[e.man.ID] {
+			continue
+		}
+		for _, f := range e.man.Files {
+			referenced[f.Name] = true
+		}
+	}
+
+	// Manifests first: once a victim's manifest is gone, its record files
+	// are unreferenced debris whatever happens next.
+	for _, v := range victims {
+		if err := os.Remove(v.path); err != nil {
+			return res, err
+		}
+		res.Backups++
+	}
+	for _, v := range victims {
+		for _, f := range v.man.Files {
+			if referenced[f.Name] {
+				continue // shared name with a survivor; never expected, but never delete it
+			}
+			if err := os.Remove(filepath.Join(m.dir, f.Name)); err != nil && !os.IsNotExist(err) {
+				return res, err
+			}
+			res.DataFiles++
+		}
+	}
+
+	// Sweep crash debris: temp files always, orphan record files only
+	// when every manifest in the directory is readable.
+	des, err := os.ReadDir(m.dir)
+	if err != nil {
+		return res, err
+	}
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, tmpExt):
+			if err := os.Remove(filepath.Join(m.dir, name)); err != nil && !os.IsNotExist(err) {
+				return res, err
+			}
+			res.TempFiles++
+		case strings.HasSuffix(name, recordExt) && len(corrupt) == 0 && !referenced[name]:
+			if err := os.Remove(filepath.Join(m.dir, name)); err != nil && !os.IsNotExist(err) {
+				return res, err
+			}
+			res.DataFiles++
+		}
+	}
+	syncDir(m.dir)
+	return res, nil
+}
+
+// chainRoot walks parent links to the chain's full backup. The second
+// result is false when the ancestry cannot be resolved: a missing
+// parent, a link whose ranges do not abut, a cycle, or a parentless
+// incremental.
+func chainRoot(m *Manifest, byID map[string]*Manifest) (*Manifest, bool) {
+	cur := m
+	for hops := 0; hops <= len(byID); hops++ {
+		if cur.Kind == KindFull {
+			return cur, true
+		}
+		parent, ok := byID[cur.Parent]
+		if !ok || parent.UpTo != cur.Base {
+			return nil, false
+		}
+		cur = parent
+	}
+	return nil, false // cycle
+}

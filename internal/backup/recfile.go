@@ -1,0 +1,93 @@
+package backup
+
+import (
+	"errors"
+	"fmt"
+
+	"ocasta/internal/ttkv"
+)
+
+// Record-file errors.
+var (
+	// ErrRecordFileCorrupt is returned when a backup record file fails
+	// structural validation: bad magic, a malformed record, or sequence
+	// numbers outside the declared range or not strictly ascending.
+	ErrRecordFileCorrupt = errors.New("backup: corrupt record file")
+	// ErrSnapshotTorn is returned when an export from the store violates
+	// the archival invariants — the signature of a replica that was Reset
+	// for a full resync mid-scan, mixing sequence incarnations. The
+	// backup is abandoned; retrying after the resync settles succeeds.
+	ErrSnapshotTorn = errors.New("backup: torn store snapshot")
+)
+
+// recMagic heads every backup record file; the trailing digit is the
+// format version.
+const recMagic = "OCBKREC1"
+
+// encodeRecordFile renders records into the backup record-file format:
+// the magic header followed by back-to-back replication-codec records.
+// It enforces what decodeRecordFile will demand back — strictly
+// ascending nonzero sequence numbers, nonzero timestamps, nonempty keys,
+// no batch flags — so a torn export fails here (ErrSnapshotTorn)
+// instead of producing an archive only verify would catch.
+func encodeRecordFile(recs []ttkv.ReplRecord) ([]byte, error) {
+	buf := []byte(recMagic)
+	var last uint64
+	for i, r := range recs {
+		if err := checkRecord(r, last); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrSnapshotTorn, i, err)
+		}
+		last = r.Seq
+		buf = ttkv.AppendReplRecord(buf, r)
+	}
+	return buf, nil
+}
+
+// decodeRecordFile parses a backup record file, requiring every record
+// to fall strictly ascending in (after, upTo]. Callers verifying pure
+// structure (the fuzz target) pass the full sequence range. Decoded
+// bytes re-encode identically: the record codec is canonical and
+// everything encodeRecordFile refuses to write, this refuses to read.
+func decodeRecordFile(b []byte, after, upTo uint64) ([]ttkv.ReplRecord, error) {
+	if len(b) < len(recMagic) || string(b[:len(recMagic)]) != recMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrRecordFileCorrupt)
+	}
+	b = b[len(recMagic):]
+	var recs []ttkv.ReplRecord
+	last := after
+	for len(b) > 0 {
+		r, n, err := ttkv.DecodeReplRecord(b)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrRecordFileCorrupt, len(recs), err)
+		}
+		if err := checkRecord(r, last); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrRecordFileCorrupt, len(recs), err)
+		}
+		if r.Seq > upTo {
+			return nil, fmt.Errorf("%w: record %d: seq %d past range end %d", ErrRecordFileCorrupt, len(recs), r.Seq, upTo)
+		}
+		last = r.Seq
+		recs = append(recs, r)
+		b = b[n:]
+	}
+	return recs, nil
+}
+
+// checkRecord validates one record against the archival invariants.
+func checkRecord(r ttkv.ReplRecord, last uint64) error {
+	if r.Seq <= last {
+		return fmt.Errorf("seq %d does not ascend past %d", r.Seq, last)
+	}
+	if r.Time.UnixNano() == 0 {
+		return errors.New("zero timestamp")
+	}
+	if r.Key == "" {
+		return errors.New("empty key")
+	}
+	if r.BatchOpen {
+		// Batch framing is a live-stream visibility concern; an archive
+		// is applied offline in bulk, so the flag never belongs on disk.
+		return errors.New("batch flag set")
+	}
+	return nil
+}

@@ -526,6 +526,41 @@ func (s *Store) ReplSnapshot(afterSeq, upToSeq uint64) []ReplRecord {
 	return out
 }
 
+// ErrExportRange is returned by ExportRange for a range the store cannot
+// serve consistently: the range is inverted, ends past the store's
+// current sequence, or the store was Reset (replica full resync) while
+// the export scanned — its counter fell below the pinned bound, so the
+// scan may mix sequence incarnations and is discarded.
+var ErrExportRange = errors.New("ttkv: export range not consistently readable")
+
+// ExportRange returns every version with sequence number in
+// (afterSeq, upToSeq], ordered by sequence — ReplSnapshot plus the
+// validation a backup needs. Pinning upToSeq at a value read from
+// CurrentSeq before the scan is safe on any store: sequence numbers are
+// only ever minted while the writer holds the key's shard lock (local
+// writes in applyLocked, replicated writes in ApplyReplicated, logged
+// writes in ReplLog.stage), so a record at or below the pinned bound is
+// either already inserted or its writer still holds the shard lock the
+// scan must wait for — the export never misses a record it claims to
+// cover, without taking a single lock across shards or blocking writers
+// for more than one shard's read-lock at a time. The post-scan counter
+// re-check downgrades the one hole — a replica Reset for full resync
+// mid-scan — from silent corruption to an error; the caller retries
+// after the resync settles.
+func (s *Store) ExportRange(afterSeq, upToSeq uint64) ([]ReplRecord, error) {
+	if afterSeq > upToSeq {
+		return nil, fmt.Errorf("%w: (%d, %d]", ErrExportRange, afterSeq, upToSeq)
+	}
+	if cur := s.seq.Load(); cur < upToSeq {
+		return nil, fmt.Errorf("%w: store at seq %d, range ends at %d", ErrExportRange, cur, upToSeq)
+	}
+	recs := s.ReplSnapshot(afterSeq, upToSeq)
+	if cur := s.seq.Load(); cur < upToSeq {
+		return nil, fmt.Errorf("%w: store reset mid-export (seq fell to %d)", ErrExportRange, cur)
+	}
+	return recs, nil
+}
+
 // ApplyReplicated applies a chunk of replicated records to a replica
 // store: each version is inserted with the primary's sequence number, so
 // the replica's histories — and its snapshot dumps — are byte-identical

@@ -1,0 +1,163 @@
+package ttkvwire
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"ocasta/internal/backup"
+	"ocasta/internal/ttkv"
+)
+
+// startBackupServer spins up a server with a backup manager attached,
+// the way ttkvd -backup-dir wires them.
+func startBackupServer(t testing.TB, readOnly bool) (*ttkv.Store, *backup.Manager, *Client) {
+	t.Helper()
+	store := ttkv.New()
+	mgr, err := backup.NewManager(store, t.TempDir(), backup.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store)
+	srv.SetBackups(mgr)
+	if readOnly {
+		srv.SetReadOnly(true)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ln); !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	}()
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		srv.Close()
+		<-done
+	})
+	return store, mgr, client
+}
+
+func TestBackupCommandsOverWire(t *testing.T) {
+	store, mgr, c := startBackupServer(t, false)
+
+	for i := 0; i < 50; i++ {
+		if err := c.Set("k", "v", at(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := c.Backup("") // auto on an empty directory = full
+	if err != nil {
+		t.Fatalf("Backup: %v", err)
+	}
+	if info.Kind != "full" || info.Base != 0 || info.UpTo != 50 || info.Records != 50 || info.Parent != "" {
+		t.Fatalf("full backup info = %+v", info)
+	}
+	if info.Files < 1 || info.Bytes <= 0 || info.Created.IsZero() {
+		t.Fatalf("full backup info = %+v", info)
+	}
+
+	for i := 50; i < 80; i++ {
+		if err := c.Set("k2", "v", at(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	incr, err := c.Backup("incr")
+	if err != nil {
+		t.Fatalf("Backup incr: %v", err)
+	}
+	if incr.Kind != "incr" || incr.Base != 50 || incr.UpTo != 80 || incr.Parent != info.ID {
+		t.Fatalf("incr backup info = %+v", incr)
+	}
+
+	// Nothing new: the incremental refuses rather than padding the chain.
+	if _, err := c.Backup("incr"); err == nil || !strings.Contains(err.Error(), "no new records") {
+		t.Fatalf("Backup incr with nothing new: %v", err)
+	}
+
+	list, err := c.Backups()
+	if err != nil {
+		t.Fatalf("Backups: %v", err)
+	}
+	if len(list) != 2 || list[0].ID != info.ID || list[1].ID != incr.ID {
+		t.Fatalf("Backups = %+v", list)
+	}
+
+	// The archived set restores to the server's exact state.
+	restored, _, err := backup.Restore(mgr.Dir(), backup.Target{}, 0)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if restored.CurrentSeq() != store.CurrentSeq() {
+		t.Fatalf("restored seq %d, want %d", restored.CurrentSeq(), store.CurrentSeq())
+	}
+
+	if _, err := c.Backup("bogus"); err == nil {
+		t.Fatal("BACKUP BOGUS must fail")
+	}
+}
+
+func TestBackupServedOnReadOnlyReplica(t *testing.T) {
+	store, mgr, c := startBackupServer(t, true)
+
+	// Writes through the wire are rejected (read-only), but the store
+	// still advances via replication-style applies.
+	if err := c.Set("k", "v", at(1)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Set on read-only server: %v, want ErrReadOnly", err)
+	}
+	recs := []ttkv.ReplRecord{
+		{Seq: 1, Key: "a", Value: "1", Time: at(1)},
+		{Seq: 2, Key: "b", Value: "2", Time: at(2)},
+	}
+	if err := store.ApplyReplicated(recs); err != nil {
+		t.Fatal(err)
+	}
+
+	// BACKUP and BSTAT are read-side commands: a replica serves them.
+	info, err := c.Backup("full")
+	if err != nil {
+		t.Fatalf("Backup on read-only replica: %v", err)
+	}
+	if info.UpTo != 2 || info.Records != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+	list, err := c.Backups()
+	if err != nil || len(list) != 1 {
+		t.Fatalf("Backups = %+v, %v", list, err)
+	}
+	if rep, err := mgr.Verify(); err != nil || !rep.OK() {
+		t.Fatalf("verify: %+v, %v", rep, err)
+	}
+}
+
+func TestBackupDisabled(t *testing.T) {
+	store := ttkv.New()
+	srv := NewServer(store)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }() //nolint:errcheck — closed below
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { c.Close(); srv.Close(); <-done }()
+
+	if _, err := c.Backup(""); err == nil || !strings.Contains(err.Error(), "backups disabled") {
+		t.Fatalf("Backup on server without manager: %v", err)
+	}
+	if _, err := c.Backups(); err == nil || !strings.Contains(err.Error(), "backups disabled") {
+		t.Fatalf("Backups on server without manager: %v", err)
+	}
+}

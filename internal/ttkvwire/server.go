@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ocasta/internal/backup"
 	"ocasta/internal/core"
 	"ocasta/internal/ttkv"
 )
@@ -22,8 +23,9 @@ var ErrServerClosed = errors.New("ttkvwire: server closed")
 // NewServer; then either Serve an existing listener or ListenAndServe.
 type Server struct {
 	store     *ttkv.Store
-	analytics *core.Engine // nil when live clustering is disabled
-	repairCfg RepairConfig // bounds for the repair job manager
+	analytics *core.Engine    // nil when live clustering is disabled
+	repairCfg RepairConfig    // bounds for the repair job manager
+	backups   *backup.Manager // nil when backups are disabled
 
 	// readOnly gates mutating commands; it flips at runtime on failover
 	// (promotion clears it, demotion sets it), so it lives outside mu to
@@ -68,6 +70,13 @@ func NewServer(store *ttkv.Store) *Server {
 // also installed as the store's StatsObserver so it sees every write the
 // server applies.
 func (s *Server) SetAnalytics(e *core.Engine) { s.analytics = e }
+
+// SetBackups attaches a backup manager, enabling the BACKUP and BSTAT
+// commands. Call before Serve. Backups read through a pinned sequence
+// bound without ever holding the store's write locks, so the commands
+// are deliberately not mutating: a read-only replica serves them, which
+// is exactly where operators want backup load to land.
+func (s *Server) SetBackups(m *backup.Manager) { s.backups = m }
 
 // SetRepair bounds the server's repair job manager (REPAIR/RSTAT/RFIX).
 // Call before Serve; the zero config selects the defaults, so calling it
@@ -288,6 +297,10 @@ func (s *Server) dispatchCmd(cs *connState, cmd string, args []string) Value {
 		return s.cmdRepairFix(args[1:])
 	case "REPLSTAT":
 		return s.cmdReplStat(args[1:])
+	case "BACKUP":
+		return s.cmdBackup(args[1:])
+	case "BSTAT":
+		return s.cmdBackupStat(args[1:])
 	case "TOPO":
 		return s.cmdTopo(args[1:])
 	case "SEMISYNC":
