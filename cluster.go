@@ -94,6 +94,14 @@ type StoreOptions struct {
 	// repaired) and every write is appended through a group-commit
 	// batcher.
 	AOFPath string
+	// AOFDir, when set, backs the store with a segmented append-only
+	// directory instead of a single file: sealed segments replay in
+	// parallel on open and compaction swaps whole segments. Mutually
+	// exclusive with AOFPath.
+	AOFDir string
+	// SegmentBytes is the per-segment size threshold for AOFDir
+	// (default ttkv.DefaultSegmentBytes).
+	SegmentBytes int64
 	// Compact rewrites the AOF as an atomic snapshot after replay.
 	Compact bool
 	// Retain, with Compact, keeps only the newest N versions per key
@@ -122,9 +130,13 @@ type StoreHandle struct {
 	Store *Store
 	// ReplLog is the attached replication log (nil unless Replicate).
 	ReplLog *ReplLog
-	// GroupCommit is the AOF batch appender (nil without AOFPath). Close
-	// the handle, not this, when done.
+	// GroupCommit is the AOF batch appender (nil without AOFPath or
+	// AOFDir). Close the handle, not this, when done.
 	GroupCommit *GroupCommit
+	// Segments is the segmented appender (nil unless AOFDir). Pass it to
+	// a replication server so replica catch-up reads sealed segments
+	// instead of scanning in-memory history.
+	Segments *SegmentedAOF
 }
 
 // Close drains and closes the durability pipeline. The store itself
@@ -146,13 +158,38 @@ func OpenStore(opts StoreOptions) (*StoreHandle, error) {
 		shards = ttkv.DefaultShards
 	}
 	store := ttkv.NewSharded(shards)
-	if opts.Observer != nil {
+	if opts.AOFPath != "" && opts.AOFDir != "" {
+		return nil, fmt.Errorf("ocasta: AOFPath and AOFDir are mutually exclusive")
+	}
+	if opts.Observer != nil && opts.AOFDir == "" {
 		// Attached before replay so restored history feeds the observer
-		// exactly like fresh writes would.
+		// exactly like fresh writes would. Segmented replay runs segments
+		// in parallel and bypasses observers, so the AOFDir path instead
+		// backfills after replay (below).
 		store.SetStatsObserver(opts.Observer)
 	}
 	h := &StoreHandle{Store: store}
-	if opts.AOFPath != "" {
+	if opts.AOFDir != "" {
+		segCfg := ttkv.SegmentedConfig{MaxSegmentBytes: opts.SegmentBytes}
+		if opts.Compact {
+			if err := ttkv.CompactSegmentDir(opts.AOFDir, shards, opts.Retain, segCfg); err != nil {
+				return nil, fmt.Errorf("ocasta: compacting segment dir: %w", err)
+			}
+		}
+		sa, err := ttkv.OpenSegmentedInto(opts.AOFDir, store, segCfg)
+		if err != nil {
+			return nil, fmt.Errorf("ocasta: replaying segment dir: %w", err)
+		}
+		if opts.Observer != nil {
+			store.ObserveHistory(opts.Observer)
+			store.SetStatsObserver(opts.Observer)
+		}
+		h.Segments = sa
+		h.GroupCommit = ttkv.NewGroupCommit(sa, ttkv.GroupCommitConfig{
+			FlushInterval: opts.FlushInterval,
+			Fsync:         opts.Fsync,
+		})
+	} else if opts.AOFPath != "" {
 		aof, err := ttkv.OpenAOFInto(opts.AOFPath, store)
 		if err != nil {
 			return nil, fmt.Errorf("ocasta: replaying AOF: %w", err)
@@ -175,7 +212,7 @@ func OpenStore(opts StoreOptions) (*StoreHandle, error) {
 			Fsync:         opts.Fsync,
 		})
 	} else if opts.Compact || opts.Retain > 0 {
-		return nil, fmt.Errorf("ocasta: Compact/Retain require AOFPath")
+		return nil, fmt.Errorf("ocasta: Compact/Retain require AOFPath or AOFDir")
 	}
 	if opts.Replicate {
 		h.ReplLog = ttkv.NewReplLog(h.GroupCommit)

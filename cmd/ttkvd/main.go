@@ -11,6 +11,16 @@
 // key's history to -retain versions) so replay cost stays bounded across
 // restarts.
 //
+// -aof-dir keeps the same record stream in a segmented log instead of one
+// flat file: sealed, checksummed segments (rolled past -segment-bytes)
+// plus an active tail. Startup replays sealed segments in parallel,
+// replica catch-up is served straight from the covering segment files,
+// and -compact rewrites history as a fresh segment generation committed
+// by an atomic index swap:
+//
+//	ttkvd -addr 127.0.0.1:7677 -aof-dir /var/lib/ocasta/segments \
+//	      -segment-bytes 67108864 -compact -retain 1000
+//
 // The daemon also serves the paper's recovery loop over the wire: REPAIR
 // submits an asynchronous cluster-rollback search (parallel trial workers,
 // bounded by -repair-workers / -repair-max-active / -repair-max-jobs),
@@ -81,6 +91,8 @@ func main() {
 func run() int {
 	addr := flag.String("addr", "127.0.0.1:7677", "listen address")
 	aofPath := flag.String("aof", "", "append-only file for durable history (optional)")
+	aofDir := flag.String("aof-dir", "", "segmented append-only log directory for durable history (alternative to -aof: sealed checksummed segments, parallel replay, segment-served replica catch-up)")
+	segmentBytes := flag.Int64("segment-bytes", ttkv.DefaultSegmentBytes, "with -aof-dir, seal the active segment and roll to a new one past this size")
 	shards := flag.Int("shards", ttkv.DefaultShards, "store shard count (rounded up to a power of two)")
 	fsyncMode := flag.String("fsync", "interval", "AOF fsync policy: always, interval, or never")
 	fsyncEvery := flag.Duration("fsync-interval", 50*time.Millisecond, "group-commit flush/fsync interval")
@@ -128,8 +140,16 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "ttkvd: -retain requires -compact")
 		return 2
 	}
-	if *compact && *aofPath == "" {
-		fmt.Fprintln(os.Stderr, "ttkvd: -compact requires -aof")
+	if *compact && *aofPath == "" && *aofDir == "" {
+		fmt.Fprintln(os.Stderr, "ttkvd: -compact requires -aof or -aof-dir")
+		return 2
+	}
+	if *aofPath != "" && *aofDir != "" {
+		fmt.Fprintln(os.Stderr, "ttkvd: -aof and -aof-dir are mutually exclusive")
+		return 2
+	}
+	if *segmentBytes <= 0 {
+		fmt.Fprintf(os.Stderr, "ttkvd: -segment-bytes must be positive, got %d\n", *segmentBytes)
 		return 2
 	}
 	if *reclusterEvery < 0 {
@@ -164,11 +184,11 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "ttkvd: -repl-outbox must be >= 1, got %d\n", *replOutbox)
 		return 2
 	}
-	if *replicaOf != "" && *aofPath != "" {
+	if *replicaOf != "" && (*aofPath != "" || *aofDir != "") {
 		// A replica replays the primary's records verbatim (same sequence
 		// numbers) and resyncs from the primary after a restart; it never
 		// keeps its own log.
-		fmt.Fprintln(os.Stderr, "ttkvd: -replica-of is incompatible with -aof (replicas resync from the primary)")
+		fmt.Fprintln(os.Stderr, "ttkvd: -replica-of is incompatible with -aof/-aof-dir (replicas resync from the primary)")
 		return 2
 	}
 	if *leaseEvery <= 0 {
@@ -218,9 +238,13 @@ func run() int {
 			Horizon:       *horizon,
 			MaxFutureSkew: *maxSkew,
 		})
-		// Attached before AOF replay, so restored history feeds the live
-		// clustering exactly like fresh writes would.
-		store.SetStatsObserver(engine)
+		if *aofDir == "" {
+			// Attached before AOF replay, so restored history feeds the live
+			// clustering exactly like fresh writes would. (Segmented replay
+			// is parallel and bypasses observers; that path backfills with
+			// ObserveHistory after replay instead.)
+			store.SetStatsObserver(engine)
+		}
 	}
 	var gc *ttkv.GroupCommit
 	closeAOF := func() {
@@ -231,6 +255,41 @@ func run() int {
 				fmt.Fprintln(os.Stderr, "ttkvd: closing AOF:", cerr)
 			}
 		}
+	}
+	var segs *ttkv.SegmentedAOF
+	if *aofDir != "" {
+		segCfg := ttkv.SegmentedConfig{MaxSegmentBytes: *segmentBytes}
+		if *compact {
+			// Segment compaction rewrites the directory as a fresh
+			// generation before the log is opened for appending; there is
+			// no close-and-reopen dance because the commit is the index
+			// swap, not a file rename.
+			if err := ttkv.CompactSegmentDir(*aofDir, *shards, *retain, segCfg); err != nil {
+				fmt.Fprintln(os.Stderr, "ttkvd: compacting segments:", err)
+				return 1
+			}
+			fmt.Printf("ttkvd: compacted %s (retain=%d)\n", *aofDir, *retain)
+		}
+		sa, err := ttkv.OpenSegmentedInto(*aofDir, store, segCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttkvd: replaying segments:", err)
+			return 1
+		}
+		if st := sa.Stats(); store.Len() > 0 {
+			fmt.Printf("ttkvd: replayed %d keys (%d records, %d sealed segments) from %s\n",
+				store.Len(), st.Records, st.Sealed, *aofDir)
+		}
+		if engine != nil {
+			// Parallel segment replay bypasses observers; feed the replayed
+			// history through in sequence order, then attach for live writes.
+			store.ObserveHistory(engine)
+			store.SetStatsObserver(engine)
+		}
+		segs = sa
+		gc = ttkv.NewGroupCommit(sa, ttkv.GroupCommitConfig{
+			FlushInterval: *fsyncEvery,
+			Fsync:         policy,
+		})
 	}
 	if *aofPath != "" {
 		// One pass replays existing history into the store, repairs a
@@ -356,7 +415,11 @@ func run() int {
 			closeAOF()
 			return 1
 		}
-		srv.EnableReplication(rl, ttkvwire.ReplicationConfig{OutboxBytes: *replOutbox})
+		// Segments (when running on -aof-dir) lets SYNC serve catch-up
+		// ranges straight from the segment files. Only safe here, on a
+		// permanent primary: a failover node can demote and resync, after
+		// which the store renumbers but the retired segment files do not.
+		srv.EnableReplication(rl, ttkvwire.ReplicationConfig{OutboxBytes: *replOutbox, Segments: segs})
 		srv.SetSemiSync(semiSync)
 	default:
 		role = "replica of " + *replicaOf

@@ -64,6 +64,32 @@ func (e *engine) plainUse() int {
 	return e.plain
 }
 
+// The MVCC publication pattern: a record's immutable state is built as
+// a successor value and published with one Store; readers Load and walk
+// the slice. The wrapper type makes any other access structurally wrong.
+type version struct{ seq uint64 }
+
+type recState struct{ versions []version }
+
+type mvccRecord struct {
+	state atomic.Pointer[recState]
+}
+
+func (r *mvccRecord) insert(v version) {
+	st := r.state.Load()
+	vs := st.versions
+	ns := &recState{versions: append(vs[:len(vs):len(vs)], v)}
+	r.state.Store(ns)
+}
+
+func (r *mvccRecord) badStateCopy() atomic.Pointer[recState] {
+	return r.state // want "field state has a sync/atomic type and must not be copied; use its Load method"
+}
+
+func (r *mvccRecord) badStateReassign() {
+	r.state = atomic.Pointer[recState]{} // want "field state has a sync/atomic type and must not be reassigned; use its Store method"
+}
+
 // A justified suppression is honored.
 func (e *engine) allowedRead() int64 {
 	//ocasta:allow atomicsnapshot read under the engine init lock before any concurrent access

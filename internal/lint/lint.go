@@ -238,13 +238,23 @@ func NewAnnotations() *Annotations {
 		Durable: map[string]bool{
 			// Close/Sync/Flush on these types is where buffered writes meet
 			// the disk: a dropped error here is silent data loss.
-			"os.File":                          true,
-			"bufio.Writer":                     true,
-			"ocasta/internal/ttkv.GroupCommit": true,
-			"ocasta/internal/ttkv.AOF":         true,
-			"ocasta/internal/ttkv.ReplLog":     true,
+			"os.File":                           true,
+			"bufio.Writer":                      true,
+			"ocasta/internal/ttkv.GroupCommit":  true,
+			"ocasta/internal/ttkv.AOF":          true,
+			"ocasta/internal/ttkv.ReplLog":      true,
+			"ocasta/internal/ttkv.SegmentedAOF": true,
 		},
-		AtomicFields: map[string]bool{},
+		AtomicFields: map[string]bool{
+			// The MVCC publication protocol: each record's version array
+			// and each shard's key map are immutable values published by a
+			// single atomic pointer store, and the watermark gates what
+			// readers may see. A direct read of any of these races with
+			// publication; a direct write tears it.
+			"ocasta/internal/ttkv.record.state":      true,
+			"ocasta/internal/ttkv.shard.records":     true,
+			"ocasta/internal/ttkv.publisher.visible": true,
+		},
 	}
 }
 

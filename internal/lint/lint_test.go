@@ -130,6 +130,31 @@ func lockAll() func() { return nil }
 	}
 }
 
+// TestBuiltinSeeds pins the cross-package annotation seeds that must
+// hold even when the declaring package is loaded from export data: the
+// MVCC publication fields and the durable log types.
+func TestBuiltinSeeds(t *testing.T) {
+	ann := NewAnnotations()
+	for _, key := range []string{
+		"ocasta/internal/ttkv.record.state",
+		"ocasta/internal/ttkv.shard.records",
+		"ocasta/internal/ttkv.publisher.visible",
+	} {
+		if !ann.AtomicFields[key] {
+			t.Errorf("atomic-field seed %q missing", key)
+		}
+	}
+	for _, key := range []string{
+		"ocasta/internal/ttkv.AOF",
+		"ocasta/internal/ttkv.SegmentedAOF",
+		"ocasta/internal/ttkv.GroupCommit",
+	} {
+		if !ann.Durable[key] {
+			t.Errorf("durable seed %q missing", key)
+		}
+	}
+}
+
 func typeCheckForTest(fset *token.FileSet, f *ast.File) (*Package, error) {
 	info := NewInfo()
 	var conf types.Config

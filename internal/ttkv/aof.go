@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -186,9 +187,12 @@ func (a *AOF) append(key, value string, t time.Time, deleted bool) error {
 	return err
 }
 
-// writeBatch appends pre-encoded records. Used by the group-commit
-// appender, which encodes on the writers' side and flushes here.
-func (a *AOF) writeBatch(encoded []byte) error {
+// writeBatch appends pre-encoded records (implementing LogWriter). Used
+// by the group-commit appender, which encodes on the writers' side and
+// flushes here. A flat file has no per-batch metadata, so the record
+// count is unused; the segmented log uses it for its sequence index.
+func (a *AOF) writeBatch(encoded []byte, records int) error {
+	_ = records
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	_, err := a.w.Write(encoded)
@@ -310,83 +314,99 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// readAOF is the single AOF record loop. It parses records from r and
-// applies them to s (pass nil to parse without building a store), and
-// returns the byte offset just past the last complete record — the
-// truncation point OpenOrCreateAOF repairs a damaged tail to. A truncated
-// final record is tolerated; any other corruption is an error.
-func readAOF(r io.Reader, s *Store) (valid int64, err error) {
+// readAOF is the flat-file AOF loop: header check plus the shared record
+// scanner. It parses records from r and applies them to s (pass nil to
+// parse without building a store), and returns the byte offset just past
+// the last complete record — the truncation point OpenOrCreateAOF repairs
+// a damaged tail to. A truncated final record is tolerated; any other
+// corruption is an error.
+func readAOF(r io.Reader, s *Store) (int64, error) {
+	hdr := make([]byte, aofHeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrAOFMagic, err)
+	}
+	if string(hdr[:len(aofMagic)]) != aofMagic {
+		return 0, ErrAOFMagic
+	}
+	if ver := binary.LittleEndian.Uint16(hdr[len(aofMagic):]); ver != aofVersion {
+		return 0, fmt.Errorf("%w: %d", ErrAOFVersion, ver)
+	}
+	_, valid, _, err := scanRecords(r, func(key, value string, t time.Time, deleted bool) error {
+		if s == nil {
+			return nil
+		}
+		if deleted {
+			return s.Delete(key, t)
+		}
+		return s.Set(key, value, t)
+	})
+	return int64(aofHeaderLen) + valid, err
+}
+
+// scanRecords is the single record-stream loop shared by flat-AOF replay,
+// segment replay, tail repair, and segment range reads. It parses
+// AOF-encoded records from r (positioned just past any header), calls fn
+// for each complete record, and returns the record count, the byte offset
+// just past the last complete record, and the running CRC of the complete
+// records' bytes. A truncated final record is tolerated (crash
+// mid-append); any other corruption is an error — misreporting a
+// transient I/O failure as a clean tail would let tail repair truncate
+// away good records behind it. fn may stop the scan early with a sentinel
+// error, which is returned verbatim.
+func scanRecords(r io.Reader, fn func(key, value string, t time.Time, deleted bool) error) (n uint64, valid int64, crc uint32, err error) {
 	cr := &countingReader{r: r}
 	br := bufio.NewReader(cr)
 	// consumed reports the stream offset of the parse position: bytes
 	// pulled from r minus bytes still sitting in the bufio buffer.
 	consumed := func() int64 { return cr.n - int64(br.Buffered()) }
-
-	magic := make([]byte, len(aofMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrAOFMagic, err)
-	}
-	if string(magic) != aofMagic {
-		return 0, ErrAOFMagic
-	}
-	var ver uint16
-	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
-		return 0, err
-	}
-	if ver != aofVersion {
-		return 0, fmt.Errorf("%w: %d", ErrAOFVersion, ver)
-	}
-	valid = consumed()
+	var buf []byte
 	for {
 		op, err := br.ReadByte()
 		if err != nil {
 			if errors.Is(err, io.EOF) {
-				return valid, nil
+				return n, valid, crc, nil
 			}
-			return valid, err
+			return n, valid, crc, err
 		}
 		if op != opSet && op != opDelete {
-			return valid, fmt.Errorf("%w: op %d", ErrAOFCorrupt, op)
+			return n, valid, crc, fmt.Errorf("%w: op %d", ErrAOFCorrupt, op)
 		}
 		var nanos int64
 		if err := binary.Read(br, binary.LittleEndian, &nanos); err != nil {
 			if isTruncation(err) {
-				return valid, nil // truncated tail: keep what we have
+				return n, valid, crc, nil // truncated tail: keep what we have
 			}
-			// Any other error (e.g. a transient I/O failure) must surface:
-			// misreporting it as a clean tail would let OpenOrCreateAOF
-			// truncate away good records behind it.
-			return valid, err
+			return n, valid, crc, err
 		}
 		key, err := aofReadString(br)
 		if err != nil {
 			if isTruncation(err) {
-				return valid, nil
+				return n, valid, crc, nil
 			}
-			return valid, err
+			return n, valid, crc, err
 		}
 		t := time.Unix(0, nanos).UTC()
-		if op == opDelete {
-			if s != nil {
-				if err := s.Delete(key, t); err != nil {
-					return valid, err
+		deleted := op == opDelete
+		var value string
+		if !deleted {
+			if value, err = aofReadString(br); err != nil {
+				if isTruncation(err) {
+					return n, valid, crc, nil
 				}
-			}
-			valid = consumed()
-			continue
-		}
-		value, err := aofReadString(br)
-		if err != nil {
-			if isTruncation(err) {
-				return valid, nil
-			}
-			return valid, err
-		}
-		if s != nil {
-			if err := s.Set(key, value, t); err != nil {
-				return valid, err
+				return n, valid, crc, err
 			}
 		}
+		if fn != nil {
+			if err := fn(key, value, t, deleted); err != nil {
+				return n, valid, crc, err
+			}
+		}
+		// Re-encode for the CRC: the encoding round-trips exactly, so this
+		// equals the record's on-disk bytes without plumbing raw spans out
+		// of the buffered reader.
+		buf = appendRecord(buf[:0], key, value, t, deleted)
+		crc = crc32.Update(crc, segCRCTable, buf)
+		n++
 		valid = consumed()
 	}
 }
@@ -410,24 +430,41 @@ func aofReadString(r *bufio.Reader) (string, error) {
 	return string(buf), nil
 }
 
-// snapshotEntries collects every version in the store, sorted by global
-// sequence number so equal-timestamp orderings survive a replay. With
-// maxVersionsPerKey > 0 only the newest versions of each key are kept.
+// snapshotEntries collects every visible version in the store, sorted by
+// global sequence number so equal-timestamp orderings survive a replay.
+// With maxVersionsPerKey > 0 only the newest versions of each key are
+// kept. The scan is lock-free and pinned at the publication watermark, so
+// under concurrent writers it captures a globally consistent cut (atomic
+// batches are included whole or not at all).
 func (s *Store) snapshotEntries(maxVersionsPerKey int) []snapEntry {
+	bound := s.pub.visible.Load()
 	var entries []snapEntry
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for k, rec := range sh.records {
-			versions := rec.versions
-			if maxVersionsPerKey > 0 && len(versions) > maxVersionsPerKey {
-				versions = versions[len(versions)-maxVersionsPerKey:]
+		for k, rec := range s.shards[i].load() {
+			vs := rec.state.Load().versions
+			visible := vs
+			for j := range vs {
+				// An invisible version can sit anywhere in the slice
+				// (out-of-order timestamps), so filtering needs a full
+				// scan; the common all-visible case stays copy-free.
+				if vs[j].Seq > bound {
+					f := make([]Version, 0, len(vs)-1)
+					for _, v := range vs {
+						if v.Seq <= bound {
+							f = append(f, v)
+						}
+					}
+					visible = f
+					break
+				}
 			}
-			for _, v := range versions {
+			if maxVersionsPerKey > 0 && len(visible) > maxVersionsPerKey {
+				visible = visible[len(visible)-maxVersionsPerKey:]
+			}
+			for _, v := range visible {
 				entries = append(entries, snapEntry{key: k, v: v})
 			}
 		}
-		sh.mu.RUnlock()
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].v.Seq < entries[j].v.Seq })
 	return entries
@@ -442,7 +479,8 @@ type snapEntry struct {
 // AOF format, which doubles as the snapshot format: replaying it rebuilds
 // identical histories. Versions are emitted in global sequence order so
 // equal-timestamp orderings survive the round trip. Under concurrent
-// writes the snapshot is consistent per shard, not across shards.
+// writes the snapshot is a globally consistent cut pinned at the
+// publication watermark.
 func (s *Store) WriteSnapshot(w io.Writer) error {
 	return s.writeSnapshot(w, 0)
 }

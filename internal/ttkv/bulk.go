@@ -9,16 +9,14 @@ import "time"
 // Unlike Get and CountRead — which model live application traffic, where a
 // miss is still a real read — CountReads is a bulk stats-reproduction API:
 // reads of a key the store has never seen are not counted, so workload
-// read volumes reflect only keys that exist.
+// read volumes reflect only keys that exist. Lock-free.
 func (s *Store) CountReads(key string, n int) {
 	if n <= 0 {
 		return
 	}
 	sh := s.shardFor(key)
-	sh.mu.RLock()
-	rec, ok := sh.records[key]
-	sh.mu.RUnlock()
-	if !ok {
+	rec := sh.load()[key]
+	if rec == nil {
 		return
 	}
 	rec.reads.Add(uint64(n))
@@ -34,55 +32,68 @@ type Mutation struct {
 	Delete bool
 }
 
-// Apply applies a batch of mutations in order. The batch is validated
-// up front, so a malformed entry fails the whole batch before any entry is
-// applied; a persistence error mid-batch leaves earlier entries applied.
-// Consecutive mutations that land on the same shard are applied under one
-// lock acquisition, which is what makes the wire protocol's MSET and the
-// workload generator's bursts cheaper than per-op calls.
-func (s *Store) Apply(muts []Mutation) error {
+// Apply applies a batch of mutations in order and returns how many were
+// applied. The batch is validated up front, so a malformed entry fails the
+// whole batch (0, err) before any entry is applied; a persistence error
+// mid-batch leaves earlier entries applied and reports exactly how many —
+// the caller (the wire protocol's MSET) can tell what persisted instead of
+// guessing. On success the count equals len(muts). Consecutive mutations
+// that land on the same shard are applied under one lock acquisition,
+// which is what makes MSET and the workload generator's bursts cheaper
+// than per-op calls.
+func (s *Store) Apply(muts []Mutation) (int, error) {
 	// The validation pass doubles as the hashing pass: each key's shard is
 	// computed exactly once.
 	shards := make([]*shard, len(muts))
 	for i := range muts {
 		if muts[i].Key == "" {
-			return ErrEmptyKey
+			return 0, ErrEmptyKey
 		}
 		if muts[i].Time.IsZero() {
-			return ErrZeroTime
+			return 0, ErrZeroTime
 		}
 		if len(muts[i].Key) > MaxStringLen || len(muts[i].Value) > MaxStringLen {
-			return ErrOversize
+			return 0, ErrOversize
 		}
 		shards[i] = s.shardFor(muts[i].Key)
 	}
 	obs := s.statsObserver()
+	applied := 0
+	var runSeqs []uint64
 	for i := 0; i < len(muts); {
 		// Backpressure gate per same-shard run, before the lock, so a
 		// stalled disk never blocks a batch while it holds a shard.
 		if err := s.waitSinkCapacity(); err != nil {
-			return err
+			return applied, err
 		}
 		sh := shards[i]
 		runStart := i
+		var runErr error
+		runSeqs = runSeqs[:0]
 		sh.mu.Lock()
 		for ; i < len(muts) && shards[i] == sh; i++ {
 			m := &muts[i]
-			if err := s.applyLocked(sh, m.Key, m.Value, m.Time, m.Delete); err != nil {
-				sh.mu.Unlock()
-				// Mutations before the failing one were applied and must
-				// still reach the observer.
-				observeRange(obs, muts[runStart:i])
-				return err
+			seq, err := s.applyLocked(sh, m.Key, m.Value, m.Time, m.Delete)
+			if err != nil {
+				runErr = err
+				break
 			}
+			runSeqs = append(runSeqs, seq)
 		}
 		sh.mu.Unlock()
-		// Observe outside the shard lock: the analytics engine serialises
-		// internally, and holding a shard across it would let one slow
-		// observer stall unrelated writers.
-		observeRange(obs, muts[runStart:i])
+		// Publish the run, then observe outside the shard lock: the
+		// analytics engine serialises internally, and holding a shard
+		// across it would let one slow observer stall unrelated writers.
+		// Mutations before a failing one were applied and must still
+		// reach readers and the observer.
+		s.pub.completeSeqs(runSeqs)
+		applied += len(runSeqs)
+		observeRange(obs, muts[runStart:runStart+len(runSeqs)])
+		if runErr != nil {
+			return applied, runErr
+		}
 	}
-	return nil
+	return applied, nil
 }
 
 func observeRange(obs StatsObserver, muts []Mutation) {

@@ -92,31 +92,51 @@ func (c GroupCommitConfig) withDefaults() GroupCommitConfig {
 	return c
 }
 
+// LogWriter is the append-only log a GroupCommit flushes into: a flat
+// AOF or a SegmentedAOF. The methods are unexported on purpose — only
+// this package's log types can be group-committed, which keeps the
+// batching contract internal (writeBatch and flushOS are called from the
+// single flusher goroutine only).
+type LogWriter interface {
+	// writeBatch appends a batch of pre-encoded AOF records; records is
+	// how many complete records the batch holds (the segmented log uses
+	// it to maintain its per-segment sequence-range index, a flat file
+	// ignores it).
+	writeBatch(encoded []byte, records int) error
+	// flushOS pushes buffered bytes to the OS without fsyncing.
+	flushOS() error
+	// Sync flushes buffered bytes and fsyncs.
+	Sync() error
+	// Close flushes and closes the log.
+	Close() error
+}
+
 // GroupCommit batches AOF appends off the store's shard locks. Writers
 // encode records into an in-memory buffer (a cheap memcpy under the shard
-// lock); a background goroutine writes accumulated batches to the AOF and
+// lock); a background goroutine writes accumulated batches to the log and
 // fsyncs per policy. Sync is a barrier: it returns once everything
 // appended before the call is flushed AND fsynced, whatever the policy.
-// Close drains all pending records, fsyncs, and closes the AOF.
+// Close drains all pending records, fsyncs, and closes the log.
 //
-// Because writers enqueue while still holding their shard lock, the AOF
+// Because writers enqueue while still holding their shard lock, the log
 // preserves per-key mutation order exactly; replay therefore rebuilds
 // identical per-key histories.
 //
 //ocasta:durable
 type GroupCommit struct {
-	aof *AOF
+	aof LogWriter
 	cfg GroupCommitConfig
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	pending  []byte // encoded records not yet handed to the flusher
-	scratch  []byte // recycled buffer for the next pending batch
-	gen      uint64 // generation of the latest appended record
-	synced   uint64 // generation fsynced
-	wantSync uint64 // highest generation an explicit Sync requires durable
-	err      error  // first flush error; sticky
-	closed   bool
+	mu          sync.Mutex
+	cond        *sync.Cond
+	pending     []byte // encoded records not yet handed to the flusher
+	pendingRecs int    // how many complete records pending holds
+	scratch     []byte // recycled buffer for the next pending batch
+	gen         uint64 // generation of the latest appended record
+	synced      uint64 // generation fsynced
+	wantSync    uint64 // highest generation an explicit Sync requires durable
+	err         error  // first flush error; sticky
+	closed      bool
 
 	// syncs counts completed fsyncs (observability; tests assert an idle
 	// appender stops syncing).
@@ -152,10 +172,10 @@ func (gc *GroupCommit) setOnCommit(fn func(gen uint64)) {
 	gc.onCommit = fn
 }
 
-// NewGroupCommit wraps a (typically freshly opened) AOF in a group-commit
-// appender and starts its background flusher. The appender assumes sole
-// ownership of the AOF until Close.
-func NewGroupCommit(a *AOF, cfg GroupCommitConfig) *GroupCommit {
+// NewGroupCommit wraps a (typically freshly opened) log — a flat *AOF or
+// a *SegmentedAOF — in a group-commit appender and starts its background
+// flusher. The appender assumes sole ownership of the log until Close.
+func NewGroupCommit(a LogWriter, cfg GroupCommitConfig) *GroupCommit {
 	gc := &GroupCommit{
 		aof:       a,
 		cfg:       cfg.withDefaults(),
@@ -205,6 +225,7 @@ func (gc *GroupCommit) append(key, value string, t time.Time, deleted bool) erro
 		return ErrAppenderClosed
 	}
 	gc.pending = appendRecord(gc.pending, key, value, t, deleted)
+	gc.pendingRecs++
 	gc.gen++
 	full := len(gc.pending) >= gc.cfg.MaxBatchBytes
 	gc.mu.Unlock()
@@ -234,6 +255,7 @@ func (gc *GroupCommit) appendEncodedBatch(encoded []byte, n int) error {
 		return ErrAppenderClosed
 	}
 	gc.pending = append(gc.pending, encoded...)
+	gc.pendingRecs += n
 	gc.gen += uint64(n)
 	full := len(gc.pending) >= gc.cfg.MaxBatchBytes
 	gc.mu.Unlock()
@@ -339,7 +361,9 @@ func (gc *GroupCommit) flushCycle(policySync bool) {
 		return
 	}
 	batch := gc.pending
+	batchRecs := gc.pendingRecs
 	gc.pending = gc.scratch[:0]
+	gc.pendingRecs = 0
 	gc.scratch = batch
 	target := gc.gen
 	commitCb := gc.onCommit
@@ -350,7 +374,7 @@ func (gc *GroupCommit) flushCycle(policySync bool) {
 
 	var err error
 	if len(batch) > 0 {
-		err = gc.aof.writeBatch(batch)
+		err = gc.aof.writeBatch(batch, batchRecs)
 	}
 	if err == nil {
 		if doSync {

@@ -1,0 +1,312 @@
+package ttkv
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// This file is the -race property suite for the lock-free read path: the
+// MVCC readers (Get, GetAt, History, pinned Views) run concurrently with
+// writers and must give answers byte-identical to what a fully locked
+// store would — the race detector checks the memory model, the
+// assertions check the semantics.
+
+// raceKey names writer w's j-th key.
+func raceKey(w, j int) string { return fmt.Sprintf("/race/w%d/k%d", w, j) }
+
+// raceOp is one deterministic write: writers replay the same script the
+// sequential oracle does, so the final store state has exactly one
+// correct answer.
+type raceOp struct {
+	key     string
+	value   string
+	t       time.Time
+	deleted bool
+}
+
+// raceScript builds writer w's deterministic op sequence: per-key
+// strictly increasing times and counters, with every seventh op a
+// delete (after the key exists).
+func raceScript(w, keys, ops int, base time.Time) []raceOp {
+	script := make([]raceOp, 0, ops)
+	for i := 0; i < ops; i++ {
+		j := i % keys
+		op := raceOp{
+			key: raceKey(w, j),
+			t:   base.Add(time.Duration(i) * time.Millisecond),
+		}
+		if i%7 == 6 && i >= keys {
+			op.deleted = true
+		} else {
+			op.value = fmt.Sprintf("w%d-k%d-c%d", w, j, i)
+		}
+		script = append(script, op)
+	}
+	return script
+}
+
+// counterOf extracts the trailing write counter from a race value.
+func counterOf(t *testing.T, value string) int {
+	t.Helper()
+	idx := strings.LastIndexByte(value, 'c')
+	n, err := strconv.Atoi(value[idx+1:])
+	if err != nil {
+		t.Fatalf("unparseable race value %q", value)
+	}
+	return n
+}
+
+// TestMVCCConcurrentReadEquivalence runs lock-free readers against
+// concurrent writers (disjoint key ownership, deterministic scripts),
+// then checks the final state is byte-identical to a sequential replay
+// of the same scripts. During the run, readers assert the invariants the
+// MVCC publication protocol promises: per-key counters never move
+// backwards for one reader, and History is always a time-ordered prefix
+// of the script.
+func TestMVCCConcurrentReadEquivalence(t *testing.T) {
+	const (
+		writers = 4
+		keys    = 6
+		ops     = 280
+		readers = 3
+	)
+	base := time.Unix(1_700_000_000, 0).UTC()
+	s := NewSharded(16)
+
+	scripts := make([][]raceOp, writers)
+	for w := range scripts {
+		scripts[w] = raceScript(w, keys, ops, base)
+	}
+
+	var writersWG, readersWG sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(script []raceOp) {
+			defer writersWG.Done()
+			for _, op := range script {
+				var err error
+				if op.deleted {
+					err = s.Delete(op.key, op.t)
+				} else {
+					err = s.Set(op.key, op.value, op.t)
+				}
+				if err != nil {
+					t.Errorf("writer: %v", err)
+					return
+				}
+			}
+		}(scripts[w])
+	}
+
+	for r := 0; r < readers; r++ {
+		readersWG.Add(1)
+		go func(seed int64) {
+			defer readersWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			lastSeen := map[string]int{}
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				key := raceKey(rng.Intn(writers), rng.Intn(keys))
+				if v, ok := s.Get(key); ok {
+					c := counterOf(t, v)
+					if prev, seen := lastSeen[key]; seen && c < prev {
+						t.Errorf("Get(%s) counter went backwards: %d after %d", key, c, prev)
+						return
+					}
+					lastSeen[key] = c
+				}
+				hist, err := s.History(key)
+				if err != nil && err != ErrNoKey {
+					t.Errorf("History(%s): %v", key, err)
+					return
+				}
+				for i := 1; i < len(hist); i++ {
+					if hist[i].Time.Before(hist[i-1].Time) {
+						t.Errorf("History(%s) out of time order at %d", key, i)
+						return
+					}
+					if hist[i].Seq <= hist[i-1].Seq {
+						t.Errorf("History(%s) seq not increasing at %d", key, i)
+						return
+					}
+				}
+				if len(hist) > 0 {
+					// GetAt at the newest visible time must return exactly
+					// the newest visible version: per-key times strictly
+					// increase, so nothing newer shares that instant.
+					got, err := s.GetAt(key, hist[len(hist)-1].Time)
+					if err != nil {
+						t.Errorf("GetAt(%s): %v", key, err)
+						return
+					}
+					if got.Seq < hist[len(hist)-1].Seq {
+						t.Errorf("GetAt(%s) older than History tail", key)
+						return
+					}
+				}
+			}
+		}(int64(r) + 1)
+	}
+
+	writersWG.Wait()
+	close(done)
+	readersWG.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Sequential oracle: the same scripts replayed one writer at a time
+	// into a fresh store. Key ownership is disjoint, so any interleaving
+	// of the concurrent run must produce identical per-key history.
+	oracle := NewSharded(16)
+	for _, script := range scripts {
+		for _, op := range script {
+			var err error
+			if op.deleted {
+				err = oracle.Delete(op.key, op.t)
+			} else {
+				err = oracle.Set(op.key, op.value, op.t)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for w := 0; w < writers; w++ {
+		for j := 0; j < keys; j++ {
+			key := raceKey(w, j)
+			got, err := s.History(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.History(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("History(%s) = %d versions, oracle has %d", key, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Value != want[i].Value || got[i].Deleted != want[i].Deleted || !got[i].Time.Equal(want[i].Time) {
+					t.Fatalf("History(%s)[%d] = %+v, oracle %+v", key, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRevertClusterLiveTornReads runs RevertCluster in a loop against
+// concurrent writers while readers pin views and check atomicity: a
+// pinned view must answer identically when asked twice, and after an
+// observed revert the cluster must be uniform — never half new writes,
+// half reverted values.
+func TestRevertClusterLiveTornReads(t *testing.T) {
+	const clusterKeys = 4
+	keys := make([]string, clusterKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("/rc/k%d", i)
+	}
+	s := NewSharded(16)
+	seedAt := time.Unix(1_700_000_000, 0).UTC()
+	for _, k := range keys {
+		if err := s.Set(k, "seed", seedAt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer: keeps mutating the cluster keys with generation-stamped
+	// values at strictly increasing times.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for gen := 1; ; gen++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			at := seedAt.Add(time.Duration(gen) * time.Millisecond)
+			for _, k := range keys {
+				if err := s.Set(k, fmt.Sprintf("gen%d", gen), at); err != nil {
+					t.Errorf("writer: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Reverter: rolls the whole cluster back to the seed state.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			applyAt := seedAt.Add(time.Hour + time.Duration(i)*time.Millisecond)
+			if _, err := s.RevertCluster(keys, seedAt, applyAt); err != nil {
+				t.Errorf("RevertCluster: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Readers: pin a view, read the cluster twice, demand identical
+	// answers both times; and if the view shows any reverted key, it must
+	// show every key reverted (the watermark releases the batch whole).
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := s.ViewAt(s.CurrentSeq())
+				first := make([]string, clusterKeys)
+				for i, k := range keys {
+					val, ok := v.Get(k)
+					if !ok {
+						t.Errorf("view lost key %s", k)
+						return
+					}
+					first[i] = val
+				}
+				for i, k := range keys {
+					val, _ := v.Get(k)
+					if val != first[i] {
+						t.Errorf("pinned view unstable for %s: %q then %q", k, first[i], val)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Final revert on the quiesced store: afterwards the cluster must be
+	// uniformly back at the seed value.
+	if _, err := s.RevertCluster(keys, seedAt, seedAt.Add(2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if v, ok := s.Get(k); !ok || v != "seed" {
+			t.Fatalf("after final revert %s = %q, %v; want seed", k, v, ok)
+		}
+	}
+}

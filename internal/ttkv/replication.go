@@ -497,22 +497,23 @@ func (sub *ReplSub) Close() {
 // ReplSnapshot collects every version with sequence number in
 // (afterSeq, upToSeq], ordered by sequence — the snapshot phase of a SYNC.
 // upToSeq must be at or below a committed watermark (ReplLog.Subscribe
-// returns one): committed records are always fully visible in the store,
-// because the sink append and the version insert share the writer's shard
-// lock, so a per-shard scan started after the watermark was read cannot
-// miss them. Callers stream large histories in bounded sub-ranges; the
-// returned records carry no atomic-batch flags (the store does not record
-// batch membership), so catch-up replay is record-ordered like an AOF
-// replay — resume boundaries themselves stay batch-aligned because the
-// durable watermark never lands inside a batch.
+// returns one). The scan is lock-free: it first waits for the publication
+// watermark to cover upToSeq — every version it promises to return is then
+// fully inserted into its record's published state — and then walks the
+// published states without touching a lock, so a snapshot of any size
+// never blocks writers. Callers stream large histories in bounded
+// sub-ranges; the returned records carry no atomic-batch flags (the store
+// does not record batch membership), so catch-up replay is record-ordered
+// like an AOF replay — resume boundaries themselves stay batch-aligned
+// because the durable watermark never lands inside a batch.
 func (s *Store) ReplSnapshot(afterSeq, upToSeq uint64) []ReplRecord {
+	s.waitVisible(upToSeq)
 	var out []ReplRecord
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for k, rec := range sh.records {
-			for j := range rec.versions {
-				v := &rec.versions[j]
+		for k, rec := range s.shards[i].load() {
+			vs := rec.state.Load().versions
+			for j := range vs {
+				v := &vs[j]
 				if v.Seq > afterSeq && v.Seq <= upToSeq {
 					out = append(out, ReplRecord{
 						Seq: v.Seq, Key: k, Value: v.Value, Time: v.Time, Deleted: v.Deleted,
@@ -520,7 +521,6 @@ func (s *Store) ReplSnapshot(afterSeq, upToSeq uint64) []ReplRecord {
 				}
 			}
 		}
-		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
 	return out
@@ -536,23 +536,24 @@ var ErrExportRange = errors.New("ttkv: export range not consistently readable")
 // ExportRange returns every version with sequence number in
 // (afterSeq, upToSeq], ordered by sequence — ReplSnapshot plus the
 // validation a backup needs. Pinning upToSeq at a value read from
-// CurrentSeq before the scan is safe on any store: sequence numbers are
-// only ever minted while the writer holds the key's shard lock (local
-// writes in applyLocked, replicated writes in ApplyReplicated, logged
-// writes in ReplLog.stage), so a record at or below the pinned bound is
-// either already inserted or its writer still holds the shard lock the
-// scan must wait for — the export never misses a record it claims to
-// cover, without taking a single lock across shards or blocking writers
-// for more than one shard's read-lock at a time. The post-scan counter
-// re-check downgrades the one hole — a replica Reset for full resync
-// mid-scan — from silent corruption to an error; the caller retries
-// after the resync settles.
+// CurrentSeq before the scan is safe on any store: CurrentSeq is the
+// publication watermark, so everything at or below the pin is already
+// fully inserted into the published record states the lock-free scan
+// walks — the export never misses a record it claims to cover, without
+// taking a single lock or blocking writers at all. A pin above the
+// watermark (a caller racing in-flight writers) waits for publication to
+// catch up before scanning. The post-scan counter re-check downgrades the
+// one hole — a replica Reset for full resync mid-scan — from silent
+// corruption to an error; the caller retries after the resync settles.
 func (s *Store) ExportRange(afterSeq, upToSeq uint64) ([]ReplRecord, error) {
 	if afterSeq > upToSeq {
 		return nil, fmt.Errorf("%w: (%d, %d]", ErrExportRange, afterSeq, upToSeq)
 	}
 	if cur := s.seq.Load(); cur < upToSeq {
 		return nil, fmt.Errorf("%w: store at seq %d, range ends at %d", ErrExportRange, cur, upToSeq)
+	}
+	if !s.waitVisible(upToSeq) {
+		return nil, fmt.Errorf("%w: store reset while waiting for seq %d to publish", ErrExportRange, upToSeq)
 	}
 	recs := s.ReplSnapshot(afterSeq, upToSeq)
 	if cur := s.seq.Load(); cur < upToSeq {
@@ -564,12 +565,13 @@ func (s *Store) ExportRange(afterSeq, upToSeq uint64) ([]ReplRecord, error) {
 // ApplyReplicated applies a chunk of replicated records to a replica
 // store: each version is inserted with the primary's sequence number, so
 // the replica's histories — and its snapshot dumps — are byte-identical
-// to the primary's once lag drains. The whole chunk is applied under
-// every involved shard lock at once, so an atomic batch inside it (a
-// cluster revert) is never readable half-applied, exactly as on the
-// primary. Sequence numbers must strictly ascend past everything already
-// applied (ErrReplSeq otherwise — a duplicate or reordered stream fails
-// loudly), and the store must have no persistence sink attached.
+// to the primary's once lag drains. The whole chunk is inserted before
+// the publication watermark advances across it in one step, so an atomic
+// batch inside it (a cluster revert) is never readable half-applied,
+// exactly as on the primary. Sequence numbers must strictly ascend past
+// everything already applied (ErrReplSeq otherwise — a duplicate or
+// reordered stream fails loudly), and the store must have no persistence
+// sink attached.
 func (s *Store) ApplyReplicated(recs []ReplRecord) error {
 	if len(recs) == 0 {
 		return nil
@@ -606,7 +608,7 @@ func (s *Store) ApplyReplicated(recs []ReplRecord) error {
 		r := &recs[i]
 		s.insertLocked(&s.shards[s.shardIndex(r.Key)], r.Key, r.Value, r.Time, r.Deleted, r.Seq)
 	}
-	// Advance the counter so CurrentSeq/ViewAt cover the chunk; max-CAS in
+	// Advance the counter so ViewAt bounds cover the chunk; max-CAS in
 	// case a misuse races this with local minting (the sink check above
 	// rules out the supported configurations).
 	for {
@@ -616,6 +618,9 @@ func (s *Store) ApplyReplicated(recs []ReplRecord) error {
 		}
 	}
 	unlock()
+	// Publish the whole chunk in one watermark jump: lock-free readers
+	// flip from seeing none of it to all of it atomically.
+	s.pub.advanceTo(last)
 
 	// Observer calls run outside the shard locks by contract.
 	if obs := s.statsObserver(); obs != nil {
@@ -640,11 +645,17 @@ func (s *Store) Reset() error {
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.records = make(map[string]*record)
-		sh.writes, sh.deletes = 0, 0
+		m := make(map[string]*record)
+		sh.records.Store(&m)
+		sh.writes.Store(0)
+		sh.deletes.Store(0)
 		sh.reads.Store(0)
 	}
 	s.seq.Store(0)
+	// Rewind the publication watermark after the counter: a waiter woken
+	// by the reset re-checks the counter and bails out instead of waiting
+	// for a sequence number that no longer exists.
+	s.pub.reset()
 	for i := range s.shards {
 		s.shards[i].mu.Unlock()
 	}

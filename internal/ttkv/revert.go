@@ -17,17 +17,19 @@ var ErrNoCluster = errors.New("ttkv: revert of an empty cluster")
 // currently exists, and is skipped otherwise. History is preserved: the
 // revert appends versions, it never rewrites them.
 //
-// The whole batch is applied under every involved shard lock at once, so
-// a concurrent reader sees either none or all of the cluster's keys
+// The whole batch occupies one contiguous run of sequence numbers and is
+// released to readers by a single advance of the publication watermark,
+// so a concurrent reader sees either none or all of the cluster's keys
 // reverted — never a half-applied fix, which for correlated settings is
 // exactly the broken intermediate state the paper's clustering exists to
-// avoid. Locks are taken in shard order, so concurrent RevertCluster
-// calls cannot deadlock. The in-memory transition is also all-or-nothing
-// against persistence failures: every record is enqueued to the sink
-// before anything is inserted, so a sticky AOF error leaves memory
-// untouched (at worst the AOF gains a replayable prefix of the revert —
-// the superset crash window every write path shares). Returns how many
-// mutations were applied.
+// avoid. Writers are excluded by holding every involved shard lock at
+// once, taken in shard order so concurrent RevertCluster calls cannot
+// deadlock. The in-memory transition is also all-or-nothing against
+// persistence failures: every record is enqueued to the sink before
+// anything is inserted, so a sticky AOF error leaves memory untouched (at
+// worst the AOF gains a replayable prefix of the revert — the superset
+// crash window every write path shares). Returns how many mutations were
+// applied.
 func (s *Store) RevertCluster(keys []string, fixAt, applyAt time.Time) (int, error) {
 	if len(keys) == 0 {
 		return 0, ErrNoCluster
@@ -81,17 +83,36 @@ func (s *Store) RevertCluster(keys []string, fixAt, applyAt time.Time) (int, err
 			plan = append(plan, Mutation{Key: key, Value: target.Value, Time: applyAt})
 		}
 	}
+	if len(plan) == 0 {
+		return 0, nil
+	}
 	seqs, err := s.sinkAppendBatch(plan)
 	if err != nil {
 		return 0, err
+	}
+	if seqs == nil {
+		// No seq-assigning sink: reserve one contiguous block from the
+		// store counter while every involved shard is still locked (no
+		// other writer can mint into the gap), so the watermark can cross
+		// the whole revert in one step.
+		last := s.seq.Add(uint64(len(plan)))
+		first := last - uint64(len(plan)) + 1
+		seqs = make([]uint64, len(plan))
+		for i := range seqs {
+			seqs[i] = first + uint64(i)
+		}
 	}
 	for i, m := range plan {
 		s.insertLocked(&s.shards[s.shardIndex(m.Key)], m.Key, m.Value, m.Time, m.Delete, seqs[i])
 	}
 
 	// Observer calls run outside the shard locks by contract; the unlock
-	// is idempotent, so the deferred call becomes a no-op.
+	// is idempotent, so the deferred call becomes a no-op. Publication
+	// happens after the unlock (the watermark wait must not hold shard
+	// locks) and before the observers (whatever they trigger sees the
+	// revert).
 	unlock()
+	s.pub.completeSeqs(seqs)
 	observeRange(s.statsObserver(), plan)
 	return len(plan), nil
 }
@@ -106,48 +127,67 @@ type batchSeqSink interface {
 }
 
 // sinkAppendBatch enqueues a mutation batch to the persistence sink and
-// returns the per-mutation sequence numbers a seq-assigning sink minted
-// (all zero for plain sinks, where the caller mints).
+// returns the per-mutation sequence numbers a seq-assigning sink minted.
+// With no sink, or a plain sink that does not mint, it returns a nil
+// slice and the caller mints. The sink box is snapshotted once for the
+// whole batch: re-loading s.sink per mutation would let a concurrent
+// bind/detach split one revert across two sinks (or between sink-minted
+// and store-minted sequence numbers).
 func (s *Store) sinkAppendBatch(plan []Mutation) ([]uint64, error) {
-	seqs := make([]uint64, len(plan))
 	box := s.sink.Load()
 	if box == nil {
-		return seqs, nil
+		return nil, nil
 	}
 	if bs, ok := box.sink.(batchSeqSink); ok {
 		return bs.appendSeqBatch(plan)
 	}
-	for i, m := range plan {
-		seq, err := s.sinkAppend(m.Key, m.Value, m.Time, m.Delete)
-		if err != nil {
+	if ss, ok := box.sink.(seqSink); ok {
+		seqs := make([]uint64, len(plan))
+		for i := range plan {
+			m := &plan[i]
+			seq, err := ss.appendSeq(m.Key, m.Value, m.Time, m.Delete)
+			if err != nil {
+				return nil, err
+			}
+			seqs[i] = seq
+		}
+		return seqs, nil
+	}
+	for i := range plan {
+		m := &plan[i]
+		if err := box.sink.append(m.Key, m.Value, m.Time, m.Delete); err != nil {
 			return nil, err
 		}
-		seqs[i] = seq
 	}
-	return seqs, nil
+	return nil, nil
 }
 
-// versionAtLocked is GetAt's lookup with the shard lock already held.
+// versionAtLocked is GetAt's lookup with the shard lock already held. It
+// reads the record's full published state, watermark included: under the
+// lock there are no in-flight writers, so everything published is the
+// current truth.
 func versionAtLocked(sh *shard, key string, t time.Time) (Version, bool) {
-	rec, ok := sh.records[key]
-	if !ok {
+	rec := sh.load()[key]
+	if rec == nil {
 		return Version{}, false
 	}
-	i := sort.Search(len(rec.versions), func(i int) bool {
-		return rec.versions[i].Time.After(t)
+	vs := rec.state.Load().versions
+	i := sort.Search(len(vs), func(i int) bool {
+		return vs[i].Time.After(t)
 	})
 	if i == 0 {
 		return Version{}, false
 	}
-	return rec.versions[i-1], true
+	return vs[i-1], true
 }
 
 // existsLocked reports whether key currently has a live (non-deleted)
 // value, with the shard lock already held.
 func existsLocked(sh *shard, key string) bool {
-	rec, ok := sh.records[key]
-	if !ok {
+	rec := sh.load()[key]
+	if rec == nil {
 		return false
 	}
-	return !rec.versions[len(rec.versions)-1].Deleted
+	vs := rec.state.Load().versions
+	return len(vs) > 0 && !vs[len(vs)-1].Deleted
 }

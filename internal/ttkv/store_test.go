@@ -387,7 +387,9 @@ func TestApplyBatch(t *testing.T) {
 		{Key: "a", Value: "first", Time: at(5)},
 		{Key: "a", Value: "second", Time: at(5)},
 	}
-	must(t, s.Apply(muts))
+	if _, err := s.Apply(muts); err != nil {
+		t.Fatal(err)
+	}
 	if v, _ := s.Get("a"); v != "second" {
 		t.Errorf("a = %q, want second", v)
 	}
@@ -415,7 +417,7 @@ func TestOversizeRejected(t *testing.T) {
 	if err := s.Set(big, "v", at(0)); !errors.Is(err, ErrOversize) {
 		t.Errorf("oversized key: err = %v, want ErrOversize", err)
 	}
-	err := s.Apply([]Mutation{{Key: "k", Value: big, Time: at(0)}})
+	_, err := s.Apply([]Mutation{{Key: "k", Value: big, Time: at(0)}})
 	if !errors.Is(err, ErrOversize) {
 		t.Errorf("oversized batch value: err = %v, want ErrOversize", err)
 	}
@@ -426,7 +428,7 @@ func TestOversizeRejected(t *testing.T) {
 
 func TestApplyValidatesUpFront(t *testing.T) {
 	s := New()
-	err := s.Apply([]Mutation{
+	_, err := s.Apply([]Mutation{
 		{Key: "good", Value: "v", Time: at(0)},
 		{Key: "", Value: "v", Time: at(1)},
 	})
@@ -436,7 +438,7 @@ func TestApplyValidatesUpFront(t *testing.T) {
 	if s.Len() != 0 {
 		t.Error("validation failure must apply no entries")
 	}
-	err = s.Apply([]Mutation{{Key: "k", Value: "v"}})
+	_, err = s.Apply([]Mutation{{Key: "k", Value: "v"}})
 	if !errors.Is(err, ErrZeroTime) {
 		t.Fatalf("err = %v, want ErrZeroTime", err)
 	}
@@ -590,7 +592,7 @@ func BenchmarkApplyBatch(b *testing.B) {
 			t++
 			muts[j].Time = at(t)
 		}
-		if err := s.Apply(muts); err != nil {
+		if _, err := s.Apply(muts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -622,7 +624,7 @@ func TestStatsObserverSeesAllMutationPaths(t *testing.T) {
 	if err := s.Delete("a", at(2)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Apply([]Mutation{
+	if _, err := s.Apply([]Mutation{
 		{Key: "b", Value: "2", Time: at(3)},
 		{Key: "c", Value: "3", Time: at(4), Delete: true},
 	}); err != nil {

@@ -5,10 +5,13 @@ import (
 	"time"
 )
 
-// CurrentSeq returns the newest version sequence number the store has
-// minted. Pass it to ViewAt to pin a point-in-time view of everything
-// written so far.
-func (s *Store) CurrentSeq() uint64 { return s.seq.Load() }
+// CurrentSeq returns the newest *published* version sequence number: every
+// version at or below it is fully inserted and visible to lock-free
+// readers. Pass it to ViewAt to pin a point-in-time view of everything
+// written so far. (The store may have minted higher sequence numbers for
+// writes still in flight; those are excluded on purpose — a view pinned at
+// the watermark can never observe half of an atomic batch.)
+func (s *Store) CurrentSeq() uint64 { return s.pub.visible.Load() }
 
 // View is a read-only point-in-time view of a store: it answers every
 // read as if no version with a sequence number above its bound existed.
@@ -18,9 +21,9 @@ func (s *Store) CurrentSeq() uint64 { return s.seq.Load() }
 // trial against one pinned view, so trials never race live writers and
 // all workers search byte-identical history.
 //
-// A View is cheap (it copies nothing) and safe for concurrent use. Unlike
-// Store.Get, View.Get does not count as an application read: views serve
-// the recovery path, not live traffic.
+// A View is cheap (it copies nothing), lock-free, and safe for concurrent
+// use. Unlike Store.Get, View.Get does not count as an application read:
+// views serve the recovery path, not live traffic.
 type View struct {
 	s   *Store
 	seq uint64
@@ -28,7 +31,14 @@ type View struct {
 
 // ViewAt returns a read-only view of the store pinned at sequence number
 // seq (typically CurrentSeq()). Versions minted after seq are invisible.
-func (s *Store) ViewAt(seq uint64) *View { return &View{s: s, seq: seq} }
+// A pin above the publication watermark waits for the watermark to catch
+// up first, so every version the view can see is fully inserted; a pin
+// the store can never reach returns immediately (the view then simply has
+// headroom).
+func (s *Store) ViewAt(seq uint64) *View {
+	s.waitVisible(seq)
+	return &View{s: s, seq: seq}
+}
 
 // Seq returns the view's pinned sequence bound.
 func (v *View) Seq() uint64 { return v.seq }
@@ -39,19 +49,17 @@ func (v *View) visible(ver *Version) bool { return ver.Seq <= v.seq }
 // Get returns the value of key as of the view: the chronologically newest
 // visible version, if it is not a deletion.
 func (v *View) Get(key string) (string, bool) {
-	sh := v.s.shardFor(key)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	rec, ok := sh.records[key]
-	if !ok {
+	rec := v.s.shardFor(key).load()[key]
+	if rec == nil {
 		return "", false
 	}
-	for i := len(rec.versions) - 1; i >= 0; i-- {
-		if v.visible(&rec.versions[i]) {
-			if rec.versions[i].Deleted {
+	vs := rec.state.Load().versions
+	for i := len(vs) - 1; i >= 0; i-- {
+		if v.visible(&vs[i]) {
+			if vs[i].Deleted {
 				return "", false
 			}
-			return rec.versions[i].Value, true
+			return vs[i].Value, true
 		}
 	}
 	return "", false
@@ -60,22 +68,20 @@ func (v *View) Get(key string) (string, bool) {
 // GetAt returns the visible version of key in effect at time t: the latest
 // visible version with Time <= t.
 func (v *View) GetAt(key string, t time.Time) (Version, error) {
-	sh := v.s.shardFor(key)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	rec, ok := sh.records[key]
-	if !ok {
+	rec := v.s.shardFor(key).load()[key]
+	if rec == nil {
 		return Version{}, ErrNoKey
 	}
 	// Versions are chronological; a version written after the pin may sit
 	// anywhere in the slice (out-of-order timestamps), so scan backwards
 	// from the last one at or before t to the newest visible one.
-	i := sort.Search(len(rec.versions), func(i int) bool {
-		return rec.versions[i].Time.After(t)
+	vs := rec.state.Load().versions
+	i := sort.Search(len(vs), func(i int) bool {
+		return vs[i].Time.After(t)
 	})
 	for i--; i >= 0; i-- {
-		if v.visible(&rec.versions[i]) {
-			return rec.versions[i], nil
+		if v.visible(&vs[i]) {
+			return vs[i], nil
 		}
 	}
 	return Version{}, ErrNoVersion
@@ -84,17 +90,15 @@ func (v *View) GetAt(key string, t time.Time) (Version, error) {
 // History returns a copy of key's visible version history, oldest first.
 // A key with no visible versions does not exist in the view.
 func (v *View) History(key string) ([]Version, error) {
-	sh := v.s.shardFor(key)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	rec, ok := sh.records[key]
-	if !ok {
+	rec := v.s.shardFor(key).load()[key]
+	if rec == nil {
 		return nil, ErrNoKey
 	}
-	out := make([]Version, 0, len(rec.versions))
-	for i := range rec.versions {
-		if v.visible(&rec.versions[i]) {
-			out = append(out, rec.versions[i])
+	vs := rec.state.Load().versions
+	out := make([]Version, 0, len(vs))
+	for i := range vs {
+		if v.visible(&vs[i]) {
+			out = append(out, vs[i])
 		}
 	}
 	if len(out) == 0 {
@@ -107,17 +111,11 @@ func (v *View) History(key string) ([]Version, error) {
 func (v *View) Keys() []string {
 	var keys []string
 	for i := range v.s.shards {
-		sh := &v.s.shards[i]
-		sh.mu.RLock()
-		for k, rec := range sh.records {
-			for j := range rec.versions {
-				if v.visible(&rec.versions[j]) {
-					keys = append(keys, k)
-					break
-				}
+		for k, rec := range v.s.shards[i].load() {
+			if recVisible(rec, v.seq) {
+				keys = append(keys, k)
 			}
 		}
-		sh.mu.RUnlock()
 	}
 	sort.Strings(keys)
 	return keys
@@ -125,30 +123,28 @@ func (v *View) Keys() []string {
 
 // ModTimes returns every distinct visible modification timestamp of the
 // given keys, newest first (the repair tool's rollback-candidate
-// enumeration, over frozen history).
+// enumeration, over frozen history). Like Store.ModTimes, timestamps are
+// deduplicated, compared, and sorted on wall-clock nanoseconds.
 func (v *View) ModTimes(keys []string) []time.Time {
 	seen := make(map[int64]struct{})
 	var times []time.Time
 	for _, k := range keys {
-		sh := v.s.shardFor(k)
-		sh.mu.RLock()
-		rec, ok := sh.records[k]
-		if !ok {
-			sh.mu.RUnlock()
+		rec := v.s.shardFor(k).load()[k]
+		if rec == nil {
 			continue
 		}
-		for i := range rec.versions {
-			if !v.visible(&rec.versions[i]) {
+		vs := rec.state.Load().versions
+		for i := range vs {
+			if !v.visible(&vs[i]) {
 				continue
 			}
-			ns := rec.versions[i].Time.UnixNano()
+			ns := vs[i].Time.UnixNano()
 			if _, dup := seen[ns]; !dup {
 				seen[ns] = struct{}{}
-				times = append(times, rec.versions[i].Time)
+				times = append(times, vs[i].Time.Round(0))
 			}
 		}
-		sh.mu.RUnlock()
 	}
-	sort.Slice(times, func(i, j int) bool { return times[i].After(times[j]) })
+	sort.Slice(times, func(i, j int) bool { return times[i].UnixNano() > times[j].UnixNano() })
 	return times
 }

@@ -191,7 +191,9 @@ const msetChunk = 4096
 // MSet records a batch of writes (deletes in the batch are rejected; use
 // a Pipeline to mix operations). The server applies each chunk in order
 // with its store's batch API; batches are sent in chunks of msetChunk
-// mutations, so an error mid-way can leave earlier chunks applied.
+// mutations, so an error mid-way can leave earlier chunks applied — a
+// *ErrPartialApply error reports exactly how many mutations of the
+// original batch took effect.
 func (c *Client) MSet(muts []ttkv.Mutation) error {
 	return c.MSetContext(context.Background(), muts)
 }
@@ -218,6 +220,18 @@ func (c *Client) MSetContext(ctx context.Context, muts []ttkv.Mutation) error {
 		}
 		v, err := c.roundTrip(ctx, args...)
 		if err != nil {
+			// A server-reported partial apply counts this chunk's applied
+			// prefix; fold in the chunks already acknowledged so Applied
+			// indexes the caller's batch, not the failing chunk.
+			var partial *ErrPartialApply
+			if errors.As(err, &partial) {
+				return &ErrPartialApply{Applied: start + partial.Applied, Msg: partial.Msg}
+			}
+			if start > 0 {
+				// The failing chunk reported no partial count, but earlier
+				// chunks are already durable — still a partial apply.
+				return &ErrPartialApply{Applied: start, Msg: err.Error()}
+			}
 			return err
 		}
 		if v.Kind != KindInt || v.Int != int64(len(chunk)) {

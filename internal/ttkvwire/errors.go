@@ -2,6 +2,7 @@ package ttkvwire
 
 import (
 	"errors"
+	"strconv"
 	"strings"
 )
 
@@ -20,6 +21,9 @@ import (
 //	                    timeout, failover in progress) → errors.Is(err,
 //	                    ErrRetryable); the command may or may not have
 //	                    taken effect, so retries must be idempotent
+//	PARTIAL <n> <detail> a batch half-applied: exactly n leading
+//	                    mutations took effect before the failure →
+//	                    errors.As(err, &partial) for the count
 //	ERR <detail>        anything else → *RemoteError
 var (
 	// ErrReadOnly marks writes rejected by a read-only replica. Redirect
@@ -77,11 +81,27 @@ func (e *retryableError) Error() string {
 
 func (e *retryableError) Unwrap() error { return ErrRetryable }
 
+// ErrPartialApply reports a batch write that half-applied: exactly
+// Applied leading mutations took effect (and persisted) before the
+// failure described by Msg. The client's MSet accumulates the count
+// across chunks, so Applied indexes into the caller's original batch —
+// muts[:Applied] are durable, muts[Applied:] are not.
+type ErrPartialApply struct {
+	Applied int
+	Msg     string
+}
+
+// Error implements error.
+func (e *ErrPartialApply) Error() string {
+	return "ttkvwire: batch partially applied (" + strconv.Itoa(e.Applied) + " mutations): " + e.Msg
+}
+
 // Wire error code tokens (the first word of an error reply).
 const (
 	wireCodeReadOnly = "READONLY"
 	wireCodeMoved    = "MOVED"
 	wireCodeRetry    = "RETRY"
+	wireCodePartial  = "PARTIAL"
 )
 
 // decodeWireError turns a server error reply string into the matching
@@ -97,6 +117,13 @@ func decodeWireError(msg string) error {
 		return &ErrNotLeader{Leader: leader}
 	case wireCodeRetry:
 		return &retryableError{detail: rest}
+	case wireCodePartial:
+		countStr, detail, _ := strings.Cut(rest, " ")
+		n, err := strconv.Atoi(countStr)
+		if err != nil || n < 0 {
+			return &RemoteError{Msg: msg} // malformed count: keep the raw reply
+		}
+		return &ErrPartialApply{Applied: n, Msg: detail}
 	default:
 		return &RemoteError{Msg: msg}
 	}

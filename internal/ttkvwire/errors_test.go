@@ -1,6 +1,7 @@
 package ttkvwire
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"net"
@@ -47,6 +48,23 @@ func TestDecodeWireError(t *testing.T) {
 			t.Fatalf("%v: RETRY is not a read-only rejection", err)
 		}
 	})
+	t.Run("partial", func(t *testing.T) {
+		err := decodeWireError("PARTIAL 37 sink: disk on fire")
+		var pa *ErrPartialApply
+		if !errors.As(err, &pa) || pa.Applied != 37 || pa.Msg != "sink: disk on fire" {
+			t.Fatalf("%v: want ErrPartialApply{Applied: 37}", err)
+		}
+		if errors.Is(err, ErrReadOnly) || errors.Is(err, ErrRetryable) {
+			t.Fatalf("%v: PARTIAL is a definite outcome, not a redirect or retry cue", err)
+		}
+	})
+	t.Run("partial-malformed-count", func(t *testing.T) {
+		err := decodeWireError("PARTIAL x disk on fire")
+		var re *RemoteError
+		if !errors.As(err, &re) {
+			t.Fatalf("%v: malformed PARTIAL must fall back to *RemoteError", err)
+		}
+	})
 	t.Run("plain", func(t *testing.T) {
 		err := decodeWireError("boom")
 		var re *RemoteError
@@ -55,6 +73,90 @@ func TestDecodeWireError(t *testing.T) {
 		}
 		if errors.Is(err, ErrReadOnly) || errors.Is(err, ErrRetryable) {
 			t.Fatalf("%v: generic errors must not match the typed sentinels", err)
+		}
+	})
+}
+
+// startScriptedServer answers each incoming request with the next canned
+// reply, letting tests exercise client-side handling of server outcomes
+// (like a mid-batch PARTIAL) that are awkward to provoke in a real store.
+func startScriptedServer(t *testing.T, replies []Value) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		bw := bufio.NewWriter(conn)
+		for _, rep := range replies {
+			if _, err := ReadValue(br); err != nil {
+				return
+			}
+			if err := WriteValue(bw, rep); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestMSetPartialAcrossChunks: a PARTIAL reply on a later chunk must be
+// reported against the caller's whole batch — the chunks already
+// acknowledged count into Applied.
+func TestMSetPartialAcrossChunks(t *testing.T) {
+	muts := make([]ttkv.Mutation, msetChunk+500)
+	base := time.Now()
+	for i := range muts {
+		muts[i] = ttkv.Mutation{Key: "k", Value: "v", Time: base}
+	}
+
+	t.Run("partial-on-second-chunk", func(t *testing.T) {
+		addr := startScriptedServer(t, []Value{
+			intValue(int64(msetChunk)),
+			errValue("PARTIAL 250 sink: disk on fire"),
+		})
+		cl, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		var pa *ErrPartialApply
+		if err := cl.MSet(muts); !errors.As(err, &pa) {
+			t.Fatalf("MSet = %v, want *ErrPartialApply", err)
+		}
+		if pa.Applied != msetChunk+250 {
+			t.Fatalf("Applied = %d, want %d (full first chunk plus the reported prefix)", pa.Applied, msetChunk+250)
+		}
+	})
+
+	t.Run("hard-error-after-acked-chunk", func(t *testing.T) {
+		addr := startScriptedServer(t, []Value{
+			intValue(int64(msetChunk)),
+			errValue("ERR boom"),
+		})
+		cl, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		// Even a non-partial failure after an acknowledged chunk is a
+		// partial apply of the caller's batch.
+		var pa *ErrPartialApply
+		if err := cl.MSet(muts); !errors.As(err, &pa) {
+			t.Fatalf("MSet = %v, want *ErrPartialApply", err)
+		}
+		if pa.Applied != msetChunk {
+			t.Fatalf("Applied = %d, want %d (the acknowledged first chunk)", pa.Applied, msetChunk)
 		}
 	})
 }

@@ -136,7 +136,7 @@ func TestReplEquivalence(t *testing.T) {
 					n = len(muts) - i
 				}
 				if rng.Intn(2) == 0 {
-					if err := primary.Apply(muts[i : i+n]); err != nil {
+					if _, err := primary.Apply(muts[i : i+n]); err != nil {
 						t.Fatal(err)
 					}
 				} else {

@@ -27,6 +27,12 @@ type ReplicationConfig struct {
 	// WriteTimeout bounds each frame write so a wedged replica socket
 	// cannot hang the feed goroutine forever. Default 30s.
 	WriteTimeout time.Duration
+	// Segments, when the store's history is kept in a segmented log fed
+	// by the same ReplLog, lets SYNC's snapshot phase read catch-up
+	// ranges from the covering segment files (O(covering segments))
+	// instead of scanning the whole keyspace per window. Ranges the
+	// files cannot serve fall back to Store.ReplSnapshot transparently.
+	Segments *ttkv.SegmentedAOF
 }
 
 func (c ReplicationConfig) withDefaults() ReplicationConfig {
@@ -40,6 +46,21 @@ func (c ReplicationConfig) withDefaults() ReplicationConfig {
 		c.WriteTimeout = 30 * time.Second
 	}
 	return c
+}
+
+// snapshotRange reads one snapshot window for SYNC: from the segment
+// files when configured and they cover the range, otherwise from the
+// store's lock-free keyspace scan. The two sources are equivalent
+// record-for-record (the segmented log is fed by the same ReplLog that
+// minted the sequence numbers); the segment read just avoids rescanning
+// the entire store for every window of a large resync.
+func (s *Server) snapshotRange(cfg ReplicationConfig, lo, hi uint64) []ttkv.ReplRecord {
+	if cfg.Segments != nil {
+		if recs, err := cfg.Segments.RangeRecords(lo, hi); err == nil {
+			return recs
+		}
+	}
+	return s.store.ReplSnapshot(lo, hi)
 }
 
 // EnableReplication makes the server a replication primary: SYNC streams
@@ -295,7 +316,7 @@ func (s *Server) streamFeed(conn net.Conn, bw *bufio.Writer, rl *ttkv.ReplLog, c
 		if err := bw.Flush(); err != nil {
 			return
 		}
-		snap := s.store.ReplSnapshot(lo, hi)
+		snap := s.snapshotRange(cfg, lo, hi)
 		lo = hi
 		for i := range snap {
 			buf = ttkv.AppendReplRecord(buf, snap[i])

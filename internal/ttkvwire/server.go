@@ -344,10 +344,16 @@ func (s *Server) cmdMSet(args []string) Value {
 		}
 		muts = append(muts, ttkv.Mutation{Key: args[i], Value: args[i+1], Time: t})
 	}
-	if err := s.store.Apply(muts); err != nil {
+	applied, err := s.store.Apply(muts)
+	if err != nil {
+		if applied > 0 {
+			// A mid-batch persistence failure leaves a prefix applied; the
+			// client must learn exactly how much persisted, not guess.
+			return errValue(fmt.Sprintf("%s %d %s", wireCodePartial, applied, err.Error()))
+		}
 		return errValue("ERR " + err.Error())
 	}
-	return intValue(int64(len(muts)))
+	return intValue(int64(applied))
 }
 
 func (s *Server) cmdDel(args []string) Value {

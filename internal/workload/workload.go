@@ -304,7 +304,7 @@ func (g *appGen) flush() {
 	if len(g.batch) == 0 {
 		return
 	}
-	if err := g.res.Store.Apply(g.batch); err != nil {
+	if _, err := g.res.Store.Apply(g.batch); err != nil {
 		panic(fmt.Sprintf("workload: store apply: %v", err))
 	}
 	g.batch = g.batch[:0]
@@ -353,7 +353,7 @@ func genFiller(p MachineProfile, start time.Time, res *Result, accessed map[stri
 		})
 		muts = append(muts, ttkv.Mutation{Key: key, Value: value, Time: t})
 	}
-	if err := res.Store.Apply(muts); err != nil {
+	if _, err := res.Store.Apply(muts); err != nil {
 		panic(fmt.Sprintf("workload: filler apply: %v", err))
 	}
 	// Reads: scans of the filler population.

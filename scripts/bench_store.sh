@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Regenerates the numbers behind BENCH_store.json: the lock-free MVCC
+# read path against the locked baseline, and startup replay across log
+# layouts. Run from the repo root and update the JSON from the output.
+set -eu
+
+go test -run '^$' -bench 'BenchmarkStoreRead' -benchtime=2s ./internal/ttkv/
+go test -run '^$' -bench 'BenchmarkReplay' -benchtime=5x ./internal/ttkv/

@@ -26,6 +26,15 @@ type (
 	StoreStats = ttkv.Stats
 	// AOF is the store's append-only persistence file.
 	AOF = ttkv.AOF
+	// SegmentedAOF is a segmented append-only log directory: sealed,
+	// checksummed segments plus one active tail. Sealed segments replay
+	// in parallel on open and serve replica catch-up by sequence range.
+	SegmentedAOF = ttkv.SegmentedAOF
+	// SegmentedConfig tunes a SegmentedAOF (segment size, replay
+	// parallelism).
+	SegmentedConfig = ttkv.SegmentedConfig
+	// SegmentedStats summarizes a segment directory.
+	SegmentedStats = ttkv.SegmentedStats
 	// GroupCommit batches AOF writes off the store's hot path.
 	GroupCommit = ttkv.GroupCommit
 	// GroupCommitConfig tunes a GroupCommit's flush and fsync cadence.
@@ -113,6 +122,21 @@ func OpenOrCreateAOF(path string) (*AOF, error) { return ttkv.OpenOrCreateAOF(pa
 //
 // Deprecated: use OpenStore(StoreOptions{AOFPath: path}).
 func OpenAOFInto(path string, store *Store) (*AOF, error) { return ttkv.OpenAOFInto(path, store) }
+
+// OpenSegmentedInto opens (or creates) a segmented AOF directory and
+// replays its history into store, sealed segments in parallel. Prefer
+// OpenStore(StoreOptions{AOFDir: dir}), which also assembles the
+// group-commit pipeline.
+func OpenSegmentedInto(dir string, store *Store, cfg SegmentedConfig) (*SegmentedAOF, error) {
+	return ttkv.OpenSegmentedInto(dir, store, cfg)
+}
+
+// CompactSegmentDir rewrites a segment directory as a fresh generation
+// of sealed snapshot segments, keeping the newest retain versions per
+// key (0 keeps all). The directory must not be open.
+func CompactSegmentDir(dir string, shards, retain int, cfg SegmentedConfig) error {
+	return ttkv.CompactSegmentDir(dir, shards, retain, cfg)
+}
 
 // NewGroupCommit wraps an AOF in a group-commit batch appender; attach it
 // with Store.AttachGroupCommit.
