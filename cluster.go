@@ -68,10 +68,68 @@ var (
 	WithLogf = ttkvwire.WithLogf
 )
 
+// Hash-slot partitioning types, re-exported from ttkvwire. A
+// multi-primary cluster splits a fixed slot space across its nodes
+// (Server.EnableCluster / the daemon's -slot-range flag); keyed requests
+// for foreign slots come back as ErrNotLeader redirects naming the
+// owner, which FailoverClient follows automatically.
+type (
+	// SlotRange is a contiguous run of hash slots [Lo, Hi] owned by Addr.
+	SlotRange = ttkvwire.SlotRange
+	// MigrateOptions configure MigrateSlot.
+	MigrateOptions = ttkvwire.MigrateOptions
+	// ErrPartialApply reports a batched write that landed only partially
+	// (Applied counts the mutations that did).
+	ErrPartialApply = ttkvwire.ErrPartialApply
+	// AnalyticsDrainer merges every cluster node's replication stream
+	// into one analytics engine by event time, yielding globally-correct
+	// CLUSTERS/CORR on a partitioned keyspace. Construct with
+	// NewAnalyticsDrainer.
+	AnalyticsDrainer = ttkvwire.AnalyticsDrainer
+	// AnalyticsDrainerConfig configures an AnalyticsDrainer.
+	AnalyticsDrainerConfig = ttkvwire.AnalyticsDrainerConfig
+)
+
+// DefaultSlotCount is the default hash-slot space size.
+const DefaultSlotCount = ttkv.DefaultSlotCount
+
+// KeySlot maps a key to its hash slot in a slot space of the given size
+// (<= 0 selects DefaultSlotCount). Keys sharing a "{...}" hash tag share
+// a slot, so multi-key batches can be kept single-node.
+func KeySlot(key string, slots int) int { return ttkv.KeySlot(key, slots) }
+
+// ParseSlotRanges parses comma-separated "lo-hi[=addr]" tokens (single
+// slots may omit "-hi") against a slot space of the given size.
+func ParseSlotRanges(s string, slots int) ([]SlotRange, error) {
+	return ttkvwire.ParseSlotRanges(s, slots)
+}
+
+// MigrateSlot rehomes one hash slot between two live primaries without
+// losing acked writes; killed at any point, a rerun converges. See the
+// ttkvd migrate subcommand for the operator form.
+func MigrateSlot(ctx context.Context, source, target string, slot int, opts MigrateOptions) error {
+	return ttkvwire.MigrateSlot(ctx, source, target, slot, opts)
+}
+
+// NewAnalyticsDrainer returns a drainer feeding cfg.Engine from the
+// replication streams of cfg.Peers.
+func NewAnalyticsDrainer(cfg AnalyticsDrainerConfig) (*AnalyticsDrainer, error) {
+	return ttkvwire.NewAnalyticsDrainer(cfg)
+}
+
+// DrainAnalytics performs one complete drain of the peers' histories
+// into engine — the one-shot way to rebuild a cluster's global analytics
+// from scratch.
+func DrainAnalytics(ctx context.Context, engine *Engine, peers []string) error {
+	return ttkvwire.DrainAnalytics(ctx, engine, peers)
+}
+
 // DialCluster connects to a TTKV cluster: it discovers the current
 // primary via TOPO, follows MOVED redirects, reconnects across
 // promotions, and retries transient errors, so a failover surfaces to
-// callers as latency rather than an error.
+// callers as latency rather than an error. Against a slot-partitioned
+// cluster it additionally routes each keyed operation to the slot's
+// owner, splitting multi-key batches across nodes as needed.
 func DialCluster(ctx context.Context, opts ...FailoverOption) (*FailoverClient, error) {
 	return ttkvwire.DialCluster(ctx, opts...)
 }

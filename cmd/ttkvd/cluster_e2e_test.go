@@ -1,0 +1,177 @@
+package main
+
+// End-to-end hash-slot cluster test against the real daemon: three
+// partitions of the default slot space, partition 0 served by a failover
+// pair, the others by plain primaries. Covers MOVED redirects over the
+// wire, globally-merged analytics (a co-modification window spanning two
+// partitions must surface in CLUSTERS on a third node), riding through a
+// SIGKILLed partition leader, and rehoming a live slot with the migrate
+// subcommand without losing history.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ocasta/internal/ttkv"
+	"ocasta/internal/ttkvwire"
+)
+
+func TestDaemonClusterE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real daemon")
+	}
+	bin := buildDaemon(t)
+	addrs := freeAddrs(t, 4) // [a1 a2 b c]: a1+a2 form partition 0's failover pair
+	a1, a2, b, c := addrs[0], addrs[1], addrs[2], addrs[3]
+	const slots = ttkv.DefaultSlotCount
+	r0, r1, r2 := "0-5461", "5462-10922", "10923-16383"
+
+	peersFor := func(ranges ...string) string { return strings.Join(ranges, ",") }
+	common := []string{"-recluster-interval", "50ms"}
+	launch := func(addr string, extra ...string) (proc interface{ Kill() error }, stop func()) {
+		args := append(append([]string{}, common...), extra...)
+		args = append(args, "-addr", addr) // overrides the helper's :0
+		_, p, s := startDaemonKillable(t, bin, args...)
+		return p, s
+	}
+	procA1, _ := launch(a1,
+		"-failover", "-peers", a2, "-lease-interval", "100ms",
+		"-slot-range", r0, "-slot-peers", peersFor(r1+"="+b, r2+"="+c))
+	_, stopA2 := launch(a2,
+		"-failover", "-peers", a1, "-replica-of", a1,
+		"-slot-range", r0, "-slot-peers", peersFor(r1+"="+b, r2+"="+c))
+	defer stopA2()
+	_, stopB := launch(b,
+		"-slot-range", r1, "-slot-peers", peersFor(r0+"="+a1, r2+"="+c))
+	defer stopB()
+	_, stopC := launch(c,
+		"-slot-range", r2, "-slot-peers", peersFor(r0+"="+a1, r1+"="+b))
+	defer stopC()
+
+	keyInRange := func(prefix string, lo, hi int) string {
+		for i := 0; ; i++ {
+			k := fmt.Sprintf("%s%d", prefix, i)
+			if s := ttkv.KeySlot(k, slots); s >= lo && s <= hi {
+				return k
+			}
+		}
+	}
+	kA := keyInRange("/e2e/a", 0, 5461)
+	kB := keyInRange("/e2e/b", 5462, 10922)
+	kC := keyInRange("/e2e/c", 10923, 16383)
+
+	ctx := context.Background()
+	fc, err := ttkvwire.DialCluster(ctx,
+		ttkvwire.WithPeers(addrs...),
+		ttkvwire.WithCallTimeout(5*time.Second),
+		ttkvwire.WithMaxRedirects(40),
+		ttkvwire.WithRetryBackoff(20*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	// Co-modified cross-partition pair (kA on the failover group, kB on
+	// node b), stamped live so every node's drainer-fed engine windows
+	// them together; kC is background noise on the third partition.
+	for i := 0; i < 3; i++ {
+		ts := time.Now()
+		for _, k := range []string{kA, kB} {
+			if err := fc.Set(ctx, k, fmt.Sprintf("v%d", i), ts); err != nil {
+				t.Fatalf("Set %s: %v", k, err)
+			}
+		}
+		if err := fc.Set(ctx, kC, fmt.Sprintf("n%d", i), ts.Add(400*time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// A write for a foreign slot is refused with MOVED naming the owner.
+	bcl, err := ttkvwire.Dial(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bcl.Close()
+	var moved *ttkvwire.ErrNotLeader
+	if werr := bcl.Set(kA, "wrong-node", time.Now()); !errors.As(werr, &moved) || moved.Leader != a1 {
+		t.Fatalf("foreign-slot write to %s: %v, want MOVED %s", b, werr, a1)
+	}
+
+	// Global analytics: node c never saw kA or kB locally, but its
+	// drainer merges every partition's stream, so the cross-partition
+	// pair must appear as one cluster there.
+	ccl, err := ttkvwire.Dial(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ccl.Close()
+	waitCond(t, 15*time.Second, "cross-partition cluster on node c", func() bool {
+		snap, err := ccl.Clusters(2)
+		if err != nil {
+			return false
+		}
+		for _, cl := range snap.Clusters {
+			hasA, hasB := false, false
+			for _, k := range cl.Keys {
+				hasA = hasA || k == kA
+				hasB = hasB || k == kB
+			}
+			if hasA && hasB {
+				return true
+			}
+		}
+		return false
+	})
+
+	// SIGKILL partition 0's leader: the pair's replica promotes and the
+	// slot-aware client rides through on the same keys.
+	if err := procA1.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, 10*time.Second, "partition 0 replica self-promotes", func() bool {
+		topo, err := topoOf(a2)
+		return err == nil && topo.Role == ttkvwire.RolePrimary
+	})
+	if err := fc.Set(ctx, kA, "post-failover", time.Now()); err != nil {
+		t.Fatalf("write to failed partition after promotion: %v", err)
+	}
+	if got, err := fc.Get(ctx, kA); err != nil || got != "post-failover" {
+		t.Fatalf("read-back after failover: %q, %v", got, err)
+	}
+
+	// Rehome kB's slot from b to c with the operator subcommand; the
+	// history must survive the move and ownership must flip both ways.
+	slotB := ttkv.KeySlot(kB, slots)
+	out, err := exec.Command(bin, "migrate",
+		"-from", b, "-to", c, "-slots", strconv.Itoa(slotB)).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ttkvd migrate: %v\n%s", err, out)
+	}
+	beforeHist, err := ccl.History(kB)
+	if err != nil {
+		t.Fatalf("history on new owner after migrate: %v", err)
+	}
+	if len(beforeHist) != 3 {
+		t.Fatalf("migrated history has %d versions, want 3\n%s", len(beforeHist), out)
+	}
+	if werr := bcl.Set(kB, "stale-owner", time.Now()); !errors.As(werr, &moved) || moved.Leader != c {
+		t.Fatalf("write to old owner after migrate: %v, want MOVED %s", werr, c)
+	}
+	if err := ccl.Set(kB, "rehomed", time.Now()); err != nil {
+		t.Fatalf("write on new owner: %v", err)
+	}
+	if err := fc.Set(ctx, kB, "rehomed-via-client", time.Now()); err != nil {
+		t.Fatalf("client write after migration: %v", err)
+	}
+	if got, err := fc.Get(ctx, kB); err != nil || got != "rehomed-via-client" {
+		t.Fatalf("client read after migration: %q, %v", got, err)
+	}
+}

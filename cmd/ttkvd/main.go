@@ -49,6 +49,26 @@
 //	ttkvd -addr :7677 -failover -peers 127.0.0.1:7678,127.0.0.1:7679 \
 //	      -semi-sync-acks 1
 //
+// With -slot-range, the daemon joins a multi-primary hash-slot cluster:
+// the keyspace is partitioned over a fixed slot space (-cluster-slots,
+// default 16384; a key's slot is CRC16 of its hash-tag), each primary
+// serves only its owned ranges and answers writes for foreign slots with
+// a MOVED redirect naming the owner (-slot-peers seeds the redirect map;
+// migration flips update it live). Analytics switch from the local
+// observer to a cluster-wide drainer that merges every node's replication
+// stream by event time, so CLUSTERS/CORR stay globally correct even for
+// co-modification windows spanning nodes:
+//
+//	ttkvd -addr :7677 -slot-range 0-5461 \
+//	      -slot-peers "5462-10922=host2:7677,10923-16383=host3:7677"
+//
+// The migrate subcommand rehomes slots between live primaries without
+// losing acked writes (batched copy, source-sequence watermarks for
+// exactly-once hand-off, a brief write fence for the tail, then an
+// ownership flip that both sides advertise):
+//
+//	ttkvd migrate -from host1:7677 -to host2:7677 -slots 100-200
+//
 // With -backup-dir, the daemon serves the BACKUP and BSTAT commands
 // (-backup-interval adds a schedule: a full backup first, incrementals
 // after, pruned to -backup-keep chains), writing self-verifying backup
@@ -61,6 +81,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -84,6 +105,12 @@ func main() {
 	// a subcommand with its own flags, not a serve-mode option.
 	if len(os.Args) > 1 && os.Args[1] == "restore" {
 		os.Exit(runRestore(os.Args[2:]))
+	}
+	// "ttkvd migrate" drives a slot migration between two live daemons
+	// from the outside (it is restartable at any point), so it too is a
+	// subcommand rather than a serve-mode option.
+	if len(os.Args) > 1 && os.Args[1] == "migrate" {
+		os.Exit(runMigrate(os.Args[2:]))
 	}
 	os.Exit(run())
 }
@@ -114,6 +141,9 @@ func run() int {
 	leaseEvery := flag.Duration("lease-interval", 500*time.Millisecond, "failover lease: a replica that hears nothing from its primary for 2 intervals starts an election")
 	semiAcks := flag.Int("semi-sync-acks", 0, "replica acknowledgements each write waits for before the client is acked (0 = asynchronous replication)")
 	semiTimeout := flag.Duration("semi-sync-timeout", 2*time.Second, "how long a write waits for semi-sync acks before returning RETRY (applied locally, replication unconfirmed)")
+	clusterSlots := flag.Int("cluster-slots", 0, "hash-slot space size for cluster mode (0 with -slot-range selects the default 16384; must match across the cluster)")
+	slotRange := flag.String("slot-range", "", "comma-separated slot ranges this node owns, e.g. \"0-5461\" (enables hash-slot cluster mode)")
+	slotPeers := flag.String("slot-peers", "", "peer-owned slot ranges for MOVED redirects, e.g. \"5462-10922=host2:7677,10923-16383=host3:7677\" (advisory; migration flips update them live)")
 	backupDir := flag.String("backup-dir", "", "backup directory; enables the BACKUP/BSTAT commands (and 'ttkvd restore' reads it)")
 	backupEvery := flag.Duration("backup-interval", 0, "take a backup automatically every interval (full first, then incrementals; 0 = manual BACKUP commands only; requires -backup-dir)")
 	backupKeep := flag.Int("backup-keep", 3, "with -backup-interval, full-backup chains retained by pruning after each scheduled backup (0 = keep everything)")
@@ -225,6 +255,36 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "ttkvd: -peers requires -failover")
 		return 2
 	}
+	clusterMode := *slotRange != ""
+	if *clusterSlots < 0 {
+		fmt.Fprintf(os.Stderr, "ttkvd: -cluster-slots must be >= 0, got %d\n", *clusterSlots)
+		return 2
+	}
+	if (*clusterSlots > 0 || *slotPeers != "") && !clusterMode {
+		fmt.Fprintln(os.Stderr, "ttkvd: -cluster-slots/-slot-peers require -slot-range")
+		return 2
+	}
+	slotSpace := *clusterSlots
+	if slotSpace == 0 {
+		slotSpace = ttkv.DefaultSlotCount
+	}
+	var ownedRanges, peerRanges []ttkvwire.SlotRange
+	if clusterMode {
+		if ownedRanges, err = ttkvwire.ParseSlotRanges(*slotRange, slotSpace); err != nil {
+			fmt.Fprintln(os.Stderr, "ttkvd: -slot-range:", err)
+			return 2
+		}
+		if peerRanges, err = ttkvwire.ParseSlotRanges(*slotPeers, slotSpace); err != nil {
+			fmt.Fprintln(os.Stderr, "ttkvd: -slot-peers:", err)
+			return 2
+		}
+		for _, r := range peerRanges {
+			if r.Addr == "" {
+				fmt.Fprintf(os.Stderr, "ttkvd: -slot-peers range %d-%d needs an =addr owner\n", r.Lo, r.Hi)
+				return 2
+			}
+		}
+	}
 
 	store := ttkv.NewSharded(*shards)
 	var engine *core.Engine
@@ -238,11 +298,13 @@ func run() int {
 			Horizon:       *horizon,
 			MaxFutureSkew: *maxSkew,
 		})
-		if *aofDir == "" {
+		if *aofDir == "" && !clusterMode {
 			// Attached before AOF replay, so restored history feeds the live
 			// clustering exactly like fresh writes would. (Segmented replay
 			// is parallel and bypasses observers; that path backfills with
-			// ObserveHistory after replay instead.)
+			// ObserveHistory after replay instead. In cluster mode the
+			// engine's only feed is the cross-node drainer — which also
+			// covers this node's own history, replayed or live.)
 			store.SetStatsObserver(engine)
 		}
 	}
@@ -279,9 +341,10 @@ func run() int {
 			fmt.Printf("ttkvd: replayed %d keys (%d records, %d sealed segments) from %s\n",
 				store.Len(), st.Records, st.Sealed, *aofDir)
 		}
-		if engine != nil {
+		if engine != nil && !clusterMode {
 			// Parallel segment replay bypasses observers; feed the replayed
 			// history through in sequence order, then attach for live writes.
+			// (In cluster mode the drainer feeds the engine instead.)
 			store.ObserveHistory(engine)
 			store.SetStatsObserver(engine)
 		}
@@ -358,6 +421,14 @@ func run() int {
 		advertise = ln.Addr().String()
 	}
 	srv.SetAdvertise(advertise)
+	if clusterMode {
+		if err := srv.EnableCluster(slotSpace, ownedRanges, peerRanges); err != nil {
+			fmt.Fprintln(os.Stderr, "ttkvd: enabling cluster mode:", err)
+			ln.Close()
+			closeAOF()
+			return 1
+		}
+	}
 
 	semiSync := ttkvwire.SemiSyncConfig{Acks: *semiAcks, Timeout: *semiTimeout}
 	logf := func(format string, args ...any) {
@@ -378,7 +449,10 @@ func run() int {
 			SemiSync:      semiSync,
 			Logf:          logf,
 		}
-		if engine != nil {
+		if engine != nil && !clusterMode {
+			// In cluster mode the engine is drainer-fed, not store-fed: a
+			// local resync neither duplicates its records nor needs a reset
+			// (the drainer detects peer incarnation changes on its own).
 			ncfg.OnReset = engine.Reset
 		}
 		if *replicaOf == "" {
@@ -430,9 +504,10 @@ func run() int {
 			Store:   store,
 			Logf:    logf,
 		}
-		if engine != nil {
+		if engine != nil && !clusterMode {
 			// A full resync replays the new primary's history through the
 			// observer from scratch; stale statistics must not remain.
+			// (Drainer-fed engines track incarnations themselves.)
 			rcfg.OnReset = engine.Reset
 		}
 		if replica, err = ttkvwire.StartReplica(rcfg); err != nil {
@@ -454,6 +529,37 @@ func run() int {
 	var reclusterStop chan struct{}
 	if engine != nil {
 		srv.SetAnalytics(engine)
+		if clusterMode {
+			// Global analytics: one drainer pulls every primary's
+			// replication stream (this node's included, over loopback like
+			// the rest) and time-merges them into the engine, so windows
+			// spanning node boundaries reassemble. The drain interval rides
+			// the recluster interval; keep both below -horizon or live
+			// cross-node grouping degrades to per-round granularity.
+			drainPeers := []string{advertise}
+			seen := map[string]bool{advertise: true}
+			for _, r := range peerRanges {
+				if !seen[r.Addr] {
+					seen[r.Addr] = true
+					drainPeers = append(drainPeers, r.Addr)
+				}
+			}
+			drainer, derr := ttkvwire.NewAnalyticsDrainer(ttkvwire.AnalyticsDrainerConfig{
+				Engine: engine,
+				Peers:  drainPeers,
+				Logf:   logf,
+			})
+			if derr != nil {
+				fmt.Fprintln(os.Stderr, "ttkvd: starting analytics drainer:", derr)
+				stopMembers()
+				ln.Close()
+				closeAOF()
+				return 1
+			}
+			drainCtx, drainCancel := context.WithCancel(context.Background())
+			defer drainCancel()
+			go drainer.Run(drainCtx, *reclusterEvery)
+		}
 		// Fold in whatever the replay produced before serving: CLUSTERS is
 		// then meaningful from the first request.
 		engine.AdvanceTo(time.Now())
@@ -539,6 +645,9 @@ func run() int {
 	// and a SIGTERM landing in the gap would bypass the graceful path.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if clusterMode {
+		fmt.Printf("ttkvd: cluster mode: %d slots, serving %s\n", slotSpace, *slotRange)
+	}
 	// The resolved listener address (not the flag) so -addr :0 is usable.
 	fmt.Printf("ttkvd: serving on %s (role=%s shards=%d fsync=%s recluster=%s repair-workers=%d)\n",
 		ln.Addr(), role, store.NumShards(), policy, analyticsState, *repairWorkers)

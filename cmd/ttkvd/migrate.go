@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ocasta/internal/ttkv"
+	"ocasta/internal/ttkvwire"
+)
+
+// runMigrate implements "ttkvd migrate": rehome hash slots from one live
+// primary to another without losing acked writes. It drives the MIGSTART
+// / MIGDUMP / MIGAPPLY / MIGFENCE / MIGTAKE / MIGFLIP sequence from the
+// outside, one slot at a time; killing it at any point and rerunning the
+// same command converges (source-sequence watermarks make batch delivery
+// exactly-once, and a slot the target already owns is skipped after
+// re-advertising the flip). It is a subcommand rather than a daemon flag
+// because the operator, not either daemon, owns rebalancing.
+//
+//	ttkvd migrate -from host1:7677 -to host2:7677 -slots 100-200,4096
+func runMigrate(argv []string) int {
+	fs := flag.NewFlagSet("ttkvd migrate", flag.ExitOnError)
+	from := fs.String("from", "", "source node address: the slots' current owner (required)")
+	to := fs.String("to", "", "target node address: the slots' new owner (required)")
+	slotSpec := fs.String("slots", "", "slots to move: comma-separated \"lo-hi\" ranges or single slots (required)")
+	space := fs.Int("cluster-slots", ttkv.DefaultSlotCount, "slot-space size; must match the cluster's")
+	batch := fs.Int("batch", 0, "records per copy batch (0 = default)")
+	timeout := fs.Duration("timeout", 0, "overall deadline; an expired run is safe to rerun (0 = none)")
+	quiet := fs.Bool("quiet", false, "suppress per-batch progress")
+	fs.Parse(argv) //nolint:errcheck — ExitOnError
+
+	if *from == "" || *to == "" {
+		fmt.Fprintln(os.Stderr, "ttkvd migrate: -from and -to are required")
+		return 2
+	}
+	if *slotSpec == "" {
+		fmt.Fprintln(os.Stderr, "ttkvd migrate: -slots is required")
+		return 2
+	}
+	if *space < 1 {
+		fmt.Fprintf(os.Stderr, "ttkvd migrate: -cluster-slots must be >= 1, got %d\n", *space)
+		return 2
+	}
+	ranges, err := ttkvwire.ParseSlotRanges(*slotSpec, *space)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttkvd migrate: -slots:", err)
+		return 2
+	}
+	if len(ranges) == 0 {
+		fmt.Fprintln(os.Stderr, "ttkvd migrate: -slots named no slots")
+		return 2
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := ttkvwire.MigrateOptions{BatchSize: *batch}
+	if !*quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Printf("ttkvd migrate: "+format+"\n", args...)
+		}
+	}
+	start := time.Now()
+	moved := 0
+	for _, r := range ranges {
+		for slot := r.Lo; slot <= r.Hi; slot++ {
+			if err := ttkvwire.MigrateSlot(ctx, *from, *to, slot, opts); err != nil {
+				fmt.Fprintf(os.Stderr, "ttkvd migrate: slot %d: %v (%d slots moved; rerun to resume)\n", slot, err, moved)
+				return 1
+			}
+			moved++
+		}
+	}
+	fmt.Printf("ttkvd migrate: moved %d slots %s -> %s in %v\n",
+		moved, *from, *to, time.Since(start).Round(time.Millisecond))
+	return 0
+}

@@ -1,0 +1,97 @@
+package core
+
+// Cross-node statistics merging. Every field of PairStats is an additive
+// count keyed by interned symbols, so two accumulators built over disjoint
+// group streams merge exactly: intern the peer's symbols, remap its ids,
+// and sum. A cluster of N primaries uses this to serve globally-correct
+// CLUSTERS/CORR from any node: each node's engine folds in the others'
+// episode counts, so a cluster spanning keys homed on different primaries
+// still correlates.
+//
+// The merge is exact when every co-modification group was observed whole
+// by exactly one accumulator (groups partition cleanly, as they do when
+// the per-node streams are time-merged before windowing — see
+// ttkvwire.AnalyticsDrainer). When instead each node windows only its own
+// slots' writes, a group spanning two nodes is seen as two smaller groups
+// and neither node counts the cross-node pair; the merged result then
+// under-counts exactly those cross-node co-episodes and nothing else.
+
+// Merge folds other's statistics into ps additively: episode counts,
+// co-episode counts, group totals, and last-modification times. other is
+// not modified and may use a completely different interning order; ids are
+// remapped through the symbol table. Merging grows the key universe, which
+// invalidates the sorted-id permutation exactly like Add does, so
+// clustering-facing accessors stay bit-identical to a from-scratch build.
+func (ps *PairStats) Merge(other *PairStats) {
+	if other == nil || other.groups == 0 && len(other.syms) == 0 {
+		return
+	}
+	remap := make([]int, len(other.syms))
+	for oid, key := range other.syms {
+		id := ps.intern(key)
+		remap[oid] = id
+		ps.ep[id] += other.ep[oid]
+		if other.last[oid] > ps.last[id] {
+			ps.last[id] = other.last[oid]
+		}
+	}
+	other.co.forEach(func(k uint64, count int) {
+		lo, hi := unpackPair(k)
+		ps.co.add(packPair(remap[lo], remap[hi]), count)
+	})
+	ps.groups += other.groups
+}
+
+// Clone returns an independent deep copy of the statistics, safe to Merge
+// elsewhere or ship to a peer while the original keeps accumulating.
+func (ps *PairStats) Clone() *PairStats {
+	out := &PairStats{
+		syms:   append([]string(nil), ps.syms...),
+		index:  make(map[string]int, len(ps.index)),
+		ep:     append([]int(nil), ps.ep...),
+		co:     ps.co.clone(),
+		last:   append([]int64(nil), ps.last...),
+		groups: ps.groups,
+	}
+	for k, v := range ps.index {
+		out.index[k] = v
+	}
+	return out
+}
+
+// StatsClone drains staged events and returns a deep copy of the engine's
+// accumulated pair statistics — the payload one node ships to its peers in
+// a cross-node statistics exchange.
+func (e *Engine) StatsClone() *PairStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.drainLocked()
+	e.statsMu.RLock()
+	defer e.statsMu.RUnlock()
+	return e.ps.Clone()
+}
+
+// MergeStats folds a peer accumulator into the engine's statistics and
+// marks every merged key dirty, so the next Recluster re-runs HAC on every
+// component the peer's counts could have changed.
+func (e *Engine) MergeStats(other *PairStats) {
+	if other == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.drainLocked()
+	e.statsMu.Lock()
+	e.ps.Merge(other)
+	for _, k := range other.syms {
+		id := e.ps.index[k]
+		for id >= len(e.dirty) {
+			e.dirty = append(e.dirty, false)
+		}
+		if !e.dirty[id] {
+			e.dirty[id] = true
+			e.dirtyIDs = append(e.dirtyIDs, id)
+		}
+	}
+	e.statsMu.Unlock()
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"ocasta/internal/trace"
+)
+
+// mergeTestGroups builds a deterministic stream of co-modification groups
+// over a keyspace with real cluster structure: a handful of correlated key
+// families plus noise singletons.
+func mergeTestGroups(n int, seed int64) []trace.Group {
+	rng := rand.New(rand.NewSource(seed))
+	base := time.Unix(0, 0)
+	families := [][]string{
+		{"net/ip", "net/mask", "net/gw"},
+		{"db/host", "db/port"},
+		{"ui/theme", "ui/font", "ui/size", "ui/lang"},
+	}
+	groups := make([]trace.Group, 0, n)
+	for i := 0; i < n; i++ {
+		end := base.Add(time.Duration(i) * time.Second)
+		var keys []string
+		switch rng.Intn(4) {
+		case 0, 1:
+			fam := families[rng.Intn(len(families))]
+			keys = append(keys, fam[:1+rng.Intn(len(fam))]...)
+		case 2:
+			fam := families[rng.Intn(len(families))]
+			keys = append(keys, fam...)
+			keys = append(keys, fmt.Sprintf("noise/%d", rng.Intn(6)))
+		default:
+			keys = []string{fmt.Sprintf("noise/%d", rng.Intn(6))}
+		}
+		groups = append(groups, trace.Group{Keys: keys, Start: end.Add(-time.Second), End: end})
+	}
+	return groups
+}
+
+// assertStatsEqual checks every clustering-facing accessor of two
+// accumulators for equality, including the full HAC output.
+func assertStatsEqual(t *testing.T, want, got *PairStats) {
+	t.Helper()
+	if g, w := got.NumKeys(), want.NumKeys(); g != w {
+		t.Fatalf("NumKeys = %d, want %d", g, w)
+	}
+	if g, w := got.NumPairs(), want.NumPairs(); g != w {
+		t.Fatalf("NumPairs = %d, want %d", g, w)
+	}
+	if g, w := got.NumGroups(), want.NumGroups(); g != w {
+		t.Fatalf("NumGroups = %d, want %d", g, w)
+	}
+	wantKeys, gotKeys := want.Keys(), got.Keys()
+	if !reflect.DeepEqual(wantKeys, gotKeys) {
+		t.Fatalf("Keys = %v, want %v", gotKeys, wantKeys)
+	}
+	for i, a := range wantKeys {
+		if g, w := got.Episodes(a), want.Episodes(a); g != w {
+			t.Fatalf("Episodes(%q) = %d, want %d", a, g, w)
+		}
+		for _, b := range wantKeys[i+1:] {
+			if g, w := got.CoEpisodes(a, b), want.CoEpisodes(a, b); g != w {
+				t.Fatalf("CoEpisodes(%q,%q) = %d, want %d", a, b, g, w)
+			}
+			if g, w := got.KeyCorrelation(a, b), want.KeyCorrelation(a, b); g != w {
+				t.Fatalf("KeyCorrelation(%q,%q) = %v, want %v", a, b, g, w)
+			}
+		}
+	}
+	cl := NewClusterer(LinkageComplete)
+	wantClusters := cl.Cluster(want, DefaultThreshold)
+	gotClusters := cl.Cluster(got, DefaultThreshold)
+	if !reflect.DeepEqual(wantClusters, gotClusters) {
+		t.Fatalf("clusters diverge:\n got %+v\nwant %+v", gotClusters, wantClusters)
+	}
+}
+
+// TestMergeEqualsBatch partitions a group stream across several
+// accumulators, merges them, and demands the result be indistinguishable
+// from one accumulator fed everything — counts, correlations, and the
+// clustering itself.
+func TestMergeEqualsBatch(t *testing.T) {
+	groups := mergeTestGroups(400, 7)
+	want := NewPairStats(groups)
+
+	for _, parts := range []int{2, 3, 5} {
+		t.Run(fmt.Sprintf("parts=%d", parts), func(t *testing.T) {
+			shards := make([]*PairStats, parts)
+			for i := range shards {
+				shards[i] = NewPairStats(nil)
+			}
+			// Round-robin partition: every shard sees a different key
+			// interning order than the batch accumulator.
+			for i, g := range groups {
+				shards[i%parts].Add(g)
+			}
+			merged := shards[0]
+			for _, s := range shards[1:] {
+				merged.Merge(s)
+			}
+			assertStatsEqual(t, want, merged)
+		})
+	}
+}
+
+// TestMergeIntoLiveAccumulator interleaves Merge with further Add calls:
+// merging must not corrupt subsequent accumulation, and the sorted-id
+// permutation must be invalidated by the merged-in keys.
+func TestMergeIntoLiveAccumulator(t *testing.T) {
+	groups := mergeTestGroups(300, 11)
+	want := NewPairStats(groups)
+
+	a, b := NewPairStats(nil), NewPairStats(nil)
+	for _, g := range groups[:100] {
+		a.Add(g)
+	}
+	// Force a's permutation to be built before the merge grows the
+	// universe, so staleness detection is exercised.
+	_ = a.Keys()
+	for _, g := range groups[100:200] {
+		b.Add(g)
+	}
+	a.Merge(b)
+	for _, g := range groups[200:] {
+		a.Add(g)
+	}
+	assertStatsEqual(t, want, a)
+}
+
+// TestMergeEmptyAndNil checks the degenerate merges are no-ops.
+func TestMergeEmptyAndNil(t *testing.T) {
+	groups := mergeTestGroups(50, 3)
+	want := NewPairStats(groups)
+	got := NewPairStats(groups)
+	got.Merge(nil)
+	got.Merge(NewPairStats(nil))
+	assertStatsEqual(t, want, got)
+
+	empty := NewPairStats(nil)
+	empty.Merge(want)
+	assertStatsEqual(t, want, empty)
+}
+
+// TestCloneIndependence verifies Clone is a deep copy: mutating the
+// original afterwards must not leak into the clone.
+func TestCloneIndependence(t *testing.T) {
+	groups := mergeTestGroups(120, 5)
+	orig := NewPairStats(groups[:80])
+	want := NewPairStats(groups[:80])
+	clone := orig.Clone()
+	for _, g := range groups[80:] {
+		orig.Add(g)
+	}
+	assertStatsEqual(t, want, clone)
+}
+
+// TestEngineMergeStats feeds half a workload through one engine as events
+// and merges the other half's statistics in from a peer accumulator; after
+// Flush+Recluster the published clustering must match a single engine that
+// saw the union. Groups are constructed directly so the event/group split
+// is exact (every group observed whole by exactly one side).
+func TestEngineMergeStats(t *testing.T) {
+	groups := mergeTestGroups(200, 13)
+
+	full := NewPairStats(groups)
+	wantClusters := NewClusterer(LinkageComplete).Cluster(full, DefaultThreshold)
+
+	e := NewEngine(EngineConfig{Window: -1}) // exact-timestamp grouping
+	for _, g := range groups[:100] {
+		// All keys of a group share one timestamp, so the zero-width
+		// window reconstructs the groups exactly.
+		for _, k := range g.Keys {
+			e.Push(trace.Event{Time: g.End, Op: trace.OpWrite, Key: k})
+		}
+	}
+	peer := NewPairStats(groups[100:])
+	e.MergeStats(peer)
+	e.Flush()
+	got := e.Recluster()
+	if !reflect.DeepEqual(wantClusters, got) {
+		t.Fatalf("merged engine clusters diverge:\n got %+v\nwant %+v", got, wantClusters)
+	}
+
+	// The merged statistics must also answer correlations globally.
+	if g, w := e.Correlation("net/ip", "net/mask"), full.KeyCorrelation("net/ip", "net/mask"); g != w {
+		t.Fatalf("Correlation = %v, want %v", g, w)
+	}
+}

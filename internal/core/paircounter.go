@@ -47,12 +47,17 @@ func newPairCounter() *pairCounter {
 }
 
 // incr adds one to the pair's count, inserting it if absent.
-func (pc *pairCounter) incr(k uint64) {
+func (pc *pairCounter) incr(k uint64) { pc.add(k, 1) }
+
+// add folds n (> 0) occurrences of the pair into the count, inserting the
+// pair if absent. It is incr's bulk form, used when merging a peer
+// accumulator's counts.
+func (pc *pairCounter) add(k uint64, n int) {
 	i := pairHash(k) & pc.mask
 	for {
 		switch pc.keys[i] {
 		case k:
-			pc.vals[i]++
+			pc.vals[i] += uint32(n)
 			return
 		case 0:
 			// Grow at 7/8 load: linear probing stays short and the table
@@ -65,12 +70,25 @@ func (pc *pairCounter) incr(k uint64) {
 				}
 			}
 			pc.keys[i] = k
-			pc.vals[i] = 1
+			pc.vals[i] = uint32(n)
 			pc.n++
 			return
 		}
 		i = (i + 1) & pc.mask
 	}
+}
+
+// clone returns an independent deep copy of the counter.
+func (pc *pairCounter) clone() *pairCounter {
+	out := &pairCounter{
+		keys: make([]uint64, len(pc.keys)),
+		vals: make([]uint32, len(pc.vals)),
+		n:    pc.n,
+		mask: pc.mask,
+	}
+	copy(out.keys, pc.keys)
+	copy(out.vals, pc.vals)
+	return out
 }
 
 // get returns the pair's count, 0 if absent.

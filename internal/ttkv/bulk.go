@@ -42,29 +42,38 @@ type Mutation struct {
 // which is what makes MSET and the workload generator's bursts cheaper
 // than per-op calls.
 func (s *Store) Apply(muts []Mutation) (int, error) {
+	applied, _, err := s.ApplyWithSeq(muts)
+	return applied, err
+}
+
+// ApplyWithSeq is Apply additionally returning the highest sequence number
+// minted for the batch (0 when nothing applied) — the semi-sync gate's
+// per-write watermark for an MSET, analogous to SetWithSeq.
+func (s *Store) ApplyWithSeq(muts []Mutation) (int, uint64, error) {
 	// The validation pass doubles as the hashing pass: each key's shard is
 	// computed exactly once.
 	shards := make([]*shard, len(muts))
 	for i := range muts {
 		if muts[i].Key == "" {
-			return 0, ErrEmptyKey
+			return 0, 0, ErrEmptyKey
 		}
 		if muts[i].Time.IsZero() {
-			return 0, ErrZeroTime
+			return 0, 0, ErrZeroTime
 		}
 		if len(muts[i].Key) > MaxStringLen || len(muts[i].Value) > MaxStringLen {
-			return 0, ErrOversize
+			return 0, 0, ErrOversize
 		}
 		shards[i] = s.shardFor(muts[i].Key)
 	}
 	obs := s.statsObserver()
 	applied := 0
+	var lastSeq uint64
 	var runSeqs []uint64
 	for i := 0; i < len(muts); {
 		// Backpressure gate per same-shard run, before the lock, so a
 		// stalled disk never blocks a batch while it holds a shard.
 		if err := s.waitSinkCapacity(); err != nil {
-			return applied, err
+			return applied, lastSeq, err
 		}
 		sh := shards[i]
 		runStart := i
@@ -88,12 +97,15 @@ func (s *Store) Apply(muts []Mutation) (int, error) {
 		// reach readers and the observer.
 		s.pub.completeSeqs(runSeqs)
 		applied += len(runSeqs)
+		if n := len(runSeqs); n > 0 && runSeqs[n-1] > lastSeq {
+			lastSeq = runSeqs[n-1]
+		}
 		observeRange(obs, muts[runStart:runStart+len(runSeqs)])
 		if runErr != nil {
-			return applied, runErr
+			return applied, lastSeq, runErr
 		}
 	}
-	return applied, nil
+	return applied, lastSeq, nil
 }
 
 func observeRange(obs StatsObserver, muts []Mutation) {

@@ -1,0 +1,91 @@
+package ttkv
+
+import (
+	"sort"
+	"strings"
+)
+
+// Hash-slot keyspace partitioning. A cluster of N primaries divides a
+// fixed slot space among themselves; every key hashes (CRC16, the
+// Redis-Cluster polynomial, so slot assignments are compatible with
+// existing tooling expectations) to exactly one slot and every slot has
+// exactly one owner. The store itself stays slot-agnostic — slots exist
+// at the wire layer — except for the slot-scoped export below, which is
+// what live slot migration streams.
+
+// DefaultSlotCount is the default hash-slot space, matching Redis
+// Cluster's 16384.
+const DefaultSlotCount = 16384
+
+// crc16Table is the CRC16-CCITT (XMODEM, polynomial 0x1021, init 0)
+// lookup table Redis Cluster hashes keys with.
+var crc16Table = func() [256]uint16 {
+	var t [256]uint16
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+		t[i] = crc
+	}
+	return t
+}()
+
+// crc16 computes CRC16-CCITT/XMODEM over s (crc16("123456789") == 0x31C3).
+func crc16(s string) uint16 {
+	var crc uint16
+	for i := 0; i < len(s); i++ {
+		crc = crc<<8 ^ crc16Table[byte(crc>>8)^s[i]]
+	}
+	return crc
+}
+
+// KeySlot maps a key onto its hash slot in a space of slots (<= 0 selects
+// DefaultSlotCount). Hash tags work as in Redis Cluster: if the key
+// contains a non-empty "{...}" section, only the text between the first
+// '{' and the next '}' is hashed, so "user:{42}:name" and "user:{42}:mail"
+// share a slot and can be batched or migrated together.
+func KeySlot(key string, slots int) int {
+	if slots <= 0 {
+		slots = DefaultSlotCount
+	}
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		if j := strings.IndexByte(key[i+1:], '}'); j > 0 {
+			key = key[i+1 : i+1+j]
+		}
+	}
+	return int(crc16(key)) % slots
+}
+
+// SlotSnapshot collects every version of every key in the given slot with
+// sequence number in (afterSeq, upToSeq], ordered by sequence — the
+// slot-scoped form of ReplSnapshot that live slot migration streams in
+// bounded batches. Like ReplSnapshot the scan is lock-free: it waits for
+// the publication watermark to cover upToSeq and then walks published
+// record states without blocking writers.
+func (s *Store) SlotSnapshot(slot, slots int, afterSeq, upToSeq uint64) []ReplRecord {
+	s.waitVisible(upToSeq)
+	var out []ReplRecord
+	for i := range s.shards {
+		for k, rec := range s.shards[i].load() {
+			if KeySlot(k, slots) != slot {
+				continue
+			}
+			vs := rec.state.Load().versions
+			for j := range vs {
+				v := &vs[j]
+				if v.Seq > afterSeq && v.Seq <= upToSeq {
+					out = append(out, ReplRecord{
+						Seq: v.Seq, Key: k, Value: v.Value, Time: v.Time, Deleted: v.Deleted,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}

@@ -1,0 +1,156 @@
+package ttkv
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestCRC16Vectors pins the CRC16 variant to the Redis Cluster one via
+// the standard XMODEM check value and two published key/slot vectors.
+func TestCRC16Vectors(t *testing.T) {
+	if got := crc16("123456789"); got != 0x31C3 {
+		t.Fatalf("crc16(123456789) = %#04x, want 0x31c3", got)
+	}
+	if got := crc16(""); got != 0 {
+		t.Fatalf("crc16(\"\") = %#04x, want 0", got)
+	}
+	for _, tc := range []struct {
+		key  string
+		slot int
+	}{
+		{"foo", 12182},
+		{"bar", 5061},
+		{"123456789", 12739}, // 0x31C3 % 16384
+	} {
+		if got := KeySlot(tc.key, DefaultSlotCount); got != tc.slot {
+			t.Fatalf("KeySlot(%q) = %d, want %d", tc.key, got, tc.slot)
+		}
+	}
+}
+
+// TestKeySlotHashTags checks the Redis hash-tag rules: a non-empty {...}
+// section hashes alone; empty or unterminated braces hash the whole key.
+func TestKeySlotHashTags(t *testing.T) {
+	if a, b := KeySlot("user:{42}:name", 0), KeySlot("user:{42}:mail", 0); a != b {
+		t.Fatalf("hash-tagged keys landed on different slots: %d vs %d", a, b)
+	}
+	if got, want := KeySlot("{tag}suffix", 0), KeySlot("tag", 0); got != want {
+		t.Fatalf("KeySlot({tag}suffix) = %d, want slot of \"tag\" = %d", got, want)
+	}
+	// Empty tag "{}" and unterminated "{" hash the full key.
+	for _, k := range []string{"{}full", "{unterminated"} {
+		if got, want := KeySlot(k, 0), int(crc16(k))%DefaultSlotCount; got != want {
+			t.Fatalf("KeySlot(%q) = %d, want whole-key slot %d", k, got, want)
+		}
+	}
+	// Only the first '{' opens a tag.
+	if got, want := KeySlot("a{b}{c}", 0), KeySlot("x{b}", 0); got != want {
+		t.Fatalf("first-brace rule violated: %d vs %d", got, want)
+	}
+}
+
+// TestKeySlotRange checks every key lands inside [0, slots) for odd slot
+// counts too.
+func TestKeySlotRange(t *testing.T) {
+	for _, slots := range []int{1, 7, 64, DefaultSlotCount} {
+		for i := 0; i < 1000; i++ {
+			k := fmt.Sprintf("key-%d", i)
+			if s := KeySlot(k, slots); s < 0 || s >= slots {
+				t.Fatalf("KeySlot(%q, %d) = %d out of range", k, slots, s)
+			}
+		}
+	}
+}
+
+// TestSlotSnapshot checks the slot-scoped export returns exactly the
+// versions of keys in the slot, seq-ordered and range-bounded, and that
+// the union over all slots is the full ReplSnapshot.
+func TestSlotSnapshot(t *testing.T) {
+	const slots = 16
+	s := NewSharded(8)
+	base := time.Unix(0, 0)
+	var n uint64
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%d", i%50)
+		if i%7 == 3 {
+			if err := s.Delete(k, base.Add(time.Duration(i)*time.Millisecond)); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := s.Set(k, fmt.Sprintf("v%d", i), base.Add(time.Duration(i)*time.Millisecond)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n++
+	}
+
+	full := s.ReplSnapshot(0, n)
+	if len(full) != int(n) {
+		t.Fatalf("ReplSnapshot returned %d records, want %d", len(full), n)
+	}
+	var union int
+	for slot := 0; slot < slots; slot++ {
+		recs := s.SlotSnapshot(slot, slots, 0, n)
+		union += len(recs)
+		for i, r := range recs {
+			if KeySlot(r.Key, slots) != slot {
+				t.Fatalf("slot %d snapshot contains key %q (slot %d)", slot, r.Key, KeySlot(r.Key, slots))
+			}
+			if i > 0 && recs[i-1].Seq >= r.Seq {
+				t.Fatalf("slot %d snapshot not seq-ascending at %d", slot, i)
+			}
+		}
+		// Range bounds: a mid-range export must be the tail of the full one.
+		mid := recs[:0:0]
+		for _, r := range recs {
+			if r.Seq > n/2 {
+				mid = append(mid, r)
+			}
+		}
+		got := s.SlotSnapshot(slot, slots, n/2, n)
+		if len(got) != len(mid) {
+			t.Fatalf("slot %d: range export returned %d records, want %d", slot, len(got), len(mid))
+		}
+	}
+	if union != len(full) {
+		t.Fatalf("slot snapshots union %d records, full snapshot has %d", union, len(full))
+	}
+}
+
+// TestSetWithSeqReturnsMintedSeq checks the seq-returning write variants
+// hand back exactly the version's sequence number.
+func TestSetWithSeqReturnsMintedSeq(t *testing.T) {
+	s := New()
+	base := time.Unix(0, 0)
+	seq1, err := s.SetWithSeq("a", "1", base.Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq2, err := s.DeleteWithSeq("a", base.Add(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq1 != 1 || seq2 != 2 {
+		t.Fatalf("minted seqs = %d, %d, want 1, 2", seq1, seq2)
+	}
+	applied, last, err := s.ApplyWithSeq([]Mutation{
+		{Key: "b", Value: "1", Time: base.Add(3 * time.Second)},
+		{Key: "c", Value: "2", Time: base.Add(4 * time.Second)},
+	})
+	if err != nil || applied != 2 {
+		t.Fatalf("ApplyWithSeq = (%d, %v), want (2, nil)", applied, err)
+	}
+	if last != 4 {
+		t.Fatalf("ApplyWithSeq last seq = %d, want 4", last)
+	}
+	recs := s.ReplSnapshot(0, 4)
+	for _, r := range recs {
+		switch {
+		case r.Key == "a" && r.Deleted && r.Seq != seq2:
+			t.Fatalf("tombstone seq %d, want %d", r.Seq, seq2)
+		case r.Key == "a" && !r.Deleted && r.Seq != seq1:
+			t.Fatalf("version seq %d, want %d", r.Seq, seq1)
+		}
+	}
+}

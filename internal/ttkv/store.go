@@ -389,34 +389,50 @@ func (s *Store) lockShardsFor(keys func(yield func(string) bool)) (unlock func()
 // is inserted at its chronological position, after any existing version
 // with the same timestamp.
 func (s *Store) Set(key, value string, t time.Time) error {
+	_, err := s.apply(key, value, t, false)
+	return err
+}
+
+// SetWithSeq is Set additionally returning the sequence number minted for
+// the write, so a caller that must wait on *this* write's replication (the
+// wire server's semi-sync gate) has its exact watermark instead of a
+// store-wide one inflated by concurrent writers.
+func (s *Store) SetWithSeq(key, value string, t time.Time) (uint64, error) {
 	return s.apply(key, value, t, false)
 }
 
 // Delete records a deletion of key at time t. The deletion is a tombstone
 // version in the history; prior values remain reachable via GetAt.
 func (s *Store) Delete(key string, t time.Time) error {
+	_, err := s.apply(key, "", t, true)
+	return err
+}
+
+// DeleteWithSeq is Delete additionally returning the minted sequence
+// number (see SetWithSeq).
+func (s *Store) DeleteWithSeq(key string, t time.Time) (uint64, error) {
 	return s.apply(key, "", t, true)
 }
 
-func (s *Store) apply(key, value string, t time.Time, deleted bool) error {
+func (s *Store) apply(key, value string, t time.Time, deleted bool) (uint64, error) {
 	if key == "" {
-		return ErrEmptyKey
+		return 0, ErrEmptyKey
 	}
 	if t.IsZero() {
-		return ErrZeroTime
+		return 0, ErrZeroTime
 	}
 	if len(key) > MaxStringLen || len(value) > MaxStringLen {
-		return ErrOversize
+		return 0, ErrOversize
 	}
 	if err := s.waitSinkCapacity(); err != nil {
-		return err
+		return 0, err
 	}
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	seq, err := s.applyLocked(sh, key, value, t, deleted)
 	sh.mu.Unlock()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	// Publish before observing: anything the observer triggers already
 	// sees the write.
@@ -424,7 +440,7 @@ func (s *Store) apply(key, value string, t time.Time, deleted bool) error {
 	if obs := s.statsObserver(); obs != nil {
 		obs.ObserveWrite(key, t, deleted)
 	}
-	return nil
+	return seq, nil
 }
 
 // capacityWaiter is the optional backpressure gate a persistence sink can

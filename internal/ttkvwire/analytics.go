@@ -1,0 +1,294 @@
+package ttkvwire
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"time"
+
+	"ocasta/internal/core"
+	"ocasta/internal/ttkv"
+)
+
+// AnalyticsDrainer feeds one analytics engine from the replication
+// streams of every node in a slot-partitioned cluster, producing
+// globally-correct CLUSTERS/CORR on whichever node runs it: each drain
+// round pulls every peer's new records (resumable per-peer cursors — a
+// record is pushed exactly once), merges them by event time across
+// peers, and pushes the merged order into the engine. This is how a
+// cluster gets byte-identical analytics to a single node fed the same
+// workload: windows that span node boundaries reassemble because the
+// events are re-interleaved chronologically before windowing, which a
+// per-node PairStats.Merge alone cannot do once a co-occurrence window
+// straddles two nodes' keyspaces.
+//
+// The drainer attaches with an observer SYNC handshake (replica ID "-"),
+// so it is never counted as a replica by the primaries' semi-sync gates
+// and never acks.
+//
+// Writes are idempotent per (key, timestamp) cluster-wide, and the
+// drainer enforces exactly that: a (key, timestamp) pair is pushed into
+// the engine once no matter how many streams carry it. Slot migration
+// re-mints the moved records on the target (they stay in the source's
+// history too), so without this dedup every migrated version would
+// count twice.
+//
+// Residual caveat: records written on peer A after A was drained but
+// before peer B was drained in the same round arrive one round late,
+// with timestamps possibly older than B's already-pushed tail. The
+// engine's reorder horizon absorbs disorder up to roughly the drain
+// interval; keep the interval comfortably below the horizon for exact
+// grouping under live load (or drain once after the workload quiesces,
+// as the equivalence tests do).
+type AnalyticsDrainer struct {
+	cfg     AnalyticsDrainerConfig
+	cursors map[string]*drainCursor
+	// pushed dedupes by (key, timestamp) across streams and rounds: a
+	// migrated record appears in both the source's and the target's
+	// history, but must feed the engine once.
+	pushed map[drainKey]struct{}
+}
+
+// drainKey identifies a write cluster-wide: mutations are idempotent
+// per (key, timestamp).
+type drainKey struct {
+	key   string
+	nanos int64
+}
+
+// AnalyticsDrainerConfig configures an AnalyticsDrainer.
+type AnalyticsDrainerConfig struct {
+	// Engine receives the merged event stream. The drainer must be its
+	// only feed (do not also attach it as a store observer, or local
+	// events would be counted twice).
+	Engine *core.Engine
+	// Peers are the nodes to drain — every primary in the cluster,
+	// including this node's own address when run inside a node.
+	Peers []string
+	// DialTimeout bounds each round's dial per peer (default 5s).
+	DialTimeout time.Duration
+	// ReadTimeout bounds each frame read (default 10s).
+	ReadTimeout time.Duration
+	// OnRestart, if set, runs after a peer incarnation change forced the
+	// engine to reset (before the cursors are zeroed for a full refeed).
+	OnRestart func()
+	// Logf, when set, receives progress/diagnostic lines.
+	Logf func(format string, args ...any)
+}
+
+// drainCursor is the per-peer resume point.
+type drainCursor struct {
+	runID string
+	seq   uint64
+}
+
+// drainEntry tags a record with its peer index for a stable cross-peer
+// time merge.
+type drainEntry struct {
+	rec  ttkv.ReplRecord
+	peer int
+}
+
+// NewAnalyticsDrainer validates cfg and returns a drainer. Call
+// DrainOnce per round, or Run for a self-timed loop.
+func NewAnalyticsDrainer(cfg AnalyticsDrainerConfig) (*AnalyticsDrainer, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("ttkvwire: analytics drainer needs an engine")
+	}
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("ttkvwire: analytics drainer needs at least one peer")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 10 * time.Second
+	}
+	return &AnalyticsDrainer{
+		cfg:     cfg,
+		cursors: make(map[string]*drainCursor, len(cfg.Peers)),
+		pushed:  make(map[drainKey]struct{}),
+	}, nil
+}
+
+func (d *AnalyticsDrainer) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// DrainOnce pulls every peer's records past its cursor, merges them by
+// event time, and pushes them into the engine. A peer incarnation change
+// (FULLRESYNC against a non-zero cursor) resets the engine and all
+// cursors, then refeeds from scratch within the same call. Unreachable
+// peers are skipped (their cursors keep their place); the first round
+// that reaches them pulls their backlog.
+func (d *AnalyticsDrainer) DrainOnce(ctx context.Context) error {
+	for attempt := 0; ; attempt++ {
+		var entries []drainEntry
+		advances := make(map[string]drainCursor, len(d.cfg.Peers))
+		restart := false
+		for i, addr := range d.cfg.Peers {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			cur := drainCursor{}
+			if c := d.cursors[addr]; c != nil {
+				cur = *c
+			}
+			recs, newCur, full, err := d.fetchPeer(addr, cur)
+			if err != nil {
+				d.logf("analytics drainer: %s: %v (will catch up next round)", addr, err)
+				continue
+			}
+			if full && cur.seq > 0 {
+				// The peer restarted with a new incarnation: its seq space
+				// reset, so every cursor (and the engine) is invalid.
+				d.logf("analytics drainer: %s restarted (run %s); refeeding all peers", addr, newCur.runID)
+				restart = true
+				break
+			}
+			for _, r := range recs {
+				entries = append(entries, drainEntry{rec: r, peer: i})
+			}
+			advances[addr] = newCur
+		}
+		if restart {
+			d.cfg.Engine.Reset()
+			if d.cfg.OnRestart != nil {
+				d.cfg.OnRestart()
+			}
+			d.cursors = make(map[string]*drainCursor, len(d.cfg.Peers))
+			d.pushed = make(map[drainKey]struct{})
+			if attempt == 0 {
+				continue // refeed immediately
+			}
+			return fmt.Errorf("ttkvwire: analytics drainer: peers kept restarting")
+		}
+		// Merge across peers by event time; ties break by peer order then
+		// source seq, keeping the merge deterministic for a fixed peer
+		// list. Within one peer, seq order == stream order already.
+		sort.SliceStable(entries, func(a, b int) bool {
+			ta, tb := entries[a].rec.Time, entries[b].rec.Time
+			if !ta.Equal(tb) {
+				return ta.Before(tb)
+			}
+			if entries[a].peer != entries[b].peer {
+				return entries[a].peer < entries[b].peer
+			}
+			return entries[a].rec.Seq < entries[b].rec.Seq
+		})
+		for i := range entries {
+			r := &entries[i].rec
+			dk := drainKey{key: r.Key, nanos: r.Time.UnixNano()}
+			if _, dup := d.pushed[dk]; dup {
+				continue
+			}
+			d.pushed[dk] = struct{}{}
+			d.cfg.Engine.ObserveWrite(r.Key, r.Time, r.Deleted)
+		}
+		// Advance cursors only after every record is safely pushed.
+		for addr, cur := range advances {
+			c := cur
+			d.cursors[addr] = &c
+		}
+		return nil
+	}
+}
+
+// Run drains on the given interval until the context ends, logging (not
+// returning) per-round errors.
+func (d *AnalyticsDrainer) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := d.DrainOnce(ctx); err != nil && ctx.Err() == nil {
+				d.logf("analytics drainer: round failed: %v", err)
+			}
+		}
+	}
+}
+
+// fetchPeer opens an observer SYNC session from the cursor, reads the
+// stream until it has everything through the handshake watermark, and
+// closes. full reports a FULLRESYNC handshake.
+func (d *AnalyticsDrainer) fetchPeer(addr string, cur drainCursor) (recs []ttkv.ReplRecord, newCur drainCursor, full bool, err error) {
+	conn, err := net.DialTimeout("tcp", addr, d.cfg.DialTimeout)
+	if err != nil {
+		return nil, cur, false, err
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	runID := cur.runID
+	if runID == "" {
+		runID = "?"
+	}
+	if err := writeCommand(bw, "SYNC",
+		strconv.FormatUint(cur.seq, 10), runID, replObserverID); err != nil {
+		return nil, cur, false, err
+	}
+	conn.SetReadDeadline(time.Now().Add(d.cfg.ReadTimeout))
+	reply, err := ReadValue(br)
+	if err != nil {
+		return nil, cur, false, err
+	}
+	if reply.Kind == KindError {
+		return nil, cur, false, &RemoteError{Msg: reply.Str}
+	}
+	newRunID, from, _, full, err := parseSyncReply(reply)
+	if err != nil {
+		return nil, cur, false, err
+	}
+	newCur = drainCursor{runID: newRunID, seq: cur.seq}
+	if full {
+		if cur.seq > 0 {
+			// Incarnation change: the caller resets everything.
+			return nil, newCur, true, nil
+		}
+		newCur.seq = 0
+	}
+	// Read frames until the stream has covered the handshake watermark.
+	// The observer never acks; the session ends when we close the conn.
+	for newCur.seq < from {
+		conn.SetReadDeadline(time.Now().Add(d.cfg.ReadTimeout))
+		kind, payload, _, err := readReplFrame(br)
+		if err != nil {
+			return nil, cur, false, fmt.Errorf("reading stream: %w", err)
+		}
+		if kind != replFrameData {
+			continue // heartbeats carry no records
+		}
+		for len(payload) > 0 {
+			rec, n, err := ttkv.DecodeReplRecord(payload)
+			if err != nil {
+				return nil, cur, false, err
+			}
+			recs = append(recs, rec)
+			newCur.seq = rec.Seq
+			payload = payload[n:]
+		}
+	}
+	return recs, newCur, full, nil
+}
+
+// DrainAnalytics performs one complete drain of the given peers into
+// engine — the one-shot form the equivalence tests and benchmarks use to
+// rebuild a cluster's global analytics from scratch.
+func DrainAnalytics(ctx context.Context, engine *core.Engine, peers []string) error {
+	d, err := NewAnalyticsDrainer(AnalyticsDrainerConfig{Engine: engine, Peers: peers})
+	if err != nil {
+		return err
+	}
+	return d.DrainOnce(ctx)
+}

@@ -1,0 +1,103 @@
+package ttkvwire
+
+// Benchmarks behind BENCH_cluster.json: a fixed write workload routed
+// across 1/2/3 hash-slot primaries by the slot-aware client, and a full
+// analytics drain rebuilding global CLUSTERS from every node's stream.
+//
+// On a single-core host the primaries share the CPU, so aggregate
+// wall-clock throughput cannot rise with the node count; what the write
+// benchmark records instead is the per-node work balance ("node-scaling"
+// = total writes / max writes on any one node). That is the quantity
+// partitioning actually controls — with even slot ownership each node
+// applies ~1/N of the workload, which is the capacity multiple once
+// nodes own their own cores or machines.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"ocasta/internal/core"
+	"ocasta/internal/ttkv"
+)
+
+func BenchmarkClusterWrite(b *testing.B) {
+	for _, n := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("primaries=%d", n), func(b *testing.B) {
+			nodes := startSlotCluster(b, n, ttkv.DefaultSlotCount)
+			ctx := context.Background()
+			fc, err := DialCluster(ctx,
+				WithPeers(clusterAddrs(nodes)...),
+				WithMaxRedirects(8),
+				WithRetryBackoff(time.Millisecond),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fc.Close()
+			keys := make([]string, 4096)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("bench/k%06d", i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := keys[i%len(keys)]
+				if err := fc.Set(ctx, k, "v", t0.Add(time.Duration(i)*time.Microsecond)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			var total, max uint64
+			for _, nd := range nodes {
+				s := nd.store.CurrentSeq()
+				total += s
+				if s > max {
+					max = s
+				}
+			}
+			if max > 0 {
+				b.ReportMetric(float64(total)/float64(max), "node-scaling")
+			}
+		})
+	}
+}
+
+// BenchmarkClusterAnalyticsDrain rebuilds a 3-primary cluster's global
+// analytics from scratch: one full drain of every node's replication
+// stream, time-merged into a fresh engine.
+func BenchmarkClusterAnalyticsDrain(b *testing.B) {
+	const slots = ttkv.DefaultSlotCount
+	const records = 12000
+	nodes := startSlotCluster(b, 3, slots)
+	ctx := context.Background()
+	fc, err := DialCluster(ctx,
+		WithPeers(clusterAddrs(nodes)...),
+		WithMaxRedirects(8),
+		WithRetryBackoff(time.Millisecond),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fc.Close()
+	// Writes land in pairs 250ms apart, so each 1s co-modification
+	// window holds a handful of keys (pair counting is quadratic in
+	// window size; packing thousands of keys into one window would
+	// benchmark the engine's worst case, not the drain path).
+	for i := 0; i < records; i++ {
+		k := fmt.Sprintf("bench/k%06d", i%1024)
+		if err := fc.Set(ctx, k, "v", t0.Add(time.Duration(i/2)*250*time.Millisecond)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	addrs := clusterAddrs(nodes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine := core.NewEngine(core.EngineConfig{})
+		if err := DrainAnalytics(ctx, engine, addrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}

@@ -84,17 +84,30 @@ func WithLogf(f func(format string, args ...any)) FailoverOption {
 // not an error, as long as a new primary emerges within the redirect
 // budget. All methods take a context and are safe for concurrent use.
 //
+// Against a hash-slot partitioned cluster (TOPO advertises a slot map)
+// the client additionally routes every keyed operation to the slot's
+// owner over a per-node connection pool, refreshing its slot map from
+// MOVED redirects and TOPO probes; see slotclient.go.
+//
 // Error contract: typed wire errors that survive the retry budget are
 // returned as-is (errors.Is(err, ErrReadOnly) / ErrRetryable,
 // errors.As(&ErrNotLeader{})); application errors (ErrNotFound,
-// *RemoteError) are returned immediately, never retried.
+// *ErrPartialApply, *RemoteError) are returned immediately, never
+// retried.
 type FailoverClient struct {
 	opts failoverOptions
 
-	mu     sync.Mutex
-	cl     *Client
-	leader string   // address the current connection targets
-	peers  []string // known member list, deduplicated, discovery order
+	mu       sync.Mutex
+	cl       *Client
+	attached string   // address the current connection targets
+	leader   string   // believed current leader ("" = unknown)
+	peers    []string // known member list, deduplicated, discovery order
+
+	// Hash-slot routing state, populated the first time a TOPO reply
+	// advertises a slot map (see slotclient.go).
+	slots     int                // slot-space size; 0 = not a slot cluster
+	slotOwner []string           // per-slot owner cache, "" = unknown
+	slotConns map[string]*Client // one pooled connection per owner address
 }
 
 // DialCluster connects to a TTKV cluster. It tries the configured peers
@@ -117,24 +130,40 @@ func DialCluster(ctx context.Context, opts ...FailoverOption) (*FailoverClient, 
 	return fc, nil
 }
 
-// Close drops the current connection.
+// Close drops the current connection and the slot-routing pool.
 func (fc *FailoverClient) Close() error {
 	fc.mu.Lock()
 	cl := fc.cl
 	fc.cl = nil
+	pool := fc.slotConns
+	fc.slotConns = nil
 	fc.mu.Unlock()
+	for _, pc := range pool {
+		pc.Close()
+	}
 	if cl != nil {
 		return cl.Close()
 	}
 	return nil
 }
 
-// Leader returns the address of the node the client is currently
-// attached to (the primary, under normal operation).
+// Leader returns the address the client believes is the current leader —
+// empty while unknown (e.g. when only a read-only replica was reachable).
+// The node the client is actually connected to is Attached, which can
+// differ while no primary is reachable.
 func (fc *FailoverClient) Leader() string {
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
 	return fc.leader
+}
+
+// Attached returns the address of the node the client's connection
+// currently targets ("" when disconnected). Under normal operation this
+// is the leader; during an outage it may be a read-only fallback.
+func (fc *FailoverClient) Attached() string {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.attached
 }
 
 // Peers returns the client's known member list.
@@ -166,10 +195,12 @@ func dedupe(addrs []string) []string {
 	return out
 }
 
-// notePeers merges newly learned member addresses into the peer list.
+// notePeers merges newly learned member addresses — and, in slot-cluster
+// mode, the reply's slot ranges — into the client's routing state.
 func (fc *FailoverClient) notePeers(topo Topology) {
 	fc.mu.Lock()
 	fc.peers = dedupe(append(fc.peers, append([]string{topo.Self, topo.Leader}, topo.Peers...)...))
+	fc.noteSlotRangesLocked(topo)
 	fc.mu.Unlock()
 }
 
@@ -194,6 +225,7 @@ func (fc *FailoverClient) connect(ctx context.Context) (*Client, error) {
 
 	var fallback *Client
 	var fallbackAddr string
+	var fallbackTopo Topology
 	defer func() {
 		if fallback != nil {
 			fallback.Close()
@@ -227,7 +259,7 @@ func (fc *FailoverClient) connect(ctx context.Context) (*Client, error) {
 			candidates = append(candidates, topo.Leader)
 		}
 		if fallback == nil {
-			fallback, fallbackAddr = cl, addr
+			fallback, fallbackAddr, fallbackTopo = cl, addr, topo
 		} else {
 			cl.Close()
 		}
@@ -236,7 +268,7 @@ func (fc *FailoverClient) connect(ctx context.Context) (*Client, error) {
 		fc.logf("failover client: no primary reachable; using %s read-only", fallbackAddr)
 		cl := fallback
 		fallback = nil
-		return fc.adopt(ctx, cl, fallbackAddr, Topology{})
+		return fc.adopt(ctx, cl, fallbackAddr, fallbackTopo)
 	}
 	return nil, ErrNoCluster
 }
@@ -283,7 +315,16 @@ func (fc *FailoverClient) adopt(ctx context.Context, cl *Client, addr string, to
 		return existing, nil
 	}
 	fc.cl = cl
-	fc.leader = addr
+	fc.attached = addr
+	// The believed leader is a separate fact from the attachment: adopting
+	// a read-only fallback must not make Leader() report a replica (and
+	// must not make the next write re-dial the known-read-only node as if
+	// it were the primary).
+	if topo.Role == RolePrimary {
+		fc.leader = addr
+	} else {
+		fc.leader = topo.Leader
+	}
 	fc.mu.Unlock()
 	return cl, nil
 }
@@ -293,6 +334,7 @@ func (fc *FailoverClient) dropConn(cl *Client) {
 	fc.mu.Lock()
 	if fc.cl == cl {
 		fc.cl = nil
+		fc.attached = ""
 	}
 	fc.mu.Unlock()
 	cl.Close()
@@ -355,22 +397,30 @@ func (fc *FailoverClient) do(ctx context.Context, op func(ctx context.Context, c
 		default:
 		}
 		var notLeader *ErrNotLeader
+		var partial *ErrPartialApply
 		var remote *RemoteError
 		switch {
 		case errors.As(err, &notLeader):
 			fc.logf("failover client: redirected to %s", notLeader.Leader)
 			fc.setLeader(cl, notLeader.Leader)
 		case errors.Is(err, ErrReadOnly):
-			fc.logf("failover client: %s is read-only; rediscovering", fc.Leader())
+			fc.logf("failover client: %s is read-only; rediscovering", fc.Attached())
 			fc.setLeader(cl, "")
 		case errors.Is(err, ErrRetryable):
 			fc.logf("failover client: transient: %v", err)
+		case errors.As(err, &partial):
+			// An application-level outcome, not a transport failure: the
+			// connection is healthy and the Applied count is meaningful.
+			// Re-sending the batch would fail deterministically again (and
+			// burn the redirect budget); the caller decides what to do with
+			// the applied prefix.
+			return err
 		case errors.As(err, &remote), errors.Is(err, ErrNotFound), errors.Is(err, ErrProtocol):
 			// Application-level outcome; retrying cannot change it.
 			return err
 		default:
 			// Transport failure: the node (or our connection) died.
-			fc.logf("failover client: connection to %s failed: %v", fc.Leader(), err)
+			fc.logf("failover client: connection to %s failed: %v", fc.Attached(), err)
 			fc.dropConn(cl)
 		}
 		lastErr = err
@@ -385,24 +435,30 @@ func (fc *FailoverClient) Ping(ctx context.Context) error {
 	})
 }
 
-// Set records a write of key at time t on the primary.
+// Set records a write of key at time t on the key's owner.
 func (fc *FailoverClient) Set(ctx context.Context, key, value string, t time.Time) error {
-	return fc.do(ctx, func(ctx context.Context, cl *Client) error {
+	return fc.doKey(ctx, key, func(ctx context.Context, cl *Client) error {
 		return cl.SetContext(ctx, key, value, t)
 	})
 }
 
-// Delete records a deletion of key at time t on the primary.
+// Delete records a deletion of key at time t on the key's owner.
 func (fc *FailoverClient) Delete(ctx context.Context, key string, t time.Time) error {
-	return fc.do(ctx, func(ctx context.Context, cl *Client) error {
+	return fc.doKey(ctx, key, func(ctx context.Context, cl *Client) error {
 		return cl.DeleteContext(ctx, key, t)
 	})
 }
 
-// MSet records a batch of writes on the primary. Chunks that applied
-// before a mid-batch failover may be re-applied by a retry; mutations
-// are idempotent per (key, timestamp), so the history converges.
+// MSet records a batch of writes. Chunks that applied before a mid-batch
+// failover may be re-applied by a retry; mutations are idempotent per
+// (key, timestamp), so the history converges. Against a slot-partitioned
+// cluster the batch is split by slot owner (see msetSlots); a returned
+// *ErrPartialApply then reports Applied as a count of applied mutations
+// across nodes, not a prefix of the batch.
 func (fc *FailoverClient) MSet(ctx context.Context, muts []ttkv.Mutation) error {
+	if fc.slotCount() > 0 {
+		return fc.msetSlots(ctx, muts)
+	}
 	return fc.do(ctx, func(ctx context.Context, cl *Client) error {
 		return cl.MSetContext(ctx, muts)
 	})
@@ -411,7 +467,7 @@ func (fc *FailoverClient) MSet(ctx context.Context, muts []ttkv.Mutation) error 
 // Get fetches the current value of key; ErrNotFound if absent or deleted.
 func (fc *FailoverClient) Get(ctx context.Context, key string) (string, error) {
 	var out string
-	err := fc.do(ctx, func(ctx context.Context, cl *Client) error {
+	err := fc.doKey(ctx, key, func(ctx context.Context, cl *Client) error {
 		v, err := cl.GetContext(ctx, key)
 		out = v
 		return err
@@ -422,7 +478,7 @@ func (fc *FailoverClient) Get(ctx context.Context, key string) (string, error) {
 // GetAt fetches the version of key in effect at time t.
 func (fc *FailoverClient) GetAt(ctx context.Context, key string, t time.Time) (ttkv.Version, error) {
 	var out ttkv.Version
-	err := fc.do(ctx, func(ctx context.Context, cl *Client) error {
+	err := fc.doKey(ctx, key, func(ctx context.Context, cl *Client) error {
 		v, err := cl.GetAtContext(ctx, key, t)
 		out = v
 		return err
@@ -433,7 +489,7 @@ func (fc *FailoverClient) GetAt(ctx context.Context, key string, t time.Time) (t
 // History fetches the full version history of key, oldest first.
 func (fc *FailoverClient) History(ctx context.Context, key string) ([]ttkv.Version, error) {
 	var out []ttkv.Version
-	err := fc.do(ctx, func(ctx context.Context, cl *Client) error {
+	err := fc.doKey(ctx, key, func(ctx context.Context, cl *Client) error {
 		v, err := cl.HistoryContext(ctx, key)
 		out = v
 		return err
@@ -441,8 +497,13 @@ func (fc *FailoverClient) History(ctx context.Context, key string) ([]ttkv.Versi
 	return out, err
 }
 
-// Keys lists every key the cluster has seen, sorted.
+// Keys lists every key the cluster has seen, sorted. Against a
+// slot-partitioned cluster the listing is merged across the known slot
+// owners (slots are disjoint, so the union has no duplicates).
 func (fc *FailoverClient) Keys(ctx context.Context) ([]string, error) {
+	if fc.slotCount() > 0 {
+		return fc.keysSlots(ctx)
+	}
 	var out []string
 	err := fc.do(ctx, func(ctx context.Context, cl *Client) error {
 		v, err := cl.KeysContext(ctx)

@@ -88,6 +88,11 @@ type ReplicaStatus struct {
 // Stop tears it down.
 type ReplicaClient struct {
 	cfg ReplicaConfig
+	// replicaID identifies this physical replica process across
+	// reconnects; the primary's semi-sync gate dedupes sessions by it, so
+	// a reconnect racing its stale feed never double-counts as two
+	// replicas.
+	replicaID string
 
 	mu          sync.Mutex
 	conn        net.Conn // live connection, for Stop to sever
@@ -114,9 +119,10 @@ func StartReplica(cfg ReplicaConfig) (*ReplicaClient, error) {
 		return nil, errors.New("ttkvwire: replica config needs a store")
 	}
 	rc := &ReplicaClient{
-		cfg:     cfg.withDefaults(),
-		state:   ReplicaConnecting,
-		applied: cfg.Store.CurrentSeq(),
+		cfg:       cfg.withDefaults(),
+		replicaID: newRunID(),
+		state:     ReplicaConnecting,
+		applied:   cfg.Store.CurrentSeq(),
 		// Seeding lastContact at start gives failure detection a full
 		// lease interval of grace before a never-reached primary counts
 		// as dead.
@@ -274,7 +280,7 @@ func (rc *ReplicaClient) syncOnce() error {
 
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
-	if err := writeCommand(bw, "SYNC", strconv.FormatUint(afterSeq, 10), runID); err != nil {
+	if err := writeCommand(bw, "SYNC", strconv.FormatUint(afterSeq, 10), runID, rc.replicaID); err != nil {
 		return err
 	}
 	conn.SetReadDeadline(time.Now().Add(rc.cfg.ReadTimeout))

@@ -144,10 +144,19 @@ func newRunID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// replObserverID is the replica ID sentinel an observer session (e.g. an
+// analytics drainer) sends in its SYNC handshake: it receives the stream
+// but is never counted as a replica by the semi-sync gate.
+const replObserverID = "-"
+
 // replSession is one live replica feed, tracked for REPLSTAT.
 type replSession struct {
 	addr string
 	sub  *ttkv.ReplSub
+	// replicaID is the physical replica's persistent run ID from the SYNC
+	// handshake ("" on the legacy 2-arg handshake, replObserverID for
+	// observers). The semi-sync gate dedupes sessions by it.
+	replicaID string
 	// snapshotting flips to 0 once the handshake snapshot has streamed.
 	snapshotting atomic.Bool
 	sentSeq      atomic.Uint64
@@ -172,7 +181,7 @@ func (s *Server) removeReplSession(sess *replSession) {
 // isMutating reports whether cmd writes to the store.
 func isMutating(cmd string) bool {
 	switch cmd {
-	case "SET", "MSET", "DEL", "RFIX":
+	case "SET", "MSET", "DEL", "RFIX", "MIGAPPLY":
 		return true
 	}
 	return false
@@ -195,12 +204,16 @@ func (s *Server) trySync(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, args
 	if rl == nil {
 		return refuse("ERR replication not enabled on this server")
 	}
-	if len(args) != 2 {
-		return refuse("ERR usage: SYNC afterSeq runid")
+	if len(args) != 2 && len(args) != 3 {
+		return refuse("ERR usage: SYNC afterSeq runid [replicaid]")
 	}
 	afterSeq, err := strconv.ParseUint(args[0], 10, 64)
 	if err != nil {
 		return refuse("ERR bad afterSeq: " + args[0])
+	}
+	replicaID := ""
+	if len(args) == 3 {
+		replicaID = args[2]
 	}
 	resume := args[1] == runID
 	if !resume {
@@ -232,7 +245,7 @@ func (s *Server) trySync(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, args
 		return true
 	}
 
-	sess := &replSession{addr: conn.RemoteAddr().String(), sub: sub}
+	sess := &replSession{addr: conn.RemoteAddr().String(), sub: sub, replicaID: replicaID}
 	sess.snapshotting.Store(true)
 	sess.ackedSeq.Store(afterSeq)
 	sess.sentSeq.Store(afterSeq)

@@ -77,10 +77,16 @@ func (s *Server) semiSyncGate(cs *connState) (retry Value, ok bool) {
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
-	// CurrentSeq is read after the local apply, so it is at or past the
-	// write's own sequence; waiting for it is conservative (a concurrent
-	// writer may push it higher), never premature.
-	seq := s.store.CurrentSeq()
+	// Wait on the write's own minted sequence, threaded through the apply
+	// path — not the store-wide watermark, which concurrent writers
+	// inflate: gating on CurrentSeq makes one slow replica fail every
+	// in-flight write on a busy primary with spurious RETRYs. Writes that
+	// don't mint (RFIX) fall back to the watermark, which is conservative
+	// but never premature.
+	seq := cs.lastWriteSeq
+	if seq == 0 {
+		seq = s.store.CurrentSeq()
+	}
 	if s.waitForAcks(seq, k, timeout) {
 		return Value{}, true
 	}
@@ -118,15 +124,35 @@ func (s *Server) waitForAcks(seq uint64, k int, timeout time.Duration) bool {
 	}
 }
 
-// ackedReplicas counts live replica sessions whose acknowledged watermark
-// has reached seq.
+// ackedReplicas counts distinct physical replicas whose acknowledged
+// watermark has reached seq. Sessions are deduplicated by the replica
+// run ID sent in the SYNC handshake: a replica reconnecting before its
+// stale feed is reaped would otherwise count twice and satisfy K=2
+// alone. Sessions without an ID (legacy handshake) count individually;
+// observer sessions (analytics drainers) never count as replicas.
 func (s *Server) ackedReplicas(seq uint64) int {
 	n := 0
+	var seen map[string]struct{}
 	s.mu.Lock()
 	for sess := range s.replSessions {
-		if sess.ackedSeq.Load() >= seq {
-			n++
+		if sess.replicaID == replObserverID {
+			continue
 		}
+		if sess.ackedSeq.Load() < seq {
+			continue
+		}
+		if sess.replicaID == "" {
+			n++
+			continue
+		}
+		if seen == nil {
+			seen = make(map[string]struct{}, len(s.replSessions))
+		}
+		if _, dup := seen[sess.replicaID]; dup {
+			continue
+		}
+		seen[sess.replicaID] = struct{}{}
+		n++
 	}
 	s.mu.Unlock()
 	return n

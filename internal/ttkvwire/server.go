@@ -32,6 +32,19 @@ type Server struct {
 	// keep the dispatch hot path lock-free.
 	readOnly atomic.Bool
 
+	// cluster is the hash-slot partitioning state, nil outside cluster
+	// mode. Copy-on-write: mutators clone-and-swap under mu, the dispatch
+	// hot path does one atomic load. See slots.go.
+	cluster atomic.Pointer[clusterState]
+	// migMu closes the fence race in slot migration: every mutating
+	// dispatch holds it for read across slot-check + apply, and MIGFENCE
+	// write-locks it after publishing the fence so that by the time the
+	// fence command replies, every write admitted under the pre-fence
+	// state has minted its sequence (and is therefore covered by the
+	// final MIGDUMP's CurrentSeq bound). Uncontended except during the
+	// fence barrier itself.
+	migMu sync.RWMutex
+
 	// ackMu guards the semi-sync wake channel; see semisync.go. It is a
 	// leaf lock: never acquired while holding mu, and nothing else is
 	// acquired while holding it.
@@ -57,6 +70,7 @@ type Server struct {
 	closed       bool
 	repairs      *jobManager // lazily built on first repair command
 	replSessions map[*replSession]struct{}
+	migSessions  map[int]*migSession // inbound slot migrations, by slot
 	wg           sync.WaitGroup
 }
 
@@ -225,13 +239,19 @@ func syncArgs(req Value) ([]string, bool) {
 }
 
 // connState is per-connection dispatch state: session-scoped protocol
-// options negotiated by the client (currently the SEMISYNC ack override).
+// options negotiated by the client (currently the SEMISYNC ack override)
+// plus the per-command write watermark the semi-sync gate waits on.
 type connState struct {
 	// semiAcks is the connection's semi-sync ack requirement; 0 means no
 	// override (the server-wide default applies). The effective K per
 	// write is the max of the two, so a connection can strengthen but
 	// never weaken the operator's durability floor.
 	semiAcks int
+	// lastWriteSeq is the highest sequence number the current command
+	// minted, reset before every mutating dispatch. The semi-sync gate
+	// waits for replicas to ack exactly this seq — not the store-wide
+	// watermark, which concurrent writers inflate.
+	lastWriteSeq uint64
 }
 
 func (s *Server) dispatch(cs *connState, req Value) Value {
@@ -247,16 +267,35 @@ func (s *Server) dispatch(cs *connState, req Value) Value {
 	}
 	cmd := strings.ToUpper(args[0])
 	if isMutating(cmd) {
+		// The cluster state must be loaded under migMu: MIGFENCE swaps in
+		// the fenced state and then write-locks migMu, so any write that
+		// saw the pre-fence state has finished (minted its seq) before the
+		// fence replies, and any write admitted afterwards sees the fence.
+		s.migMu.RLock()
+		if cl := s.cluster.Load(); cl != nil {
+			if rej, refused := s.clusterCheck(cl, cmd, args, true); refused {
+				s.migMu.RUnlock()
+				return rej
+			}
+		}
 		if s.readOnly.Load() {
+			s.migMu.RUnlock()
 			return readOnlyReply(s.LeaderHint())
 		}
+		cs.lastWriteSeq = 0
 		resp := s.dispatchCmd(cs, cmd, args)
+		s.migMu.RUnlock()
 		if resp.Kind != KindError {
 			if gateErr, ok := s.semiSyncGate(cs); !ok {
 				return gateErr
 			}
 		}
 		return resp
+	}
+	if cl := s.cluster.Load(); cl != nil {
+		if rej, refused := s.clusterCheck(cl, cmd, args, false); refused {
+			return rej
+		}
 	}
 	return s.dispatchCmd(cs, cmd, args)
 }
@@ -266,11 +305,11 @@ func (s *Server) dispatchCmd(cs *connState, cmd string, args []string) Value {
 	case "PING":
 		return simple("PONG")
 	case "SET":
-		return s.cmdSet(args[1:])
+		return s.cmdSet(cs, args[1:])
 	case "MSET":
-		return s.cmdMSet(args[1:])
+		return s.cmdMSet(cs, args[1:])
 	case "DEL":
-		return s.cmdDel(args[1:])
+		return s.cmdDel(cs, args[1:])
 	case "GET":
 		return s.cmdGet(args[1:])
 	case "GETAT":
@@ -305,6 +344,20 @@ func (s *Server) dispatchCmd(cs *connState, cmd string, args []string) Value {
 		return s.cmdTopo(args[1:])
 	case "SEMISYNC":
 		return s.cmdSemiSync(cs, args[1:])
+	case "MIGSTART":
+		return s.cmdMigStart(args[1:])
+	case "MIGDUMP":
+		return s.cmdMigDump(args[1:])
+	case "MIGAPPLY":
+		return s.cmdMigApply(cs, args[1:])
+	case "MIGFENCE":
+		return s.cmdMigFence(args[1:])
+	case "MIGABORT":
+		return s.cmdMigAbort(args[1:])
+	case "MIGTAKE":
+		return s.cmdMigTake(args[1:])
+	case "MIGFLIP":
+		return s.cmdMigFlip(args[1:])
 	default:
 		return errValue("ERR unknown command '" + cmd + "'")
 	}
@@ -318,7 +371,7 @@ func parseNanos(s string) (time.Time, error) {
 	return time.Unix(0, ns).UTC(), nil
 }
 
-func (s *Server) cmdSet(args []string) Value {
+func (s *Server) cmdSet(cs *connState, args []string) Value {
 	if len(args) != 3 {
 		return errValue("ERR usage: SET key value unixnanos")
 	}
@@ -326,13 +379,15 @@ func (s *Server) cmdSet(args []string) Value {
 	if err != nil {
 		return errValue("ERR bad timestamp: " + err.Error())
 	}
-	if err := s.store.Set(args[0], args[1], t); err != nil {
+	seq, err := s.store.SetWithSeq(args[0], args[1], t)
+	if err != nil {
 		return errValue("ERR " + err.Error())
 	}
+	cs.lastWriteSeq = seq
 	return simple("OK")
 }
 
-func (s *Server) cmdMSet(args []string) Value {
+func (s *Server) cmdMSet(cs *connState, args []string) Value {
 	if len(args) == 0 || len(args)%3 != 0 {
 		return errValue("ERR usage: MSET key value unixnanos [key value unixnanos ...]")
 	}
@@ -344,7 +399,8 @@ func (s *Server) cmdMSet(args []string) Value {
 		}
 		muts = append(muts, ttkv.Mutation{Key: args[i], Value: args[i+1], Time: t})
 	}
-	applied, err := s.store.Apply(muts)
+	applied, lastSeq, err := s.store.ApplyWithSeq(muts)
+	cs.lastWriteSeq = lastSeq
 	if err != nil {
 		if applied > 0 {
 			// A mid-batch persistence failure leaves a prefix applied; the
@@ -356,7 +412,7 @@ func (s *Server) cmdMSet(args []string) Value {
 	return intValue(int64(applied))
 }
 
-func (s *Server) cmdDel(args []string) Value {
+func (s *Server) cmdDel(cs *connState, args []string) Value {
 	if len(args) != 2 {
 		return errValue("ERR usage: DEL key unixnanos")
 	}
@@ -364,9 +420,11 @@ func (s *Server) cmdDel(args []string) Value {
 	if err != nil {
 		return errValue("ERR bad timestamp: " + err.Error())
 	}
-	if err := s.store.Delete(args[0], t); err != nil {
+	seq, err := s.store.DeleteWithSeq(args[0], t)
+	if err != nil {
 		return errValue("ERR " + err.Error())
 	}
+	cs.lastWriteSeq = seq
 	return simple("OK")
 }
 

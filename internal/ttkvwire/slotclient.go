@@ -1,0 +1,474 @@
+package ttkvwire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"ocasta/internal/ttkv"
+)
+
+// Slot-aware routing for FailoverClient. The moment any TOPO reply
+// advertises a slot map (SlotCount > 0), the client switches keyed
+// operations from "follow the single leader" to "route to the slot's
+// owner": it keeps a per-slot owner cache and one pooled connection per
+// owner, updates the cache from MOVED redirects (which name the owner),
+// and falls back to a full TOPO sweep of the known peers when a slot's
+// owner is unknown. Non-keyed operations (STATS, CLUSTERS, TOPO, PING)
+// stay on the primary attachment; KEYS and MSET get cluster-wide forms
+// (keysSlots, msetSlots).
+
+// SlotCount reports the slot-space size the client learned from TOPO
+// (0 until it talks to a slot-partitioned cluster).
+func (fc *FailoverClient) SlotCount() int { return fc.slotCount() }
+
+// SlotOwner reports the cached owner address for a slot ("" = unknown).
+func (fc *FailoverClient) SlotOwner(slot int) string {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if slot < 0 || slot >= len(fc.slotOwner) {
+		return ""
+	}
+	return fc.slotOwner[slot]
+}
+
+func (fc *FailoverClient) slotCount() int {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.slots
+}
+
+// noteSlotRangesLocked folds a TOPO reply's slot map into the owner
+// cache; the owners join the peer list so rediscovery probes them.
+// A node's claim about its own slots (ranges labeled with itself or its
+// group leader) is authoritative — it is serving them — and overwrites
+// the cache; its view of other nodes' ranges is hearsay seeded from
+// static -slot-peers flags and only fills unknown entries. Otherwise a
+// sweep would let one peer's stale advisory clobber the live owner a
+// failover or migration just installed, and routing would chase a dead
+// address until the hop budget ran out. Caller holds fc.mu.
+func (fc *FailoverClient) noteSlotRangesLocked(topo Topology) {
+	if topo.SlotCount <= 0 {
+		return
+	}
+	if fc.slots != topo.SlotCount {
+		fc.slots = topo.SlotCount
+		fc.slotOwner = make([]string, topo.SlotCount)
+	}
+	var owners []string
+	for _, r := range topo.SlotRanges {
+		if r.Addr == "" {
+			continue
+		}
+		owners = append(owners, r.Addr)
+		authoritative := r.Addr == topo.Self || (topo.Leader != "" && r.Addr == topo.Leader)
+		for i := r.Lo; i >= 0 && i <= r.Hi && i < fc.slots; i++ {
+			if authoritative || fc.slotOwner[i] == "" {
+				fc.slotOwner[i] = r.Addr
+			}
+		}
+	}
+	fc.peers = dedupe(append(fc.peers, owners...))
+}
+
+func (fc *FailoverClient) slotOwnerAddr(slot int) string {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if slot < 0 || slot >= len(fc.slotOwner) {
+		return ""
+	}
+	return fc.slotOwner[slot]
+}
+
+// setSlotOwner records a MOVED-announced owner ("" clears the entry,
+// forcing rediscovery).
+func (fc *FailoverClient) setSlotOwner(slot int, addr string) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if slot < 0 || slot >= len(fc.slotOwner) {
+		return
+	}
+	fc.slotOwner[slot] = addr
+	if addr != "" {
+		fc.peers = dedupe(append(fc.peers, addr))
+	}
+}
+
+// clearSlotOwner forgets a slot's owner, but only if it still is ifAddr —
+// a concurrent MOVED may have installed a fresher owner.
+func (fc *FailoverClient) clearSlotOwner(slot int, ifAddr string) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if slot >= 0 && slot < len(fc.slotOwner) && fc.slotOwner[slot] == ifAddr {
+		fc.slotOwner[slot] = ""
+	}
+}
+
+// ownerAddrs lists the distinct owner addresses in the slot map.
+func (fc *FailoverClient) ownerAddrs() []string {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return dedupe(append([]string(nil), fc.slotOwner...))
+}
+
+// connTo returns the pooled connection for addr, dialing and
+// TOPO-probing it on first use (the probe refreshes the slot map as a
+// side effect) and negotiating the configured semi-sync level.
+func (fc *FailoverClient) connTo(ctx context.Context, addr string) (*Client, error) {
+	fc.mu.Lock()
+	if cl, ok := fc.slotConns[addr]; ok {
+		fc.mu.Unlock()
+		return cl, nil
+	}
+	fc.mu.Unlock()
+	cl, topo, err := fc.probe(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	fc.notePeers(topo)
+	if fc.opts.semiSyncAcks > 0 {
+		if err := cl.SemiSyncContext(ctx, fc.opts.semiSyncAcks); err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("ttkvwire: negotiating semi-sync with %s: %w", addr, err)
+		}
+	}
+	fc.mu.Lock()
+	if existing, ok := fc.slotConns[addr]; ok {
+		fc.mu.Unlock()
+		cl.Close()
+		return existing, nil
+	}
+	if fc.slotConns == nil {
+		fc.slotConns = make(map[string]*Client)
+	}
+	fc.slotConns[addr] = cl
+	fc.mu.Unlock()
+	return cl, nil
+}
+
+// dropSlotConn discards addr's pooled connection if it is still cl.
+func (fc *FailoverClient) dropSlotConn(addr string, cl *Client) {
+	fc.mu.Lock()
+	if fc.slotConns[addr] == cl {
+		delete(fc.slotConns, addr)
+	}
+	fc.mu.Unlock()
+	cl.Close()
+}
+
+// refreshSlotMap re-probes every known peer's TOPO, merging slot maps.
+// Succeeds if any probe does.
+func (fc *FailoverClient) refreshSlotMap(ctx context.Context) error {
+	var lastErr error
+	ok := false
+	for _, addr := range fc.Peers() {
+		cl, topo, err := fc.probe(ctx, addr)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		cl.Close()
+		fc.notePeers(topo)
+		ok = true
+	}
+	if ok {
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNoCluster
+	}
+	return lastErr
+}
+
+// doKey routes op for key: to the slot owner in slot-cluster mode, else
+// through the leader-following do loop. Redirects, rediscoveries, and
+// transient retries share the same hop budget and backoff as do.
+func (fc *FailoverClient) doKey(ctx context.Context, key string, op func(ctx context.Context, cl *Client) error) error {
+	slots := fc.slotCount()
+	if slots == 0 {
+		return fc.do(ctx, op)
+	}
+	slot := ttkv.KeySlot(key, slots)
+	var lastErr error
+	backoff := fc.opts.retryBackoff
+	maxBackoff := 16 * fc.opts.retryBackoff
+	for hop := 0; hop <= fc.opts.maxRedirects; hop++ {
+		if hop > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff < maxBackoff {
+				backoff *= 2
+			}
+		}
+		addr := fc.slotOwnerAddr(slot)
+		if addr == "" {
+			if err := fc.refreshSlotMap(ctx); err != nil {
+				lastErr = err
+				continue
+			}
+			if addr = fc.slotOwnerAddr(slot); addr == "" {
+				lastErr = fmt.Errorf("ttkvwire: no known owner for slot %d", slot)
+				continue
+			}
+		}
+		cl, err := fc.connTo(ctx, addr)
+		if err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
+			fc.logf("failover client: slot %d owner %s unreachable: %v", slot, addr, err)
+			fc.clearSlotOwner(slot, addr)
+			lastErr = err
+			continue
+		}
+		opctx := ctx
+		cancel := func() {}
+		if fc.opts.callTimeout > 0 {
+			opctx, cancel = context.WithTimeout(ctx, fc.opts.callTimeout)
+		}
+		err = op(opctx, cl)
+		cancel()
+		switch {
+		case err == nil:
+			return nil
+		case ctx.Err() != nil:
+			return err
+		}
+		var notLeader *ErrNotLeader
+		var partial *ErrPartialApply
+		var remote *RemoteError
+		switch {
+		case errors.As(err, &notLeader):
+			fc.logf("failover client: slot %d moved to %q", slot, notLeader.Leader)
+			fc.setSlotOwner(slot, notLeader.Leader)
+		case errors.Is(err, ErrReadOnly):
+			// The owner demoted; its group's new primary surfaces through
+			// the next TOPO sweep.
+			fc.logf("failover client: slot %d owner %s is read-only; rediscovering", slot, addr)
+			fc.clearSlotOwner(slot, addr)
+		case errors.Is(err, ErrRetryable):
+			fc.logf("failover client: transient on slot %d: %v", slot, err)
+		case errors.As(err, &partial), errors.As(err, &remote),
+			errors.Is(err, ErrNotFound), errors.Is(err, ErrProtocol):
+			// Application-level outcome; retrying cannot change it.
+			return err
+		default:
+			fc.logf("failover client: connection to %s failed: %v", addr, err)
+			fc.dropSlotConn(addr, cl)
+			fc.clearSlotOwner(slot, addr)
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("ttkvwire: failover budget exhausted: %w", lastErr)
+}
+
+// msetJob is one owner-aligned chunk of a cluster MSet.
+type msetJob struct {
+	addr string // "" = owner unknown for these keys
+	muts []ttkv.Mutation
+}
+
+// partitionMuts groups mutations by their slots' cached owners,
+// preserving first-appearance order within each group.
+func (fc *FailoverClient) partitionMuts(muts []ttkv.Mutation) []msetJob {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	idx := make(map[string]int)
+	var jobs []msetJob
+	for _, m := range muts {
+		addr := ""
+		if slot := ttkv.KeySlot(m.Key, fc.slots); slot < len(fc.slotOwner) {
+			addr = fc.slotOwner[slot]
+		}
+		j, ok := idx[addr]
+		if !ok {
+			j = len(jobs)
+			idx[addr] = j
+			jobs = append(jobs, msetJob{addr: addr})
+		}
+		jobs[j].muts = append(jobs[j].muts, m)
+	}
+	return jobs
+}
+
+// clearJobOwners forgets the cached owner of every slot the job touches
+// that still points at the job's address.
+func (fc *FailoverClient) clearJobOwners(job msetJob) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	for i := range job.muts {
+		slot := ttkv.KeySlot(job.muts[i].Key, fc.slots)
+		if slot < len(fc.slotOwner) && fc.slotOwner[slot] == job.addr {
+			fc.slotOwner[slot] = ""
+		}
+	}
+}
+
+// msetSlots applies a batch across a slot-partitioned cluster: it splits
+// the batch by slot owner and applies the chunks sequentially, re-
+// partitioning on MOVED/ownership changes. A node refuses a chunk with
+// any foreign key before applying anything, so re-sends after a redirect
+// never duplicate. On terminal failure the returned *ErrPartialApply
+// reports Applied as the count of mutations that landed across all nodes
+// — NOT a prefix of the original batch, since chunks apply out of batch
+// order.
+func (fc *FailoverClient) msetSlots(ctx context.Context, muts []ttkv.Mutation) error {
+	if len(muts) == 0 {
+		return nil
+	}
+	applied := 0
+	wrap := func(err error) error {
+		if applied > 0 {
+			return &ErrPartialApply{Applied: applied, Msg: err.Error()}
+		}
+		return err
+	}
+	backoff := fc.opts.retryBackoff
+	maxBackoff := 16 * fc.opts.retryBackoff
+	hops := 0
+	// spend consumes one hop (with backoff); non-nil means the budget or
+	// context is exhausted and the caller must return the wrapped error.
+	spend := func(opErr error) error {
+		hops++
+		if hops > fc.opts.maxRedirects {
+			return wrap(fmt.Errorf("ttkvwire: failover budget exhausted: %w", opErr))
+		}
+		select {
+		case <-ctx.Done():
+			return wrap(ctx.Err())
+		case <-time.After(backoff):
+		}
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+		return nil
+	}
+	queue := fc.partitionMuts(muts)
+	for len(queue) > 0 {
+		job := queue[0]
+		if job.addr == "" {
+			// Unknown owners: sweep TOPO and re-partition this job.
+			if err := fc.refreshSlotMap(ctx); err != nil {
+				if err := spend(err); err != nil {
+					return err
+				}
+				continue
+			}
+			repart := fc.partitionMuts(job.muts)
+			if len(repart) == 1 && repart[0].addr == "" {
+				if err := spend(fmt.Errorf("ttkvwire: no known owner for %d mutation(s)", len(job.muts))); err != nil {
+					return err
+				}
+				continue
+			}
+			queue = append(repart, queue[1:]...)
+			continue
+		}
+		cl, err := fc.connTo(ctx, job.addr)
+		var opErr error
+		if err != nil {
+			opErr = err
+		} else {
+			opctx := ctx
+			cancel := func() {}
+			if fc.opts.callTimeout > 0 {
+				opctx, cancel = context.WithTimeout(ctx, fc.opts.callTimeout)
+			}
+			opErr = cl.MSetContext(opctx, job.muts)
+			cancel()
+		}
+		if opErr == nil {
+			applied += len(job.muts)
+			queue = queue[1:]
+			continue
+		}
+		if ctx.Err() != nil {
+			return wrap(opErr)
+		}
+		var partial *ErrPartialApply
+		var notLeader *ErrNotLeader
+		var remote *RemoteError
+		switch {
+		case errors.As(opErr, &partial):
+			// Deterministic application failure (or a mid-chunk transport
+			// loss the plain client already folded): the connection-level
+			// count is exact, so fold it into the cluster-wide count and
+			// stop — later jobs stay unapplied.
+			applied += partial.Applied
+			return &ErrPartialApply{Applied: applied, Msg: fmt.Sprintf("node %s: %s", job.addr, partial.Msg)}
+		case errors.As(opErr, &remote), errors.Is(opErr, ErrProtocol):
+			return wrap(fmt.Errorf("node %s: %w", job.addr, opErr))
+		case errors.As(opErr, &notLeader), errors.Is(opErr, ErrReadOnly), errors.Is(opErr, ErrRetryable):
+			// Ownership moved, the node demoted, or the slot is mid-
+			// migration. Nothing from this job applied (the owner check
+			// precedes the apply), so remapping and re-sending is safe.
+			fc.logf("failover client: mset chunk for %s bounced: %v", job.addr, opErr)
+			fc.clearJobOwners(job)
+			if err := spend(opErr); err != nil {
+				return err
+			}
+			queue = append(fc.partitionMuts(job.muts), queue[1:]...)
+		default:
+			if cl != nil {
+				fc.dropSlotConn(job.addr, cl)
+			}
+			fc.clearJobOwners(job)
+			if err := spend(opErr); err != nil {
+				return err
+			}
+			queue = append(fc.partitionMuts(job.muts), queue[1:]...)
+		}
+	}
+	return nil
+}
+
+// keysSlots merges KEYS across every known slot owner; slots partition
+// the keyspace, so the union is duplicate-free by construction (the
+// dedupe below only guards against transient double-ownership views).
+func (fc *FailoverClient) keysSlots(ctx context.Context) ([]string, error) {
+	addrs := fc.ownerAddrs()
+	if len(addrs) == 0 {
+		if err := fc.refreshSlotMap(ctx); err != nil {
+			return nil, err
+		}
+		addrs = fc.ownerAddrs()
+	}
+	seen := make(map[string]struct{})
+	out := []string{}
+	for _, addr := range addrs {
+		cl, err := fc.connTo(ctx, addr)
+		if err != nil {
+			return nil, fmt.Errorf("ttkvwire: listing keys on %s: %w", addr, err)
+		}
+		opctx := ctx
+		cancel := func() {}
+		if fc.opts.callTimeout > 0 {
+			opctx, cancel = context.WithTimeout(ctx, fc.opts.callTimeout)
+		}
+		ks, err := cl.KeysContext(opctx)
+		cancel()
+		if err != nil {
+			var remote *RemoteError
+			if !errors.As(err, &remote) {
+				fc.dropSlotConn(addr, cl)
+			}
+			return nil, fmt.Errorf("ttkvwire: listing keys on %s: %w", addr, err)
+		}
+		for _, k := range ks {
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				out = append(out, k)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -40,6 +40,12 @@ type Topology struct {
 	// Peers lists the other cluster members' addresses, when the node was
 	// started with a peer set (failover mode).
 	Peers []string
+	// SlotCount is the hash-slot space size when the node runs in cluster
+	// (multi-primary) mode, 0 otherwise. See KeySlot.
+	SlotCount int
+	// SlotRanges is the node's slot map: its own ranges (Addr = where its
+	// writes go, i.e. Leader) plus every peer range it knows an owner for.
+	SlotRanges []SlotRange
 }
 
 // SetAdvertise records the address this node tells clients and peers to
@@ -126,6 +132,11 @@ func (s *Server) currentTopology() Topology {
 //
 //	*8  $role, $epoch, $runid, $self, $leader, $appliedSeq, $durableSeq,
 //	    *N peer addresses
+//
+// In hash-slot cluster mode two elements are appended (clients accept
+// either form):
+//
+//	*10 ..., $slotCount, *M "lo-hi=addr" slot ranges
 func (s *Server) cmdTopo(args []string) Value {
 	if len(args) != 0 {
 		return errValue("ERR usage: TOPO")
@@ -135,11 +146,20 @@ func (s *Server) cmdTopo(args []string) Value {
 	for i, p := range t.Peers {
 		peers[i] = bulk(p)
 	}
-	return array(
+	els := []Value{
 		bulk(t.Role), bulkInt(int64(t.Epoch)), bulk(t.RunID), bulk(t.Self),
 		bulk(t.Leader), bulkInt(int64(t.AppliedSeq)), bulkInt(int64(t.DurableSeq)),
 		array(peers...),
-	)
+	}
+	if cl := s.cluster.Load(); cl != nil {
+		ranges := cl.ranges(t.Leader)
+		rv := make([]Value, len(ranges))
+		for i, r := range ranges {
+			rv[i] = bulk(r.String())
+		}
+		els = append(els, bulkInt(int64(cl.slots)), array(rv...))
+	}
+	return array(els...)
 }
 
 // Topology fetches the server's cluster view.
@@ -156,7 +176,7 @@ func (c *Client) TopologyContext(ctx context.Context) (Topology, error) {
 	bad := func() (Topology, error) {
 		return Topology{}, fmt.Errorf("%w: unexpected TOPO reply %+v", ErrProtocol, v)
 	}
-	if v.Kind != KindArray || len(v.Array) != 8 {
+	if v.Kind != KindArray || (len(v.Array) != 8 && len(v.Array) != 10) {
 		return bad()
 	}
 	for _, i := range []int{0, 2, 3, 4} {
@@ -190,6 +210,26 @@ func (c *Client) TopologyContext(ctx context.Context) (Topology, error) {
 			return bad()
 		}
 		t.Peers = append(t.Peers, el.Str)
+	}
+	if len(v.Array) == 10 {
+		slots, err := strconv.Atoi(v.Array[8].Str)
+		if v.Array[8].Kind != KindBulk || err != nil || slots <= 0 {
+			return bad()
+		}
+		if v.Array[9].Kind != KindArray {
+			return bad()
+		}
+		t.SlotCount = slots
+		for _, el := range v.Array[9].Array {
+			if el.Kind != KindBulk {
+				return bad()
+			}
+			r, err := parseSlotRangeToken(el.Str, slots)
+			if err != nil {
+				return Topology{}, fmt.Errorf("%w: TOPO slot range %q: %v", ErrProtocol, el.Str, err)
+			}
+			t.SlotRanges = append(t.SlotRanges, r)
+		}
 	}
 	return t, nil
 }

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Regenerates the numbers behind BENCH_cluster.json: the fixed write
+# workload routed across 1/2/3 hash-slot primaries (node-scaling = total
+# writes / max writes on any one node — the per-node work balance that
+# becomes the capacity multiple once nodes own their own cores), and the
+# full analytics drain that rebuilds global CLUSTERS from every node's
+# replication stream. Run from the repo root and update the JSON from
+# the output.
+set -eu
+
+go test -run '^$' -bench 'BenchmarkClusterWrite|BenchmarkClusterAnalyticsDrain' -benchtime=2s ./internal/ttkvwire/
